@@ -1,0 +1,87 @@
+//! Component micro-benchmarks: the building blocks whose costs the design
+//! discussion (§5.4) reasons about — graph anonymization, configuration
+//! parsing/emission, topology extraction, and the spec miner.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bench_kdegree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kdegree_anonymization");
+    for id in ['D', 'F'] {
+        let net = confmask_netgen::full_suite()
+            .into_iter()
+            .find(|n| n.id == id)
+            .expect("suite network")
+            .configs;
+        let topo = confmask_topology::extract::extract_topology(&net);
+        let (rgraph, _) = topo.router_subgraph();
+        group.bench_with_input(BenchmarkId::from_parameter(id), &rgraph, |b, g| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(0);
+                confmask_topology::kdegree::plan_k_degree(g, 6, &mut rng).expect("plan")
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_config_roundtrip(c: &mut Criterion) {
+    let net = confmask_netgen::full_suite()
+        .into_iter()
+        .find(|n| n.id == 'F')
+        .expect("USCarrier")
+        .configs;
+    let texts: Vec<String> = net.routers.values().map(|r| r.emit()).collect();
+    let total_lines: usize = texts.iter().map(|t| t.lines().count()).sum();
+
+    c.bench_function("emit_uscarrier_all_routers", |b| {
+        b.iter(|| {
+            net.routers
+                .values()
+                .map(|r| r.emit().len())
+                .sum::<usize>()
+        });
+    });
+    c.bench_function("parse_uscarrier_all_routers", |b| {
+        b.iter(|| {
+            texts
+                .iter()
+                .map(|t| confmask_config::parse_router(t).expect("parses").interfaces.len())
+                .sum::<usize>()
+        });
+    });
+    eprintln!("(USCarrier corpus: {total_lines} config lines)");
+}
+
+fn bench_topology_extraction(c: &mut Criterion) {
+    let net = confmask_netgen::full_suite()
+        .into_iter()
+        .find(|n| n.id == 'F')
+        .expect("USCarrier")
+        .configs;
+    c.bench_function("extract_topology_uscarrier", |b| {
+        b.iter(|| confmask_topology::extract::extract_topology(&net));
+    });
+}
+
+fn bench_spec_mining(c: &mut Criterion) {
+    let net = confmask_netgen::full_suite()
+        .into_iter()
+        .find(|n| n.id == 'H')
+        .expect("FatTree08")
+        .configs;
+    let sim = confmask_sim::simulate(&net).expect("simulate");
+    c.bench_function("mine_specs_fattree08", |b| {
+        b.iter(|| confmask_spec::mine(&sim.dataplane).len());
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_kdegree,
+    bench_config_roundtrip,
+    bench_topology_extraction,
+    bench_spec_mining
+);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! End-to-end pipeline benchmarks — the measured substance behind
+//! Figure 16 (running-time comparison of Strawman 1 / Strawman 2 /
+//! ConfMask) and the scalability claim of §7.3 ("ConfMask can anonymize
+//! large networks in ~6 minutes, small networks in seconds" — on the
+//! native simulator, large networks take seconds).
+
+use confmask::{anonymize, EquivalenceMode, Params};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_modes(c: &mut Criterion) {
+    let suite = confmask_netgen::suite::small_suite();
+    let mut group = c.benchmark_group("fig16_modes");
+    group.sample_size(10);
+    for net in &suite {
+        for (label, mode) in [
+            ("confmask", EquivalenceMode::ConfMask),
+            ("strawman1", EquivalenceMode::Strawman1),
+            ("strawman2", EquivalenceMode::Strawman2),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(label, net.id),
+                &net.configs,
+                |b, configs| {
+                    let params = Params::default().with_mode(mode);
+                    b.iter(|| anonymize(configs, &params).expect("anonymize"));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    // Scaling with network size (the Figure 16 x-axis): one ConfMask run
+    // per evaluation network, including a large WAN and fat-tree.
+    let suite = confmask_netgen::full_suite();
+    let mut group = c.benchmark_group("fig16_scaling");
+    group.sample_size(10);
+    for net in suite.iter().filter(|n| matches!(n.id, 'A' | 'D' | 'G' | 'H')) {
+        group.bench_with_input(BenchmarkId::new("confmask", net.id), &net.configs, |b, configs| {
+            b.iter(|| anonymize(configs, &Params::default()).expect("anonymize"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_parameters(c: &mut Criterion) {
+    // Cost of raising k_R and k_H (Figures 11–14's runtime dimension).
+    let net = confmask_netgen::suite::small_suite().remove(0).configs;
+    let mut group = c.benchmark_group("parameter_cost");
+    group.sample_size(10);
+    for (k_r, k_h) in [(2, 2), (6, 2), (10, 2), (6, 4), (6, 6)] {
+        group.bench_function(format!("kR{k_r}_kH{k_h}"), |b| {
+            let params = Params::new(k_r, k_h);
+            b.iter(|| anonymize(&net, &params).expect("anonymize"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_modes, bench_scaling, bench_parameters);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Simulator benchmarks: the Batfish-substitute's control-plane and
+//! data-plane throughput, which dominates the pipeline's runtime (§5.4:
+//! "the remaining most time-consuming job in our workflow is data plane
+//! simulation").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_control_plane(c: &mut Criterion) {
+    let suite = confmask_netgen::full_suite();
+    let mut group = c.benchmark_group("control_plane");
+    group.sample_size(10);
+    for net in suite.iter().filter(|n| matches!(n.id, 'A' | 'C' | 'D' | 'F' | 'H')) {
+        group.bench_with_input(BenchmarkId::from_parameter(net.id), &net.configs, |b, cfg| {
+            b.iter(|| confmask_sim::simulate_control_plane(cfg).expect("simulate"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_simulation(c: &mut Criterion) {
+    let suite = confmask_netgen::full_suite();
+    let mut group = c.benchmark_group("full_simulation");
+    group.sample_size(10);
+    for net in suite.iter().filter(|n| matches!(n.id, 'A' | 'D' | 'G' | 'H')) {
+        group.bench_with_input(BenchmarkId::from_parameter(net.id), &net.configs, |b, cfg| {
+            b.iter(|| confmask_sim::simulate(cfg).expect("simulate"));
+        });
+    }
+    group.finish();
+}
+
+fn bench_traceroute(c: &mut Criterion) {
+    // Per-pair traceroute, the primitive Strawman 2 spends its time on.
+    let net = confmask_netgen::full_suite()
+        .into_iter()
+        .find(|n| n.id == 'G')
+        .expect("fat-tree present")
+        .configs;
+    let sim = confmask_sim::simulate(&net).expect("simulate");
+    let src = sim.net.host_id("h0-0-0").expect("host");
+    let dst = sim.net.host_id("h3-1-1").expect("host");
+    c.bench_function("traceroute_fattree04_cross_pod", |b| {
+        b.iter(|| confmask_sim::dataplane::trace(&sim.net, &sim.fibs, src, dst));
+    });
+}
+
+criterion_group!(benches, bench_control_plane, bench_full_simulation, bench_traceroute);
+criterion_main!(benches);

@@ -1,0 +1,125 @@
+//! Shared machinery for the figure-regeneration harness and the Criterion
+//! benches: a memoizing experiment runner and small statistics helpers.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod stats;
+
+use confmask::{anonymize, Anonymized, EquivalenceMode, Params};
+use confmask_netgen::EvalNetwork;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+
+/// Key identifying one anonymization run.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct RunKey {
+    /// Network id (Table 2 letter).
+    pub net: char,
+    /// `k_R`.
+    pub k_r: usize,
+    /// `k_H`.
+    pub k_h: usize,
+    /// Equivalence mode (ConfMask / Strawman1 / Strawman2).
+    pub mode: EquivalenceMode,
+    /// Seed.
+    pub seed: u64,
+}
+
+/// Memoizing runner: each (network, parameters) pipeline executes once per
+/// process even when several figures need it.
+pub struct Runner {
+    suite: Vec<EvalNetwork>,
+    cache: Mutex<BTreeMap<RunKey, std::sync::Arc<Anonymized>>>,
+}
+
+impl Default for Runner {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Runner {
+    /// A runner over the full Table 2 suite.
+    pub fn new() -> Self {
+        Self {
+            suite: confmask_netgen::full_suite(),
+            cache: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// A runner over only the fast networks (A, B, C, G) — `--quick` mode.
+    pub fn quick() -> Self {
+        Self {
+            suite: confmask_netgen::suite::small_suite(),
+            cache: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// The evaluation networks this runner covers.
+    pub fn suite(&self) -> &[EvalNetwork] {
+        &self.suite
+    }
+
+    /// The network with a given Table 2 id, if in the suite.
+    pub fn network(&self, id: char) -> Option<&EvalNetwork> {
+        self.suite.iter().find(|n| n.id == id)
+    }
+
+    /// Runs (or returns the cached) anonymization for a key.
+    pub fn run(&self, key: RunKey) -> std::sync::Arc<Anonymized> {
+        if let Some(hit) = self.cache.lock().expect("poisoned").get(&key) {
+            return hit.clone();
+        }
+        let net = self
+            .network(key.net)
+            .unwrap_or_else(|| panic!("network {} not in suite", key.net));
+        let params = Params {
+            k_r: key.k_r,
+            k_h: key.k_h,
+            seed: key.seed,
+            mode: key.mode,
+            ..Params::default()
+        };
+        let result = std::sync::Arc::new(
+            anonymize(&net.configs, &params)
+                .unwrap_or_else(|e| panic!("anonymize {} {:?}: {e}", key.net, params)),
+        );
+        self.cache
+            .lock()
+            .expect("poisoned")
+            .insert(key, result.clone());
+        result
+    }
+
+    /// Default-parameter run (`k_R=6, k_H=2`, ConfMask, seed 0).
+    pub fn default_run(&self, net: char) -> std::sync::Arc<Anonymized> {
+        self.run(RunKey {
+            net,
+            k_r: 6,
+            k_h: 2,
+            mode: EquivalenceMode::ConfMask,
+            seed: 0,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runner_caches_runs() {
+        let r = Runner::quick();
+        let a = r.default_run('A');
+        let b = r.default_run('A');
+        assert!(std::sync::Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn quick_suite_is_small() {
+        let r = Runner::quick();
+        assert_eq!(r.suite().len(), 4);
+        assert!(r.network('F').is_none());
+    }
+}

@@ -1,0 +1,265 @@
+//! Hand-rolled argument parsing (no external dependencies).
+
+use confmask::{EquivalenceMode, Params};
+use std::path::PathBuf;
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Anonymize a configuration directory.
+    Anonymize {
+        /// Input directory.
+        input: PathBuf,
+        /// Output directory (created if missing).
+        output: PathBuf,
+        /// Pipeline parameters.
+        params: Params,
+        /// Also run the PII add-on on the result.
+        pii: bool,
+    },
+    /// Simulate a configuration directory and report the data plane.
+    Simulate {
+        /// Input directory.
+        input: PathBuf,
+        /// Optional single traceroute (src host, dst host).
+        trace: Option<(String, String)>,
+    },
+    /// Summarize a configuration directory (topology + metrics).
+    Inspect {
+        /// Input directory.
+        input: PathBuf,
+    },
+    /// Write one of the evaluation networks to disk.
+    Generate {
+        /// Table 2 network id (`A`–`H`).
+        network: char,
+        /// Output directory.
+        output: PathBuf,
+    },
+    /// Print usage.
+    Help,
+}
+
+/// Argument parsing error with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+/// Usage text.
+pub const USAGE: &str = "\
+confmask — privacy-preserving network configuration sharing
+
+USAGE:
+  confmask anonymize --input <dir> --output <dir>
+                     [--k-r N] [--k-h N] [--noise P] [--seed N]
+                     [--fake-routers N]
+                     [--mode confmask|strawman1|strawman2] [--pii]
+  confmask simulate  --input <dir> [--trace <src> <dst>]
+  confmask inspect   --input <dir>
+  confmask generate  --network <A..H> --output <dir>
+  confmask help
+
+Directories contain routers/*.cfg and hosts/*.cfg.";
+
+fn take_value<'a>(
+    args: &mut impl Iterator<Item = &'a str>,
+    flag: &str,
+) -> Result<&'a str, ArgError> {
+    args.next()
+        .ok_or_else(|| ArgError(format!("{flag} requires a value")))
+}
+
+/// Parses `argv[1..]`.
+pub fn parse(argv: &[String]) -> Result<Command, ArgError> {
+    let mut it = argv.iter().map(String::as_str);
+    let sub = it.next().unwrap_or("help");
+    match sub {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "anonymize" => {
+            let mut input = None;
+            let mut output = None;
+            let mut params = Params::default();
+            let mut pii = false;
+            while let Some(flag) = it.next() {
+                match flag {
+                    "--input" => input = Some(PathBuf::from(take_value(&mut it, flag)?)),
+                    "--output" => output = Some(PathBuf::from(take_value(&mut it, flag)?)),
+                    "--k-r" => {
+                        params.k_r = take_value(&mut it, flag)?
+                            .parse()
+                            .map_err(|_| ArgError("--k-r expects an integer".into()))?
+                    }
+                    "--k-h" => {
+                        params.k_h = take_value(&mut it, flag)?
+                            .parse()
+                            .map_err(|_| ArgError("--k-h expects an integer".into()))?
+                    }
+                    "--noise" => {
+                        params.noise_p = take_value(&mut it, flag)?
+                            .parse()
+                            .map_err(|_| ArgError("--noise expects a float".into()))?
+                    }
+                    "--seed" => {
+                        params.seed = take_value(&mut it, flag)?
+                            .parse()
+                            .map_err(|_| ArgError("--seed expects an integer".into()))?
+                    }
+                    "--fake-routers" => {
+                        params.fake_routers = take_value(&mut it, flag)?
+                            .parse()
+                            .map_err(|_| ArgError("--fake-routers expects an integer".into()))?
+                    }
+                    "--mode" => {
+                        params.mode = match take_value(&mut it, flag)? {
+                            "confmask" => EquivalenceMode::ConfMask,
+                            "strawman1" => EquivalenceMode::Strawman1,
+                            "strawman2" => EquivalenceMode::Strawman2,
+                            other => {
+                                return Err(ArgError(format!("unknown mode '{other}'")))
+                            }
+                        }
+                    }
+                    "--pii" => pii = true,
+                    other => return Err(ArgError(format!("unknown flag '{other}'"))),
+                }
+            }
+            Ok(Command::Anonymize {
+                input: input.ok_or_else(|| ArgError("--input is required".into()))?,
+                output: output.ok_or_else(|| ArgError("--output is required".into()))?,
+                params,
+                pii,
+            })
+        }
+        "simulate" => {
+            let mut input = None;
+            let mut trace = None;
+            while let Some(flag) = it.next() {
+                match flag {
+                    "--input" => input = Some(PathBuf::from(take_value(&mut it, flag)?)),
+                    "--trace" => {
+                        let src = take_value(&mut it, flag)?.to_string();
+                        let dst = take_value(&mut it, flag)?.to_string();
+                        trace = Some((src, dst));
+                    }
+                    other => return Err(ArgError(format!("unknown flag '{other}'"))),
+                }
+            }
+            Ok(Command::Simulate {
+                input: input.ok_or_else(|| ArgError("--input is required".into()))?,
+                trace,
+            })
+        }
+        "inspect" => {
+            let mut input = None;
+            while let Some(flag) = it.next() {
+                match flag {
+                    "--input" => input = Some(PathBuf::from(take_value(&mut it, flag)?)),
+                    other => return Err(ArgError(format!("unknown flag '{other}'"))),
+                }
+            }
+            Ok(Command::Inspect {
+                input: input.ok_or_else(|| ArgError("--input is required".into()))?,
+            })
+        }
+        "generate" => {
+            let mut network = None;
+            let mut output = None;
+            while let Some(flag) = it.next() {
+                match flag {
+                    "--network" => {
+                        let v = take_value(&mut it, flag)?;
+                        let c = v.chars().next().unwrap_or(' ').to_ascii_uppercase();
+                        if !('A'..='H').contains(&c) || v.len() != 1 {
+                            return Err(ArgError(format!("--network expects A..H, got '{v}'")));
+                        }
+                        network = Some(c);
+                    }
+                    "--output" => output = Some(PathBuf::from(take_value(&mut it, flag)?)),
+                    other => return Err(ArgError(format!("unknown flag '{other}'"))),
+                }
+            }
+            Ok(Command::Generate {
+                network: network.ok_or_else(|| ArgError("--network is required".into()))?,
+                output: output.ok_or_else(|| ArgError("--output is required".into()))?,
+            })
+        }
+        other => Err(ArgError(format!("unknown subcommand '{other}'\n\n{USAGE}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(|w| w.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_anonymize_with_all_flags() {
+        let cmd = parse(&argv(
+            "anonymize --input in --output out --k-r 10 --k-h 4 --noise 0.2 --seed 7 --fake-routers 3 --mode strawman1 --pii",
+        ))
+        .unwrap();
+        match cmd {
+            Command::Anonymize {
+                input,
+                output,
+                params,
+                pii,
+            } => {
+                assert_eq!(input, PathBuf::from("in"));
+                assert_eq!(output, PathBuf::from("out"));
+                assert_eq!((params.k_r, params.k_h, params.seed), (10, 4, 7));
+                assert_eq!(params.fake_routers, 3);
+                assert!((params.noise_p - 0.2).abs() < 1e-12);
+                assert_eq!(params.mode, EquivalenceMode::Strawman1);
+                assert!(pii);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn anonymize_requires_io_flags() {
+        assert!(parse(&argv("anonymize --input in")).is_err());
+        assert!(parse(&argv("anonymize --output out")).is_err());
+    }
+
+    #[test]
+    fn parses_simulate_with_trace() {
+        let cmd = parse(&argv("simulate --input net --trace h1 h2")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Simulate {
+                input: PathBuf::from("net"),
+                trace: Some(("h1".into(), "h2".into())),
+            }
+        );
+    }
+
+    #[test]
+    fn parses_generate_and_validates_network() {
+        assert!(matches!(
+            parse(&argv("generate --network G --output o")).unwrap(),
+            Command::Generate { network: 'G', .. }
+        ));
+        assert!(parse(&argv("generate --network X --output o")).is_err());
+        assert!(parse(&argv("generate --network AB --output o")).is_err());
+    }
+
+    #[test]
+    fn unknown_flags_and_subcommands_error() {
+        assert!(parse(&argv("anonymize --frobnicate")).is_err());
+        assert!(parse(&argv("explode")).is_err());
+        assert_eq!(parse(&argv("help")).unwrap(), Command::Help);
+        assert_eq!(parse(&[]).unwrap(), Command::Help);
+    }
+}

@@ -1,0 +1,233 @@
+//! Subcommand implementations. Each returns its textual report so the
+//! logic is testable without capturing stdout.
+
+use crate::args::Command;
+use crate::io::{load_dir, store_dir};
+use confmask::pii::{apply_pii, PiiOptions};
+use confmask_topology::extract::extract_topology;
+use confmask_topology::metrics::{clustering_coefficient, min_same_degree};
+use std::fmt::Write as _;
+
+/// Runs a parsed command, returning the report to print.
+pub fn run(cmd: Command) -> Result<String, String> {
+    match cmd {
+        Command::Help => Ok(crate::args::USAGE.to_string()),
+        Command::Anonymize {
+            input,
+            output,
+            params,
+            pii,
+        } => {
+            let net = load_dir(&input).map_err(|e| e.to_string())?;
+            let result = confmask::anonymize(&net, &params).map_err(|e| e.to_string())?;
+            let mut report = String::new();
+            let _ = writeln!(
+                report,
+                "anonymized {} routers / {} hosts (k_R={}, k_H={}, seed={})",
+                net.routers.len(),
+                net.hosts.len(),
+                params.k_r,
+                params.k_h,
+                params.seed
+            );
+            let _ = writeln!(
+                report,
+                "  fake links: {}, fake hosts: {}, fake routers: {}, filters: {} lines",
+                result.fake_links.len(),
+                result.route_anon.fake_hosts.len(),
+                result.scale.fake_routers.len(),
+                result.ledger.filter_lines
+            );
+            let _ = writeln!(
+                report,
+                "  functional equivalence: {} | U_C = {:.3} | N_r avg = {:.2}",
+                result.functionally_equivalent(),
+                result.config_utility(),
+                result.route_anonymity().avg()
+            );
+            let final_configs = if pii {
+                let (shared, pii_report) = apply_pii(&result.configs, &PiiOptions::default());
+                let _ = writeln!(
+                    report,
+                    "  PII add-on: {} addresses rewritten, {} devices renamed, {} secrets scrubbed",
+                    pii_report.addresses_rewritten,
+                    pii_report.devices_renamed,
+                    pii_report.secrets_scrubbed
+                );
+                shared
+            } else {
+                result.configs
+            };
+            store_dir(&final_configs, &output).map_err(|e| e.to_string())?;
+            let _ = writeln!(report, "wrote {}", output.display());
+            Ok(report)
+        }
+        Command::Simulate { input, trace } => {
+            let net = load_dir(&input).map_err(|e| e.to_string())?;
+            let sim = confmask::simulate(&net).map_err(|e| e.to_string())?;
+            let mut report = String::new();
+            match trace {
+                Some((src, dst)) => {
+                    let ps = sim
+                        .dataplane
+                        .between(&src, &dst)
+                        .ok_or_else(|| format!("no such host pair {src} -> {dst}"))?;
+                    let _ = writeln!(report, "traceroute {src} -> {dst}:");
+                    for p in &ps.paths {
+                        let _ = writeln!(report, "  {}", p.join(" -> "));
+                    }
+                    if ps.blackhole {
+                        let _ = writeln!(report, "  (some branch black-holes)");
+                    }
+                    if ps.has_loop {
+                        let _ = writeln!(report, "  (some branch loops)");
+                    }
+                }
+                None => {
+                    let total = sim.dataplane.len();
+                    let clean = sim.dataplane.pairs().filter(|(_, ps)| ps.clean()).count();
+                    let blackholes =
+                        sim.dataplane.pairs().filter(|(_, ps)| ps.blackhole).count();
+                    let loops = sim.dataplane.pairs().filter(|(_, ps)| ps.has_loop).count();
+                    let _ = writeln!(
+                        report,
+                        "data plane: {total} host pairs — {clean} clean, {blackholes} with black holes, {loops} with loops"
+                    );
+                }
+            }
+            Ok(report)
+        }
+        Command::Inspect { input } => {
+            let net = load_dir(&input).map_err(|e| e.to_string())?;
+            let topo = extract_topology(&net);
+            let errors = confmask_config::validate(&net);
+            let mut report = String::new();
+            let _ = writeln!(
+                report,
+                "routers: {}  hosts: {}  links: {}  config lines: {}",
+                net.routers.len(),
+                net.hosts.len(),
+                topo.edge_count(),
+                net.total_lines()
+            );
+            let _ = writeln!(
+                report,
+                "k_d (min same-degree): {}  clustering coefficient: {:.3}",
+                min_same_degree(&topo),
+                clustering_coefficient(&topo)
+            );
+            if errors.is_empty() {
+                let _ = writeln!(report, "validation: clean");
+            } else {
+                let _ = writeln!(report, "validation: {} finding(s)", errors.len());
+                for e in errors.iter().take(10) {
+                    let _ = writeln!(report, "  - {e}");
+                }
+            }
+            Ok(report)
+        }
+        Command::Generate { network, output } => {
+            let suite = confmask_netgen::full_suite();
+            let net = suite
+                .iter()
+                .find(|n| n.id == network)
+                .ok_or_else(|| format!("no evaluation network '{network}'"))?;
+            store_dir(&net.configs, &output).map_err(|e| e.to_string())?;
+            Ok(format!(
+                "wrote net {} ({}) to {}\n",
+                net.id,
+                net.name,
+                output.display()
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use confmask::Params;
+    use std::path::PathBuf;
+
+    fn tmp(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("confmask-cmd-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn generate_inspect_anonymize_simulate_workflow() {
+        let src = tmp("wf-src");
+        let dst = tmp("wf-dst");
+
+        let out = run(Command::Generate {
+            network: 'A',
+            output: src.clone(),
+        })
+        .unwrap();
+        assert!(out.contains("Enterprise"));
+
+        let out = run(Command::Inspect { input: src.clone() }).unwrap();
+        assert!(out.contains("routers: 10"));
+        assert!(out.contains("validation: clean"));
+
+        let out = run(Command::Anonymize {
+            input: src.clone(),
+            output: dst.clone(),
+            params: Params::new(4, 2),
+            pii: true,
+        })
+        .unwrap();
+        assert!(out.contains("functional equivalence: true"));
+        assert!(out.contains("PII add-on"));
+
+        let out = run(Command::Simulate {
+            input: dst.clone(),
+            trace: None,
+        })
+        .unwrap();
+        assert!(out.contains("0 with black holes"), "{out}");
+        assert!(out.contains("0 with loops"), "{out}");
+
+        std::fs::remove_dir_all(&src).unwrap();
+        std::fs::remove_dir_all(&dst).unwrap();
+    }
+
+    #[test]
+    fn simulate_trace_prints_paths() {
+        let dir = tmp("trace");
+        run(Command::Generate {
+            network: 'A',
+            output: dir.clone(),
+        })
+        .unwrap();
+        let out = run(Command::Simulate {
+            input: dir.clone(),
+            trace: Some(("ha0".into(), "ha7".into())),
+        })
+        .unwrap();
+        assert!(out.contains("traceroute ha0 -> ha7"));
+        assert!(out.contains(" -> "), "{out}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn errors_are_reported_not_panicked() {
+        assert!(run(Command::Inspect {
+            input: PathBuf::from("/definitely/not/here"),
+        })
+        .is_err());
+        let dir = tmp("badtrace");
+        run(Command::Generate {
+            network: 'A',
+            output: dir.clone(),
+        })
+        .unwrap();
+        assert!(run(Command::Simulate {
+            input: dir.clone(),
+            trace: Some(("nope".into(), "also-nope".into())),
+        })
+        .is_err());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

@@ -1,0 +1,149 @@
+//! Loading and storing configuration directories.
+//!
+//! Layout: `<dir>/routers/*.cfg` and `<dir>/hosts/*.cfg` (hosts optional
+//! but a network without hosts has an empty data plane).
+
+use confmask_config::{parse_host, parse_router, NetworkConfigs};
+use std::fs;
+use std::io;
+use std::path::Path;
+
+/// Loads a configuration directory.
+pub fn load_dir(dir: &Path) -> io::Result<NetworkConfigs> {
+    let mut routers = Vec::new();
+    let mut hosts = Vec::new();
+
+    let routers_dir = dir.join("routers");
+    if !routers_dir.is_dir() {
+        return Err(io::Error::new(
+            io::ErrorKind::NotFound,
+            format!("{} has no routers/ subdirectory", dir.display()),
+        ));
+    }
+    for entry in sorted_cfg_files(&routers_dir)? {
+        let text = fs::read_to_string(&entry)?;
+        let rc = parse_router(&text).map_err(|e| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("{}: {e}", entry.display()),
+            )
+        })?;
+        routers.push(rc);
+    }
+
+    let hosts_dir = dir.join("hosts");
+    if hosts_dir.is_dir() {
+        for entry in sorted_cfg_files(&hosts_dir)? {
+            let text = fs::read_to_string(&entry)?;
+            let hc = parse_host(&text).map_err(|e| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("{}: {e}", entry.display()),
+                )
+            })?;
+            hosts.push(hc);
+        }
+    }
+
+    Ok(NetworkConfigs::new(routers, hosts))
+}
+
+/// Writes a network to a configuration directory (created if missing;
+/// refuses to write into a directory that already contains `routers/`).
+pub fn store_dir(net: &NetworkConfigs, dir: &Path) -> io::Result<()> {
+    let routers_dir = dir.join("routers");
+    if routers_dir.exists() {
+        return Err(io::Error::new(
+            io::ErrorKind::AlreadyExists,
+            format!("{} already exists — refusing to overwrite", routers_dir.display()),
+        ));
+    }
+    fs::create_dir_all(&routers_dir)?;
+    let hosts_dir = dir.join("hosts");
+    fs::create_dir_all(&hosts_dir)?;
+    for (name, rc) in &net.routers {
+        fs::write(routers_dir.join(format!("{}.cfg", sanitize(name))), rc.emit())?;
+    }
+    for (name, hc) in &net.hosts {
+        fs::write(hosts_dir.join(format!("{}.cfg", sanitize(name))), hc.emit())?;
+    }
+    Ok(())
+}
+
+/// File names come from hostnames; keep them filesystem-safe.
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_alphanumeric() || c == '-' || c == '_' || c == '.' { c } else { '_' })
+        .collect()
+}
+
+fn sorted_cfg_files(dir: &Path) -> io::Result<Vec<std::path::PathBuf>> {
+    let mut files: Vec<_> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok())
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "cfg"))
+        .collect();
+    files.sort();
+    Ok(files)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> std::path::PathBuf {
+        let d = std::env::temp_dir().join(format!(
+            "confmask-cli-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    #[test]
+    fn store_load_round_trip() {
+        let net = confmask_netgen::smallnets::example_network();
+        let dir = tmpdir("roundtrip");
+        store_dir(&net, &dir).unwrap();
+        let back = load_dir(&dir).unwrap();
+        assert_eq!(net, back);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn refuses_to_overwrite() {
+        let net = confmask_netgen::smallnets::example_network();
+        let dir = tmpdir("overwrite");
+        store_dir(&net, &dir).unwrap();
+        assert!(store_dir(&net, &dir).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_routers_dir_is_an_error() {
+        let dir = tmpdir("missing");
+        fs::create_dir_all(&dir).unwrap();
+        assert!(load_dir(&dir).is_err());
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bad_config_reports_file_name() {
+        let dir = tmpdir("badcfg");
+        fs::create_dir_all(dir.join("routers")).unwrap();
+        fs::write(
+            dir.join("routers/broken.cfg"),
+            "hostname x\n!\nrouter ospf 1\n garbage here\n",
+        )
+        .unwrap();
+        let err = load_dir(&dir).unwrap_err();
+        assert!(err.to_string().contains("broken.cfg"), "{err}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn sanitizes_hostnames() {
+        assert_eq!(sanitize("rtr/0:1"), "rtr_0_1");
+        assert_eq!(sanitize("plain-name_0.x"), "plain-name_0.x");
+    }
+}

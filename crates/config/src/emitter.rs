@@ -1,0 +1,246 @@
+//! Emission of configuration ASTs back to IOS-style text.
+//!
+//! The emitter and [`crate::parser`] round-trip: `parse(emit(cfg)) == cfg`
+//! (up to provenance flags, which are serialization-invisible — provenance is
+//! an in-memory audit trail, not part of the configuration language).
+
+use crate::ast::*;
+use confmask_net_types::Ipv4Prefix;
+use std::fmt::Write as _;
+
+const SEP: &str = "!";
+
+impl RouterConfig {
+    /// Renders the configuration to IOS-style text.
+    pub fn emit(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "hostname {}", self.hostname);
+        s.push_str(SEP);
+        s.push('\n');
+        for i in &self.interfaces {
+            emit_interface(&mut s, i);
+            s.push_str(SEP);
+            s.push('\n');
+        }
+        if let Some(o) = &self.ospf {
+            let _ = writeln!(s, "router ospf {}", o.process_id);
+            for n in &o.networks {
+                let _ = writeln!(
+                    s,
+                    " network {} {} area {}",
+                    n.prefix.network(),
+                    n.prefix.wildcard_mask(),
+                    n.area
+                );
+            }
+            for d in &o.distribute_lists {
+                emit_igp_distribute_list(&mut s, d);
+            }
+            s.push_str(SEP);
+            s.push('\n');
+        }
+        if let Some(r) = &self.rip {
+            s.push_str("router rip\n version 2\n");
+            for n in &r.networks {
+                let _ = writeln!(s, " network {} {}", n.prefix.network(), n.prefix.subnet_mask());
+            }
+            for d in &r.distribute_lists {
+                emit_igp_distribute_list(&mut s, d);
+            }
+            s.push_str(SEP);
+            s.push('\n');
+        }
+        if let Some(b) = &self.bgp {
+            let _ = writeln!(s, "router bgp {}", b.asn.0);
+            for n in &b.networks {
+                let _ = writeln!(
+                    s,
+                    " network {} mask {}",
+                    n.prefix.network(),
+                    n.prefix.subnet_mask()
+                );
+            }
+            for nb in &b.neighbors {
+                let _ = writeln!(s, " neighbor {} remote-as {}", nb.addr, nb.remote_as.0);
+                if let Some(pref) = nb.local_pref {
+                    let _ = writeln!(s, " neighbor {} local-preference {pref}", nb.addr);
+                }
+            }
+            for d in &b.distribute_lists {
+                if let DistributeListBinding::Neighbor { list, neighbor, .. } = d {
+                    let _ = writeln!(s, " neighbor {neighbor} distribute-list {list} in");
+                }
+            }
+            s.push_str(SEP);
+            s.push('\n');
+        }
+        for pl in &self.prefix_lists {
+            for e in &pl.entries {
+                let action = match e.action {
+                    FilterAction::Permit => "permit",
+                    FilterAction::Deny => "deny",
+                };
+                let _ = writeln!(s, "ip prefix-list {} seq {} {} {}", pl.name, e.seq, action, e.prefix);
+            }
+            if !pl.entries.is_empty() {
+                s.push_str(SEP);
+                s.push('\n');
+            }
+        }
+        for r in &self.static_routes {
+            let _ = writeln!(
+                s,
+                "ip route {} {} {}",
+                r.prefix.network(),
+                r.prefix.subnet_mask(),
+                r.next_hop
+            );
+        }
+        if !self.static_routes.is_empty() {
+            s.push_str(SEP);
+            s.push('\n');
+        }
+        for l in &self.extra_lines {
+            s.push_str(l);
+            s.push('\n');
+        }
+        s
+    }
+
+    /// Number of non-blank lines `emit` produces (the paper counts
+    /// configuration size in file lines).
+    pub fn emit_line_count(&self) -> usize {
+        self.emit().lines().filter(|l| !l.trim().is_empty()).count()
+    }
+}
+
+fn emit_interface(s: &mut String, i: &Interface) {
+    let _ = writeln!(s, "interface {}", i.name);
+    if let Some((addr, len)) = i.address {
+        let mask = Ipv4Prefix::new(addr, len).map(|p| p.subnet_mask());
+        if let Ok(mask) = mask {
+            let _ = writeln!(s, " ip address {addr} {mask}");
+        }
+    }
+    if let Some(c) = i.ospf_cost {
+        let _ = writeln!(s, " ip ospf cost {c}");
+    }
+    if let Some(d) = &i.description {
+        let _ = writeln!(s, " description {d}");
+    }
+    if i.shutdown {
+        s.push_str(" shutdown\n");
+    }
+    for l in &i.extra {
+        let _ = writeln!(s, " {l}");
+    }
+}
+
+fn emit_igp_distribute_list(s: &mut String, d: &DistributeListBinding) {
+    if let DistributeListBinding::Interface { list, interface, .. } = d {
+        let _ = writeln!(s, " distribute-list prefix {list} in {interface}");
+    }
+}
+
+impl HostConfig {
+    /// Renders the host configuration to text.
+    pub fn emit(&self) -> String {
+        let mut s = String::new();
+        let _ = writeln!(s, "hostname {}", self.hostname);
+        s.push_str(SEP);
+        s.push('\n');
+        let _ = writeln!(s, "interface {}", self.iface_name);
+        let (addr, len) = self.address;
+        if let Ok(p) = Ipv4Prefix::new(addr, len) {
+            let _ = writeln!(s, " ip address {} {}", addr, p.subnet_mask());
+        }
+        let _ = writeln!(s, " gateway {}", self.gateway);
+        for l in &self.extra {
+            let _ = writeln!(s, " {l}");
+        }
+        s.push_str(SEP);
+        s.push('\n');
+        s
+    }
+
+    /// Number of non-blank lines `emit` produces.
+    pub fn emit_line_count(&self) -> usize {
+        self.emit().lines().filter(|l| !l.trim().is_empty()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use confmask_net_types::Asn;
+
+    #[test]
+    fn emits_minimal_router() {
+        let rc = RouterConfig::new("r1");
+        let text = rc.emit();
+        assert!(text.starts_with("hostname r1\n!"));
+        assert_eq!(rc.emit_line_count(), 2);
+    }
+
+    #[test]
+    fn emits_interface_with_all_fields() {
+        let mut rc = RouterConfig::new("r1");
+        let mut i = Interface::new("Ethernet0/0", "10.0.0.0".parse().unwrap(), 31);
+        i.ospf_cost = Some(5);
+        i.description = Some("to-r2".into());
+        i.extra.push("traffic-policy mark inbound".into());
+        rc.interfaces.push(i);
+        let t = rc.emit();
+        assert!(t.contains("interface Ethernet0/0\n"));
+        assert!(t.contains(" ip address 10.0.0.0 255.255.255.254\n"));
+        assert!(t.contains(" ip ospf cost 5\n"));
+        assert!(t.contains(" description to-r2\n"));
+        assert!(t.contains(" traffic-policy mark inbound\n"));
+    }
+
+    #[test]
+    fn emits_bgp_block() {
+        let mut rc = RouterConfig::new("r1");
+        rc.bgp = Some(BgpConfig {
+            asn: Asn(65001),
+            networks: vec![NetworkStatement {
+                prefix: "10.1.0.0/24".parse().unwrap(),
+                area: 0,
+                added: false,
+            }],
+            neighbors: vec![BgpNeighbor {
+                addr: "10.0.0.1".parse().unwrap(),
+                remote_as: Asn(65002),
+                local_pref: None,
+                added: false,
+            }],
+            distribute_lists: vec![DistributeListBinding::Neighbor {
+                list: "RejPfxs".into(),
+                neighbor: "10.0.0.1".parse().unwrap(),
+                added: false,
+            }],
+        });
+        let t = rc.emit();
+        assert!(t.contains("router bgp 65001\n"));
+        assert!(t.contains(" network 10.1.0.0 mask 255.255.255.0\n"));
+        assert!(t.contains(" neighbor 10.0.0.1 remote-as 65002\n"));
+        assert!(t.contains(" neighbor 10.0.0.1 distribute-list RejPfxs in\n"));
+    }
+
+    #[test]
+    fn emits_host() {
+        let h = HostConfig {
+            hostname: "hA".into(),
+            iface_name: "eth0".into(),
+            address: ("10.1.0.100".parse().unwrap(), 24),
+            gateway: "10.1.0.1".parse().unwrap(),
+            extra: vec![],
+            added: false,
+        };
+        let t = h.emit();
+        assert!(t.contains("hostname hA\n"));
+        assert!(t.contains(" ip address 10.1.0.100 255.255.255.0\n"));
+        assert!(t.contains(" gateway 10.1.0.1\n"));
+        assert_eq!(h.emit_line_count(), 6);
+    }
+}

@@ -1,0 +1,39 @@
+//! Cisco-IOS-style network configuration model for ConfMask.
+//!
+//! This crate is the "configuration file" substrate of the reproduction. It
+//! provides:
+//!
+//! * an AST for router and host configurations ([`RouterConfig`],
+//!   [`HostConfig`], grouped into a [`NetworkConfigs`]),
+//! * a line-oriented parser ([`parse_router`], [`parse_host`]) and an emitter
+//!   that round-trips ([`RouterConfig::emit`]),
+//! * an **append-only patch layer** ([`patch`]) — the only way the rest of
+//!   the workspace is allowed to mutate configurations. ConfMask's strong
+//!   functional-equivalence conditions require that *no existing
+//!   configuration line is modified or deleted* (§5.2 of the paper); the
+//!   patch layer enforces that by construction and keeps an exact
+//!   [`patch::LineLedger`] of added lines per category (routing-protocol /
+//!   filter / interface / host lines), which is what Appendix C Table 3
+//!   reports.
+//!
+//! The dialect is deliberately a *subset* of classic IOS, with two documented
+//! simplifications: RIP `network` statements take an explicit mask (instead
+//! of classful addressing), and host gateway configuration uses a `gateway`
+//! line inside the interface block.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ast;
+mod emitter;
+mod parser;
+pub mod patch;
+mod validate;
+
+pub use ast::{
+    BgpConfig, BgpNeighbor, DistributeListBinding, FilterAction, HostConfig, Interface,
+    NetworkConfigs, NetworkStatement, OspfConfig, PrefixList, PrefixListEntry, Protocol,
+    RipConfig, RouterConfig, StaticRoute, DEFAULT_LOCAL_PREF, DEFAULT_OSPF_COST,
+};
+pub use parser::{parse_host, parse_router, ParseError};
+pub use validate::{validate, ValidationError};

@@ -1,0 +1,502 @@
+//! Line-oriented parser for the IOS-style dialect.
+//!
+//! The parser is a small state machine over stanzas separated by `!` lines,
+//! mirroring how real-world configuration anonymizers (NetConan, the original
+//! ConfMask prototype) process files. Unrecognized lines are preserved
+//! verbatim — in `Interface::extra` inside interface stanzas, or in
+//! `RouterConfig::extra_lines` at the top level — so emit∘parse is lossless
+//! even on files containing features the simulator does not model (e.g. the
+//! QoS policy in the paper's §2.3 case study).
+
+use crate::ast::*;
+use confmask_net_types::{Asn, Ipv4Addr, Ipv4Prefix};
+use std::fmt;
+
+/// Error produced when a configuration file cannot be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+type Result<T> = std::result::Result<T, ParseError>;
+
+fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: message.into(),
+    }
+}
+
+fn parse_addr(line: usize, s: &str) -> Result<Ipv4Addr> {
+    s.parse()
+        .map_err(|_| err(line, format!("bad IPv4 address '{s}'")))
+}
+
+enum Section {
+    TopLevel,
+    Interface(Interface),
+    Ospf(OspfConfig),
+    Rip(RipConfig),
+    Bgp(BgpConfig),
+}
+
+/// Parses a router configuration file.
+pub fn parse_router(text: &str) -> Result<RouterConfig> {
+    let mut cfg = RouterConfig::default();
+    let mut section = Section::TopLevel;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.trim_end();
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if trimmed == "!" {
+            flush(&mut cfg, std::mem::replace(&mut section, Section::TopLevel));
+            continue;
+        }
+
+        let indented = line.starts_with(' ');
+        if !indented {
+            // A new top-level statement implicitly closes the open stanza.
+            flush(&mut cfg, std::mem::replace(&mut section, Section::TopLevel));
+            section = parse_top_level(&mut cfg, lineno, trimmed)?;
+        } else {
+            parse_stanza_line(&mut section, &mut cfg, lineno, trimmed, line)?;
+        }
+    }
+    flush(&mut cfg, section);
+    Ok(cfg)
+}
+
+fn flush(cfg: &mut RouterConfig, section: Section) {
+    match section {
+        Section::TopLevel => {}
+        Section::Interface(i) => cfg.interfaces.push(i),
+        Section::Ospf(o) => cfg.ospf = Some(o),
+        Section::Rip(r) => cfg.rip = Some(r),
+        Section::Bgp(b) => cfg.bgp = Some(b),
+    }
+}
+
+fn parse_top_level(cfg: &mut RouterConfig, lineno: usize, t: &str) -> Result<Section> {
+    let words: Vec<&str> = t.split_whitespace().collect();
+    match words.as_slice() {
+        ["hostname", name] => {
+            cfg.hostname = (*name).to_string();
+            Ok(Section::TopLevel)
+        }
+        ["interface", name] => Ok(Section::Interface(Interface {
+            name: (*name).to_string(),
+            address: None,
+            ospf_cost: None,
+            description: None,
+            shutdown: false,
+            extra: Vec::new(),
+            added: false,
+        })),
+        ["router", "ospf", pid] => Ok(Section::Ospf(OspfConfig {
+            process_id: pid
+                .parse()
+                .map_err(|_| err(lineno, format!("bad OSPF process id '{pid}'")))?,
+            networks: Vec::new(),
+            distribute_lists: Vec::new(),
+        })),
+        ["router", "rip"] => Ok(Section::Rip(RipConfig {
+            networks: Vec::new(),
+            distribute_lists: Vec::new(),
+        })),
+        ["router", "bgp", asn] => Ok(Section::Bgp(BgpConfig {
+            asn: Asn(asn
+                .parse()
+                .map_err(|_| err(lineno, format!("bad ASN '{asn}'")))?),
+            networks: Vec::new(),
+            neighbors: Vec::new(),
+            distribute_lists: Vec::new(),
+        })),
+        ["ip", "route", net, mask, nh] => {
+            let net = parse_addr(lineno, net)?;
+            let mask = parse_addr(lineno, mask)?;
+            let len = Ipv4Prefix::len_from_mask(mask)
+                .map_err(|e| err(lineno, format!("bad mask: {e}")))?;
+            cfg.static_routes.push(StaticRoute {
+                prefix: Ipv4Prefix::new(net, len)
+                    .map_err(|e| err(lineno, format!("bad network: {e}")))?,
+                next_hop: parse_addr(lineno, nh)?,
+                added: false,
+            });
+            Ok(Section::TopLevel)
+        }
+        ["ip", "prefix-list", name, "seq", seq, action, prefix] => {
+            let action = match *action {
+                "permit" => FilterAction::Permit,
+                "deny" => FilterAction::Deny,
+                other => return Err(err(lineno, format!("bad prefix-list action '{other}'"))),
+            };
+            let entry = PrefixListEntry {
+                seq: seq
+                    .parse()
+                    .map_err(|_| err(lineno, format!("bad seq '{seq}'")))?,
+                action,
+                prefix: prefix
+                    .parse()
+                    .map_err(|e| err(lineno, format!("bad prefix: {e}")))?,
+                added: false,
+            };
+            match cfg.prefix_lists.iter_mut().find(|p| p.name == *name) {
+                Some(pl) => pl.entries.push(entry),
+                None => cfg.prefix_lists.push(PrefixList {
+                    name: (*name).to_string(),
+                    entries: vec![entry],
+                }),
+            }
+            Ok(Section::TopLevel)
+        }
+        _ => {
+            cfg.extra_lines.push(t.to_string());
+            Ok(Section::TopLevel)
+        }
+    }
+}
+
+fn parse_stanza_line(
+    section: &mut Section,
+    cfg: &mut RouterConfig,
+    lineno: usize,
+    t: &str,
+    raw_line: &str,
+) -> Result<()> {
+    let words: Vec<&str> = t.split_whitespace().collect();
+    match section {
+        Section::TopLevel => {
+            // Indented line outside any stanza: keep it verbatim
+            // (preserving its original indentation).
+            cfg.extra_lines.push(raw_line.to_string());
+            Ok(())
+        }
+        Section::Interface(i) => match words.as_slice() {
+            ["ip", "address", addr, mask] => {
+                let addr = parse_addr(lineno, addr)?;
+                let mask = parse_addr(lineno, mask)?;
+                let len = Ipv4Prefix::len_from_mask(mask)
+                    .map_err(|e| err(lineno, format!("bad mask: {e}")))?;
+                i.address = Some((addr, len));
+                Ok(())
+            }
+            ["ip", "ospf", "cost", c] => {
+                i.ospf_cost =
+                    Some(c.parse().map_err(|_| err(lineno, format!("bad cost '{c}'")))?);
+                Ok(())
+            }
+            ["shutdown"] => {
+                i.shutdown = true;
+                Ok(())
+            }
+            ["description", ..] => {
+                i.description = Some(t["description".len()..].trim().to_string());
+                Ok(())
+            }
+            _ => {
+                i.extra.push(t.to_string());
+                Ok(())
+            }
+        },
+        Section::Ospf(o) => match words.as_slice() {
+            ["network", addr, wildcard, "area", area] => {
+                let addr = parse_addr(lineno, addr)?;
+                let wildcard = parse_addr(lineno, wildcard)?;
+                let mask = Ipv4Addr::from(!u32::from(wildcard));
+                let len = Ipv4Prefix::len_from_mask(mask)
+                    .map_err(|e| err(lineno, format!("bad wildcard: {e}")))?;
+                o.networks.push(NetworkStatement {
+                    prefix: Ipv4Prefix::new(addr, len)
+                        .map_err(|e| err(lineno, format!("bad network: {e}")))?,
+                    area: area
+                        .parse()
+                        .map_err(|_| err(lineno, format!("bad area '{area}'")))?,
+                    added: false,
+                });
+                Ok(())
+            }
+            ["distribute-list", "prefix", list, "in", iface] => {
+                o.distribute_lists.push(DistributeListBinding::Interface {
+                    list: (*list).to_string(),
+                    interface: (*iface).to_string(),
+                    added: false,
+                });
+                Ok(())
+            }
+            _ => Err(err(lineno, format!("unrecognized OSPF line '{t}'"))),
+        },
+        Section::Rip(r) => match words.as_slice() {
+            ["version", _] => Ok(()),
+            ["network", addr, mask] => {
+                let addr = parse_addr(lineno, addr)?;
+                let mask = parse_addr(lineno, mask)?;
+                let len = Ipv4Prefix::len_from_mask(mask)
+                    .map_err(|e| err(lineno, format!("bad mask: {e}")))?;
+                r.networks.push(NetworkStatement {
+                    prefix: Ipv4Prefix::new(addr, len)
+                        .map_err(|e| err(lineno, format!("bad network: {e}")))?,
+                    area: 0,
+                    added: false,
+                });
+                Ok(())
+            }
+            ["distribute-list", "prefix", list, "in", iface] => {
+                r.distribute_lists.push(DistributeListBinding::Interface {
+                    list: (*list).to_string(),
+                    interface: (*iface).to_string(),
+                    added: false,
+                });
+                Ok(())
+            }
+            _ => Err(err(lineno, format!("unrecognized RIP line '{t}'"))),
+        },
+        Section::Bgp(b) => match words.as_slice() {
+            ["network", addr, "mask", mask] => {
+                let addr = parse_addr(lineno, addr)?;
+                let mask = parse_addr(lineno, mask)?;
+                let len = Ipv4Prefix::len_from_mask(mask)
+                    .map_err(|e| err(lineno, format!("bad mask: {e}")))?;
+                b.networks.push(NetworkStatement {
+                    prefix: Ipv4Prefix::new(addr, len)
+                        .map_err(|e| err(lineno, format!("bad network: {e}")))?,
+                    area: 0,
+                    added: false,
+                });
+                Ok(())
+            }
+            ["neighbor", addr, "remote-as", asn] => {
+                b.neighbors.push(BgpNeighbor {
+                    addr: parse_addr(lineno, addr)?,
+                    remote_as: Asn(asn
+                        .parse()
+                        .map_err(|_| err(lineno, format!("bad ASN '{asn}'")))?),
+                    local_pref: None,
+                    added: false,
+                });
+                Ok(())
+            }
+            ["neighbor", addr, "local-preference", pref] => {
+                let addr = parse_addr(lineno, addr)?;
+                let pref: u32 = pref
+                    .parse()
+                    .map_err(|_| err(lineno, format!("bad local-preference '{pref}'")))?;
+                match b.neighbors.iter_mut().find(|n| n.addr == addr) {
+                    Some(n) => {
+                        n.local_pref = Some(pref);
+                        Ok(())
+                    }
+                    None => Err(err(
+                        lineno,
+                        format!("local-preference for unknown neighbor {addr}"),
+                    )),
+                }
+            }
+            ["neighbor", addr, "distribute-list", list, "in"] => {
+                b.distribute_lists.push(DistributeListBinding::Neighbor {
+                    list: (*list).to_string(),
+                    neighbor: parse_addr(lineno, addr)?,
+                    added: false,
+                });
+                Ok(())
+            }
+            _ => Err(err(lineno, format!("unrecognized BGP line '{t}'"))),
+        },
+    }
+}
+
+/// Parses a host configuration file.
+pub fn parse_host(text: &str) -> Result<HostConfig> {
+    let mut hostname = None;
+    let mut iface_name = None;
+    let mut address = None;
+    let mut gateway = None;
+    let mut extra = Vec::new();
+
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let t = raw.trim();
+        if t.is_empty() || t == "!" {
+            continue;
+        }
+        let words: Vec<&str> = t.split_whitespace().collect();
+        match words.as_slice() {
+            ["hostname", n] => hostname = Some((*n).to_string()),
+            ["interface", n] => iface_name = Some((*n).to_string()),
+            ["ip", "address", a, m] => {
+                let a = parse_addr(lineno, a)?;
+                let m = parse_addr(lineno, m)?;
+                let len = Ipv4Prefix::len_from_mask(m)
+                    .map_err(|e| err(lineno, format!("bad mask: {e}")))?;
+                address = Some((a, len));
+            }
+            ["gateway", g] => gateway = Some(parse_addr(lineno, g)?),
+            _ => extra.push(t.to_string()),
+        }
+    }
+
+    Ok(HostConfig {
+        hostname: hostname.ok_or_else(|| err(0, "host config missing hostname"))?,
+        iface_name: iface_name.unwrap_or_else(|| "eth0".to_string()),
+        address: address.ok_or_else(|| err(0, "host config missing ip address"))?,
+        gateway: gateway.ok_or_else(|| err(0, "host config missing gateway"))?,
+        extra,
+        added: false,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_router() {
+        let text = "\
+hostname c2
+!
+interface GigabitEthernet1/0/13
+ ip address 10.25.17.25 255.255.255.254
+ ip ospf cost 3
+ description to-AGG3-1
+ traffic-policy mark_agg31_high_priority inbound
+!
+router ospf 1
+ network 10.25.17.24 0.0.0.1 area 0
+ distribute-list prefix RejPfxs in GigabitEthernet1/0/13
+!
+router bgp 20
+ network 10.25.0.0 mask 255.255.0.0
+ neighbor 10.25.17.24 remote-as 30
+ neighbor 10.25.17.24 distribute-list RejPfxs in
+!
+ip prefix-list RejPfxs seq 5 deny 10.9.0.0/24
+ip prefix-list RejPfxs seq 10 deny 10.9.1.0/24
+!
+traffic classifier is_mgmt_traffic
+";
+        let cfg = parse_router(text).unwrap();
+        assert_eq!(cfg.hostname, "c2");
+        assert_eq!(cfg.interfaces.len(), 1);
+        let i = &cfg.interfaces[0];
+        assert_eq!(i.name, "GigabitEthernet1/0/13");
+        assert_eq!(i.address, Some(("10.25.17.25".parse().unwrap(), 31)));
+        assert_eq!(i.ospf_cost, Some(3));
+        assert_eq!(i.description.as_deref(), Some("to-AGG3-1"));
+        assert_eq!(i.extra, vec!["traffic-policy mark_agg31_high_priority inbound"]);
+        let o = cfg.ospf.as_ref().unwrap();
+        assert_eq!(o.networks.len(), 1);
+        assert_eq!(o.networks[0].prefix, "10.25.17.24/31".parse().unwrap());
+        assert_eq!(o.distribute_lists.len(), 1);
+        let b = cfg.bgp.as_ref().unwrap();
+        assert_eq!(b.asn, Asn(20));
+        assert_eq!(b.neighbors.len(), 1);
+        assert_eq!(b.distribute_lists.len(), 1);
+        assert_eq!(cfg.prefix_lists.len(), 1);
+        assert_eq!(cfg.prefix_lists[0].entries.len(), 2);
+        assert_eq!(cfg.extra_lines, vec!["traffic classifier is_mgmt_traffic"]);
+    }
+
+    #[test]
+    fn emit_parse_roundtrip() {
+        let text = "\
+hostname r7
+!
+interface Ethernet0/0
+ ip address 10.0.0.2 255.255.255.254
+ ip ospf cost 1
+!
+interface Ethernet0/1
+ ip address 10.1.7.1 255.255.255.0
+!
+router ospf 1
+ network 10.0.0.2 0.0.0.1 area 0
+ network 10.1.7.0 0.0.0.255 area 0
+!
+";
+        let cfg = parse_router(text).unwrap();
+        let cfg2 = parse_router(&cfg.emit()).unwrap();
+        assert_eq!(cfg, cfg2);
+    }
+
+    #[test]
+    fn parses_rip() {
+        let text = "\
+hostname r1
+!
+router rip
+ version 2
+ network 10.0.0.0 255.255.255.254
+ distribute-list prefix F in Ethernet0/0
+!
+";
+        let cfg = parse_router(text).unwrap();
+        let r = cfg.rip.as_ref().unwrap();
+        assert_eq!(r.networks.len(), 1);
+        assert_eq!(r.distribute_lists.len(), 1);
+        let cfg2 = parse_router(&cfg.emit()).unwrap();
+        assert_eq!(cfg, cfg2);
+    }
+
+    #[test]
+    fn rejects_garbage_in_protocol_block() {
+        let text = "hostname r1\n!\nrouter ospf 1\n frobnicate\n!\n";
+        assert!(parse_router(text).is_err());
+    }
+
+    #[test]
+    fn reports_line_numbers() {
+        let text = "hostname r1\n!\ninterface Ethernet0/0\n ip address 999.0.0.1 255.255.255.0\n";
+        let e = parse_router(text).unwrap_err();
+        assert_eq!(e.line, 4);
+    }
+
+    #[test]
+    fn parses_host_roundtrip() {
+        let text = "hostname hA\n!\ninterface eth0\n ip address 10.1.0.100 255.255.255.0\n gateway 10.1.0.1\n!\n";
+        let h = parse_host(text).unwrap();
+        assert_eq!(h.hostname, "hA");
+        assert_eq!(h.address, ("10.1.0.100".parse().unwrap(), 24));
+        assert_eq!(h.gateway, "10.1.0.1".parse::<Ipv4Addr>().unwrap());
+        let h2 = parse_host(&h.emit()).unwrap();
+        assert_eq!(h, h2);
+    }
+
+    #[test]
+    fn host_missing_fields_is_error() {
+        assert!(parse_host("hostname h\n").is_err());
+        assert!(parse_host("interface eth0\n ip address 10.0.0.1 255.255.255.0\n gateway 10.0.0.2\n").is_err());
+    }
+
+    #[test]
+    fn parses_static_routes() {
+        let text = "hostname r1\n!\nip route 10.5.0.0 255.255.255.0 10.0.0.1\nip route 0.0.0.0 0.0.0.0 10.0.0.2\n!\n";
+        let cfg = parse_router(text).unwrap();
+        assert_eq!(cfg.static_routes.len(), 2);
+        assert_eq!(cfg.static_routes[0].prefix, "10.5.0.0/24".parse().unwrap());
+        assert_eq!(cfg.static_routes[0].next_hop, "10.0.0.1".parse::<Ipv4Addr>().unwrap());
+        assert_eq!(cfg.static_routes[1].prefix, "0.0.0.0/0".parse().unwrap());
+        let back = parse_router(&cfg.emit()).unwrap();
+        assert_eq!(cfg, back);
+    }
+
+    #[test]
+    fn unterminated_stanza_is_flushed() {
+        let text = "hostname r1\n!\ninterface Ethernet0/0\n ip address 10.0.0.1 255.255.255.0";
+        let cfg = parse_router(text).unwrap();
+        assert_eq!(cfg.interfaces.len(), 1);
+    }
+}

@@ -1,0 +1,690 @@
+//! Append-only configuration mutation.
+//!
+//! The [`Patcher`] is the *only* mutation interface the anonymization
+//! pipeline uses. Every operation strictly **adds** configuration — new
+//! interfaces, new `network` statements, new prefix-list entries, new
+//! distribute-list bindings, new hosts — and never touches an existing line.
+//! This enforces, by construction, the precondition of the paper's strong
+//! functional-equivalence conditions (§5.2: "we satisfy the first condition
+//! ... by ensuring that no existing configuration is modified or deleted").
+//!
+//! Each operation also records exactly how many configuration-file lines it
+//! appends, per category, in a [`LineLedger`] — the raw data behind the
+//! paper's configuration-utility metric `U_C = 1 − N_l / P_l` (§7.1) and the
+//! Appendix C Table 3 breakdown.
+
+use crate::ast::*;
+use confmask_net_types::{Asn, Ipv4Addr, Ipv4Prefix};
+
+/// Running count of configuration lines added per category.
+///
+/// Categories follow Appendix C Table 3: routing-protocol lines (`network`
+/// statements, `neighbor ... remote-as`), filter lines (prefix-list entries
+/// and distribute-list bindings), and interface lines. Fake-host
+/// configuration files are tracked separately since they are whole new
+/// files, not lines injected into existing ones.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct LineLedger {
+    /// Lines added inside `router ospf|rip|bgp` blocks.
+    pub protocol_lines: usize,
+    /// Prefix-list entries plus distribute-list bindings.
+    pub filter_lines: usize,
+    /// Lines added as interface stanzas on routers.
+    pub interface_lines: usize,
+    /// Lines in newly created fake-host configuration files.
+    pub host_lines: usize,
+    /// Lines in newly created fake-router configuration files
+    /// (network-scale obfuscation, §9).
+    pub router_lines: usize,
+}
+
+impl LineLedger {
+    /// Total lines injected by anonymization (the paper's `N_l`).
+    pub fn total_added(&self) -> usize {
+        self.protocol_lines
+            + self.filter_lines
+            + self.interface_lines
+            + self.host_lines
+            + self.router_lines
+    }
+
+    /// Component-wise sum of two ledgers.
+    pub fn merged(self, other: LineLedger) -> LineLedger {
+        LineLedger {
+            protocol_lines: self.protocol_lines + other.protocol_lines,
+            filter_lines: self.filter_lines + other.filter_lines,
+            interface_lines: self.interface_lines + other.interface_lines,
+            host_lines: self.host_lines + other.host_lines,
+            router_lines: self.router_lines + other.router_lines,
+        }
+    }
+}
+
+/// Errors from patch operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PatchError {
+    /// Referenced router hostname does not exist.
+    NoSuchRouter(String),
+    /// A host with this name already exists.
+    DuplicateHost(String),
+    /// A router with this name already exists.
+    DuplicateRouter(String),
+}
+
+impl std::fmt::Display for PatchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PatchError::NoSuchRouter(r) => write!(f, "no such router '{r}'"),
+            PatchError::DuplicateHost(h) => write!(f, "host '{h}' already exists"),
+            PatchError::DuplicateRouter(r) => write!(f, "router '{r}' already exists"),
+        }
+    }
+}
+
+impl std::error::Error for PatchError {}
+
+/// Append-only mutator over a [`NetworkConfigs`], with line accounting.
+#[derive(Debug, Clone)]
+pub struct Patcher {
+    net: NetworkConfigs,
+    ledger: LineLedger,
+}
+
+impl Patcher {
+    /// Wraps a network for patching.
+    pub fn new(net: NetworkConfigs) -> Self {
+        Self {
+            net,
+            ledger: LineLedger::default(),
+        }
+    }
+
+    /// Read access to the (partially patched) network.
+    pub fn network(&self) -> &NetworkConfigs {
+        &self.net
+    }
+
+    /// The line ledger so far.
+    pub fn ledger(&self) -> LineLedger {
+        self.ledger
+    }
+
+    /// Consumes the patcher, returning the patched network and the ledger.
+    pub fn into_parts(self) -> (NetworkConfigs, LineLedger) {
+        (self.net, self.ledger)
+    }
+
+    fn router_mut(&mut self, name: &str) -> Result<&mut RouterConfig, PatchError> {
+        self.net
+            .routers
+            .get_mut(name)
+            .ok_or_else(|| PatchError::NoSuchRouter(name.to_string()))
+    }
+
+    /// Generates a fresh interface name on `router`. Additions to *real*
+    /// routers use `Ethernet9/N` (a slot number real hardware would not
+    /// already use, so generated names can never collide with original
+    /// ones); on *fake* routers the whole file is new, so first-class
+    /// `Ethernet0/N` names are used to blend in.
+    pub fn fresh_iface_name(&self, router: &str) -> String {
+        let rc = self.net.routers.get(router);
+        let slot = if rc.map(|r| r.added).unwrap_or(false) {
+            "Ethernet0"
+        } else {
+            "Ethernet9"
+        };
+        let used: std::collections::HashSet<&str> = rc
+            .map(|r| r.interfaces.iter().map(|i| i.name.as_str()).collect())
+            .unwrap_or_default();
+        (0..)
+            .map(|n| format!("{slot}/{n}"))
+            .find(|c| !used.contains(c.as_str()))
+            .expect("unbounded iterator")
+    }
+
+    /// Adds an interface stanza to `router`. Returns the interface name.
+    ///
+    /// Counts `1 (interface) + 1 (ip address) [+1 cost] [+1 description]`
+    /// interface lines.
+    pub fn add_interface(
+        &mut self,
+        router: &str,
+        addr: Ipv4Addr,
+        len: u8,
+        ospf_cost: Option<u32>,
+        description: Option<String>,
+    ) -> Result<String, PatchError> {
+        let name = self.fresh_iface_name(router);
+        let mut lines = 2;
+        if ospf_cost.is_some() {
+            lines += 1;
+        }
+        if description.is_some() {
+            lines += 1;
+        }
+        let iface = Interface {
+            name: name.clone(),
+            address: Some((addr, len)),
+            ospf_cost,
+            description,
+            shutdown: false,
+            extra: Vec::new(),
+            added: true,
+        };
+        self.router_mut(router)?.interfaces.push(iface);
+        self.ledger.interface_lines += lines;
+        Ok(name)
+    }
+
+    /// Adds a `network` statement for `prefix` to the router's IGP (OSPF or
+    /// RIP — whichever the router runs) and, when the router runs BGP and
+    /// `and_bgp` is set, to its BGP block as well.
+    pub fn enable_network(
+        &mut self,
+        router: &str,
+        prefix: Ipv4Prefix,
+        and_bgp: bool,
+    ) -> Result<(), PatchError> {
+        let mut added = 0;
+        let rc = self.router_mut(router)?;
+        let stmt = NetworkStatement {
+            prefix,
+            area: 0,
+            added: true,
+        };
+        if let Some(o) = rc.ospf.as_mut() {
+            if !o.networks.iter().any(|n| n.prefix == prefix) {
+                o.networks.push(stmt.clone());
+                added += 1;
+            }
+        } else if let Some(r) = rc.rip.as_mut() {
+            if !r.networks.iter().any(|n| n.prefix == prefix) {
+                r.networks.push(stmt.clone());
+                added += 1;
+            }
+        }
+        if and_bgp {
+            if let Some(b) = rc.bgp.as_mut() {
+                if !b.networks.iter().any(|n| n.prefix == prefix) {
+                    b.networks.push(stmt);
+                    added += 1;
+                }
+            }
+        }
+        self.ledger.protocol_lines += added;
+        Ok(())
+    }
+
+    /// Adds an eBGP `neighbor` statement on `router` toward `peer_addr` in
+    /// `peer_as`.
+    pub fn add_bgp_neighbor(
+        &mut self,
+        router: &str,
+        peer_addr: Ipv4Addr,
+        peer_as: Asn,
+    ) -> Result<(), PatchError> {
+        let rc = self.router_mut(router)?;
+        if let Some(b) = rc.bgp.as_mut() {
+            if !b.neighbors.iter().any(|n| n.addr == peer_addr) {
+                b.neighbors.push(BgpNeighbor {
+                    addr: peer_addr,
+                    remote_as: peer_as,
+                    local_pref: None,
+                    added: true,
+                });
+                self.ledger.protocol_lines += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Ensures `list` on `router` contains a `deny prefix` entry.
+    /// Returns `true` if a new entry was appended.
+    pub fn ensure_deny_entry(
+        &mut self,
+        router: &str,
+        list: &str,
+        prefix: Ipv4Prefix,
+    ) -> Result<bool, PatchError> {
+        let rc = self.router_mut(router)?;
+        let pl = match rc.prefix_lists.iter_mut().find(|p| p.name == list) {
+            Some(pl) => pl,
+            None => {
+                rc.prefix_lists.push(PrefixList {
+                    name: list.to_string(),
+                    entries: Vec::new(),
+                });
+                rc.prefix_lists.last_mut().expect("just pushed")
+            }
+        };
+        if pl
+            .entries
+            .iter()
+            .any(|e| e.prefix == prefix && e.action == FilterAction::Deny)
+        {
+            return Ok(false);
+        }
+        let seq = pl.next_seq();
+        pl.entries.push(PrefixListEntry {
+            seq,
+            action: FilterAction::Deny,
+            prefix,
+            added: true,
+        });
+        self.ledger.filter_lines += 1;
+        Ok(true)
+    }
+
+    /// Removes a previously **added** deny entry (Algorithm 2 line 7 removes
+    /// filters that broke reachability). Only entries with `added == true`
+    /// may be removed — original configuration stays immutable.
+    ///
+    /// Returns `true` if an entry was removed.
+    pub fn remove_added_deny_entry(
+        &mut self,
+        router: &str,
+        list: &str,
+        prefix: Ipv4Prefix,
+    ) -> Result<bool, PatchError> {
+        let rc = self.router_mut(router)?;
+        let mut removed = 0;
+        let mut now_empty = false;
+        if let Some(pl) = rc.prefix_lists.iter_mut().find(|p| p.name == list) {
+            let before = pl.entries.len();
+            pl.entries
+                .retain(|e| !(e.added && e.prefix == prefix && e.action == FilterAction::Deny));
+            removed = before - pl.entries.len();
+            now_empty = pl.entries.is_empty();
+        }
+        if removed == 0 {
+            return Ok(false);
+        }
+        let mut unbound_total = 0usize;
+        if now_empty {
+            // An empty list emits no lines, so a binding to it would come
+            // back from text as a dangling reference. Drop the list and
+            // every *added* binding that referenced it.
+            rc.prefix_lists.retain(|p| p.name != list);
+            let mut unbound = 0;
+            let matches = |d: &DistributeListBinding| -> bool {
+                match d {
+                    DistributeListBinding::Interface { list: l, added, .. }
+                    | DistributeListBinding::Neighbor { list: l, added, .. } => {
+                        *added && l == list
+                    }
+                }
+            };
+            if let Some(o) = rc.ospf.as_mut() {
+                let before = o.distribute_lists.len();
+                o.distribute_lists.retain(|d| !matches(d));
+                unbound += before - o.distribute_lists.len();
+            }
+            if let Some(r) = rc.rip.as_mut() {
+                let before = r.distribute_lists.len();
+                r.distribute_lists.retain(|d| !matches(d));
+                unbound += before - r.distribute_lists.len();
+            }
+            if let Some(b) = rc.bgp.as_mut() {
+                let before = b.distribute_lists.len();
+                b.distribute_lists.retain(|d| !matches(d));
+                unbound += before - b.distribute_lists.len();
+            }
+            unbound_total = unbound;
+        }
+        self.ledger.filter_lines = self
+            .ledger
+            .filter_lines
+            .saturating_sub(removed + unbound_total);
+        Ok(true)
+    }
+
+    /// Binds `list` as an inbound IGP distribute-list on `interface` of
+    /// `router` (idempotent).
+    pub fn bind_igp_filter(
+        &mut self,
+        router: &str,
+        list: &str,
+        interface: &str,
+    ) -> Result<(), PatchError> {
+        let rc = self.router_mut(router)?;
+        let binding = DistributeListBinding::Interface {
+            list: list.to_string(),
+            interface: interface.to_string(),
+            added: true,
+        };
+        let matches = |d: &DistributeListBinding| match d {
+            DistributeListBinding::Interface {
+                list: l,
+                interface: i,
+                ..
+            } => l == list && i == interface,
+            _ => false,
+        };
+        let dls = if let Some(o) = rc.ospf.as_mut() {
+            &mut o.distribute_lists
+        } else if let Some(r) = rc.rip.as_mut() {
+            &mut r.distribute_lists
+        } else {
+            return Ok(());
+        };
+        if !dls.iter().any(matches) {
+            dls.push(binding);
+            self.ledger.filter_lines += 1;
+        }
+        Ok(())
+    }
+
+    /// Binds `list` as an inbound BGP distribute-list on the session with
+    /// `neighbor` (idempotent).
+    pub fn bind_bgp_filter(
+        &mut self,
+        router: &str,
+        list: &str,
+        neighbor: Ipv4Addr,
+    ) -> Result<(), PatchError> {
+        let rc = self.router_mut(router)?;
+        if let Some(b) = rc.bgp.as_mut() {
+            let exists = b.distribute_lists.iter().any(|d| match d {
+                DistributeListBinding::Neighbor {
+                    list: l,
+                    neighbor: n,
+                    ..
+                } => l == list && *n == neighbor,
+                _ => false,
+            });
+            if !exists {
+                b.distribute_lists.push(DistributeListBinding::Neighbor {
+                    list: list.to_string(),
+                    neighbor,
+                    added: true,
+                });
+                self.ledger.filter_lines += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Creates a whole fake router (network-scale obfuscation, §9): an
+    /// empty configuration carrying the same protocol blocks and
+    /// uninterpreted management lines as `template` (hostname substituted),
+    /// so the fake file blends in with the human-configured ones. Links and
+    /// networks are added afterwards with the ordinary patch operations.
+    pub fn add_fake_router(
+        &mut self,
+        hostname: &str,
+        template: &str,
+    ) -> Result<(), PatchError> {
+        if self.net.routers.contains_key(hostname) {
+            return Err(PatchError::DuplicateRouter(hostname.to_string()));
+        }
+        let template_rc = self
+            .net
+            .routers
+            .get(template)
+            .ok_or_else(|| PatchError::NoSuchRouter(template.to_string()))?;
+        let mut rc = RouterConfig::new(hostname);
+        rc.added = true;
+        if let Some(o) = &template_rc.ospf {
+            rc.ospf = Some(OspfConfig {
+                process_id: o.process_id,
+                networks: Vec::new(),
+                distribute_lists: Vec::new(),
+            });
+        }
+        if template_rc.rip.is_some() {
+            rc.rip = Some(RipConfig {
+                networks: Vec::new(),
+                distribute_lists: Vec::new(),
+            });
+        }
+        if let Some(b) = &template_rc.bgp {
+            rc.bgp = Some(BgpConfig {
+                asn: b.asn,
+                networks: Vec::new(),
+                neighbors: Vec::new(),
+                distribute_lists: Vec::new(),
+            });
+        }
+        rc.extra_lines = template_rc
+            .extra_lines
+            .iter()
+            .map(|l| l.replace(template, hostname))
+            .collect();
+        self.ledger.router_lines += rc.emit_line_count();
+        self.net.routers.insert(hostname.to_string(), rc);
+        Ok(())
+    }
+
+    /// Generates a normal-looking first-slot interface name on a *fake*
+    /// router (`Ethernet0/N`): fake routers' files must not use the
+    /// telltale `Ethernet9/…` scheme reserved for additions to real files.
+    pub fn fresh_fake_router_iface_name(&self, router: &str) -> String {
+        let used: std::collections::HashSet<String> = self
+            .net
+            .routers
+            .get(router)
+            .map(|r| r.interfaces.iter().map(|i| i.name.clone()).collect())
+            .unwrap_or_default();
+        (0..)
+            .map(|n| format!("Ethernet0/{n}"))
+            .find(|c| !used.contains(c))
+            .expect("unbounded iterator")
+    }
+
+    /// Adds an interface with an explicit name (used for fake routers,
+    /// whose whole file is new).
+    pub fn add_interface_named(
+        &mut self,
+        router: &str,
+        name: &str,
+        addr: Ipv4Addr,
+        len: u8,
+        ospf_cost: Option<u32>,
+        description: Option<String>,
+    ) -> Result<(), PatchError> {
+        let mut lines = 2;
+        if ospf_cost.is_some() {
+            lines += 1;
+        }
+        if description.is_some() {
+            lines += 1;
+        }
+        let iface = Interface {
+            name: name.to_string(),
+            address: Some((addr, len)),
+            ospf_cost,
+            description,
+            shutdown: false,
+            extra: Vec::new(),
+            added: true,
+        };
+        self.router_mut(router)?.interfaces.push(iface);
+        self.ledger.interface_lines += lines;
+        Ok(())
+    }
+
+    /// Creates a fake host attached to `router` on a fresh LAN `prefix`:
+    /// adds the router-side interface, enables the prefix in the router's
+    /// protocols, and creates the host configuration file.
+    ///
+    /// Returns the new host's hostname.
+    pub fn add_fake_host(
+        &mut self,
+        router: &str,
+        hostname: &str,
+        lan: Ipv4Prefix,
+        advertise_in_bgp: bool,
+    ) -> Result<(), PatchError> {
+        if self.net.hosts.contains_key(hostname) {
+            return Err(PatchError::DuplicateHost(hostname.to_string()));
+        }
+        let gw = lan.first_host();
+        let host_addr = lan.second_host();
+        self.add_interface(router, gw, lan.len(), None, None)?;
+        self.enable_network(router, lan, advertise_in_bgp)?;
+        let host = HostConfig {
+            hostname: hostname.to_string(),
+            iface_name: "eth0".to_string(),
+            address: (host_addr, lan.len()),
+            gateway: gw,
+            extra: Vec::new(),
+            added: true,
+        };
+        self.ledger.host_lines += host.emit_line_count();
+        self.net.hosts.insert(hostname.to_string(), host);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_router;
+
+    fn base_net() -> NetworkConfigs {
+        let r1 = parse_router(
+            "hostname r1\n!\ninterface Ethernet0/0\n ip address 10.0.0.0 255.255.255.254\n!\nrouter ospf 1\n network 10.0.0.0 0.0.0.1 area 0\n!\n",
+        )
+        .unwrap();
+        let r2 = parse_router(
+            "hostname r2\n!\ninterface Ethernet0/0\n ip address 10.0.0.1 255.255.255.254\n!\nrouter ospf 1\n network 10.0.0.0 0.0.0.1 area 0\n!\n",
+        )
+        .unwrap();
+        NetworkConfigs::new([r1, r2], [])
+    }
+
+    #[test]
+    fn add_interface_counts_lines() {
+        let mut p = Patcher::new(base_net());
+        let name = p
+            .add_interface("r1", "172.16.0.0".parse().unwrap(), 31, Some(5), Some("fake".into()))
+            .unwrap();
+        assert_eq!(name, "Ethernet9/0");
+        assert_eq!(p.ledger().interface_lines, 4);
+        assert!(p.network().routers["r1"].interface(&name).unwrap().added);
+    }
+
+    #[test]
+    fn fresh_names_do_not_collide() {
+        let mut p = Patcher::new(base_net());
+        let a = p
+            .add_interface("r1", "172.16.0.0".parse().unwrap(), 31, None, None)
+            .unwrap();
+        let b = p
+            .add_interface("r1", "172.16.0.2".parse().unwrap(), 31, None, None)
+            .unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn enable_network_is_idempotent() {
+        let mut p = Patcher::new(base_net());
+        let pref: Ipv4Prefix = "172.16.0.0/31".parse().unwrap();
+        p.enable_network("r1", pref, false).unwrap();
+        p.enable_network("r1", pref, false).unwrap();
+        assert_eq!(p.ledger().protocol_lines, 1);
+        assert_eq!(
+            p.network().routers["r1"].ospf.as_ref().unwrap().networks.len(),
+            2
+        );
+    }
+
+    #[test]
+    fn deny_entry_and_binding_count_filter_lines() {
+        let mut p = Patcher::new(base_net());
+        let pref: Ipv4Prefix = "10.9.0.0/24".parse().unwrap();
+        assert!(p.ensure_deny_entry("r1", "RejPfxs", pref).unwrap());
+        assert!(!p.ensure_deny_entry("r1", "RejPfxs", pref).unwrap());
+        p.bind_igp_filter("r1", "RejPfxs", "Ethernet0/0").unwrap();
+        p.bind_igp_filter("r1", "RejPfxs", "Ethernet0/0").unwrap();
+        assert_eq!(p.ledger().filter_lines, 2);
+    }
+
+    #[test]
+    fn remove_added_deny_entry_only_removes_added() {
+        let mut p = Patcher::new(base_net());
+        let pref: Ipv4Prefix = "10.9.0.0/24".parse().unwrap();
+        p.ensure_deny_entry("r1", "F", pref).unwrap();
+        assert!(p.remove_added_deny_entry("r1", "F", pref).unwrap());
+        assert!(!p.remove_added_deny_entry("r1", "F", pref).unwrap());
+        assert_eq!(p.ledger().filter_lines, 0);
+    }
+
+    #[test]
+    fn emptying_a_list_removes_it_and_its_bindings() {
+        let mut p = Patcher::new(base_net());
+        let pref: Ipv4Prefix = "10.9.0.0/24".parse().unwrap();
+        p.ensure_deny_entry("r1", "Rej-Ethernet0/0", pref).unwrap();
+        p.bind_igp_filter("r1", "Rej-Ethernet0/0", "Ethernet0/0").unwrap();
+        assert!(p.remove_added_deny_entry("r1", "Rej-Ethernet0/0", pref).unwrap());
+        let rc = &p.network().routers["r1"];
+        assert!(rc.prefix_list("Rej-Ethernet0/0").is_none(), "empty list dropped");
+        assert!(
+            rc.ospf.as_ref().unwrap().distribute_lists.is_empty(),
+            "binding dropped with the list"
+        );
+        assert_eq!(p.ledger().filter_lines, 0);
+        // The emitted file is consistent.
+        assert!(crate::validate(&p.network().clone()).is_empty());
+    }
+
+    #[test]
+    fn partial_removal_keeps_list_and_binding() {
+        let mut p = Patcher::new(base_net());
+        let a: Ipv4Prefix = "10.9.0.0/24".parse().unwrap();
+        let b: Ipv4Prefix = "10.9.1.0/24".parse().unwrap();
+        p.ensure_deny_entry("r1", "F", a).unwrap();
+        p.ensure_deny_entry("r1", "F", b).unwrap();
+        p.bind_igp_filter("r1", "F", "Ethernet0/0").unwrap();
+        assert!(p.remove_added_deny_entry("r1", "F", a).unwrap());
+        let rc = &p.network().routers["r1"];
+        assert_eq!(rc.prefix_list("F").unwrap().entries.len(), 1);
+        assert_eq!(rc.ospf.as_ref().unwrap().distribute_lists.len(), 1);
+    }
+
+    #[test]
+    fn fake_host_creates_router_iface_and_host_file() {
+        let mut p = Patcher::new(base_net());
+        let lan: Ipv4Prefix = "172.16.5.0/24".parse().unwrap();
+        p.add_fake_host("r1", "h1-fake0", lan, false).unwrap();
+        let net = p.network();
+        assert!(net.hosts.contains_key("h1-fake0"));
+        assert!(net.hosts["h1-fake0"].added);
+        assert_eq!(net.hosts["h1-fake0"].gateway, lan.first_host());
+        assert!(net.routers["r1"]
+            .interfaces
+            .iter()
+            .any(|i| i.prefix() == Some(lan)));
+        assert!(p.ledger().host_lines > 0);
+        // Duplicate rejected.
+        assert!(p.add_fake_host("r1", "h1-fake0", lan, false).is_err());
+    }
+
+    #[test]
+    fn unknown_router_is_an_error() {
+        let mut p = Patcher::new(base_net());
+        assert!(p
+            .add_interface("nope", "172.16.0.0".parse().unwrap(), 31, None, None)
+            .is_err());
+    }
+
+    #[test]
+    fn ledger_merge() {
+        let a = LineLedger {
+            protocol_lines: 1,
+            filter_lines: 2,
+            interface_lines: 3,
+            host_lines: 4,
+            router_lines: 5,
+        };
+        let b = LineLedger {
+            protocol_lines: 10,
+            filter_lines: 20,
+            interface_lines: 30,
+            host_lines: 40,
+            router_lines: 50,
+        };
+        let m = a.merged(b);
+        assert_eq!(m.total_added(), 165);
+    }
+}

@@ -1,0 +1,283 @@
+//! Structural validation of a network's configurations.
+//!
+//! Validation catches internally inconsistent networks before they reach the
+//! simulator: duplicate interface addresses, dangling distribute-list
+//! references, hosts whose gateway is not on their LAN, and so on. The
+//! anonymization pipeline validates both its input and its output — a
+//! regression guard that the patch layer only produces well-formed
+//! configurations.
+
+use crate::ast::*;
+use std::collections::HashMap;
+
+/// A single validation finding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidationError {
+    /// Two interfaces on one router share a name.
+    DuplicateInterfaceName {
+        /// Router hostname.
+        router: String,
+        /// Offending interface name.
+        interface: String,
+    },
+    /// The same interface address is configured twice in the network.
+    DuplicateAddress {
+        /// Dotted-quad address.
+        addr: String,
+        /// Devices carrying it.
+        devices: (String, String),
+    },
+    /// A distribute-list references a prefix list that does not exist.
+    UnknownPrefixList {
+        /// Router hostname.
+        router: String,
+        /// Missing list name.
+        list: String,
+    },
+    /// A distribute-list references an interface that does not exist.
+    UnknownInterface {
+        /// Router hostname.
+        router: String,
+        /// Missing interface name.
+        interface: String,
+    },
+    /// A BGP distribute-list references a neighbor with no session.
+    UnknownNeighbor {
+        /// Router hostname.
+        router: String,
+        /// Neighbor address with no `remote-as` statement.
+        neighbor: String,
+    },
+    /// A host's gateway is outside its own LAN prefix.
+    GatewayOffLan {
+        /// Host hostname.
+        host: String,
+    },
+    /// A host's gateway address is not configured on any router.
+    DanglingGateway {
+        /// Host hostname.
+        host: String,
+    },
+}
+
+impl std::fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ValidationError::DuplicateInterfaceName { router, interface } => {
+                write!(f, "{router}: duplicate interface name {interface}")
+            }
+            ValidationError::DuplicateAddress { addr, devices } => {
+                write!(f, "address {addr} configured on both {} and {}", devices.0, devices.1)
+            }
+            ValidationError::UnknownPrefixList { router, list } => {
+                write!(f, "{router}: distribute-list references unknown prefix-list {list}")
+            }
+            ValidationError::UnknownInterface { router, interface } => {
+                write!(f, "{router}: distribute-list references unknown interface {interface}")
+            }
+            ValidationError::UnknownNeighbor { router, neighbor } => {
+                write!(f, "{router}: distribute-list references unknown neighbor {neighbor}")
+            }
+            ValidationError::GatewayOffLan { host } => {
+                write!(f, "{host}: gateway is outside the host's LAN")
+            }
+            ValidationError::DanglingGateway { host } => {
+                write!(f, "{host}: gateway address not configured on any router")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Validates a network, returning every finding (empty = valid).
+pub fn validate(net: &NetworkConfigs) -> Vec<ValidationError> {
+    let mut errors = Vec::new();
+    let mut addr_owner: HashMap<std::net::Ipv4Addr, String> = HashMap::new();
+
+    for (name, rc) in &net.routers {
+        let mut seen = std::collections::HashSet::new();
+        for i in &rc.interfaces {
+            if !seen.insert(i.name.as_str()) {
+                errors.push(ValidationError::DuplicateInterfaceName {
+                    router: name.clone(),
+                    interface: i.name.clone(),
+                });
+            }
+            if let Some((addr, _)) = i.address {
+                if let Some(prev) = addr_owner.insert(addr, name.clone()) {
+                    errors.push(ValidationError::DuplicateAddress {
+                        addr: addr.to_string(),
+                        devices: (prev, name.clone()),
+                    });
+                }
+            }
+        }
+
+        let known_lists: std::collections::HashSet<&str> =
+            rc.prefix_lists.iter().map(|p| p.name.as_str()).collect();
+        let known_ifaces: std::collections::HashSet<&str> =
+            rc.interfaces.iter().map(|i| i.name.as_str()).collect();
+        let known_neighbors: std::collections::HashSet<std::net::Ipv4Addr> = rc
+            .bgp
+            .iter()
+            .flat_map(|b| b.neighbors.iter().map(|n| n.addr))
+            .collect();
+
+        let igp_bindings = rc
+            .ospf
+            .iter()
+            .flat_map(|o| o.distribute_lists.iter())
+            .chain(rc.rip.iter().flat_map(|r| r.distribute_lists.iter()));
+        for d in igp_bindings {
+            if let DistributeListBinding::Interface { list, interface, .. } = d {
+                if !known_lists.contains(list.as_str()) {
+                    errors.push(ValidationError::UnknownPrefixList {
+                        router: name.clone(),
+                        list: list.clone(),
+                    });
+                }
+                if !known_ifaces.contains(interface.as_str()) {
+                    errors.push(ValidationError::UnknownInterface {
+                        router: name.clone(),
+                        interface: interface.clone(),
+                    });
+                }
+            }
+        }
+        for d in rc.bgp.iter().flat_map(|b| b.distribute_lists.iter()) {
+            if let DistributeListBinding::Neighbor { list, neighbor, .. } = d {
+                if !known_lists.contains(list.as_str()) {
+                    errors.push(ValidationError::UnknownPrefixList {
+                        router: name.clone(),
+                        list: list.clone(),
+                    });
+                }
+                if !known_neighbors.contains(neighbor) {
+                    errors.push(ValidationError::UnknownNeighbor {
+                        router: name.clone(),
+                        neighbor: neighbor.to_string(),
+                    });
+                }
+            }
+        }
+    }
+
+    for (name, h) in &net.hosts {
+        match h.prefix() {
+            Some(lan) if lan.contains_addr(h.gateway) => {
+                let gw_exists = net.routers.values().any(|r| {
+                    r.interfaces
+                        .iter()
+                        .any(|i| i.address.map(|(a, _)| a) == Some(h.gateway))
+                });
+                if !gw_exists {
+                    errors.push(ValidationError::DanglingGateway { host: name.clone() });
+                }
+            }
+            _ => errors.push(ValidationError::GatewayOffLan { host: name.clone() }),
+        }
+        let (addr, _) = h.address;
+        if let Some(prev) = addr_owner.insert(addr, name.clone()) {
+            errors.push(ValidationError::DuplicateAddress {
+                addr: addr.to_string(),
+                devices: (prev, name.clone()),
+            });
+        }
+    }
+
+    errors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse_router;
+
+    fn two_router_net() -> NetworkConfigs {
+        let r1 = parse_router(
+            "hostname r1\n!\ninterface Ethernet0/0\n ip address 10.0.0.0 255.255.255.254\n!\ninterface Ethernet0/1\n ip address 10.1.0.1 255.255.255.0\n!\nrouter ospf 1\n network 10.0.0.0 0.0.0.1 area 0\n network 10.1.0.0 0.0.0.255 area 0\n!\n",
+        )
+        .unwrap();
+        let r2 = parse_router(
+            "hostname r2\n!\ninterface Ethernet0/0\n ip address 10.0.0.1 255.255.255.254\n!\nrouter ospf 1\n network 10.0.0.0 0.0.0.1 area 0\n!\n",
+        )
+        .unwrap();
+        let h = HostConfig {
+            hostname: "h1".into(),
+            iface_name: "eth0".into(),
+            address: ("10.1.0.100".parse().unwrap(), 24),
+            gateway: "10.1.0.1".parse().unwrap(),
+            extra: vec![],
+            added: false,
+        };
+        NetworkConfigs::new([r1, r2], [h])
+    }
+
+    #[test]
+    fn valid_network_has_no_findings() {
+        assert!(validate(&two_router_net()).is_empty());
+    }
+
+    #[test]
+    fn detects_duplicate_address() {
+        let mut net = two_router_net();
+        let dup = net.routers["r1"].interfaces[0].clone();
+        let r2 = net.routers.get_mut("r2").unwrap();
+        let mut dup2 = dup;
+        dup2.name = "Ethernet0/9".into();
+        r2.interfaces.push(dup2);
+        assert!(validate(&net)
+            .iter()
+            .any(|e| matches!(e, ValidationError::DuplicateAddress { .. })));
+    }
+
+    #[test]
+    fn detects_dangling_distribute_list() {
+        let mut net = two_router_net();
+        let r1 = net.routers.get_mut("r1").unwrap();
+        r1.ospf
+            .as_mut()
+            .unwrap()
+            .distribute_lists
+            .push(DistributeListBinding::Interface {
+                list: "NOPE".into(),
+                interface: "Ethernet0/0".into(),
+                added: false,
+            });
+        let errs = validate(&net);
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ValidationError::UnknownPrefixList { .. })));
+    }
+
+    #[test]
+    fn detects_gateway_off_lan() {
+        let mut net = two_router_net();
+        net.hosts.get_mut("h1").unwrap().gateway = "10.99.0.1".parse().unwrap();
+        assert!(validate(&net)
+            .iter()
+            .any(|e| matches!(e, ValidationError::GatewayOffLan { .. })));
+    }
+
+    #[test]
+    fn detects_dangling_gateway() {
+        let mut net = two_router_net();
+        net.hosts.get_mut("h1").unwrap().gateway = "10.1.0.2".parse().unwrap();
+        assert!(validate(&net)
+            .iter()
+            .any(|e| matches!(e, ValidationError::DanglingGateway { .. })));
+    }
+
+    #[test]
+    fn detects_duplicate_interface_name() {
+        let mut net = two_router_net();
+        let r1 = net.routers.get_mut("r1").unwrap();
+        let mut dup = r1.interfaces[0].clone();
+        dup.address = Some(("10.55.0.1".parse().unwrap(), 24));
+        r1.interfaces.push(dup);
+        assert!(validate(&net)
+            .iter()
+            .any(|e| matches!(e, ValidationError::DuplicateInterfaceName { .. })));
+    }
+}

@@ -1,0 +1,139 @@
+//! Property tests: the emitter and parser round-trip on arbitrary
+//! well-formed configurations.
+
+use confmask_config::*;
+use confmask_net_types::{Asn, Ipv4Prefix};
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+fn arb_name() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9-]{0,8}".prop_map(|s| s)
+}
+
+fn arb_prefix() -> impl Strategy<Value = Ipv4Prefix> {
+    (any::<u32>(), 8u8..=31).prop_map(|(bits, len)| {
+        Ipv4Prefix::new(Ipv4Addr::from(bits), len).expect("len <= 32")
+    })
+}
+
+fn arb_interface(n: usize) -> impl Strategy<Value = Interface> {
+    (
+        arb_prefix(),
+        proptest::option::of(1u32..1000),
+        proptest::option::of("[a-zA-Z0-9_-]{1,12}"),
+        any::<bool>(),
+    )
+        .prop_map(move |(p, cost, desc, shutdown)| Interface {
+            name: format!("Ethernet0/{n}"),
+            address: Some((p.first_host(), p.len())),
+            ospf_cost: cost,
+            description: desc,
+            shutdown,
+            extra: vec![],
+            added: false,
+        })
+}
+
+fn arb_router() -> impl Strategy<Value = RouterConfig> {
+    (
+        arb_name(),
+        prop::collection::vec(arb_prefix(), 0..4),
+        prop::collection::vec(arb_prefix(), 0..3),
+        proptest::option::of((1u32..65000, arb_prefix())),
+    )
+        .prop_map(|(hostname, ifaces, ospf_nets, bgp)| {
+            let interfaces: Vec<Interface> = ifaces
+                .iter()
+                .enumerate()
+                .map(|(n, p)| Interface::new(format!("Ethernet0/{n}"), p.first_host(), p.len()))
+                .collect();
+            let ospf = Some(OspfConfig {
+                process_id: 1,
+                networks: ospf_nets
+                    .into_iter()
+                    .map(|p| NetworkStatement {
+                        prefix: p,
+                        area: 0,
+                        added: false,
+                    })
+                    .collect(),
+                distribute_lists: vec![],
+            });
+            let bgp = bgp.map(|(asn, p)| BgpConfig {
+                asn: Asn(asn),
+                networks: vec![NetworkStatement {
+                    prefix: p,
+                    area: 0,
+                    added: false,
+                }],
+                neighbors: vec![],
+                distribute_lists: vec![],
+            });
+            RouterConfig {
+                hostname,
+                added: false,
+                interfaces,
+                ospf,
+                rip: None,
+                bgp,
+                prefix_lists: vec![],
+                static_routes: vec![],
+                extra_lines: vec![],
+            }
+        })
+}
+
+proptest! {
+    #[test]
+    fn router_roundtrip(rc in arb_router()) {
+        let text = rc.emit();
+        let back = parse_router(&text).unwrap();
+        prop_assert_eq!(rc, back);
+    }
+
+    #[test]
+    fn single_interface_roundtrip(i in arb_interface(0)) {
+        let rc = RouterConfig {
+            hostname: "r".into(),
+            added: false,
+            interfaces: vec![i],
+            ospf: None,
+            rip: None,
+            bgp: None,
+            prefix_lists: vec![],
+            static_routes: vec![],
+            extra_lines: vec![],
+        };
+        let back = parse_router(&rc.emit()).unwrap();
+        prop_assert_eq!(rc, back);
+    }
+
+    #[test]
+    fn line_count_matches_emitted_text(rc in arb_router()) {
+        let text = rc.emit();
+        let nonblank = text.lines().filter(|l| !l.trim().is_empty()).count();
+        prop_assert_eq!(rc.emit_line_count(), nonblank);
+    }
+
+    #[test]
+    fn prefix_list_entries_roundtrip(
+        prefixes in prop::collection::vec(arb_prefix(), 1..6)
+    ) {
+        let mut rc = RouterConfig::new("r1");
+        rc.prefix_lists.push(PrefixList {
+            name: "RejPfxs".into(),
+            entries: prefixes
+                .iter()
+                .enumerate()
+                .map(|(i, p)| PrefixListEntry {
+                    seq: (i as u32 + 1) * 5,
+                    action: if i % 2 == 0 { FilterAction::Deny } else { FilterAction::Permit },
+                    prefix: *p,
+                    added: false,
+                })
+                .collect(),
+        });
+        let back = parse_router(&rc.emit()).unwrap();
+        prop_assert_eq!(rc, back);
+    }
+}

@@ -1,0 +1,63 @@
+//! Pipeline error type.
+
+use std::fmt;
+
+/// Errors from the anonymization pipeline.
+#[derive(Debug)]
+pub enum Error {
+    /// The input network failed simulation.
+    Sim(confmask_sim::SimError),
+    /// A patch operation failed (internal invariant violation).
+    Patch(confmask_config::patch::PatchError),
+    /// Topology anonymization could not realize a k-anonymous degree
+    /// sequence.
+    Topology(confmask_topology::kdegree::KDegreeError),
+    /// The route-equivalence loop did not converge within its bound
+    /// (§5.4 bounds iterations by the number of fake edges).
+    EquivalenceDiverged {
+        /// Iterations executed.
+        iterations: usize,
+    },
+    /// The pipeline finished but the output is not functionally equivalent
+    /// to the input (this indicates a bug and is checked defensively).
+    EquivalenceViolated(String),
+    /// The input network is invalid.
+    InvalidInput(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Sim(e) => write!(f, "simulation failed: {e}"),
+            Error::Patch(e) => write!(f, "configuration patch failed: {e}"),
+            Error::Topology(e) => write!(f, "topology anonymization failed: {e}"),
+            Error::EquivalenceDiverged { iterations } => {
+                write!(f, "route equivalence did not converge after {iterations} iterations")
+            }
+            Error::EquivalenceViolated(m) => {
+                write!(f, "functional equivalence violated: {m}")
+            }
+            Error::InvalidInput(m) => write!(f, "invalid input network: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<confmask_sim::SimError> for Error {
+    fn from(e: confmask_sim::SimError) -> Self {
+        Error::Sim(e)
+    }
+}
+
+impl From<confmask_config::patch::PatchError> for Error {
+    fn from(e: confmask_config::patch::PatchError) -> Self {
+        Error::Patch(e)
+    }
+}
+
+impl From<confmask_topology::kdegree::KDegreeError> for Error {
+    fn from(e: confmask_topology::kdegree::KDegreeError) -> Self {
+        Error::Topology(e)
+    }
+}

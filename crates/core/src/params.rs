@@ -1,0 +1,119 @@
+//! Anonymization parameters.
+
+/// Which route-equivalence algorithm to run (ConfMask vs the §4.3
+/// strawman baselines, compared in Figures 10 and 16).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
+pub enum EquivalenceMode {
+    /// Algorithm 1: per-iteration scan of *all* routing-table entries,
+    /// filtering wrong next-hops on fake links.
+    ConfMask,
+    /// Strawman 1: deny every original host prefix on every fake
+    /// interface/session, in one shot. Fast but leaves a unified,
+    /// de-anonymizable pattern.
+    Strawman1,
+    /// Strawman 2: traceroute-driven — fix only the first wrong hop of each
+    /// divergent host pair per iteration. Correct but slow.
+    Strawman2,
+}
+
+/// How OSPF costs are assigned to fake links — the §3.2 design-choice
+/// ablation. The paper's strawman discussion shows why only the
+/// min-cost strategy works: default costs *migrate* traffic (breaking
+/// route equivalence), large costs leave fake links conspicuously dead,
+/// and matching the original minimum cost creates equal-cost candidates
+/// that filters can prune while fake-host traffic still exercises them.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
+pub enum CostStrategy {
+    /// Figure 2b: enable OSPF with the default interface cost.
+    DefaultCost,
+    /// Figure 2c: a prohibitively large cost (65535).
+    LargeCost,
+    /// Figure 2d + filters (ConfMask): match the original minimum path
+    /// cost between the endpoints.
+    MinCost,
+}
+
+/// Tunable parameters of the pipeline.
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
+pub struct Params {
+    /// Topology anonymity parameter `k_R` (Definition 3.1). Default 6,
+    /// the paper's default setting.
+    pub k_r: usize,
+    /// Route anonymity parameter `k_H`: number of hosts (original + fakes)
+    /// per real host. Default 2 (one fake per real host).
+    pub k_h: usize,
+    /// Noise coefficient `p` of Algorithm 2. Default 0.1 (the paper's
+    /// evaluation setting).
+    pub noise_p: f64,
+    /// RNG seed: the entire pipeline is deterministic given the seed.
+    pub seed: u64,
+    /// Route-equivalence algorithm.
+    pub mode: EquivalenceMode,
+    /// Fake-link cost assignment (ablation knob; keep the default).
+    pub cost_strategy: CostStrategy,
+    /// Number of fake routers to add (network-scale obfuscation, §9).
+    /// Default 0 — the paper's core pipeline never alters `|R|`.
+    pub fake_routers: usize,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Self {
+            k_r: 6,
+            k_h: 2,
+            noise_p: 0.1,
+            seed: 0,
+            mode: EquivalenceMode::ConfMask,
+            cost_strategy: CostStrategy::MinCost,
+            fake_routers: 0,
+        }
+    }
+}
+
+impl Params {
+    /// Convenience constructor for the common sweep axes.
+    pub fn new(k_r: usize, k_h: usize) -> Self {
+        Self {
+            k_r,
+            k_h,
+            ..Self::default()
+        }
+    }
+
+    /// Returns a copy with the given seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Returns a copy with the given equivalence mode.
+    pub fn with_mode(mut self, mode: EquivalenceMode) -> Self {
+        self.mode = mode;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_settings() {
+        let p = Params::default();
+        assert_eq!(p.k_r, 6);
+        assert_eq!(p.k_h, 2);
+        assert!((p.noise_p - 0.1).abs() < 1e-12);
+        assert_eq!(p.mode, EquivalenceMode::ConfMask);
+    }
+
+    #[test]
+    fn builders() {
+        let p = Params::new(10, 4).with_seed(7).with_mode(EquivalenceMode::Strawman1);
+        assert_eq!((p.k_r, p.k_h, p.seed), (10, 4, 7));
+        assert_eq!(p.mode, EquivalenceMode::Strawman1);
+    }
+}

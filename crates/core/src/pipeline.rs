@@ -1,0 +1,276 @@
+//! The end-to-end anonymization pipeline (Figure 3).
+
+use crate::equivalence::{check_equivalence, EquivalenceReport};
+use crate::metrics;
+use crate::preprocess::{preprocess, Baseline};
+use crate::route_anon::{anonymize_routes, RouteAnonOutcome};
+use crate::route_equiv::{enforce_route_equivalence, EquivOutcome};
+use crate::scale::{obfuscate_scale, ScaleOutcome};
+use crate::strawman::{strawman1, strawman2};
+use crate::topo_anon::{anonymize_topology_with, FakeLink};
+use crate::{Error, EquivalenceMode, Params};
+use confmask_config::patch::{LineLedger, Patcher};
+use confmask_config::NetworkConfigs;
+use confmask_net_types::PrefixAllocator;
+use confmask_sim::{simulate, Simulation};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::{Duration, Instant};
+
+/// Wall-clock duration of each pipeline stage (Figure 16's breakdown).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct StageTimings {
+    /// Preprocessing (baseline simulation).
+    pub preprocess: Duration,
+    /// Step 1 — topology anonymization.
+    pub topology: Duration,
+    /// Step 2.1 — route equivalence.
+    pub route_equiv: Duration,
+    /// Step 2.2 — route anonymization.
+    pub route_anon: Duration,
+    /// Final verification simulation + equivalence check.
+    pub verify: Duration,
+}
+
+impl StageTimings {
+    /// End-to-end duration.
+    pub fn total(&self) -> Duration {
+        self.preprocess + self.topology + self.route_equiv + self.route_anon + self.verify
+    }
+}
+
+/// The result of anonymizing a network.
+#[derive(Debug, Clone)]
+pub struct Anonymized {
+    /// The anonymized configurations — what the owner would share.
+    pub configs: NetworkConfigs,
+    /// Added-lines accounting (Table 3 / `U_C`).
+    pub ledger: LineLedger,
+    /// The original network's baseline (simulation + topology).
+    pub baseline: Baseline,
+    /// Full simulation of the anonymized network.
+    pub final_sim: Simulation,
+    /// Fake links added by topology anonymization.
+    pub fake_links: Vec<FakeLink>,
+    /// Scale-obfuscation outcome (fake routers; empty unless
+    /// `Params::fake_routers > 0`).
+    pub scale: ScaleOutcome,
+    /// Route-equivalence stage statistics.
+    pub equiv: EquivOutcome,
+    /// Route-anonymization stage statistics.
+    pub route_anon: RouteAnonOutcome,
+    /// The defensive functional-equivalence report.
+    pub equivalence: EquivalenceReport,
+    /// Per-stage wall-clock timings.
+    pub timings: StageTimings,
+    /// Parameters used.
+    pub params: Params,
+}
+
+impl Anonymized {
+    /// Whether functional equivalence (Definition 3.3) holds — it must,
+    /// for every successful run.
+    pub fn functionally_equivalent(&self) -> bool {
+        self.equivalence.holds()
+    }
+
+    /// Configuration utility `U_C` (§7.1).
+    pub fn config_utility(&self) -> f64 {
+        metrics::config_utility(self.configs.total_lines(), self.ledger.total_added())
+    }
+
+    /// Route anonymity `N_r` of the anonymized network (Figure 5).
+    pub fn route_anonymity(&self) -> metrics::RouteAnonymity {
+        metrics::route_anonymity(&self.final_sim.dataplane)
+    }
+
+    /// Route utility `P_U` (Figure 8) — 1.0 whenever equivalence holds.
+    pub fn path_preservation(&self) -> f64 {
+        metrics::path_preservation(
+            &self.baseline.sim.dataplane,
+            &self.final_sim.dataplane,
+            &self.baseline.real_hosts,
+        )
+    }
+}
+
+/// Runs the full ConfMask pipeline on `configs`.
+///
+/// The output is guaranteed functionally equivalent to the input — the
+/// pipeline verifies this defensively and returns
+/// [`Error::EquivalenceViolated`] rather than an unusable result.
+pub fn anonymize(configs: &NetworkConfigs, params: &Params) -> Result<Anonymized, Error> {
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let mut timings = StageTimings::default();
+
+    // Preprocess (Figure 3 stage 0).
+    let t0 = Instant::now();
+    let baseline = preprocess(configs)?;
+    timings.preprocess = t0.elapsed();
+
+    let mut patcher = Patcher::new(configs.clone());
+    let mut alloc = PrefixAllocator::new(configs.used_prefixes());
+
+    // Step 0.5 — optional network-scale obfuscation (§9 extension): fake
+    // routers join the graph before the k-degree plan is computed.
+    let t1 = Instant::now();
+    let scale = obfuscate_scale(
+        &mut patcher,
+        &mut alloc,
+        &baseline,
+        params.fake_routers,
+        &mut rng,
+    )?;
+
+    // Step 1 — topology anonymization.
+    let fake_links = anonymize_topology_with(
+        &mut patcher,
+        &mut alloc,
+        &baseline,
+        params.k_r,
+        params.cost_strategy,
+        &mut rng,
+    )?;
+    timings.topology = t1.elapsed();
+
+    // Step 2.1 — route equivalence.
+    let t2 = Instant::now();
+    let equiv = match params.mode {
+        EquivalenceMode::ConfMask => {
+            enforce_route_equivalence(&mut patcher, &baseline, fake_links.len())?
+        }
+        EquivalenceMode::Strawman1 => strawman1(&mut patcher, &baseline, &fake_links)?,
+        EquivalenceMode::Strawman2 => strawman2(&mut patcher, &baseline, &fake_links)?,
+    };
+    timings.route_equiv = t2.elapsed();
+
+    // Step 2.2 — route anonymization.
+    let t3 = Instant::now();
+    let route_anon = anonymize_routes(
+        &mut patcher,
+        &mut alloc,
+        &baseline,
+        params.k_h,
+        params.noise_p,
+        &mut rng,
+    )?;
+    timings.route_anon = t3.elapsed();
+
+    // Verify.
+    let t4 = Instant::now();
+    let (anon_configs, ledger) = patcher.into_parts();
+    let final_sim = simulate(&anon_configs)?;
+    let equivalence = check_equivalence(
+        configs,
+        &baseline.sim.dataplane,
+        &anon_configs,
+        &final_sim.dataplane,
+    );
+    timings.verify = t4.elapsed();
+
+    if !equivalence.holds() {
+        return Err(Error::EquivalenceViolated(
+            equivalence
+                .violations
+                .first()
+                .cloned()
+                .unwrap_or_else(|| "unknown".to_string()),
+        ));
+    }
+
+    Ok(Anonymized {
+        configs: anon_configs,
+        ledger,
+        baseline,
+        final_sim,
+        fake_links,
+        scale,
+        equiv,
+        route_anon,
+        equivalence,
+        timings,
+        params: params.clone(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::EquivalenceMode;
+    use confmask_netgen::smallnets::example_network;
+    use confmask_topology::extract::extract_topology;
+    use confmask_topology::metrics::min_same_degree;
+
+    #[test]
+    fn end_to_end_example_network() {
+        let net = example_network();
+        let result = anonymize(&net, &Params::new(3, 2)).unwrap();
+        assert!(result.functionally_equivalent());
+        assert!((result.path_preservation() - 1.0).abs() < 1e-12);
+        let topo = extract_topology(&result.configs);
+        assert!(min_same_degree(&topo) >= 3);
+        // Fake hosts exist and are provenance-flagged.
+        assert_eq!(result.route_anon.fake_hosts.len(), 3);
+        // The ledger accounts for every category.
+        assert!(result.ledger.interface_lines > 0);
+        assert!(result.ledger.host_lines > 0);
+        assert!(result.config_utility() < 1.0);
+    }
+
+    #[test]
+    fn all_modes_preserve_equivalence() {
+        let net = example_network();
+        for mode in [
+            EquivalenceMode::ConfMask,
+            EquivalenceMode::Strawman1,
+            EquivalenceMode::Strawman2,
+        ] {
+            let result =
+                anonymize(&net, &Params::new(3, 2).with_mode(mode)).unwrap();
+            assert!(
+                result.functionally_equivalent(),
+                "{mode:?}: {:?}",
+                result.equivalence.violations
+            );
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let net = example_network();
+        let a = anonymize(&net, &Params::new(3, 2).with_seed(9)).unwrap();
+        let b = anonymize(&net, &Params::new(3, 2).with_seed(9)).unwrap();
+        assert_eq!(a.configs, b.configs);
+    }
+
+    #[test]
+    fn anonymized_configs_emit_and_reparse() {
+        let net = example_network();
+        let result = anonymize(&net, &Params::new(3, 2)).unwrap();
+        for rc in result.configs.routers.values() {
+            let text = rc.emit();
+            let back = confmask_config::parse_router(&text).unwrap();
+            // Round-trip modulo provenance flags (not serialized).
+            assert_eq!(back.hostname, rc.hostname);
+            assert_eq!(back.interfaces.len(), rc.interfaces.len());
+        }
+        assert!(confmask_config::validate(&result.configs).is_empty());
+    }
+
+    #[test]
+    fn route_anonymity_improves_with_fakes() {
+        let net = example_network();
+        let before = metrics_route_avg(&net);
+        let result = anonymize(&net, &Params::new(3, 4)).unwrap();
+        let after = result.route_anonymity().avg();
+        assert!(
+            after >= before,
+            "anonymity should not decrease: {before} → {after}"
+        );
+    }
+
+    fn metrics_route_avg(net: &confmask_config::NetworkConfigs) -> f64 {
+        let sim = confmask_sim::simulate(net).unwrap();
+        crate::metrics::route_anonymity(&sim.dataplane).avg()
+    }
+}

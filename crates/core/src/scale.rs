@@ -1,0 +1,224 @@
+//! Network-scale obfuscation (§9): hiding the number of routers.
+//!
+//! The paper's core pipeline never changes `|R|` (not treating it as a key
+//! attribute, §2.2), but notes that "our theoretical proof of functional
+//! equivalence does not require the set of routers to remain unchanged …
+//! ConfMask is extendable with graph anonymization algorithms that modify
+//! the number of nodes" [12, 41], and names the open problem: "how to
+//! auto-generate new configuration files for the additional routers while
+//! keeping them indistinguishable from the human-configured routers". This
+//! module is that extension:
+//!
+//! * fake routers are cloned from a template router's *shape* (protocol
+//!   blocks, management boilerplate with the hostname substituted) and
+//!   named following the network's own naming convention;
+//! * each fake router attaches to a randomly chosen real router; the link
+//!   cost is `⌈Δ/2⌉` where `Δ` is the original network's cost diameter, so
+//!   **any** path through fake routers costs at least `Δ` and can never
+//!   undercut an original path (the SFE condition 2 of §5.1 holds by
+//!   construction: `cost ≥ min_cost`, with equality handled by Algorithm 1's
+//!   filters);
+//! * each fake router gets one fake host so its links carry traffic — a
+//!   fake router whose links are idle would fall to the dead-link detector
+//!   ([`crate::attacks::dead_link_detection`]).
+//!
+//! The fake routers then participate in topology anonymization like any
+//! other node (Definition 3.1 is evaluated over the whole router set).
+
+use crate::preprocess::Baseline;
+use crate::Error;
+use confmask_config::patch::Patcher;
+use confmask_net_types::PrefixAllocator;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::collections::BTreeSet;
+
+/// Outcome of the scale-obfuscation stage.
+#[derive(Debug, Clone, Default)]
+pub struct ScaleOutcome {
+    /// Names of the fake routers created.
+    pub fake_routers: Vec<String>,
+    /// Names of the liveness fake hosts attached to them.
+    pub fake_hosts: Vec<String>,
+}
+
+/// Half the original cost diameter, rounded up — the fake-router link cost
+/// that guarantees no shortcut (see module docs).
+pub(crate) fn safe_stub_cost(base: &Baseline) -> u32 {
+    let paths = confmask_sim::ospf::router_paths(&base.sim.net);
+    let diameter = paths
+        .dist
+        .iter()
+        .flatten()
+        .copied()
+        .filter(|&d| d != u64::MAX)
+        .max()
+        .unwrap_or(0);
+    u32::try_from(diameter.div_ceil(2)).unwrap_or(u32::MAX).max(1)
+}
+
+/// Derives a blending name: the most common alphabetic prefix among router
+/// names, with the next free number.
+fn blending_names(existing: &BTreeSet<String>, count: usize) -> Vec<String> {
+    let stem = |name: &str| -> String {
+        name.chars()
+            .take_while(|c| c.is_alphabetic())
+            .collect::<String>()
+    };
+    let mut freq: std::collections::BTreeMap<String, usize> = std::collections::BTreeMap::new();
+    for name in existing {
+        let s = stem(name);
+        if !s.is_empty() {
+            *freq.entry(s).or_insert(0) += 1;
+        }
+    }
+    let prefix = freq
+        .into_iter()
+        .max_by_key(|(_, c)| *c)
+        .map(|(p, _)| p)
+        .unwrap_or_else(|| "rtr".to_string());
+
+    let mut names = Vec::with_capacity(count);
+    let mut n = existing.len();
+    while names.len() < count {
+        let candidate = format!("{prefix}{n}");
+        if !existing.contains(&candidate) && !names.contains(&candidate) {
+            names.push(candidate);
+        }
+        n += 1;
+    }
+    names
+}
+
+/// Adds `count` fake routers (with one liveness host each) to the network.
+///
+/// Runs *before* topology anonymization, so the fake routers participate in
+/// the k-degree plan like ordinary nodes.
+pub fn obfuscate_scale<R: Rng>(
+    patcher: &mut Patcher,
+    alloc: &mut PrefixAllocator,
+    base: &Baseline,
+    count: usize,
+    rng: &mut R,
+) -> Result<ScaleOutcome, Error> {
+    let mut out = ScaleOutcome::default();
+    if count == 0 {
+        return Ok(out);
+    }
+
+    let real_routers: Vec<String> = patcher.network().routers.keys().cloned().collect();
+    let existing: BTreeSet<String> = real_routers.iter().cloned().collect();
+    let names = blending_names(&existing, count);
+    let stub_cost = safe_stub_cost(base);
+
+    for name in names {
+        let attach = real_routers
+            .choose(rng)
+            .expect("networks have routers")
+            .clone();
+        patcher.add_fake_router(&name, &attach)?;
+
+        // The stub link: a fresh /31, the fake side named like a first
+        // interface, the real side like any other addition.
+        let (prefix, lo, hi) = alloc
+            .allocate_p2p()
+            .map_err(|e| Error::InvalidInput(format!("address space exhausted: {e}")))?;
+        let runs_ospf = patcher.network().routers[&name].ospf.is_some();
+        let cost = runs_ospf.then_some(stub_cost);
+        let fake_iface = patcher.fresh_fake_router_iface_name(&name);
+        patcher.add_interface_named(
+            &name,
+            &fake_iface,
+            lo,
+            31,
+            cost,
+            Some(format!("to-{attach}")),
+        )?;
+        patcher.add_interface(&attach, hi, 31, cost, Some(format!("to-{name}")))?;
+        patcher.enable_network(&name, prefix, false)?;
+        patcher.enable_network(&attach, prefix, false)?;
+
+        // Liveness host: the fake router's links must carry traffic.
+        let lan = alloc
+            .allocate(24)
+            .map_err(|e| Error::InvalidInput(format!("address space exhausted: {e}")))?;
+        let advertise_in_bgp = patcher.network().routers[&name].bgp.is_some();
+        let host_name = format!("{name}-h0");
+        patcher.add_fake_host(&name, &host_name, lan, advertise_in_bgp)?;
+        out.fake_hosts.push(host_name);
+        out.fake_routers.push(name);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::preprocess::preprocess;
+    use confmask_netgen::smallnets::example_network;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn run(count: usize) -> (Patcher, ScaleOutcome) {
+        let net = example_network();
+        let base = preprocess(&net).unwrap();
+        let mut patcher = Patcher::new(net.clone());
+        let mut alloc = PrefixAllocator::new(net.used_prefixes());
+        let mut rng = StdRng::seed_from_u64(5);
+        let out = obfuscate_scale(&mut patcher, &mut alloc, &base, count, &mut rng).unwrap();
+        (patcher, out)
+    }
+
+    #[test]
+    fn adds_routers_with_blending_names() {
+        let (patcher, out) = run(3);
+        assert_eq!(out.fake_routers.len(), 3);
+        assert_eq!(patcher.network().routers.len(), 7);
+        for name in &out.fake_routers {
+            // Follows the dominant "r<N>" convention of the example net.
+            assert!(name.starts_with('r'), "{name}");
+            let rc = &patcher.network().routers[name];
+            assert!(rc.added, "{name} carries the provenance flag");
+            // First interface looks ordinary.
+            assert!(rc.interfaces[0].name.starts_with("Ethernet0/"));
+            // It inherited the management boilerplate with its own hostname.
+            assert!(rc
+                .extra_lines
+                .iter()
+                .any(|l| l.contains(&format!("{name}.example.net"))));
+        }
+    }
+
+    #[test]
+    fn fake_routers_get_liveness_hosts() {
+        let (patcher, out) = run(2);
+        assert_eq!(out.fake_hosts.len(), 2);
+        for h in &out.fake_hosts {
+            assert!(patcher.network().hosts[h].added);
+        }
+    }
+
+    #[test]
+    fn stub_cost_covers_the_diameter() {
+        let net = example_network();
+        let base = preprocess(&net).unwrap();
+        // Example network diameter: r1→r4 costs 1+1+10 = 12 → stub cost 6;
+        // two stub hops cost 12 ≥ any original min_cost.
+        assert_eq!(safe_stub_cost(&base), 6);
+    }
+
+    #[test]
+    fn zero_count_is_a_no_op() {
+        let (patcher, out) = run(0);
+        assert!(out.fake_routers.is_empty());
+        assert_eq!(patcher.network().routers.len(), 4);
+        assert_eq!(patcher.ledger().router_lines, 0);
+    }
+
+    #[test]
+    fn ledger_counts_router_files() {
+        let (patcher, _) = run(2);
+        assert!(patcher.ledger().router_lines > 0);
+        assert!(patcher.ledger().host_lines > 0);
+    }
+}

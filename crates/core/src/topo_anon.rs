@@ -1,0 +1,331 @@
+//! Step 1 — topology anonymization (§4.2).
+//!
+//! Fake links are added until the router graph is k-degree anonymous:
+//!
+//! * **intra-AS** (or the whole graph for pure-IGP networks): the Liu–Terzi
+//!   edge-addition anonymizer runs per AS; each fake link gets a fresh /31,
+//!   interfaces on both routers, and — for link-state IGPs — an explicit
+//!   OSPF cost equal to the *original minimum path cost* between the two
+//!   routers (each direction separately), which is the link-state SFE
+//!   condition `cost(ê) = min_cost(…)` of §5.1: the fake link creates
+//!   equal-cost candidates without ever creating a cheaper path;
+//! * **inter-AS** (BGP networks): the AS-level supergraph is anonymized the
+//!   same way, each fake AS-level edge realized between randomly chosen
+//!   border routers with eBGP sessions on both ends (§4.2);
+//! * a final **global pass** tops up whole-graph k-degree anonymity
+//!   (Definition 3.1 is stated on all of `R`), adding intra- or inter-AS
+//!   links as the endpoints dictate.
+//!
+//! Every operation is an *addition*; original nodes, links, and
+//! configuration lines are untouched (topology preservation by
+//! construction).
+
+use crate::preprocess::Baseline;
+use crate::{CostStrategy, Error};
+use confmask_config::patch::Patcher;
+use confmask_net_types::{Asn, PrefixAllocator};
+use confmask_topology::kdegree::plan_k_degree;
+use confmask_topology::supergraph::{build_supergraph, pick_border_pair};
+use confmask_topology::{LinkInfo, NodeKind, Topology};
+use rand::Rng;
+use std::collections::BTreeMap;
+
+/// Maximum OSPF interface cost (Cisco limit), used when two endpoints have
+/// no original IGP path.
+const MAX_OSPF_COST: u32 = 65_535;
+
+/// A fake link added during topology anonymization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FakeLink {
+    /// First endpoint (router hostname).
+    pub a: String,
+    /// Second endpoint (router hostname).
+    pub b: String,
+    /// Whether the link crosses AS boundaries (realized as an eBGP session
+    /// rather than an IGP adjacency).
+    pub inter_as: bool,
+}
+
+/// Anonymizes the topology in place, returning the fake links added.
+pub fn anonymize_topology<R: Rng>(
+    patcher: &mut Patcher,
+    alloc: &mut PrefixAllocator,
+    base: &Baseline,
+    k_r: usize,
+    rng: &mut R,
+) -> Result<Vec<FakeLink>, Error> {
+    anonymize_topology_with(patcher, alloc, base, k_r, CostStrategy::MinCost, rng)
+}
+
+/// [`anonymize_topology`] with an explicit fake-link cost strategy (the
+/// §3.2 ablation; production callers use [`CostStrategy::MinCost`]).
+pub fn anonymize_topology_with<R: Rng>(
+    patcher: &mut Patcher,
+    alloc: &mut PrefixAllocator,
+    base: &Baseline,
+    k_r: usize,
+    strategy: CostStrategy,
+    rng: &mut R,
+) -> Result<Vec<FakeLink>, Error> {
+    // Live router graph (updated as we add links), extracted from the
+    // *patched* network so that fake routers added by scale obfuscation
+    // participate like ordinary nodes. The original IGP distance matrix
+    // still drives fake-link costs (costs always come from the original).
+    let current = confmask_topology::extract::extract_topology(patcher.network());
+    let (mut rgraph, _) = current.router_subgraph();
+    let orig_paths = confmask_sim::ospf::router_paths(&base.sim.net);
+    let stub_cost = crate::scale::safe_stub_cost(base);
+    let mut fake_links: Vec<FakeLink> = Vec::new();
+
+    // AS membership from the patched configs (covers fake routers too).
+    let asn_of: BTreeMap<String, Asn> = patcher
+        .network()
+        .routers
+        .iter()
+        .filter_map(|(n, rc)| rc.bgp.as_ref().map(|b| (n.clone(), b.asn)))
+        .collect();
+
+    // Group routers by AS (pure-IGP networks form one group).
+    let mut groups: BTreeMap<Option<Asn>, Vec<usize>> = BTreeMap::new();
+    for v in rgraph.routers() {
+        let asn = asn_of.get(rgraph.name(v)).copied();
+        groups.entry(asn).or_default().push(v);
+    }
+
+    // Phase 1 — per-AS anonymization on the induced intra-AS subgraph.
+    for members in groups.values() {
+        let plan = {
+            let (sub, back) = induced(&rgraph, members);
+            let plan = plan_k_degree(&sub, k_r, rng)?;
+            plan.new_edges
+                .iter()
+                .map(|&(x, y)| (back[x], back[y]))
+                .collect::<Vec<_>>()
+        };
+        for (a, b) in plan {
+            realize_link(patcher, alloc, base, &orig_paths, &asn_of, stub_cost, strategy, &mut rgraph, a, b, &mut fake_links)?;
+        }
+    }
+
+    // Phase 2 — AS-level supergraph anonymization (BGP networks only).
+    if groups.len() > 1 && groups.keys().all(|k| k.is_some()) {
+        let asn_of_idx: BTreeMap<usize, Asn> = rgraph
+            .routers()
+            .into_iter()
+            .filter_map(|v| asn_of.get(rgraph.name(v)).map(|a| (v, *a)))
+            .collect();
+        let sg = build_supergraph(&rgraph, &asn_of_idx);
+        let all_of: BTreeMap<Asn, Vec<usize>> = groups
+            .iter()
+            .filter_map(|(k, v)| k.map(|a| (a, v.clone())))
+            .collect();
+        let k_as = k_r.min(sg.graph.node_count());
+        let plan = plan_k_degree(&sg.graph, k_as, rng)?;
+        for &(sa, sb) in &plan.new_edges {
+            let (asn_a, asn_b) = (sg.asns[sa], sg.asns[sb]);
+            if let Some((a, b)) = pick_border_pair(&sg, asn_a, asn_b, &all_of, rng) {
+                realize_link(patcher, alloc, base, &orig_paths, &asn_of, stub_cost, strategy, &mut rgraph, a, b, &mut fake_links)?;
+            }
+        }
+    }
+
+    // Phase 3 — global top-up: Definition 3.1 is on the whole router set.
+    let plan = plan_k_degree(&rgraph, k_r, rng)?;
+    for (a, b) in plan.new_edges {
+        realize_link(patcher, alloc, base, &orig_paths, &asn_of, stub_cost, strategy, &mut rgraph, a, b, &mut fake_links)?;
+    }
+
+    Ok(fake_links)
+}
+
+/// Induced subgraph over `members`, with the back-mapping to parent indices.
+fn induced(g: &Topology, members: &[usize]) -> (Topology, Vec<usize>) {
+    let mut sub = Topology::new();
+    for &m in members {
+        sub.add_node(g.name(m), NodeKind::Router);
+    }
+    let pos: BTreeMap<usize, usize> = members.iter().enumerate().map(|(i, &m)| (m, i)).collect();
+    for (a, b, info) in g.edges() {
+        if let (Some(&x), Some(&y)) = (pos.get(&a), pos.get(&b)) {
+            sub.add_edge(x, y, *info);
+        }
+    }
+    (sub, members.to_vec())
+}
+
+/// Realizes one fake link between router-graph nodes `a` and `b`:
+/// allocates a fresh /31, adds both interfaces, and wires the protocols.
+#[allow(clippy::too_many_arguments)]
+fn realize_link(
+    patcher: &mut Patcher,
+    alloc: &mut PrefixAllocator,
+    base: &Baseline,
+    orig_paths: &confmask_sim::ospf::RouterPaths,
+    asn_of: &BTreeMap<String, Asn>,
+    stub_cost: u32,
+    strategy: CostStrategy,
+    rgraph: &mut Topology,
+    a: usize,
+    b: usize,
+    out: &mut Vec<FakeLink>,
+) -> Result<(), Error> {
+    if rgraph.has_edge(a, b) {
+        return Ok(()); // a previous phase already realized this pair
+    }
+    let name_a = rgraph.name(a).to_string();
+    let name_b = rgraph.name(b).to_string();
+    let asn_a = asn_of.get(&name_a).copied();
+    let asn_b = asn_of.get(&name_b).copied();
+    let inter_as = asn_a.is_some() && asn_b.is_some() && asn_a != asn_b;
+
+    let (prefix, lo, hi) = alloc
+        .allocate_p2p()
+        .map_err(|e| Error::InvalidInput(format!("address space exhausted: {e}")))?;
+
+    if inter_as {
+        // Inter-AS: interfaces plus eBGP sessions, no IGP.
+        patcher.add_interface(&name_a, lo, 31, None, Some(format!("to-{name_b}")))?;
+        patcher.add_interface(&name_b, hi, 31, None, Some(format!("to-{name_a}")))?;
+        patcher.add_bgp_neighbor(&name_a, hi, asn_b.expect("inter-AS implies ASNs"))?;
+        patcher.add_bgp_neighbor(&name_b, lo, asn_a.expect("inter-AS implies ASNs"))?;
+    } else {
+        // Intra-AS (or pure IGP): link-state costs follow the SFE condition.
+        let ra = base.sim.net.router_id(&name_a);
+        let rb = base.sim.net.router_id(&name_b);
+        let runs_ospf = |name: &str| {
+            patcher
+                .network()
+                .routers
+                .get(name)
+                .map(|rc| rc.ospf.is_some())
+                .unwrap_or(false)
+        };
+        let ospf_link = runs_ospf(&name_a) && runs_ospf(&name_b);
+        let (cost_ab, cost_ba) = if !ospf_link {
+            (None, None) // RIP: hop metric, no cost lines
+        } else {
+            match strategy {
+                CostStrategy::MinCost => match (ra, rb) {
+                    (Some(ra), Some(rb)) => {
+                        let d_ab = orig_paths.dist[ra.0 as usize][rb.0 as usize];
+                        let d_ba = orig_paths.dist[rb.0 as usize][ra.0 as usize];
+                        (
+                            Some(u32::try_from(d_ab).unwrap_or(MAX_OSPF_COST).min(MAX_OSPF_COST)),
+                            Some(u32::try_from(d_ba).unwrap_or(MAX_OSPF_COST).min(MAX_OSPF_COST)),
+                        )
+                    }
+                    // At least one endpoint is a fake router: half-diameter
+                    // costs guarantee no shortcut through it (see scale.rs).
+                    _ => (Some(stub_cost), Some(stub_cost)),
+                },
+                CostStrategy::LargeCost => (Some(MAX_OSPF_COST), Some(MAX_OSPF_COST)),
+                CostStrategy::DefaultCost => (None, None),
+            }
+        };
+        patcher.add_interface(&name_a, lo, 31, cost_ab, Some(format!("to-{name_b}")))?;
+        patcher.add_interface(&name_b, hi, 31, cost_ba, Some(format!("to-{name_a}")))?;
+        patcher.enable_network(&name_a, prefix, false)?;
+        patcher.enable_network(&name_b, prefix, false)?;
+    }
+
+    rgraph.add_edge(a, b, LinkInfo::default());
+    out.push(FakeLink {
+        a: name_a,
+        b: name_b,
+        inter_as,
+    });
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::preprocess::preprocess;
+    use confmask_netgen::smallnets::example_network;
+    use confmask_topology::extract::extract_topology;
+    use confmask_topology::metrics::min_same_degree;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn run(net: &confmask_config::NetworkConfigs, k_r: usize) -> (Patcher, Vec<FakeLink>) {
+        let base = preprocess(net).unwrap();
+        let mut patcher = Patcher::new(net.clone());
+        let mut alloc = PrefixAllocator::new(net.used_prefixes());
+        let mut rng = StdRng::seed_from_u64(1);
+        let links =
+            anonymize_topology(&mut patcher, &mut alloc, &base, k_r, &mut rng).unwrap();
+        (patcher, links)
+    }
+
+    #[test]
+    fn example_network_reaches_k_anonymity() {
+        let net = example_network();
+        let (patcher, links) = run(&net, 3);
+        assert!(!links.is_empty());
+        let topo = extract_topology(patcher.network());
+        assert!(min_same_degree(&topo) >= 3);
+        // All interfaces added, none removed.
+        for (name, rc) in &net.routers {
+            let new_rc = &patcher.network().routers[name];
+            assert!(new_rc.interfaces.len() >= rc.interfaces.len());
+            for (orig, now) in rc.interfaces.iter().zip(new_rc.interfaces.iter()) {
+                assert_eq!(orig, now, "original interfaces untouched");
+            }
+        }
+    }
+
+    #[test]
+    fn fake_ospf_links_use_min_cost() {
+        let net = example_network();
+        let base = preprocess(&net).unwrap();
+        let (patcher, links) = run(&net, 4);
+        // Every fake intra-AS interface's cost equals the original min cost
+        // between the endpoints.
+        let orig_paths = confmask_sim::ospf::router_paths(&base.sim.net);
+        for link in links.iter().filter(|l| !l.inter_as) {
+            let ra = base.sim.net.router_id(&link.a).unwrap();
+            let rb = base.sim.net.router_id(&link.b).unwrap();
+            let d = orig_paths.dist[ra.0 as usize][rb.0 as usize];
+            let rc = &patcher.network().routers[&link.a];
+            let iface = rc
+                .interfaces
+                .iter()
+                .find(|i| i.added && i.description.as_deref() == Some(&format!("to-{}", link.b)))
+                .expect("fake interface exists");
+            assert_eq!(iface.ospf_cost, Some(u32::try_from(d).unwrap()));
+        }
+    }
+
+    #[test]
+    fn bgp_network_gets_global_k_anonymity() {
+        let net = confmask_netgen::synthesize(&confmask_netgen::smallnets::backbone());
+        let (patcher, links) = run(&net, 4);
+        let topo = extract_topology(patcher.network());
+        assert!(min_same_degree(&topo) >= 4, "got {}", min_same_degree(&topo));
+        // Inter-AS fake links get eBGP sessions, not IGP statements.
+        for l in links.iter().filter(|l| l.inter_as) {
+            let rc = &patcher.network().routers[&l.a];
+            let added_neighbors = rc
+                .bgp
+                .as_ref()
+                .map(|b| b.neighbors.iter().filter(|n| n.added).count())
+                .unwrap_or(0);
+            assert!(added_neighbors > 0, "{} should have an added eBGP session", l.a);
+        }
+    }
+
+    #[test]
+    fn fake_prefixes_disjoint_from_original_space() {
+        let net = example_network();
+        let originals = net.used_prefixes();
+        let (patcher, _) = run(&net, 4);
+        for rc in patcher.network().routers.values() {
+            for iface in rc.interfaces.iter().filter(|i| i.added) {
+                let p = iface.prefix().unwrap();
+                for orig in &originals {
+                    assert!(!orig.overlaps(&p), "{p} overlaps original {orig}");
+                }
+            }
+        }
+    }
+}

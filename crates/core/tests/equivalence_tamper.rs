@@ -1,0 +1,89 @@
+//! Tamper-detection coverage for the functional-equivalence checker: every
+//! class of forbidden modification must be caught by the append-only audit.
+
+use confmask::equivalence::check_equivalence;
+use confmask::simulate;
+use confmask_netgen::smallnets::example_network;
+
+fn base() -> (confmask::NetworkConfigs, confmask::DataPlane) {
+    let net = example_network();
+    let dp = simulate(&net).unwrap().dataplane;
+    (net, dp)
+}
+
+fn check(tampered: &confmask::NetworkConfigs) -> confmask::equivalence::EquivalenceReport {
+    let (orig, orig_dp) = base();
+    let dp = simulate(tampered).unwrap().dataplane;
+    check_equivalence(&orig, &orig_dp, tampered, &dp)
+}
+
+#[test]
+fn deleting_a_network_statement_is_caught() {
+    let (mut net, _) = base();
+    net.routers
+        .get_mut("r1")
+        .unwrap()
+        .ospf
+        .as_mut()
+        .unwrap()
+        .networks
+        .pop();
+    let report = check(&net);
+    assert!(!report.originals_untouched);
+    assert!(report
+        .violations
+        .iter()
+        .any(|v| v.contains("network statements")));
+}
+
+#[test]
+fn editing_boilerplate_is_caught() {
+    let (mut net, _) = base();
+    net.routers.get_mut("r2").unwrap().extra_lines[0] = "version 12.4".into();
+    let report = check(&net);
+    assert!(!report.originals_untouched);
+    assert!(report.violations.iter().any(|v| v.contains("uninterpreted")));
+}
+
+#[test]
+fn deleting_a_router_is_caught() {
+    let (mut net, _) = base();
+    net.routers.remove("r3");
+    let report = check(&net);
+    assert!(!report.originals_untouched);
+    assert!(!report.topology_preserved);
+}
+
+#[test]
+fn modifying_a_host_is_caught() {
+    let (mut net, _) = base();
+    net.hosts.get_mut("h2").unwrap().address.0 = "10.101.0.77".parse().unwrap();
+    let report = check(&net);
+    assert!(!report.originals_untouched);
+}
+
+#[test]
+fn reordering_original_interfaces_is_caught() {
+    let (mut net, _) = base();
+    let r1 = net.routers.get_mut("r1").unwrap();
+    r1.interfaces.swap(0, 1);
+    let report = check(&net);
+    assert!(!report.originals_untouched, "order is part of the audit");
+}
+
+#[test]
+fn pure_additions_pass_the_audit() {
+    let (net, _) = base();
+    let mut patcher = confmask_config::patch::Patcher::new(net.clone());
+    patcher
+        .add_interface("r1", "172.16.0.0".parse().unwrap(), 31, Some(7), None)
+        .unwrap();
+    patcher
+        .ensure_deny_entry("r1", "Rej-x", "172.20.0.0/24".parse().unwrap())
+        .unwrap();
+    let (added, _) = patcher.into_parts();
+    let report = check(&added);
+    // The data plane is unchanged (interface has no peer, filter unbound),
+    // originals are untouched, topology gains but loses nothing.
+    assert!(report.holds(), "{:?}", report.violations);
+}

@@ -1,0 +1,60 @@
+//! Property tests for the PII address mapper: strict prefix preservation,
+//! injectivity, and determinism over arbitrary inputs and keys.
+
+use confmask::pii::AddrMapper;
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The first differing bit position of any two addresses is exactly
+    /// preserved — the defining property of Crypto-PAn-style mappings.
+    #[test]
+    fn strict_prefix_preservation(a in any::<u32>(), b in any::<u32>(), key in any::<u64>()) {
+        let m = AddrMapper::new(key);
+        let (ma, mb) = (
+            u32::from(m.map_addr(Ipv4Addr::from(a))),
+            u32::from(m.map_addr(Ipv4Addr::from(b))),
+        );
+        prop_assert_eq!((a ^ b).leading_zeros(), (ma ^ mb).leading_zeros());
+    }
+
+    /// Injectivity follows from prefix preservation, but check directly.
+    #[test]
+    fn injective(a in any::<u32>(), b in any::<u32>(), key in any::<u64>()) {
+        prop_assume!(a != b);
+        let m = AddrMapper::new(key);
+        prop_assert_ne!(
+            m.map_addr(Ipv4Addr::from(a)),
+            m.map_addr(Ipv4Addr::from(b))
+        );
+    }
+
+    /// Deterministic per key.
+    #[test]
+    fn deterministic(a in any::<u32>(), key in any::<u64>()) {
+        let m1 = AddrMapper::new(key);
+        let m2 = AddrMapper::new(key);
+        prop_assert_eq!(m1.map_addr(Ipv4Addr::from(a)), m2.map_addr(Ipv4Addr::from(a)));
+    }
+
+    /// Prefix mapping commutes with address mapping: an address inside a
+    /// prefix maps into the mapped prefix.
+    #[test]
+    fn prefix_mapping_commutes(bits in any::<u32>(), len in 0u8..=32, key in any::<u64>()) {
+        let m = AddrMapper::new(key);
+        let p = confmask_net_types::Ipv4Prefix::new(Ipv4Addr::from(bits), len).unwrap();
+        let mp = m.map_prefix(p);
+        prop_assert_eq!(mp.len(), p.len());
+        // Sample a few member addresses.
+        for i in [0u32, 1, p.size().saturating_sub(1)] {
+            if let Some(addr) = p.addr(i) {
+                prop_assert!(
+                    mp.contains_addr(m.map_addr(addr)),
+                    "{} in {} must map into {}", addr, p, mp
+                );
+            }
+        }
+    }
+}

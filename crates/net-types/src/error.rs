@@ -1,0 +1,32 @@
+//! Error type shared across the workspace's foundational layer.
+
+use std::fmt;
+
+/// Convenience alias used throughout the crate.
+pub type Result<T, E = Error> = std::result::Result<T, E>;
+
+/// Errors produced by the foundational network types.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A CIDR prefix string or (address, length) pair was malformed.
+    InvalidPrefix(String),
+    /// The prefix allocator ran out of disjoint address space.
+    AddressSpaceExhausted {
+        /// Prefix length that was requested.
+        requested_len: u8,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::InvalidPrefix(msg) => write!(f, "invalid prefix: {msg}"),
+            Error::AddressSpaceExhausted { requested_len } => write!(
+                f,
+                "address space exhausted allocating a /{requested_len} prefix"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for Error {}

@@ -1,0 +1,310 @@
+//! IPv4 CIDR prefix type and arithmetic.
+
+use std::fmt;
+use std::net::Ipv4Addr;
+use std::str::FromStr;
+
+use crate::error::{Error, Result};
+
+/// An IPv4 CIDR prefix, e.g. `10.0.0.0/31`.
+///
+/// The network address is always stored in canonical form (host bits
+/// cleared), so two prefixes that denote the same network compare equal.
+///
+/// ```
+/// use confmask_net_types::Ipv4Prefix;
+/// let p: Ipv4Prefix = "10.1.2.3/24".parse().unwrap();
+/// assert_eq!(p.to_string(), "10.1.2.0/24");
+/// assert!(p.contains_addr("10.1.2.77".parse().unwrap()));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+pub struct Ipv4Prefix {
+    network: u32,
+    len: u8,
+}
+
+impl Ipv4Prefix {
+    /// Creates a prefix from an address and prefix length, canonicalizing the
+    /// network address. Fails if `len > 32`.
+    pub fn new(addr: Ipv4Addr, len: u8) -> Result<Self> {
+        if len > 32 {
+            return Err(Error::InvalidPrefix(format!("{addr}/{len}: length > 32")));
+        }
+        let bits = u32::from(addr);
+        Ok(Self {
+            network: bits & Self::mask_bits(len),
+            len,
+        })
+    }
+
+    /// The all-encompassing `0.0.0.0/0` prefix.
+    pub const DEFAULT_ROUTE: Self = Self { network: 0, len: 0 };
+
+    fn mask_bits(len: u8) -> u32 {
+        if len == 0 {
+            0
+        } else {
+            u32::MAX << (32 - u32::from(len))
+        }
+    }
+
+    /// The canonical network address (host bits cleared).
+    pub fn network(&self) -> Ipv4Addr {
+        Ipv4Addr::from(self.network)
+    }
+
+    /// Prefix length in bits.
+    pub fn len(&self) -> u8 {
+        self.len
+    }
+
+    /// True only for the degenerate `/0` prefix (clippy pairs `len` with
+    /// `is_empty`; for a prefix "empty" means "matches everything").
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The subnet mask as a dotted-quad address, e.g. `/24` →
+    /// `255.255.255.0`. This is the notation classic IOS `ip address`
+    /// statements use.
+    pub fn subnet_mask(&self) -> Ipv4Addr {
+        Ipv4Addr::from(Self::mask_bits(self.len))
+    }
+
+    /// The *wildcard* (inverted) mask, used in IOS `network ... area`
+    /// statements, e.g. `/24` → `0.0.0.255`.
+    pub fn wildcard_mask(&self) -> Ipv4Addr {
+        Ipv4Addr::from(!Self::mask_bits(self.len))
+    }
+
+    /// Parses a dotted-quad subnet mask back into a prefix length.
+    /// Fails for non-contiguous masks.
+    pub fn len_from_mask(mask: Ipv4Addr) -> Result<u8> {
+        let bits = u32::from(mask);
+        let len = bits.count_ones() as u8;
+        if Self::mask_bits(len) != bits {
+            return Err(Error::InvalidPrefix(format!(
+                "{mask}: non-contiguous subnet mask"
+            )));
+        }
+        Ok(len)
+    }
+
+    /// Whether `addr` falls inside this prefix.
+    pub fn contains_addr(&self, addr: Ipv4Addr) -> bool {
+        u32::from(addr) & Self::mask_bits(self.len) == self.network
+    }
+
+    /// Whether `other` is a (non-strict) sub-prefix of `self`.
+    pub fn contains(&self, other: &Ipv4Prefix) -> bool {
+        other.len >= self.len && (other.network & Self::mask_bits(self.len)) == self.network
+    }
+
+    /// Whether the two prefixes share any address.
+    pub fn overlaps(&self, other: &Ipv4Prefix) -> bool {
+        self.contains(other) || other.contains(self)
+    }
+
+    /// Number of addresses covered (saturates at `u32::MAX` for `/0`).
+    pub fn size(&self) -> u32 {
+        if self.len == 0 {
+            u32::MAX
+        } else {
+            1u32 << (32 - u32::from(self.len))
+        }
+    }
+
+    /// The `i`-th address inside the prefix (0 = network address).
+    /// Returns `None` when `i` is out of range.
+    pub fn addr(&self, i: u32) -> Option<Ipv4Addr> {
+        if self.len > 0 && i >= self.size() {
+            return None;
+        }
+        self.network.checked_add(i).map(Ipv4Addr::from)
+    }
+
+    /// First usable host address. For `/31` point-to-point links (RFC 3021)
+    /// and `/32` loopbacks every address is usable; for anything shorter the
+    /// network address is skipped.
+    pub fn first_host(&self) -> Ipv4Addr {
+        if self.len >= 31 {
+            self.network()
+        } else {
+            Ipv4Addr::from(self.network + 1)
+        }
+    }
+
+    /// Second usable host address (the far end of a point-to-point link).
+    pub fn second_host(&self) -> Ipv4Addr {
+        if self.len >= 32 {
+            self.network()
+        } else if self.len == 31 {
+            Ipv4Addr::from(self.network + 1)
+        } else {
+            Ipv4Addr::from(self.network + 2)
+        }
+    }
+
+    /// Splits the prefix into its two halves, one bit longer each.
+    /// Returns `None` for `/32`.
+    pub fn split(&self) -> Option<(Ipv4Prefix, Ipv4Prefix)> {
+        if self.len >= 32 {
+            return None;
+        }
+        let len = self.len + 1;
+        let low = Ipv4Prefix {
+            network: self.network,
+            len,
+        };
+        let high = Ipv4Prefix {
+            network: self.network | (1u32 << (32 - u32::from(len))),
+            len,
+        };
+        Some((low, high))
+    }
+
+    /// The `i`-th subnet of length `sub_len` within this prefix.
+    pub fn subnet(&self, sub_len: u8, i: u32) -> Option<Ipv4Prefix> {
+        if sub_len < self.len || sub_len > 32 {
+            return None;
+        }
+        let count_bits = sub_len - self.len;
+        if count_bits < 32 && u64::from(i) >= (1u64 << count_bits) {
+            return None;
+        }
+        let net = self.network | (i << (32 - u32::from(sub_len)));
+        Some(Ipv4Prefix {
+            network: net,
+            len: sub_len,
+        })
+    }
+}
+
+impl fmt::Display for Ipv4Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.network(), self.len)
+    }
+}
+
+impl fmt::Debug for Ipv4Prefix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self}")
+    }
+}
+
+impl FromStr for Ipv4Prefix {
+    type Err = Error;
+
+    fn from_str(s: &str) -> Result<Self> {
+        let (addr, len) = s
+            .split_once('/')
+            .ok_or_else(|| Error::InvalidPrefix(format!("{s}: missing '/'")))?;
+        let addr: Ipv4Addr = addr
+            .parse()
+            .map_err(|_| Error::InvalidPrefix(format!("{s}: bad address")))?;
+        let len: u8 = len
+            .parse()
+            .map_err(|_| Error::InvalidPrefix(format!("{s}: bad length")))?;
+        Ipv4Prefix::new(addr, len)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(s: &str) -> Ipv4Prefix {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn canonicalizes_network_address() {
+        assert_eq!(p("10.1.2.3/24"), p("10.1.2.0/24"));
+        assert_eq!(p("10.1.2.3/24").network(), Ipv4Addr::new(10, 1, 2, 0));
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert!("10.0.0.0/33".parse::<Ipv4Prefix>().is_err());
+        assert!("10.0.0.0".parse::<Ipv4Prefix>().is_err());
+        assert!("300.0.0.0/8".parse::<Ipv4Prefix>().is_err());
+        assert!("10.0.0.0/x".parse::<Ipv4Prefix>().is_err());
+    }
+
+    #[test]
+    fn masks() {
+        assert_eq!(p("10.0.0.0/24").subnet_mask(), Ipv4Addr::new(255, 255, 255, 0));
+        assert_eq!(p("10.0.0.0/31").subnet_mask(), Ipv4Addr::new(255, 255, 255, 254));
+        assert_eq!(p("10.0.0.0/24").wildcard_mask(), Ipv4Addr::new(0, 0, 0, 255));
+        assert_eq!(p("0.0.0.0/0").subnet_mask(), Ipv4Addr::new(0, 0, 0, 0));
+    }
+
+    #[test]
+    fn len_from_mask_roundtrip() {
+        for len in 0..=32u8 {
+            let pref = Ipv4Prefix::new(Ipv4Addr::new(10, 0, 0, 0), len).unwrap();
+            assert_eq!(Ipv4Prefix::len_from_mask(pref.subnet_mask()).unwrap(), len);
+        }
+        assert!(Ipv4Prefix::len_from_mask(Ipv4Addr::new(255, 0, 255, 0)).is_err());
+    }
+
+    #[test]
+    fn containment() {
+        assert!(p("10.0.0.0/8").contains(&p("10.1.0.0/16")));
+        assert!(!p("10.1.0.0/16").contains(&p("10.0.0.0/8")));
+        assert!(p("10.0.0.0/8").contains(&p("10.0.0.0/8")));
+        assert!(p("0.0.0.0/0").contains(&p("192.168.0.0/24")));
+        assert!(p("10.0.0.0/8").overlaps(&p("10.250.0.0/16")));
+        assert!(!p("10.0.0.0/8").overlaps(&p("11.0.0.0/8")));
+    }
+
+    #[test]
+    fn contains_addr_boundaries() {
+        let pref = p("192.168.4.0/30");
+        assert!(pref.contains_addr(Ipv4Addr::new(192, 168, 4, 0)));
+        assert!(pref.contains_addr(Ipv4Addr::new(192, 168, 4, 3)));
+        assert!(!pref.contains_addr(Ipv4Addr::new(192, 168, 4, 4)));
+    }
+
+    #[test]
+    fn hosts_on_p2p_and_lan() {
+        let link = p("10.0.0.4/31");
+        assert_eq!(link.first_host(), Ipv4Addr::new(10, 0, 0, 4));
+        assert_eq!(link.second_host(), Ipv4Addr::new(10, 0, 0, 5));
+        let lan = p("10.1.1.0/24");
+        assert_eq!(lan.first_host(), Ipv4Addr::new(10, 1, 1, 1));
+        assert_eq!(lan.second_host(), Ipv4Addr::new(10, 1, 1, 2));
+        let lo = p("10.9.9.9/32");
+        assert_eq!(lo.first_host(), Ipv4Addr::new(10, 9, 9, 9));
+        assert_eq!(lo.second_host(), Ipv4Addr::new(10, 9, 9, 9));
+    }
+
+    #[test]
+    fn split_and_subnet() {
+        let (a, b) = p("10.0.0.0/24").split().unwrap();
+        assert_eq!(a, p("10.0.0.0/25"));
+        assert_eq!(b, p("10.0.0.128/25"));
+        assert!(p("1.2.3.4/32").split().is_none());
+
+        assert_eq!(p("10.0.0.0/16").subnet(24, 5).unwrap(), p("10.0.5.0/24"));
+        assert_eq!(p("10.0.0.0/16").subnet(24, 255).unwrap(), p("10.0.255.0/24"));
+        assert!(p("10.0.0.0/16").subnet(24, 256).is_none());
+        assert!(p("10.0.0.0/16").subnet(8, 0).is_none());
+    }
+
+    #[test]
+    fn sizes_and_indexing() {
+        assert_eq!(p("10.0.0.0/30").size(), 4);
+        assert_eq!(p("10.0.0.0/32").size(), 1);
+        assert_eq!(p("0.0.0.0/0").size(), u32::MAX);
+        assert_eq!(p("10.0.0.0/30").addr(3), Some(Ipv4Addr::new(10, 0, 0, 3)));
+        assert_eq!(p("10.0.0.0/30").addr(4), None);
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        for s in ["10.0.0.0/8", "192.168.1.0/24", "10.0.0.2/31", "1.2.3.4/32"] {
+            assert_eq!(p(s).to_string(), s);
+        }
+    }
+}

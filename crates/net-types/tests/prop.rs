@@ -1,0 +1,74 @@
+//! Property-based tests for prefix arithmetic and allocation.
+
+use confmask_net_types::{Ipv4Prefix, PrefixAllocator};
+use proptest::prelude::*;
+use std::net::Ipv4Addr;
+
+fn arb_prefix() -> impl Strategy<Value = Ipv4Prefix> {
+    (any::<u32>(), 0u8..=32).prop_map(|(bits, len)| {
+        Ipv4Prefix::new(Ipv4Addr::from(bits), len).expect("len <= 32")
+    })
+}
+
+proptest! {
+    #[test]
+    fn parse_display_roundtrip(p in arb_prefix()) {
+        let s = p.to_string();
+        let back: Ipv4Prefix = s.parse().unwrap();
+        prop_assert_eq!(p, back);
+    }
+
+    #[test]
+    fn canonical_network_is_contained(p in arb_prefix()) {
+        prop_assert!(p.contains_addr(p.network()));
+        prop_assert!(p.contains_addr(p.first_host()));
+        prop_assert!(p.contains_addr(p.second_host()));
+    }
+
+    #[test]
+    fn containment_is_transitive(a in arb_prefix(), b in arb_prefix(), c in arb_prefix()) {
+        if a.contains(&b) && b.contains(&c) {
+            prop_assert!(a.contains(&c));
+        }
+    }
+
+    #[test]
+    fn overlap_is_symmetric(a in arb_prefix(), b in arb_prefix()) {
+        prop_assert_eq!(a.overlaps(&b), b.overlaps(&a));
+    }
+
+    #[test]
+    fn split_partitions_the_prefix(p in arb_prefix()) {
+        if let Some((lo, hi)) = p.split() {
+            prop_assert!(p.contains(&lo) && p.contains(&hi));
+            prop_assert!(!lo.overlaps(&hi));
+            prop_assert_eq!(u64::from(lo.size()) + u64::from(hi.size()),
+                            if p.is_empty() { 1u64 << 32 } else { u64::from(p.size()) });
+        }
+    }
+
+    #[test]
+    fn mask_roundtrip(p in arb_prefix()) {
+        prop_assert_eq!(Ipv4Prefix::len_from_mask(p.subnet_mask()).unwrap(), p.len());
+    }
+
+    #[test]
+    fn allocator_disjoint_from_arbitrary_reservations(
+        reserved in prop::collection::vec(arb_prefix().prop_filter("not /0..8 monsters", |p| p.len() >= 8), 0..8),
+        lens in prop::collection::vec(16u8..=31, 1..8),
+    ) {
+        let mut alloc = PrefixAllocator::new(reserved.clone());
+        let mut got: Vec<Ipv4Prefix> = Vec::new();
+        for len in lens {
+            if let Ok(p) = alloc.allocate(len) {
+                for r in &reserved {
+                    prop_assert!(!r.overlaps(&p), "{} overlaps reserved {}", p, r);
+                }
+                for g in &got {
+                    prop_assert!(!g.overlaps(&p), "{} overlaps earlier {}", p, g);
+                }
+                got.push(p);
+            }
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! Evaluation-network generators.
+//!
+//! The paper evaluates ConfMask on eight networks (Table 2): three small
+//! BGP+OSPF networks from real-world configurations, three wide-area OSPF
+//! networks auto-generated from TopologyZoo graphs, and two fat-trees.
+//! Neither the real configurations nor the TopologyZoo files ship with this
+//! reproduction, so:
+//!
+//! * nets **A–C** are hand-modelled BGP+OSPF networks with the published
+//!   |R|, |H|, |E| and protocol mix ([`smallnets`]);
+//! * nets **D–F** are deterministic synthetic WANs matching the published
+//!   sizes ([`wan`]);
+//! * nets **G–H** are exact fat-trees ([`fattree`]).
+//!
+//! All generation is seeded and reproducible. The common machinery is
+//! [`TopoSpec`] → [`synth::synthesize`], which assigns link prefixes, host
+//! LANs, OSPF costs, ASNs and BGP sessions, and emits full configurations.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fattree;
+pub mod smallnets;
+pub mod suite;
+pub mod synth;
+pub mod wan;
+
+pub use suite::{full_suite, EvalNetwork};
+pub use synth::{synthesize, IgpProtocol, TopoSpec};

@@ -1,0 +1,151 @@
+//! The Table 2 evaluation suite.
+
+use crate::fattree::fattree_spec;
+use crate::smallnets::{backbone, enterprise, university};
+use crate::synth::synthesize;
+use crate::wan::{bics, columbus, uscarrier};
+use confmask_config::NetworkConfigs;
+
+/// One evaluation network (a row of Table 2).
+#[derive(Debug, Clone)]
+pub struct EvalNetwork {
+    /// Paper id (`'A'`–`'H'`).
+    pub id: char,
+    /// Human-readable name.
+    pub name: &'static str,
+    /// `"BGP+OSPF"` or `"OSPF"`.
+    pub network_type: &'static str,
+    /// The generated configurations.
+    pub configs: NetworkConfigs,
+}
+
+impl EvalNetwork {
+    /// Table 2 row: (|R|, |H|, |E| incl. host links, #config lines).
+    pub fn stats(&self) -> (usize, usize, usize, usize) {
+        let topo = topo_counts(&self.configs);
+        (
+            self.configs.routers.len(),
+            self.configs.hosts.len(),
+            topo,
+            self.configs.total_lines(),
+        )
+    }
+}
+
+fn topo_counts(net: &NetworkConfigs) -> usize {
+    // |E| as Table 2 counts it: router-router links + host links.
+    let mut prefixes = std::collections::BTreeMap::new();
+    for rc in net.routers.values() {
+        for i in &rc.interfaces {
+            if let Some(p) = i.prefix() {
+                *prefixes.entry(p).or_insert(0usize) += 1;
+            }
+        }
+    }
+    let router_links: usize = prefixes
+        .values()
+        .map(|&c| if c >= 2 { c * (c - 1) / 2 } else { 0 })
+        .sum();
+    router_links + net.hosts.len()
+}
+
+/// Builds the full eight-network suite of Table 2.
+///
+/// Warning: nets E and F are large; building them is fast, but simulating
+/// them repeatedly (as the pipeline does) takes real time. Use
+/// [`small_suite`] in unit tests.
+pub fn full_suite() -> Vec<EvalNetwork> {
+    vec![
+        EvalNetwork {
+            id: 'A',
+            name: "Enterprise",
+            network_type: "BGP+OSPF",
+            configs: synthesize(&enterprise()),
+        },
+        EvalNetwork {
+            id: 'B',
+            name: "University",
+            network_type: "BGP+OSPF",
+            configs: synthesize(&university()),
+        },
+        EvalNetwork {
+            id: 'C',
+            name: "Backbone",
+            network_type: "BGP+OSPF",
+            configs: synthesize(&backbone()),
+        },
+        EvalNetwork {
+            id: 'D',
+            name: "Bics",
+            network_type: "OSPF",
+            configs: synthesize(&bics()),
+        },
+        EvalNetwork {
+            id: 'E',
+            name: "Columbus",
+            network_type: "OSPF",
+            configs: synthesize(&columbus()),
+        },
+        EvalNetwork {
+            id: 'F',
+            name: "USCarrier",
+            network_type: "OSPF",
+            configs: synthesize(&uscarrier()),
+        },
+        EvalNetwork {
+            id: 'G',
+            name: "FatTree04",
+            network_type: "OSPF",
+            configs: synthesize(&fattree_spec(4)),
+        },
+        EvalNetwork {
+            id: 'H',
+            name: "FatTree08",
+            network_type: "OSPF",
+            configs: synthesize(&fattree_spec(8)),
+        },
+    ]
+}
+
+/// The fast subset (A, B, C, G) used by unit and integration tests.
+pub fn small_suite() -> Vec<EvalNetwork> {
+    full_suite()
+        .into_iter()
+        .filter(|n| matches!(n.id, 'A' | 'B' | 'C' | 'G'))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suite_matches_table2_sizes() {
+        let expect = [
+            ('A', 10, 8, 26),
+            ('B', 13, 8, 25),
+            ('C', 11, 9, 22),
+            ('D', 49, 98, 162),
+            ('E', 86, 68, 169),
+            ('F', 161, 58, 378),
+            ('G', 20, 16, 48),
+            ('H', 72, 64, 320),
+        ];
+        let suite = full_suite();
+        assert_eq!(suite.len(), 8);
+        for (net, (id, r, h, e)) in suite.iter().zip(expect) {
+            let (gr, gh, ge, lines) = net.stats();
+            assert_eq!(net.id, id);
+            assert_eq!((gr, gh, ge), (r, h, e), "net {}", net.id);
+            assert!(lines > 100, "net {} has substantial configs", net.id);
+        }
+    }
+
+    #[test]
+    fn all_suite_configs_validate() {
+        for net in full_suite() {
+            let errors = confmask_config::validate(&net.configs);
+            assert!(errors.is_empty(), "net {}: {errors:?}", net.id);
+        }
+    }
+}

@@ -1,0 +1,351 @@
+//! Configuration synthesis from an abstract topology specification.
+
+use confmask_config::{
+    BgpConfig, BgpNeighbor, HostConfig, Interface, NetworkConfigs, NetworkStatement, OspfConfig,
+    RipConfig, RouterConfig,
+};
+use confmask_net_types::{Asn, Ipv4Addr, Ipv4Prefix};
+
+/// Which IGP the synthesized network runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IgpProtocol {
+    /// Link-state (OSPF).
+    Ospf,
+    /// Distance-vector (RIP).
+    Rip,
+}
+
+/// Abstract topology specification.
+#[derive(Debug, Clone)]
+pub struct TopoSpec {
+    /// Network name (used in reports).
+    pub name: String,
+    /// Router names, index = router id within the spec.
+    pub routers: Vec<String>,
+    /// Router-router links `(a, b, ospf_cost)`; `None` = protocol default.
+    pub links: Vec<(usize, usize, Option<u32>)>,
+    /// Hosts: `(host name, attached router index)`.
+    pub hosts: Vec<(String, usize)>,
+    /// Per-router ASN; `None` for a pure-IGP network. When set, all
+    /// intra-AS links run the IGP and inter-AS links run eBGP only.
+    pub asn_of: Option<Vec<u32>>,
+    /// The IGP.
+    pub igp: IgpProtocol,
+    /// Append realistic management boilerplate (logging, AAA, NTP, vty, …)
+    /// to every router, matching the line counts of real-world
+    /// configurations. Default `true`; the boilerplate is carried verbatim
+    /// through anonymization like any other uninterpreted line.
+    pub boilerplate: bool,
+}
+
+impl TopoSpec {
+    /// A pure-IGP spec with no hosts (hosts can be pushed afterwards).
+    pub fn new(name: impl Into<String>, routers: Vec<String>, igp: IgpProtocol) -> Self {
+        Self {
+            name: name.into(),
+            routers,
+            links: Vec::new(),
+            hosts: Vec::new(),
+            asn_of: None,
+            igp,
+            boilerplate: true,
+        }
+    }
+
+    /// Whether a link crosses AS boundaries.
+    fn inter_as(&self, a: usize, b: usize) -> bool {
+        match &self.asn_of {
+            Some(asns) => asns[a] != asns[b],
+            None => false,
+        }
+    }
+}
+
+/// Allocates the i-th /31 point-to-point link prefix out of `10.0.0.0/12`.
+fn link_prefix(i: usize) -> Ipv4Prefix {
+    let base: Ipv4Prefix = "10.0.0.0/12".parse().expect("static prefix");
+    base.subnet(31, i as u32).expect("enough /31s for any realistic network")
+}
+
+/// Allocates the j-th /24 host LAN out of `10.100.0.0/14`.
+fn host_lan(j: usize) -> Ipv4Prefix {
+    let base: Ipv4Prefix = "10.100.0.0/14".parse().expect("static prefix");
+    base.subnet(24, j as u32).expect("enough /24s for any realistic network")
+}
+
+/// Synthesizes full configurations from a topology specification.
+///
+/// Conventions (matching the paper's auto-generation scripts in spirit):
+///
+/// * each router-router link gets a fresh `/31`; explicit `ip ospf cost`
+///   only when the spec sets one;
+/// * each host gets a fresh `/24` LAN; the router side takes `.1`, the host
+///   `.100`;
+/// * pure-IGP networks enable the IGP (with one `network` statement per
+///   connected prefix) on every interface;
+/// * BGP networks enable the IGP on intra-AS links and host LANs, run
+///   `router bgp <asn>` on every router, originate every local host LAN
+///   into BGP, and configure eBGP sessions on both ends of inter-AS links.
+pub fn synthesize(spec: &TopoSpec) -> NetworkConfigs {
+    let n = spec.routers.len();
+    let mut routers: Vec<RouterConfig> = spec
+        .routers
+        .iter()
+        .map(|name| RouterConfig::new(name.clone()))
+        .collect();
+    let mut iface_count = vec![0usize; n];
+    let mut igp_nets: Vec<Vec<Ipv4Prefix>> = vec![Vec::new(); n];
+    let mut bgp_nets: Vec<Vec<Ipv4Prefix>> = vec![Vec::new(); n];
+    let mut bgp_sessions: Vec<Vec<(Ipv4Addr, u32)>> = vec![Vec::new(); n];
+
+    let add_iface =
+        |routers: &mut Vec<RouterConfig>, iface_count: &mut Vec<usize>, r: usize, addr: Ipv4Addr, len: u8, cost: Option<u32>, desc: String| {
+            let name = format!("Ethernet0/{}", iface_count[r]);
+            iface_count[r] += 1;
+            let mut iface = Interface::new(name, addr, len);
+            iface.ospf_cost = cost;
+            iface.description = Some(desc);
+            routers[r].interfaces.push(iface);
+        };
+
+    for (li, &(a, b, cost)) in spec.links.iter().enumerate() {
+        let p = link_prefix(li);
+        let (lo, hi) = (p.first_host(), p.second_host());
+        add_iface(&mut routers, &mut iface_count, a, lo, 31, cost, format!("to-{}", spec.routers[b]));
+        add_iface(&mut routers, &mut iface_count, b, hi, 31, cost, format!("to-{}", spec.routers[a]));
+        if spec.inter_as(a, b) {
+            let asns = spec.asn_of.as_ref().expect("inter_as implies asn_of");
+            bgp_sessions[a].push((hi, asns[b]));
+            bgp_sessions[b].push((lo, asns[a]));
+        } else {
+            igp_nets[a].push(p);
+            igp_nets[b].push(p);
+        }
+    }
+
+    let mut hosts: Vec<HostConfig> = Vec::new();
+    for (hj, (hname, r)) in spec.hosts.iter().enumerate() {
+        let lan = host_lan(hj);
+        let gw = lan.first_host();
+        add_iface(&mut routers, &mut iface_count, *r, gw, 24, None, format!("lan-{hname}"));
+        igp_nets[*r].push(lan);
+        bgp_nets[*r].push(lan);
+        hosts.push(HostConfig {
+            hostname: hname.clone(),
+            iface_name: "eth0".into(),
+            address: (lan.subnet(32, 100).expect("/24 has .100").network(), 24),
+            gateway: gw,
+            extra: Vec::new(),
+            added: false,
+        });
+    }
+
+    for r in 0..n {
+        let statements: Vec<NetworkStatement> = igp_nets[r]
+            .iter()
+            .map(|p| NetworkStatement {
+                prefix: *p,
+                area: 0,
+                added: false,
+            })
+            .collect();
+        match spec.igp {
+            IgpProtocol::Ospf => {
+                routers[r].ospf = Some(OspfConfig {
+                    process_id: 1,
+                    networks: statements,
+                    distribute_lists: Vec::new(),
+                });
+            }
+            IgpProtocol::Rip => {
+                routers[r].rip = Some(RipConfig {
+                    networks: statements,
+                    distribute_lists: Vec::new(),
+                });
+            }
+        }
+        if let Some(asns) = &spec.asn_of {
+            routers[r].bgp = Some(BgpConfig {
+                asn: Asn(asns[r]),
+                networks: bgp_nets[r]
+                    .iter()
+                    .map(|p| NetworkStatement {
+                        prefix: *p,
+                        area: 0,
+                        added: false,
+                    })
+                    .collect(),
+                neighbors: bgp_sessions[r]
+                    .iter()
+                    .map(|&(addr, remote)| BgpNeighbor {
+                        addr,
+                        remote_as: Asn(remote),
+                        local_pref: None,
+                        added: false,
+                    })
+                    .collect(),
+                distribute_lists: Vec::new(),
+            });
+        }
+    }
+
+    if spec.boilerplate {
+        for (ri, rc) in routers.iter_mut().enumerate() {
+            rc.extra_lines = management_boilerplate(&rc.hostname, ri);
+        }
+    }
+
+    NetworkConfigs::new(routers, hosts)
+}
+
+/// Deterministic management boilerplate (~60 lines) in the style of real
+/// Cisco configurations: what makes real files ~100 lines per router while
+/// only a fraction is routing-relevant. These lines are uninterpreted by
+/// the simulator and preserved verbatim by the anonymizer.
+fn management_boilerplate(hostname: &str, idx: usize) -> Vec<String> {
+    let mut l: Vec<String> = Vec::with_capacity(64);
+    let push = |l: &mut Vec<String>, s: &str| l.push(s.to_string());
+    push(&mut l, "version 15.2");
+    push(&mut l, "service timestamps debug datetime msec");
+    push(&mut l, "service timestamps log datetime msec");
+    push(&mut l, "service password-encryption");
+    push(&mut l, "no ip domain lookup");
+    l.push(format!("ip domain name {hostname}.example.net"));
+    push(&mut l, "boot-start-marker");
+    push(&mut l, "boot-end-marker");
+    push(&mut l, "enable secret 5 $1$XXXX$REDACTEDREDACTEDREDACTED");
+    push(&mut l, "aaa new-model");
+    push(&mut l, "aaa authentication login default local");
+    push(&mut l, "aaa authorization exec default local");
+    push(&mut l, "aaa session-id common");
+    push(&mut l, "clock timezone UTC 0 0");
+    push(&mut l, "no ip source-route");
+    push(&mut l, "ip cef");
+    push(&mut l, "no ipv6 cef");
+    push(&mut l, "multilink bundle-name authenticated");
+    l.push(format!("username admin privilege 15 secret 5 $1$YYYY$HASH{idx:04}"));
+    push(&mut l, "redundancy");
+    push(&mut l, "ip forward-protocol nd");
+    push(&mut l, "no ip http server");
+    push(&mut l, "no ip http secure-server");
+    push(&mut l, "logging buffered 64000");
+    l.push("logging source-interface Ethernet0/0".to_string());
+    push(&mut l, "logging host 192.0.2.10");
+    push(&mut l, "snmp-server community REDACTED RO");
+    push(&mut l, "snmp-server location datacenter");
+    l.push(format!("snmp-server contact noc-{idx:03}@example.net"));
+    push(&mut l, "snmp-server enable traps snmp authentication linkdown linkup coldstart warmstart");
+    push(&mut l, "snmp-server enable traps config");
+    push(&mut l, "snmp-server enable traps entity");
+    push(&mut l, "snmp-server enable traps cpu threshold");
+    push(&mut l, "tacacs-server host 192.0.2.20");
+    push(&mut l, "tacacs-server directed-request");
+    push(&mut l, "control-plane");
+    push(&mut l, "banner exec ^C Authorized access only ^C");
+    push(&mut l, "banner login ^C This system is the property of Example Corp ^C");
+    push(&mut l, "banner motd ^C Scheduled maintenance window: Sunday 02:00-04:00 UTC ^C");
+    push(&mut l, "line con 0");
+    push(&mut l, " exec-timeout 5 0");
+    push(&mut l, " logging synchronous");
+    push(&mut l, " stopbits 1");
+    push(&mut l, "line aux 0");
+    push(&mut l, " exec-timeout 0 1");
+    push(&mut l, " no exec");
+    push(&mut l, "line vty 0 4");
+    push(&mut l, " exec-timeout 15 0");
+    push(&mut l, " transport input ssh");
+    push(&mut l, " transport output ssh");
+    push(&mut l, "line vty 5 15");
+    push(&mut l, " exec-timeout 15 0");
+    push(&mut l, " transport input ssh");
+    push(&mut l, "ntp source Ethernet0/0");
+    push(&mut l, "ntp server 192.0.2.30");
+    push(&mut l, "ntp server 192.0.2.31");
+    push(&mut l, "archive");
+    push(&mut l, " log config");
+    push(&mut l, "  logging enable");
+    push(&mut l, "  notify syslog contenttype plaintext");
+    push(&mut l, " path flash:backup");
+    push(&mut l, "ip ssh version 2");
+    push(&mut l, "ip ssh time-out 60");
+    push(&mut l, "ip scp server enable");
+    push(&mut l, "end");
+    l
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_spec(igp: IgpProtocol) -> TopoSpec {
+        let mut spec = TopoSpec::new(
+            "line",
+            vec!["r0".into(), "r1".into(), "r2".into()],
+            igp,
+        );
+        spec.links = vec![(0, 1, None), (1, 2, Some(5))];
+        spec.hosts = vec![("h0".into(), 0), ("h2".into(), 2)];
+        spec
+    }
+
+    #[test]
+    fn ospf_synthesis_shape() {
+        let net = synthesize(&line_spec(IgpProtocol::Ospf));
+        assert_eq!(net.routers.len(), 3);
+        assert_eq!(net.hosts.len(), 2);
+        let r1 = &net.routers["r1"];
+        assert_eq!(r1.interfaces.len(), 2);
+        assert_eq!(r1.interfaces[1].ospf_cost, Some(5));
+        assert_eq!(r1.ospf.as_ref().unwrap().networks.len(), 2);
+        assert!(r1.bgp.is_none() && r1.rip.is_none());
+        // Host gateway is the router-side .1.
+        let h0 = &net.hosts["h0"];
+        assert_eq!(h0.gateway, h0.prefix().unwrap().first_host());
+    }
+
+    #[test]
+    fn rip_synthesis_uses_rip_block() {
+        let net = synthesize(&line_spec(IgpProtocol::Rip));
+        assert!(net.routers["r0"].rip.is_some());
+        assert!(net.routers["r0"].ospf.is_none());
+    }
+
+    #[test]
+    fn bgp_synthesis_sessions_on_inter_as_links() {
+        let mut spec = line_spec(IgpProtocol::Ospf);
+        spec.asn_of = Some(vec![100, 100, 200]); // link (1,2) crosses ASes
+        let net = synthesize(&spec);
+        let r1 = &net.routers["r1"];
+        let r2 = &net.routers["r2"];
+        assert_eq!(r1.bgp.as_ref().unwrap().neighbors.len(), 1);
+        assert_eq!(r2.bgp.as_ref().unwrap().neighbors.len(), 1);
+        assert_eq!(r1.bgp.as_ref().unwrap().neighbors[0].remote_as, Asn(200));
+        // Inter-AS link is not in the IGP.
+        assert_eq!(r1.ospf.as_ref().unwrap().networks.len(), 1);
+        // Host LAN originated into BGP at its router.
+        assert_eq!(net.routers["r2"].bgp.as_ref().unwrap().networks.len(), 1);
+    }
+
+    #[test]
+    fn generated_configs_are_valid_and_parse() {
+        let mut spec = line_spec(IgpProtocol::Ospf);
+        spec.asn_of = Some(vec![100, 100, 200]);
+        let net = synthesize(&spec);
+        assert!(confmask_config::validate(&net).is_empty(), "{:?}", confmask_config::validate(&net));
+        for rc in net.routers.values() {
+            let back = confmask_config::parse_router(&rc.emit()).unwrap();
+            assert_eq!(*rc, back);
+        }
+    }
+
+    #[test]
+    fn prefixes_are_disjoint() {
+        let net = synthesize(&line_spec(IgpProtocol::Ospf));
+        let prefixes = net.used_prefixes();
+        for i in 0..prefixes.len() {
+            for j in 0..i {
+                assert!(!prefixes[i].overlaps(&prefixes[j]));
+            }
+        }
+    }
+}

@@ -1,0 +1,94 @@
+//! Structural sanity of the generated evaluation networks: degree spread,
+//! AS connectivity, host placement, and cross-suite independence.
+
+use confmask_netgen::{full_suite, synthesize};
+use confmask_topology::extract::extract_topology;
+use confmask_topology::metrics::router_degree_sequence;
+
+#[test]
+fn wans_have_realistic_degree_spread() {
+    // A WAN degree sequence should be irregular (that is what topology
+    // anonymization exists to fix): more than two distinct degree values.
+    for id in ['D', 'E', 'F'] {
+        let net = full_suite().into_iter().find(|n| n.id == id).unwrap();
+        let topo = extract_topology(&net.configs);
+        let seq = router_degree_sequence(&topo);
+        let distinct: std::collections::BTreeSet<_> = seq.iter().collect();
+        assert!(distinct.len() > 2, "net {} degree spread {:?}", id, distinct);
+    }
+}
+
+#[test]
+fn bgp_nets_have_connected_as_subgraphs() {
+    // Every AS must be internally connected, or iBGP egress resolution
+    // would legitimately fail (the simulator's next-hop validation).
+    for spec in [
+        confmask_netgen::smallnets::enterprise(),
+        confmask_netgen::smallnets::university(),
+        confmask_netgen::smallnets::backbone(),
+    ] {
+        let asns = spec.asn_of.clone().expect("BGP spec");
+        let n = spec.routers.len();
+        for asn in asns.iter().collect::<std::collections::BTreeSet<_>>() {
+            let members: Vec<usize> = (0..n).filter(|&i| asns[i] == *asn).collect();
+            // BFS over intra-AS links.
+            let mut seen = std::collections::BTreeSet::from([members[0]]);
+            let mut queue = vec![members[0]];
+            while let Some(u) = queue.pop() {
+                for &(a, b, _) in &spec.links {
+                    if asns[a] != asns[b] {
+                        continue;
+                    }
+                    for (x, y) in [(a, b), (b, a)] {
+                        if x == u && seen.insert(y) {
+                            queue.push(y);
+                        }
+                    }
+                }
+            }
+            assert_eq!(
+                seen.len(),
+                members.len(),
+                "{}: AS{asn} not internally connected",
+                spec.name
+            );
+        }
+    }
+}
+
+#[test]
+fn every_host_has_a_unique_lan() {
+    for net in full_suite() {
+        let mut lans = std::collections::BTreeSet::new();
+        for h in net.configs.hosts.values() {
+            assert!(
+                lans.insert(h.prefix().expect("host has a LAN")),
+                "net {}: duplicate host LAN",
+                net.id
+            );
+        }
+    }
+}
+
+#[test]
+fn suites_are_independent_instances() {
+    // full_suite() builds fresh configs each call (no shared mutability).
+    let a = full_suite();
+    let b = full_suite();
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x.configs, y.configs, "net {} deterministic", x.id);
+    }
+}
+
+#[test]
+fn boilerplate_can_be_disabled() {
+    let mut spec = confmask_netgen::smallnets::enterprise();
+    spec.boilerplate = false;
+    let lean = synthesize(&spec);
+    spec.boilerplate = true;
+    let full = synthesize(&spec);
+    assert!(full.total_lines() > lean.total_lines() + 40 * lean.routers.len());
+    for rc in lean.routers.values() {
+        assert!(rc.extra_lines.is_empty());
+    }
+}

@@ -1,0 +1,437 @@
+//! BGP: router-level path-vector with eBGP sessions and an implicit iBGP
+//! full mesh.
+//!
+//! Model (the subset ConfMask's networks exercise):
+//!
+//! * Every router with a `router bgp` block participates; its ASN groups it
+//!   into an AS.
+//! * A router **originates** a prefix when it has a `network` statement for
+//!   it and owns a connected interface on it.
+//! * **eBGP**: a session advertises the sender's best route with the
+//!   sender's ASN prepended. AS-path loop prevention rejects routes whose
+//!   path already contains the receiver's ASN. An inbound per-neighbor
+//!   `distribute-list` drops denied prefixes on arrival — this is where
+//!   ConfMask's BGP route-equivalence filters act.
+//! * **iBGP** (full mesh, implicit): every router sees the best routes of
+//!   every same-AS router that originated them or learned them via eBGP
+//!   (standard no-re-advertisement rule). Forwarding toward an iBGP route
+//!   resolves through the IGP to the egress router.
+//! * **Decision process**: locally originated wins; then shortest AS-path;
+//!   then eBGP over iBGP; then lowest neighbor/egress id — a deterministic
+//!   total order, so the simulation always lands in *one* of the protocol's
+//!   stable states (BGP picks a local equilibrium rather than a global
+//!   optimum \[18\], which is why ConfMask must re-simulate after each round
+//!   of filters, §4.3).
+//!
+//! Synchronous iteration to a fixpoint; instances with no stable state
+//! (Griffin's "bad gadgets") are reported as [`SimError::BgpDiverged`].
+
+use crate::error::SimError;
+use crate::fib::RouteSource;
+use crate::network::SimNetwork;
+use crate::ospf::RouterPaths;
+use confmask_net_types::{Asn, Ipv4Addr, Ipv4Prefix, RouterId};
+use std::collections::BTreeMap;
+
+/// The route BGP contributes to a router's RIB for one prefix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BgpFibRoute {
+    /// [`RouteSource::Ebgp`] or [`RouteSource::Ibgp`].
+    pub source: RouteSource,
+    /// Resolved next hops `(out_iface, neighbor)`.
+    pub next_hops: Vec<(usize, RouterId)>,
+    /// For eBGP routes, the session peer address (filter attachment point).
+    pub session_peer: Option<Ipv4Addr>,
+    /// Length of the winning AS path.
+    pub as_path_len: usize,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Learned {
+    Origin,
+    Ebgp { session: usize },
+    Ibgp { egress: RouterId },
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Candidate {
+    as_path: Vec<Asn>,
+    /// Local preference (assigned at the eBGP ingress, carried over iBGP).
+    local_pref: u32,
+    learned: Learned,
+}
+
+impl Candidate {
+    /// Deterministic preference key (lower wins): locally originated, then
+    /// highest local preference, then shortest AS path, then eBGP over
+    /// iBGP, then lowest neighbor id.
+    fn key(&self) -> (u8, u32, usize, u8, u32) {
+        let pref = u32::MAX - self.local_pref;
+        match &self.learned {
+            Learned::Origin => (0, 0, 0, 0, 0),
+            Learned::Ebgp { session } => (1, pref, self.as_path.len(), 0, *session as u32),
+            Learned::Ibgp { egress } => (1, pref, self.as_path.len(), 1, egress.0),
+        }
+    }
+}
+
+type BestMap = Vec<BTreeMap<Ipv4Prefix, Candidate>>;
+
+/// Runs BGP to a stable state and returns per-router FIB contributions.
+pub fn compute(
+    net: &SimNetwork,
+    igp: &RouterPaths,
+) -> Result<Vec<BTreeMap<Ipv4Prefix, BgpFibRoute>>, SimError> {
+    let n = net.router_count();
+    let any_bgp = net.routers.iter().any(|r| r.asn.is_some());
+    if !any_bgp {
+        return Ok(vec![BTreeMap::new(); n]);
+    }
+
+    // Origin routes.
+    let mut best: BestMap = vec![BTreeMap::new(); n];
+    for (rid, r) in net.routers_iter() {
+        if r.asn.is_none() {
+            continue;
+        }
+        for p in &r.bgp_networks {
+            if r.ifaces.iter().any(|i| i.prefix == *p) {
+                best[rid.0 as usize].insert(
+                    *p,
+                    Candidate {
+                        as_path: Vec::new(),
+                        local_pref: u32::MAX, // locally originated always wins
+                        learned: Learned::Origin,
+                    },
+                );
+            }
+        }
+    }
+
+    let max_rounds = 2 * n + 20;
+    let mut stable = false;
+    for _round in 0..max_rounds {
+        let new_best = step(net, &best, igp);
+        if new_best == best {
+            stable = true;
+            break;
+        }
+        best = new_best;
+    }
+    if !stable {
+        // One extra check: a fixpoint could land exactly on the last step.
+        let new_best = step(net, &best, igp);
+        if new_best != best {
+            return Err(SimError::BgpDiverged { rounds: max_rounds });
+        }
+    }
+
+    // Resolve bests into FIB contributions.
+    let mut out: Vec<BTreeMap<Ipv4Prefix, BgpFibRoute>> = vec![BTreeMap::new(); n];
+    for (rid, r) in net.routers_iter() {
+        let u = rid.0 as usize;
+        for (p, cand) in &best[u] {
+            match &cand.learned {
+                Learned::Origin => {} // the connected route covers it
+                Learned::Ebgp { session } => {
+                    let s = &r.sessions[*session];
+                    if let (Some(iface), Some((peer, _))) = (s.local_iface, s.peer) {
+                        out[u].insert(
+                            *p,
+                            BgpFibRoute {
+                                source: RouteSource::Ebgp,
+                                next_hops: vec![(iface, peer)],
+                                session_peer: Some(s.peer_addr),
+                                as_path_len: cand.as_path.len(),
+                            },
+                        );
+                    }
+                }
+                Learned::Ibgp { egress } => {
+                    // iBGP next hops resolve through the IGP toward the
+                    // egress. An inbound IGP distribute-list for the
+                    // destination prefix also suppresses the resolved hop at
+                    // FIB-installation time (this is the semantics ConfMask's
+                    // route-equivalence filters rely on to steer traffic off
+                    // fake intra-AS links for BGP-learned destinations; the
+                    // fake links are equal-cost by construction, so the
+                    // original IGP hops always remain).
+                    let mut hops = igp.next_hops[u][egress.0 as usize].clone();
+                    hops.retain(|&(ii, _)| !r.ifaces[ii].igp_denies(p));
+                    if !hops.is_empty() {
+                        out[u].insert(
+                            *p,
+                            BgpFibRoute {
+                                source: RouteSource::Ibgp,
+                                next_hops: hops,
+                                session_peer: None,
+                                as_path_len: cand.as_path.len(),
+                            },
+                        );
+                    }
+                }
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// One synchronous round: recompute every router's best from the previous
+/// round's bests.
+fn step(net: &SimNetwork, prev: &BestMap, igp: &RouterPaths) -> BestMap {
+    let n = net.router_count();
+    let mut next: BestMap = vec![BTreeMap::new(); n];
+
+    for (rid, r) in net.routers_iter() {
+        let u = rid.0 as usize;
+        let Some(asn) = r.asn else { continue };
+        let mut candidates: BTreeMap<Ipv4Prefix, Vec<Candidate>> = BTreeMap::new();
+
+        // Origins persist.
+        for p in &r.bgp_networks {
+            if r.ifaces.iter().any(|i| i.prefix == *p) {
+                candidates.entry(*p).or_default().push(Candidate {
+                    as_path: Vec::new(),
+                    local_pref: u32::MAX,
+                    learned: Learned::Origin,
+                });
+            }
+        }
+
+        // eBGP: peers advertise their previous-round best, prepending their
+        // ASN.
+        for (si, s) in r.sessions.iter().enumerate() {
+            let Some((peer, _)) = s.peer else { continue };
+            let peer_node = net.router(peer);
+            let Some(peer_asn) = peer_node.asn else { continue };
+            if peer_asn == asn {
+                continue; // iBGP is modelled implicitly
+            }
+            // The peer's configured view of us must match for the session to
+            // come up (both directions configured).
+            let reciprocal = peer_node.sessions.iter().any(|ps| {
+                ps.peer.map(|(q, _)| q) == Some(rid) && ps.remote_as == asn
+            });
+            if !reciprocal {
+                continue;
+            }
+            for (p, cand) in &prev[peer.0 as usize] {
+                let mut as_path = Vec::with_capacity(cand.as_path.len() + 1);
+                as_path.push(peer_asn);
+                as_path.extend_from_slice(&cand.as_path);
+                if as_path.contains(&asn) {
+                    continue; // loop prevention
+                }
+                if s.denies(p) {
+                    continue; // inbound filter
+                }
+                candidates.entry(*p).or_default().push(Candidate {
+                    as_path,
+                    local_pref: s.local_pref,
+                    learned: Learned::Ebgp { session: si },
+                });
+            }
+        }
+
+        // iBGP full mesh: same-AS routers share eBGP-learned/originated
+        // bests. A candidate is only usable (installable and
+        // re-advertisable) if at least one IGP next hop toward the egress
+        // both exists (real BGP's next-hop validation) and survives this
+        // router's inbound filters for the destination — a route that can
+        // never be installed must not be selected, or the router would
+        // advertise reachability it cannot provide (creating exactly the
+        // black holes ConfMask's equivalence checker would reject).
+        for (qid, q) in net.routers_iter() {
+            if qid == rid || q.asn != Some(asn) {
+                continue;
+            }
+            let hops = &igp.next_hops[u][qid.0 as usize];
+            if hops.is_empty() {
+                continue; // egress unreachable: next-hop validation fails
+            }
+            for (p, cand) in &prev[qid.0 as usize] {
+                let installable = hops.iter().any(|&(ii, _)| !r.ifaces[ii].igp_denies(p));
+                if !installable {
+                    continue;
+                }
+                match cand.learned {
+                    Learned::Origin | Learned::Ebgp { .. } => {
+                        candidates.entry(*p).or_default().push(Candidate {
+                            as_path: cand.as_path.clone(),
+                            local_pref: cand.local_pref,
+                            learned: Learned::Ibgp { egress: qid },
+                        });
+                    }
+                    Learned::Ibgp { .. } => {}
+                }
+            }
+        }
+
+        for (p, cands) in candidates {
+            if let Some(bestc) = cands.into_iter().min_by_key(|c| c.key()) {
+                next[u].insert(p, bestc);
+            }
+        }
+    }
+    next
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ospf;
+    use confmask_config::{parse_router, HostConfig, NetworkConfigs};
+
+    /// Three ASes in a line plus an optional shortcut AS1–AS3:
+    /// r1 (AS1, h1) — r2 (AS2) — r3 (AS3, h3); shortcut link r1—r3.
+    fn tri_as(shortcut: bool) -> NetworkConfigs {
+        let mut r1 = String::from(
+            "hostname r1\n!\ninterface Ethernet0/0\n ip address 10.0.12.0 255.255.255.254\n!\ninterface Ethernet0/1\n ip address 10.1.1.1 255.255.255.0\n!\n",
+        );
+        let mut r3 = String::from(
+            "hostname r3\n!\ninterface Ethernet0/0\n ip address 10.0.23.1 255.255.255.254\n!\ninterface Ethernet0/1\n ip address 10.1.3.1 255.255.255.0\n!\n",
+        );
+        if shortcut {
+            r1.push_str("interface Ethernet0/2\n ip address 10.0.13.0 255.255.255.254\n!\n");
+            r3.push_str("interface Ethernet0/2\n ip address 10.0.13.1 255.255.255.254\n!\n");
+        }
+        r1.push_str(
+            "router bgp 1\n network 10.1.1.0 mask 255.255.255.0\n neighbor 10.0.12.1 remote-as 2\n",
+        );
+        r3.push_str(
+            "router bgp 3\n network 10.1.3.0 mask 255.255.255.0\n neighbor 10.0.23.0 remote-as 2\n",
+        );
+        if shortcut {
+            r1.push_str(" neighbor 10.0.13.1 remote-as 3\n");
+            r3.push_str(" neighbor 10.0.13.0 remote-as 1\n");
+        }
+        r1.push_str("!\n");
+        r3.push_str("!\n");
+        let r2 = "hostname r2\n!\ninterface Ethernet0/0\n ip address 10.0.12.1 255.255.255.254\n!\ninterface Ethernet0/1\n ip address 10.0.23.0 255.255.255.254\n!\nrouter bgp 2\n neighbor 10.0.12.0 remote-as 1\n neighbor 10.0.23.1 remote-as 3\n!\n";
+
+        let h1 = HostConfig {
+            hostname: "h1".into(),
+            iface_name: "eth0".into(),
+            address: ("10.1.1.100".parse().unwrap(), 24),
+            gateway: "10.1.1.1".parse().unwrap(),
+            extra: vec![],
+            added: false,
+        };
+        let h3 = HostConfig {
+            hostname: "h3".into(),
+            iface_name: "eth0".into(),
+            address: ("10.1.3.100".parse().unwrap(), 24),
+            gateway: "10.1.3.1".parse().unwrap(),
+            extra: vec![],
+            added: false,
+        };
+        NetworkConfigs::new(
+            [
+                parse_router(&r1).unwrap(),
+                parse_router(r2).unwrap(),
+                parse_router(&r3).unwrap(),
+            ],
+            [h1, h3],
+        )
+    }
+
+    fn routes_for(cfgs: &NetworkConfigs) -> (SimNetwork, Vec<BTreeMap<Ipv4Prefix, BgpFibRoute>>) {
+        let net = SimNetwork::build(cfgs).unwrap();
+        let igp = ospf::router_paths(&net);
+        let routes = compute(&net, &igp).unwrap();
+        (net, routes)
+    }
+
+    #[test]
+    fn propagates_across_two_hops() {
+        let (net, routes) = routes_for(&tri_as(false));
+        let r1 = net.router_id("r1").unwrap();
+        let r2 = net.router_id("r2").unwrap();
+        let lan3: Ipv4Prefix = "10.1.3.0/24".parse().unwrap();
+        let route = &routes[r1.0 as usize][&lan3];
+        assert_eq!(route.source, RouteSource::Ebgp);
+        assert_eq!(route.as_path_len, 2); // via AS2, AS3
+        assert_eq!(route.next_hops, vec![(0, r2)]);
+    }
+
+    #[test]
+    fn prefers_shorter_as_path() {
+        let (net, routes) = routes_for(&tri_as(true));
+        let r1 = net.router_id("r1").unwrap();
+        let r3 = net.router_id("r3").unwrap();
+        let lan3: Ipv4Prefix = "10.1.3.0/24".parse().unwrap();
+        let route = &routes[r1.0 as usize][&lan3];
+        assert_eq!(route.as_path_len, 1, "direct AS3 path wins");
+        assert_eq!(route.next_hops[0].1, r3);
+    }
+
+    #[test]
+    fn session_filter_reverts_to_longer_path() {
+        let mut cfgs = tri_as(true);
+        // Filter the direct advertisement of lan3 at r1's session to r3.
+        {
+            let r1 = cfgs.routers.get_mut("r1").unwrap();
+            r1.prefix_lists.push(confmask_config::PrefixList {
+                name: "F".into(),
+                entries: vec![confmask_config::PrefixListEntry {
+                    seq: 5,
+                    action: confmask_config::FilterAction::Deny,
+                    prefix: "10.1.3.0/24".parse().unwrap(),
+                    added: false,
+                }],
+            });
+            r1.bgp.as_mut().unwrap().distribute_lists.push(
+                confmask_config::DistributeListBinding::Neighbor {
+                    list: "F".into(),
+                    neighbor: "10.0.13.1".parse().unwrap(),
+                    added: false,
+                },
+            );
+        }
+        let (net, routes) = routes_for(&cfgs);
+        let r1 = net.router_id("r1").unwrap();
+        let r2 = net.router_id("r2").unwrap();
+        let lan3: Ipv4Prefix = "10.1.3.0/24".parse().unwrap();
+        let route = &routes[r1.0 as usize][&lan3];
+        assert_eq!(route.as_path_len, 2, "falls back to the AS2 path");
+        assert_eq!(route.next_hops[0].1, r2);
+    }
+
+    #[test]
+    fn loop_prevention_blocks_own_asn() {
+        // With the shortcut, r1's own lan1 must never be learned back from
+        // r3 (its path would contain AS1).
+        let (net, routes) = routes_for(&tri_as(true));
+        let r1 = net.router_id("r1").unwrap();
+        let lan1: Ipv4Prefix = "10.1.1.0/24".parse().unwrap();
+        assert!(!routes[r1.0 as usize].contains_key(&lan1));
+    }
+
+    #[test]
+    fn one_sided_session_does_not_come_up() {
+        let mut cfgs = tri_as(false);
+        // Remove r2's neighbor statement toward r3.
+        cfgs.routers
+            .get_mut("r2")
+            .unwrap()
+            .bgp
+            .as_mut()
+            .unwrap()
+            .neighbors
+            .retain(|n| n.addr != "10.0.23.1".parse::<Ipv4Addr>().unwrap());
+        let (net, routes) = routes_for(&cfgs);
+        let r1 = net.router_id("r1").unwrap();
+        let lan3: Ipv4Prefix = "10.1.3.0/24".parse().unwrap();
+        assert!(!routes[r1.0 as usize].contains_key(&lan3));
+    }
+
+    #[test]
+    fn non_bgp_network_is_empty() {
+        let cfgs = NetworkConfigs::new(
+            [parse_router("hostname r1\n!\ninterface Ethernet0/0\n ip address 10.0.0.0 255.255.255.254\n!\n").unwrap()],
+            [],
+        );
+        let (_, routes) = routes_for(&cfgs);
+        assert!(routes[0].is_empty());
+    }
+}

@@ -1,0 +1,337 @@
+//! Data-plane extraction: host-to-host forwarding paths, traceroute,
+//! reachability, loop and black-hole detection.
+//!
+//! The data plane `DP` of §3.1 is "the collection of all host-to-host
+//! routing paths in the network"; each path is a node sequence
+//! `(h_s, r_1, …, r_n, h_d)`. Paths are enumerated by walking FIBs with
+//! ECMP branching, which is exactly what Batfish's traceroute question does
+//! for the original prototype.
+
+use crate::fib::{Fibs, NextHop};
+use crate::network::SimNetwork;
+use confmask_net_types::{HostId, RouterId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Cap on enumerated paths per host pair (ECMP explosion guard; far above
+/// anything the evaluation networks produce).
+pub const MAX_PATHS_PER_PAIR: usize = 256;
+
+/// The forwarding behaviour between one (src, dst) host pair.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PathSet {
+    /// Complete forwarding paths, each `[h_s, r_1, …, r_n, h_d]` by device
+    /// name, sorted and deduplicated.
+    pub paths: Vec<Vec<String>>,
+    /// Some branch dropped traffic (no FIB entry / undeliverable).
+    pub blackhole: bool,
+    /// Some branch entered a forwarding loop.
+    pub has_loop: bool,
+}
+
+impl PathSet {
+    /// Fully reachable: at least one path and no anomalous branch.
+    pub fn clean(&self) -> bool {
+        !self.paths.is_empty() && !self.blackhole && !self.has_loop
+    }
+}
+
+/// All host-to-host forwarding paths (the paper's `DP`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DataPlane {
+    pairs: BTreeMap<(String, String), PathSet>,
+}
+
+impl DataPlane {
+    /// The path set between two hosts (by name).
+    pub fn between(&self, src: &str, dst: &str) -> Option<&PathSet> {
+        self.pairs.get(&(src.to_string(), dst.to_string()))
+    }
+
+    /// Iterates over every `((src, dst), paths)` pair.
+    pub fn pairs(&self) -> impl Iterator<Item = (&(String, String), &PathSet)> {
+        self.pairs.iter()
+    }
+
+    /// Number of host pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True when no pairs exist.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// The data plane restricted to pairs whose endpoints are both in
+    /// `hosts` — used to compare an anonymized network with the original on
+    /// the *real* hosts only (fake hosts are outside the equivalence
+    /// mapping, Appendix A).
+    pub fn restricted_to(&self, hosts: &BTreeSet<String>) -> DataPlane {
+        DataPlane {
+            pairs: self
+                .pairs
+                .iter()
+                .filter(|((s, d), _)| hosts.contains(s) && hosts.contains(d))
+                .map(|(k, v)| (k.clone(), v.clone()))
+                .collect(),
+        }
+    }
+
+    /// Exact route equivalence on a host subset: identical path sets for
+    /// every pair (Definition 3.3's *route equivalence*).
+    pub fn equivalent_on(&self, other: &DataPlane, hosts: &BTreeSet<String>) -> bool {
+        self.restricted_to(hosts) == other.restricted_to(hosts)
+    }
+
+    /// Inserts a pair (used by the extractor and tests).
+    pub fn insert(&mut self, src: String, dst: String, paths: PathSet) {
+        self.pairs.insert((src, dst), paths);
+    }
+}
+
+/// Extracts the complete data plane: every ordered host pair.
+///
+/// Host pairs are independent, so extraction fans out over scoped threads
+/// for larger networks (the dominant cost of repeated simulation in the
+/// anonymization pipeline, §5.4).
+pub fn extract_dataplane(net: &SimNetwork, fibs: &Fibs) -> DataPlane {
+    let hosts: Vec<HostId> = net.hosts_iter().map(|(id, _)| id).collect();
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+        .min(8);
+    let mut dp = DataPlane::default();
+    if threads <= 1 || hosts.len() < 16 {
+        for &src_id in &hosts {
+            for &dst_id in &hosts {
+                if src_id == dst_id {
+                    continue;
+                }
+                let ps = trace(net, fibs, src_id, dst_id);
+                dp.insert(
+                    net.host(src_id).name.clone(),
+                    net.host(dst_id).name.clone(),
+                    ps,
+                );
+            }
+        }
+        return dp;
+    }
+
+    let chunks: Vec<&[HostId]> = hosts.chunks(hosts.len().div_ceil(threads)).collect();
+    let partials: Vec<Vec<(String, String, PathSet)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = chunks
+            .into_iter()
+            .map(|chunk| {
+                let hosts = &hosts;
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    for &src_id in chunk {
+                        for &dst_id in hosts {
+                            if src_id == dst_id {
+                                continue;
+                            }
+                            let ps = trace(net, fibs, src_id, dst_id);
+                            out.push((
+                                net.host(src_id).name.clone(),
+                                net.host(dst_id).name.clone(),
+                                ps,
+                            ));
+                        }
+                    }
+                    out
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("no panics in trace")).collect()
+    });
+    for partial in partials {
+        for (s, d, ps) in partial {
+            dp.insert(s, d, ps);
+        }
+    }
+    dp
+}
+
+/// Traces all forwarding paths from `src` to `dst` (the paper's
+/// `traceroute(h_a, h_b)`).
+pub fn trace(net: &SimNetwork, fibs: &Fibs, src: HostId, dst: HostId) -> PathSet {
+    let src_node = net.host(src);
+    let dst_node = net.host(dst);
+    let mut out = PathSet::default();
+
+    let Some((gw, _)) = src_node.attachment else {
+        out.blackhole = true;
+        return out;
+    };
+
+    // Same-LAN special case: src and dst share a segment — direct delivery.
+    if src_node.prefix == dst_node.prefix
+        && src_node.attachment == dst_node.attachment
+    {
+        out.paths.push(vec![src_node.name.clone(), dst_node.name.clone()]);
+        return out;
+    }
+
+    let mut walk: Vec<RouterId> = vec![gw];
+    dfs(net, fibs, dst, &mut walk, &mut out);
+    out.paths.sort();
+    out.paths.dedup();
+
+    // Prepend/append host names.
+    for p in &mut out.paths {
+        p.insert(0, src_node.name.clone());
+        p.push(dst_node.name.clone());
+    }
+    out
+}
+
+fn dfs(net: &SimNetwork, fibs: &Fibs, dst: HostId, walk: &mut Vec<RouterId>, out: &mut PathSet) {
+    if out.paths.len() >= MAX_PATHS_PER_PAIR {
+        return;
+    }
+    let cur = *walk.last().expect("walk non-empty");
+    let dst_node = net.host(dst);
+    let entry = fibs.of(cur).lookup(dst_node.addr);
+    let Some(entry) = entry else {
+        out.blackhole = true;
+        return;
+    };
+    for nh in &entry.next_hops {
+        match nh {
+            NextHop::Deliver { iface } => {
+                // Delivery succeeds only if the destination host actually
+                // sits on this router+interface.
+                if dst_node.attachment == Some((cur, *iface)) {
+                    out.paths
+                        .push(walk.iter().map(|r| net.router(*r).name.clone()).collect());
+                } else {
+                    out.blackhole = true;
+                }
+            }
+            NextHop::Forward { router, .. } => {
+                if walk.contains(router) {
+                    out.has_loop = true;
+                    continue;
+                }
+                walk.push(*router);
+                dfs(net, fibs, dst, walk, out);
+                walk.pop();
+            }
+        }
+    }
+}
+
+/// The set of hosts reachable (cleanly) from a given router — used by the
+/// route-anonymization algorithm (Algorithm 2) to check it never breaks
+/// reachability.
+pub fn reachable_hosts_from_router(net: &SimNetwork, fibs: &Fibs, r: RouterId) -> BTreeSet<HostId> {
+    let mut reachable = BTreeSet::new();
+    for (hid, _h) in net.hosts_iter() {
+        let mut out = PathSet::default();
+        let mut walk = vec![r];
+        dfs(net, fibs, hid, &mut walk, &mut out);
+        if !out.paths.is_empty() && !out.blackhole && !out.has_loop {
+            reachable.insert(hid);
+        }
+    }
+    reachable
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::simulate;
+    use confmask_config::{parse_router, HostConfig, NetworkConfigs};
+
+    fn host(name: &str, addr: &str, gw: &str) -> HostConfig {
+        HostConfig {
+            hostname: name.into(),
+            iface_name: "eth0".into(),
+            address: (addr.parse().unwrap(), 24),
+            gateway: gw.parse().unwrap(),
+            extra: vec![],
+            added: false,
+        }
+    }
+
+    /// r1 —— r2, one host each; OSPF everywhere.
+    fn two_net() -> NetworkConfigs {
+        let r1 = parse_router(
+            "hostname r1\n!\ninterface Ethernet0/0\n ip address 10.0.0.0 255.255.255.254\n!\ninterface Ethernet0/1\n ip address 10.1.1.1 255.255.255.0\n!\nrouter ospf 1\n network 0.0.0.0 255.255.255.255 area 0\n!\n",
+        )
+        .unwrap();
+        let r2 = parse_router(
+            "hostname r2\n!\ninterface Ethernet0/0\n ip address 10.0.0.1 255.255.255.254\n!\ninterface Ethernet0/1\n ip address 10.1.2.1 255.255.255.0\n!\nrouter ospf 1\n network 0.0.0.0 255.255.255.255 area 0\n!\n",
+        )
+        .unwrap();
+        let mut cfgs = NetworkConfigs::new([r1, r2], [host("h1", "10.1.1.100", "10.1.1.1"), host("h2", "10.1.2.100", "10.1.2.1")]);
+        // Fix the `network 0.0.0.0/0` statements (wildcard form parses as /0 with address 0.0.0.0 — make it explicit).
+        for rc in cfgs.routers.values_mut() {
+            rc.ospf.as_mut().unwrap().networks[0].prefix = "0.0.0.0/0".parse().unwrap();
+        }
+        cfgs
+    }
+
+    #[test]
+    fn end_to_end_two_router_path() {
+        let sim = simulate(&two_net()).unwrap();
+        let ps = sim.dataplane.between("h1", "h2").unwrap();
+        assert!(ps.clean());
+        assert_eq!(ps.paths, vec![vec!["h1".to_string(), "r1".into(), "r2".into(), "h2".into()]]);
+        // And the reverse direction.
+        let ps = sim.dataplane.between("h2", "h1").unwrap();
+        assert_eq!(ps.paths, vec![vec!["h2".to_string(), "r2".into(), "r1".into(), "h1".into()]]);
+    }
+
+    #[test]
+    fn same_lan_hosts_are_direct() {
+        let mut cfgs = two_net();
+        cfgs.hosts.insert(
+            "h1b".into(),
+            host("h1b", "10.1.1.101", "10.1.1.1"),
+        );
+        let sim = simulate(&cfgs).unwrap();
+        let ps = sim.dataplane.between("h1", "h1b").unwrap();
+        assert_eq!(ps.paths, vec![vec!["h1".to_string(), "h1b".into()]]);
+    }
+
+    #[test]
+    fn missing_route_is_blackhole() {
+        let mut cfgs = two_net();
+        // Withdraw r2's LAN from OSPF.
+        let r2 = cfgs.routers.get_mut("r2").unwrap();
+        r2.ospf.as_mut().unwrap().networks[0].prefix = "10.0.0.0/31".parse().unwrap();
+        let sim = simulate(&cfgs).unwrap();
+        let ps = sim.dataplane.between("h1", "h2").unwrap();
+        assert!(ps.blackhole);
+        assert!(ps.paths.is_empty());
+    }
+
+    #[test]
+    fn detached_host_is_blackhole() {
+        let mut cfgs = two_net();
+        cfgs.hosts.get_mut("h1").unwrap().gateway = "10.1.1.9".parse().unwrap();
+        let sim = simulate(&cfgs).unwrap();
+        assert!(sim.dataplane.between("h1", "h2").unwrap().blackhole);
+    }
+
+    #[test]
+    fn reachability_from_each_router() {
+        let sim = simulate(&two_net()).unwrap();
+        for (rid, _) in sim.net.routers_iter() {
+            let reach = reachable_hosts_from_router(&sim.net, &sim.fibs, rid);
+            assert_eq!(reach.len(), 2, "every router reaches both hosts");
+        }
+    }
+
+    #[test]
+    fn restricted_to_filters_pairs() {
+        let sim = simulate(&two_net()).unwrap();
+        let only_h1: BTreeSet<String> = ["h1".to_string()].into();
+        assert!(sim.dataplane.restricted_to(&only_h1).is_empty());
+        let both: BTreeSet<String> = ["h1".to_string(), "h2".to_string()].into();
+        assert_eq!(sim.dataplane.restricted_to(&both).len(), 2);
+        assert!(sim.dataplane.equivalent_on(&sim.dataplane, &both));
+    }
+}

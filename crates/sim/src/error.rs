@@ -1,0 +1,30 @@
+//! Simulator error type.
+
+use std::fmt;
+
+/// Errors produced by model extraction or protocol computation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The configurations are structurally unusable for simulation.
+    BadConfig(String),
+    /// BGP failed to reach a stable state within the iteration budget
+    /// (a routing oscillation — Griffin's stable-paths problem has no
+    /// solution for this instance).
+    BgpDiverged {
+        /// Rounds executed before giving up.
+        rounds: usize,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::BadConfig(m) => write!(f, "bad configuration: {m}"),
+            SimError::BgpDiverged { rounds } => {
+                write!(f, "BGP did not converge within {rounds} rounds")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SimError {}

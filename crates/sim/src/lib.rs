@@ -1,0 +1,76 @@
+//! Native control-plane simulator — the Batfish substitute.
+//!
+//! The original ConfMask prototype delegates all network simulation to an
+//! external Batfish service. This crate replaces it with a self-contained
+//! simulator implementing exactly the capabilities ConfMask uses:
+//!
+//! 1. **Model extraction** ([`SimNetwork`]): configurations → routers,
+//!    interfaces, links, protocol sessions, and resolved route filters.
+//! 2. **Control-plane computation**:
+//!    * [`ospf`] — link-state SPF with ECMP and Cisco-style RIB filtering
+//!      (a `distribute-list in` removes candidate next-hops *after* the SPF,
+//!      which is the behaviour ConfMask's route-equivalence algorithm
+//!      relies on for link-state protocols);
+//!    * [`rip`] — distance-vector Bellman–Ford to a fixpoint with inbound
+//!      advertisement filtering (filters make routes fall back to the
+//!      next-best neighbor — the distance-vector behaviour of §5.1);
+//!    * [`bgp`] — router-level path-vector with eBGP sessions, an implicit
+//!      iBGP full mesh, AS-path loop prevention, shortest-AS-path selection
+//!      and deterministic tie-breaking; iterated to a stable state (BGP
+//!      converges to a *local equilibrium*, which is why ConfMask must
+//!      re-simulate after adding filters, §4.3).
+//! 3. **Data-plane extraction** ([`dataplane`]): per-router FIBs with
+//!    longest-prefix match and administrative distance, exhaustive
+//!    host-to-host forwarding-path enumeration with ECMP branching, loop and
+//!    black-hole detection, and traceroute.
+//!
+//! The entry point is [`simulate`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bgp;
+pub mod dataplane;
+mod error;
+mod fib;
+mod network;
+pub mod ospf;
+pub mod rip;
+
+pub use dataplane::{DataPlane, PathSet};
+pub use error::SimError;
+pub use fib::{AdminDistance, Fib, FibEntry, Fibs, NextHop, RouteSource};
+pub use network::{BgpSession, HostNode, IfaceNode, Peer, RouterNode, SimNetwork};
+
+use confmask_config::NetworkConfigs;
+
+/// A complete simulation result: the extracted model, every router's FIB,
+/// and the host-to-host data plane.
+#[derive(Debug, Clone)]
+pub struct Simulation {
+    /// The extracted network model.
+    pub net: SimNetwork,
+    /// Per-router forwarding tables.
+    pub fibs: Fibs,
+    /// All host-to-host forwarding paths (the paper's `DP`).
+    pub dataplane: DataPlane,
+}
+
+/// Simulates a network: extracts the model, runs every configured protocol,
+/// merges RIBs into FIBs by administrative distance, and enumerates the
+/// data plane.
+pub fn simulate(configs: &NetworkConfigs) -> Result<Simulation, SimError> {
+    let (net, fibs) = simulate_control_plane(configs)?;
+    let dataplane = dataplane::extract_dataplane(&net, &fibs);
+    Ok(Simulation { net, fibs, dataplane })
+}
+
+/// Control-plane-only simulation: model extraction and FIB computation
+/// without the (comparatively expensive) exhaustive data-plane enumeration.
+/// The anonymization pipeline's inner fixpoint loops only inspect FIBs, so
+/// they use this entry point and reserve [`simulate`] for verification.
+pub fn simulate_control_plane(configs: &NetworkConfigs) -> Result<(SimNetwork, Fibs), SimError> {
+    let net = SimNetwork::build(configs)?;
+    let fibs = fib::compute_fibs(&net)?;
+    Ok((net, fibs))
+}

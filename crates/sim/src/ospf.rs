@@ -1,0 +1,427 @@
+//! OSPF: link-state shortest-path-first routing with ECMP.
+//!
+//! Semantics (matching what ConfMask's algorithms rely on, §5.1/§5.2):
+//!
+//! * Adjacency requires OSPF to be active (covered by a `network` statement)
+//!   on **both** ends of a link.
+//! * The cost of a path is the sum of *outgoing* interface costs, plus the
+//!   advertising router's LAN-interface cost (Cisco semantics).
+//! * A `distribute-list ... in <iface>` does **not** change the link-state
+//!   computation (LSAs flood regardless); it only removes candidate
+//!   next-hops through that interface at RIB-installation time. Filtering
+//!   an equal-cost candidate therefore leaves the other candidates intact —
+//!   this is exactly the "equal-cost fake edge is rejected" behaviour of the
+//!   link-state SFE conditions.
+
+use crate::network::{Peer, SimNetwork};
+use confmask_net_types::{Ipv4Prefix, RouterId};
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap};
+
+/// Per-router candidate next-hops per destination prefix:
+/// `routes[r][prefix] = [(out_iface, neighbor_router), ...]` (ECMP set,
+/// already filtered).
+pub type IgpRoutes = Vec<BTreeMap<Ipv4Prefix, Vec<(usize, RouterId)>>>;
+
+/// Directed OSPF adjacency: for each router, `(iface_idx, neighbor,
+/// neighbor_iface, cost_of_our_iface)`.
+fn adjacency(net: &SimNetwork) -> Vec<Vec<(usize, RouterId, usize, u32)>> {
+    let mut adj = vec![Vec::new(); net.router_count()];
+    for (rid, r) in net.routers_iter() {
+        for (ii, iface) in r.ifaces.iter().enumerate() {
+            if !iface.ospf_active {
+                continue;
+            }
+            for peer in &iface.peers {
+                if let Peer::Router { router, iface: pi } = peer {
+                    if net.router(*router).ifaces[*pi].ospf_active {
+                        adj[rid.0 as usize].push((ii, *router, *pi, iface.cost));
+                    }
+                }
+            }
+        }
+    }
+    adj
+}
+
+/// Computes OSPF candidate next-hops for every (router, host-LAN prefix).
+///
+/// Destination prefixes are independent, so the per-prefix multi-source
+/// Dijkstras fan out over scoped threads on larger networks.
+pub fn compute(net: &SimNetwork) -> IgpRoutes {
+    let adj = adjacency(net);
+    let n = net.router_count();
+
+    // Reverse adjacency for the multi-source Dijkstra toward a prefix:
+    // rev[v] = [(u, cost(u→v))] for each forward edge u→v.
+    let mut rev: Vec<Vec<(usize, u32)>> = vec![Vec::new(); n];
+    for (u, edges) in adj.iter().enumerate() {
+        for &(_ii, v, _pi, cost) in edges {
+            rev[v.0 as usize].push((u, cost));
+        }
+    }
+
+    let threads = std::thread::available_parallelism()
+        .map(|t| t.get())
+        .unwrap_or(1)
+        .min(8);
+    if threads > 1 && net.destinations.len() >= 32 {
+        let chunks: Vec<&[(Ipv4Prefix, Vec<confmask_net_types::HostId>)]> = net
+            .destinations
+            .chunks(net.destinations.len().div_ceil(threads))
+            .collect();
+        let partials: Vec<IgpRoutes> = std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| {
+                    let adj = &adj;
+                    let rev = &rev;
+                    scope.spawn(move || compute_for(net, adj, rev, chunk))
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("no panics in SPF"))
+                .collect()
+        });
+        let mut routes: IgpRoutes = vec![BTreeMap::new(); n];
+        for partial in partials {
+            for (r, map) in partial.into_iter().enumerate() {
+                routes[r].extend(map);
+            }
+        }
+        return routes;
+    }
+    compute_for(net, &adj, &rev, &net.destinations)
+}
+
+/// The per-prefix SPF body, over a subset of destinations.
+#[allow(clippy::type_complexity)]
+fn compute_for(
+    net: &SimNetwork,
+    adj: &[Vec<(usize, RouterId, usize, u32)>],
+    rev: &[Vec<(usize, u32)>],
+    destinations: &[(Ipv4Prefix, Vec<confmask_net_types::HostId>)],
+) -> IgpRoutes {
+    let n = net.router_count();
+    let mut routes: IgpRoutes = vec![BTreeMap::new(); n];
+    for (prefix, _hosts) in destinations {
+        // Advertisers: routers with an OSPF-active interface exactly on the
+        // prefix; seed cost is that interface's cost.
+        let mut dist = vec![u64::MAX; n];
+        let mut heap = BinaryHeap::new();
+        for (rid, r) in net.routers_iter() {
+            for iface in &r.ifaces {
+                if iface.ospf_active && iface.prefix == *prefix {
+                    let seed = u64::from(iface.cost);
+                    if seed < dist[rid.0 as usize] {
+                        dist[rid.0 as usize] = seed;
+                        heap.push(Reverse((seed, rid.0 as usize)));
+                    }
+                }
+            }
+        }
+        if heap.is_empty() {
+            continue;
+        }
+        while let Some(Reverse((d, v))) = heap.pop() {
+            if d > dist[v] {
+                continue;
+            }
+            for &(u, cost) in &rev[v] {
+                let nd = d.saturating_add(u64::from(cost));
+                if nd < dist[u] {
+                    dist[u] = nd;
+                    heap.push(Reverse((nd, u)));
+                }
+            }
+        }
+
+        // Candidate next-hops: equal-cost first edges, minus filtered ones.
+        for (rid, r) in net.routers_iter() {
+            let u = rid.0 as usize;
+            if dist[u] == u64::MAX {
+                continue;
+            }
+            // Advertisers use their connected route; skip.
+            if r.ifaces.iter().any(|i| i.prefix == *prefix) {
+                continue;
+            }
+            let mut hops = Vec::new();
+            for &(ii, v, _pi, cost) in &adj[u] {
+                let dv = dist[v.0 as usize];
+                if dv == u64::MAX {
+                    continue;
+                }
+                if u64::from(cost).saturating_add(dv) == dist[u] && !r.ifaces[ii].igp_denies(prefix)
+                {
+                    hops.push((ii, v));
+                }
+            }
+            if !hops.is_empty() {
+                hops.sort();
+                hops.dedup();
+                routes[u].insert(*prefix, hops);
+            }
+        }
+    }
+    routes
+}
+
+/// Router-to-router IGP shortest paths (used for iBGP egress resolution).
+#[derive(Debug, Clone)]
+pub struct RouterPaths {
+    /// `dist[a][b]` = IGP cost from router `a` to router `b`
+    /// (`u64::MAX` = unreachable).
+    pub dist: Vec<Vec<u64>>,
+    /// `next_hops[a][b]` = ECMP first hops `(iface, neighbor)` from `a`
+    /// toward `b`.
+    pub next_hops: Vec<Vec<Vec<(usize, RouterId)>>>,
+}
+
+/// Computes router-to-router IGP paths over intra-AS IGP adjacencies.
+///
+/// OSPF adjacencies are used when present; RIP adjacencies (hop cost 1) are
+/// included for RIP-only networks. Links crossing AS boundaries are excluded
+/// — inter-AS reachability is BGP's job.
+pub fn router_paths(net: &SimNetwork) -> RouterPaths {
+    let n = net.router_count();
+    // Build a combined IGP adjacency.
+    let mut adj: Vec<Vec<(usize, RouterId, u32)>> = vec![Vec::new(); n];
+    for (rid, r) in net.routers_iter() {
+        for (ii, iface) in r.ifaces.iter().enumerate() {
+            for peer in &iface.peers {
+                let Peer::Router { router, iface: pi } = peer else {
+                    continue;
+                };
+                let peer_iface = &net.router(*router).ifaces[*pi];
+                // Same-AS requirement (None == None counts as same).
+                if r.asn != net.router(*router).asn {
+                    continue;
+                }
+                let ospf = iface.ospf_active && peer_iface.ospf_active;
+                let rip = iface.rip_active && peer_iface.rip_active;
+                if ospf {
+                    adj[rid.0 as usize].push((ii, *router, iface.cost));
+                } else if rip {
+                    adj[rid.0 as usize].push((ii, *router, 1));
+                }
+            }
+        }
+    }
+
+    let mut dist = vec![vec![u64::MAX; n]; n];
+    let mut next_hops = vec![vec![Vec::new(); n]; n];
+    for src in 0..n {
+        let d = &mut dist[src];
+        d[src] = 0;
+        let mut heap = BinaryHeap::new();
+        heap.push(Reverse((0u64, src)));
+        while let Some(Reverse((du, u))) = heap.pop() {
+            if du > d[u] {
+                continue;
+            }
+            for &(_ii, v, cost) in &adj[u] {
+                let nd = du.saturating_add(u64::from(cost));
+                if nd < d[v.0 as usize] {
+                    d[v.0 as usize] = nd;
+                    heap.push(Reverse((nd, v.0 as usize)));
+                }
+            }
+        }
+        // First hops: neighbor v of src with cost(src→v) + dist[v→dst] == dist[src→dst].
+        // Requires dist from each neighbor; compute after all Dijkstras.
+    }
+    // Second pass for first hops now that all dist rows exist.
+    for src in 0..n {
+        for dst in 0..n {
+            if src == dst || dist[src][dst] == u64::MAX {
+                continue;
+            }
+            let mut hops = Vec::new();
+            for &(ii, v, cost) in &adj[src] {
+                let via = u64::from(cost).saturating_add(dist[v.0 as usize][dst]);
+                if via == dist[src][dst] {
+                    hops.push((ii, v));
+                }
+            }
+            hops.sort();
+            hops.dedup();
+            next_hops[src][dst] = hops;
+        }
+    }
+
+    RouterPaths { dist, next_hops }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use confmask_config::{parse_router, HostConfig, NetworkConfigs};
+
+    /// Diamond: r1 —(1)— r2 —(1)— r4 and r1 —(10)— r3 —(10)— r4,
+    /// host LANs on r1 and r4.
+    fn diamond() -> NetworkConfigs {
+        let r1 = parse_router(
+            "hostname r1\n!\ninterface Ethernet0/0\n ip address 10.0.12.0 255.255.255.254\n ip ospf cost 1\n!\ninterface Ethernet0/1\n ip address 10.0.13.0 255.255.255.254\n!\ninterface Ethernet0/2\n ip address 10.1.1.1 255.255.255.0\n!\nrouter ospf 1\n network 0.0.0.0 255.255.255.255 area 0\n!\n",
+        )
+        .unwrap();
+        let r2 = parse_router(
+            "hostname r2\n!\ninterface Ethernet0/0\n ip address 10.0.12.1 255.255.255.254\n ip ospf cost 1\n!\ninterface Ethernet0/1\n ip address 10.0.24.0 255.255.255.254\n ip ospf cost 1\n!\nrouter ospf 1\n network 0.0.0.0 255.255.255.255 area 0\n!\n",
+        )
+        .unwrap();
+        let r3 = parse_router(
+            "hostname r3\n!\ninterface Ethernet0/0\n ip address 10.0.13.1 255.255.255.254\n!\ninterface Ethernet0/1\n ip address 10.0.34.0 255.255.255.254\n!\nrouter ospf 1\n network 0.0.0.0 255.255.255.255 area 0\n!\n",
+        )
+        .unwrap();
+        let r4 = parse_router(
+            "hostname r4\n!\ninterface Ethernet0/0\n ip address 10.0.24.1 255.255.255.254\n ip ospf cost 1\n!\ninterface Ethernet0/1\n ip address 10.0.34.1 255.255.255.254\n!\ninterface Ethernet0/2\n ip address 10.1.4.1 255.255.255.0\n!\nrouter ospf 1\n network 0.0.0.0 255.255.255.255 area 0\n!\n",
+        )
+        .unwrap();
+        let h1 = HostConfig {
+            hostname: "h1".into(),
+            iface_name: "eth0".into(),
+            address: ("10.1.1.100".parse().unwrap(), 24),
+            gateway: "10.1.1.1".parse().unwrap(),
+            extra: vec![],
+            added: false,
+        };
+        let h4 = HostConfig {
+            hostname: "h4".into(),
+            iface_name: "eth0".into(),
+            address: ("10.1.4.100".parse().unwrap(), 24),
+            gateway: "10.1.4.1".parse().unwrap(),
+            extra: vec![],
+            added: false,
+        };
+        NetworkConfigs::new([r1, r2, r3, r4], [h1, h4])
+    }
+
+    #[test]
+    fn picks_cheapest_path() {
+        let net = SimNetwork::build(&diamond()).unwrap();
+        let routes = compute(&net);
+        let r1 = net.router_id("r1").unwrap();
+        let r2 = net.router_id("r2").unwrap();
+        let lan4: Ipv4Prefix = "10.1.4.0/24".parse().unwrap();
+        let hops = &routes[r1.0 as usize][&lan4];
+        assert_eq!(hops.len(), 1);
+        assert_eq!(hops[0].1, r2);
+    }
+
+    #[test]
+    fn equal_costs_give_ecmp() {
+        // Raise the cheap path's cost so both sides cost the same:
+        // r1→r2→r4 costs 1+1, r1→r3→r4 costs 10+10; set r1→r2 to 19? No —
+        // instead drop explicit costs so every hop costs the default 10.
+        let mut cfgs = diamond();
+        for rc in cfgs.routers.values_mut() {
+            for i in rc.interfaces.iter_mut() {
+                i.ospf_cost = None;
+            }
+        }
+        let net = SimNetwork::build(&cfgs).unwrap();
+        let routes = compute(&net);
+        let r1 = net.router_id("r1").unwrap();
+        let lan4: Ipv4Prefix = "10.1.4.0/24".parse().unwrap();
+        let hops = &routes[r1.0 as usize][&lan4];
+        assert_eq!(hops.len(), 2, "both diamond arms are equal-cost: {hops:?}");
+    }
+
+    #[test]
+    fn filter_removes_candidate_without_recompute() {
+        let mut cfgs = diamond();
+        for rc in cfgs.routers.values_mut() {
+            for i in rc.interfaces.iter_mut() {
+                i.ospf_cost = None;
+            }
+        }
+        // Deny the r4 LAN on r1's interface toward r2.
+        {
+            let r1 = cfgs.routers.get_mut("r1").unwrap();
+            r1.prefix_lists.push(confmask_config::PrefixList {
+                name: "F".into(),
+                entries: vec![confmask_config::PrefixListEntry {
+                    seq: 5,
+                    action: confmask_config::FilterAction::Deny,
+                    prefix: "10.1.4.0/24".parse().unwrap(),
+                    added: false,
+                }],
+            });
+            r1.ospf.as_mut().unwrap().distribute_lists.push(
+                confmask_config::DistributeListBinding::Interface {
+                    list: "F".into(),
+                    interface: "Ethernet0/0".into(),
+                    added: false,
+                },
+            );
+        }
+        let net = SimNetwork::build(&cfgs).unwrap();
+        let routes = compute(&net);
+        let r1 = net.router_id("r1").unwrap();
+        let r3 = net.router_id("r3").unwrap();
+        let lan4: Ipv4Prefix = "10.1.4.0/24".parse().unwrap();
+        let hops = &routes[r1.0 as usize][&lan4];
+        assert_eq!(hops.len(), 1, "only the unfiltered ECMP member remains");
+        assert_eq!(hops[0].1, r3);
+    }
+
+    #[test]
+    fn filtering_all_candidates_removes_the_route() {
+        let mut cfgs = diamond();
+        {
+            let r1 = cfgs.routers.get_mut("r1").unwrap();
+            r1.prefix_lists.push(confmask_config::PrefixList {
+                name: "F".into(),
+                entries: vec![confmask_config::PrefixListEntry {
+                    seq: 5,
+                    action: confmask_config::FilterAction::Deny,
+                    prefix: "10.1.4.0/24".parse().unwrap(),
+                    added: false,
+                }],
+            });
+            // The cheap path's only candidate is via Ethernet0/0 (cost 1 side).
+            r1.ospf.as_mut().unwrap().distribute_lists.push(
+                confmask_config::DistributeListBinding::Interface {
+                    list: "F".into(),
+                    interface: "Ethernet0/0".into(),
+                    added: false,
+                },
+            );
+        }
+        let net = SimNetwork::build(&cfgs).unwrap();
+        let routes = compute(&net);
+        let r1 = net.router_id("r1").unwrap();
+        let lan4: Ipv4Prefix = "10.1.4.0/24".parse().unwrap();
+        // Link-state: cost structure unchanged; sole min-cost candidate
+        // filtered ⇒ no OSPF route (no silent fallback to pricier paths).
+        assert!(!routes[r1.0 as usize].contains_key(&lan4));
+    }
+
+    #[test]
+    fn router_paths_symmetric_diamond() {
+        let net = SimNetwork::build(&diamond()).unwrap();
+        let rp = router_paths(&net);
+        let r1 = net.router_id("r1").unwrap().0 as usize;
+        let r4 = net.router_id("r4").unwrap().0 as usize;
+        assert_eq!(rp.dist[r1][r4], 2); // via the cost-1 links
+        assert_eq!(rp.next_hops[r1][r4].len(), 1);
+    }
+
+    #[test]
+    fn advertiser_needs_active_interface() {
+        let mut cfgs = diamond();
+        // Withdraw the r4 LAN from OSPF: network statements no longer cover it.
+        let r4 = cfgs.routers.get_mut("r4").unwrap();
+        r4.ospf.as_mut().unwrap().networks = vec![confmask_config::NetworkStatement {
+            prefix: "10.0.0.0/16".parse().unwrap(),
+            area: 0,
+            added: false,
+        }];
+        let net = SimNetwork::build(&cfgs).unwrap();
+        let routes = compute(&net);
+        let r1 = net.router_id("r1").unwrap();
+        let lan4: Ipv4Prefix = "10.1.4.0/24".parse().unwrap();
+        assert!(!routes[r1.0 as usize].contains_key(&lan4));
+    }
+}

@@ -1,0 +1,153 @@
+//! Topology extraction from configuration files.
+//!
+//! §2.2: "Routers and hosts are represented by nodes in the topology graph,
+//! and edges are added by identifying interface pairs that share the same
+//! prefix." This module is that adversarial reconstruction, and the
+//! pipeline's preprocessing step.
+
+use crate::graph::{LinkInfo, NodeKind, Topology};
+use confmask_config::{NetworkConfigs, DEFAULT_OSPF_COST};
+use confmask_net_types::Ipv4Prefix;
+use std::collections::BTreeMap;
+
+/// Builds the topology graph from a network's configurations.
+///
+/// Link costs are taken from the interfaces' explicit `ip ospf cost`
+/// settings when present (the maximum of the two sides for a symmetric
+/// summary; the simulator keeps directional costs separately) and default to
+/// [`DEFAULT_OSPF_COST`] otherwise. Host links always connect the host to
+/// the router owning its gateway address.
+pub fn extract_topology(net: &NetworkConfigs) -> Topology {
+    let mut topo = Topology::new();
+
+    for name in net.routers.keys() {
+        topo.add_node(name, NodeKind::Router);
+    }
+    for name in net.hosts.keys() {
+        topo.add_node(name, NodeKind::Host);
+    }
+
+    // Group router interfaces by their connected prefix.
+    let mut by_prefix: BTreeMap<Ipv4Prefix, Vec<(usize, u32)>> = BTreeMap::new();
+    for (name, rc) in &net.routers {
+        let idx = topo.node(name).expect("router was added");
+        for iface in &rc.interfaces {
+            if iface.shutdown {
+                continue;
+            }
+            if let Some(prefix) = iface.prefix() {
+                let cost = iface.ospf_cost.unwrap_or(DEFAULT_OSPF_COST);
+                by_prefix.entry(prefix).or_default().push((idx, cost));
+            }
+        }
+    }
+
+    for (prefix, ends) in &by_prefix {
+        // Interface pairs sharing a prefix form links (usually exactly two
+        // on a /31; a LAN prefix with >2 routers forms a clique).
+        for i in 0..ends.len() {
+            for j in (i + 1)..ends.len() {
+                let (a, ca) = ends[i];
+                let (b, cb) = ends[j];
+                topo.add_edge(
+                    a,
+                    b,
+                    LinkInfo {
+                        prefix: Some(*prefix),
+                        cost: ca.max(cb),
+                    },
+                );
+            }
+        }
+    }
+
+    // Host links: a host connects to the router that owns its gateway.
+    for (hname, h) in &net.hosts {
+        let hidx = topo.node(hname).expect("host was added");
+        for (rname, rc) in &net.routers {
+            if rc
+                .interfaces
+                .iter()
+                .any(|i| !i.shutdown && i.address.map(|(a, _)| a) == Some(h.gateway))
+            {
+                let ridx = topo.node(rname).expect("router was added");
+                topo.add_edge(
+                    hidx,
+                    ridx,
+                    LinkInfo {
+                        prefix: h.prefix(),
+                        cost: 1,
+                    },
+                );
+            }
+        }
+    }
+
+    topo
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use confmask_config::{parse_router, HostConfig};
+
+    fn net() -> NetworkConfigs {
+        let r1 = parse_router(
+            "hostname r1\n!\ninterface Ethernet0/0\n ip address 10.0.0.0 255.255.255.254\n ip ospf cost 5\n!\ninterface Ethernet0/1\n ip address 10.1.0.1 255.255.255.0\n!\n",
+        )
+        .unwrap();
+        let r2 = parse_router(
+            "hostname r2\n!\ninterface Ethernet0/0\n ip address 10.0.0.1 255.255.255.254\n!\n",
+        )
+        .unwrap();
+        let h = HostConfig {
+            hostname: "h1".into(),
+            iface_name: "eth0".into(),
+            address: ("10.1.0.100".parse().unwrap(), 24),
+            gateway: "10.1.0.1".parse().unwrap(),
+            extra: vec![],
+            added: false,
+        };
+        NetworkConfigs::new([r1, r2], [h])
+    }
+
+    #[test]
+    fn extracts_router_link_from_shared_prefix() {
+        let t = extract_topology(&net());
+        let r1 = t.node("r1").unwrap();
+        let r2 = t.node("r2").unwrap();
+        assert!(t.has_edge(r1, r2));
+        let link = t.link(r1, r2).unwrap();
+        assert_eq!(link.prefix, Some("10.0.0.0/31".parse().unwrap()));
+        // max(explicit 5, default 10) — the r2 side uses the default cost.
+        assert_eq!(link.cost, 10);
+    }
+
+    #[test]
+    fn extracts_host_link_via_gateway() {
+        let t = extract_topology(&net());
+        let r1 = t.node("r1").unwrap();
+        let h1 = t.node("h1").unwrap();
+        assert!(t.has_edge(r1, h1));
+        assert_eq!(t.kind(h1), NodeKind::Host);
+    }
+
+    #[test]
+    fn shutdown_interfaces_make_no_links() {
+        let mut n = net();
+        n.routers.get_mut("r1").unwrap().interfaces[0].shutdown = true;
+        let t = extract_topology(&n);
+        let r1 = t.node("r1").unwrap();
+        let r2 = t.node("r2").unwrap();
+        assert!(!t.has_edge(r1, r2));
+    }
+
+    #[test]
+    fn counts_match() {
+        let t = extract_topology(&net());
+        assert_eq!(t.node_count(), 3);
+        assert_eq!(t.edge_count(), 2);
+        assert_eq!(t.routers().len(), 2);
+        assert_eq!(t.hosts().len(), 1);
+    }
+}

@@ -1,0 +1,326 @@
+//! The topology graph type.
+
+use confmask_net_types::Ipv4Prefix;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Whether a topology node is a router or a host.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub enum NodeKind {
+    /// Forwarding device.
+    Router,
+    /// End host.
+    Host,
+}
+
+/// Attributes of a topology link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct LinkInfo {
+    /// The shared prefix that realizes the link, when known.
+    pub prefix: Option<Ipv4Prefix>,
+    /// Symmetric link cost (OSPF cost; hop count 1 for RIP/BGP views).
+    pub cost: u32,
+}
+
+impl Default for LinkInfo {
+    fn default() -> Self {
+        Self {
+            prefix: None,
+            cost: 1,
+        }
+    }
+}
+
+/// An undirected simple graph over named routers and hosts — the paper's
+/// `G = (V, E)`.
+///
+/// Node identity is the device hostname. Iteration orders are deterministic
+/// (sorted by insertion index), so all algorithms over a `Topology` are
+/// reproducible.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Topology {
+    names: Vec<String>,
+    kinds: Vec<NodeKind>,
+    index: BTreeMap<String, usize>,
+    adj: Vec<BTreeSet<usize>>,
+    links: BTreeMap<(usize, usize), LinkInfo>,
+}
+
+impl Topology {
+    /// Creates an empty topology.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a node (idempotent); returns its index.
+    pub fn add_node(&mut self, name: &str, kind: NodeKind) -> usize {
+        if let Some(&i) = self.index.get(name) {
+            return i;
+        }
+        let i = self.names.len();
+        self.names.push(name.to_string());
+        self.kinds.push(kind);
+        self.index.insert(name.to_string(), i);
+        self.adj.push(BTreeSet::new());
+        i
+    }
+
+    /// Looks up a node index by name.
+    pub fn node(&self, name: &str) -> Option<usize> {
+        self.index.get(name).copied()
+    }
+
+    /// Node name by index.
+    pub fn name(&self, i: usize) -> &str {
+        &self.names[i]
+    }
+
+    /// Node kind by index.
+    pub fn kind(&self, i: usize) -> NodeKind {
+        self.kinds[i]
+    }
+
+    /// Number of nodes.
+    pub fn node_count(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Number of edges.
+    pub fn edge_count(&self) -> usize {
+        self.links.len()
+    }
+
+    /// Indices of all router nodes.
+    pub fn routers(&self) -> Vec<usize> {
+        (0..self.node_count())
+            .filter(|&i| self.kinds[i] == NodeKind::Router)
+            .collect()
+    }
+
+    /// Indices of all host nodes.
+    pub fn hosts(&self) -> Vec<usize> {
+        (0..self.node_count())
+            .filter(|&i| self.kinds[i] == NodeKind::Host)
+            .collect()
+    }
+
+    fn key(a: usize, b: usize) -> (usize, usize) {
+        if a < b {
+            (a, b)
+        } else {
+            (b, a)
+        }
+    }
+
+    /// Adds an undirected edge with attributes (idempotent; re-adding
+    /// overwrites attributes). Self-loops are ignored.
+    pub fn add_edge(&mut self, a: usize, b: usize, info: LinkInfo) {
+        if a == b {
+            return;
+        }
+        self.adj[a].insert(b);
+        self.adj[b].insert(a);
+        self.links.insert(Self::key(a, b), info);
+    }
+
+    /// Whether an edge exists.
+    pub fn has_edge(&self, a: usize, b: usize) -> bool {
+        a != b && self.links.contains_key(&Self::key(a, b))
+    }
+
+    /// Link attributes, if the edge exists.
+    pub fn link(&self, a: usize, b: usize) -> Option<&LinkInfo> {
+        self.links.get(&Self::key(a, b))
+    }
+
+    /// Neighbors of a node (sorted).
+    pub fn neighbors(&self, i: usize) -> impl Iterator<Item = usize> + '_ {
+        self.adj[i].iter().copied()
+    }
+
+    /// Total degree of a node (routers and hosts).
+    pub fn degree(&self, i: usize) -> usize {
+        self.adj[i].len()
+    }
+
+    /// Router-degree `deg_R(r)`: number of *router* neighbors (the key
+    /// attribute of Definition 3.1).
+    pub fn router_degree(&self, i: usize) -> usize {
+        self.adj[i]
+            .iter()
+            .filter(|&&n| self.kinds[n] == NodeKind::Router)
+            .count()
+    }
+
+    /// All edges as `(a, b, info)` with `a < b`, sorted.
+    pub fn edges(&self) -> impl Iterator<Item = (usize, usize, &LinkInfo)> + '_ {
+        self.links.iter().map(|(&(a, b), info)| (a, b, info))
+    }
+
+    /// The router-only induced subgraph, with a mapping from new indices to
+    /// the original ones.
+    pub fn router_subgraph(&self) -> (Topology, Vec<usize>) {
+        let routers = self.routers();
+        let mut sub = Topology::new();
+        for &r in &routers {
+            sub.add_node(&self.names[r], NodeKind::Router);
+        }
+        let back: BTreeMap<usize, usize> = routers.iter().enumerate().map(|(n, &o)| (o, n)).collect();
+        for (a, b, info) in self.edges() {
+            if let (Some(&na), Some(&nb)) = (back.get(&a), back.get(&b)) {
+                sub.add_edge(na, nb, *info);
+            }
+        }
+        (sub, routers)
+    }
+
+    /// Dijkstra from `src` over link costs, returning `dist[i]`
+    /// (`u64::MAX` = unreachable). Host nodes are excluded from transit.
+    pub fn min_costs_from(&self, src: usize) -> Vec<u64> {
+        let n = self.node_count();
+        let mut dist = vec![u64::MAX; n];
+        let mut heap = std::collections::BinaryHeap::new();
+        dist[src] = 0;
+        heap.push(std::cmp::Reverse((0u64, src)));
+        while let Some(std::cmp::Reverse((d, u))) = heap.pop() {
+            if d > dist[u] {
+                continue;
+            }
+            // Hosts never forward transit traffic.
+            if u != src && self.kinds[u] == NodeKind::Host {
+                continue;
+            }
+            for v in self.adj[u].iter().copied() {
+                let w = self
+                    .link(u, v)
+                    .map(|l| u64::from(l.cost))
+                    .unwrap_or(1);
+                let nd = d.saturating_add(w);
+                if nd < dist[v] {
+                    dist[v] = nd;
+                    heap.push(std::cmp::Reverse((nd, v)));
+                }
+            }
+        }
+        dist
+    }
+
+    /// Minimum path cost between two nodes — the `min_cost(v, v')` of the
+    /// link-state SFE conditions.
+    pub fn min_cost(&self, a: usize, b: usize) -> Option<u64> {
+        let d = self.min_costs_from(a)[b];
+        (d != u64::MAX).then_some(d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_graph(n: usize) -> Topology {
+        let mut t = Topology::new();
+        for i in 0..n {
+            t.add_node(&format!("r{i}"), NodeKind::Router);
+        }
+        for i in 1..n {
+            t.add_edge(i - 1, i, LinkInfo::default());
+        }
+        t
+    }
+
+    #[test]
+    fn add_node_is_idempotent() {
+        let mut t = Topology::new();
+        let a = t.add_node("r1", NodeKind::Router);
+        let b = t.add_node("r1", NodeKind::Router);
+        assert_eq!(a, b);
+        assert_eq!(t.node_count(), 1);
+    }
+
+    #[test]
+    fn self_loops_are_ignored() {
+        let mut t = line_graph(2);
+        t.add_edge(0, 0, LinkInfo::default());
+        assert_eq!(t.edge_count(), 1);
+        assert!(!t.has_edge(0, 0));
+    }
+
+    #[test]
+    fn edges_are_undirected() {
+        let t = line_graph(3);
+        assert!(t.has_edge(0, 1) && t.has_edge(1, 0));
+        assert_eq!(t.degree(1), 2);
+        assert_eq!(t.neighbors(1).collect::<Vec<_>>(), vec![0, 2]);
+    }
+
+    #[test]
+    fn router_degree_excludes_hosts() {
+        let mut t = line_graph(2);
+        let h = t.add_node("h1", NodeKind::Host);
+        t.add_edge(0, h, LinkInfo::default());
+        assert_eq!(t.degree(0), 2);
+        assert_eq!(t.router_degree(0), 1);
+    }
+
+    #[test]
+    fn router_subgraph_drops_hosts() {
+        let mut t = line_graph(3);
+        let h = t.add_node("h1", NodeKind::Host);
+        t.add_edge(2, h, LinkInfo::default());
+        let (sub, map) = t.router_subgraph();
+        assert_eq!(sub.node_count(), 3);
+        assert_eq!(sub.edge_count(), 2);
+        assert_eq!(map, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn dijkstra_prefers_cheap_paths() {
+        // triangle: 0-1 cost 1, 1-2 cost 1, 0-2 cost 10
+        let mut t = line_graph(3);
+        t.add_edge(
+            0,
+            1,
+            LinkInfo {
+                prefix: None,
+                cost: 1,
+            },
+        );
+        t.add_edge(
+            1,
+            2,
+            LinkInfo {
+                prefix: None,
+                cost: 1,
+            },
+        );
+        t.add_edge(
+            0,
+            2,
+            LinkInfo {
+                prefix: None,
+                cost: 10,
+            },
+        );
+        assert_eq!(t.min_cost(0, 2), Some(2));
+    }
+
+    #[test]
+    fn hosts_do_not_transit() {
+        // r0 - h - r1 : no router-to-router path through the host
+        let mut t = Topology::new();
+        let r0 = t.add_node("r0", NodeKind::Router);
+        let r1 = t.add_node("r1", NodeKind::Router);
+        let h = t.add_node("h", NodeKind::Host);
+        t.add_edge(r0, h, LinkInfo::default());
+        t.add_edge(h, r1, LinkInfo::default());
+        assert_eq!(t.min_cost(r0, r1), None);
+        // but the host itself is reachable
+        assert_eq!(t.min_cost(r0, h), Some(1));
+    }
+
+    #[test]
+    fn unreachable_is_none() {
+        let mut t = line_graph(2);
+        t.add_node("r9", NodeKind::Router);
+        assert_eq!(t.min_cost(0, 2), None);
+    }
+}

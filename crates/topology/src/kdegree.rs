@@ -1,0 +1,371 @@
+//! k-degree anonymization by edge addition (Liu–Terzi \[25\], additions-only).
+//!
+//! ConfMask adopts the edge-modification flavor of graph anonymization and
+//! further restricts it to **adding** edges (§4.2), so that topology
+//! preservation holds by construction: every original node and edge survives
+//! and "the highest node degree remains unchanged".
+//!
+//! The algorithm follows Liu–Terzi's two phases:
+//!
+//! 1. **Degree-sequence anonymization** — dynamic programming over the
+//!    degree sequence sorted descending, grouping nodes into clusters of
+//!    size `k..2k-1` and raising every member to the cluster maximum,
+//!    minimizing the total degree increment.
+//! 2. **Realization** — greedily pair the nodes with the largest remaining
+//!    degree deficit with non-adjacent partners. When the residual sequence
+//!    is not realizable (odd parity or adjacency saturation), we apply
+//!    Liu–Terzi's *probing* trick: perturb the target sequence (raising a
+//!    randomly chosen cluster) and retry. The output is verified to achieve
+//!    the requested anonymity before being returned.
+
+use crate::graph::{LinkInfo, Topology};
+use crate::metrics::min_same_degree;
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Failure to anonymize a degree sequence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KDegreeError {
+    /// Could not realize any k-anonymous target sequence within the retry
+    /// budget (pathological input).
+    Unrealizable {
+        /// Number of probing attempts performed.
+        attempts: usize,
+    },
+}
+
+impl std::fmt::Display for KDegreeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            KDegreeError::Unrealizable { attempts } => {
+                write!(f, "degree sequence not realizable after {attempts} probing attempts")
+            }
+        }
+    }
+}
+
+impl std::error::Error for KDegreeError {}
+
+/// Computes the minimum-increment k-anonymous target sequence for `degrees`
+/// (must be sorted **descending**). Returns per-position targets (same
+/// order). Pure phase-1 of Liu–Terzi, additions-only (targets ≥ inputs).
+pub fn anonymize_degree_sequence(degrees: &[usize], k: usize) -> Vec<usize> {
+    let n = degrees.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let k = k.min(n).max(1);
+    debug_assert!(degrees.windows(2).all(|w| w[0] >= w[1]), "must be sorted desc");
+
+    // cost(i, j): raise positions i..=j to degrees[i].
+    let prefix: Vec<usize> = std::iter::once(0)
+        .chain(degrees.iter().scan(0, |acc, &d| {
+            *acc += d;
+            Some(*acc)
+        }))
+        .collect();
+    let cost = |i: usize, j: usize| -> usize {
+        let len = j - i + 1;
+        degrees[i] * len - (prefix[j + 1] - prefix[i])
+    };
+
+    const INF: usize = usize::MAX / 2;
+    // dp[m] = min cost anonymizing the first m positions; group sizes k..2k-1
+    // (last group may be up to 2k-1; any group ≥ 2k can be split).
+    let mut dp = vec![INF; n + 1];
+    let mut choice = vec![0usize; n + 1]; // group start for first m
+    dp[0] = 0;
+    for m in 1..=n {
+        let lo = m.saturating_sub(2 * k - 1);
+        let hi = m.saturating_sub(k);
+        if m >= k {
+            for start in lo..=hi {
+                if dp[start] == INF {
+                    continue;
+                }
+                let c = dp[start] + cost(start, m - 1);
+                if c < dp[m] {
+                    dp[m] = c;
+                    choice[m] = start;
+                }
+            }
+        }
+        if m < k {
+            // fewer than k nodes total can only happen when m == n < k; the
+            // caller clamps k, so this branch is unreachable for m < n.
+            if m == n {
+                dp[m] = cost(0, m - 1);
+                choice[m] = 0;
+            }
+        }
+    }
+
+    // Walk the choices back into groups.
+    let mut targets = vec![0usize; n];
+    let mut m = n;
+    while m > 0 {
+        let start = choice[m];
+        for t in targets.iter_mut().take(m).skip(start) {
+            *t = degrees[start];
+        }
+        m = start;
+    }
+    targets
+}
+
+/// Result of anonymizing a router graph.
+#[derive(Debug, Clone)]
+pub struct KDegreePlan {
+    /// New edges to add, as node-index pairs of the input graph.
+    pub new_edges: Vec<(usize, usize)>,
+    /// The anonymity actually achieved (min nodes sharing a degree).
+    pub achieved_k: usize,
+}
+
+/// Anonymizes the (router-only) graph `topo` to k-degree anonymity by edge
+/// additions. Returns the plan of new edges; the input graph is not
+/// modified.
+///
+/// `k` is clamped to the number of nodes. Randomness only affects edge
+/// *placement* (which obfuscates structure, §5.3's "randomized approach"),
+/// never whether anonymity is achieved.
+pub fn plan_k_degree<R: Rng>(topo: &Topology, k: usize, rng: &mut R) -> Result<KDegreePlan, KDegreeError> {
+    let n = topo.node_count();
+    if n == 0 || k <= 1 {
+        return Ok(KDegreePlan {
+            new_edges: Vec::new(),
+            achieved_k: min_same_degree(topo),
+        });
+    }
+    let k = k.min(n);
+
+    // Degrees sorted descending, remembering original node ids.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by_key(|&v| std::cmp::Reverse(topo.degree(v)));
+    let degrees: Vec<usize> = order.iter().map(|&v| topo.degree(v)).collect();
+
+    let base_targets = anonymize_degree_sequence(&degrees, k);
+
+    const MAX_ATTEMPTS: usize = 200;
+    for attempt in 0..MAX_ATTEMPTS {
+        // Perturb targets on retries (Liu–Terzi probing): raise a random
+        // cluster by +1, respecting the simple-graph cap of n-1.
+        let mut targets = base_targets.clone();
+        for _ in 0..attempt {
+            perturb(&mut targets, n - 1, rng);
+        }
+
+        if targets.iter().sum::<usize>() % 2 != degrees.iter().sum::<usize>() % 2 {
+            // Residual sum is odd — certainly unrealizable; perturb more.
+            continue;
+        }
+
+        if let Some(edges) = realize(topo, &order, &degrees, &targets, rng) {
+            // Verify on a copy.
+            let mut check = topo.clone();
+            for &(a, b) in &edges {
+                check.add_edge(a, b, LinkInfo::default());
+            }
+            let achieved = min_same_degree(&check);
+            if achieved >= k {
+                return Ok(KDegreePlan {
+                    new_edges: edges,
+                    achieved_k: achieved,
+                });
+            }
+        }
+    }
+    Err(KDegreeError::Unrealizable {
+        attempts: MAX_ATTEMPTS,
+    })
+}
+
+/// Raises one randomly chosen target-cluster by +1 (stays a valid
+/// k-anonymous sequence: whole value-classes move together).
+fn perturb<R: Rng>(targets: &mut [usize], max_degree: usize, rng: &mut R) {
+    // Collect distinct target values eligible for +1.
+    let mut values: Vec<usize> = targets.to_vec();
+    values.sort_unstable();
+    values.dedup();
+    let eligible: Vec<usize> = values.into_iter().filter(|&v| v < max_degree).collect();
+    if eligible.is_empty() {
+        return;
+    }
+    let v = *eligible.choose(rng).expect("non-empty");
+    for t in targets.iter_mut() {
+        if *t == v {
+            *t += 1;
+        }
+    }
+}
+
+/// Greedy residual pairing. Returns the added edges, or `None` if stuck.
+fn realize<R: Rng>(
+    topo: &Topology,
+    order: &[usize],
+    degrees: &[usize],
+    targets: &[usize],
+    rng: &mut R,
+) -> Option<Vec<(usize, usize)>> {
+    let n = topo.node_count();
+    let mut residual = vec![0usize; n]; // indexed by node id
+    for (pos, &node) in order.iter().enumerate() {
+        residual[node] = targets[pos] - degrees[pos];
+    }
+    let mut added: Vec<(usize, usize)> = Vec::new();
+    let has_edge = |added: &[(usize, usize)], a: usize, b: usize| {
+        topo.has_edge(a, b)
+            || added
+                .iter()
+                .any(|&(x, y)| (x == a && y == b) || (x == b && y == a))
+    };
+
+    loop {
+        // Node with maximum residual.
+        let u = match (0..n).filter(|&v| residual[v] > 0).max_by_key(|&v| residual[v]) {
+            Some(u) => u,
+            None => return Some(added),
+        };
+        // Partners: positive residual, not adjacent. Shuffle before sorting
+        // by residual so ties break randomly (edge placement obfuscation).
+        let mut candidates: Vec<usize> = (0..n)
+            .filter(|&v| v != u && residual[v] > 0 && !has_edge(&added, u, v))
+            .collect();
+        if candidates.is_empty() {
+            return None;
+        }
+        candidates.shuffle(rng);
+        candidates.sort_by_key(|&v| std::cmp::Reverse(residual[v]));
+        let v = candidates[0];
+        added.push((u.min(v), u.max(v)));
+        residual[u] -= 1;
+        residual[v] -= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::NodeKind;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    fn star(n: usize) -> Topology {
+        let mut t = Topology::new();
+        let c = t.add_node("c", NodeKind::Router);
+        for i in 0..n {
+            let l = t.add_node(&format!("l{i}"), NodeKind::Router);
+            t.add_edge(c, l, LinkInfo::default());
+        }
+        t
+    }
+
+    #[test]
+    fn sequence_dp_minimal_cases() {
+        assert_eq!(anonymize_degree_sequence(&[], 2), Vec::<usize>::new());
+        assert_eq!(anonymize_degree_sequence(&[3], 2), vec![3]);
+        assert_eq!(anonymize_degree_sequence(&[3, 1], 2), vec![3, 3]);
+        // One group of 3 vs a group boundary: [5,5,3,3] with k=2 → already 2-anon
+        assert_eq!(anonymize_degree_sequence(&[5, 5, 3, 3], 2), vec![5, 5, 3, 3]);
+    }
+
+    #[test]
+    fn sequence_dp_minimizes_increment() {
+        // [4,3,1,1], k=2: grouping {4,3},{1,1} costs 1; {4,3,1,1} costs 9.
+        assert_eq!(anonymize_degree_sequence(&[4, 3, 1, 1], 2), vec![4, 4, 1, 1]);
+        // k=4 forces one group.
+        assert_eq!(anonymize_degree_sequence(&[4, 3, 1, 1], 4), vec![4, 4, 4, 4]);
+    }
+
+    #[test]
+    fn sequence_targets_never_decrease_degrees() {
+        let d = vec![7, 7, 6, 4, 4, 2, 1, 1, 0];
+        for k in 1..=d.len() {
+            let t = anonymize_degree_sequence(&d, k);
+            for (ti, di) in t.iter().zip(&d) {
+                assert!(ti >= di);
+            }
+            // every target value occurs >= k times (k clamped to n)
+            let k = k.min(d.len());
+            let mut counts = std::collections::HashMap::new();
+            for v in &t {
+                *counts.entry(v).or_insert(0usize) += 1;
+            }
+            assert!(counts.values().all(|&c| c >= k), "k={k}: {t:?}");
+        }
+    }
+
+    #[test]
+    fn star_becomes_k_anonymous() {
+        let t = star(6); // degrees: 6,1,1,1,1,1,1 → min same-degree 1
+        let plan = plan_k_degree(&t, 3, &mut rng()).unwrap();
+        assert!(plan.achieved_k >= 3);
+        assert!(!plan.new_edges.is_empty());
+        // no duplicates, no existing edges
+        for &(a, b) in &plan.new_edges {
+            assert!(!t.has_edge(a, b));
+            assert_ne!(a, b);
+        }
+        let mut seen = std::collections::HashSet::new();
+        for e in &plan.new_edges {
+            assert!(seen.insert(*e), "duplicate edge {e:?}");
+        }
+    }
+
+    #[test]
+    fn already_anonymous_graph_needs_no_edges() {
+        // 4-cycle: all degree 2.
+        let mut t = Topology::new();
+        for i in 0..4 {
+            t.add_node(&format!("r{i}"), NodeKind::Router);
+        }
+        for i in 0..4 {
+            t.add_edge(i, (i + 1) % 4, LinkInfo::default());
+        }
+        let plan = plan_k_degree(&t, 4, &mut rng()).unwrap();
+        assert!(plan.new_edges.is_empty());
+        assert_eq!(plan.achieved_k, 4);
+    }
+
+    #[test]
+    fn k_larger_than_n_is_clamped() {
+        let t = star(3);
+        let plan = plan_k_degree(&t, 100, &mut rng()).unwrap();
+        assert!(plan.achieved_k >= 4); // all 4 nodes share a degree
+    }
+
+    #[test]
+    fn k1_is_a_no_op() {
+        let t = star(5);
+        let plan = plan_k_degree(&t, 1, &mut rng()).unwrap();
+        assert!(plan.new_edges.is_empty());
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let t = star(8);
+        let a = plan_k_degree(&t, 4, &mut StdRng::seed_from_u64(7)).unwrap();
+        let b = plan_k_degree(&t, 4, &mut StdRng::seed_from_u64(7)).unwrap();
+        assert_eq!(a.new_edges, b.new_edges);
+    }
+
+    #[test]
+    fn highest_degree_unchanged_when_groups_allow() {
+        // Paper: "the highest node degree remains unchanged in this
+        // algorithm" — the max target equals the max degree (no perturbation
+        // needed on well-behaved graphs).
+        let t = star(6);
+        let plan = plan_k_degree(&t, 3, &mut rng()).unwrap();
+        let mut check = t.clone();
+        for &(a, b) in &plan.new_edges {
+            check.add_edge(a, b, LinkInfo::default());
+        }
+        let max_before = (0..t.node_count()).map(|v| t.degree(v)).max().unwrap();
+        let max_after = (0..check.node_count()).map(|v| check.degree(v)).max().unwrap();
+        assert_eq!(max_before, max_after);
+    }
+}

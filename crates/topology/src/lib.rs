@@ -1,0 +1,29 @@
+//! Network topology extraction, graph metrics, and graph anonymization.
+//!
+//! This crate implements the topology side of ConfMask:
+//!
+//! * [`Topology`] — the simple graph `G = (V = R ∪ H, E)` of §3.1, built from
+//!   configuration files by matching interface pairs that share a prefix
+//!   ([`extract::extract_topology`]) — exactly the reconstruction an
+//!   adversary would perform, which is why it doubles as the measurement
+//!   tool for the privacy evaluation;
+//! * [`metrics`] — degree statistics (the `k_d` of Figure 6), clustering
+//!   coefficient (Figure 7), and weighted shortest-path costs (`min_cost`
+//!   in the link-state SFE conditions of §5.1);
+//! * [`kdegree`] — the Liu–Terzi k-degree-anonymization algorithm \[25\]
+//!   restricted to **edge additions** (§4.2: ConfMask adopts the
+//!   edge-modification flavor and only ever adds links, preserving all
+//!   original nodes and edges);
+//! * [`supergraph`] — the two-level BGP view of §4.2, where each AS is a
+//!   supernode and inter-AS adjacency is anonymized independently.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod extract;
+mod graph;
+pub mod kdegree;
+pub mod metrics;
+pub mod supergraph;
+
+pub use graph::{LinkInfo, NodeKind, Topology};

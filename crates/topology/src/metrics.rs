@@ -1,0 +1,132 @@
+//! Graph metrics used by the paper's evaluation.
+
+use crate::graph::{NodeKind, Topology};
+use std::collections::BTreeMap;
+
+/// Histogram of router-degrees: degree value → number of routers with it.
+pub fn router_degree_histogram(topo: &Topology) -> BTreeMap<usize, usize> {
+    let mut h = BTreeMap::new();
+    for r in topo.routers() {
+        *h.entry(topo.router_degree(r)).or_insert(0) += 1;
+    }
+    h
+}
+
+/// The `k_d` of Figure 6: the minimum, over all occurring router-degree
+/// values, of the number of routers sharing that value. A network is
+/// k-topology-anonymous (Definition 3.1) iff `min_same_degree >= k`.
+///
+/// Returns 0 for a network with no routers.
+pub fn min_same_degree(topo: &Topology) -> usize {
+    router_degree_histogram(topo)
+        .values()
+        .copied()
+        .min()
+        .unwrap_or(0)
+}
+
+/// Local clustering coefficient of a router node over the router-only graph.
+fn local_clustering(topo: &Topology, v: usize) -> f64 {
+    let neigh: Vec<usize> = topo
+        .neighbors(v)
+        .filter(|&n| topo.kind(n) == NodeKind::Router)
+        .collect();
+    let d = neigh.len();
+    if d < 2 {
+        return 0.0;
+    }
+    let mut closed = 0usize;
+    for i in 0..d {
+        for j in (i + 1)..d {
+            if topo.has_edge(neigh[i], neigh[j]) {
+                closed += 1;
+            }
+        }
+    }
+    2.0 * closed as f64 / (d as f64 * (d - 1) as f64)
+}
+
+/// Average clustering coefficient over router nodes (Figure 7's metric,
+/// standard in the graph-anonymization literature \[25\]).
+pub fn clustering_coefficient(topo: &Topology) -> f64 {
+    let routers = topo.routers();
+    if routers.is_empty() {
+        return 0.0;
+    }
+    routers.iter().map(|&r| local_clustering(topo, r)).sum::<f64>() / routers.len() as f64
+}
+
+/// Degree sequence of the router-only graph, descending.
+pub fn router_degree_sequence(topo: &Topology) -> Vec<usize> {
+    let mut d: Vec<usize> = topo.routers().iter().map(|&r| topo.router_degree(r)).collect();
+    d.sort_unstable_by(|a, b| b.cmp(a));
+    d
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::LinkInfo;
+
+    fn complete(n: usize) -> Topology {
+        let mut t = Topology::new();
+        for i in 0..n {
+            t.add_node(&format!("r{i}"), NodeKind::Router);
+        }
+        for i in 0..n {
+            for j in (i + 1)..n {
+                t.add_edge(i, j, LinkInfo::default());
+            }
+        }
+        t
+    }
+
+    #[test]
+    fn complete_graph_metrics() {
+        let t = complete(5);
+        assert_eq!(min_same_degree(&t), 5);
+        assert!((clustering_coefficient(&t) - 1.0).abs() < 1e-12);
+        assert_eq!(router_degree_sequence(&t), vec![4; 5]);
+    }
+
+    #[test]
+    fn star_graph_metrics() {
+        let mut t = Topology::new();
+        let c = t.add_node("c", NodeKind::Router);
+        for i in 0..4 {
+            let l = t.add_node(&format!("l{i}"), NodeKind::Router);
+            t.add_edge(c, l, LinkInfo::default());
+        }
+        // degrees: center 4 (x1), leaves 1 (x4) → min same-degree = 1
+        assert_eq!(min_same_degree(&t), 1);
+        assert_eq!(clustering_coefficient(&t), 0.0);
+        assert_eq!(router_degree_sequence(&t), vec![4, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn hosts_do_not_affect_router_metrics() {
+        let mut t = complete(3);
+        let h = t.add_node("h", NodeKind::Host);
+        t.add_edge(0, h, LinkInfo::default());
+        assert_eq!(min_same_degree(&t), 3);
+        assert!((clustering_coefficient(&t) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let t = Topology::new();
+        assert_eq!(min_same_degree(&t), 0);
+        assert_eq!(clustering_coefficient(&t), 0.0);
+    }
+
+    #[test]
+    fn triangle_plus_pendant() {
+        let mut t = complete(3);
+        let p = t.add_node("p", NodeKind::Router);
+        t.add_edge(0, p, LinkInfo::default());
+        // node 0 has neighbors {1,2,p}: pairs (1,2) closed, (1,p),(2,p) open
+        // → local cc(0)=1/3; cc(1)=cc(2)=1; cc(p)=0; avg = (1/3+1+1+0)/4
+        let cc = clustering_coefficient(&t);
+        assert!((cc - (1.0 / 3.0 + 2.0) / 4.0).abs() < 1e-12);
+    }
+}

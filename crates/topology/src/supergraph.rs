@@ -1,0 +1,165 @@
+//! The two-level BGP topology view (§4.2).
+//!
+//! "BGP is a special case where we need to view the topology in two levels:
+//! the routers in each autonomous system form a simple graph, and on top of
+//! that each AS is treated as a (super)node." This module builds the AS-level
+//! supergraph and realizes AS-level fake edges by picking random border
+//! routers in the two ASes.
+
+use crate::graph::{LinkInfo, NodeKind, Topology};
+use confmask_net_types::Asn;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// AS-level view of a BGP network.
+#[derive(Debug, Clone)]
+pub struct SuperGraph {
+    /// The AS-level simple graph (one node per AS).
+    pub graph: Topology,
+    /// ASN for each supergraph node index.
+    pub asns: Vec<Asn>,
+    /// Border routers of each AS (router indices in the *device* topology):
+    /// routers with at least one inter-AS link.
+    pub border_routers: BTreeMap<Asn, Vec<usize>>,
+}
+
+/// Builds the AS-level supergraph from a device topology and a router→AS
+/// assignment (router index in `topo` → ASN).
+///
+/// Two ASes are adjacent "as long as one of their border routers is
+/// interconnected" (§4.2).
+pub fn build_supergraph(topo: &Topology, asn_of: &BTreeMap<usize, Asn>) -> SuperGraph {
+    let mut graph = Topology::new();
+    let mut asns: Vec<Asn> = asn_of.values().copied().collect::<BTreeSet<_>>().into_iter().collect();
+    asns.sort();
+    let mut index: BTreeMap<Asn, usize> = BTreeMap::new();
+    for asn in &asns {
+        let i = graph.add_node(&asn.to_string(), NodeKind::Router);
+        index.insert(*asn, i);
+    }
+
+    let mut border: BTreeMap<Asn, BTreeSet<usize>> = BTreeMap::new();
+    for (a, b, _) in topo.edges() {
+        if topo.kind(a) != NodeKind::Router || topo.kind(b) != NodeKind::Router {
+            continue;
+        }
+        let (Some(&asn_a), Some(&asn_b)) = (asn_of.get(&a), asn_of.get(&b)) else {
+            continue;
+        };
+        if asn_a != asn_b {
+            graph.add_edge(index[&asn_a], index[&asn_b], LinkInfo::default());
+            border.entry(asn_a).or_default().insert(a);
+            border.entry(asn_b).or_default().insert(b);
+        }
+    }
+
+    // ASes with no inter-AS link still exist; give them an empty border set.
+    for asn in &asns {
+        border.entry(*asn).or_default();
+    }
+
+    SuperGraph {
+        graph,
+        asns,
+        border_routers: border
+            .into_iter()
+            .map(|(k, v)| (k, v.into_iter().collect()))
+            .collect(),
+    }
+}
+
+/// Realizes an AS-level fake edge: picks one border router in each AS at
+/// random (§4.2: "adding an edge between two randomly chosen border routers").
+/// Falls back to *any* router of the AS when it has no border router yet.
+pub fn pick_border_pair<R: Rng>(
+    sg: &SuperGraph,
+    asn_a: Asn,
+    asn_b: Asn,
+    all_routers_of: &BTreeMap<Asn, Vec<usize>>,
+    rng: &mut R,
+) -> Option<(usize, usize)> {
+    let pool = |asn: Asn| -> Option<Vec<usize>> {
+        let b = sg.border_routers.get(&asn)?;
+        if b.is_empty() {
+            all_routers_of.get(&asn).cloned()
+        } else {
+            Some(b.clone())
+        }
+    };
+    let pa = pool(asn_a)?;
+    let pb = pool(asn_b)?;
+    let a = *pa.choose(rng)?;
+    let b = *pb.choose(rng)?;
+    Some((a, b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Two ASes, two routers each, one inter-AS link r1–r2.
+    fn setup() -> (Topology, BTreeMap<usize, Asn>) {
+        let mut t = Topology::new();
+        let r0 = t.add_node("r0", NodeKind::Router);
+        let r1 = t.add_node("r1", NodeKind::Router);
+        let r2 = t.add_node("r2", NodeKind::Router);
+        let r3 = t.add_node("r3", NodeKind::Router);
+        t.add_edge(r0, r1, LinkInfo::default());
+        t.add_edge(r1, r2, LinkInfo::default());
+        t.add_edge(r2, r3, LinkInfo::default());
+        let asn_of: BTreeMap<usize, Asn> =
+            [(r0, Asn(10)), (r1, Asn(10)), (r2, Asn(20)), (r3, Asn(20))]
+                .into_iter()
+                .collect();
+        (t, asn_of)
+    }
+
+    #[test]
+    fn builds_as_graph_and_borders() {
+        let (t, asn_of) = setup();
+        let sg = build_supergraph(&t, &asn_of);
+        assert_eq!(sg.graph.node_count(), 2);
+        assert_eq!(sg.graph.edge_count(), 1);
+        assert_eq!(sg.border_routers[&Asn(10)], vec![1]);
+        assert_eq!(sg.border_routers[&Asn(20)], vec![2]);
+    }
+
+    #[test]
+    fn isolated_as_has_empty_border() {
+        let mut t = Topology::new();
+        let r0 = t.add_node("r0", NodeKind::Router);
+        let asn_of: BTreeMap<usize, Asn> = [(r0, Asn(30))].into_iter().collect();
+        let sg = build_supergraph(&t, &asn_of);
+        assert_eq!(sg.graph.node_count(), 1);
+        assert!(sg.border_routers[&Asn(30)].is_empty());
+    }
+
+    #[test]
+    fn border_pair_comes_from_each_as() {
+        let (t, asn_of) = setup();
+        let sg = build_supergraph(&t, &asn_of);
+        let all: BTreeMap<Asn, Vec<usize>> =
+            [(Asn(10), vec![0, 1]), (Asn(20), vec![2, 3])].into_iter().collect();
+        let mut rng = StdRng::seed_from_u64(1);
+        let (a, b) = pick_border_pair(&sg, Asn(10), Asn(20), &all, &mut rng).unwrap();
+        assert!(asn_of[&a] == Asn(10));
+        assert!(asn_of[&b] == Asn(20));
+    }
+
+    #[test]
+    fn borderless_as_falls_back_to_any_router() {
+        let mut t = Topology::new();
+        let r0 = t.add_node("r0", NodeKind::Router);
+        let r1 = t.add_node("r1", NodeKind::Router);
+        let asn_of: BTreeMap<usize, Asn> = [(r0, Asn(1)), (r1, Asn(2))].into_iter().collect();
+        let sg = build_supergraph(&t, &asn_of); // no inter-AS edges at all
+        let all: BTreeMap<Asn, Vec<usize>> =
+            [(Asn(1), vec![r0]), (Asn(2), vec![r1])].into_iter().collect();
+        let mut rng = StdRng::seed_from_u64(1);
+        let (a, b) = pick_border_pair(&sg, Asn(1), Asn(2), &all, &mut rng).unwrap();
+        assert_eq!((a, b), (r0, r1));
+    }
+}

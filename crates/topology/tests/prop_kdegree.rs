@@ -1,0 +1,65 @@
+//! Property tests: the k-degree anonymizer achieves k on random graphs and
+//! never removes or duplicates edges.
+
+use confmask_topology::kdegree::plan_k_degree;
+use confmask_topology::metrics::min_same_degree;
+use confmask_topology::{LinkInfo, NodeKind, Topology};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Random connected-ish graph: a path plus random extra edges.
+fn arb_graph() -> impl Strategy<Value = Topology> {
+    (3usize..24, prop::collection::vec((any::<u16>(), any::<u16>()), 0..40)).prop_map(
+        |(n, extra)| {
+            let mut t = Topology::new();
+            for i in 0..n {
+                t.add_node(&format!("r{i}"), NodeKind::Router);
+            }
+            for i in 1..n {
+                t.add_edge(i - 1, i, LinkInfo::default());
+            }
+            for (a, b) in extra {
+                let a = a as usize % n;
+                let b = b as usize % n;
+                if a != b {
+                    t.add_edge(a, b, LinkInfo::default());
+                }
+            }
+            t
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn plan_achieves_k(topo in arb_graph(), k in 2usize..8, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let plan = plan_k_degree(&topo, k, &mut rng).unwrap();
+        let mut out = topo.clone();
+        for &(a, b) in &plan.new_edges {
+            // New edges must be genuinely new and valid.
+            prop_assert!(a != b);
+            prop_assert!(!topo.has_edge(a, b), "planned edge already exists");
+            out.add_edge(a, b, LinkInfo::default());
+        }
+        let k_eff = k.min(topo.node_count());
+        prop_assert!(min_same_degree(&out) >= k_eff,
+            "achieved {} < k {}", min_same_degree(&out), k_eff);
+        // All original edges survive (additions only).
+        for (a, b, _) in topo.edges() {
+            prop_assert!(out.has_edge(a, b));
+        }
+        prop_assert_eq!(out.edge_count(), topo.edge_count() + plan.new_edges.len());
+    }
+
+    #[test]
+    fn plan_never_lowers_existing_anonymity(topo in arb_graph(), seed in any::<u64>()) {
+        // k=1 must be a no-op regardless of the input graph.
+        let mut rng = StdRng::seed_from_u64(seed);
+        let plan = plan_k_degree(&topo, 1, &mut rng).unwrap();
+        prop_assert!(plan.new_edges.is_empty());
+    }
+}

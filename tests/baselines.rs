@@ -1,0 +1,143 @@
+//! Integration tests for the baselines (strawmen, NetHide) and their
+//! relationships to ConfMask — the qualitative claims of Figures 8–10
+//! and 16.
+
+use confmask::{anonymize, EquivalenceMode, Params};
+use confmask_topology::extract::extract_topology;
+use std::collections::BTreeSet;
+
+fn small_nets() -> Vec<confmask_netgen::EvalNetwork> {
+    confmask_netgen::suite::small_suite()
+}
+
+#[test]
+fn all_three_modes_reach_functional_equivalence() {
+    for net in small_nets() {
+        for mode in [
+            EquivalenceMode::ConfMask,
+            EquivalenceMode::Strawman1,
+            EquivalenceMode::Strawman2,
+        ] {
+            let result = anonymize(&net.configs, &Params::default().with_mode(mode))
+                .unwrap_or_else(|e| panic!("net {} {:?}: {e}", net.id, mode));
+            assert!(
+                result.functionally_equivalent(),
+                "net {} {:?}: {:?}",
+                net.id,
+                mode,
+                result.equivalence.violations
+            );
+        }
+    }
+}
+
+#[test]
+fn strawman1_injects_most_filter_lines() {
+    // Figure 10 (R): S1 filters everything everywhere; ConfMask and S2 are
+    // selective.
+    for net in small_nets() {
+        let s1 = anonymize(
+            &net.configs,
+            &Params::default().with_mode(EquivalenceMode::Strawman1),
+        )
+        .unwrap();
+        let cm = anonymize(&net.configs, &Params::default()).unwrap();
+        if s1.fake_links.is_empty() {
+            continue; // already k-anonymous: nothing to filter anywhere
+        }
+        assert!(
+            s1.ledger.filter_lines >= cm.ledger.filter_lines,
+            "net {}: S1 {} < CM {}",
+            net.id,
+            s1.ledger.filter_lines,
+            cm.ledger.filter_lines
+        );
+    }
+}
+
+#[test]
+fn strawman2_needs_more_simulations_than_confmask() {
+    // Figure 16: S2's per-pair, one-hop-at-a-time fixes require more
+    // simulation rounds (and each needs a full data plane).
+    let mut s2_total = 0usize;
+    let mut cm_total = 0usize;
+    for net in small_nets() {
+        let s2 = anonymize(
+            &net.configs,
+            &Params::default().with_mode(EquivalenceMode::Strawman2),
+        )
+        .unwrap();
+        let cm = anonymize(&net.configs, &Params::default()).unwrap();
+        s2_total += s2.equiv.iterations;
+        cm_total += cm.equiv.iterations;
+    }
+    assert!(
+        s2_total >= cm_total,
+        "S2 iterations {} < ConfMask {}",
+        s2_total,
+        cm_total
+    );
+}
+
+#[test]
+fn strawman1_pattern_is_detectable_but_confmasks_is_not() {
+    // §4.3: an adversary can identify S1's fake interfaces as the ones
+    // binding a deny-list of *every* host prefix. ConfMask's lists are
+    // destination-specific.
+    let net = &small_nets()[0];
+    let s1 = anonymize(
+        &net.configs,
+        &Params::default().with_mode(EquivalenceMode::Strawman1),
+    )
+    .unwrap();
+    let n_hosts = net.configs.hosts.len();
+    let full_lists = |res: &confmask::Anonymized| {
+        res.configs
+            .routers
+            .values()
+            .flat_map(|r| r.prefix_lists.iter())
+            .filter(|pl| {
+                let denied: BTreeSet<_> = pl.entries.iter().map(|e| e.prefix).collect();
+                denied.len() >= n_hosts
+            })
+            .count()
+    };
+    assert!(full_lists(&s1) > 0, "S1 leaves the unified pattern");
+    let cm = anonymize(&net.configs, &Params::default()).unwrap();
+    assert_eq!(full_lists(&cm), 0, "ConfMask lists never cover every host");
+}
+
+#[test]
+fn nethide_loses_paths_and_specs_on_every_network() {
+    for net in small_nets() {
+        let sim = confmask::simulate(&net.configs).unwrap();
+        let topo = extract_topology(&net.configs);
+        let nh = confmask_nethide::obfuscate(&topo, 6, 0).unwrap();
+        let pu = confmask_nethide::exact_path_preservation(&sim.dataplane, &nh.dataplane);
+        assert!(pu < 1.0, "net {}: NetHide kept everything ({pu})", net.id);
+
+        let orig_spec = confmask_spec::mine(&sim.dataplane);
+        let nh_spec = confmask_spec::mine(&nh.dataplane);
+        let hosts: BTreeSet<String> = net.configs.hosts.keys().cloned().collect();
+        let d = confmask_spec::diff(&orig_spec, &nh_spec, &hosts);
+        assert!(d.missing > 0, "net {}: NetHide lost no specs", net.id);
+    }
+}
+
+#[test]
+fn confmask_preserves_all_specs_where_nethide_does_not() {
+    // The Figure 9 headline: ConfMask's kept-spec ratio is 1.0.
+    for net in small_nets() {
+        let result = anonymize(&net.configs, &Params::new(6, 4)).unwrap();
+        let orig_spec = confmask_spec::mine(&result.baseline.sim.dataplane);
+        let anon_spec = confmask_spec::mine(&result.final_sim.dataplane);
+        let d = confmask_spec::diff(&orig_spec, &anon_spec, &result.baseline.real_hosts);
+        assert_eq!(d.missing, 0, "net {}", net.id);
+        assert!(
+            d.introduced_fake_fraction() > 0.9,
+            "net {}: introduced specs should involve fake hosts ({:.2})",
+            net.id,
+            d.introduced_fake_fraction()
+        );
+    }
+}
