@@ -16,6 +16,21 @@ pub enum Command {
         params: Params,
         /// Also run the PII add-on on the result.
         pii: bool,
+        /// Verify equivalence under failure up to this k after anonymizing.
+        verify_failures: Option<usize>,
+    },
+    /// Sweep failure scenarios; optionally verify equivalence under failure.
+    Failures {
+        /// Input directory (the bundled university network when absent).
+        input: Option<PathBuf>,
+        /// Pipeline parameters (used when `--verify-failures` anonymizes).
+        params: Params,
+        /// Max simultaneous faults for the plain sweep (k = 1 default).
+        k: usize,
+        /// Anonymize and verify equivalence under failure up to this k.
+        verify: Option<usize>,
+        /// How many k = 2 scenarios to sample when k ≥ 2.
+        k2_sample: usize,
     },
     /// Simulate a configuration directory and report the data plane.
     Simulate {
@@ -59,14 +74,25 @@ confmask — privacy-preserving network configuration sharing
 USAGE:
   confmask anonymize --input <dir> --output <dir>
                      [--k-r N] [--k-h N] [--noise P] [--seed N]
-                     [--fake-routers N]
+                     [--fake-routers N] [--max-retries N]
+                     [--stage-deadline-secs S] [--verify-failures K]
                      [--mode confmask|strawman1|strawman2] [--pii]
+  confmask failures  [--input <dir>] [--k N] [--verify-failures K]
+                     [--k2-sample N] [--seed N] [--k-r N] [--k-h N]
+                     [--fake-routers N] [--max-retries N]
+                     [--stage-deadline-secs S]
   confmask simulate  --input <dir> [--trace <src> <dst>]
   confmask inspect   --input <dir>
   confmask generate  --network <A..H> --output <dir>
   confmask help
 
-Directories contain routers/*.cfg and hosts/*.cfg.";
+Directories contain routers/*.cfg and hosts/*.cfg. `failures` sweeps the
+input network itself, or — with --verify-failures — anonymizes it first
+and checks that original and anonymized degrade identically; it uses the
+bundled university network when --input is omitted.
+
+Exit codes: 0 success, 1 fatal error, 2 usage error, 3 anonymization
+retries exhausted, 4 equivalence-under-failure violation.";
 
 fn take_value<'a>(
     args: &mut impl Iterator<Item = &'a str>,
@@ -74,6 +100,47 @@ fn take_value<'a>(
 ) -> Result<&'a str, ArgError> {
     args.next()
         .ok_or_else(|| ArgError(format!("{flag} requires a value")))
+}
+
+fn parse_value<'a, T: std::str::FromStr>(
+    args: &mut impl Iterator<Item = &'a str>,
+    flag: &str,
+    expects: &str,
+) -> Result<T, ArgError> {
+    take_value(args, flag)?
+        .parse()
+        .map_err(|_| ArgError(format!("{flag} expects {expects}")))
+}
+
+/// Handles the [`Params`]-tweaking flags shared by `anonymize` and
+/// `failures`. Returns `Ok(true)` when `flag` was one of them.
+fn params_flag<'a>(
+    flag: &str,
+    it: &mut impl Iterator<Item = &'a str>,
+    params: &mut Params,
+) -> Result<bool, ArgError> {
+    match flag {
+        "--k-r" => params.k_r = parse_value(it, flag, "an integer")?,
+        "--k-h" => params.k_h = parse_value(it, flag, "an integer")?,
+        "--noise" => params.noise_p = parse_value(it, flag, "a float")?,
+        "--seed" => params.seed = parse_value(it, flag, "an integer")?,
+        "--fake-routers" => params.fake_routers = parse_value(it, flag, "an integer")?,
+        "--max-retries" => params.max_retries = parse_value(it, flag, "an integer")?,
+        "--stage-deadline-secs" => {
+            let secs: u64 = parse_value(it, flag, "a number of seconds")?;
+            params.stage_deadline = Some(std::time::Duration::from_secs(secs));
+        }
+        "--mode" => {
+            params.mode = match take_value(it, flag)? {
+                "confmask" => EquivalenceMode::ConfMask,
+                "strawman1" => EquivalenceMode::Strawman1,
+                "strawman2" => EquivalenceMode::Strawman2,
+                other => return Err(ArgError(format!("unknown mode '{other}'"))),
+            }
+        }
+        _ => return Ok(false),
+    }
+    Ok(true)
 }
 
 /// Parses `argv[1..]`.
@@ -87,46 +154,18 @@ pub fn parse(argv: &[String]) -> Result<Command, ArgError> {
             let mut output = None;
             let mut params = Params::default();
             let mut pii = false;
+            let mut verify_failures = None;
             while let Some(flag) = it.next() {
+                if params_flag(flag, &mut it, &mut params)? {
+                    continue;
+                }
                 match flag {
                     "--input" => input = Some(PathBuf::from(take_value(&mut it, flag)?)),
                     "--output" => output = Some(PathBuf::from(take_value(&mut it, flag)?)),
-                    "--k-r" => {
-                        params.k_r = take_value(&mut it, flag)?
-                            .parse()
-                            .map_err(|_| ArgError("--k-r expects an integer".into()))?
-                    }
-                    "--k-h" => {
-                        params.k_h = take_value(&mut it, flag)?
-                            .parse()
-                            .map_err(|_| ArgError("--k-h expects an integer".into()))?
-                    }
-                    "--noise" => {
-                        params.noise_p = take_value(&mut it, flag)?
-                            .parse()
-                            .map_err(|_| ArgError("--noise expects a float".into()))?
-                    }
-                    "--seed" => {
-                        params.seed = take_value(&mut it, flag)?
-                            .parse()
-                            .map_err(|_| ArgError("--seed expects an integer".into()))?
-                    }
-                    "--fake-routers" => {
-                        params.fake_routers = take_value(&mut it, flag)?
-                            .parse()
-                            .map_err(|_| ArgError("--fake-routers expects an integer".into()))?
-                    }
-                    "--mode" => {
-                        params.mode = match take_value(&mut it, flag)? {
-                            "confmask" => EquivalenceMode::ConfMask,
-                            "strawman1" => EquivalenceMode::Strawman1,
-                            "strawman2" => EquivalenceMode::Strawman2,
-                            other => {
-                                return Err(ArgError(format!("unknown mode '{other}'")))
-                            }
-                        }
-                    }
                     "--pii" => pii = true,
+                    "--verify-failures" => {
+                        verify_failures = Some(parse_value(&mut it, flag, "an integer")?)
+                    }
                     other => return Err(ArgError(format!("unknown flag '{other}'"))),
                 }
             }
@@ -135,6 +174,35 @@ pub fn parse(argv: &[String]) -> Result<Command, ArgError> {
                 output: output.ok_or_else(|| ArgError("--output is required".into()))?,
                 params,
                 pii,
+                verify_failures,
+            })
+        }
+        "failures" => {
+            let mut input = None;
+            let mut params = Params::default();
+            let mut k = 1;
+            let mut verify = None;
+            let mut k2_sample = 5;
+            while let Some(flag) = it.next() {
+                if params_flag(flag, &mut it, &mut params)? {
+                    continue;
+                }
+                match flag {
+                    "--input" => input = Some(PathBuf::from(take_value(&mut it, flag)?)),
+                    "--k" => k = parse_value(&mut it, flag, "an integer")?,
+                    "--verify-failures" => {
+                        verify = Some(parse_value(&mut it, flag, "an integer")?)
+                    }
+                    "--k2-sample" => k2_sample = parse_value(&mut it, flag, "an integer")?,
+                    other => return Err(ArgError(format!("unknown flag '{other}'"))),
+                }
+            }
+            Ok(Command::Failures {
+                input,
+                params,
+                k,
+                verify,
+                k2_sample,
             })
         }
         "simulate" => {
@@ -205,7 +273,7 @@ mod tests {
     #[test]
     fn parses_anonymize_with_all_flags() {
         let cmd = parse(&argv(
-            "anonymize --input in --output out --k-r 10 --k-h 4 --noise 0.2 --seed 7 --fake-routers 3 --mode strawman1 --pii",
+            "anonymize --input in --output out --k-r 10 --k-h 4 --noise 0.2 --seed 7 --fake-routers 3 --max-retries 5 --stage-deadline-secs 30 --mode strawman1 --pii --verify-failures 1",
         ))
         .unwrap();
         match cmd {
@@ -214,17 +282,60 @@ mod tests {
                 output,
                 params,
                 pii,
+                verify_failures,
             } => {
                 assert_eq!(input, PathBuf::from("in"));
                 assert_eq!(output, PathBuf::from("out"));
                 assert_eq!((params.k_r, params.k_h, params.seed), (10, 4, 7));
                 assert_eq!(params.fake_routers, 3);
                 assert!((params.noise_p - 0.2).abs() < 1e-12);
+                assert_eq!(params.max_retries, 5);
+                assert_eq!(params.stage_deadline, Some(std::time::Duration::from_secs(30)));
                 assert_eq!(params.mode, EquivalenceMode::Strawman1);
                 assert!(pii);
+                assert_eq!(verify_failures, Some(1));
             }
             other => panic!("{other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_failures_with_defaults_and_flags() {
+        match parse(&argv("failures")).unwrap() {
+            Command::Failures {
+                input,
+                k,
+                verify,
+                k2_sample,
+                ..
+            } => {
+                assert_eq!(input, None);
+                assert_eq!((k, verify, k2_sample), (1, None, 5));
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse(&argv(
+            "failures --input net --verify-failures 2 --k2-sample 3 --seed 9 --max-retries 0",
+        ))
+        .unwrap()
+        {
+            Command::Failures {
+                input,
+                params,
+                verify,
+                k2_sample,
+                ..
+            } => {
+                assert_eq!(input, Some(PathBuf::from("net")));
+                assert_eq!(verify, Some(2));
+                assert_eq!(k2_sample, 3);
+                assert_eq!(params.seed, 9);
+                assert_eq!(params.max_retries, 0);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse(&argv("failures --verify-failures")).is_err());
+        assert!(parse(&argv("failures --k nope")).is_err());
     }
 
     #[test]

@@ -4,12 +4,141 @@
 use crate::args::Command;
 use crate::io::{load_dir, store_dir};
 use confmask::pii::{apply_pii, PiiOptions};
+use confmask::resilience::FailureEquivalenceReport;
+use confmask_sim::fault::{enumerate_scenarios, run_scenario};
 use confmask_topology::extract::extract_topology;
 use confmask_topology::metrics::{clustering_coefficient, min_same_degree};
 use std::fmt::Write as _;
 
+/// Exit code for fatal errors (I/O, bad configs, non-retryable pipeline
+/// failures).
+pub const EXIT_FATAL: i32 = 1;
+/// Exit code for argument errors (used by `main`, reserved here).
+pub const EXIT_USAGE: i32 = 2;
+/// Exit code when the self-healing pipeline exhausted its retries.
+pub const EXIT_RETRIES_EXHAUSTED: i32 = 3;
+/// Exit code for an equivalence-under-failure violation.
+pub const EXIT_FAILURE_EQUIVALENCE: i32 = 4;
+
+/// A command failure carrying the process exit code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CmdError {
+    /// Process exit code (never 0).
+    pub code: i32,
+    /// User-facing message.
+    pub message: String,
+}
+
+impl std::fmt::Display for CmdError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl From<String> for CmdError {
+    fn from(message: String) -> Self {
+        CmdError {
+            code: EXIT_FATAL,
+            message,
+        }
+    }
+}
+
+/// Maps an anonymization failure to its exit code: exhausted retries get
+/// their own code so scripts can distinguish "gave up after healing
+/// attempts" from outright fatal errors.
+fn anonymize_err(e: confmask::Error) -> CmdError {
+    let code = if matches!(e, confmask::Error::RetriesExhausted { .. }) {
+        EXIT_RETRIES_EXHAUSTED
+    } else {
+        EXIT_FATAL
+    };
+    CmdError {
+        code,
+        message: e.to_string(),
+    }
+}
+
+/// Renders the self-healing audit trail when the run needed retries.
+fn write_degradation(report: &mut String, d: &confmask::DegradationReport) {
+    if !d.healed() {
+        return;
+    }
+    let _ = writeln!(
+        report,
+        "  self-healing: {} failed attempt(s) before the outcome",
+        d.failures()
+    );
+    for a in &d.attempts {
+        let _ = writeln!(
+            report,
+            "    attempt {} (seed {}, +{} equiv iterations, {:.2?}): {}",
+            a.attempt,
+            a.seed,
+            a.budget_boost,
+            a.duration,
+            a.error.as_deref().unwrap_or("ok")
+        );
+    }
+}
+
+/// Renders a per-scenario failure-equivalence report.
+fn write_failure_report(report: &mut String, fr: &FailureEquivalenceReport) {
+    let _ = writeln!(
+        report,
+        "equivalence under failure: {} real-element + {} fake-element scenario(s)",
+        fr.real.len(),
+        fr.fake.len()
+    );
+    for s in &fr.real {
+        let verdict = if s.holds() {
+            "classes match".to_string()
+        } else {
+            format!("{} MISMATCH(ES)", s.mismatches.len())
+        };
+        let worst = s
+            .worst
+            .map(|w| w.to_string())
+            .or_else(|| s.original_error.clone())
+            .unwrap_or_else(|| "?".into());
+        let _ = writeln!(report, "  {}: worst={worst} — {verdict}", s.scenario);
+    }
+    for s in &fr.fake {
+        let verdict = if s.holds() {
+            "inert".to_string()
+        } else if let Some(e) = &s.error {
+            format!("SIMULATION FAILED: {e}")
+        } else {
+            format!("CHANGED {} real pair(s)", s.changed_pairs.len())
+        };
+        let _ = writeln!(report, "  {}: {verdict}", s.scenario);
+    }
+    let _ = writeln!(
+        report,
+        "verdict: {}",
+        if fr.holds() { "HOLDS" } else { "VIOLATED" }
+    );
+}
+
+/// Errors out with [`EXIT_FAILURE_EQUIVALENCE`] when the report has
+/// violations, folding the rendered report into the message so nothing is
+/// lost on the error path.
+fn require_holds(report: String, fr: &FailureEquivalenceReport) -> Result<String, CmdError> {
+    if fr.holds() {
+        return Ok(report);
+    }
+    let mut message = report;
+    for v in fr.violations() {
+        let _ = writeln!(message, "violation: {v}");
+    }
+    Err(CmdError {
+        code: EXIT_FAILURE_EQUIVALENCE,
+        message,
+    })
+}
+
 /// Runs a parsed command, returning the report to print.
-pub fn run(cmd: Command) -> Result<String, String> {
+pub fn run(cmd: Command) -> Result<String, CmdError> {
     match cmd {
         Command::Help => Ok(crate::args::USAGE.to_string()),
         Command::Anonymize {
@@ -17,9 +146,10 @@ pub fn run(cmd: Command) -> Result<String, String> {
             output,
             params,
             pii,
+            verify_failures,
         } => {
             let net = load_dir(&input).map_err(|e| e.to_string())?;
-            let result = confmask::anonymize(&net, &params).map_err(|e| e.to_string())?;
+            let result = confmask::anonymize(&net, &params).map_err(anonymize_err)?;
             let mut report = String::new();
             let _ = writeln!(
                 report,
@@ -45,6 +175,7 @@ pub fn run(cmd: Command) -> Result<String, String> {
                 result.config_utility(),
                 result.route_anonymity().avg()
             );
+            write_degradation(&mut report, &result.degradation);
             let final_configs = if pii {
                 let (shared, pii_report) = apply_pii(&result.configs, &PiiOptions::default());
                 let _ = writeln!(
@@ -56,11 +187,89 @@ pub fn run(cmd: Command) -> Result<String, String> {
                 );
                 shared
             } else {
-                result.configs
+                result.configs.clone()
             };
             store_dir(&final_configs, &output).map_err(|e| e.to_string())?;
             let _ = writeln!(report, "wrote {}", output.display());
-            Ok(report)
+            match verify_failures {
+                None => Ok(report),
+                Some(k) => {
+                    let fr = confmask::verify_failure_equivalence(&net, &result, k, 5);
+                    write_failure_report(&mut report, &fr);
+                    require_holds(report, &fr)
+                }
+            }
+        }
+        Command::Failures {
+            input,
+            params,
+            k,
+            verify,
+            k2_sample,
+        } => {
+            let (net, label) = match &input {
+                Some(dir) => (
+                    load_dir(dir).map_err(|e| e.to_string())?,
+                    dir.display().to_string(),
+                ),
+                None => (
+                    confmask_netgen::synthesize(&confmask_netgen::smallnets::university()),
+                    "bundled university network".to_string(),
+                ),
+            };
+            let mut report = String::new();
+            match verify {
+                // Plain sweep: degrade the input network itself.
+                None => {
+                    let sim = confmask::simulate(&net).map_err(|e| e.to_string())?;
+                    let scenarios = enumerate_scenarios(&net, k, params.seed, k2_sample);
+                    let _ = writeln!(
+                        report,
+                        "failure sweep of {label}: {} scenario(s) at k<={k}",
+                        scenarios.len()
+                    );
+                    for scenario in scenarios {
+                        match run_scenario(&net, &sim.dataplane, &scenario) {
+                            Ok(out) => {
+                                let hist: Vec<String> = out
+                                    .histogram()
+                                    .into_iter()
+                                    .map(|(class, n)| format!("{n} {class}"))
+                                    .collect();
+                                let _ = writeln!(
+                                    report,
+                                    "  {}: worst={} [{}]",
+                                    out.scenario,
+                                    out.worst(),
+                                    hist.join(", ")
+                                );
+                            }
+                            Err(e) => {
+                                let _ =
+                                    writeln!(report, "  {scenario}: simulation failed: {e}");
+                            }
+                        }
+                    }
+                    Ok(report)
+                }
+                // Anonymize, then verify equivalence under failure.
+                Some(vk) => {
+                    let result = confmask::anonymize(&net, &params).map_err(anonymize_err)?;
+                    let _ = writeln!(
+                        report,
+                        "anonymized {label} (k_R={}, k_H={}, seed={}): {} fake links, {} fake routers",
+                        params.k_r,
+                        params.k_h,
+                        params.seed,
+                        result.fake_links.len(),
+                        result.scale.fake_routers.len()
+                    );
+                    write_degradation(&mut report, &result.degradation);
+                    let fr = confmask::verify_failure_equivalence(&net, &result, vk, k2_sample);
+                    write_failure_report(&mut report, &fr);
+                    require_holds(report, &fr)
+                }
+            }
         }
         Command::Simulate { input, trace } => {
             let net = load_dir(&input).map_err(|e| e.to_string())?;
@@ -176,6 +385,7 @@ mod tests {
             output: dst.clone(),
             params: Params::new(4, 2),
             pii: true,
+            verify_failures: None,
         })
         .unwrap();
         assert!(out.contains("functional equivalence: true"));
@@ -209,6 +419,49 @@ mod tests {
         assert!(out.contains("traceroute ha0 -> ha7"));
         assert!(out.contains(" -> "), "{out}");
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failures_sweep_reports_every_single_link_scenario() {
+        let dir = tmp("fail-sweep");
+        store_dir(&confmask_netgen::smallnets::example_network(), &dir).unwrap();
+        let out = run(Command::Failures {
+            input: Some(dir.clone()),
+            params: Params::default(),
+            k: 1,
+            verify: None,
+            k2_sample: 0,
+        })
+        .unwrap();
+        assert!(out.contains("failure sweep"), "{out}");
+        assert!(out.contains("link-down"), "{out}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn failures_verify_holds_on_example_network() {
+        let dir = tmp("fail-verify");
+        store_dir(&confmask_netgen::smallnets::example_network(), &dir).unwrap();
+        let out = run(Command::Failures {
+            input: Some(dir.clone()),
+            params: Params::new(3, 2),
+            k: 1,
+            verify: Some(1),
+            k2_sample: 0,
+        })
+        .unwrap();
+        assert!(out.contains("classes match"), "{out}");
+        assert!(out.contains("verdict: HOLDS"), "{out}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn fatal_errors_carry_exit_code_one() {
+        let err = run(Command::Inspect {
+            input: PathBuf::from("/definitely/not/here"),
+        })
+        .unwrap_err();
+        assert_eq!(err.code, EXIT_FATAL);
     }
 
     #[test]

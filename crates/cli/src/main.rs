@@ -6,14 +6,14 @@ fn main() {
         Ok(cmd) => cmd,
         Err(e) => {
             eprintln!("error: {e}");
-            std::process::exit(2);
+            std::process::exit(confmask_cli::commands::EXIT_USAGE);
         }
     };
     match confmask_cli::commands::run(cmd) {
         Ok(report) => print!("{report}"),
         Err(e) => {
             eprintln!("error: {e}");
-            std::process::exit(1);
+            std::process::exit(e.code);
         }
     }
 }

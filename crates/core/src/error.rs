@@ -23,6 +23,49 @@ pub enum Error {
     EquivalenceViolated(String),
     /// The input network is invalid.
     InvalidInput(String),
+    /// A retryable stage kept failing after every self-healing attempt.
+    RetriesExhausted {
+        /// Attempts made (including the first).
+        attempts: usize,
+        /// The error the final attempt died with.
+        last: Box<Error>,
+    },
+    /// A pipeline stage overran its wall-clock deadline
+    /// (`Params::stage_deadline`). Fatal: more attempts would only burn
+    /// the same time again.
+    StageDeadlineExceeded {
+        /// The overrunning stage.
+        stage: &'static str,
+        /// The configured per-stage limit.
+        limit: std::time::Duration,
+    },
+}
+
+impl Error {
+    /// Whether self-healing may retry after this error.
+    ///
+    /// Retryable errors are those whose cause is a *search* coming up
+    /// empty under one random draw or budget — a different seed or a
+    /// larger iteration bound can genuinely change the outcome:
+    /// route-equivalence divergence, k-degree realization failure, a
+    /// defensive equivalence violation, and a panicked trace worker.
+    ///
+    /// Everything else is deterministic in the input (BGP oscillation à
+    /// la Griffin, malformed configurations, patcher invariant
+    /// violations, deadline overruns) and fails fast.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            Error::EquivalenceDiverged { .. } => true,
+            Error::Topology(_) => true,
+            Error::EquivalenceViolated(_) => true,
+            Error::Sim(confmask_sim::SimError::TracePanic(_)) => true,
+            Error::Sim(_) => false,
+            Error::Patch(_) => false,
+            Error::InvalidInput(_) => false,
+            Error::RetriesExhausted { .. } => false,
+            Error::StageDeadlineExceeded { .. } => false,
+        }
+    }
 }
 
 impl fmt::Display for Error {
@@ -38,6 +81,12 @@ impl fmt::Display for Error {
                 write!(f, "functional equivalence violated: {m}")
             }
             Error::InvalidInput(m) => write!(f, "invalid input network: {m}"),
+            Error::RetriesExhausted { attempts, last } => {
+                write!(f, "all {attempts} attempt(s) failed; last error: {last}")
+            }
+            Error::StageDeadlineExceeded { stage, limit } => {
+                write!(f, "stage {stage} exceeded its {limit:?} deadline")
+            }
         }
     }
 }

@@ -62,6 +62,7 @@ mod params;
 pub mod pii;
 mod pipeline;
 pub mod preprocess;
+pub mod resilience;
 pub mod route_anon;
 pub mod route_equiv;
 pub mod scale;
@@ -70,7 +71,8 @@ pub mod topo_anon;
 
 pub use error::Error;
 pub use params::{CostStrategy, EquivalenceMode, Params};
-pub use pipeline::{anonymize, Anonymized, StageTimings};
+pub use pipeline::{anonymize, Anonymized, AttemptRecord, DegradationReport, StageTimings};
+pub use resilience::{verify_failure_equivalence, FailureEquivalenceReport};
 
 // Re-exports so downstream users need only this crate.
 pub use confmask_config::{patch::LineLedger, NetworkConfigs};

@@ -58,6 +58,14 @@ pub struct Params {
     /// Number of fake routers to add (network-scale obfuscation, §9).
     /// Default 0 — the paper's core pipeline never alters `|R|`.
     pub fake_routers: usize,
+    /// Self-healing: additional pipeline attempts after a retryable
+    /// failure (reseeded RNG, escalating route-equivalence budget).
+    /// Default 2, i.e. up to three attempts in total. 0 disables retries.
+    pub max_retries: usize,
+    /// Self-healing: optional wall-clock deadline per pipeline stage. A
+    /// stage overrunning it aborts the run fatally
+    /// ([`crate::Error::StageDeadlineExceeded`]). Default `None`.
+    pub stage_deadline: Option<std::time::Duration>,
 }
 
 impl Default for Params {
@@ -70,6 +78,8 @@ impl Default for Params {
             mode: EquivalenceMode::ConfMask,
             cost_strategy: CostStrategy::MinCost,
             fake_routers: 0,
+            max_retries: 2,
+            stage_deadline: None,
         }
     }
 }
@@ -93,6 +103,18 @@ impl Params {
     /// Returns a copy with the given equivalence mode.
     pub fn with_mode(mut self, mode: EquivalenceMode) -> Self {
         self.mode = mode;
+        self
+    }
+
+    /// Returns a copy with the given retry budget (0 disables retries).
+    pub fn with_max_retries(mut self, max_retries: usize) -> Self {
+        self.max_retries = max_retries;
+        self
+    }
+
+    /// Returns a copy with the given per-stage wall-clock deadline.
+    pub fn with_stage_deadline(mut self, deadline: std::time::Duration) -> Self {
+        self.stage_deadline = Some(deadline);
         self
     }
 }

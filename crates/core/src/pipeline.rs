@@ -4,7 +4,7 @@ use crate::equivalence::{check_equivalence, EquivalenceReport};
 use crate::metrics;
 use crate::preprocess::{preprocess, Baseline};
 use crate::route_anon::{anonymize_routes, RouteAnonOutcome};
-use crate::route_equiv::{enforce_route_equivalence, EquivOutcome};
+use crate::route_equiv::{enforce_route_equivalence_with_budget, EquivOutcome};
 use crate::scale::{obfuscate_scale, ScaleOutcome};
 use crate::strawman::{strawman1, strawman2};
 use crate::topo_anon::{anonymize_topology_with, FakeLink};
@@ -39,6 +39,78 @@ impl StageTimings {
     }
 }
 
+/// Extra route-equivalence iterations granted per self-healing retry: the
+/// n-th retry runs with `n * RETRY_BUDGET_STEP` iterations on top of the
+/// `fake_link_count + 5` bound of §5.4.
+pub const RETRY_BUDGET_STEP: usize = 8;
+
+/// One pipeline attempt, as recorded by the self-healing driver.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AttemptRecord {
+    /// Zero-based attempt index (0 = the initial run).
+    pub attempt: usize,
+    /// The RNG seed this attempt ran with (attempt 0 uses `Params::seed`;
+    /// retries use a seed derived from it).
+    pub seed: u64,
+    /// Extra route-equivalence iterations granted to this attempt.
+    pub budget_boost: usize,
+    /// Wall-clock duration of the attempt.
+    pub duration: Duration,
+    /// The rendered error, or `None` for the successful attempt.
+    pub error: Option<String>,
+    /// Whether the error (if any) was classified retryable.
+    pub retryable: bool,
+}
+
+/// How a run degraded before succeeding (or failing for good): one record
+/// per attempt the self-healing driver made. Attached to every
+/// [`Anonymized`] so callers can audit whether the output needed healing.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DegradationReport {
+    /// All attempts, in order. The last one is the successful one when the
+    /// pipeline returned `Ok`.
+    pub attempts: Vec<AttemptRecord>,
+}
+
+impl DegradationReport {
+    /// Whether the run needed self-healing (at least one failed attempt).
+    pub fn healed(&self) -> bool {
+        self.attempts.len() > 1
+    }
+
+    /// Number of failed attempts before the outcome.
+    pub fn failures(&self) -> usize {
+        self.attempts.iter().filter(|a| a.error.is_some()).count()
+    }
+}
+
+/// Seed for attempt `attempt`: the configured seed verbatim for the first
+/// attempt, a SplitMix64-style remix for each retry so the streams are
+/// decorrelated but the whole retry sequence stays deterministic.
+fn derive_seed(seed: u64, attempt: usize) -> u64 {
+    if attempt == 0 {
+        return seed;
+    }
+    let mut z = seed ^ (attempt as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Checks one stage against the optional per-stage deadline.
+fn check_deadline(
+    stage: &'static str,
+    started: Instant,
+    deadline: Option<Duration>,
+) -> Result<(), Error> {
+    if let Some(limit) = deadline {
+        if started.elapsed() > limit {
+            return Err(Error::StageDeadlineExceeded { stage, limit });
+        }
+    }
+    Ok(())
+}
+
 /// The result of anonymizing a network.
 #[derive(Debug, Clone)]
 pub struct Anonymized {
@@ -65,6 +137,8 @@ pub struct Anonymized {
     pub timings: StageTimings,
     /// Parameters used.
     pub params: Params,
+    /// The self-healing audit trail: one record per attempt made.
+    pub degradation: DegradationReport,
 }
 
 impl Anonymized {
@@ -94,19 +168,96 @@ impl Anonymized {
     }
 }
 
-/// Runs the full ConfMask pipeline on `configs`.
+/// Runs the full ConfMask pipeline on `configs`, with self-healing.
 ///
 /// The output is guaranteed functionally equivalent to the input — the
 /// pipeline verifies this defensively and returns
 /// [`Error::EquivalenceViolated`] rather than an unusable result.
+///
+/// **Self-healing**: a *retryable* failure (see [`Error::is_retryable`])
+/// is retried up to `Params::max_retries` times with a reseeded RNG and an
+/// escalating route-equivalence iteration budget; every attempt is
+/// recorded in the returned [`DegradationReport`]. Fatal errors (BGP
+/// oscillation, bad input, deadline overruns) fail fast on the first
+/// occurrence; exhausting the retry budget yields
+/// [`Error::RetriesExhausted`]. The retry sequence is a pure function of
+/// `Params`, so anonymization stays deterministic given the seed.
 pub fn anonymize(configs: &NetworkConfigs, params: &Params) -> Result<Anonymized, Error> {
-    let mut rng = StdRng::seed_from_u64(params.seed);
+    let (mut result, report) = run_with_retries(params, |_, seed, budget_boost| {
+        run_attempt(configs, params, seed, budget_boost)
+    })?;
+    result.degradation = report;
+    Ok(result)
+}
+
+/// The self-healing driver, independent of what an attempt does: runs
+/// `attempt_fn(attempt, seed, budget_boost)` up to `max_retries + 1` times,
+/// reseeding and escalating the budget between attempts, recording every
+/// attempt. Fatal errors propagate on first occurrence; exhausting the
+/// budget yields [`Error::RetriesExhausted`] wrapping the last error.
+fn run_with_retries<T>(
+    params: &Params,
+    mut attempt_fn: impl FnMut(usize, u64, usize) -> Result<T, Error>,
+) -> Result<(T, DegradationReport), Error> {
+    let mut report = DegradationReport::default();
+    let attempts_allowed = params.max_retries + 1;
+    for attempt in 0..attempts_allowed {
+        let seed = derive_seed(params.seed, attempt);
+        let budget_boost = attempt * RETRY_BUDGET_STEP;
+        let started = Instant::now();
+        match attempt_fn(attempt, seed, budget_boost) {
+            Ok(value) => {
+                report.attempts.push(AttemptRecord {
+                    attempt,
+                    seed,
+                    budget_boost,
+                    duration: started.elapsed(),
+                    error: None,
+                    retryable: false,
+                });
+                return Ok((value, report));
+            }
+            Err(e) => {
+                let retryable = e.is_retryable();
+                report.attempts.push(AttemptRecord {
+                    attempt,
+                    seed,
+                    budget_boost,
+                    duration: started.elapsed(),
+                    error: Some(e.to_string()),
+                    retryable,
+                });
+                if !retryable {
+                    return Err(e);
+                }
+                if attempt + 1 == attempts_allowed {
+                    return Err(Error::RetriesExhausted {
+                        attempts: attempts_allowed,
+                        last: Box::new(e),
+                    });
+                }
+            }
+        }
+    }
+    unreachable!("attempts_allowed >= 1, every iteration returns")
+}
+
+/// One pipeline attempt (the pre-self-healing `anonymize` body).
+fn run_attempt(
+    configs: &NetworkConfigs,
+    params: &Params,
+    seed: u64,
+    budget_boost: usize,
+) -> Result<Anonymized, Error> {
+    let mut rng = StdRng::seed_from_u64(seed);
     let mut timings = StageTimings::default();
+    let deadline = params.stage_deadline;
 
     // Preprocess (Figure 3 stage 0).
     let t0 = Instant::now();
     let baseline = preprocess(configs)?;
     timings.preprocess = t0.elapsed();
+    check_deadline("preprocess", t0, deadline)?;
 
     let mut patcher = Patcher::new(configs.clone());
     let mut alloc = PrefixAllocator::new(configs.used_prefixes());
@@ -132,17 +283,22 @@ pub fn anonymize(configs: &NetworkConfigs, params: &Params) -> Result<Anonymized
         &mut rng,
     )?;
     timings.topology = t1.elapsed();
+    check_deadline("topology", t1, deadline)?;
 
     // Step 2.1 — route equivalence.
     let t2 = Instant::now();
     let equiv = match params.mode {
-        EquivalenceMode::ConfMask => {
-            enforce_route_equivalence(&mut patcher, &baseline, fake_links.len())?
-        }
+        EquivalenceMode::ConfMask => enforce_route_equivalence_with_budget(
+            &mut patcher,
+            &baseline,
+            fake_links.len(),
+            budget_boost,
+        )?,
         EquivalenceMode::Strawman1 => strawman1(&mut patcher, &baseline, &fake_links)?,
         EquivalenceMode::Strawman2 => strawman2(&mut patcher, &baseline, &fake_links)?,
     };
     timings.route_equiv = t2.elapsed();
+    check_deadline("route_equiv", t2, deadline)?;
 
     // Step 2.2 — route anonymization.
     let t3 = Instant::now();
@@ -155,6 +311,7 @@ pub fn anonymize(configs: &NetworkConfigs, params: &Params) -> Result<Anonymized
         &mut rng,
     )?;
     timings.route_anon = t3.elapsed();
+    check_deadline("route_anon", t3, deadline)?;
 
     // Verify.
     let t4 = Instant::now();
@@ -167,6 +324,7 @@ pub fn anonymize(configs: &NetworkConfigs, params: &Params) -> Result<Anonymized
         &final_sim.dataplane,
     );
     timings.verify = t4.elapsed();
+    check_deadline("verify", t4, deadline)?;
 
     if !equivalence.holds() {
         return Err(Error::EquivalenceViolated(
@@ -190,6 +348,7 @@ pub fn anonymize(configs: &NetworkConfigs, params: &Params) -> Result<Anonymized
         equivalence,
         timings,
         params: params.clone(),
+        degradation: DegradationReport::default(),
     })
 }
 
@@ -272,5 +431,111 @@ mod tests {
     fn metrics_route_avg(net: &confmask_config::NetworkConfigs) -> f64 {
         let sim = confmask_sim::simulate(net).unwrap();
         crate::metrics::route_anonymity(&sim.dataplane).avg()
+    }
+
+    #[test]
+    fn bgp_divergence_is_fatal_and_never_retried() {
+        // Griffin's bad gadget has no routing equilibrium: no reseed or
+        // budget escalation can fix it, so self-healing must fail fast with
+        // the underlying error rather than burn retries and wrap it in
+        // RetriesExhausted.
+        let net = confmask_netgen::smallnets::bad_gadget();
+        let start = std::time::Instant::now();
+        let err = anonymize(&net, &Params::new(3, 2)).expect_err("no equilibrium");
+        assert!(!err.is_retryable(), "divergence must be classified fatal");
+        assert!(
+            matches!(
+                err,
+                crate::Error::Sim(confmask_sim::SimError::BgpDiverged { .. })
+            ),
+            "expected the bare simulation error, got: {err}"
+        );
+        assert!(
+            start.elapsed() < std::time::Duration::from_secs(5),
+            "fail-fast must not consume the retry budget"
+        );
+    }
+
+    #[test]
+    fn degradation_report_records_the_single_clean_attempt() {
+        let net = example_network();
+        let params = Params::new(3, 2).with_seed(9);
+        let result = anonymize(&net, &params).unwrap();
+        assert!(!result.degradation.healed());
+        assert_eq!(result.degradation.attempts.len(), 1);
+        let a = &result.degradation.attempts[0];
+        assert_eq!((a.attempt, a.seed), (0, 9));
+        assert_eq!(a.error, None);
+    }
+
+    #[test]
+    fn retry_driver_heals_a_retryable_failure_with_new_seed_and_budget() {
+        let params = Params::new(3, 2).with_seed(7).with_max_retries(3);
+        let (value, report) = run_with_retries(&params, |attempt, seed, boost| {
+            if attempt == 0 {
+                assert_eq!(seed, 7); // first attempt uses the seed verbatim
+                assert_eq!(boost, 0);
+                Err(Error::EquivalenceDiverged { iterations: 5 })
+            } else {
+                assert_eq!(seed, derive_seed(7, 1));
+                assert_ne!(seed, 7);
+                assert_eq!(boost, RETRY_BUDGET_STEP);
+                Ok(42u32)
+            }
+        })
+        .unwrap();
+        assert_eq!(value, 42);
+        assert!(report.healed());
+        assert_eq!(report.attempts.len(), 2);
+        assert!(report.attempts[0].retryable);
+        assert!(report.attempts[0]
+            .error
+            .as_deref()
+            .unwrap()
+            .contains("did not converge"));
+        assert_eq!(report.attempts[1].error, None);
+    }
+
+    #[test]
+    fn retry_driver_fails_fast_on_fatal_errors() {
+        let params = Params::new(3, 2).with_max_retries(5);
+        let mut calls = 0usize;
+        let err = run_with_retries(&params, |_, _, _| -> Result<(), Error> {
+            calls += 1;
+            Err(Error::Sim(confmask_sim::SimError::BgpDiverged { rounds: 1 }))
+        })
+        .unwrap_err();
+        assert_eq!(calls, 1, "fatal errors must not be retried");
+        assert!(matches!(
+            err,
+            Error::Sim(confmask_sim::SimError::BgpDiverged { .. })
+        ));
+    }
+
+    #[test]
+    fn retry_driver_exhausts_and_wraps_the_last_error() {
+        let params = Params::new(3, 2).with_max_retries(2);
+        let mut calls = 0usize;
+        let err = run_with_retries(&params, |_, _, _| -> Result<(), Error> {
+            calls += 1;
+            Err(Error::EquivalenceDiverged { iterations: calls })
+        })
+        .unwrap_err();
+        assert_eq!(calls, 3, "max_retries=2 allows three attempts");
+        match err {
+            Error::RetriesExhausted { attempts, last } => {
+                assert_eq!(attempts, 3);
+                assert!(matches!(*last, Error::EquivalenceDiverged { iterations: 3 }));
+            }
+            other => panic!("expected RetriesExhausted, got {other}"),
+        }
+    }
+
+    #[test]
+    fn derived_seeds_are_deterministic_and_distinct() {
+        assert_eq!(derive_seed(5, 0), 5);
+        assert_eq!(derive_seed(5, 1), derive_seed(5, 1));
+        assert_ne!(derive_seed(5, 1), derive_seed(5, 2));
+        assert_ne!(derive_seed(5, 1), derive_seed(6, 1));
     }
 }

@@ -1,0 +1,349 @@
+//! Equivalence under failure — does the anonymized network *degrade* the
+//! same way the original does?
+//!
+//! ConfMask's functional-equivalence guarantee (Definition 3.3) is stated
+//! for the healthy network. A config consumer, however, typically wants to
+//! study what-if scenarios: take the shared configurations, fail a link,
+//! and see what breaks. This module verifies the natural extension of the
+//! guarantee to that workflow:
+//!
+//! 1. **Real-element equivalence** — failing an element the original
+//!    network *has* (an original link) must put every real host pair into
+//!    the same [`DegradationClass`] in the original network and in the
+//!    anonymized network *with its fake elements masked* (every
+//!    anonymization-added interface administratively shut). Masking is
+//!    what the network owner does when running what-if analysis on the
+//!    shared configurations — they hold the provenance map — and it is
+//!    the strongest failure guarantee the anonymization can offer:
+//!    original lines are never modified, so the real substrate must
+//!    degrade identically.
+//!
+//!    The *unmasked* anonymized network intentionally degrades
+//!    differently: fake links add physical connectivity (healing
+//!    partitions), and equivalence route filters permanently pin
+//!    forwarding to original paths (turning some reroutes into black
+//!    holes). That divergence is inherent to the scheme — Definition 3.3
+//!    equivalence is stated for the healthy network — so it is *reported*
+//!    per scenario rather than treated as a violation.
+//! 2. **Fake-element inertness** — failing an element that only the
+//!    anonymization added (a fake link, a fake router) in the *unmasked*
+//!    anonymized network must change *nothing* for real host pairs: fake
+//!    elements carry no real traffic, so their failure must be invisible.
+
+use crate::pipeline::Anonymized;
+use confmask_config::NetworkConfigs;
+use confmask_sim::fault::{
+    enumerate_scenarios, run_scenario, DegradationClass, FailureScenario, Fault,
+};
+use confmask_sim::DataPlane;
+
+/// One real host pair whose degradation class differs between the original
+/// and the masked anonymized network under the same failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PairMismatch {
+    /// Source host.
+    pub src: String,
+    /// Destination host.
+    pub dst: String,
+    /// The pair's class in the failed original network.
+    pub original: DegradationClass,
+    /// The pair's class in the failed masked anonymized network.
+    pub anonymized: DegradationClass,
+}
+
+/// Original-vs-(masked-)anonymized comparison for one real-element failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioEquivalence {
+    /// The injected scenario.
+    pub scenario: FailureScenario,
+    /// Simulation error in the failed *original* network, if any (e.g.
+    /// post-failure BGP oscillation).
+    pub original_error: Option<String>,
+    /// Simulation error in the failed *masked anonymized* network, if any.
+    pub anonymized_error: Option<String>,
+    /// Degradation class of the worst-affected pair in the original
+    /// network (reported for context; `None` when simulation failed).
+    pub worst: Option<DegradationClass>,
+    /// Pairs whose classes disagree between the original and the masked
+    /// anonymized network. Empty iff behaviour is equivalent (given both
+    /// simulations succeeded).
+    pub mismatches: Vec<PairMismatch>,
+}
+
+impl ScenarioEquivalence {
+    /// Whether this scenario degrades equivalently: both simulations agree
+    /// on failure/success, and every pair's class matches.
+    pub fn holds(&self) -> bool {
+        self.original_error == self.anonymized_error && self.mismatches.is_empty()
+    }
+}
+
+/// Inertness check for one fake-element failure (anonymized network only).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FakeElementCheck {
+    /// The injected scenario (fake link down / fake router down).
+    pub scenario: FailureScenario,
+    /// Simulation error in the failed anonymized network, if any. A fake
+    /// element whose failure makes the network un-simulatable is itself a
+    /// violation.
+    pub error: Option<String>,
+    /// Real host pairs whose forwarding changed at all. Must be empty.
+    pub changed_pairs: Vec<(String, String)>,
+}
+
+impl FakeElementCheck {
+    /// Whether the fake element was inert.
+    pub fn holds(&self) -> bool {
+        self.error.is_none() && self.changed_pairs.is_empty()
+    }
+}
+
+/// The full equivalence-under-failure verdict.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FailureEquivalenceReport {
+    /// The masked anonymized network failed to simulate even before any
+    /// fault was injected (fatal for the whole sweep).
+    pub masked_baseline_error: Option<String>,
+    /// The healthy masked anonymized network's real-pair data plane
+    /// differs from the original's — every classification below is
+    /// suspect when this is set.
+    pub masked_baseline_differs: bool,
+    /// One comparison per real-element scenario.
+    pub real: Vec<ScenarioEquivalence>,
+    /// One inertness check per fake-element scenario.
+    pub fake: Vec<FakeElementCheck>,
+}
+
+impl FailureEquivalenceReport {
+    /// Whether every scenario upholds equivalence under failure.
+    pub fn holds(&self) -> bool {
+        self.masked_baseline_error.is_none()
+            && !self.masked_baseline_differs
+            && self.real.iter().all(|s| s.holds())
+            && self.fake.iter().all(|s| s.holds())
+    }
+
+    /// Rendered violations, one line each (empty when [`holds`]).
+    ///
+    /// [`holds`]: FailureEquivalenceReport::holds
+    pub fn violations(&self) -> Vec<String> {
+        let mut out = Vec::new();
+        if let Some(e) = &self.masked_baseline_error {
+            out.push(format!("masked anonymized network failed to simulate: {e}"));
+        }
+        if self.masked_baseline_differs {
+            out.push(
+                "healthy masked anonymized network's real-pair data plane differs from original"
+                    .to_string(),
+            );
+        }
+        for s in &self.real {
+            if s.original_error != s.anonymized_error {
+                out.push(format!(
+                    "{}: simulation outcomes differ (original: {:?}, anonymized: {:?})",
+                    s.scenario, s.original_error, s.anonymized_error
+                ));
+            }
+            for m in &s.mismatches {
+                out.push(format!(
+                    "{}: {}→{} degrades {} in original but {} in anonymized",
+                    s.scenario, m.src, m.dst, m.original, m.anonymized
+                ));
+            }
+        }
+        for s in &self.fake {
+            if let Some(e) = &s.error {
+                out.push(format!("{}: anonymized network failed to simulate: {e}", s.scenario));
+            }
+            for (src, dst) in &s.changed_pairs {
+                out.push(format!(
+                    "{}: fake-element failure changed real pair {src}→{dst}",
+                    s.scenario
+                ));
+            }
+        }
+        out
+    }
+
+    /// Total scenarios checked.
+    pub fn scenario_count(&self) -> usize {
+        self.real.len() + self.fake.len()
+    }
+}
+
+/// Returns the anonymized configurations with every fake element masked:
+/// each anonymization-added interface is administratively shut, detaching
+/// fake links and fake routers while leaving every original line intact.
+pub fn mask_fake_elements(configs: &NetworkConfigs) -> NetworkConfigs {
+    let mut masked = configs.clone();
+    for rc in masked.routers.values_mut() {
+        for iface in &mut rc.interfaces {
+            if iface.added {
+                iface.shutdown = true;
+            }
+        }
+    }
+    masked
+}
+
+/// Verifies equivalence under failure for an anonymization result.
+///
+/// Sweeps every single-link (k = 1) failure of the *original* network —
+/// plus, when `k >= 2`, a seeded sample of `k2_sample` double-link
+/// scenarios — through the original and the masked anonymized network and
+/// compares per-pair degradation classes on the real hosts. Then fails
+/// every fake link and fake router of the (unmasked) anonymized network
+/// and checks real traffic is unaffected.
+///
+/// Per-scenario simulation failures are captured in the report rather than
+/// aborting the sweep, so one pathological scenario cannot hide the rest.
+pub fn verify_failure_equivalence(
+    original: &NetworkConfigs,
+    result: &Anonymized,
+    k: usize,
+    k2_sample: usize,
+) -> FailureEquivalenceReport {
+    let orig_base: DataPlane = result
+        .baseline
+        .sim
+        .dataplane
+        .restricted_to(&result.baseline.real_hosts);
+    let anon_base: DataPlane = result
+        .final_sim
+        .dataplane
+        .restricted_to(&result.baseline.real_hosts);
+    let masked = mask_fake_elements(&result.configs);
+
+    let mut report = FailureEquivalenceReport::default();
+
+    // The masked network's healthy data plane must equal the original's on
+    // real pairs: functional equivalence holds with the fakes up, and
+    // masking only removes candidates the filters already suppressed. A
+    // divergence here poisons every per-scenario classification, so it is
+    // recorded as its own violation.
+    let masked_base: DataPlane = match confmask_sim::simulate(&masked) {
+        Ok(sim) => sim.dataplane.restricted_to(&result.baseline.real_hosts),
+        Err(e) => {
+            report.masked_baseline_error = Some(e.to_string());
+            return report;
+        }
+    };
+    if masked_base != orig_base {
+        report.masked_baseline_differs = true;
+    }
+
+    // 1. Real-element scenarios, enumerated from the original network (so
+    //    fake links can never leak into the "real" sweep).
+    for scenario in enumerate_scenarios(original, k, result.params.seed, k2_sample) {
+        let orig_run = run_scenario(original, &orig_base, &scenario);
+        let anon_run = run_scenario(&masked, &masked_base, &scenario);
+        let mut entry = ScenarioEquivalence {
+            scenario,
+            original_error: orig_run.as_ref().err().map(|e| e.to_string()),
+            anonymized_error: anon_run.as_ref().err().map(|e| e.to_string()),
+            worst: orig_run.as_ref().ok().map(|o| o.worst()),
+            mismatches: Vec::new(),
+        };
+        if let (Ok(orig), Ok(anon)) = (&orig_run, &anon_run) {
+            for ((src, dst), oc) in &orig.classes {
+                let ac = anon
+                    .classes
+                    .get(&(src.clone(), dst.clone()))
+                    .copied()
+                    .unwrap_or(DegradationClass::Partitioned);
+                if *oc != ac {
+                    entry.mismatches.push(PairMismatch {
+                        src: src.clone(),
+                        dst: dst.clone(),
+                        original: *oc,
+                        anonymized: ac,
+                    });
+                }
+            }
+        }
+        report.real.push(entry);
+    }
+
+    // 2. Fake-element scenarios: every fake link and every fake router.
+    let mut fake_scenarios: Vec<FailureScenario> = result
+        .fake_links
+        .iter()
+        .map(|fl| {
+            FailureScenario::single(Fault::LinkDown {
+                a: fl.a.clone(),
+                b: fl.b.clone(),
+                added: true,
+            })
+        })
+        .collect();
+    fake_scenarios.extend(result.scale.fake_routers.iter().map(|r| {
+        FailureScenario::single(Fault::RouterDown { router: r.clone() })
+    }));
+
+    for scenario in fake_scenarios {
+        match run_scenario(&result.configs, &anon_base, &scenario) {
+            Ok(outcome) => report.fake.push(FakeElementCheck {
+                scenario,
+                error: None,
+                changed_pairs: outcome
+                    .classes
+                    .iter()
+                    .filter(|(_, c)| **c != DegradationClass::Unchanged)
+                    .map(|(k, _)| k.clone())
+                    .collect(),
+            }),
+            Err(e) => report.fake.push(FakeElementCheck {
+                scenario,
+                error: Some(e.to_string()),
+                changed_pairs: Vec::new(),
+            }),
+        }
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{anonymize, Params};
+    use confmask_netgen::smallnets::example_network;
+
+    #[test]
+    fn example_network_degrades_equivalently() {
+        let net = example_network();
+        let result = anonymize(&net, &Params::new(3, 2)).unwrap();
+        let report = verify_failure_equivalence(&net, &result, 1, 0);
+        assert!(!report.real.is_empty(), "must sweep original links");
+        assert!(
+            !report.fake.is_empty(),
+            "k-degree anonymization must have added fake links"
+        );
+        assert!(report.holds(), "violations: {:#?}", report.violations());
+    }
+
+    #[test]
+    fn k2_sampling_adds_scenarios() {
+        let net = example_network();
+        let result = anonymize(&net, &Params::new(3, 2)).unwrap();
+        let k1 = verify_failure_equivalence(&net, &result, 1, 0);
+        let k2 = verify_failure_equivalence(&net, &result, 2, 2);
+        assert_eq!(k2.real.len(), k1.real.len() + 2);
+        assert!(k2.holds(), "violations: {:#?}", k2.violations());
+    }
+
+    #[test]
+    fn fake_router_failures_are_inert() {
+        let net = example_network();
+        let mut params = Params::new(3, 2);
+        params.fake_routers = 1;
+        let result = anonymize(&net, &params).unwrap();
+        assert!(!result.scale.fake_routers.is_empty());
+        let report = verify_failure_equivalence(&net, &result, 1, 0);
+        assert!(
+            report.fake.len() > result.fake_links.len(),
+            "fake-router scenarios must be present"
+        );
+        assert!(report.holds(), "violations: {:#?}", report.violations());
+    }
+}

@@ -82,7 +82,20 @@ pub fn enforce_route_equivalence(
     base: &Baseline,
     fake_link_count: usize,
 ) -> Result<EquivOutcome, Error> {
-    let bound = fake_link_count + 5;
+    enforce_route_equivalence_with_budget(patcher, base, fake_link_count, 0)
+}
+
+/// [`enforce_route_equivalence`] with `extra_budget` additional iterations
+/// on top of the `fake_link_count + 5` bound — the escalation lever the
+/// self-healing pipeline pulls on retry after
+/// [`Error::EquivalenceDiverged`].
+pub fn enforce_route_equivalence_with_budget(
+    patcher: &mut Patcher,
+    base: &Baseline,
+    fake_link_count: usize,
+    extra_budget: usize,
+) -> Result<EquivOutcome, Error> {
+    let bound = fake_link_count + 5 + extra_budget;
     let mut out = EquivOutcome::default();
 
     for iter in 0..bound {

@@ -172,6 +172,112 @@ pub fn example_network() -> NetworkConfigs {
     synthesize(&spec)
 }
 
+/// Griffin's BAD GADGET: the canonical BGP instance with *no* stable
+/// routing — a hub AS originating one prefix and three spoke ASes in a
+/// cycle, each preferring the route through its clockwise neighbour
+/// (`local-preference 200`) over its direct route to the hub. Whatever any
+/// spoke picks, some neighbour wants to change, so path-vector oscillates
+/// forever; the simulator must detect this and report
+/// `SimError::BgpDiverged` instead of spinning, and the anonymization
+/// pipeline must classify it as fatal (never retried — no reseed can fix a
+/// network with no equilibrium).
+pub fn bad_gadget() -> NetworkConfigs {
+    use confmask_config::{parse_host, parse_router};
+
+    let cfg = |lines: &[&str]| lines.join("\n") + "\n";
+    let r0 = cfg(&[
+        "hostname b0",
+        "!",
+        "interface Ethernet0/0",
+        " ip address 10.0.1.0 255.255.255.254",
+        "!",
+        "interface Ethernet0/1",
+        " ip address 10.0.2.0 255.255.255.254",
+        "!",
+        "interface Ethernet0/2",
+        " ip address 10.0.3.0 255.255.255.254",
+        "!",
+        "interface Ethernet0/3",
+        " ip address 10.1.0.1 255.255.255.0",
+        "!",
+        "router bgp 100",
+        " network 10.1.0.0 mask 255.255.255.0",
+        " neighbor 10.0.1.1 remote-as 101",
+        " neighbor 10.0.2.1 remote-as 102",
+        " neighbor 10.0.3.1 remote-as 103",
+        "!",
+    ]);
+    // Spoke i: links to the hub, to spoke i+1 (preferred) and spoke i-1.
+    let r1 = cfg(&[
+        "hostname b1",
+        "!",
+        "interface Ethernet0/0",
+        " ip address 10.0.1.1 255.255.255.254",
+        "!",
+        "interface Ethernet0/1",
+        " ip address 10.0.12.0 255.255.255.254",
+        "!",
+        "interface Ethernet0/2",
+        " ip address 10.0.31.1 255.255.255.254",
+        "!",
+        "router bgp 101",
+        " neighbor 10.0.1.0 remote-as 100",
+        " neighbor 10.0.12.1 remote-as 102",
+        " neighbor 10.0.12.1 local-preference 200",
+        " neighbor 10.0.31.0 remote-as 103",
+        "!",
+    ]);
+    let r2 = cfg(&[
+        "hostname b2",
+        "!",
+        "interface Ethernet0/0",
+        " ip address 10.0.2.1 255.255.255.254",
+        "!",
+        "interface Ethernet0/1",
+        " ip address 10.0.23.0 255.255.255.254",
+        "!",
+        "interface Ethernet0/2",
+        " ip address 10.0.12.1 255.255.255.254",
+        "!",
+        "router bgp 102",
+        " neighbor 10.0.2.0 remote-as 100",
+        " neighbor 10.0.23.1 remote-as 103",
+        " neighbor 10.0.23.1 local-preference 200",
+        " neighbor 10.0.12.0 remote-as 101",
+        "!",
+    ]);
+    let r3 = cfg(&[
+        "hostname b3",
+        "!",
+        "interface Ethernet0/0",
+        " ip address 10.0.3.1 255.255.255.254",
+        "!",
+        "interface Ethernet0/1",
+        " ip address 10.0.31.0 255.255.255.254",
+        "!",
+        "interface Ethernet0/2",
+        " ip address 10.0.23.1 255.255.255.254",
+        "!",
+        "router bgp 103",
+        " neighbor 10.0.3.0 remote-as 100",
+        " neighbor 10.0.31.1 remote-as 101",
+        " neighbor 10.0.31.1 local-preference 200",
+        " neighbor 10.0.23.0 remote-as 102",
+        "!",
+    ]);
+    let h0 = "hostname hb0\ninterface eth0\n ip address 10.1.0.100 255.255.255.0\n gateway 10.1.0.1\n";
+
+    NetworkConfigs::new(
+        [
+            parse_router(&r0).unwrap(),
+            parse_router(&r1).unwrap(),
+            parse_router(&r2).unwrap(),
+            parse_router(&r3).unwrap(),
+        ],
+        [parse_host(h0).unwrap()],
+    )
+}
+
 /// The §2.3 case-study network: FatTree-04 with the QoS misconfiguration of
 /// Listings 1–2 embedded verbatim (as uninterpreted lines the anonymizer
 /// must carry through unchanged).

@@ -7,6 +7,7 @@
 //! ECMP branching, which is exactly what Batfish's traceroute question does
 //! for the original prototype.
 
+use crate::error::SimError;
 use crate::fib::{Fibs, NextHop};
 use crate::network::SimNetwork;
 use confmask_net_types::{HostId, RouterId};
@@ -93,8 +94,10 @@ impl DataPlane {
 ///
 /// Host pairs are independent, so extraction fans out over scoped threads
 /// for larger networks (the dominant cost of repeated simulation in the
-/// anonymization pipeline, §5.4).
-pub fn extract_dataplane(net: &SimNetwork, fibs: &Fibs) -> DataPlane {
+/// anonymization pipeline, §5.4). A panic inside one trace worker is
+/// contained: every sibling chunk is still joined and the panic surfaces
+/// as [`SimError::TracePanic`] instead of aborting the process.
+pub fn extract_dataplane(net: &SimNetwork, fibs: &Fibs) -> Result<DataPlane, SimError> {
     let hosts: Vec<HostId> = net.hosts_iter().map(|(id, _)| id).collect();
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -115,42 +118,62 @@ pub fn extract_dataplane(net: &SimNetwork, fibs: &Fibs) -> DataPlane {
                 );
             }
         }
-        return dp;
+        return Ok(dp);
     }
 
     let chunks: Vec<&[HostId]> = hosts.chunks(hosts.len().div_ceil(threads)).collect();
-    let partials: Vec<Vec<(String, String, PathSet)>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = chunks
-            .into_iter()
-            .map(|chunk| {
-                let hosts = &hosts;
-                scope.spawn(move || {
-                    let mut out = Vec::new();
-                    for &src_id in chunk {
-                        for &dst_id in hosts {
-                            if src_id == dst_id {
-                                continue;
+    let partials: Vec<std::thread::Result<Vec<(String, String, PathSet)>>> =
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|chunk| {
+                    let hosts = &hosts;
+                    scope.spawn(move || {
+                        let mut out = Vec::new();
+                        for &src_id in chunk {
+                            for &dst_id in hosts {
+                                if src_id == dst_id {
+                                    continue;
+                                }
+                                let ps = trace(net, fibs, src_id, dst_id);
+                                out.push((
+                                    net.host(src_id).name.clone(),
+                                    net.host(dst_id).name.clone(),
+                                    ps,
+                                ));
                             }
-                            let ps = trace(net, fibs, src_id, dst_id);
-                            out.push((
-                                net.host(src_id).name.clone(),
-                                net.host(dst_id).name.clone(),
-                                ps,
-                            ));
                         }
-                    }
-                    out
+                        out
+                    })
                 })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("no panics in trace")).collect()
-    });
+                .collect();
+            // Join every handle before inspecting any result: a handle left
+            // unjoined after an early return would re-raise its panic when
+            // the scope closes.
+            handles.into_iter().map(|h| h.join()).collect()
+        });
     for partial in partials {
-        for (s, d, ps) in partial {
-            dp.insert(s, d, ps);
+        match partial {
+            Ok(rows) => {
+                for (s, d, ps) in rows {
+                    dp.insert(s, d, ps);
+                }
+            }
+            Err(payload) => return Err(SimError::TracePanic(panic_message(payload.as_ref()))),
         }
     }
-    dp
+    Ok(dp)
+}
+
+/// Best-effort rendering of a panic payload (matches what `std` prints).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 /// Traces all forwarding paths from `src` to `dst` (the paper's

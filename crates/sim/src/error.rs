@@ -14,6 +14,13 @@ pub enum SimError {
         /// Rounds executed before giving up.
         rounds: usize,
     },
+    /// A worker thread of the data-plane extractor panicked. The panic is
+    /// contained to the offending host chunk and surfaced as an error so
+    /// one poisoned trace cannot abort a whole simulation sweep.
+    TracePanic(String),
+    /// A failure scenario referenced a device or link the network does not
+    /// have.
+    UnknownElement(String),
 }
 
 impl fmt::Display for SimError {
@@ -22,6 +29,12 @@ impl fmt::Display for SimError {
             SimError::BadConfig(m) => write!(f, "bad configuration: {m}"),
             SimError::BgpDiverged { rounds } => {
                 write!(f, "BGP did not converge within {rounds} rounds")
+            }
+            SimError::TracePanic(m) => {
+                write!(f, "data-plane trace thread panicked: {m}")
+            }
+            SimError::UnknownElement(m) => {
+                write!(f, "failure scenario references unknown element: {m}")
             }
         }
     }

@@ -1,0 +1,641 @@
+//! Failure-scenario engine: inject element failures into a configured
+//! network, re-run the full control plane to a new fixpoint, and classify
+//! how each host pair's forwarding behaviour degraded.
+//!
+//! ConfMask's equivalence guarantees (§3.1) are stated for the *healthy*
+//! network. This module extends the reproduction with the natural
+//! robustness question: does an anonymized network also degrade the same
+//! way the original does when elements fail? Three fault kinds are
+//! modelled, all expressed as administrative shutdowns so that applying a
+//! scenario is a pure, idempotent configuration transformation:
+//!
+//! * [`Fault::LinkDown`] — both endpoint interfaces of a router-to-router
+//!   link go down;
+//! * [`Fault::RouterDown`] — every interface of one router goes down;
+//! * [`Fault::InterfaceShutdown`] — one named interface goes down.
+//!
+//! The engine re-simulates the failed network from scratch (OSPF SPF, RIP
+//! Bellman–Ford, and BGP path-vector all re-converge on the surviving
+//! topology) and compares the resulting data plane against a healthy
+//! baseline per host pair, yielding a [`DegradationClass`].
+
+use crate::dataplane::{DataPlane, PathSet};
+use crate::error::SimError;
+use crate::simulate;
+use confmask_config::NetworkConfigs;
+use confmask_net_types::Ipv4Prefix;
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// One failed element.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Fault {
+    /// A router-to-router link fails: every interface pair between `a` and
+    /// `b` sharing a connected prefix — and whose provenance matches
+    /// `added` — is shut on both sides.
+    ///
+    /// `added` discriminates real links from anonymization-added fake
+    /// links: fake links have no stable prefix identity across the
+    /// original/anonymized network pair, so provenance is the portable way
+    /// to name them.
+    LinkDown {
+        /// One endpoint router (hostname).
+        a: String,
+        /// The other endpoint router (hostname).
+        b: String,
+        /// `true` to fail only anonymization-added (fake) links between the
+        /// two routers, `false` to fail only original links.
+        added: bool,
+    },
+    /// A whole router fails (every interface shut).
+    RouterDown {
+        /// The failed router's hostname.
+        router: String,
+    },
+    /// A single interface is administratively shut.
+    InterfaceShutdown {
+        /// Owning router's hostname.
+        router: String,
+        /// Interface name, e.g. `Ethernet0/3`.
+        iface: String,
+    },
+}
+
+impl std::fmt::Display for Fault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Fault::LinkDown { a, b, added } => {
+                let kind = if *added { "fake-link" } else { "link" };
+                write!(f, "{kind}-down {a}--{b}")
+            }
+            Fault::RouterDown { router } => write!(f, "router-down {router}"),
+            Fault::InterfaceShutdown { router, iface } => {
+                write!(f, "iface-shutdown {router}:{iface}")
+            }
+        }
+    }
+}
+
+/// A set of simultaneous faults (k = `faults.len()`).
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct FailureScenario {
+    /// The faults injected together.
+    pub faults: Vec<Fault>,
+}
+
+impl std::fmt::Display for FailureScenario {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let parts: Vec<String> = self.faults.iter().map(|x| x.to_string()).collect();
+        write!(f, "{{{}}}", parts.join(" + "))
+    }
+}
+
+impl FailureScenario {
+    /// A scenario with a single fault.
+    pub fn single(fault: Fault) -> Self {
+        FailureScenario { faults: vec![fault] }
+    }
+
+    /// Applies the scenario: returns a copy of `configs` with every
+    /// affected interface administratively shut.
+    ///
+    /// Pure and idempotent — faults only ever set `shutdown = true`, so
+    /// `apply(apply(c)) == apply(c)` and already-shut interfaces are
+    /// unaffected. Referencing a router, interface, or link the network
+    /// does not have yields [`SimError::UnknownElement`].
+    pub fn apply(&self, configs: &NetworkConfigs) -> Result<NetworkConfigs, SimError> {
+        let mut out = configs.clone();
+        for fault in &self.faults {
+            match fault {
+                Fault::LinkDown { a, b, added } => {
+                    let pairs = link_iface_pairs(configs, a, b, *added);
+                    if pairs.is_empty() {
+                        return Err(SimError::UnknownElement(format!(
+                            "no {} between routers {a} and {b}",
+                            if *added { "fake link" } else { "link" }
+                        )));
+                    }
+                    for (router, iface) in pairs {
+                        shut_iface(&mut out, &router, &iface)?;
+                    }
+                }
+                Fault::RouterDown { router } => {
+                    let rc = out.routers.get_mut(router).ok_or_else(|| {
+                        SimError::UnknownElement(format!("router {router}"))
+                    })?;
+                    for iface in &mut rc.interfaces {
+                        iface.shutdown = true;
+                    }
+                }
+                Fault::InterfaceShutdown { router, iface } => {
+                    if !configs.routers.contains_key(router) {
+                        return Err(SimError::UnknownElement(format!("router {router}")));
+                    }
+                    shut_iface(&mut out, router, iface)?;
+                }
+            }
+        }
+        Ok(out)
+    }
+}
+
+fn shut_iface(configs: &mut NetworkConfigs, router: &str, iface: &str) -> Result<(), SimError> {
+    let rc = configs
+        .routers
+        .get_mut(router)
+        .ok_or_else(|| SimError::UnknownElement(format!("router {router}")))?;
+    let i = rc
+        .interfaces
+        .iter_mut()
+        .find(|i| i.name == iface)
+        .ok_or_else(|| SimError::UnknownElement(format!("interface {router}:{iface}")))?;
+    i.shutdown = true;
+    Ok(())
+}
+
+/// The interface pairs realizing the (a, b) link with the given provenance:
+/// `(router, iface_name)` for every interface on `a` or `b` whose connected
+/// prefix is shared by the other router and whose `added` flag matches.
+fn link_iface_pairs(
+    configs: &NetworkConfigs,
+    a: &str,
+    b: &str,
+    added: bool,
+) -> Vec<(String, String)> {
+    let (Some(ra), Some(rb)) = (configs.routers.get(a), configs.routers.get(b)) else {
+        return Vec::new();
+    };
+    let mut out = Vec::new();
+    for ia in &ra.interfaces {
+        let Some(pa) = ia.prefix() else { continue };
+        for ib in &rb.interfaces {
+            if ib.prefix() == Some(pa) && ia.added == added && ib.added == added {
+                out.push((a.to_string(), ia.name.clone()));
+                out.push((b.to_string(), ib.name.clone()));
+            }
+        }
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// All router-to-router links present in a network, as `(a, b, added)`
+/// with `a < b`. A link is a connected prefix shared by interfaces on
+/// exactly two distinct routers; its provenance is `added` iff both
+/// endpoint interfaces are anonymization-added.
+pub fn links_of(configs: &NetworkConfigs) -> Vec<(String, String, bool)> {
+    let mut by_prefix: BTreeMap<Ipv4Prefix, Vec<(&str, bool)>> = BTreeMap::new();
+    for (name, rc) in &configs.routers {
+        for iface in &rc.interfaces {
+            if let Some(p) = iface.prefix() {
+                by_prefix.entry(p).or_default().push((name, iface.added));
+            }
+        }
+    }
+    let mut out = Vec::new();
+    for members in by_prefix.values() {
+        for i in 0..members.len() {
+            for j in (i + 1)..members.len() {
+                let (na, aa) = members[i];
+                let (nb, ab) = members[j];
+                if na == nb {
+                    continue;
+                }
+                let (x, y) = if na < nb { (na, nb) } else { (nb, na) };
+                out.push((x.to_string(), y.to_string(), aa && ab));
+            }
+        }
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+/// Every single-link (k = 1) failure scenario of a network, in
+/// deterministic order.
+pub fn enumerate_single_link_failures(configs: &NetworkConfigs) -> Vec<FailureScenario> {
+    links_of(configs)
+        .into_iter()
+        .map(|(a, b, added)| FailureScenario::single(Fault::LinkDown { a, b, added }))
+        .collect()
+}
+
+/// A seeded sample of double-link (k = 2) failure scenarios: up to `count`
+/// distinct unordered pairs of single-link faults, drawn deterministically
+/// from `seed`.
+pub fn sample_double_link_failures(
+    configs: &NetworkConfigs,
+    seed: u64,
+    count: usize,
+) -> Vec<FailureScenario> {
+    let singles = links_of(configs);
+    let n = singles.len();
+    if n < 2 || count == 0 {
+        return Vec::new();
+    }
+    let total_pairs = n * (n - 1) / 2;
+    let want = count.min(total_pairs);
+    let mut rng = SplitMix64::new(seed);
+    let mut chosen: BTreeSet<(usize, usize)> = BTreeSet::new();
+    // Rejection-sample distinct index pairs; bounded because want ≤ total.
+    while chosen.len() < want {
+        let i = (rng.next() % n as u64) as usize;
+        let j = (rng.next() % n as u64) as usize;
+        if i != j {
+            chosen.insert((i.min(j), i.max(j)));
+        }
+    }
+    chosen
+        .into_iter()
+        .map(|(i, j)| {
+            let mk = |(a, b, added): &(String, String, bool)| Fault::LinkDown {
+                a: a.clone(),
+                b: b.clone(),
+                added: *added,
+            };
+            FailureScenario {
+                faults: vec![mk(&singles[i]), mk(&singles[j])],
+            }
+        })
+        .collect()
+}
+
+/// The standard scenario sweep: every k = 1 link failure plus a seeded
+/// sample of `k2_sample` k = 2 scenarios.
+pub fn enumerate_scenarios(
+    configs: &NetworkConfigs,
+    k: usize,
+    seed: u64,
+    k2_sample: usize,
+) -> Vec<FailureScenario> {
+    let mut out = enumerate_single_link_failures(configs);
+    if k >= 2 {
+        out.extend(sample_double_link_failures(configs, seed, k2_sample));
+    }
+    out
+}
+
+/// SplitMix64 — the sim crate carries no RNG dependency, and scenario
+/// sampling needs only a tiny deterministic stream.
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn new(seed: u64) -> Self {
+        SplitMix64(seed)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// How one host pair's forwarding behaviour changed under a failure,
+/// relative to the healthy baseline. Ordered least-severe-first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum DegradationClass {
+    /// Identical path set — the failure did not affect this pair.
+    Unchanged,
+    /// Still cleanly reachable, over a different path set.
+    Rerouted,
+    /// Traffic is dropped even though the surviving physical topology
+    /// still connects the pair — a routing (not connectivity) failure.
+    BlackHoled,
+    /// The surviving physical topology no longer connects the pair; no
+    /// routing protocol could help.
+    Partitioned,
+    /// Some branch of the post-failure forwarding graph loops.
+    Looping,
+}
+
+impl std::fmt::Display for DegradationClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            DegradationClass::Unchanged => "unchanged",
+            DegradationClass::Rerouted => "rerouted",
+            DegradationClass::BlackHoled => "black-holed",
+            DegradationClass::Partitioned => "partitioned",
+            DegradationClass::Looping => "looping",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Classifies one host pair's post-failure behaviour against its healthy
+/// baseline. `physically_connected` reports whether the pair is still
+/// connected in the surviving physical topology and arbitrates
+/// [`DegradationClass::Partitioned`] vs [`DegradationClass::BlackHoled`].
+pub fn classify_pair(
+    before: &PathSet,
+    after: &PathSet,
+    physically_connected: bool,
+) -> DegradationClass {
+    if after == before {
+        return DegradationClass::Unchanged;
+    }
+    if after.has_loop {
+        return DegradationClass::Looping;
+    }
+    if after.paths.is_empty() || after.blackhole {
+        return if physically_connected {
+            DegradationClass::BlackHoled
+        } else {
+            DegradationClass::Partitioned
+        };
+    }
+    DegradationClass::Rerouted
+}
+
+/// Connected components of the surviving physical topology (up interfaces
+/// only): maps each device name (router or host) to a component id.
+/// Devices sharing a component id are physically connected.
+pub fn physical_components(configs: &NetworkConfigs) -> BTreeMap<String, usize> {
+    // Adjacency: routers sharing a prefix on up interfaces; hosts attached
+    // to a router whose up interface covers their gateway.
+    let mut adj: BTreeMap<&str, Vec<&str>> = BTreeMap::new();
+    let mut by_prefix: BTreeMap<Ipv4Prefix, Vec<&str>> = BTreeMap::new();
+    for (name, rc) in &configs.routers {
+        adj.entry(name).or_default();
+        for iface in &rc.interfaces {
+            if iface.shutdown {
+                continue;
+            }
+            if let Some(p) = iface.prefix() {
+                by_prefix.entry(p).or_default().push(name);
+            }
+        }
+    }
+    for members in by_prefix.values() {
+        for i in 0..members.len() {
+            for j in (i + 1)..members.len() {
+                if members[i] != members[j] {
+                    adj.entry(members[i]).or_default().push(members[j]);
+                    adj.entry(members[j]).or_default().push(members[i]);
+                }
+            }
+        }
+    }
+    for (hname, hc) in &configs.hosts {
+        adj.entry(hname).or_default();
+        for (rname, rc) in &configs.routers {
+            let attached = rc.interfaces.iter().any(|i| {
+                !i.shutdown
+                    && i.address.map(|(a, _)| a) == Some(hc.gateway)
+                    && i.prefix() == hc.prefix()
+            });
+            if attached {
+                adj.entry(hname).or_default().push(rname);
+                adj.entry(rname).or_default().push(hname);
+            }
+        }
+    }
+
+    let mut comp: BTreeMap<String, usize> = BTreeMap::new();
+    let mut next = 0usize;
+    let names: Vec<&str> = adj.keys().copied().collect();
+    for name in names {
+        if comp.contains_key(name) {
+            continue;
+        }
+        let id = next;
+        next += 1;
+        let mut q = VecDeque::from([name]);
+        comp.insert(name.to_string(), id);
+        while let Some(cur) = q.pop_front() {
+            for &nb in adj.get(cur).into_iter().flatten() {
+                if !comp.contains_key(nb) {
+                    comp.insert(nb.to_string(), id);
+                    q.push_back(nb);
+                }
+            }
+        }
+    }
+    comp
+}
+
+/// The outcome of one failure scenario: per-host-pair degradation classes
+/// against the supplied healthy baseline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioOutcome {
+    /// The scenario that was injected.
+    pub scenario: FailureScenario,
+    /// Degradation class for every ordered host pair in the baseline.
+    pub classes: BTreeMap<(String, String), DegradationClass>,
+}
+
+impl ScenarioOutcome {
+    /// Counts of pairs per degradation class, least-severe-first.
+    pub fn histogram(&self) -> BTreeMap<DegradationClass, usize> {
+        let mut h = BTreeMap::new();
+        for c in self.classes.values() {
+            *h.entry(*c).or_insert(0) += 1;
+        }
+        h
+    }
+
+    /// The most severe class any pair reached ([`DegradationClass`] order).
+    pub fn worst(&self) -> DegradationClass {
+        self.classes
+            .values()
+            .copied()
+            .max()
+            .unwrap_or(DegradationClass::Unchanged)
+    }
+
+    /// Whether every pair was unaffected.
+    pub fn all_unchanged(&self) -> bool {
+        self.classes
+            .values()
+            .all(|c| *c == DegradationClass::Unchanged)
+    }
+}
+
+/// Injects `scenario` into `configs`, re-simulates every protocol to a new
+/// fixpoint, and classifies each host pair of `baseline` against the
+/// post-failure data plane.
+///
+/// `baseline` decides which pairs are reported — pass a data plane
+/// restricted to real hosts to ignore anonymization-added fake hosts.
+pub fn run_scenario(
+    configs: &NetworkConfigs,
+    baseline: &DataPlane,
+    scenario: &FailureScenario,
+) -> Result<ScenarioOutcome, SimError> {
+    let failed_configs = scenario.apply(configs)?;
+    let sim = simulate(&failed_configs)?;
+    let comp = physical_components(&failed_configs);
+    let empty = PathSet {
+        blackhole: true,
+        ..PathSet::default()
+    };
+    let mut classes = BTreeMap::new();
+    for ((src, dst), before) in baseline.pairs() {
+        let after = sim.dataplane.between(src, dst).unwrap_or(&empty);
+        let connected = match (comp.get(src), comp.get(dst)) {
+            (Some(a), Some(b)) => a == b,
+            _ => false,
+        };
+        classes.insert((src.clone(), dst.clone()), classify_pair(before, after, connected));
+    }
+    Ok(ScenarioOutcome {
+        scenario: scenario.clone(),
+        classes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use confmask_config::{parse_router, HostConfig};
+
+    fn host(name: &str, addr: &str, gw: &str) -> HostConfig {
+        HostConfig {
+            hostname: name.into(),
+            iface_name: "eth0".into(),
+            address: (addr.parse().unwrap(), 24),
+            gateway: gw.parse().unwrap(),
+            extra: vec![],
+            added: false,
+        }
+    }
+
+    /// Triangle r1–r2–r3 (all OSPF), host on r1 and on r2. Failing the
+    /// r1–r2 link leaves the detour via r3.
+    fn triangle() -> NetworkConfigs {
+        let r1 = parse_router(
+            "hostname r1\n!\ninterface Ethernet0/0\n ip address 10.0.12.0 255.255.255.254\n!\ninterface Ethernet0/1\n ip address 10.0.13.0 255.255.255.254\n!\ninterface Ethernet0/2\n ip address 10.1.1.1 255.255.255.0\n!\nrouter ospf 1\n network 10.0.0.0 0.0.255.255 area 0\n network 10.1.1.0 0.0.0.255 area 0\n!\n",
+        )
+        .unwrap();
+        let r2 = parse_router(
+            "hostname r2\n!\ninterface Ethernet0/0\n ip address 10.0.12.1 255.255.255.254\n!\ninterface Ethernet0/1\n ip address 10.0.23.0 255.255.255.254\n!\ninterface Ethernet0/2\n ip address 10.1.2.1 255.255.255.0\n!\nrouter ospf 1\n network 10.0.0.0 0.0.255.255 area 0\n network 10.1.2.0 0.0.0.255 area 0\n!\n",
+        )
+        .unwrap();
+        let r3 = parse_router(
+            "hostname r3\n!\ninterface Ethernet0/0\n ip address 10.0.13.1 255.255.255.254\n!\ninterface Ethernet0/1\n ip address 10.0.23.1 255.255.255.254\n!\nrouter ospf 1\n network 10.0.0.0 0.0.255.255 area 0\n!\n",
+        )
+        .unwrap();
+        NetworkConfigs::new(
+            [r1, r2, r3],
+            [host("h1", "10.1.1.100", "10.1.1.1"), host("h2", "10.1.2.100", "10.1.2.1")],
+        )
+    }
+
+    #[test]
+    fn enumerates_all_links() {
+        let links = links_of(&triangle());
+        assert_eq!(
+            links,
+            vec![
+                ("r1".to_string(), "r2".to_string(), false),
+                ("r1".to_string(), "r3".to_string(), false),
+                ("r2".to_string(), "r3".to_string(), false),
+            ]
+        );
+        assert_eq!(enumerate_single_link_failures(&triangle()).len(), 3);
+    }
+
+    #[test]
+    fn apply_is_idempotent_and_pure() {
+        let cfgs = triangle();
+        let sc = FailureScenario::single(Fault::LinkDown {
+            a: "r1".into(),
+            b: "r2".into(),
+            added: false,
+        });
+        let once = sc.apply(&cfgs).unwrap();
+        let twice = sc.apply(&once).unwrap();
+        assert_eq!(once, twice);
+        // The original is untouched.
+        assert!(cfgs.routers["r1"].interfaces.iter().all(|i| !i.shutdown));
+        // Exactly the two endpoint interfaces are shut.
+        assert!(once.routers["r1"].interface("Ethernet0/0").unwrap().shutdown);
+        assert!(once.routers["r2"].interface("Ethernet0/0").unwrap().shutdown);
+        assert!(!once.routers["r1"].interface("Ethernet0/1").unwrap().shutdown);
+    }
+
+    #[test]
+    fn unknown_elements_are_reported() {
+        let cfgs = triangle();
+        for sc in [
+            FailureScenario::single(Fault::RouterDown { router: "nope".into() }),
+            FailureScenario::single(Fault::InterfaceShutdown {
+                router: "r1".into(),
+                iface: "Serial9/9".into(),
+            }),
+            FailureScenario::single(Fault::LinkDown {
+                a: "r1".into(),
+                b: "r2".into(),
+                added: true, // no fake link exists between r1 and r2
+            }),
+        ] {
+            assert!(matches!(sc.apply(&cfgs), Err(SimError::UnknownElement(_))), "{sc}");
+        }
+    }
+
+    #[test]
+    fn link_failure_reroutes_via_detour() {
+        let cfgs = triangle();
+        let baseline = simulate(&cfgs).unwrap().dataplane;
+        let sc = FailureScenario::single(Fault::LinkDown {
+            a: "r1".into(),
+            b: "r2".into(),
+            added: false,
+        });
+        let out = run_scenario(&cfgs, &baseline, &sc).unwrap();
+        assert_eq!(
+            out.classes[&("h1".to_string(), "h2".to_string())],
+            DegradationClass::Rerouted
+        );
+        assert_eq!(out.worst(), DegradationClass::Rerouted);
+        assert!(!out.all_unchanged());
+    }
+
+    #[test]
+    fn router_failure_partitions_its_host() {
+        let cfgs = triangle();
+        let baseline = simulate(&cfgs).unwrap().dataplane;
+        let sc = FailureScenario::single(Fault::RouterDown { router: "r2".into() });
+        let out = run_scenario(&cfgs, &baseline, &sc).unwrap();
+        // h2 hangs off r2: both directions are physically partitioned.
+        assert_eq!(
+            out.classes[&("h1".to_string(), "h2".to_string())],
+            DegradationClass::Partitioned
+        );
+        assert_eq!(
+            out.classes[&("h2".to_string(), "h1".to_string())],
+            DegradationClass::Partitioned
+        );
+    }
+
+    #[test]
+    fn double_failure_sampling_is_seeded_and_distinct() {
+        let cfgs = triangle();
+        let s1 = sample_double_link_failures(&cfgs, 7, 2);
+        let s2 = sample_double_link_failures(&cfgs, 7, 2);
+        assert_eq!(s1, s2, "same seed, same sample");
+        assert_eq!(s1.len(), 2);
+        assert!(s1[0] != s1[1]);
+        for sc in &s1 {
+            assert_eq!(sc.faults.len(), 2);
+        }
+        // Requesting more than C(n, 2) pairs saturates.
+        assert_eq!(sample_double_link_failures(&cfgs, 7, 100).len(), 3);
+    }
+
+    #[test]
+    fn unaffected_scenario_is_all_unchanged() {
+        let cfgs = triangle();
+        let baseline = simulate(&cfgs).unwrap().dataplane;
+        // r2–r3 carries no baseline traffic between h1 and h2.
+        let sc = FailureScenario::single(Fault::LinkDown {
+            a: "r2".into(),
+            b: "r3".into(),
+            added: false,
+        });
+        let out = run_scenario(&cfgs, &baseline, &sc).unwrap();
+        assert!(out.all_unchanged(), "{:?}", out.histogram());
+    }
+}

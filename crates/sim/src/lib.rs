@@ -32,12 +32,14 @@
 pub mod bgp;
 pub mod dataplane;
 mod error;
+pub mod fault;
 mod fib;
 mod network;
 pub mod ospf;
 pub mod rip;
 
 pub use dataplane::{DataPlane, PathSet};
+pub use fault::{DegradationClass, FailureScenario, Fault, ScenarioOutcome};
 pub use error::SimError;
 pub use fib::{AdminDistance, Fib, FibEntry, Fibs, NextHop, RouteSource};
 pub use network::{BgpSession, HostNode, IfaceNode, Peer, RouterNode, SimNetwork};
@@ -61,7 +63,7 @@ pub struct Simulation {
 /// data plane.
 pub fn simulate(configs: &NetworkConfigs) -> Result<Simulation, SimError> {
     let (net, fibs) = simulate_control_plane(configs)?;
-    let dataplane = dataplane::extract_dataplane(&net, &fibs);
+    let dataplane = dataplane::extract_dataplane(&net, &fibs)?;
     Ok(Simulation { net, fibs, dataplane })
 }
 

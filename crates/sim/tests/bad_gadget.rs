@@ -1,0 +1,39 @@
+//! Griffin's BAD GADGET: a BGP instance with no stable routing must be
+//! *detected* within the simulator's round budget, not spun on forever.
+
+use confmask_sim::{simulate, SimError};
+use std::time::{Duration, Instant};
+
+#[test]
+fn bad_gadget_diverges_within_budget() {
+    let net = confmask_netgen::smallnets::bad_gadget();
+    let start = Instant::now();
+    let err = simulate(&net).expect_err("the bad gadget has no stable state");
+    match err {
+        SimError::BgpDiverged { rounds } => {
+            // n = 4 routers → the 2n + 20 synchronous-round budget.
+            assert_eq!(rounds, 28, "divergence reported at the round budget");
+        }
+        other => panic!("expected BgpDiverged, got: {other}"),
+    }
+    assert!(
+        start.elapsed() < Duration::from_secs(5),
+        "detection must be bounded in wall-clock time"
+    );
+}
+
+#[test]
+fn removing_the_preference_cycle_restores_stability() {
+    // The same topology with default local preferences is a stable instance:
+    // every spoke just takes its direct route to the hub.
+    let mut net = confmask_netgen::smallnets::bad_gadget();
+    for rc in net.routers.values_mut() {
+        if let Some(bgp) = rc.bgp.as_mut() {
+            for nb in &mut bgp.neighbors {
+                nb.local_pref = None;
+            }
+        }
+    }
+    let sim = simulate(&net).expect("without the preference cycle BGP converges");
+    assert!(!sim.dataplane.is_empty() || net.hosts.len() < 2);
+}

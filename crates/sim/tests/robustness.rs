@@ -176,6 +176,69 @@ fn routing_free_network_blackholes_everywhere() {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Applying any failure scenario — valid faults, repeated faults, or
+    /// references to elements the network does not have — to any small
+    /// generated network never panics, and `apply` is idempotent:
+    /// `apply(apply(c)) == apply(c)`.
+    #[test]
+    fn fault_injection_never_panics_and_is_idempotent(
+        routers in 3usize..8,
+        net_seed in 0u64..1000,
+        picks in prop::collection::vec((any::<u64>(), 0usize..4), 1..4),
+        bogus in "[a-z]{1,8}",
+    ) {
+        use confmask_sim::fault::{links_of, FailureScenario, Fault};
+
+        let hosts = 2;
+        let edges = (routers - 1 + routers / 2) + hosts;
+        let spec = confmask_netgen::wan::wan_spec("prop", routers, hosts, edges, net_seed);
+        let net = confmask_netgen::synthesize(&spec);
+        let links = links_of(&net);
+        prop_assume!(!links.is_empty());
+        let router_names: Vec<String> = net.routers.keys().cloned().collect();
+
+        let faults: Vec<Fault> = picks
+            .iter()
+            .map(|&(pick, kind)| {
+                let pick = pick as usize;
+                match kind {
+                    0 => {
+                        let (a, b, added) = links[pick % links.len()].clone();
+                        Fault::LinkDown { a, b, added }
+                    }
+                    1 => Fault::RouterDown {
+                        router: router_names[pick % router_names.len()].clone(),
+                    },
+                    2 => {
+                        let name = &router_names[pick % router_names.len()];
+                        let iface = net.routers[name].interfaces[0].name.clone();
+                        Fault::InterfaceShutdown {
+                            router: name.clone(),
+                            iface,
+                        }
+                    }
+                    _ => Fault::RouterDown {
+                        router: bogus.clone(),
+                    },
+                }
+            })
+            .collect();
+        let scenario = FailureScenario { faults };
+
+        match scenario.apply(&net) {
+            Ok(once) => {
+                let twice = scenario.apply(&once).expect("re-apply of a valid scenario");
+                prop_assert_eq!(&once, &twice);
+                let _ = simulate(&once); // any outcome is fine; no panic
+            }
+            Err(e) => prop_assert!(!e.to_string().is_empty()),
+        }
+    }
+}
+
 /// Two routers claiming the same interface address: the simulator builds a
 /// model without panicking and the data plane stays structurally sound.
 #[test]

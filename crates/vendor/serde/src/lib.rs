@@ -1,0 +1,20 @@
+//! Offline stub of `serde`.
+//!
+//! This workspace uses serde solely as `#[derive(serde::Serialize,
+//! serde::Deserialize)]` markers on data types — nothing in the tree ever
+//! serializes a value (no `serde_json`, no transport). The container this
+//! repository builds in has no network access to crates.io, so the real
+//! crate is replaced by this stub: empty marker traits plus derive macros
+//! that expand to nothing. Swapping the real serde back in is a one-line
+//! change in the workspace `Cargo.toml`.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+// Same-name re-exports of the derive macros (traits and derive macros live
+// in different namespaces, exactly as in the real serde with the `derive`
+// feature).
+pub use serde_derive::{Deserialize, Serialize};

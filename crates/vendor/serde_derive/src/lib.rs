@@ -1,0 +1,20 @@
+//! Offline stub of `serde_derive`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on many types but never
+//! calls a serializer (there is no `serde_json` or similar in the tree), so
+//! the derives only need to *compile*. Each macro expands to an empty token
+//! stream; the marker traits live in the sibling `serde` stub.
+
+use proc_macro::TokenStream;
+
+/// Derives the (empty) `serde::Serialize` marker.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Derives the (empty) `serde::Deserialize` marker.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
