@@ -398,7 +398,7 @@ fn fig16(runner: &Runner) {
                 mode: *mode,
                 seed: 0,
             });
-            secs[i] = run.timings.total().as_secs_f64();
+            secs[i] = run.total_stage_time().as_secs_f64();
         }
         println!(
             "{:<3} {:>9.3}s {:>9.3}s {:>9.3}s   ({:.1}x)",

@@ -51,8 +51,25 @@ pub enum Command {
         /// Output directory.
         output: PathBuf,
     },
+    /// Pretty-print a metrics report written by `--metrics-out`.
+    ObsReport {
+        /// The JSON report file.
+        input: PathBuf,
+    },
     /// Print usage.
     Help,
+}
+
+/// Observability flags, accepted anywhere on the command line for any
+/// subcommand.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ObsOptions {
+    /// Diagnostic verbosity: 0 = warnings, 1 (`-v`) = info, 2+ (`-vv`) =
+    /// debug. Diagnostics go to stderr; stdout stays machine-readable.
+    pub verbosity: u8,
+    /// Write a JSON metrics report (span tree + counters + histograms)
+    /// here after the command finishes, even on failure.
+    pub metrics_out: Option<PathBuf>,
 }
 
 /// Argument parsing error with a user-facing message.
@@ -84,12 +101,19 @@ USAGE:
   confmask simulate  --input <dir> [--trace <src> <dst>]
   confmask inspect   --input <dir>
   confmask generate  --network <A..H> --output <dir>
+  confmask obs-report --input <metrics.json>
   confmask help
 
 Directories contain routers/*.cfg and hosts/*.cfg. `failures` sweeps the
 input network itself, or — with --verify-failures — anonymizes it first
 and checks that original and anonymized degrade identically; it uses the
 bundled university network when --input is omitted.
+
+Observability (any subcommand):
+  -v / -vv             info / debug diagnostics on stderr
+  --metrics-out <path> write a JSON metrics report (span tree, counters,
+                       histograms) after the command, even on failure;
+                       render it with `confmask obs-report`
 
 Exit codes: 0 success, 1 fatal error, 2 usage error, 3 anonymization
 retries exhausted, 4 equivalence-under-failure violation.";
@@ -143,9 +167,28 @@ fn params_flag<'a>(
     Ok(true)
 }
 
-/// Parses `argv[1..]`.
-pub fn parse(argv: &[String]) -> Result<Command, ArgError> {
-    let mut it = argv.iter().map(String::as_str);
+/// Parses `argv[1..]` into the command plus the cross-cutting
+/// observability options ([`ObsOptions`] flags are accepted anywhere).
+pub fn parse(argv: &[String]) -> Result<(Command, ObsOptions), ArgError> {
+    let mut obs = ObsOptions::default();
+    let mut rest: Vec<&str> = Vec::with_capacity(argv.len());
+    let mut it0 = argv.iter().map(String::as_str);
+    while let Some(arg) = it0.next() {
+        match arg {
+            "-v" | "--verbose" => obs.verbosity = obs.verbosity.saturating_add(1),
+            "-vv" => obs.verbosity = obs.verbosity.saturating_add(2),
+            "--metrics-out" => {
+                obs.metrics_out = Some(PathBuf::from(take_value(&mut it0, arg)?));
+            }
+            other => rest.push(other),
+        }
+    }
+    Ok((parse_command(&rest)?, obs))
+}
+
+/// Parses the non-observability arguments.
+fn parse_command(argv: &[&str]) -> Result<Command, ArgError> {
+    let mut it = argv.iter().copied();
     let sub = it.next().unwrap_or("help");
     match sub {
         "help" | "--help" | "-h" => Ok(Command::Help),
@@ -258,6 +301,18 @@ pub fn parse(argv: &[String]) -> Result<Command, ArgError> {
                 output: output.ok_or_else(|| ArgError("--output is required".into()))?,
             })
         }
+        "obs-report" => {
+            let mut input = None;
+            while let Some(flag) = it.next() {
+                match flag {
+                    "--input" => input = Some(PathBuf::from(take_value(&mut it, flag)?)),
+                    other => return Err(ArgError(format!("unknown flag '{other}'"))),
+                }
+            }
+            Ok(Command::ObsReport {
+                input: input.ok_or_else(|| ArgError("--input is required".into()))?,
+            })
+        }
         other => Err(ArgError(format!("unknown subcommand '{other}'\n\n{USAGE}"))),
     }
 }
@@ -270,9 +325,14 @@ mod tests {
         s.split_whitespace().map(|w| w.to_string()).collect()
     }
 
+    /// Parse, discarding the observability options.
+    fn parse_cmd(argv: &[String]) -> Result<Command, ArgError> {
+        parse(argv).map(|(cmd, _)| cmd)
+    }
+
     #[test]
     fn parses_anonymize_with_all_flags() {
-        let cmd = parse(&argv(
+        let cmd = parse_cmd(&argv(
             "anonymize --input in --output out --k-r 10 --k-h 4 --noise 0.2 --seed 7 --fake-routers 3 --max-retries 5 --stage-deadline-secs 30 --mode strawman1 --pii --verify-failures 1",
         ))
         .unwrap();
@@ -301,7 +361,7 @@ mod tests {
 
     #[test]
     fn parses_failures_with_defaults_and_flags() {
-        match parse(&argv("failures")).unwrap() {
+        match parse_cmd(&argv("failures")).unwrap() {
             Command::Failures {
                 input,
                 k,
@@ -314,7 +374,7 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
-        match parse(&argv(
+        match parse_cmd(&argv(
             "failures --input net --verify-failures 2 --k2-sample 3 --seed 9 --max-retries 0",
         ))
         .unwrap()
@@ -334,19 +394,19 @@ mod tests {
             }
             other => panic!("{other:?}"),
         }
-        assert!(parse(&argv("failures --verify-failures")).is_err());
-        assert!(parse(&argv("failures --k nope")).is_err());
+        assert!(parse_cmd(&argv("failures --verify-failures")).is_err());
+        assert!(parse_cmd(&argv("failures --k nope")).is_err());
     }
 
     #[test]
     fn anonymize_requires_io_flags() {
-        assert!(parse(&argv("anonymize --input in")).is_err());
-        assert!(parse(&argv("anonymize --output out")).is_err());
+        assert!(parse_cmd(&argv("anonymize --input in")).is_err());
+        assert!(parse_cmd(&argv("anonymize --output out")).is_err());
     }
 
     #[test]
     fn parses_simulate_with_trace() {
-        let cmd = parse(&argv("simulate --input net --trace h1 h2")).unwrap();
+        let cmd = parse_cmd(&argv("simulate --input net --trace h1 h2")).unwrap();
         assert_eq!(
             cmd,
             Command::Simulate {
@@ -359,18 +419,46 @@ mod tests {
     #[test]
     fn parses_generate_and_validates_network() {
         assert!(matches!(
-            parse(&argv("generate --network G --output o")).unwrap(),
+            parse_cmd(&argv("generate --network G --output o")).unwrap(),
             Command::Generate { network: 'G', .. }
         ));
-        assert!(parse(&argv("generate --network X --output o")).is_err());
-        assert!(parse(&argv("generate --network AB --output o")).is_err());
+        assert!(parse_cmd(&argv("generate --network X --output o")).is_err());
+        assert!(parse_cmd(&argv("generate --network AB --output o")).is_err());
+    }
+
+    #[test]
+    fn obs_flags_are_accepted_anywhere() {
+        let (cmd, obs) = parse(&argv("-v anonymize --input in --metrics-out m.json --output out")).unwrap();
+        assert!(matches!(cmd, Command::Anonymize { .. }));
+        assert_eq!(obs.verbosity, 1);
+        assert_eq!(obs.metrics_out, Some(PathBuf::from("m.json")));
+
+        let (_, obs) = parse(&argv("inspect --input in -vv")).unwrap();
+        assert_eq!(obs.verbosity, 2);
+        let (_, obs) = parse(&argv("inspect --input in -v -v")).unwrap();
+        assert_eq!(obs.verbosity, 2);
+        let (_, obs) = parse(&argv("inspect --input in")).unwrap();
+        assert_eq!(obs, ObsOptions::default());
+
+        assert!(parse(&argv("inspect --input in --metrics-out")).is_err());
+    }
+
+    #[test]
+    fn parses_obs_report() {
+        assert_eq!(
+            parse_cmd(&argv("obs-report --input metrics.json")).unwrap(),
+            Command::ObsReport {
+                input: PathBuf::from("metrics.json")
+            }
+        );
+        assert!(parse_cmd(&argv("obs-report")).is_err());
     }
 
     #[test]
     fn unknown_flags_and_subcommands_error() {
-        assert!(parse(&argv("anonymize --frobnicate")).is_err());
-        assert!(parse(&argv("explode")).is_err());
-        assert_eq!(parse(&argv("help")).unwrap(), Command::Help);
-        assert_eq!(parse(&[]).unwrap(), Command::Help);
+        assert!(parse_cmd(&argv("anonymize --frobnicate")).is_err());
+        assert!(parse_cmd(&argv("explode")).is_err());
+        assert_eq!(parse_cmd(&argv("help")).unwrap(), Command::Help);
+        assert_eq!(parse_cmd(&[]).unwrap(), Command::Help);
     }
 }

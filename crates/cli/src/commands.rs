@@ -149,6 +149,15 @@ pub fn run(cmd: Command) -> Result<String, CmdError> {
             verify_failures,
         } => {
             let net = load_dir(&input).map_err(|e| e.to_string())?;
+            confmask_obs::info!(
+                "cli.anonymize",
+                "anonymizing {} ({} routers, {} hosts) with k_R={}, k_H={}",
+                input.display(),
+                net.routers.len(),
+                net.hosts.len(),
+                params.k_r,
+                params.k_h
+            );
             let result = confmask::anonymize(&net, &params).map_err(anonymize_err)?;
             let mut report = String::new();
             let _ = writeln!(
@@ -228,7 +237,13 @@ pub fn run(cmd: Command) -> Result<String, CmdError> {
                         "failure sweep of {label}: {} scenario(s) at k<={k}",
                         scenarios.len()
                     );
-                    for scenario in scenarios {
+                    let total = scenarios.len();
+                    for (i, scenario) in scenarios.into_iter().enumerate() {
+                        confmask_obs::info!(
+                            "cli.failures",
+                            "scenario {}/{total}: {scenario}",
+                            i + 1
+                        );
                         match run_scenario(&net, &sim.dataplane, &scenario) {
                             Ok(out) => {
                                 let hist: Vec<String> = out
@@ -334,6 +349,13 @@ pub fn run(cmd: Command) -> Result<String, CmdError> {
                 }
             }
             Ok(report)
+        }
+        Command::ObsReport { input } => {
+            let text = std::fs::read_to_string(&input)
+                .map_err(|e| format!("cannot read {}: {e}", input.display()))?;
+            let report = confmask_obs::Report::from_json(&text)
+                .map_err(|e| format!("{} is not a metrics report: {e}", input.display()))?;
+            Ok(report.render())
         }
         Command::Generate { network, output } => {
             let suite = confmask_netgen::full_suite();
@@ -453,6 +475,41 @@ mod tests {
         assert!(out.contains("classes match"), "{out}");
         assert!(out.contains("verdict: HOLDS"), "{out}");
         std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn obs_report_renders_a_written_report() {
+        let dir = tmp("obs-report");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("metrics.json");
+        // A hand-built report: rendering must work on any valid file, not
+        // just one this process collected.
+        let json = r#"{
+          "version": 1,
+          "dropped_spans": 0,
+          "spans": [{"name": "pipeline.anonymize", "id": 1, "thread": 0,
+                     "start_us": 0, "duration_us": 10, "children": [
+                       {"name": "pipeline.stage.verify", "id": 2, "thread": 0,
+                        "start_us": 1, "duration_us": 5, "children": []}]}],
+          "counters": {"sim.simulations": 3},
+          "gauges": {},
+          "histograms": {"sim.fib.size": {"count": 2, "sum": 10, "min": 4,
+                         "max": 6, "p50": 4, "p90": 6, "p99": 6}},
+          "events": []
+        }"#;
+        std::fs::write(&path, json).unwrap();
+        let out = run(Command::ObsReport { input: path }).unwrap();
+        assert!(out.contains("pipeline.anonymize"), "{out}");
+        assert!(out.contains("pipeline.stage.verify"), "{out}");
+        assert!(out.contains("sim.simulations"), "{out}");
+        assert!(out.contains("sim.fib.size"), "{out}");
+        std::fs::remove_dir_all(&dir).unwrap();
+
+        let err = run(Command::ObsReport {
+            input: PathBuf::from("/definitely/not/here.json"),
+        })
+        .unwrap_err();
+        assert_eq!(err.code, EXIT_FATAL);
     }
 
     #[test]

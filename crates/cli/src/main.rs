@@ -1,19 +1,51 @@
 //! The `confmask` command-line tool.
 
+use confmask_cli::args::ObsOptions;
+
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
-    let cmd = match confmask_cli::args::parse(&argv) {
-        Ok(cmd) => cmd,
+    let (cmd, obs) = match confmask_cli::args::parse(&argv) {
+        Ok(parsed) => parsed,
         Err(e) => {
             eprintln!("error: {e}");
             std::process::exit(confmask_cli::commands::EXIT_USAGE);
         }
     };
-    match confmask_cli::commands::run(cmd) {
+
+    confmask_obs::set_verbosity(match obs.verbosity {
+        0 => confmask_obs::Level::Warn,
+        1 => confmask_obs::Level::Info,
+        _ => confmask_obs::Level::Debug,
+    });
+    // Collection costs memory and a mutex per span, so it is only switched
+    // on when a report was actually requested.
+    confmask_obs::set_enabled(obs.metrics_out.is_some());
+
+    let outcome = confmask_cli::commands::run(cmd);
+    // The metrics report is written even when the command failed — a failed
+    // run's spans are exactly what one wants to look at.
+    write_metrics(&obs);
+    match outcome {
         Ok(report) => print!("{report}"),
         Err(e) => {
-            eprintln!("error: {e}");
+            confmask_obs::error!("cli", "{e}");
             std::process::exit(e.code);
+        }
+    }
+}
+
+/// Writes the collected metrics to `--metrics-out`, if requested. Report
+/// failures are diagnostics, not command failures: the exit code stays the
+/// command's own.
+fn write_metrics(obs: &ObsOptions) {
+    let Some(path) = &obs.metrics_out else {
+        return;
+    };
+    let json = confmask_obs::report().to_json();
+    match std::fs::write(path, json) {
+        Ok(()) => confmask_obs::info!("cli", "metrics report written to {}", path.display()),
+        Err(e) => {
+            confmask_obs::error!("cli", "cannot write metrics to {}: {e}", path.display());
         }
     }
 }

@@ -71,7 +71,9 @@ pub mod topo_anon;
 
 pub use error::Error;
 pub use params::{CostStrategy, EquivalenceMode, Params};
-pub use pipeline::{anonymize, Anonymized, AttemptRecord, DegradationReport, StageTimings};
+pub use pipeline::{
+    anonymize, Anonymized, AttemptRecord, DegradationReport, StageSample, STAGE_SPAN_PREFIX,
+};
 pub use resilience::{verify_failure_equivalence, FailureEquivalenceReport};
 
 // Re-exports so downstream users need only this crate.

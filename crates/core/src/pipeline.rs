@@ -15,28 +15,23 @@ use confmask_net_types::PrefixAllocator;
 use confmask_sim::{simulate, Simulation};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-/// Wall-clock duration of each pipeline stage (Figure 16's breakdown).
-#[derive(Debug, Clone, Copy, Default)]
-pub struct StageTimings {
-    /// Preprocessing (baseline simulation).
-    pub preprocess: Duration,
-    /// Step 1 — topology anonymization.
-    pub topology: Duration,
-    /// Step 2.1 — route equivalence.
-    pub route_equiv: Duration,
-    /// Step 2.2 — route anonymization.
-    pub route_anon: Duration,
-    /// Final verification simulation + equivalence check.
-    pub verify: Duration,
-}
+/// The span-name prefix of pipeline stages; a span `pipeline.stage.<name>`
+/// becomes one [`StageSample`] in the attempt that ran it.
+pub const STAGE_SPAN_PREFIX: &str = "pipeline.stage.";
 
-impl StageTimings {
-    /// End-to-end duration.
-    pub fn total(&self) -> Duration {
-        self.preprocess + self.topology + self.route_equiv + self.route_anon + self.verify
-    }
+/// Wall-clock duration of one pipeline stage, as measured by its span
+/// (Figure 16's breakdown). There is exactly one timing source: the
+/// `pipeline.stage.*` spans the attempt emits.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageSample {
+    /// Stage name (`preprocess`, `scale`, `topology`, `route_equiv`,
+    /// `route_anon`, `verify`) — the span name minus
+    /// [`STAGE_SPAN_PREFIX`].
+    pub stage: &'static str,
+    /// Wall-clock duration of the stage.
+    pub duration: Duration,
 }
 
 /// Extra route-equivalence iterations granted per self-healing retry: the
@@ -54,12 +49,32 @@ pub struct AttemptRecord {
     pub seed: u64,
     /// Extra route-equivalence iterations granted to this attempt.
     pub budget_boost: usize,
-    /// Wall-clock duration of the attempt.
+    /// Wall-clock duration of the attempt (its `pipeline.attempt` span).
     pub duration: Duration,
+    /// Per-stage durations, from the `pipeline.stage.*` spans the attempt
+    /// finished (in completion order; failed attempts keep the stages they
+    /// got through, the last one being the stage that failed).
+    pub stages: Vec<StageSample>,
     /// The rendered error, or `None` for the successful attempt.
     pub error: Option<String>,
     /// Whether the error (if any) was classified retryable.
     pub retryable: bool,
+}
+
+impl AttemptRecord {
+    /// The duration of one named stage, if the attempt reached it.
+    pub fn stage(&self, name: &str) -> Option<Duration> {
+        self.stages
+            .iter()
+            .find(|s| s.stage == name)
+            .map(|s| s.duration)
+    }
+
+    /// Sum of all stage durations (the attempt minus retry-driver
+    /// overhead).
+    pub fn stage_total(&self) -> Duration {
+        self.stages.iter().map(|s| s.duration).sum()
+    }
 }
 
 /// How a run degraded before succeeding (or failing for good): one record
@@ -97,14 +112,15 @@ fn derive_seed(seed: u64, attempt: usize) -> u64 {
     z ^ (z >> 31)
 }
 
-/// Checks one stage against the optional per-stage deadline.
+/// Checks one stage's measured (span) duration against the optional
+/// per-stage deadline.
 fn check_deadline(
     stage: &'static str,
-    started: Instant,
+    took: Duration,
     deadline: Option<Duration>,
 ) -> Result<(), Error> {
     if let Some(limit) = deadline {
-        if started.elapsed() > limit {
+        if took > limit {
             return Err(Error::StageDeadlineExceeded { stage, limit });
         }
     }
@@ -133,8 +149,6 @@ pub struct Anonymized {
     pub route_anon: RouteAnonOutcome,
     /// The defensive functional-equivalence report.
     pub equivalence: EquivalenceReport,
-    /// Per-stage wall-clock timings.
-    pub timings: StageTimings,
     /// Parameters used.
     pub params: Params,
     /// The self-healing audit trail: one record per attempt made.
@@ -165,6 +179,21 @@ impl Anonymized {
             &self.final_sim.dataplane,
             &self.baseline.real_hosts,
         )
+    }
+
+    /// Per-stage wall-clock durations of the successful attempt, from its
+    /// `pipeline.stage.*` spans (Figure 16's breakdown).
+    pub fn stage_durations(&self) -> &[StageSample] {
+        self.degradation
+            .attempts
+            .last()
+            .map(|a| a.stages.as_slice())
+            .unwrap_or(&[])
+    }
+
+    /// End-to-end duration of the successful attempt (sum of its stages).
+    pub fn total_stage_time(&self) -> Duration {
+        self.stage_durations().iter().map(|s| s.duration).sum()
     }
 }
 
@@ -199,19 +228,35 @@ fn run_with_retries<T>(
     params: &Params,
     mut attempt_fn: impl FnMut(usize, u64, usize) -> Result<T, Error>,
 ) -> Result<(T, DegradationReport), Error> {
+    let _pipeline = confmask_obs::span("pipeline.anonymize");
     let mut report = DegradationReport::default();
     let attempts_allowed = params.max_retries + 1;
     for attempt in 0..attempts_allowed {
         let seed = derive_seed(params.seed, attempt);
         let budget_boost = attempt * RETRY_BUDGET_STEP;
-        let started = Instant::now();
-        match attempt_fn(attempt, seed, budget_boost) {
+        if attempt > 0 {
+            confmask_obs::counter_add("pipeline.retries", 1);
+            confmask_obs::info!(
+                "pipeline",
+                "retrying: attempt {attempt}, seed {seed:#018x}, +{budget_boost} equivalence iterations"
+            );
+        }
+        // The attempt span is the one timing source: its measured duration
+        // becomes the record's `duration`, and the `pipeline.stage.*` spans
+        // captured inside it become the record's `stages` — captured
+        // thread-locally, so this works with global collection disabled.
+        let attempt_span = confmask_obs::span("pipeline.attempt");
+        let (outcome, spans) = confmask_obs::capture(|| attempt_fn(attempt, seed, budget_boost));
+        let duration = attempt_span.finish();
+        let stages = stage_samples(&spans);
+        match outcome {
             Ok(value) => {
                 report.attempts.push(AttemptRecord {
                     attempt,
                     seed,
                     budget_boost,
-                    duration: started.elapsed(),
+                    duration,
+                    stages,
                     error: None,
                     retryable: false,
                 });
@@ -219,11 +264,18 @@ fn run_with_retries<T>(
             }
             Err(e) => {
                 let retryable = e.is_retryable();
+                let failed_stage = stages.last().map(|s| s.stage).unwrap_or("preprocess");
+                confmask_obs::warn!(
+                    "pipeline",
+                    "attempt {attempt} failed in {failed_stage} ({}): {e}",
+                    if retryable { "retryable" } else { "fatal" }
+                );
                 report.attempts.push(AttemptRecord {
                     attempt,
                     seed,
                     budget_boost,
-                    duration: started.elapsed(),
+                    duration,
+                    stages,
                     error: Some(e.to_string()),
                     retryable,
                 });
@@ -242,6 +294,20 @@ fn run_with_retries<T>(
     unreachable!("attempts_allowed >= 1, every iteration returns")
 }
 
+/// The `pipeline.stage.*` spans among `spans`, as stage samples in
+/// completion order.
+fn stage_samples(spans: &[confmask_obs::FinishedSpan]) -> Vec<StageSample> {
+    spans
+        .iter()
+        .filter_map(|s| {
+            s.name.strip_prefix(STAGE_SPAN_PREFIX).map(|stage| StageSample {
+                stage,
+                duration: s.duration(),
+            })
+        })
+        .collect()
+}
+
 /// One pipeline attempt (the pre-self-healing `anonymize` body).
 fn run_attempt(
     configs: &NetworkConfigs,
@@ -250,21 +316,19 @@ fn run_attempt(
     budget_boost: usize,
 ) -> Result<Anonymized, Error> {
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut timings = StageTimings::default();
     let deadline = params.stage_deadline;
 
     // Preprocess (Figure 3 stage 0).
-    let t0 = Instant::now();
+    let sp = confmask_obs::span("pipeline.stage.preprocess");
     let baseline = preprocess(configs)?;
-    timings.preprocess = t0.elapsed();
-    check_deadline("preprocess", t0, deadline)?;
+    check_deadline("preprocess", sp.finish(), deadline)?;
 
     let mut patcher = Patcher::new(configs.clone());
     let mut alloc = PrefixAllocator::new(configs.used_prefixes());
 
     // Step 0.5 — optional network-scale obfuscation (§9 extension): fake
     // routers join the graph before the k-degree plan is computed.
-    let t1 = Instant::now();
+    let sp = confmask_obs::span("pipeline.stage.scale");
     let scale = obfuscate_scale(
         &mut patcher,
         &mut alloc,
@@ -272,8 +336,10 @@ fn run_attempt(
         params.fake_routers,
         &mut rng,
     )?;
+    check_deadline("scale", sp.finish(), deadline)?;
 
     // Step 1 — topology anonymization.
+    let sp = confmask_obs::span("pipeline.stage.topology");
     let fake_links = anonymize_topology_with(
         &mut patcher,
         &mut alloc,
@@ -282,11 +348,15 @@ fn run_attempt(
         params.cost_strategy,
         &mut rng,
     )?;
-    timings.topology = t1.elapsed();
-    check_deadline("topology", t1, deadline)?;
+    check_deadline("topology", sp.finish(), deadline)?;
+    confmask_obs::debug!(
+        "pipeline",
+        "topology anonymized: {} fake links",
+        fake_links.len()
+    );
 
     // Step 2.1 — route equivalence.
-    let t2 = Instant::now();
+    let sp = confmask_obs::span("pipeline.stage.route_equiv");
     let equiv = match params.mode {
         EquivalenceMode::ConfMask => enforce_route_equivalence_with_budget(
             &mut patcher,
@@ -297,11 +367,10 @@ fn run_attempt(
         EquivalenceMode::Strawman1 => strawman1(&mut patcher, &baseline, &fake_links)?,
         EquivalenceMode::Strawman2 => strawman2(&mut patcher, &baseline, &fake_links)?,
     };
-    timings.route_equiv = t2.elapsed();
-    check_deadline("route_equiv", t2, deadline)?;
+    check_deadline("route_equiv", sp.finish(), deadline)?;
 
     // Step 2.2 — route anonymization.
-    let t3 = Instant::now();
+    let sp = confmask_obs::span("pipeline.stage.route_anon");
     let route_anon = anonymize_routes(
         &mut patcher,
         &mut alloc,
@@ -310,11 +379,10 @@ fn run_attempt(
         params.noise_p,
         &mut rng,
     )?;
-    timings.route_anon = t3.elapsed();
-    check_deadline("route_anon", t3, deadline)?;
+    check_deadline("route_anon", sp.finish(), deadline)?;
 
     // Verify.
-    let t4 = Instant::now();
+    let sp = confmask_obs::span("pipeline.stage.verify");
     let (anon_configs, ledger) = patcher.into_parts();
     let final_sim = simulate(&anon_configs)?;
     let equivalence = check_equivalence(
@@ -323,8 +391,7 @@ fn run_attempt(
         &anon_configs,
         &final_sim.dataplane,
     );
-    timings.verify = t4.elapsed();
-    check_deadline("verify", t4, deadline)?;
+    check_deadline("verify", sp.finish(), deadline)?;
 
     if !equivalence.holds() {
         return Err(Error::EquivalenceViolated(
@@ -346,7 +413,6 @@ fn run_attempt(
         equiv,
         route_anon,
         equivalence,
-        timings,
         params: params.clone(),
         degradation: DegradationReport::default(),
     })
@@ -466,6 +532,30 @@ mod tests {
         let a = &result.degradation.attempts[0];
         assert_eq!((a.attempt, a.seed), (0, 9));
         assert_eq!(a.error, None);
+    }
+
+    #[test]
+    fn attempts_record_stage_durations_from_spans() {
+        // Span capture is thread-local, so per-attempt stage durations must
+        // be present even with global collection off (the default here).
+        let net = example_network();
+        let result = anonymize(&net, &Params::new(3, 2)).unwrap();
+        let stages: Vec<&str> = result.stage_durations().iter().map(|s| s.stage).collect();
+        assert_eq!(
+            stages,
+            ["preprocess", "scale", "topology", "route_equiv", "route_anon", "verify"],
+            "one sample per stage, in completion order"
+        );
+        let a = &result.degradation.attempts[0];
+        assert_eq!(a.stage("verify"), Some(result.stage_durations()[5].duration));
+        assert!(a.stage("nonexistent").is_none());
+        assert!(
+            a.stage_total() <= a.duration,
+            "stages nest inside the attempt span: {:?} vs {:?}",
+            a.stage_total(),
+            a.duration
+        );
+        assert_eq!(result.total_stage_time(), a.stage_total());
     }
 
     #[test]

@@ -100,12 +100,20 @@ pub fn enforce_route_equivalence_with_budget(
 
     for iter in 0..bound {
         out.iterations = iter + 1;
+        confmask_obs::counter_add("core.route_equiv.iterations", 1);
         let (net, fibs) = simulate_control_plane(patcher.network())?;
         out.sim_calls += 1;
 
         let changes = scan_and_filter(patcher, base, &net, &fibs)?;
         out.filters_added += changes;
+        confmask_obs::counter_add("core.route_equiv.filters_added", changes as u64);
         if changes == 0 {
+            confmask_obs::debug!(
+                "core.route_equiv",
+                "fixpoint after {} iteration(s), {} filter(s) added",
+                out.iterations,
+                out.filters_added
+            );
             return Ok(out);
         }
     }

@@ -1,0 +1,109 @@
+//! Leveled diagnostic events.
+//!
+//! An event prints to stderr when its level passes the global verbosity
+//! (default [`Level::Warn`]: errors and warnings always show; `-v` adds
+//! info, `-vv` adds debug), and is retained for the report when collection
+//! is enabled. Stdout is never touched — it belongs to machine-readable
+//! command output.
+
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Mutex;
+
+/// Cap on retained events (oldest kept; past the cap new events still
+/// print but are no longer retained for the report).
+const MAX_EVENTS: usize = 4096;
+
+/// Event severity, most severe first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Level {
+    /// Unrecoverable or user-visible failures. Always printed.
+    Error,
+    /// Suspicious but non-fatal conditions. Printed by default.
+    Warn,
+    /// High-level progress (one line per stage/attempt). Printed with `-v`.
+    Info,
+    /// Inner-loop detail (per-iteration/per-scenario). Printed with `-vv`.
+    Debug,
+}
+
+impl Level {
+    /// Lowercase name, as serialized in reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Error => "error",
+            Level::Warn => "warn",
+            Level::Info => "info",
+            Level::Debug => "debug",
+        }
+    }
+
+    /// Parses a serialized level name.
+    pub fn from_name(s: &str) -> Option<Level> {
+        match s {
+            "error" => Some(Level::Error),
+            "warn" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" => Some(Level::Debug),
+            _ => None,
+        }
+    }
+}
+
+static VERBOSITY: AtomicU8 = AtomicU8::new(Level::Warn as u8);
+static EVENTS: Mutex<Vec<EventRecord>> = Mutex::new(Vec::new());
+
+/// A retained event, as it appears in the report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EventRecord {
+    /// Severity.
+    pub level: Level,
+    /// Emitting subsystem (`pipeline`, `sim.fault`, …).
+    pub target: String,
+    /// Rendered message.
+    pub message: String,
+    /// µs since the process observation epoch.
+    pub at_us: u64,
+}
+
+/// Sets the global verbosity: events at or above (more severe than) the
+/// given level print to stderr.
+pub fn set_verbosity(level: Level) {
+    VERBOSITY.store(level as u8, Ordering::Relaxed);
+}
+
+/// The current verbosity level.
+pub fn verbosity() -> Level {
+    match VERBOSITY.load(Ordering::Relaxed) {
+        0 => Level::Error,
+        1 => Level::Warn,
+        2 => Level::Info,
+        _ => Level::Debug,
+    }
+}
+
+pub(crate) fn emit(level: Level, target: &'static str, message: String) {
+    if level <= verbosity() {
+        eprintln!("[{}] {target}: {message}", level.name());
+    }
+    if crate::enabled() {
+        let mut events = EVENTS.lock().expect("event log poisoned");
+        if events.len() < MAX_EVENTS {
+            let at_us = crate::epoch_micros();
+            events.push(EventRecord {
+                level,
+                target: target.to_string(),
+                message,
+                at_us,
+            });
+        }
+    }
+}
+
+/// Snapshot of the retained events, in emission order.
+pub fn event_records() -> Vec<EventRecord> {
+    EVENTS.lock().expect("event log poisoned").clone()
+}
+
+pub(crate) fn clear() {
+    EVENTS.lock().expect("event log poisoned").clear();
+}

@@ -1,0 +1,203 @@
+//! Hierarchical spans: RAII wall-clock timers that nest through a
+//! thread-local stack.
+//!
+//! A span always measures elapsed time (callers consume [`Span::finish`]'s
+//! duration for deadline checks and timing reports even with collection
+//! off); it is only *recorded* — appended to the global collector and/or
+//! the thread's active [`capture`] — when someone is listening. Parentage
+//! is per-thread: a span opened on a worker thread with an empty stack is
+//! a root span there, which keeps the collector lock-free on the hot path
+//! (one `Mutex` push per *finished* recorded span).
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Cap on retained finished spans — a runaway-loop backstop, far above any
+/// real pipeline run. Excess spans are counted in
+/// [`Report::dropped_spans`](crate::Report::dropped_spans).
+const MAX_SPANS: usize = 1 << 16;
+
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_THREAD: AtomicU64 = AtomicU64::new(0);
+static DROPPED: AtomicU64 = AtomicU64::new(0);
+static FINISHED: Mutex<Vec<FinishedSpan>> = Mutex::new(Vec::new());
+
+thread_local! {
+    /// Ids of the live recorded spans on this thread, innermost last.
+    static STACK: RefCell<Vec<u64>> = const { RefCell::new(Vec::new()) };
+    /// Active thread-local capture buffer, if any.
+    static CAPTURE: RefCell<Option<Vec<FinishedSpan>>> = const { RefCell::new(None) };
+    /// Small dense per-thread index (stable within the process).
+    static THREAD_IDX: u64 = NEXT_THREAD.fetch_add(1, Ordering::Relaxed);
+}
+
+/// A completed span as stored in the collector.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FinishedSpan {
+    /// Process-unique span id.
+    pub id: u64,
+    /// Parent span id (`None` for a root span of its thread).
+    pub parent: Option<u64>,
+    /// Static span name (`pipeline.stage.topology`, …).
+    pub name: &'static str,
+    /// Dense index of the thread the span ran on.
+    pub thread: u64,
+    /// Start time, µs since the process observation epoch.
+    pub start_us: u64,
+    /// Wall-clock duration in µs.
+    pub duration_us: u64,
+}
+
+impl FinishedSpan {
+    /// The span's duration as a [`Duration`].
+    pub fn duration(&self) -> Duration {
+        Duration::from_micros(self.duration_us)
+    }
+}
+
+/// A live span. Close it with [`Span::finish`] to get the measured
+/// duration; dropping it (e.g. on an early `?` return) records it too.
+#[derive(Debug)]
+pub struct Span {
+    name: &'static str,
+    id: u64,
+    parent: Option<u64>,
+    start: Instant,
+    start_us: u64,
+    /// Whether this span was pushed on the thread stack and will be
+    /// recorded on close (decided once at open, so a mid-flight toggle of
+    /// the global switch cannot unbalance the stack).
+    recording: bool,
+    closed: bool,
+}
+
+/// Opens a span named `name`, child of the innermost live span on this
+/// thread. Time is measured unconditionally; the span is recorded only if
+/// global collection is enabled or a thread-local [`capture`] is active.
+pub fn span(name: &'static str) -> Span {
+    let recording =
+        crate::enabled() || CAPTURE.with(|c| c.borrow().is_some());
+    let (id, parent, start_us) = if recording {
+        let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+        let parent = STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            let parent = s.last().copied();
+            s.push(id);
+            parent
+        });
+        (id, parent, crate::epoch_micros())
+    } else {
+        (0, None, 0)
+    };
+    Span {
+        name,
+        id,
+        parent,
+        start: Instant::now(),
+        start_us,
+        recording,
+        closed: false,
+    }
+}
+
+impl Span {
+    /// The measured time so far (works with collection off).
+    pub fn elapsed(&self) -> Duration {
+        self.start.elapsed()
+    }
+
+    /// Closes the span and returns its measured duration.
+    pub fn finish(mut self) -> Duration {
+        let d = self.start.elapsed();
+        self.close(d);
+        d
+    }
+
+    fn close(&mut self, duration: Duration) {
+        if self.closed {
+            return;
+        }
+        self.closed = true;
+        if !self.recording {
+            return;
+        }
+        // Unwind the thread stack to (and including) this span; tolerates
+        // out-of-order drops by also closing any nested stragglers.
+        STACK.with(|s| {
+            let mut s = s.borrow_mut();
+            while let Some(top) = s.pop() {
+                if top == self.id {
+                    break;
+                }
+            }
+        });
+        let fin = FinishedSpan {
+            id: self.id,
+            parent: self.parent,
+            name: self.name,
+            thread: THREAD_IDX.with(|t| *t),
+            start_us: self.start_us,
+            duration_us: duration.as_micros() as u64,
+        };
+        CAPTURE.with(|c| {
+            if let Some(buf) = c.borrow_mut().as_mut() {
+                buf.push(fin.clone());
+            }
+        });
+        if crate::enabled() {
+            let mut g = FINISHED.lock().expect("span collector poisoned");
+            if g.len() < MAX_SPANS {
+                g.push(fin);
+            } else {
+                DROPPED.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        let d = self.start.elapsed();
+        self.close(d);
+    }
+}
+
+/// Runs `f` with a thread-local span capture active and returns its result
+/// together with every span finished on this thread during the call, in
+/// completion order. Works regardless of the global collection switch
+/// (captured spans are *also* collected globally when it is on). Nested
+/// captures are scoped: the inner capture takes the spans finished within
+/// it, and they are not re-reported to the outer one.
+pub fn capture<T>(f: impl FnOnce() -> T) -> (T, Vec<FinishedSpan>) {
+    /// Restores the previous capture buffer even if `f` panics (a caller
+    /// above may catch the unwind and keep using the thread).
+    struct Restore(Option<Vec<FinishedSpan>>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            let previous = self.0.take();
+            CAPTURE.with(|c| *c.borrow_mut() = previous);
+        }
+    }
+    let guard = Restore(CAPTURE.with(|c| c.borrow_mut().replace(Vec::new())));
+    let value = f();
+    let captured = CAPTURE.with(|c| c.borrow_mut().take().unwrap_or_default());
+    drop(guard); // restores the previous buffer
+    (value, captured)
+}
+
+/// Snapshot of all globally collected finished spans, in completion order.
+pub(crate) fn snapshot() -> Vec<FinishedSpan> {
+    FINISHED.lock().expect("span collector poisoned").clone()
+}
+
+/// Number of spans dropped at the [`MAX_SPANS`] cap.
+pub(crate) fn dropped() -> u64 {
+    DROPPED.load(Ordering::Relaxed)
+}
+
+pub(crate) fn clear() {
+    FINISHED.lock().expect("span collector poisoned").clear();
+    DROPPED.store(0, Ordering::Relaxed);
+}

@@ -110,7 +110,9 @@ pub fn compute(
 
     let max_rounds = 2 * n + 20;
     let mut stable = false;
+    let mut rounds = 0u64;
     for _round in 0..max_rounds {
+        rounds += 1;
         let new_best = step(net, &best, igp);
         if new_best == best {
             stable = true;
@@ -118,6 +120,7 @@ pub fn compute(
         }
         best = new_best;
     }
+    confmask_obs::counter_add("sim.bgp.rounds", rounds);
     if !stable {
         // One extra check: a fixpoint could land exactly on the last step.
         let new_best = step(net, &best, igp);

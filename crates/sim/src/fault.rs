@@ -464,6 +464,9 @@ pub fn run_scenario(
     baseline: &DataPlane,
     scenario: &FailureScenario,
 ) -> Result<ScenarioOutcome, SimError> {
+    let _sp = confmask_obs::span("sim.fault.scenario");
+    confmask_obs::counter_add("sim.fault.scenarios", 1);
+    confmask_obs::debug!("sim.fault", "injecting scenario {scenario}");
     let failed_configs = scenario.apply(configs)?;
     let sim = simulate(&failed_configs)?;
     let comp = physical_components(&failed_configs);

@@ -63,7 +63,15 @@ pub struct Simulation {
 /// data plane.
 pub fn simulate(configs: &NetworkConfigs) -> Result<Simulation, SimError> {
     let (net, fibs) = simulate_control_plane(configs)?;
+    let sp = confmask_obs::span("sim.dataplane");
     let dataplane = dataplane::extract_dataplane(&net, &fibs)?;
+    sp.finish();
+    if confmask_obs::enabled() {
+        confmask_obs::counter_add("sim.dataplane.pairs", dataplane.len() as u64);
+        for (_, ps) in dataplane.pairs() {
+            confmask_obs::observe("sim.dataplane.paths_per_pair", ps.paths.len() as u64);
+        }
+    }
     Ok(Simulation { net, fibs, dataplane })
 }
 
@@ -72,7 +80,21 @@ pub fn simulate(configs: &NetworkConfigs) -> Result<Simulation, SimError> {
 /// The anonymization pipeline's inner fixpoint loops only inspect FIBs, so
 /// they use this entry point and reserve [`simulate`] for verification.
 pub fn simulate_control_plane(configs: &NetworkConfigs) -> Result<(SimNetwork, Fibs), SimError> {
+    let sp = confmask_obs::span("sim.control_plane");
+    confmask_obs::counter_add("sim.simulations", 1);
+    // Register the protocol counters at zero so the metric set is stable
+    // across protocol mixes (an OSPF-only network still reports
+    // `sim.bgp.rounds` = 0 rather than omitting the key).
+    for name in ["sim.ospf.spf_runs", "sim.rip.rounds", "sim.bgp.rounds"] {
+        confmask_obs::counter_add(name, 0);
+    }
     let net = SimNetwork::build(configs)?;
     let fibs = fib::compute_fibs(&net)?;
+    sp.finish();
+    if confmask_obs::enabled() {
+        for fib in &fibs.per_router {
+            confmask_obs::observe("sim.fib.size", fib.len() as u64);
+        }
+    }
     Ok((net, fibs))
 }

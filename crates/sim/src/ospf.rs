@@ -49,6 +49,9 @@ fn adjacency(net: &SimNetwork) -> Vec<Vec<(usize, RouterId, usize, u32)>> {
 /// Destination prefixes are independent, so the per-prefix multi-source
 /// Dijkstras fan out over scoped threads on larger networks.
 pub fn compute(net: &SimNetwork) -> IgpRoutes {
+    // One multi-source Dijkstra per destination prefix (counted here, not in
+    // `compute_for`, so the tally is independent of the thread fan-out).
+    confmask_obs::counter_add("sim.ospf.spf_runs", net.destinations.len() as u64);
     let adj = adjacency(net);
     let n = net.router_count();
 
@@ -186,6 +189,7 @@ pub struct RouterPaths {
 /// — inter-AS reachability is BGP's job.
 pub fn router_paths(net: &SimNetwork) -> RouterPaths {
     let n = net.router_count();
+    confmask_obs::counter_add("sim.ospf.spf_runs", n as u64);
     // Build a combined IGP adjacency.
     let mut adj: Vec<Vec<(usize, RouterId, u32)>> = vec![Vec::new(); n];
     for (rid, r) in net.routers_iter() {

@@ -43,6 +43,7 @@ pub fn compute(net: &SimNetwork) -> RipRoutes {
     }
 
     let mut routes: RipRoutes = vec![BTreeMap::new(); n];
+    let mut total_rounds = 0u64;
     for (prefix, _hosts) in &net.destinations {
         let mut dist = vec![RIP_INFINITY; n];
         // Advertisers: connected + rip-active on the prefix; metric 1.
@@ -58,6 +59,7 @@ pub fn compute(net: &SimNetwork) -> RipRoutes {
         // Synchronous Bellman–Ford. An inbound filter on the iface toward a
         // neighbor drops that neighbor's advertisements for this prefix.
         for _round in 0..n {
+            total_rounds += 1;
             let mut changed = false;
             let prev = dist.clone();
             for (rid, r) in net.routers_iter() {
@@ -108,6 +110,7 @@ pub fn compute(net: &SimNetwork) -> RipRoutes {
             }
         }
     }
+    confmask_obs::counter_add("sim.rip.rounds", total_rounds);
     routes
 }
 

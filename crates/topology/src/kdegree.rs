@@ -146,8 +146,10 @@ pub fn plan_k_degree<R: Rng>(topo: &Topology, k: usize, rng: &mut R) -> Result<K
 
     let base_targets = anonymize_degree_sequence(&degrees, k);
 
+    let _sp = confmask_obs::span("topology.kdegree");
     const MAX_ATTEMPTS: usize = 200;
     for attempt in 0..MAX_ATTEMPTS {
+        confmask_obs::counter_add("topology.kdegree.attempts", 1);
         // Perturb targets on retries (Liu–Terzi probing): raise a random
         // cluster by +1, respecting the simple-graph cap of n-1.
         let mut targets = base_targets.clone();
@@ -168,6 +170,13 @@ pub fn plan_k_degree<R: Rng>(topo: &Topology, k: usize, rng: &mut R) -> Result<K
             }
             let achieved = min_same_degree(&check);
             if achieved >= k {
+                confmask_obs::counter_add("topology.kdegree.edges_added", edges.len() as u64);
+                confmask_obs::debug!(
+                    "topology.kdegree",
+                    "realized k={k} after {} attempt(s): {} new edge(s), achieved k={achieved}",
+                    attempt + 1,
+                    edges.len()
+                );
                 return Ok(KDegreePlan {
                     new_edges: edges,
                     achieved_k: achieved,

@@ -41,7 +41,7 @@ fn main() {
                 uc,
                 result.route_anon.fake_hosts.len(),
                 result.ledger.filter_lines,
-                result.timings.total().as_secs_f64()
+                result.total_stage_time().as_secs_f64()
             );
         }
     }
