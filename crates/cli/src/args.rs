@@ -53,8 +53,36 @@ pub enum Command {
     },
     /// Pretty-print a metrics report written by `--metrics-out`.
     ObsReport {
-        /// The JSON report file.
+        /// The JSON report file (`-` reads stdin).
         input: PathBuf,
+    },
+    /// Run the anonymization daemon.
+    Serve {
+        /// Bind address (`host:port`).
+        addr: String,
+        /// Worker threads (0 = available parallelism).
+        workers: usize,
+        /// Job queue capacity; beyond it submissions get 429.
+        queue_cap: usize,
+        /// Per-stage deadline applied to jobs without their own.
+        job_timeout_secs: Option<u64>,
+    },
+    /// Submit a job to (or drain) a running daemon.
+    Submit {
+        /// Daemon address (`host:port`).
+        addr: String,
+        /// Input directory (required unless `--shutdown`).
+        input: Option<PathBuf>,
+        /// Pipeline parameters sent with the job.
+        params: Params,
+        /// Poll until the job reaches a terminal state.
+        wait: bool,
+        /// Fetch the artifacts into this directory (implies `wait`).
+        output: Option<PathBuf>,
+        /// Poll interval in milliseconds.
+        poll_ms: u64,
+        /// Ask the daemon to drain and exit instead of submitting.
+        shutdown: bool,
     },
     /// Print usage.
     Help,
@@ -101,13 +129,29 @@ USAGE:
   confmask simulate  --input <dir> [--trace <src> <dst>]
   confmask inspect   --input <dir>
   confmask generate  --network <A..H> --output <dir>
-  confmask obs-report --input <metrics.json>
+  confmask obs-report <metrics.json | ->
+  confmask serve     [--addr H:P] [--workers N] [--queue-cap N]
+                     [--job-timeout-secs S]
+  confmask submit    [--addr H:P] --input <dir> [--wait]
+                     [--output <dir>] [--poll-ms N]
+                     [--seed N] [--k-r N] [--k-h N] [--noise P]
+                     [--fake-routers N] [--max-retries N]
+                     [--stage-deadline-secs S] [--mode ...]
+  confmask submit    [--addr H:P] --shutdown
   confmask help
 
 Directories contain routers/*.cfg and hosts/*.cfg. `failures` sweeps the
 input network itself, or — with --verify-failures — anonymizes it first
 and checks that original and anonymized degrade identically; it uses the
 bundled university network when --input is omitted.
+
+`serve` runs the anonymization-as-a-service daemon (default address
+127.0.0.1:7077): POST /v1/jobs, GET /v1/jobs/{id}[/artifacts],
+GET /healthz, GET /metrics (Prometheus), GET /metrics-json, and
+POST /v1/shutdown for a graceful drain. `submit` is the matching client;
+`--output` fetches the anonymized configs once the job finishes.
+`obs-report -` reads the JSON report from stdin, so
+`curl .../metrics-json | confmask obs-report -` works.
 
 Observability (any subcommand):
   -v / -vv             info / debug diagnostics on stderr
@@ -306,11 +350,80 @@ fn parse_command(argv: &[&str]) -> Result<Command, ArgError> {
             while let Some(flag) = it.next() {
                 match flag {
                     "--input" => input = Some(PathBuf::from(take_value(&mut it, flag)?)),
+                    // A bare path (or `-` for stdin) is accepted positionally
+                    // so `curl … | confmask obs-report -` works.
+                    path if !path.starts_with("--") => input = Some(PathBuf::from(path)),
                     other => return Err(ArgError(format!("unknown flag '{other}'"))),
                 }
             }
             Ok(Command::ObsReport {
-                input: input.ok_or_else(|| ArgError("--input is required".into()))?,
+                input: input
+                    .ok_or_else(|| ArgError("obs-report needs a file path or '-'".into()))?,
+            })
+        }
+        "serve" => {
+            let mut addr = "127.0.0.1:7077".to_string();
+            let mut workers = 0usize;
+            let mut queue_cap = 64usize;
+            let mut job_timeout_secs = None;
+            while let Some(flag) = it.next() {
+                match flag {
+                    "--addr" => addr = take_value(&mut it, flag)?.to_string(),
+                    "--workers" => workers = parse_value(&mut it, flag, "an integer")?,
+                    "--queue-cap" => {
+                        queue_cap = parse_value(&mut it, flag, "an integer")?;
+                        if queue_cap == 0 {
+                            return Err(ArgError("--queue-cap must be at least 1".into()));
+                        }
+                    }
+                    "--job-timeout-secs" => {
+                        job_timeout_secs =
+                            Some(parse_value(&mut it, flag, "a number of seconds")?)
+                    }
+                    other => return Err(ArgError(format!("unknown flag '{other}'"))),
+                }
+            }
+            Ok(Command::Serve {
+                addr,
+                workers,
+                queue_cap,
+                job_timeout_secs,
+            })
+        }
+        "submit" => {
+            let mut addr = "127.0.0.1:7077".to_string();
+            let mut input = None;
+            let mut params = Params::default();
+            let mut wait = false;
+            let mut output = None;
+            let mut poll_ms = 200;
+            let mut shutdown = false;
+            while let Some(flag) = it.next() {
+                if params_flag(flag, &mut it, &mut params)? {
+                    continue;
+                }
+                match flag {
+                    "--addr" => addr = take_value(&mut it, flag)?.to_string(),
+                    "--input" => input = Some(PathBuf::from(take_value(&mut it, flag)?)),
+                    "--wait" => wait = true,
+                    "--output" => output = Some(PathBuf::from(take_value(&mut it, flag)?)),
+                    "--poll-ms" => poll_ms = parse_value(&mut it, flag, "an integer")?,
+                    "--shutdown" => shutdown = true,
+                    other => return Err(ArgError(format!("unknown flag '{other}'"))),
+                }
+            }
+            if input.is_none() && !shutdown {
+                return Err(ArgError("--input is required (unless --shutdown)".into()));
+            }
+            Ok(Command::Submit {
+                addr,
+                input,
+                params,
+                // Fetching artifacts requires the job to be finished.
+                wait: wait || output.is_some(),
+                output,
+                poll_ms,
+                shutdown,
             })
         }
         other => Err(ArgError(format!("unknown subcommand '{other}'\n\n{USAGE}"))),
@@ -451,7 +564,97 @@ mod tests {
                 input: PathBuf::from("metrics.json")
             }
         );
+        // Positional form, including `-` for stdin.
+        assert_eq!(
+            parse_cmd(&argv("obs-report metrics.json")).unwrap(),
+            Command::ObsReport {
+                input: PathBuf::from("metrics.json")
+            }
+        );
+        assert_eq!(
+            parse_cmd(&argv("obs-report -")).unwrap(),
+            Command::ObsReport {
+                input: PathBuf::from("-")
+            }
+        );
         assert!(parse_cmd(&argv("obs-report")).is_err());
+        assert!(parse_cmd(&argv("obs-report --frobnicate")).is_err());
+    }
+
+    #[test]
+    fn parses_serve_with_defaults_and_flags() {
+        match parse_cmd(&argv("serve")).unwrap() {
+            Command::Serve {
+                addr,
+                workers,
+                queue_cap,
+                job_timeout_secs,
+            } => {
+                assert_eq!(addr, "127.0.0.1:7077");
+                assert_eq!((workers, queue_cap, job_timeout_secs), (0, 64, None));
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse_cmd(&argv(
+            "serve --addr 0.0.0.0:8080 --workers 4 --queue-cap 8 --job-timeout-secs 30",
+        ))
+        .unwrap()
+        {
+            Command::Serve {
+                addr,
+                workers,
+                queue_cap,
+                job_timeout_secs,
+            } => {
+                assert_eq!(addr, "0.0.0.0:8080");
+                assert_eq!((workers, queue_cap, job_timeout_secs), (4, 8, Some(30)));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse_cmd(&argv("serve --queue-cap 0")).is_err());
+        assert!(parse_cmd(&argv("serve --workers nope")).is_err());
+    }
+
+    #[test]
+    fn parses_submit_variants() {
+        match parse_cmd(&argv("submit --input net --seed 5")).unwrap() {
+            Command::Submit {
+                addr,
+                input,
+                params,
+                wait,
+                output,
+                poll_ms,
+                shutdown,
+            } => {
+                assert_eq!(addr, "127.0.0.1:7077");
+                assert_eq!(input, Some(PathBuf::from("net")));
+                assert_eq!(params.seed, 5);
+                assert!(!wait && !shutdown);
+                assert_eq!((output, poll_ms), (None, 200));
+            }
+            other => panic!("{other:?}"),
+        }
+        // --output implies --wait.
+        match parse_cmd(&argv("submit --input net --output anon --poll-ms 50")).unwrap() {
+            Command::Submit { wait, output, poll_ms, .. } => {
+                assert!(wait);
+                assert_eq!(output, Some(PathBuf::from("anon")));
+                assert_eq!(poll_ms, 50);
+            }
+            other => panic!("{other:?}"),
+        }
+        // --shutdown needs no input.
+        match parse_cmd(&argv("submit --addr 127.0.0.1:9999 --shutdown")).unwrap() {
+            Command::Submit { addr, input, shutdown, .. } => {
+                assert_eq!(addr, "127.0.0.1:9999");
+                assert_eq!(input, None);
+                assert!(shutdown);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse_cmd(&argv("submit")).is_err());
+        assert!(parse_cmd(&argv("submit --wait")).is_err());
     }
 
     #[test]

@@ -351,11 +351,155 @@ pub fn run(cmd: Command) -> Result<String, CmdError> {
             Ok(report)
         }
         Command::ObsReport { input } => {
-            let text = std::fs::read_to_string(&input)
-                .map_err(|e| format!("cannot read {}: {e}", input.display()))?;
+            // `-` reads the report from stdin, so the daemon's JSON metrics
+            // endpoint can be piped straight in:
+            // `curl …/metrics-json | confmask obs-report -`.
+            let (text, label) = if input.as_os_str() == "-" {
+                let mut text = String::new();
+                std::io::Read::read_to_string(&mut std::io::stdin(), &mut text)
+                    .map_err(|e| format!("cannot read stdin: {e}"))?;
+                (text, "stdin".to_string())
+            } else {
+                (
+                    std::fs::read_to_string(&input)
+                        .map_err(|e| format!("cannot read {}: {e}", input.display()))?,
+                    input.display().to_string(),
+                )
+            };
             let report = confmask_obs::Report::from_json(&text)
-                .map_err(|e| format!("{} is not a metrics report: {e}", input.display()))?;
+                .map_err(|e| format!("{label} is not a metrics report: {e}"))?;
             Ok(report.render())
+        }
+        Command::Serve {
+            addr,
+            workers,
+            queue_cap,
+            job_timeout_secs,
+        } => {
+            let server = confmask_serve::Server::bind(&confmask_serve::ServeOptions {
+                addr: addr.clone(),
+                workers,
+                queue_cap,
+                job_timeout: job_timeout_secs.map(std::time::Duration::from_secs),
+            })
+            .map_err(|e| format!("cannot bind {addr}: {e}"))?;
+            // Announce readiness immediately (scripts wait for this line);
+            // `run` blocks until POST /v1/shutdown.
+            println!(
+                "confmask-serve listening on {} ({} worker(s), queue capacity {})",
+                server.local_addr(),
+                server.workers(),
+                queue_cap
+            );
+            let _ = std::io::Write::flush(&mut std::io::stdout());
+            let counts = server.run().map_err(|e| e.to_string())?;
+            Ok(format!(
+                "drained: {} done, {} degraded, {} failed\n",
+                counts.done, counts.degraded, counts.failed
+            ))
+        }
+        Command::Submit {
+            addr,
+            input,
+            params,
+            wait,
+            output,
+            poll_ms,
+            shutdown,
+        } => {
+            use confmask_serve::{client, wire};
+            if shutdown {
+                let resp = client::post(&addr, "/v1/shutdown", "")
+                    .map_err(|e| format!("cannot reach {addr}: {e}"))?;
+                if resp.status != 202 {
+                    return Err(format!(
+                        "shutdown refused ({}): {}",
+                        resp.status,
+                        resp.text().trim()
+                    )
+                    .into());
+                }
+                return Ok(format!("daemon at {addr} is draining\n"));
+            }
+            let input = input.expect("parser requires --input without --shutdown");
+            let net = load_dir(&input).map_err(|e| e.to_string())?;
+            let body = wire::encode_submit(&net, &params);
+            let resp = client::post(&addr, "/v1/jobs", &body)
+                .map_err(|e| format!("cannot reach {addr}: {e}"))?;
+            if resp.status != 202 {
+                return Err(format!(
+                    "submission refused ({}): {}",
+                    resp.status,
+                    resp.text().trim()
+                )
+                .into());
+            }
+            let id = wire::decode_job_created(&resp.body)
+                .map_err(|e| format!("malformed daemon response: {e}"))?;
+            let mut report = String::new();
+            let _ = writeln!(report, "submitted job {id} to {addr}");
+            if !wait {
+                return Ok(report);
+            }
+            let status = loop {
+                let resp = client::get(&addr, &format!("/v1/jobs/{id}"))
+                    .map_err(|e| format!("cannot poll {addr}: {e}"))?;
+                if resp.status != 200 {
+                    return Err(format!(
+                        "poll failed ({}): {}",
+                        resp.status,
+                        resp.text().trim()
+                    )
+                    .into());
+                }
+                let status = wire::decode_status(&resp.body)
+                    .map_err(|e| format!("malformed status: {e}"))?;
+                if status.is_terminal() {
+                    break status;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(poll_ms));
+            };
+            let _ = writeln!(
+                report,
+                "job {id}: {} after {} attempt(s), {} ms",
+                status.state,
+                status.attempts,
+                status.wall_ms.unwrap_or(0)
+            );
+            if status.state == "failed" {
+                let mut message = report;
+                let _ = writeln!(
+                    message,
+                    "error: {}",
+                    status.error.as_deref().unwrap_or("unknown")
+                );
+                return Err(message.into());
+            }
+            if let Some(out) = output {
+                let resp = client::get(&addr, &format!("/v1/jobs/{id}/artifacts"))
+                    .map_err(|e| format!("cannot fetch artifacts: {e}"))?;
+                if resp.status != 200 {
+                    return Err(format!(
+                        "artifact fetch failed ({}): {}",
+                        resp.status,
+                        resp.text().trim()
+                    )
+                    .into());
+                }
+                let files = wire::decode_artifacts(&resp.body)
+                    .map_err(|e| format!("malformed artifacts: {e}"))?;
+                for f in &files {
+                    let path = out.join(&f.path);
+                    if let Some(parent) = path.parent() {
+                        std::fs::create_dir_all(parent)
+                            .map_err(|e| format!("cannot create {}: {e}", parent.display()))?;
+                    }
+                    std::fs::write(&path, &f.text)
+                        .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+                }
+                let _ = writeln!(report, "wrote {} file(s) to {}", files.len(), out.display());
+            }
+            Ok(report)
         }
         Command::Generate { network, output } => {
             let suite = confmask_netgen::full_suite();
@@ -510,6 +654,74 @@ mod tests {
         })
         .unwrap_err();
         assert_eq!(err.code, EXIT_FATAL);
+    }
+
+    #[test]
+    fn submit_runs_a_job_and_fetches_artifacts() {
+        let src = tmp("submit-src");
+        let dst = tmp("submit-dst");
+        run(Command::Generate {
+            network: 'A',
+            output: src.clone(),
+        })
+        .unwrap();
+
+        let server = confmask_serve::Server::bind(&confmask_serve::ServeOptions {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 1,
+            queue_cap: 4,
+            job_timeout: None,
+        })
+        .unwrap();
+        let addr = server.local_addr().to_string();
+        let daemon = std::thread::spawn(move || server.run().unwrap());
+
+        let out = run(Command::Submit {
+            addr: addr.clone(),
+            input: Some(src.clone()),
+            params: Params::new(4, 2),
+            wait: true,
+            output: Some(dst.clone()),
+            poll_ms: 10,
+            shutdown: false,
+        })
+        .unwrap();
+        assert!(out.contains("submitted job j1"), "{out}");
+        assert!(out.contains("job j1: done") || out.contains("job j1: degraded"), "{out}");
+        assert!(out.contains("file(s) to"), "{out}");
+        // The fetched bundle is a loadable configuration directory.
+        let fetched = load_dir(&dst).unwrap();
+        assert!(!fetched.routers.is_empty());
+
+        let out = run(Command::Submit {
+            addr: addr.clone(),
+            input: None,
+            params: Params::default(),
+            wait: false,
+            output: None,
+            poll_ms: 10,
+            shutdown: true,
+        })
+        .unwrap();
+        assert!(out.contains("draining"), "{out}");
+        let counts = daemon.join().unwrap();
+        assert_eq!(counts.done + counts.degraded, 1);
+
+        // An unreachable daemon is a fatal error, not a panic.
+        let err = run(Command::Submit {
+            addr: addr.clone(),
+            input: Some(src.clone()),
+            params: Params::default(),
+            wait: false,
+            output: None,
+            poll_ms: 10,
+            shutdown: false,
+        })
+        .unwrap_err();
+        assert_eq!(err.code, EXIT_FATAL);
+
+        std::fs::remove_dir_all(&src).unwrap();
+        std::fs::remove_dir_all(&dst).unwrap();
     }
 
     #[test]

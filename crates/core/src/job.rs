@@ -1,0 +1,148 @@
+//! Service-grade job entry point: anonymize a network **in memory** and
+//! return the emitted artifacts plus a compact summary, instead of writing
+//! a configuration directory to disk.
+//!
+//! This is what a long-running server (`confmask serve`) runs per job: the
+//! worker keeps nothing but the returned [`JobOutcome`], which carries
+//! everything a remote client needs — the shareable config files, the
+//! headline metrics, and the self-healing audit trail.
+
+use crate::pipeline::{anonymize, Anonymized, DegradationReport};
+use crate::{Error, Params};
+use confmask_config::NetworkConfigs;
+
+/// One emitted configuration file of an anonymized network, addressed by
+/// its relative path inside a configuration directory.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArtifactFile {
+    /// Relative path (`routers/r1.cfg`, `hosts/h1.cfg`). Hostnames are
+    /// sanitized to filesystem-safe names, like the CLI's own output.
+    pub path: String,
+    /// The emitted configuration text.
+    pub text: String,
+}
+
+/// Headline numbers of a finished job — what a service reports to a
+/// remote client without shipping the full [`Anonymized`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSummary {
+    /// Routers in the anonymized network (including fakes).
+    pub routers: usize,
+    /// Hosts in the anonymized network (including fakes).
+    pub hosts: usize,
+    /// Fake links added by topology anonymization.
+    pub fake_links: usize,
+    /// Fake hosts added by route anonymization.
+    pub fake_hosts: usize,
+    /// Fake routers added by scale obfuscation.
+    pub fake_routers: usize,
+    /// Configuration utility `U_C` (§7.1).
+    pub config_utility: f64,
+    /// Average route anonymity `N_r` of the anonymized network.
+    pub route_anonymity_avg: f64,
+    /// Whether functional equivalence holds (it must, for `Ok` outcomes).
+    pub functionally_equivalent: bool,
+}
+
+/// Everything a job produces: the artifacts to hand back to the client,
+/// the summary, and the self-healing audit trail.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobOutcome {
+    /// Emitted configuration files of the anonymized network.
+    pub artifacts: Vec<ArtifactFile>,
+    /// Headline metrics.
+    pub summary: JobSummary,
+    /// One record per pipeline attempt (length 1 for a clean run).
+    pub degradation: DegradationReport,
+}
+
+/// File names come from hostnames; keep them filesystem-safe (mirrors the
+/// CLI's directory writer, so artifacts land under the same names).
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_alphanumeric() || c == '-' || c == '_' || c == '.' { c } else { '_' })
+        .collect()
+}
+
+/// Emits every router and host config of `net` as artifact files.
+fn emit_artifacts(net: &NetworkConfigs) -> Vec<ArtifactFile> {
+    let mut files = Vec::with_capacity(net.routers.len() + net.hosts.len());
+    for (name, rc) in &net.routers {
+        files.push(ArtifactFile {
+            path: format!("routers/{}.cfg", sanitize(name)),
+            text: rc.emit(),
+        });
+    }
+    for (name, hc) in &net.hosts {
+        files.push(ArtifactFile {
+            path: format!("hosts/{}.cfg", sanitize(name)),
+            text: hc.emit(),
+        });
+    }
+    files
+}
+
+impl JobOutcome {
+    /// Builds the outcome from a finished pipeline run.
+    pub fn from_anonymized(result: &Anonymized) -> JobOutcome {
+        JobOutcome {
+            artifacts: emit_artifacts(&result.configs),
+            summary: JobSummary {
+                routers: result.configs.routers.len(),
+                hosts: result.configs.hosts.len(),
+                fake_links: result.fake_links.len(),
+                fake_hosts: result.route_anon.fake_hosts.len(),
+                fake_routers: result.scale.fake_routers.len(),
+                config_utility: result.config_utility(),
+                route_anonymity_avg: result.route_anonymity().avg(),
+                functionally_equivalent: result.functionally_equivalent(),
+            },
+            degradation: result.degradation.clone(),
+        }
+    }
+}
+
+/// Runs the full self-healing pipeline on `configs` and returns the
+/// in-memory outcome. Exactly [`anonymize`] plus artifact emission — same
+/// determinism, same error classification.
+pub fn run_job(configs: &NetworkConfigs, params: &Params) -> Result<JobOutcome, Error> {
+    let result = anonymize(configs, params)?;
+    Ok(JobOutcome::from_anonymized(&result))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use confmask_netgen::smallnets::example_network;
+
+    #[test]
+    fn run_job_returns_parseable_artifacts_and_summary() {
+        let net = example_network();
+        let out = run_job(&net, &Params::new(3, 2)).unwrap();
+        assert!(out.summary.functionally_equivalent);
+        assert_eq!(out.summary.routers + out.summary.hosts, out.artifacts.len());
+        assert!(out.summary.fake_hosts > 0);
+        assert!(out.summary.config_utility < 1.0);
+        assert_eq!(out.degradation.attempts.len(), 1);
+        let mut routers = 0;
+        for f in &out.artifacts {
+            if let Some(_name) = f.path.strip_prefix("routers/") {
+                confmask_config::parse_router(&f.text).unwrap();
+                routers += 1;
+            } else {
+                assert!(f.path.starts_with("hosts/"), "{}", f.path);
+                confmask_config::parse_host(&f.text).unwrap();
+            }
+        }
+        assert_eq!(routers, out.summary.routers);
+    }
+
+    #[test]
+    fn run_job_matches_anonymize_given_the_same_seed() {
+        let net = example_network();
+        let params = Params::new(3, 2).with_seed(11);
+        let a = run_job(&net, &params).unwrap();
+        let b = JobOutcome::from_anonymized(&anonymize(&net, &params).unwrap());
+        assert_eq!(a.artifacts, b.artifacts);
+    }
+}

@@ -57,6 +57,7 @@
 pub mod attacks;
 pub mod equivalence;
 mod error;
+mod job;
 pub mod metrics;
 mod params;
 pub mod pii;
@@ -70,6 +71,7 @@ pub mod strawman;
 pub mod topo_anon;
 
 pub use error::Error;
+pub use job::{run_job, ArtifactFile, JobOutcome, JobSummary};
 pub use params::{CostStrategy, EquivalenceMode, Params};
 pub use pipeline::{
     anonymize, Anonymized, AttemptRecord, DegradationReport, StageSample, STAGE_SPAN_PREFIX,

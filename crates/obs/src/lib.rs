@@ -46,11 +46,12 @@
 mod event;
 pub mod json;
 mod metrics;
+mod prom;
 pub mod report;
 mod span;
 
 pub use event::{event_records, set_verbosity, verbosity, EventRecord, Level};
-pub use metrics::{counter_add, gauge_set, observe, HistogramSummary};
+pub use metrics::{counter_add, gauge_set, histogram_register, observe, HistogramSummary};
 pub use report::Report;
 pub use span::{capture, span, FinishedSpan, Span};
 

@@ -153,6 +153,17 @@ pub fn gauge_set(name: &'static str, value: f64) {
     reg.gauges.insert(name, value);
 }
 
+/// Registers the histogram `name` without recording a value, so it
+/// appears in the report with a zero count — the histogram counterpart of
+/// `counter_add(name, 0)` for keeping the metric set stable across runs.
+pub fn histogram_register(name: &'static str) {
+    if !crate::enabled() {
+        return;
+    }
+    let mut reg = REGISTRY.lock().expect("metrics registry poisoned");
+    reg.histograms.entry(name).or_default();
+}
+
 /// Records `value` into the histogram `name`.
 pub fn observe(name: &'static str, value: u64) {
     if !crate::enabled() {

@@ -1,0 +1,117 @@
+//! Prometheus text exposition (version 0.0.4) of a [`Report`] — what a
+//! long-running daemon serves on `GET /metrics`.
+//!
+//! Dotted metric names become underscore-separated and are prefixed with
+//! `confmask_` (`serve.jobs_done` → `confmask_serve_jobs_done`). Counters
+//! and gauges map directly; histograms are exposed as summaries with
+//! `quantile` labels plus `_sum`/`_count`, and their min/max as extra
+//! `_min`/`_max` gauges so nothing the JSON report carries is lost.
+
+use crate::report::Report;
+use std::fmt::Write as _;
+
+/// A Prometheus-safe metric name: `confmask_` + the dotted name with every
+/// non-alphanumeric character mapped to `_`.
+fn prom_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 9);
+    out.push_str("confmask_");
+    for c in name.chars() {
+        out.push(if c.is_ascii_alphanumeric() { c } else { '_' });
+    }
+    out
+}
+
+/// Formats a gauge value the way Prometheus expects (no exponent for the
+/// common integral case).
+fn prom_f64(v: f64) -> String {
+    if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+impl Report {
+    /// Renders the report's metrics in the Prometheus text exposition
+    /// format. Spans and events are not exposed here — they stay in the
+    /// JSON report (`/metrics-json`).
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let n = prom_name(name);
+            let _ = writeln!(out, "# TYPE {n} counter");
+            let _ = writeln!(out, "{n} {v}");
+        }
+        for (name, v) in &self.gauges {
+            let n = prom_name(name);
+            let _ = writeln!(out, "# TYPE {n} gauge");
+            let _ = writeln!(out, "{n} {}", prom_f64(*v));
+        }
+        for (name, h) in &self.histograms {
+            let n = prom_name(name);
+            let _ = writeln!(out, "# TYPE {n} summary");
+            let _ = writeln!(out, "{n}{{quantile=\"0.5\"}} {}", h.p50);
+            let _ = writeln!(out, "{n}{{quantile=\"0.9\"}} {}", h.p90);
+            let _ = writeln!(out, "{n}{{quantile=\"0.99\"}} {}", h.p99);
+            let _ = writeln!(out, "{n}_sum {}", h.sum);
+            let _ = writeln!(out, "{n}_count {}", h.count);
+            let _ = writeln!(out, "# TYPE {n}_min gauge");
+            let _ = writeln!(out, "{n}_min {}", h.min);
+            let _ = writeln!(out, "# TYPE {n}_max gauge");
+            let _ = writeln!(out, "{n}_max {}", h.max);
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::HistogramSummary;
+
+    #[test]
+    fn names_are_mangled_and_prefixed() {
+        assert_eq!(prom_name("serve.jobs_done"), "confmask_serve_jobs_done");
+        assert_eq!(prom_name("sim.fib.size"), "confmask_sim_fib_size");
+    }
+
+    #[test]
+    fn renders_all_metric_kinds() {
+        let report = Report {
+            counters: vec![("serve.jobs_done".into(), 3)],
+            gauges: vec![("serve.queue_depth".into(), 2.0)],
+            histograms: vec![(
+                "serve.job_wall_secs".into(),
+                HistogramSummary {
+                    count: 2,
+                    sum: 5,
+                    min: 1,
+                    max: 4,
+                    p50: 1,
+                    p90: 4,
+                    p99: 4,
+                },
+            )],
+            ..Report::default()
+        };
+        let text = report.to_prometheus();
+        assert!(text.contains("# TYPE confmask_serve_jobs_done counter"));
+        assert!(text.contains("confmask_serve_jobs_done 3"));
+        assert!(text.contains("confmask_serve_queue_depth 2"));
+        assert!(text.contains("confmask_serve_job_wall_secs{quantile=\"0.5\"} 1"));
+        assert!(text.contains("confmask_serve_job_wall_secs_count 2"));
+        assert!(text.contains("confmask_serve_job_wall_secs_max 4"));
+    }
+
+    #[test]
+    fn empty_report_renders_empty() {
+        assert_eq!(Report::default().to_prometheus(), "");
+    }
+
+    #[test]
+    fn gauge_formatting_keeps_fractions() {
+        assert_eq!(prom_f64(2.0), "2");
+        assert_eq!(prom_f64(0.5), "0.5");
+        assert_eq!(prom_f64(-3.0), "-3");
+    }
+}

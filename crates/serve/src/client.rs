@@ -1,0 +1,98 @@
+//! A minimal HTTP/1.1 client for `confmask submit`, the CI smoke test,
+//! and the end-to-end tests — one request per connection, JSON bodies.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Default per-request socket timeout.
+const TIMEOUT: Duration = Duration::from_secs(60);
+
+/// A parsed response: status code and body.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClientResponse {
+    /// HTTP status code.
+    pub status: u16,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// The body as UTF-8 (lossy — error bodies are for humans).
+    pub fn text(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+}
+
+fn bad(message: String) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, message)
+}
+
+/// Sends one request to `addr` (`host:port`) and reads the response.
+pub fn request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> io::Result<ClientResponse> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(TIMEOUT))?;
+    stream.set_write_timeout(Some(TIMEOUT))?;
+    let mut writer = stream.try_clone()?;
+    let payload = body.unwrap_or("");
+    write!(
+        writer,
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n",
+        payload.len()
+    )?;
+    writer.write_all(payload.as_bytes())?;
+    writer.flush()?;
+
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| bad(format!("malformed status line: {status_line:?}")))?;
+
+    let mut content_length: Option<usize> = None;
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(bad("connection closed mid-headers".to_string()));
+        }
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            if name.trim().eq_ignore_ascii_case("content-length") {
+                content_length = value.trim().parse().ok();
+            }
+        }
+    }
+
+    let mut body = Vec::new();
+    match content_length {
+        Some(n) => {
+            body.resize(n, 0);
+            reader.read_exact(&mut body)?;
+        }
+        None => {
+            reader.read_to_end(&mut body)?;
+        }
+    }
+    Ok(ClientResponse { status, body })
+}
+
+/// `GET path`.
+pub fn get(addr: &str, path: &str) -> io::Result<ClientResponse> {
+    request(addr, "GET", path, None)
+}
+
+/// `POST path` with a JSON body.
+pub fn post(addr: &str, path: &str, body: &str) -> io::Result<ClientResponse> {
+    request(addr, "POST", path, Some(body))
+}

@@ -1,0 +1,303 @@
+//! Minimal HTTP/1.1 on `std::net`: request parsing and response writing.
+//!
+//! Only what the JSON API needs — request line, headers, `Content-Length`
+//! bodies, `Connection: close` responses. Bodies are capped so a
+//! misbehaving client cannot exhaust memory; parse failures map to 400.
+
+use std::io::{self, BufRead, Write};
+
+/// Upper bound on an accepted request body (a config bundle for a large
+/// network is a few MB; 64 MiB leaves ample headroom).
+pub const MAX_BODY: usize = 64 << 20;
+/// Upper bound on a single header line.
+const MAX_HEADER_LINE: usize = 16 << 10;
+/// Upper bound on the number of header lines.
+const MAX_HEADERS: usize = 128;
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Uppercase method (`GET`, `POST`, …).
+    pub method: String,
+    /// Request path (query strings are not used by this API and are kept
+    /// attached verbatim).
+    pub path: String,
+    /// Headers with lowercased names, in order.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty without `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The first header named `name` (lowercase), if present.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A request-parse failure with the HTTP status it should map to.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpError {
+    /// Response status (400 for malformed input, 413 for oversized).
+    pub status: u16,
+    /// Human-readable cause, echoed in the error body.
+    pub message: String,
+}
+
+impl HttpError {
+    fn bad(message: impl Into<String>) -> HttpError {
+        HttpError {
+            status: 400,
+            message: message.into(),
+        }
+    }
+}
+
+/// Reads one CRLF- (or bare-LF-) terminated line, rejecting overlong ones.
+fn read_line(reader: &mut impl BufRead) -> io::Result<Result<String, HttpError>> {
+    let mut line = Vec::new();
+    let mut byte = [0u8; 1];
+    loop {
+        match reader.read(&mut byte)? {
+            0 => break,
+            _ => {
+                if byte[0] == b'\n' {
+                    break;
+                }
+                line.push(byte[0]);
+                if line.len() > MAX_HEADER_LINE {
+                    return Ok(Err(HttpError::bad("header line too long")));
+                }
+            }
+        }
+    }
+    if line.last() == Some(&b'\r') {
+        line.pop();
+    }
+    Ok(match String::from_utf8(line) {
+        Ok(s) => Ok(s),
+        Err(_) => Err(HttpError::bad("header line is not UTF-8")),
+    })
+}
+
+/// Reads and parses one request from `reader`. Returns:
+/// * `Ok(None)` — the peer closed the connection before sending anything;
+/// * `Ok(Some(Err(_)))` — a malformed request (send the error response);
+/// * `Ok(Some(Ok(req)))` — a complete request.
+pub fn read_request(
+    reader: &mut impl BufRead,
+) -> io::Result<Option<Result<Request, HttpError>>> {
+    let request_line = match read_line(reader)? {
+        Ok(line) => line,
+        Err(e) => return Ok(Some(Err(e))),
+    };
+    if request_line.is_empty() {
+        return Ok(None);
+    }
+    let mut parts = request_line.split_whitespace();
+    let (method, path, version) = match (parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(p), Some(v)) => (m.to_ascii_uppercase(), p.to_string(), v),
+        _ => return Ok(Some(Err(HttpError::bad("malformed request line")))),
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Ok(Some(Err(HttpError::bad("unsupported HTTP version"))));
+    }
+
+    let mut headers = Vec::new();
+    loop {
+        let line = match read_line(reader)? {
+            Ok(line) => line,
+            Err(e) => return Ok(Some(Err(e))),
+        };
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Ok(Some(Err(HttpError::bad("too many headers"))));
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Ok(Some(Err(HttpError::bad("malformed header"))));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+
+    let mut body = Vec::new();
+    let content_length = headers
+        .iter()
+        .find(|(n, _)| n == "content-length")
+        .map(|(_, v)| v.parse::<usize>());
+    match content_length {
+        None => {}
+        Some(Err(_)) => return Ok(Some(Err(HttpError::bad("bad content-length")))),
+        Some(Ok(n)) if n > MAX_BODY => {
+            return Ok(Some(Err(HttpError {
+                status: 413,
+                message: format!("body of {n} bytes exceeds the {MAX_BODY}-byte cap"),
+            })))
+        }
+        Some(Ok(n)) => {
+            body.resize(n, 0);
+            reader.read_exact(&mut body)?;
+        }
+    }
+
+    Ok(Some(Ok(Request {
+        method,
+        path,
+        headers,
+        body,
+    })))
+}
+
+/// An HTTP response to serialize.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response {
+    /// Status code.
+    pub status: u16,
+    /// `Content-Type` of the body.
+    pub content_type: &'static str,
+    /// Extra headers (e.g. `Retry-After`).
+    pub extra_headers: Vec<(&'static str, String)>,
+    /// Response body.
+    pub body: Vec<u8>,
+}
+
+impl Response {
+    /// A JSON response.
+    pub fn json(status: u16, body: impl Into<Vec<u8>>) -> Response {
+        Response {
+            status,
+            content_type: "application/json",
+            extra_headers: Vec::new(),
+            body: body.into(),
+        }
+    }
+
+    /// A plain-text response.
+    pub fn text(status: u16, body: impl Into<Vec<u8>>) -> Response {
+        Response {
+            status,
+            content_type: "text/plain; version=0.0.4; charset=utf-8",
+            extra_headers: Vec::new(),
+            body: body.into(),
+        }
+    }
+
+    /// A JSON error response with a `{"error": …}` body.
+    pub fn error(status: u16, message: &str) -> Response {
+        Response::json(
+            status,
+            format!("{{\"error\": {}}}\n", confmask_obs::json::escape(message)),
+        )
+    }
+
+    /// Adds a header.
+    pub fn with_header(mut self, name: &'static str, value: impl Into<String>) -> Response {
+        self.extra_headers.push((name, value.into()));
+        self
+    }
+
+    /// The standard reason phrase for the status codes this API uses.
+    pub fn reason(status: u16) -> &'static str {
+        match status {
+            200 => "OK",
+            202 => "Accepted",
+            400 => "Bad Request",
+            404 => "Not Found",
+            405 => "Method Not Allowed",
+            409 => "Conflict",
+            413 => "Payload Too Large",
+            429 => "Too Many Requests",
+            503 => "Service Unavailable",
+            _ => "Internal Server Error",
+        }
+    }
+
+    /// Serializes the response (always `Connection: close`).
+    pub fn write_to(&self, writer: &mut impl Write) -> io::Result<()> {
+        write!(
+            writer,
+            "HTTP/1.1 {} {}\r\nContent-Type: {}\r\nContent-Length: {}\r\nConnection: close\r\n",
+            self.status,
+            Response::reason(self.status),
+            self.content_type,
+            self.body.len()
+        )?;
+        for (name, value) in &self.extra_headers {
+            write!(writer, "{name}: {value}\r\n")?;
+        }
+        writer.write_all(b"\r\n")?;
+        writer.write_all(&self.body)?;
+        writer.flush()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    fn parse(raw: &str) -> Option<Result<Request, HttpError>> {
+        read_request(&mut BufReader::new(raw.as_bytes())).unwrap()
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let req = parse("POST /v1/jobs HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcd")
+            .unwrap()
+            .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/v1/jobs");
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.body, b"abcd");
+    }
+
+    #[test]
+    fn parses_a_get_without_body_and_bare_lf() {
+        let req = parse("GET /healthz HTTP/1.1\nHost: x\n\n").unwrap().unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.path, "/healthz");
+        assert!(req.body.is_empty());
+    }
+
+    #[test]
+    fn empty_connection_is_none() {
+        assert_eq!(parse(""), None);
+    }
+
+    #[test]
+    fn malformed_requests_are_bad_request() {
+        for raw in [
+            "GARBAGE\r\n\r\n",
+            "GET /x SPDY/3\r\n\r\n",
+            "GET /x HTTP/1.1\r\nno-colon-here\r\n\r\n",
+            "GET /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n",
+        ] {
+            let err = parse(raw).unwrap().unwrap_err();
+            assert_eq!(err.status, 400, "{raw:?}");
+        }
+    }
+
+    #[test]
+    fn oversized_body_is_413() {
+        let raw = format!("POST /v1/jobs HTTP/1.1\r\nContent-Length: {}\r\n\r\n", MAX_BODY + 1);
+        assert_eq!(parse(&raw).unwrap().unwrap_err().status, 413);
+    }
+
+    #[test]
+    fn response_serializes_with_headers() {
+        let mut out = Vec::new();
+        Response::json(429, "{}")
+            .with_header("Retry-After", "1")
+            .write_to(&mut out)
+            .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(text.contains("Retry-After: 1\r\n"));
+        assert!(text.contains("Content-Length: 2\r\n"));
+        assert!(text.ends_with("\r\n\r\n{}"));
+    }
+}

@@ -1,0 +1,215 @@
+//! # confmask-serve — anonymization as a service
+//!
+//! A long-running daemon turning the one-shot ConfMask pipeline into a
+//! shared service: an HTTP/1.1 JSON API over `std::net::TcpListener`
+//! (zero dependencies, consistent with the workspace's offline policy), a
+//! **bounded** MPMC job queue with 429 backpressure, and a fixed worker
+//! pool running [`confmask::run_job`] with the PR 1 self-healing retry
+//! budget and the PR 2 observability substrate.
+//!
+//! ## API
+//!
+//! | Route | Meaning |
+//! |---|---|
+//! | `POST /v1/jobs` | submit a config bundle + params → `202 {"id": "j1"}` |
+//! | `GET /v1/jobs/{id}` | job state machine: `queued → running → done \| degraded \| failed`, with the `DegradationReport` inlined |
+//! | `GET /v1/jobs/{id}/artifacts` | the anonymized configs as a multi-file JSON bundle |
+//! | `GET /metrics` | Prometheus text exposition of the metrics registry |
+//! | `GET /metrics-json` | the full JSON observability report |
+//! | `GET /healthz` | liveness + queue/worker/job snapshot |
+//! | `POST /v1/shutdown` | graceful: stop accepting, drain workers, exit |
+//!
+//! A full queue answers `429 Too Many Requests` with `Retry-After` —
+//! submission never blocks. Shutdown closes the queue: already-accepted
+//! jobs are drained (none lost, none double-executed — see the queue
+//! tests), then [`Server::run`] returns.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod http;
+pub mod queue;
+mod router;
+pub mod store;
+pub mod wire;
+mod worker;
+
+use crate::queue::Bounded;
+use crate::store::{JobCounts, JobStore};
+use crate::worker::QueuedJob;
+use std::io::{self, BufReader, BufWriter};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Daemon configuration (the `confmask serve` flags).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeOptions {
+    /// Bind address (`host:port`; port 0 picks an ephemeral port).
+    pub addr: String,
+    /// Worker threads; 0 means available parallelism.
+    pub workers: usize,
+    /// Queue capacity (`--queue-cap`); beyond it submissions get 429.
+    pub queue_cap: usize,
+    /// Per-stage deadline applied to jobs that did not request their own
+    /// (`--job-timeout-secs`).
+    pub job_timeout: Option<Duration>,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            addr: "127.0.0.1:7077".to_string(),
+            workers: 0,
+            queue_cap: 64,
+            job_timeout: None,
+        }
+    }
+}
+
+/// Shared server state: the queue, the store, and the shutdown switch.
+pub struct ServerState {
+    pub(crate) queue: Arc<Bounded<QueuedJob>>,
+    pub(crate) store: Arc<JobStore>,
+    pub(crate) shutdown: AtomicBool,
+    pub(crate) workers: usize,
+    addr: SocketAddr,
+}
+
+impl ServerState {
+    /// Wakes the accept loop (it blocks in `accept`) with a throwaway
+    /// local connection so it can observe the shutdown flag.
+    fn wake(&self) {
+        let _ = TcpStream::connect(self.addr);
+    }
+}
+
+/// The daemon: a bound listener plus its worker pool. Construct with
+/// [`Server::bind`], then [`Server::run`] until shutdown.
+pub struct Server {
+    listener: TcpListener,
+    state: Arc<ServerState>,
+    pool: worker::WorkerPool,
+}
+
+/// Registers every `serve.*` metric at zero so the metric set is stable
+/// regardless of traffic (the same convention the simulator uses for
+/// `sim.*`).
+fn register_metrics() {
+    confmask_obs::counter_add("serve.jobs_accepted", 0);
+    confmask_obs::counter_add("serve.jobs_rejected", 0);
+    confmask_obs::counter_add("serve.jobs_done", 0);
+    confmask_obs::counter_add("serve.jobs_failed", 0);
+    confmask_obs::gauge_set("serve.queue_depth", 0.0);
+    confmask_obs::histogram_register("serve.job_wall_secs");
+}
+
+impl Server {
+    /// Binds the listener, spawns the worker pool, and registers the
+    /// `serve.*` metrics. Enables global metrics collection — a daemon's
+    /// `/metrics` endpoint must be live from the first request.
+    pub fn bind(opts: &ServeOptions) -> io::Result<Server> {
+        confmask_obs::set_enabled(true);
+        register_metrics();
+        let listener = TcpListener::bind(&opts.addr)?;
+        let workers = if opts.workers == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2)
+        } else {
+            opts.workers
+        };
+        let queue = Arc::new(Bounded::new(opts.queue_cap));
+        let store = Arc::new(JobStore::new());
+        let pool = worker::spawn(
+            workers,
+            Arc::clone(&queue),
+            Arc::clone(&store),
+            opts.job_timeout,
+        );
+        let state = Arc::new(ServerState {
+            queue,
+            store,
+            shutdown: AtomicBool::new(false),
+            workers,
+            addr: listener.local_addr()?,
+        });
+        Ok(Server {
+            listener,
+            state,
+            pool,
+        })
+    }
+
+    /// The bound address (useful with port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.state.addr
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.state.workers
+    }
+
+    /// Serves until `POST /v1/shutdown`, then drains the worker pool and
+    /// returns the final per-state job counts. Connection handlers run on
+    /// short-lived threads; the job queue, not the connection count, is
+    /// the admission control.
+    pub fn run(self) -> io::Result<JobCounts> {
+        for stream in self.listener.incoming() {
+            if self.state.shutdown.load(Ordering::Acquire) {
+                break;
+            }
+            match stream {
+                Ok(stream) => {
+                    let state = Arc::clone(&self.state);
+                    let _ = std::thread::Builder::new()
+                        .name("confmask-http".to_string())
+                        .spawn(move || handle_connection(stream, &state));
+                }
+                Err(e) => {
+                    confmask_obs::warn!("serve", "accept failed: {e}");
+                }
+            }
+        }
+        // Drain: the queue is already closed by the shutdown handler
+        // (closing again is idempotent); workers finish what was accepted.
+        self.state.queue.close();
+        self.pool.join();
+        let counts = self.state.store.counts();
+        confmask_obs::info!(
+            "serve",
+            "drained: {} done, {} degraded, {} failed",
+            counts.done,
+            counts.degraded,
+            counts.failed
+        );
+        Ok(counts)
+    }
+}
+
+/// Handles one connection: read a request, route it, write the response.
+/// `Connection: close` keeps the protocol state machine trivial; clients
+/// poll with fresh connections.
+fn handle_connection(stream: TcpStream, state: &Arc<ServerState>) {
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(stream);
+    match http::read_request(&mut reader) {
+        Err(_) | Ok(None) => {}
+        Ok(Some(Err(e))) => {
+            let _ = http::Response::error(e.status, &e.message).write_to(&mut writer);
+        }
+        Ok(Some(Ok(req))) => {
+            let response = router::route(&req, state);
+            let _ = response.write_to(&mut writer);
+            if req.method == "POST" && req.path == "/v1/shutdown" {
+                state.wake();
+            }
+        }
+    }
+}

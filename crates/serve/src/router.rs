@@ -1,0 +1,153 @@
+//! Route dispatch: maps a parsed request onto the `/v1` JSON API.
+
+use crate::http::{Request, Response};
+use crate::queue::PushError;
+use crate::store::JobStore;
+use crate::wire;
+use crate::worker::QueuedJob;
+use crate::ServerState;
+use std::fmt::Write as _;
+use std::sync::atomic::Ordering;
+
+/// Dispatches one request. Every path returns a response; unknown paths
+/// are 404, known paths with the wrong method are 405.
+pub fn route(req: &Request, state: &ServerState) -> Response {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("POST", "/v1/jobs") => submit(req, state),
+        ("GET", "/healthz") => health(state),
+        ("GET", "/metrics") => Response::text(200, confmask_obs::report().to_prometheus()),
+        ("GET", "/metrics-json") => Response::json(200, confmask_obs::report().to_json()),
+        ("POST", "/v1/shutdown") => shutdown(state),
+        (method, path) if path.starts_with("/v1/jobs/") => {
+            let rest = &path["/v1/jobs/".len()..];
+            let (id_part, artifacts) = match rest.strip_suffix("/artifacts") {
+                Some(id) => (id, true),
+                None => (rest, false),
+            };
+            let Some(id) = JobStore::parse_wire_id(id_part) else {
+                return Response::error(404, &format!("no such job '{id_part}'"));
+            };
+            if method != "GET" {
+                return Response::error(405, "job resources are read-only");
+            }
+            if artifacts {
+                job_artifacts(id, state)
+            } else {
+                job_status(id, state)
+            }
+        }
+        (_, "/v1/jobs" | "/healthz" | "/metrics" | "/metrics-json" | "/v1/shutdown") => {
+            Response::error(405, "method not allowed")
+        }
+        (_, path) => Response::error(404, &format!("no such resource '{path}'")),
+    }
+}
+
+/// `POST /v1/jobs`: parse the bundle, create the record, enqueue. A full
+/// queue is backpressure (429 + `Retry-After`), a closed queue means
+/// shutdown is in progress (503).
+fn submit(req: &Request, state: &ServerState) -> Response {
+    if state.shutdown.load(Ordering::Acquire) {
+        return Response::error(503, "shutting down");
+    }
+    let sub = match wire::decode_submit(&req.body) {
+        Ok(sub) => sub,
+        Err(message) => return Response::error(400, &message),
+    };
+    let id = state.store.create();
+    let job = QueuedJob {
+        id,
+        configs: sub.configs,
+        params: sub.params,
+    };
+    match state.queue.push(job) {
+        Ok(depth) => {
+            confmask_obs::counter_add("serve.jobs_accepted", 1);
+            confmask_obs::gauge_set("serve.queue_depth", depth as f64);
+            let wire_id = format!("j{id}");
+            confmask_obs::info!("serve", "accepted job {wire_id} (queue depth {depth})");
+            Response::json(202, wire::encode_job_created(&wire_id))
+        }
+        Err(PushError::Full(_)) => {
+            state.store.remove(id);
+            confmask_obs::counter_add("serve.jobs_rejected", 1);
+            Response::error(
+                429,
+                &format!("queue full (capacity {})", state.queue.capacity()),
+            )
+            .with_header("Retry-After", "1")
+        }
+        Err(PushError::Closed(_)) => {
+            state.store.remove(id);
+            confmask_obs::counter_add("serve.jobs_rejected", 1);
+            Response::error(503, "shutting down")
+        }
+    }
+}
+
+/// `GET /v1/jobs/{id}`.
+fn job_status(id: u64, state: &ServerState) -> Response {
+    match state.store.get(id) {
+        Some(record) => Response::json(200, wire::encode_status(&record)),
+        None => Response::error(404, &format!("no such job 'j{id}'")),
+    }
+}
+
+/// `GET /v1/jobs/{id}/artifacts`: 409 until the job finishes successfully.
+fn job_artifacts(id: u64, state: &ServerState) -> Response {
+    let Some(record) = state.store.get(id) else {
+        return Response::error(404, &format!("no such job 'j{id}'"));
+    };
+    match &record.outcome {
+        Some(outcome) if record.state.has_artifacts() => Response::json(
+            200,
+            wire::encode_artifacts(&record.wire_id(), &outcome.artifacts),
+        ),
+        _ => Response::error(
+            409,
+            &format!(
+                "job 'j{id}' is {}; artifacts exist only for done/degraded jobs",
+                record.state.name()
+            ),
+        ),
+    }
+}
+
+/// `GET /healthz`: liveness plus a queue/worker/job snapshot.
+fn health(state: &ServerState) -> Response {
+    let counts = state.store.counts();
+    let mut body = String::from("{");
+    let _ = write!(
+        body,
+        "\"status\": {}, \"workers\": {}, \"queue_depth\": {}, \"queue_capacity\": {}, ",
+        if state.shutdown.load(Ordering::Acquire) {
+            "\"draining\""
+        } else {
+            "\"ok\""
+        },
+        state.workers,
+        state.queue.len(),
+        state.queue.capacity()
+    );
+    let _ = writeln!(
+        body,
+        "\"jobs\": {{\"queued\": {}, \"running\": {}, \"done\": {}, \"degraded\": {}, \"failed\": {}}}}}",
+        counts.queued, counts.running, counts.done, counts.degraded, counts.failed
+    );
+    Response::json(200, body)
+}
+
+/// `POST /v1/shutdown`: stop accepting, let workers drain. The accept
+/// loop is woken by the connection handler after the response is written.
+fn shutdown(state: &ServerState) -> Response {
+    let first = !state.shutdown.swap(true, Ordering::AcqRel);
+    state.queue.close();
+    if first {
+        confmask_obs::info!(
+            "serve",
+            "shutdown requested: draining {} queued job(s)",
+            state.queue.len()
+        );
+    }
+    Response::json(202, "{\"state\": \"draining\"}\n")
+}

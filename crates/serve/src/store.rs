@@ -1,0 +1,264 @@
+//! The in-memory job store: every submitted job's state machine and, for
+//! finished jobs, its outcome.
+//!
+//! State machine: `queued → running → done | degraded | failed`.
+//! `degraded` is a successful outcome whose pipeline needed self-healing
+//! (at least one retried attempt) — callers get artifacts either way, but
+//! the distinction is surfaced so clients can audit healed runs.
+
+use confmask::JobOutcome;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Where a job is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Accepted and waiting in the queue.
+    Queued,
+    /// A worker is executing the pipeline.
+    Running,
+    /// Finished successfully on the first attempt.
+    Done,
+    /// Finished successfully, but self-healing retried at least once.
+    Degraded,
+    /// The pipeline failed (fatal error or retries exhausted).
+    Failed,
+}
+
+impl JobState {
+    /// Lowercase wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Running => "running",
+            JobState::Done => "done",
+            JobState::Degraded => "degraded",
+            JobState::Failed => "failed",
+        }
+    }
+
+    /// Whether the job has reached a final state.
+    pub fn is_terminal(self) -> bool {
+        matches!(self, JobState::Done | JobState::Degraded | JobState::Failed)
+    }
+
+    /// Whether artifacts exist for this state.
+    pub fn has_artifacts(self) -> bool {
+        matches!(self, JobState::Done | JobState::Degraded)
+    }
+}
+
+/// One job's record. Snapshots of this are what the status endpoint
+/// serializes.
+#[derive(Debug, Clone)]
+pub struct JobRecord {
+    /// Numeric id (wire format `j<n>`).
+    pub id: u64,
+    /// Current state.
+    pub state: JobState,
+    /// How long the job waited in the queue (set when a worker picks it
+    /// up).
+    pub queue_wait: Option<Duration>,
+    /// Pipeline wall-clock time (set on completion).
+    pub wall: Option<Duration>,
+    /// The failure message, for `failed` jobs.
+    pub error: Option<String>,
+    /// The outcome (artifacts + summary + degradation), for successful
+    /// jobs.
+    pub outcome: Option<JobOutcome>,
+    /// When the job was submitted (used to compute `queue_wait`).
+    submitted: Instant,
+    /// When a worker started it (used to compute `wall`).
+    started: Option<Instant>,
+}
+
+impl JobRecord {
+    /// The wire id (`j<n>`).
+    pub fn wire_id(&self) -> String {
+        format!("j{}", self.id)
+    }
+
+    /// Number of pipeline attempts made (0 while not finished).
+    pub fn attempts(&self) -> usize {
+        self.outcome
+            .as_ref()
+            .map(|o| o.degradation.attempts.len())
+            .unwrap_or(0)
+    }
+}
+
+/// Counts of jobs per state, for `/healthz`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JobCounts {
+    /// Jobs waiting in the queue.
+    pub queued: usize,
+    /// Jobs being executed.
+    pub running: usize,
+    /// Jobs finished clean.
+    pub done: usize,
+    /// Jobs finished after self-healing.
+    pub degraded: usize,
+    /// Jobs that failed.
+    pub failed: usize,
+}
+
+/// The store: a monotonic id allocator plus a map of records.
+#[derive(Default)]
+pub struct JobStore {
+    next_id: AtomicU64,
+    jobs: Mutex<BTreeMap<u64, JobRecord>>,
+}
+
+impl JobStore {
+    /// An empty store (ids start at 1).
+    pub fn new() -> JobStore {
+        JobStore {
+            next_id: AtomicU64::new(1),
+            jobs: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// Parses a wire id (`j<n>`) back to the numeric id.
+    pub fn parse_wire_id(id: &str) -> Option<u64> {
+        id.strip_prefix('j')?.parse().ok()
+    }
+
+    /// Creates a `queued` record and returns its id.
+    pub fn create(&self) -> u64 {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let record = JobRecord {
+            id,
+            state: JobState::Queued,
+            queue_wait: None,
+            wall: None,
+            error: None,
+            outcome: None,
+            submitted: Instant::now(),
+            started: None,
+        };
+        self.jobs.lock().expect("job store poisoned").insert(id, record);
+        id
+    }
+
+    /// Removes a record (used when the queue refused the job after the
+    /// record was created).
+    pub fn remove(&self, id: u64) {
+        self.jobs.lock().expect("job store poisoned").remove(&id);
+    }
+
+    /// Marks a job `running` (a worker picked it up).
+    pub fn mark_running(&self, id: u64) {
+        let mut jobs = self.jobs.lock().expect("job store poisoned");
+        if let Some(r) = jobs.get_mut(&id) {
+            let now = Instant::now();
+            r.state = JobState::Running;
+            r.queue_wait = Some(now.duration_since(r.submitted));
+            r.started = Some(now);
+        }
+    }
+
+    /// Records a finished job: `done`/`degraded` on success (depending on
+    /// whether self-healing kicked in), `failed` with the message on error.
+    pub fn finish(&self, id: u64, result: Result<JobOutcome, String>) {
+        let mut jobs = self.jobs.lock().expect("job store poisoned");
+        if let Some(r) = jobs.get_mut(&id) {
+            r.wall = r.started.map(|s| s.elapsed());
+            match result {
+                Ok(outcome) => {
+                    r.state = if outcome.degradation.healed() {
+                        JobState::Degraded
+                    } else {
+                        JobState::Done
+                    };
+                    r.outcome = Some(outcome);
+                }
+                Err(message) => {
+                    r.state = JobState::Failed;
+                    r.error = Some(message);
+                }
+            }
+        }
+    }
+
+    /// A snapshot of one record.
+    pub fn get(&self, id: u64) -> Option<JobRecord> {
+        self.jobs.lock().expect("job store poisoned").get(&id).cloned()
+    }
+
+    /// Per-state job counts.
+    pub fn counts(&self) -> JobCounts {
+        let jobs = self.jobs.lock().expect("job store poisoned");
+        let mut c = JobCounts::default();
+        for r in jobs.values() {
+            match r.state {
+                JobState::Queued => c.queued += 1,
+                JobState::Running => c.running += 1,
+                JobState::Done => c.done += 1,
+                JobState::Degraded => c.degraded += 1,
+                JobState::Failed => c.failed += 1,
+            }
+        }
+        c
+    }
+
+    /// Whether every job in the store is terminal (nothing queued or
+    /// running) — the drain condition for graceful shutdown.
+    pub fn all_terminal(&self) -> bool {
+        let c = self.counts();
+        c.queued == 0 && c.running == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle_clean_run() {
+        let store = JobStore::new();
+        let id = store.create();
+        assert_eq!(store.get(id).unwrap().state, JobState::Queued);
+        store.mark_running(id);
+        let r = store.get(id).unwrap();
+        assert_eq!(r.state, JobState::Running);
+        assert!(r.queue_wait.is_some());
+        store.finish(id, Err("boom".into()));
+        let r = store.get(id).unwrap();
+        assert_eq!(r.state, JobState::Failed);
+        assert_eq!(r.error.as_deref(), Some("boom"));
+        assert!(r.wall.is_some());
+        assert!(store.all_terminal());
+    }
+
+    #[test]
+    fn wire_ids_round_trip() {
+        let store = JobStore::new();
+        let id = store.create();
+        let wire = store.get(id).unwrap().wire_id();
+        assert_eq!(JobStore::parse_wire_id(&wire), Some(id));
+        assert_eq!(JobStore::parse_wire_id("nope"), None);
+        assert_eq!(JobStore::parse_wire_id("j"), None);
+    }
+
+    #[test]
+    fn counts_and_remove() {
+        let store = JobStore::new();
+        let a = store.create();
+        let b = store.create();
+        store.mark_running(b);
+        assert_eq!(
+            store.counts(),
+            JobCounts {
+                queued: 1,
+                running: 1,
+                ..JobCounts::default()
+            }
+        );
+        assert!(!store.all_terminal());
+        store.remove(a);
+        store.finish(b, Err("x".into()));
+        assert!(store.all_terminal());
+    }
+}

@@ -1,0 +1,462 @@
+//! JSON wire types of the `/v1` API.
+//!
+//! A config bundle travels as a "tar-less" multi-file JSON object — file
+//! text keyed by hostname — so the API needs no multipart or archive
+//! support. Encoders and decoders live together here and are exercised
+//! round-trip by the unit tests; the client (`confmask submit`) uses the
+//! same functions as the server.
+
+use crate::store::JobRecord;
+use confmask::{ArtifactFile, EquivalenceMode, Params};
+use confmask_config::{parse_host, parse_router, NetworkConfigs};
+use confmask_obs::json::{escape, parse, Json};
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// Job-submission payload: the parsed bundle plus pipeline parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Submission {
+    /// The network to anonymize.
+    pub configs: NetworkConfigs,
+    /// Pipeline parameters (defaults for everything the client omitted).
+    pub params: Params,
+}
+
+fn mode_name(mode: EquivalenceMode) -> &'static str {
+    match mode {
+        EquivalenceMode::ConfMask => "confmask",
+        EquivalenceMode::Strawman1 => "strawman1",
+        EquivalenceMode::Strawman2 => "strawman2",
+    }
+}
+
+fn mode_from_name(name: &str) -> Option<EquivalenceMode> {
+    match name {
+        "confmask" => Some(EquivalenceMode::ConfMask),
+        "strawman1" => Some(EquivalenceMode::Strawman1),
+        "strawman2" => Some(EquivalenceMode::Strawman2),
+        _ => None,
+    }
+}
+
+/// Encodes a submission request body (client side).
+pub fn encode_submit(configs: &NetworkConfigs, params: &Params) -> String {
+    let mut out = String::from("{\n  \"params\": {");
+    let _ = write!(
+        out,
+        "\"k_r\": {}, \"k_h\": {}, \"noise_p\": {}, \"seed\": {}, \"mode\": {}, \
+         \"fake_routers\": {}, \"max_retries\": {}, \"stage_deadline_secs\": {}",
+        params.k_r,
+        params.k_h,
+        params.noise_p,
+        params.seed,
+        escape(mode_name(params.mode)),
+        params.fake_routers,
+        params.max_retries,
+        params
+            .stage_deadline
+            .map(|d| d.as_secs().to_string())
+            .unwrap_or_else(|| "null".into()),
+    );
+    out.push_str("},\n  \"routers\": {");
+    for (i, (name, rc)) in configs.routers.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\n    {}: {}", escape(name), escape(&rc.emit()));
+    }
+    out.push_str("\n  },\n  \"hosts\": {");
+    for (i, (name, hc)) in configs.hosts.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\n    {}: {}", escape(name), escape(&hc.emit()));
+    }
+    out.push_str("\n  }\n}\n");
+    out
+}
+
+/// Reads `Params` overrides from the optional `params` object.
+fn decode_params(doc: &Json) -> Result<Params, String> {
+    let mut params = Params::default();
+    let Some(obj) = doc.get("params") else {
+        return Ok(params);
+    };
+    let obj = obj
+        .as_obj()
+        .ok_or_else(|| "params must be an object".to_string())?;
+    for (key, value) in obj {
+        let int = |v: &Json| v.as_u64().map(|n| n as usize);
+        match key.as_str() {
+            "k_r" => params.k_r = int(value).ok_or("k_r expects an integer")?,
+            "k_h" => params.k_h = int(value).ok_or("k_h expects an integer")?,
+            "noise_p" => params.noise_p = value.as_f64().ok_or("noise_p expects a number")?,
+            "seed" => params.seed = value.as_u64().ok_or("seed expects an integer")?,
+            "fake_routers" => {
+                params.fake_routers = int(value).ok_or("fake_routers expects an integer")?
+            }
+            "max_retries" => {
+                params.max_retries = int(value).ok_or("max_retries expects an integer")?
+            }
+            "stage_deadline_secs" => {
+                params.stage_deadline = match value {
+                    Json::Null => None,
+                    v => Some(Duration::from_secs(
+                        v.as_u64().ok_or("stage_deadline_secs expects an integer")?,
+                    )),
+                }
+            }
+            "mode" => {
+                let name = value.as_str().ok_or("mode expects a string")?;
+                params.mode =
+                    mode_from_name(name).ok_or_else(|| format!("unknown mode '{name}'"))?;
+            }
+            other => return Err(format!("unknown params field '{other}'")),
+        }
+    }
+    Ok(params)
+}
+
+/// Decodes and **parses** a submission: every config file in the bundle
+/// must be a valid router/host config, so malformed bundles are rejected
+/// at submit time (HTTP 400) rather than failing later in a worker.
+pub fn decode_submit(body: &[u8]) -> Result<Submission, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+    let doc = parse(text).map_err(|e| e.to_string())?;
+    let params = decode_params(&doc)?;
+
+    let mut routers = Vec::new();
+    let router_obj = doc
+        .get("routers")
+        .and_then(Json::as_obj)
+        .ok_or_else(|| "missing 'routers' object".to_string())?;
+    for (name, text) in router_obj {
+        let text = text
+            .as_str()
+            .ok_or_else(|| format!("router '{name}' must map to config text"))?;
+        routers.push(parse_router(text).map_err(|e| format!("router '{name}': {e}"))?);
+    }
+    if routers.is_empty() {
+        return Err("bundle has no routers".to_string());
+    }
+
+    let mut hosts = Vec::new();
+    if let Some(host_obj) = doc.get("hosts").and_then(Json::as_obj) {
+        for (name, text) in host_obj {
+            let text = text
+                .as_str()
+                .ok_or_else(|| format!("host '{name}' must map to config text"))?;
+            hosts.push(parse_host(text).map_err(|e| format!("host '{name}': {e}"))?);
+        }
+    }
+
+    Ok(Submission {
+        configs: NetworkConfigs::new(routers, hosts),
+        params,
+    })
+}
+
+/// The submit response: `{"id": "j1", "state": "queued"}`.
+pub fn encode_job_created(wire_id: &str) -> String {
+    format!("{{\"id\": {}, \"state\": \"queued\"}}\n", escape(wire_id))
+}
+
+/// Extracts the job id from a submit response (client side).
+pub fn decode_job_created(body: &[u8]) -> Result<String, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "response is not UTF-8".to_string())?;
+    let doc = parse(text).map_err(|e| e.to_string())?;
+    doc.get("id")
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| "response has no job id".to_string())
+}
+
+fn millis(d: Option<Duration>) -> String {
+    d.map(|d| (d.as_millis() as u64).to_string()).unwrap_or_else(|| "null".into())
+}
+
+/// Serializes a job record for `GET /v1/jobs/{id}` — state machine fields,
+/// the summary when finished, and the full self-healing
+/// `DegradationReport` inlined (seeds as hex strings: they exceed 2^53 and
+/// would be lossy as JSON numbers).
+pub fn encode_status(record: &JobRecord) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"id\": {},", escape(&record.wire_id()));
+    let _ = writeln!(out, "  \"state\": {},", escape(record.state.name()));
+    let _ = writeln!(out, "  \"queue_wait_ms\": {},", millis(record.queue_wait));
+    let _ = writeln!(out, "  \"wall_ms\": {},", millis(record.wall));
+    let _ = writeln!(
+        out,
+        "  \"error\": {},",
+        record
+            .error
+            .as_deref()
+            .map(escape)
+            .unwrap_or_else(|| "null".into())
+    );
+    match &record.outcome {
+        None => {
+            out.push_str("  \"summary\": null,\n  \"degradation\": null\n}\n");
+        }
+        Some(o) => {
+            let s = &o.summary;
+            let _ = writeln!(
+                out,
+                "  \"summary\": {{\"routers\": {}, \"hosts\": {}, \"fake_links\": {}, \
+                 \"fake_hosts\": {}, \"fake_routers\": {}, \"config_utility\": {:.6}, \
+                 \"route_anonymity_avg\": {:.6}, \"functionally_equivalent\": {}}},",
+                s.routers,
+                s.hosts,
+                s.fake_links,
+                s.fake_hosts,
+                s.fake_routers,
+                s.config_utility,
+                s.route_anonymity_avg,
+                s.functionally_equivalent
+            );
+            let _ = writeln!(
+                out,
+                "  \"degradation\": {{\"healed\": {}, \"failures\": {}, \"attempts\": [",
+                o.degradation.healed(),
+                o.degradation.failures()
+            );
+            for (i, a) in o.degradation.attempts.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                let _ = write!(
+                    out,
+                    "    {{\"attempt\": {}, \"seed\": {}, \"budget_boost\": {}, \
+                     \"duration_us\": {}, \"retryable\": {}, \"error\": {}, \"stages\": [",
+                    a.attempt,
+                    escape(&format!("{:#018x}", a.seed)),
+                    a.budget_boost,
+                    a.duration.as_micros(),
+                    a.retryable,
+                    a.error.as_deref().map(escape).unwrap_or_else(|| "null".into())
+                );
+                for (j, s) in a.stages.iter().enumerate() {
+                    if j > 0 {
+                        out.push_str(", ");
+                    }
+                    let _ = write!(
+                        out,
+                        "{{\"stage\": {}, \"duration_us\": {}}}",
+                        escape(s.stage),
+                        s.duration.as_micros()
+                    );
+                }
+                out.push_str("]}");
+            }
+            out.push_str("\n  ]}\n}\n");
+        }
+    }
+    out
+}
+
+/// The client-side view of a status response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobStatus {
+    /// Wire id (`j<n>`).
+    pub id: String,
+    /// State name (`queued`, `running`, `done`, `degraded`, `failed`).
+    pub state: String,
+    /// Failure message for `failed` jobs.
+    pub error: Option<String>,
+    /// Whether self-healing retried (only meaningful when finished).
+    pub healed: bool,
+    /// Pipeline attempts made.
+    pub attempts: usize,
+    /// Pipeline wall-clock milliseconds, when finished.
+    pub wall_ms: Option<u64>,
+}
+
+impl JobStatus {
+    /// Whether the state is final.
+    pub fn is_terminal(&self) -> bool {
+        matches!(self.state.as_str(), "done" | "degraded" | "failed")
+    }
+}
+
+/// Parses a status response (client side).
+pub fn decode_status(body: &[u8]) -> Result<JobStatus, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "response is not UTF-8".to_string())?;
+    let doc = parse(text).map_err(|e| e.to_string())?;
+    let degradation = doc.get("degradation");
+    Ok(JobStatus {
+        id: doc
+            .get("id")
+            .and_then(Json::as_str)
+            .ok_or_else(|| "status has no id".to_string())?
+            .to_string(),
+        state: doc
+            .get("state")
+            .and_then(Json::as_str)
+            .ok_or_else(|| "status has no state".to_string())?
+            .to_string(),
+        error: doc
+            .get("error")
+            .and_then(Json::as_str)
+            .map(str::to_string),
+        healed: degradation
+            .and_then(|d| d.get("healed"))
+            .map(|v| v == &Json::Bool(true))
+            .unwrap_or(false),
+        attempts: degradation
+            .and_then(|d| d.get("attempts"))
+            .and_then(Json::as_arr)
+            .map(<[Json]>::len)
+            .unwrap_or(0),
+        wall_ms: doc.get("wall_ms").and_then(Json::as_u64),
+    })
+}
+
+/// Serializes the artifacts bundle for `GET /v1/jobs/{id}/artifacts`.
+pub fn encode_artifacts(wire_id: &str, files: &[ArtifactFile]) -> String {
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"id\": {},", escape(wire_id));
+    out.push_str("  \"files\": {");
+    for (i, f) in files.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "\n    {}: {}", escape(&f.path), escape(&f.text));
+    }
+    if !files.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("}\n}\n");
+    out
+}
+
+/// Parses an artifacts bundle (client side), sorted by path.
+pub fn decode_artifacts(body: &[u8]) -> Result<Vec<ArtifactFile>, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "response is not UTF-8".to_string())?;
+    let doc = parse(text).map_err(|e| e.to_string())?;
+    let files = doc
+        .get("files")
+        .and_then(Json::as_obj)
+        .ok_or_else(|| "response has no files".to_string())?;
+    files
+        .iter()
+        .map(|(path, text)| {
+            Ok(ArtifactFile {
+                path: path.clone(),
+                text: text
+                    .as_str()
+                    .ok_or_else(|| format!("file '{path}' must map to text"))?
+                    .to_string(),
+            })
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use confmask::run_job;
+    use confmask_netgen::smallnets::example_network;
+
+    #[test]
+    fn submit_round_trips_configs_and_params() {
+        let net = example_network();
+        let params = Params::new(4, 3)
+            .with_seed(99)
+            .with_mode(EquivalenceMode::Strawman1)
+            .with_stage_deadline(Duration::from_secs(30));
+        let body = encode_submit(&net, &params);
+        let sub = decode_submit(body.as_bytes()).unwrap();
+        assert_eq!(sub.configs, net);
+        assert_eq!(sub.params, params);
+    }
+
+    #[test]
+    fn submit_defaults_params_when_omitted() {
+        let body = r#"{"routers": {"r": "hostname r\n"}}"#;
+        let sub = decode_submit(body.as_bytes()).unwrap();
+        assert_eq!(sub.params, Params::default());
+        assert_eq!(sub.configs.routers.len(), 1);
+    }
+
+    #[test]
+    fn submit_rejects_bad_bundles() {
+        for (body, want) in [
+            (&b"not json"[..], "invalid JSON"),
+            (b"{}", "missing 'routers'"),
+            (br#"{"routers": {}}"#, "no routers"),
+            (br#"{"routers": {"r": 5}}"#, "config text"),
+            (
+                br#"{"routers": {"r": "hostname r\n"}, "params": {"mode": "nope"}}"#,
+                "unknown mode",
+            ),
+            (
+                br#"{"routers": {"r": "hostname r\n"}, "params": {"frob": 1}}"#,
+                "unknown params field",
+            ),
+        ] {
+            let err = decode_submit(body).unwrap_err();
+            assert!(err.contains(want), "{err} should mention {want}");
+        }
+    }
+
+    #[test]
+    fn job_created_round_trips() {
+        let body = encode_job_created("j7");
+        assert_eq!(decode_job_created(body.as_bytes()).unwrap(), "j7");
+    }
+
+    #[test]
+    fn status_of_a_finished_job_round_trips() {
+        let net = example_network();
+        let outcome = run_job(&net, &Params::new(3, 2)).unwrap();
+        let store = crate::store::JobStore::new();
+        let id = store.create();
+        store.mark_running(id);
+        store.finish(id, Ok(outcome));
+        let record = store.get(id).unwrap();
+        let body = encode_status(&record);
+        let status = decode_status(body.as_bytes()).unwrap();
+        assert_eq!(status.id, record.wire_id());
+        assert_eq!(status.state, "done");
+        assert!(status.is_terminal());
+        assert!(!status.healed);
+        assert_eq!(status.attempts, 1);
+        assert!(status.error.is_none());
+        assert!(status.wall_ms.is_some());
+        // The degradation report is inlined with per-stage samples.
+        assert!(body.contains("\"stage\": \"preprocess\""));
+        assert!(body.contains("\"stage\": \"verify\""));
+    }
+
+    #[test]
+    fn status_of_a_queued_job_has_null_outcome() {
+        let store = crate::store::JobStore::new();
+        let id = store.create();
+        let body = encode_status(&store.get(id).unwrap());
+        let status = decode_status(body.as_bytes()).unwrap();
+        assert_eq!(status.state, "queued");
+        assert!(!status.is_terminal());
+        assert_eq!(status.attempts, 0);
+        assert!(body.contains("\"summary\": null"));
+    }
+
+    #[test]
+    fn artifacts_round_trip() {
+        let files = vec![
+            ArtifactFile {
+                path: "routers/r1.cfg".into(),
+                text: "hostname r1\n!\n".into(),
+            },
+            ArtifactFile {
+                path: "hosts/h1.cfg".into(),
+                text: "hostname h1\n".into(),
+            },
+        ];
+        let body = encode_artifacts("j3", &files);
+        let back = decode_artifacts(body.as_bytes()).unwrap();
+        // JSON objects decode in sorted key order.
+        let mut expected = files;
+        expected.sort_by(|a, b| a.path.cmp(&b.path));
+        assert_eq!(back, expected);
+    }
+}

@@ -1,0 +1,162 @@
+//! The fixed worker pool: N threads popping jobs off the bounded queue and
+//! running the self-healing anonymization pipeline.
+//!
+//! Per-job isolation rides the pipeline's existing thread-local span
+//! capture: each attempt's `pipeline.stage.*` spans are captured on the
+//! worker thread that ran it, so concurrent jobs never interleave their
+//! stage samples (guarded by a regression test in `tests/`). A panicking
+//! job is caught, recorded as `failed`, and the worker keeps serving.
+
+use crate::queue::Bounded;
+use crate::store::JobStore;
+use confmask::{run_job, NetworkConfigs, Params};
+use std::panic::AssertUnwindSafe;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// One accepted job as it sits in the queue.
+#[derive(Debug)]
+pub struct QueuedJob {
+    /// Store id of the job.
+    pub id: u64,
+    /// The network to anonymize.
+    pub configs: NetworkConfigs,
+    /// Pipeline parameters (already defaulted by the wire decoder).
+    pub params: Params,
+}
+
+/// Handles of the spawned workers; join to wait for drain.
+pub struct WorkerPool {
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl WorkerPool {
+    /// Waits for every worker to exit (they do once the queue is closed
+    /// and drained).
+    pub fn join(self) {
+        for h in self.handles {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Spawns `workers` threads serving `queue` into `store`. `job_timeout`
+/// becomes the per-stage deadline of jobs that did not request their own
+/// (stage granularity is the finest preemption point the pipeline has).
+pub fn spawn(
+    workers: usize,
+    queue: Arc<Bounded<QueuedJob>>,
+    store: Arc<JobStore>,
+    job_timeout: Option<Duration>,
+) -> WorkerPool {
+    let handles = (0..workers.max(1))
+        .map(|i| {
+            let queue = Arc::clone(&queue);
+            let store = Arc::clone(&store);
+            std::thread::Builder::new()
+                .name(format!("confmask-worker-{i}"))
+                .spawn(move || worker_loop(&queue, &store, job_timeout))
+                .expect("spawn worker thread")
+        })
+        .collect();
+    WorkerPool { handles }
+}
+
+fn worker_loop(queue: &Bounded<QueuedJob>, store: &JobStore, job_timeout: Option<Duration>) {
+    while let Some(job) = queue.pop() {
+        confmask_obs::gauge_set("serve.queue_depth", queue.len() as f64);
+        store.mark_running(job.id);
+        let mut params = job.params;
+        if params.stage_deadline.is_none() {
+            params.stage_deadline = job_timeout;
+        }
+        let started = Instant::now();
+        let span = confmask_obs::span("serve.job");
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            run_job(&job.configs, &params)
+        }));
+        span.finish();
+        let wall = started.elapsed();
+        let outcome = match result {
+            Ok(Ok(outcome)) => {
+                confmask_obs::counter_add("serve.jobs_done", 1);
+                confmask_obs::observe("serve.job_wall_secs", wall.as_secs());
+                Ok(outcome)
+            }
+            Ok(Err(e)) => {
+                confmask_obs::counter_add("serve.jobs_failed", 1);
+                confmask_obs::warn!("serve.worker", "job j{} failed: {e}", job.id);
+                Err(e.to_string())
+            }
+            Err(panic) => {
+                confmask_obs::counter_add("serve.jobs_failed", 1);
+                let message = panic
+                    .downcast_ref::<&str>()
+                    .map(|s| s.to_string())
+                    .or_else(|| panic.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "unknown panic".to_string());
+                confmask_obs::error!("serve.worker", "job j{} panicked: {message}", job.id);
+                Err(format!("worker panicked: {message}"))
+            }
+        };
+        store.finish(job.id, outcome);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use confmask_netgen::smallnets::example_network;
+
+    #[test]
+    fn workers_drain_the_queue_and_record_outcomes() {
+        let queue = Arc::new(Bounded::new(8));
+        let store = Arc::new(JobStore::new());
+        let net = example_network();
+        let ids: Vec<u64> = (0..3)
+            .map(|i| {
+                let id = store.create();
+                queue
+                    .push(QueuedJob {
+                        id,
+                        configs: net.clone(),
+                        params: Params::new(3, 2).with_seed(i),
+                    })
+                    .unwrap();
+                id
+            })
+            .collect();
+        let pool = spawn(2, Arc::clone(&queue), Arc::clone(&store), None);
+        queue.close();
+        pool.join();
+        for id in ids {
+            let r = store.get(id).unwrap();
+            assert!(r.state.has_artifacts(), "job {id}: {:?}", r.state);
+            assert!(r.outcome.is_some());
+            assert!(r.wall.is_some());
+        }
+        assert!(store.all_terminal());
+    }
+
+    #[test]
+    fn a_failing_job_is_recorded_not_propagated() {
+        let queue = Arc::new(Bounded::new(2));
+        let store = Arc::new(JobStore::new());
+        // The bad gadget has no BGP equilibrium: the pipeline fails fatally.
+        let id = store.create();
+        queue
+            .push(QueuedJob {
+                id,
+                configs: confmask_netgen::smallnets::bad_gadget(),
+                params: Params::new(3, 2),
+            })
+            .unwrap();
+        let pool = spawn(1, Arc::clone(&queue), Arc::clone(&store), None);
+        queue.close();
+        pool.join();
+        let r = store.get(id).unwrap();
+        assert_eq!(r.state, crate::store::JobState::Failed);
+        assert!(r.error.is_some());
+    }
+}

@@ -1,0 +1,64 @@
+//! Regression test for the serve worker pool's foundation: per-attempt
+//! stage samples come from thread-local span capture, so pipelines running
+//! concurrently on different threads must never interleave their samples.
+//! If capture ever became process-global, a job's `DegradationReport`
+//! would show stages that belong to a neighbouring worker's job.
+
+use confmask::{anonymize, Params};
+use confmask_netgen::smallnets::example_network;
+
+const STAGES: [&str; 6] =
+    ["preprocess", "scale", "topology", "route_equiv", "route_anon", "verify"];
+
+#[test]
+fn concurrent_pipelines_keep_their_stage_samples_separate() {
+    // Global collection on, exactly as the daemon runs: every worker's
+    // spans land in the shared collector, but each attempt's *samples*
+    // must still be captured per-thread.
+    confmask_obs::reset();
+    confmask_obs::set_enabled(true);
+
+    let net = example_network();
+    let handles: Vec<_> = (0..4u64)
+        .map(|i| {
+            let net = net.clone();
+            std::thread::Builder::new()
+                .name(format!("pipeline-{i}"))
+                .spawn(move || anonymize(&net, &Params::new(3, 2).with_seed(40 + i)).unwrap())
+                .unwrap()
+        })
+        .collect();
+    let results: Vec<_> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+    confmask_obs::set_enabled(false);
+
+    for (i, result) in results.iter().enumerate() {
+        assert!(!result.degradation.attempts.is_empty());
+        for record in &result.degradation.attempts {
+            let names: Vec<&str> = record.stages.iter().map(|s| s.stage).collect();
+            // Interleaving would show up as duplicated or out-of-order
+            // stages (another thread's samples spliced in).
+            assert_eq!(
+                names, STAGES,
+                "run {i} attempt {}: exactly the six stages, in order",
+                record.attempt
+            );
+            // Samples are consistent with the attempt they belong to: no
+            // stage can outlast the whole attempt.
+            for s in &record.stages {
+                assert!(
+                    s.duration <= record.duration,
+                    "run {i}: stage {} ({:?}) exceeds its attempt ({:?})",
+                    s.stage,
+                    s.duration,
+                    record.duration
+                );
+            }
+        }
+    }
+
+    // All four runs used the same network with different seeds; their
+    // results must be independent (same shape, distinct randomness).
+    for r in &results {
+        assert!(r.functionally_equivalent());
+    }
+}
