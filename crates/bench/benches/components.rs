@@ -36,18 +36,18 @@ fn bench_config_roundtrip(c: &mut Criterion) {
     let total_lines: usize = texts.iter().map(|t| t.lines().count()).sum();
 
     c.bench_function("emit_uscarrier_all_routers", |b| {
-        b.iter(|| {
-            net.routers
-                .values()
-                .map(|r| r.emit().len())
-                .sum::<usize>()
-        });
+        b.iter(|| net.routers.values().map(|r| r.emit().len()).sum::<usize>());
     });
     c.bench_function("parse_uscarrier_all_routers", |b| {
         b.iter(|| {
             texts
                 .iter()
-                .map(|t| confmask_config::parse_router(t).expect("parses").interfaces.len())
+                .map(|t| {
+                    confmask_config::parse_router(t)
+                        .expect("parses")
+                        .interfaces
+                        .len()
+                })
                 .sum::<usize>()
         });
     });

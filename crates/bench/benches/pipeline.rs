@@ -36,10 +36,17 @@ fn bench_scaling(c: &mut Criterion) {
     let suite = confmask_netgen::full_suite();
     let mut group = c.benchmark_group("fig16_scaling");
     group.sample_size(10);
-    for net in suite.iter().filter(|n| matches!(n.id, 'A' | 'D' | 'G' | 'H')) {
-        group.bench_with_input(BenchmarkId::new("confmask", net.id), &net.configs, |b, configs| {
-            b.iter(|| anonymize(configs, &Params::default()).expect("anonymize"));
-        });
+    for net in suite
+        .iter()
+        .filter(|n| matches!(n.id, 'A' | 'D' | 'G' | 'H'))
+    {
+        group.bench_with_input(
+            BenchmarkId::new("confmask", net.id),
+            &net.configs,
+            |b, configs| {
+                b.iter(|| anonymize(configs, &Params::default()).expect("anonymize"));
+            },
+        );
     }
     group.finish();
 }

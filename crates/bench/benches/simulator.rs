@@ -9,10 +9,17 @@ fn bench_control_plane(c: &mut Criterion) {
     let suite = confmask_netgen::full_suite();
     let mut group = c.benchmark_group("control_plane");
     group.sample_size(10);
-    for net in suite.iter().filter(|n| matches!(n.id, 'A' | 'C' | 'D' | 'F' | 'H')) {
-        group.bench_with_input(BenchmarkId::from_parameter(net.id), &net.configs, |b, cfg| {
-            b.iter(|| confmask_sim::simulate_control_plane(cfg).expect("simulate"));
-        });
+    for net in suite
+        .iter()
+        .filter(|n| matches!(n.id, 'A' | 'C' | 'D' | 'F' | 'H'))
+    {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(net.id),
+            &net.configs,
+            |b, cfg| {
+                b.iter(|| confmask_sim::simulate_control_plane(cfg).expect("simulate"));
+            },
+        );
     }
     group.finish();
 }
@@ -21,10 +28,17 @@ fn bench_full_simulation(c: &mut Criterion) {
     let suite = confmask_netgen::full_suite();
     let mut group = c.benchmark_group("full_simulation");
     group.sample_size(10);
-    for net in suite.iter().filter(|n| matches!(n.id, 'A' | 'D' | 'G' | 'H')) {
-        group.bench_with_input(BenchmarkId::from_parameter(net.id), &net.configs, |b, cfg| {
-            b.iter(|| confmask_sim::simulate(cfg).expect("simulate"));
-        });
+    for net in suite
+        .iter()
+        .filter(|n| matches!(n.id, 'A' | 'D' | 'G' | 'H'))
+    {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(net.id),
+            &net.configs,
+            |b, cfg| {
+                b.iter(|| confmask_sim::simulate(cfg).expect("simulate"));
+            },
+        );
     }
     group.finish();
 }
@@ -44,5 +58,10 @@ fn bench_traceroute(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_control_plane, bench_full_simulation, bench_traceroute);
+criterion_group!(
+    benches,
+    bench_control_plane,
+    bench_full_simulation,
+    bench_traceroute
+);
 criterion_main!(benches);

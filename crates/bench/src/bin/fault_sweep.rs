@@ -1,0 +1,215 @@
+//! Cold vs incremental k = 1 fault sweep.
+//!
+//! Sweeps every single-link failure of the chosen evaluation networks
+//! twice — once with a full `simulate()` per scenario (the pre-delta
+//! behaviour) and once through the incremental engine, which converges the
+//! healthy baseline once and delta-recomputes each scenario. The two
+//! sweeps' per-pair degradation classes are asserted identical before any
+//! timing is reported, so the speedup is only ever measured on matching
+//! results.
+//!
+//! ```text
+//! fault_sweep [--networks D,F,H] [--limit N] [--output BENCH_fault_sweep.json]
+//!             [--assert-speedup X]
+//! ```
+//!
+//! `--limit` caps the scenarios per network (the cold sweep on network F is
+//! expensive — that being the point); `--assert-speedup X` exits non-zero
+//! unless every swept network's incremental sweep was at least X times
+//! faster than its cold sweep (CI uses this as the regression gate).
+
+use confmask_sim::fault::{enumerate_single_link_failures, run_scenario};
+use confmask_sim::simulate;
+use confmask_sim_delta::DeltaEngine;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+struct Row {
+    id: char,
+    name: &'static str,
+    scenarios: usize,
+    cold_secs: f64,
+    incremental_secs: f64,
+}
+
+impl Row {
+    fn speedup(&self) -> f64 {
+        if self.incremental_secs > 0.0 {
+            self.cold_secs / self.incremental_secs
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+fn main() {
+    let mut networks: Vec<char> = vec!['D', 'F', 'H'];
+    let mut limit: Option<usize> = None;
+    let mut output = String::from("BENCH_fault_sweep.json");
+    let mut assert_speedup: Option<f64> = None;
+
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .unwrap_or_else(|| {
+                    eprintln!("{flag} requires a value");
+                    std::process::exit(2);
+                })
+                .clone()
+        };
+        match flag.as_str() {
+            "--networks" => {
+                networks = value(flag)
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(|s| s.trim().chars().next().unwrap().to_ascii_uppercase())
+                    .collect();
+            }
+            "--limit" => {
+                limit = Some(value(flag).parse().unwrap_or_else(|_| {
+                    eprintln!("--limit expects an integer");
+                    std::process::exit(2);
+                }));
+            }
+            "--output" => output = value(flag),
+            "--assert-speedup" => {
+                assert_speedup = Some(value(flag).parse().unwrap_or_else(|_| {
+                    eprintln!("--assert-speedup expects a number");
+                    std::process::exit(2);
+                }));
+            }
+            other => {
+                eprintln!(
+                    "unknown flag '{other}'\nusage: fault_sweep [--networks D,F,H] \
+                     [--limit N] [--output FILE] [--assert-speedup X]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let suite = confmask_netgen::full_suite();
+    let mut rows = Vec::new();
+    for id in networks {
+        let net = suite.iter().find(|n| n.id == id).unwrap_or_else(|| {
+            eprintln!("no evaluation network '{id}'");
+            std::process::exit(2);
+        });
+        let configs = &net.configs;
+        let mut scenarios = enumerate_single_link_failures(configs);
+        if let Some(l) = limit {
+            scenarios.truncate(l);
+        }
+        eprintln!(
+            "net {id} ({}): {} scenario(s) at k=1",
+            net.name,
+            scenarios.len()
+        );
+
+        // Cold sweep: a full simulation of the healthy network, then a full
+        // simulation per scenario (what `run_scenario` does internally).
+        // Only the engine work is timed — outcome storage and comparison
+        // bookkeeping (a bench artifact) stay outside the clock.
+        let t0 = Instant::now();
+        let baseline = simulate(configs).expect("healthy network must simulate");
+        let mut cold_time = t0.elapsed();
+        let mut cold = Vec::with_capacity(scenarios.len());
+        for s in &scenarios {
+            let t = Instant::now();
+            let outcome = run_scenario(configs, &baseline.dataplane, s).expect("cold scenario");
+            cold_time += t.elapsed();
+            cold.push(outcome);
+        }
+        let cold_secs = cold_time.as_secs_f64();
+
+        // Incremental sweep: pays for its own baseline convergence (a fresh
+        // engine, so nothing leaks in from the cold sweep), then
+        // delta-recomputes every scenario. Each outcome is differentially
+        // checked against the cold sweep's (outside the clock) and dropped.
+        let t1 = Instant::now();
+        let engine = DeltaEngine::new(4);
+        let base = engine
+            .converged(configs)
+            .expect("healthy network must converge");
+        let mut incremental_time = t1.elapsed();
+        let mut mismatches = 0usize;
+        for (s, c) in scenarios.iter().zip(cold.iter()) {
+            let t = Instant::now();
+            let outcome = engine
+                .run_scenario(&base, &base.sim.dataplane, s)
+                .expect("incremental scenario");
+            incremental_time += t.elapsed();
+            if &outcome != c {
+                eprintln!("net {id}: MISMATCH on {}", c.scenario);
+                mismatches += 1;
+            }
+        }
+        let incremental_secs = incremental_time.as_secs_f64();
+
+        // Differential gate: identical outcomes or no timing at all.
+        if mismatches > 0 {
+            eprintln!("net {id}: {mismatches} differential mismatch(es) — aborting");
+            std::process::exit(1);
+        }
+
+        let row = Row {
+            id,
+            name: net.name,
+            scenarios: scenarios.len(),
+            cold_secs,
+            incremental_secs,
+        };
+        println!(
+            "net {id}: cold {:.2}s, incremental {:.2}s — {:.1}x speedup, 0 mismatches",
+            row.cold_secs,
+            row.incremental_secs,
+            row.speedup()
+        );
+        rows.push(row);
+    }
+
+    let mut json = String::from("{\n  \"bench\": \"fault_sweep\",\n  \"k\": 1,\n");
+    let _ = writeln!(
+        json,
+        "  \"limit\": {},",
+        limit.map_or("null".into(), |l| l.to_string())
+    );
+    json.push_str("  \"networks\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = write!(
+            json,
+            "    {{\"id\": \"{}\", \"name\": \"{}\", \"scenarios\": {}, \
+             \"cold_secs\": {:.3}, \"incremental_secs\": {:.3}, \"speedup\": {:.2}, \
+             \"mismatches\": 0}}",
+            r.id,
+            r.name,
+            r.scenarios,
+            r.cold_secs,
+            r.incremental_secs,
+            r.speedup()
+        );
+        json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    json.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::write(&output, &json) {
+        eprintln!("cannot write {output}: {e}");
+        std::process::exit(1);
+    }
+    println!("wrote {output}");
+
+    if let Some(min) = assert_speedup {
+        for r in &rows {
+            if r.speedup() < min {
+                eprintln!(
+                    "net {}: speedup {:.2}x below required {min}x",
+                    r.id,
+                    r.speedup()
+                );
+                std::process::exit(1);
+            }
+        }
+        println!("speedup gate: every network >= {min}x");
+    }
+}

@@ -12,7 +12,7 @@
 
 use confmask::EquivalenceMode;
 use confmask_bench::stats::{mean, pearson};
-use confmask_bench::{Runner, RunKey};
+use confmask_bench::{RunKey, Runner};
 use confmask_topology::extract::extract_topology;
 use confmask_topology::metrics::{clustering_coefficient, min_same_degree};
 
@@ -25,13 +25,15 @@ fn main() {
         .map(|s| s.as_str())
         .collect();
     if wanted.is_empty() {
-        eprintln!(
-            "usage: figures [--quick] <table2|fig5|...|fig16|table3|all>..."
-        );
+        eprintln!("usage: figures [--quick] <table2|fig5|...|fig16|table3|all>...");
         std::process::exit(2);
     }
 
-    let runner = if quick { Runner::quick() } else { Runner::new() };
+    let runner = if quick {
+        Runner::quick()
+    } else {
+        Runner::new()
+    };
     let all = wanted.contains(&"all");
     let want = |name: &str| all || wanted.contains(&name);
 
@@ -92,7 +94,10 @@ fn header(title: &str) {
 /// Table 2: the evaluation networks.
 fn table2(runner: &Runner) {
     header("Table 2: evaluation networks");
-    println!("{:<3} {:<11} {:>4} {:>4} {:>4} {:>8}  Type", "ID", "Network", "|R|", "|H|", "|E|", "#lines");
+    println!(
+        "{:<3} {:<11} {:>4} {:>4} {:>4} {:>8}  Type",
+        "ID", "Network", "|R|", "|H|", "|E|", "#lines"
+    );
     for net in runner.suite() {
         let (r, h, e, lines) = net.stats();
         println!(
@@ -105,8 +110,13 @@ fn table2(runner: &Runner) {
 /// Figure 5: average number of distinct paths between edge routers,
 /// k_R=6, k_H=2.
 fn fig5(runner: &Runner) {
-    header("Figure 5: route anonymity N_r (avg/min distinct paths per edge-router pair), k_R=6 k_H=2");
-    println!("{:<3} {:>9} {:>9} {:>9} {:>9}", "ID", "orig avg", "anon avg", "orig min", "anon min");
+    header(
+        "Figure 5: route anonymity N_r (avg/min distinct paths per edge-router pair), k_R=6 k_H=2",
+    );
+    println!(
+        "{:<3} {:>9} {:>9} {:>9} {:>9}",
+        "ID", "orig avg", "anon avg", "orig min", "anon min"
+    );
     let mut avgs = Vec::new();
     for net in runner.suite() {
         let run = runner.default_run(net.id);
@@ -147,7 +157,13 @@ fn fig7(runner: &Runner) {
         let orig = clustering_coefficient(&run.baseline.topo);
         let anon = clustering_coefficient(&extract_topology(&run.configs));
         deltas.push((anon - orig).abs());
-        println!("{:<3} {:>8.3} {:>8.3} {:>8.3}", net.id, orig, anon, anon - orig);
+        println!(
+            "{:<3} {:>8.3} {:>8.3} {:>8.3}",
+            net.id,
+            orig,
+            anon,
+            anon - orig
+        );
     }
     println!("average |delta|: {:.3}", mean(&deltas));
 }
@@ -162,14 +178,15 @@ fn fig8(runner: &Runner) {
         let confmask_pu = run.path_preservation();
         let topo = extract_topology(&net.configs);
         let nh = confmask_nethide::obfuscate(&topo, 6, 0).expect("nethide");
-        let nh_pu = confmask_nethide::exact_path_preservation(
-            &run.baseline.sim.dataplane,
-            &nh.dataplane,
-        );
+        let nh_pu =
+            confmask_nethide::exact_path_preservation(&run.baseline.sim.dataplane, &nh.dataplane);
         nh_scores.push(nh_pu);
         println!("{:<3} {:>9.3} {:>9.3}", net.id, confmask_pu, nh_pu);
     }
-    println!("NetHide average P_U: {:.3} (paper: ~0.15, max < 0.30)", mean(&nh_scores));
+    println!(
+        "NetHide average P_U: {:.3} (paper: ~0.15, max < 0.30)",
+        mean(&nh_scores)
+    );
 }
 
 /// Figure 9: preserved network specifications via the spec miner,
@@ -277,7 +294,12 @@ fn sweep_k_r(runner: &Runner) -> Vec<(char, usize, f64, f64)> {
                 mode: EquivalenceMode::ConfMask,
                 seed: 0,
             });
-            out.push((net.id, k_r, run.route_anonymity().avg(), run.config_utility()));
+            out.push((
+                net.id,
+                k_r,
+                run.route_anonymity().avg(),
+                run.config_utility(),
+            ));
         }
     }
     out
@@ -294,7 +316,12 @@ fn sweep_k_h(runner: &Runner) -> Vec<(char, usize, f64, f64)> {
                 mode: EquivalenceMode::ConfMask,
                 seed: 0,
             });
-            out.push((net.id, k_h, run.route_anonymity().avg(), run.config_utility()));
+            out.push((
+                net.id,
+                k_h,
+                run.route_anonymity().avg(),
+                run.config_utility(),
+            ));
         }
     }
     out
@@ -380,7 +407,10 @@ fn fig15(runner: &Runner) {
 /// Figure 16: end-to-end running-time comparison.
 fn fig16(runner: &Runner) {
     header("Figure 16: end-to-end running time — Strawman1 / Strawman2 / ConfMask, k_R=6 k_H=2");
-    println!("{:<3} {:>10} {:>10} {:>10}   (S2/CM slowdown)", "ID", "S1", "S2", "CM");
+    println!(
+        "{:<3} {:>10} {:>10} {:>10}   (S2/CM slowdown)",
+        "ID", "S1", "S2", "CM"
+    );
     for net in runner.suite() {
         let mut secs = [0.0f64; 3];
         for (i, mode) in [
@@ -465,7 +495,10 @@ fn ablation(runner: &Runner) {
                         confmask::Error::EquivalenceDiverged { .. } => "DIVERGED",
                         _ => "ERROR",
                     };
-                    println!("{:<3} {:<12} {:>12} {:>11} {:>10}", id, label, kind, "-", "-");
+                    println!(
+                        "{:<3} {:<12} {:>12} {:>11} {:>10}",
+                        id, label, kind, "-", "-"
+                    );
                 }
             }
         }

@@ -31,6 +31,9 @@ pub enum Command {
         verify: Option<usize>,
         /// How many k = 2 scenarios to sample when k ≥ 2.
         k2_sample: usize,
+        /// Bypass the incremental simulation engine: every scenario runs a
+        /// full cold simulation (the pre-delta behaviour).
+        cold_sim: bool,
     },
     /// Simulate a configuration directory and report the data plane.
     Simulate {
@@ -125,7 +128,7 @@ USAGE:
   confmask failures  [--input <dir>] [--k N] [--verify-failures K]
                      [--k2-sample N] [--seed N] [--k-r N] [--k-h N]
                      [--fake-routers N] [--max-retries N]
-                     [--stage-deadline-secs S]
+                     [--stage-deadline-secs S] [--cold-sim]
   confmask simulate  --input <dir> [--trace <src> <dst>]
   confmask inspect   --input <dir>
   confmask generate  --network <A..H> --output <dir>
@@ -143,7 +146,10 @@ USAGE:
 Directories contain routers/*.cfg and hosts/*.cfg. `failures` sweeps the
 input network itself, or — with --verify-failures — anonymizes it first
 and checks that original and anonymized degrade identically; it uses the
-bundled university network when --input is omitted.
+bundled university network when --input is omitted. Sweeps reuse the
+converged baseline and recompute only what each fault touched (results
+are byte-identical to cold simulation); --cold-sim fully re-simulates
+every scenario instead.
 
 `serve` runs the anonymization-as-a-service daemon (default address
 127.0.0.1:7077): POST /v1/jobs, GET /v1/jobs/{id}[/artifacts],
@@ -270,6 +276,7 @@ fn parse_command(argv: &[&str]) -> Result<Command, ArgError> {
             let mut k = 1;
             let mut verify = None;
             let mut k2_sample = 5;
+            let mut cold_sim = false;
             while let Some(flag) = it.next() {
                 if params_flag(flag, &mut it, &mut params)? {
                     continue;
@@ -281,6 +288,7 @@ fn parse_command(argv: &[&str]) -> Result<Command, ArgError> {
                         verify = Some(parse_value(&mut it, flag, "an integer")?)
                     }
                     "--k2-sample" => k2_sample = parse_value(&mut it, flag, "an integer")?,
+                    "--cold-sim" => cold_sim = true,
                     other => return Err(ArgError(format!("unknown flag '{other}'"))),
                 }
             }
@@ -290,6 +298,7 @@ fn parse_command(argv: &[&str]) -> Result<Command, ArgError> {
                 k,
                 verify,
                 k2_sample,
+                cold_sim,
             })
         }
         "simulate" => {
@@ -480,15 +489,17 @@ mod tests {
                 k,
                 verify,
                 k2_sample,
+                cold_sim,
                 ..
             } => {
                 assert_eq!(input, None);
                 assert_eq!((k, verify, k2_sample), (1, None, 5));
+                assert!(!cold_sim, "incremental engine is the default");
             }
             other => panic!("{other:?}"),
         }
         match parse_cmd(&argv(
-            "failures --input net --verify-failures 2 --k2-sample 3 --seed 9 --max-retries 0",
+            "failures --input net --verify-failures 2 --k2-sample 3 --seed 9 --max-retries 0 --cold-sim",
         ))
         .unwrap()
         {
@@ -497,6 +508,7 @@ mod tests {
                 params,
                 verify,
                 k2_sample,
+                cold_sim,
                 ..
             } => {
                 assert_eq!(input, Some(PathBuf::from("net")));
@@ -504,6 +516,7 @@ mod tests {
                 assert_eq!(k2_sample, 3);
                 assert_eq!(params.seed, 9);
                 assert_eq!(params.max_retries, 0);
+                assert!(cold_sim);
             }
             other => panic!("{other:?}"),
         }

@@ -215,6 +215,7 @@ pub fn run(cmd: Command) -> Result<String, CmdError> {
             k,
             verify,
             k2_sample,
+            cold_sim,
         } => {
             let (net, label) = match &input {
                 Some(dir) => (
@@ -228,9 +229,20 @@ pub fn run(cmd: Command) -> Result<String, CmdError> {
             };
             let mut report = String::new();
             match verify {
-                // Plain sweep: degrade the input network itself.
+                // Plain sweep: degrade the input network itself. The sweep
+                // converges the healthy network once and recomputes each
+                // scenario incrementally (byte-identical results) unless
+                // `--cold-sim` asked for a full simulation per scenario.
                 None => {
-                    let sim = confmask::simulate(&net).map_err(|e| e.to_string())?;
+                    let base = if cold_sim {
+                        None
+                    } else {
+                        confmask_sim_delta::DeltaEngine::global().converged(&net).ok()
+                    };
+                    let baseline = match &base {
+                        Some(conv) => conv.sim.dataplane.clone(),
+                        None => confmask::simulate(&net).map_err(|e| e.to_string())?.dataplane,
+                    };
                     let scenarios = enumerate_scenarios(&net, k, params.seed, k2_sample);
                     let _ = writeln!(
                         report,
@@ -244,7 +256,12 @@ pub fn run(cmd: Command) -> Result<String, CmdError> {
                             "scenario {}/{total}: {scenario}",
                             i + 1
                         );
-                        match run_scenario(&net, &sim.dataplane, &scenario) {
+                        let run = match &base {
+                            Some(conv) => confmask_sim_delta::DeltaEngine::global()
+                                .run_scenario(conv, &baseline, &scenario),
+                            None => run_scenario(&net, &baseline, &scenario),
+                        };
+                        match run {
                             Ok(out) => {
                                 let hist: Vec<String> = out
                                     .histogram()
@@ -597,10 +614,22 @@ mod tests {
             k: 1,
             verify: None,
             k2_sample: 0,
+            cold_sim: false,
         })
         .unwrap();
         assert!(out.contains("failure sweep"), "{out}");
         assert!(out.contains("link-down"), "{out}");
+        // The cold path must produce the identical report.
+        let cold = run(Command::Failures {
+            input: Some(dir.clone()),
+            params: Params::default(),
+            k: 1,
+            verify: None,
+            k2_sample: 0,
+            cold_sim: true,
+        })
+        .unwrap();
+        assert_eq!(out, cold, "incremental and cold sweeps must agree");
         std::fs::remove_dir_all(&dir).unwrap();
     }
 
@@ -614,6 +643,7 @@ mod tests {
             k: 1,
             verify: Some(1),
             k2_sample: 0,
+            cold_sim: false,
         })
         .unwrap();
         assert!(out.contains("classes match"), "{out}");

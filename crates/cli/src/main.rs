@@ -18,8 +18,13 @@ fn main() {
         _ => confmask_obs::Level::Debug,
     });
     // Collection costs memory and a mutex per span, so it is only switched
-    // on when a report was actually requested.
+    // on when a report was actually requested. Registering the simulation
+    // cache's metric set at zero up front keeps the report's keys stable
+    // whether or not the command ever touched the cache.
     confmask_obs::set_enabled(obs.metrics_out.is_some());
+    if obs.metrics_out.is_some() {
+        confmask_sim_delta::register_metrics();
+    }
 
     let outcome = confmask_cli::commands::run(cmd);
     // The metrics report is written even when the command failed — a failed

@@ -12,7 +12,8 @@ use crate::{Error, EquivalenceMode, Params};
 use confmask_config::patch::{LineLedger, Patcher};
 use confmask_config::NetworkConfigs;
 use confmask_net_types::PrefixAllocator;
-use confmask_sim::{simulate, Simulation};
+use confmask_sim::Simulation;
+use confmask_sim_delta::DeltaEngine;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Duration;
@@ -384,7 +385,10 @@ fn run_attempt(
     // Verify.
     let sp = confmask_obs::span("pipeline.stage.verify");
     let (anon_configs, ledger) = patcher.into_parts();
-    let final_sim = simulate(&anon_configs)?;
+    // Converge through the shared simulation cache: a later
+    // `verify_failure_equivalence` sweep (or a repeat job on the same
+    // output) reuses this converged state for delta recomputation.
+    let final_sim = DeltaEngine::global().converged(&anon_configs)?.sim.clone();
     let equivalence = check_equivalence(
         configs,
         &baseline.sim.dataplane,

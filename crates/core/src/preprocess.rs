@@ -4,7 +4,8 @@
 use crate::Error;
 use confmask_config::NetworkConfigs;
 use confmask_net_types::Asn;
-use confmask_sim::{simulate, Simulation};
+use confmask_sim::Simulation;
+use confmask_sim_delta::DeltaEngine;
 use confmask_topology::{extract::extract_topology, Topology};
 use std::collections::{BTreeMap, BTreeSet};
 
@@ -35,7 +36,11 @@ pub fn preprocess(configs: &NetworkConfigs) -> Result<Baseline, Error> {
             errors[0]
         )));
     }
-    let sim = simulate(configs)?;
+    // Converge through the per-process simulation cache: retry attempts
+    // and repeat jobs on the same input skip the (expensive) baseline
+    // simulation entirely, and the converged state feeds later delta
+    // recomputation of fault scenarios.
+    let sim = DeltaEngine::global().converged(configs)?.sim.clone();
     let topo = extract_topology(configs);
     let real_hosts = configs.hosts.keys().cloned().collect();
     let asn_of = configs

@@ -36,6 +36,7 @@ use confmask_sim::fault::{
     enumerate_scenarios, run_scenario, DegradationClass, FailureScenario, Fault,
 };
 use confmask_sim::DataPlane;
+use confmask_sim_delta::DeltaEngine;
 
 /// One real host pair whose degradation class differs between the original
 /// and the masked anonymized network under the same failure.
@@ -216,27 +217,43 @@ pub fn verify_failure_equivalence(
 
     let mut report = FailureEquivalenceReport::default();
 
+    // The whole sweep runs through the incremental simulation engine:
+    // every scenario is a shutdown perturbation of one of three converged
+    // baselines (original / masked / anonymized), exactly the workload the
+    // delta recomputation is built for. Results are byte-identical to cold
+    // simulation; a baseline that fails to converge downgrades its
+    // scenarios to the cold path rather than aborting the sweep.
+    let engine = DeltaEngine::global();
+
     // The masked network's healthy data plane must equal the original's on
     // real pairs: functional equivalence holds with the fakes up, and
     // masking only removes candidates the filters already suppressed. A
     // divergence here poisons every per-scenario classification, so it is
     // recorded as its own violation.
-    let masked_base: DataPlane = match confmask_sim::simulate(&masked) {
-        Ok(sim) => sim.dataplane.restricted_to(&result.baseline.real_hosts),
+    let masked_conv = match engine.converged(&masked) {
+        Ok(conv) => conv,
         Err(e) => {
             report.masked_baseline_error = Some(e.to_string());
             return report;
         }
     };
+    let masked_base: DataPlane = masked_conv
+        .sim
+        .dataplane
+        .restricted_to(&result.baseline.real_hosts);
     if masked_base != orig_base {
         report.masked_baseline_differs = true;
     }
 
     // 1. Real-element scenarios, enumerated from the original network (so
     //    fake links can never leak into the "real" sweep).
+    let orig_conv = engine.converged(original).ok();
     for scenario in enumerate_scenarios(original, k, result.params.seed, k2_sample) {
-        let orig_run = run_scenario(original, &orig_base, &scenario);
-        let anon_run = run_scenario(&masked, &masked_base, &scenario);
+        let orig_run = match &orig_conv {
+            Some(conv) => engine.run_scenario(conv, &orig_base, &scenario),
+            None => run_scenario(original, &orig_base, &scenario),
+        };
+        let anon_run = engine.run_scenario(&masked_conv, &masked_base, &scenario);
         let mut entry = ScenarioEquivalence {
             scenario,
             original_error: orig_run.as_ref().err().map(|e| e.to_string()),
@@ -280,8 +297,13 @@ pub fn verify_failure_equivalence(
         FailureScenario::single(Fault::RouterDown { router: r.clone() })
     }));
 
+    let anon_conv = engine.converged(&result.configs).ok();
     for scenario in fake_scenarios {
-        match run_scenario(&result.configs, &anon_base, &scenario) {
+        let run = match &anon_conv {
+            Some(conv) => engine.run_scenario(conv, &anon_base, &scenario),
+            None => run_scenario(&result.configs, &anon_base, &scenario),
+        };
+        match run {
             Ok(outcome) => report.fake.push(FakeElementCheck {
                 scenario,
                 error: None,

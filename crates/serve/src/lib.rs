@@ -104,6 +104,9 @@ fn register_metrics() {
     confmask_obs::counter_add("serve.jobs_failed", 0);
     confmask_obs::gauge_set("serve.queue_depth", 0.0);
     confmask_obs::histogram_register("serve.job_wall_secs");
+    // The workers share the process-wide simulation cache; its metric set
+    // must likewise be complete before the first job arrives.
+    confmask_sim_delta::register_metrics();
 }
 
 impl Server {

@@ -1,0 +1,101 @@
+//! Bounded, content-addressed cache of converged simulations.
+//!
+//! Keys are [`structural_hash`](crate::hash::structural_hash) values;
+//! every hit additionally compares the stored [`NetworkConfigs`] for
+//! equality, so a hash collision can never serve the wrong simulation —
+//! it merely degrades to a miss. Eviction is least-recently-used over a
+//! fixed capacity (converged simulations of large networks are big; the
+//! pipeline only ever needs the handful of baselines it is currently
+//! sweeping faults over).
+
+use crate::ConvergedSim;
+use confmask_config::NetworkConfigs;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// A bounded LRU cache from structural hash to converged simulation.
+pub struct SimCache {
+    inner: Mutex<Inner>,
+    capacity: usize,
+}
+
+struct Inner {
+    map: HashMap<u128, Entry>,
+    tick: u64,
+}
+
+struct Entry {
+    value: Arc<ConvergedSim>,
+    last_used: u64,
+}
+
+impl SimCache {
+    /// Creates a cache holding at most `capacity` simulations
+    /// (a zero capacity is clamped to one).
+    pub fn new(capacity: usize) -> Self {
+        SimCache {
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                tick: 0,
+            }),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Looks up a converged simulation, verifying the stored configs are
+    /// actually equal to `configs` (collision safety).
+    pub fn get(&self, key: u128, configs: &NetworkConfigs) -> Option<Arc<ConvergedSim>> {
+        let mut inner = self.inner.lock().expect("sim cache poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.map.get_mut(&key) {
+            Some(entry) if entry.value.configs == *configs => {
+                entry.last_used = tick;
+                confmask_obs::counter_add("sim.cache.hits", 1);
+                Some(Arc::clone(&entry.value))
+            }
+            _ => {
+                confmask_obs::counter_add("sim.cache.misses", 1);
+                None
+            }
+        }
+    }
+
+    /// Inserts a converged simulation, evicting the least-recently-used
+    /// entry when at capacity.
+    pub fn insert(&self, value: Arc<ConvergedSim>) {
+        let mut inner = self.inner.lock().expect("sim cache poisoned");
+        inner.tick += 1;
+        let tick = inner.tick;
+        let key = value.key;
+        if !inner.map.contains_key(&key) && inner.map.len() >= self.capacity {
+            if let Some(oldest) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| *k)
+            {
+                inner.map.remove(&oldest);
+                confmask_obs::counter_add("sim.cache.evictions", 1);
+            }
+        }
+        inner.map.insert(
+            key,
+            Entry {
+                value,
+                last_used: tick,
+            },
+        );
+        confmask_obs::gauge_set("sim.cache.entries", inner.map.len() as f64);
+    }
+
+    /// Number of cached simulations.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("sim cache poisoned").map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}

@@ -1,0 +1,642 @@
+//! Delta recomputation for fault perturbations.
+//!
+//! Given a cached converged simulation of a base network and a perturbed
+//! copy of its configurations, this module produces the perturbed
+//! [`Simulation`] while recomputing only what the perturbation can have
+//! touched. The supported perturbation class is *administrative shutdowns*
+//! (`shutdown: false → true` on existing interfaces) — exactly what the
+//! fault engine's scenarios apply — because shutdowns only ever **remove**
+//! model elements, which is the monotonicity every warm-start argument
+//! below leans on. Anything else falls back to a full cold simulation,
+//! explicitly.
+//!
+//! Per-protocol strategy (soundness arguments inline; the contract is that
+//! results are **byte-identical** to a cold `simulate()` of the perturbed
+//! configs):
+//!
+//! * **OSPF** — per-prefix SPFs are independent, so only *affected*
+//!   prefixes re-run ([`ospf::compute_subset`]); the rest splice in the
+//!   cached routes with interface indices remapped. A prefix is affected
+//!   iff a failed interface sits directly on it (advertiser seeds and the
+//!   connected-route skip change) or a removed OSPF edge lies on its
+//!   shortest-path DAG (`dist[u] == cost(u→v) + dist[v]` in either
+//!   direction). Removing a non-DAG edge changes neither distances (it was
+//!   on no shortest path) nor candidate sets (every candidate edge
+//!   satisfies the DAG equation), so unaffected prefixes converge to the
+//!   cached result exactly.
+//! * **RIP** — Bellman–Ford re-runs for every prefix but warm-starts from
+//!   the cached fixpoint ([`rip::compute_with_state`]), which is sound for
+//!   removal-only perturbations (see the proof on that function).
+//! * **BGP** — warm-starting a path-vector protocol is *unsound* (BGP has
+//!   multiple equilibria; a warm start can land in a different one than a
+//!   cold run). Instead, the cached routes are reused wholesale when the
+//!   iteration is provably isomorphic — the IGP router-path matrix is
+//!   unchanged modulo interface renumbering and no removed interface was
+//!   BGP-relevant (session endpoint, session carrier, or origin prefix
+//!   owner) — and fully recomputed otherwise.
+//! * **Data plane** — the trace DFS consults exactly one FIB entry per
+//!   visited router: the longest-prefix match for the *destination host's*
+//!   address. The reuse criterion is therefore per (router, destination):
+//!   a pair reuses its cached [`PathSet`] when its endpoints' attachments
+//!   survived and, for its destination, no reachable router resolves that
+//!   address differently (modulo interface renumbering). When *no* router's
+//!   lookup for the destination changed, the entire DFS — blackholes,
+//!   loops, and ECMP truncation included — replays identically, so the
+//!   cached set is reused unconditionally. Otherwise only clean,
+//!   non-truncated pairs are reusable (their recorded paths are exactly the
+//!   routers the walk visits) and only when every on-path router's lookup
+//!   is unchanged. Reuse shares the cached set by [`Arc`] — no copying.
+
+use crate::{ConvergedSim, DeltaStats};
+use confmask_config::NetworkConfigs;
+use confmask_net_types::{HostId, Ipv4Prefix, RouterId};
+use confmask_sim::dataplane::trace;
+use confmask_sim::ospf::RouterPaths;
+use confmask_sim::{
+    bgp, merge_router_fib, ospf, rip, simulate, BgpRoutes, FibEntry, Fibs, NextHop, Peer, SimError,
+    SimNetwork, Simulation,
+};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// How the perturbed configs differ from the cached base.
+pub(crate) enum ConfigDiff {
+    /// No difference at all.
+    Identical,
+    /// Only `shutdown: false → true` flips on existing interfaces (the
+    /// delta path re-derives the removed-interface set from the rebuilt
+    /// model, where address-less interfaces are already invisible).
+    Shutdowns,
+    /// Any other change (additions, deletions, edits, un-shutdowns).
+    Unsupported,
+}
+
+/// Classifies the base → perturbed configuration diff in a single pass
+/// (no up-front whole-config equality check: the walk below both finds
+/// the tolerated shutdowns and proves everything else untouched).
+pub(crate) fn diff_configs(base: &NetworkConfigs, new: &NetworkConfigs) -> ConfigDiff {
+    if base.hosts != new.hosts || base.routers.len() != new.routers.len() {
+        return ConfigDiff::Unsupported;
+    }
+
+    let mut any_shutdown = false;
+    for ((bname, brc), (nname, nrc)) in base.routers.iter().zip(new.routers.iter()) {
+        if bname != nname {
+            return ConfigDiff::Unsupported;
+        }
+        // Everything but the interface list must be untouched.
+        if brc.hostname != nrc.hostname
+            || brc.added != nrc.added
+            || brc.ospf != nrc.ospf
+            || brc.rip != nrc.rip
+            || brc.bgp != nrc.bgp
+            || brc.prefix_lists != nrc.prefix_lists
+            || brc.static_routes != nrc.static_routes
+            || brc.extra_lines != nrc.extra_lines
+            || brc.interfaces.len() != nrc.interfaces.len()
+        {
+            return ConfigDiff::Unsupported;
+        }
+        for (bi, ni) in brc.interfaces.iter().zip(nrc.interfaces.iter()) {
+            if bi == ni {
+                continue;
+            }
+            // The only tolerated difference is a fresh shutdown.
+            let mut shutdown_normalized = bi.clone();
+            shutdown_normalized.shutdown = ni.shutdown;
+            if shutdown_normalized != *ni || bi.shutdown || !ni.shutdown {
+                return ConfigDiff::Unsupported;
+            }
+            any_shutdown = true;
+        }
+    }
+    if any_shutdown {
+        ConfigDiff::Shutdowns
+    } else {
+        ConfigDiff::Identical
+    }
+}
+
+/// Simulates the perturbed network, incrementally where possible.
+/// Byte-identical to `simulate(perturbed)` by construction.
+pub(crate) fn simulate_delta(
+    base: &ConvergedSim,
+    perturbed: &NetworkConfigs,
+) -> Result<(Simulation, DeltaStats), SimError> {
+    match diff_configs(&base.configs, perturbed) {
+        ConfigDiff::Identical => Ok((base.sim.clone(), DeltaStats::identical())),
+        ConfigDiff::Unsupported => full_fallback(perturbed),
+        ConfigDiff::Shutdowns => match delta_shutdowns(base, perturbed)? {
+            Some(out) => Ok(out),
+            // Defensive: a reuse invariant did not hold; never guess.
+            None => full_fallback(perturbed),
+        },
+    }
+}
+
+/// [`simulate_delta`] for a perturbation the caller has itself produced by
+/// applying shutdowns to the base configs (the scenario runner): the
+/// config-diff walk is skipped because its answer is known by construction.
+pub(crate) fn simulate_delta_shutdowns(
+    base: &ConvergedSim,
+    perturbed: &NetworkConfigs,
+) -> Result<(Simulation, DeltaStats), SimError> {
+    match delta_shutdowns(base, perturbed)? {
+        Some(out) => Ok(out),
+        None => full_fallback(perturbed),
+    }
+}
+
+fn full_fallback(perturbed: &NetworkConfigs) -> Result<(Simulation, DeltaStats), SimError> {
+    let sim = simulate(perturbed)?;
+    Ok((sim, DeltaStats::full()))
+}
+
+/// The shutdown-only delta path. Returns `Ok(None)` when a defensive
+/// invariant check fails and the caller should fall back to a cold run.
+#[allow(clippy::type_complexity)]
+fn delta_shutdowns(
+    base: &ConvergedSim,
+    perturbed: &NetworkConfigs,
+) -> Result<Option<(Simulation, DeltaStats)>, SimError> {
+    let new_net = SimNetwork::build(perturbed)?;
+    let base_net = &base.sim.net;
+    let n = base_net.router_count();
+
+    // Shutdown-only diffs keep the device sets (and hence RouterId/HostId
+    // assignment, which follows hostname order) identical.
+    if new_net.router_count() != n
+        || new_net.hosts.len() != base_net.hosts.len()
+        || new_net
+            .routers
+            .iter()
+            .zip(base_net.routers.iter())
+            .any(|(a, b)| a.name != b.name)
+        || new_net
+            .hosts
+            .iter()
+            .zip(base_net.hosts.iter())
+            .any(|(a, b)| a.name != b.name)
+    {
+        return Ok(None);
+    }
+
+    // Per-router interface renumbering: `SimNetwork::build` skips shut
+    // interfaces, so surviving interfaces shift down. Map base index →
+    // new index by interface name; `None` marks a removed interface.
+    let mut remap: Vec<Vec<Option<usize>>> = Vec::with_capacity(n);
+    let mut failed: Vec<(usize, usize)> = Vec::new(); // (router, base iface idx)
+    for r in 0..n {
+        let new_by_name: BTreeMap<&str, usize> = new_net.routers[r]
+            .ifaces
+            .iter()
+            .enumerate()
+            .map(|(i, f)| (f.name.as_str(), i))
+            .collect();
+        let map: Vec<Option<usize>> = base_net.routers[r]
+            .ifaces
+            .iter()
+            .map(|f| new_by_name.get(f.name.as_str()).copied())
+            .collect();
+        // Removal-only: every new interface must come from a base one.
+        if map.iter().filter(|m| m.is_some()).count() != new_net.routers[r].ifaces.len() {
+            return Ok(None);
+        }
+        for (bi, m) in map.iter().enumerate() {
+            if m.is_none() {
+                failed.push((r, bi));
+            }
+        }
+        remap.push(map);
+    }
+
+    // ---- OSPF: recompute only affected prefixes. ----
+    let mut affected: BTreeSet<Ipv4Prefix> = BTreeSet::new();
+    for &(r, bi) in &failed {
+        let iface = &base_net.routers[r].ifaces[bi];
+        // Failed interface directly on a destination LAN: advertiser seeds
+        // and the connected-route skip change for that prefix.
+        if base_net
+            .destinations
+            .iter()
+            .any(|(p, _)| *p == iface.prefix)
+        {
+            affected.insert(iface.prefix);
+        }
+        if !iface.ospf_active {
+            continue;
+        }
+        // Removed OSPF edges (both directions vanish with either endpoint):
+        // r --cost--> v and v --peer_cost--> r for every router peer.
+        for peer in &iface.peers {
+            let Peer::Router {
+                router: v,
+                iface: pi,
+            } = peer
+            else {
+                continue;
+            };
+            let peer_iface = &base_net.router(*v).ifaces[*pi];
+            if !peer_iface.ospf_active {
+                continue;
+            }
+            let (u, v) = (r, v.0 as usize);
+            for (prefix, dist) in &base.state.ospf_dist {
+                if affected.contains(prefix) {
+                    continue;
+                }
+                let (du, dv) = (dist[u], dist[v]);
+                let fwd = dv != u64::MAX && du == u64::from(iface.cost).saturating_add(dv);
+                let rev = du != u64::MAX && dv == u64::from(peer_iface.cost).saturating_add(du);
+                if fwd || rev {
+                    affected.insert(*prefix);
+                }
+            }
+        }
+    }
+
+    let affected_dests: Vec<(Ipv4Prefix, Vec<HostId>)> = new_net
+        .destinations
+        .iter()
+        .filter(|(p, _)| affected.contains(p))
+        .cloned()
+        .collect();
+    let ospf_prefixes_total = new_net.destinations.len();
+    let ospf_prefixes_recomputed = affected_dests.len();
+    let (mut ospf_routes, mut ospf_dist) = ospf::compute_subset(&new_net, &affected_dests);
+
+    // Splice the unaffected prefixes back in, renumbering interfaces. The
+    // remap is monotone (removal preserves relative order), so sorted hop
+    // lists stay sorted.
+    for (prefix, _) in &new_net.destinations {
+        if affected.contains(prefix) {
+            continue;
+        }
+        if let Some(d) = base.state.ospf_dist.get(prefix) {
+            ospf_dist.insert(*prefix, d.clone());
+        }
+        for r in 0..n {
+            let Some(hops) = base.state.ospf_routes[r].get(prefix) else {
+                continue;
+            };
+            let mut mapped = Vec::with_capacity(hops.len());
+            for &(ii, v) in hops {
+                match remap[r][ii] {
+                    Some(ni) => mapped.push((ni, v)),
+                    // A candidate hop through a removed interface satisfies
+                    // the DAG equation, so the prefix would have been
+                    // affected — reaching this means the invariant broke.
+                    None => return Ok(None),
+                }
+            }
+            ospf_routes[r].insert(*prefix, mapped);
+        }
+    }
+
+    // ---- RIP: warm-start the fixpoint (sound under removal-only). ----
+    let (rip_routes, _rip_dist) = rip::compute_with_state(&new_net, Some(&base.state.rip_dist));
+    let rip_warm_started = !base.state.rip_dist.is_empty();
+
+    // ---- BGP: reuse when provably isomorphic, else recompute. ----
+    let any_bgp = new_net.routers.iter().any(|r| r.asn.is_some());
+    let (bgp_routes, bgp_reused) = if !any_bgp {
+        (vec![BTreeMap::new(); n], false)
+    } else {
+        let rp_new = ospf::router_paths(&new_net);
+        let isomorphic = base
+            .state
+            .router_paths
+            .as_ref()
+            .is_some_and(|rp| router_paths_equal_after_remap(rp, &rp_new, &remap))
+            && !failed
+                .iter()
+                .any(|&(r, bi)| iface_bgp_relevant(base_net, r, bi));
+        let reused = if isomorphic {
+            remap_bgp_routes(&base.state.bgp_routes, &remap)
+        } else {
+            None
+        };
+        match reused {
+            Some(routes) => (routes, true),
+            None => (bgp::compute(&new_net, &rp_new)?, false),
+        }
+    };
+
+    // ---- FIB merge, incremental where provable. A router's FIB can be
+    // cloned from the base when every merge input is unchanged *and* its
+    // interface numbering is the identity: no removed interface (so
+    // connected routes and hop indices keep their bytes), no static routes
+    // (their resolution peeks at neighbors' interface tables), RIP silent
+    // on both sides, BGP absent or reused (identity-remapped = identical),
+    // and the recomputed OSPF rows for affected prefixes equal to the
+    // cached ones. Everything else goes through the same merge as a cold
+    // run. ----
+    let rip_silent = base.state.rip_dist.is_empty() && rip_routes.iter().all(|t| t.is_empty());
+    let bgp_stable = !any_bgp || bgp_reused;
+    let mut fib_cloned = vec![false; n];
+    let fibs = Fibs {
+        per_router: (0..n)
+            .map(|r| {
+                let rid = RouterId(r as u32);
+                let identity = remap[r].iter().all(|m| m.is_some());
+                let reusable = identity
+                    && rip_silent
+                    && bgp_stable
+                    && new_net.routers[r].static_routes.is_empty()
+                    && affected_dests
+                        .iter()
+                        .all(|(p, _)| ospf_routes[r].get(p) == base.state.ospf_routes[r].get(p));
+                if reusable {
+                    fib_cloned[r] = true;
+                    base.sim.fibs.per_router[r].clone()
+                } else {
+                    merge_router_fib(&new_net, rid, &ospf_routes, &rip_routes, &bgp_routes)
+                }
+            })
+            .collect(),
+    };
+
+    // ---- Data plane: re-trace only pairs the failure can have touched. ----
+    // Lockstep FIB diff per router (entries are prefix-sorted): the set of
+    // prefixes whose entry changed modulo renumbering. `None` marks a
+    // router whose FIB *key set* changed (entries appeared or vanished,
+    // e.g. a lost connected route) — longest-prefix matches there cannot
+    // be compared by key and fall back to actual lookups below.
+    let changed_prefixes: Vec<Option<BTreeSet<Ipv4Prefix>>> = (0..n)
+        .map(|r| {
+            if fib_cloned[r] {
+                return Some(BTreeSet::new());
+            }
+            let rid = RouterId(r as u32);
+            let (bf, nf) = (base.sim.fibs.of(rid), fibs.of(rid));
+            if bf.len() != nf.len() {
+                return None;
+            }
+            let mut set = BTreeSet::new();
+            for (be, ne) in bf.entries().zip(nf.entries()) {
+                if be.prefix != ne.prefix {
+                    return None;
+                }
+                if !entry_remap_equal(be, ne, &remap[r]) {
+                    set.insert(be.prefix);
+                }
+            }
+            Some(set)
+        })
+        .collect();
+
+    let hosts: Vec<HostId> = new_net.hosts_iter().map(|(id, _)| id).collect();
+    // lookup_changed[d][r]: router r resolves destination host d's address
+    // differently than the cached base (the only FIB question `trace`
+    // asks). With an unchanged key set the match lands on the same prefix
+    // as at convergence (`host_match`), so the diff set answers directly.
+    let lookup_changed: Vec<Vec<bool>> = hosts
+        .iter()
+        .enumerate()
+        .map(|(di, &h)| {
+            let addr = new_net.host(h).addr;
+            (0..n)
+                .map(|r| match &changed_prefixes[r] {
+                    Some(set) if set.is_empty() => false,
+                    Some(set) => match base.host_match[di][r] {
+                        Some(k) => set.contains(&k),
+                        None => false,
+                    },
+                    None => {
+                        let rid = RouterId(r as u32);
+                        !lookup_remap_equal(
+                            base.sim.fibs.of(rid).lookup(addr),
+                            fibs.of(rid).lookup(addr),
+                            &remap[r],
+                        )
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    let dst_untouched: Vec<bool> = lookup_changed
+        .iter()
+        .map(|row| row.iter().all(|&c| !c))
+        .collect();
+
+    // The cached data plane covers exactly the ordered host pairs; anything
+    // else means the base simulation predates an invariant change.
+    if base.sim.dataplane.len() != hosts.len() * hosts.len().saturating_sub(1) {
+        return Ok(None);
+    }
+    if base.pair_meta.len() != base.sim.dataplane.len() {
+        return Ok(None);
+    }
+    // Per host: whether its attachment survived the perturbation, and
+    // whether it was unattached to begin with (hoisted out of the pair
+    // loop — both depend only on the endpoint, not the pair).
+    let att_unchanged: Vec<bool> = hosts
+        .iter()
+        .map(|&h| attachment_unchanged(base_net, &new_net, &remap, h))
+        .collect();
+    let unattached: Vec<bool> = hosts
+        .iter()
+        .map(|&h| base_net.host(h).attachment.is_none())
+        .collect();
+
+    // Start from the cached data plane (an O(pairs) clone of shared path
+    // sets) and overwrite only the pairs that must be re-traced. Host ids
+    // and data-plane keys share the same (hostname-sorted) order, so the
+    // cached stream zips against the ordered-pair enumeration — the name
+    // checks keep this exact (any drift falls back to a cold run).
+    //
+    // Pair reuse soundness, in check order:
+    // * endpoint attachments must have survived (the trace consults them
+    //   before any FIB);
+    // * an unattached source is an immediate blackhole regardless of any
+    //   FIB, so its cached trace replays exactly;
+    // * a fully untouched destination (no router resolves it differently)
+    //   replays the DFS move for move — blackholes, loops, and ECMP
+    //   truncation included;
+    // * otherwise only clean, non-truncated walks are determined by the
+    //   lookups of exactly the routers on their recorded paths
+    //   (`pair_meta`, precomputed at convergence), and reuse requires all
+    //   of those lookups unchanged.
+    let mut dp = base.sim.dataplane.clone();
+    let mut pairs_total = 0usize;
+    let mut pairs_recomputed = 0usize;
+    let mut cached_pairs = base.sim.dataplane.pairs();
+    for (si, &src) in hosts.iter().enumerate() {
+        let src_name = &new_net.host(src).name;
+        for (di, &dst) in hosts.iter().enumerate() {
+            if si == di {
+                continue;
+            }
+            let idx = pairs_total;
+            pairs_total += 1;
+            let Some(((sname, dname), _ps)) = cached_pairs.next() else {
+                return Ok(None);
+            };
+            if sname != src_name || dname != &new_net.host(dst).name {
+                return Ok(None);
+            }
+            let reusable = if !att_unchanged[si] || !att_unchanged[di] {
+                false
+            } else if unattached[si] || dst_untouched[di] {
+                true
+            } else {
+                match &base.pair_meta[idx] {
+                    Some(on_path) => {
+                        let changed = &lookup_changed[di];
+                        on_path.iter().all(|&r| !changed[r as usize])
+                    }
+                    None => false,
+                }
+            };
+            if !reusable {
+                pairs_recomputed += 1;
+                let traced = trace(&new_net, &fibs, src, dst);
+                dp.insert(sname.clone(), dname.clone(), traced);
+            }
+        }
+    }
+
+    let sim = Simulation {
+        net: new_net,
+        fibs,
+        dataplane: dp,
+    };
+    let stats = DeltaStats {
+        full_fallback: false,
+        identical: false,
+        ospf_prefixes_total,
+        ospf_prefixes_recomputed,
+        rip_warm_started,
+        bgp_reused,
+        pairs_total,
+        pairs_recomputed,
+    };
+    Ok(Some((sim, stats)))
+}
+
+/// Whether the cached IGP router-path matrix equals the fresh one after
+/// interface renumbering (router ids are stable, so only hop interface
+/// indices need mapping).
+fn router_paths_equal_after_remap(
+    base: &RouterPaths,
+    new: &RouterPaths,
+    remap: &[Vec<Option<usize>>],
+) -> bool {
+    if base.dist != new.dist {
+        return false;
+    }
+    base.next_hops
+        .iter()
+        .zip(new.next_hops.iter())
+        .enumerate()
+        .all(|(a, (brow, nrow))| {
+            brow.iter().zip(nrow.iter()).all(|(bhops, nhops)| {
+                bhops.len() == nhops.len()
+                    && bhops
+                        .iter()
+                        .zip(nhops.iter())
+                        .all(|(&(ii, v), &(nii, nv))| remap[a][ii] == Some(nii) && v == nv)
+            })
+        })
+}
+
+/// Whether removing this interface can change the BGP computation at all:
+/// it terminates a session (its address is some router's configured peer
+/// address), carries a session (its prefix covers a peer address on its
+/// own router, i.e. it is — or shadows — a session's `local_iface`), or
+/// backs a locally originated prefix.
+fn iface_bgp_relevant(net: &SimNetwork, r: usize, bi: usize) -> bool {
+    let iface = &net.routers[r].ifaces[bi];
+    if net
+        .routers
+        .iter()
+        .any(|router| router.sessions.iter().any(|s| s.peer_addr == iface.addr))
+    {
+        return true;
+    }
+    if net.routers[r]
+        .sessions
+        .iter()
+        .any(|s| iface.prefix.contains_addr(s.peer_addr))
+    {
+        return true;
+    }
+    net.routers[r].bgp_networks.contains(&iface.prefix)
+}
+
+/// Renumbers interface indices inside cached BGP routes; `None` when any
+/// route references a removed interface (then reuse is off the table).
+fn remap_bgp_routes(base: &BgpRoutes, remap: &[Vec<Option<usize>>]) -> Option<BgpRoutes> {
+    let mut out = Vec::with_capacity(base.len());
+    for (r, table) in base.iter().enumerate() {
+        let mut mapped = BTreeMap::new();
+        for (prefix, route) in table {
+            let mut next_hops = Vec::with_capacity(route.next_hops.len());
+            for &(ii, v) in &route.next_hops {
+                next_hops.push((remap[r][ii]?, v));
+            }
+            let mut route = route.clone();
+            route.next_hops = next_hops;
+            mapped.insert(*prefix, route);
+        }
+        out.push(mapped);
+    }
+    Some(out)
+}
+
+/// Whether two FIB entries are equal after interface renumbering.
+fn entry_remap_equal(be: &FibEntry, ne: &FibEntry, remap: &[Option<usize>]) -> bool {
+    be.prefix == ne.prefix
+        && be.source == ne.source
+        && be.next_hops.len() == ne.next_hops.len()
+        && be
+            .next_hops
+            .iter()
+            .zip(ne.next_hops.iter())
+            .all(|(bh, nh)| match (bh, nh) {
+                (NextHop::Deliver { iface: bi }, NextHop::Deliver { iface: ni }) => {
+                    remap[*bi] == Some(*ni)
+                }
+                (
+                    NextHop::Forward {
+                        via_iface: bi,
+                        router: br,
+                        session_peer: bp,
+                    },
+                    NextHop::Forward {
+                        via_iface: ni,
+                        router: nr,
+                        session_peer: np,
+                    },
+                ) => remap[*bi] == Some(*ni) && br == nr && bp == np,
+                _ => false,
+            })
+}
+
+/// Whether two longest-prefix-match results agree after renumbering: both
+/// miss, or both hit the same entry modulo interface indices.
+fn lookup_remap_equal(
+    base: Option<&FibEntry>,
+    new: Option<&FibEntry>,
+    remap: &[Option<usize>],
+) -> bool {
+    match (base, new) {
+        (None, None) => true,
+        (Some(be), Some(ne)) => entry_remap_equal(be, ne, remap),
+        _ => false,
+    }
+}
+
+/// Whether a host's attachment survived the shutdowns unchanged (modulo
+/// interface renumbering).
+fn attachment_unchanged(
+    base_net: &SimNetwork,
+    new_net: &SimNetwork,
+    remap: &[Vec<Option<usize>>],
+    h: HostId,
+) -> bool {
+    match (base_net.host(h).attachment, new_net.host(h).attachment) {
+        (None, None) => true,
+        (Some((br, bi)), Some((nr, ni))) => br == nr && remap[br.0 as usize][bi] == Some(ni),
+        _ => false,
+    }
+}

@@ -1,0 +1,340 @@
+//! Content-addressed cache keys: a stable 128-bit structural hash over
+//! [`NetworkConfigs`].
+//!
+//! The hash covers every field the simulator can observe — addresses,
+//! costs, protocol blocks, filters, static routes, provenance flags, and
+//! even uninterpreted `extra` lines — so any semantic (or textual) change
+//! to any configuration produces a different key. It deliberately does
+//! *not* use `std::hash` machinery: `DefaultHasher` is allowed to change
+//! across Rust releases, while cache keys must be stable across runs and
+//! builds. FNV-1a over a canonical byte encoding is trivially portable and
+//! has no iteration-order pitfalls because `NetworkConfigs` stores devices
+//! in `BTreeMap`s (sorted by hostname regardless of insertion order).
+//!
+//! Collisions are handled by the cache, which compares the stored
+//! `NetworkConfigs` for equality on every hit — the hash narrows the
+//! search, equality decides it.
+
+use confmask_config::{
+    BgpConfig, DistributeListBinding, FilterAction, HostConfig, Interface, NetworkConfigs,
+    NetworkStatement, OspfConfig, PrefixList, RipConfig, RouterConfig, StaticRoute,
+};
+use confmask_net_types::{Ipv4Addr, Ipv4Prefix};
+
+/// 128-bit FNV-1a offset basis.
+const FNV_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+/// 128-bit FNV-1a prime.
+const FNV_PRIME: u128 = 0x0000000001000000000000000000013B;
+
+/// Incremental FNV-1a/128 over a canonical byte stream.
+struct Fnv128(u128);
+
+impl Fnv128 {
+    fn new() -> Self {
+        Fnv128(FNV_OFFSET)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u128::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.write(&[v]);
+    }
+
+    fn u32(&mut self, v: u32) {
+        self.write(&v.to_le_bytes());
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    /// Length-prefixed string (prefixing prevents concatenation ambiguity:
+    /// `("ab", "c")` must hash differently from `("a", "bc")`).
+    fn str(&mut self, s: &str) {
+        self.u64(s.len() as u64);
+        self.write(s.as_bytes());
+    }
+
+    fn bool(&mut self, v: bool) {
+        self.u8(u8::from(v));
+    }
+
+    fn addr(&mut self, a: Ipv4Addr) {
+        self.u32(u32::from(a));
+    }
+
+    fn prefix(&mut self, p: &Ipv4Prefix) {
+        self.addr(p.network());
+        self.u8(p.len());
+    }
+
+    /// Option tag: 0 = None, 1 = Some (then the payload).
+    fn opt<T>(&mut self, v: &Option<T>, mut f: impl FnMut(&mut Self, &T)) {
+        match v {
+            None => self.u8(0),
+            Some(x) => {
+                self.u8(1);
+                f(self, x);
+            }
+        }
+    }
+
+    fn list<T>(&mut self, items: &[T], mut f: impl FnMut(&mut Self, &T)) {
+        self.u64(items.len() as u64);
+        for item in items {
+            f(self, item);
+        }
+    }
+}
+
+/// The stable structural hash of a network — the cache key.
+///
+/// Deterministic across runs, processes, and builds; independent of the
+/// order configurations were inserted (device maps are sorted); sensitive
+/// to every configuration field.
+pub fn structural_hash(configs: &NetworkConfigs) -> u128 {
+    let mut h = Fnv128::new();
+    h.u64(configs.routers.len() as u64);
+    for (name, rc) in &configs.routers {
+        h.str(name);
+        hash_router(&mut h, rc);
+    }
+    h.u64(configs.hosts.len() as u64);
+    for (name, hc) in &configs.hosts {
+        h.str(name);
+        hash_host(&mut h, hc);
+    }
+    h.0
+}
+
+fn hash_router(h: &mut Fnv128, rc: &RouterConfig) {
+    h.str(&rc.hostname);
+    h.bool(rc.added);
+    h.list(&rc.interfaces, hash_interface);
+    h.opt(&rc.ospf, hash_ospf);
+    h.opt(&rc.rip, hash_rip);
+    h.opt(&rc.bgp, hash_bgp);
+    h.list(&rc.prefix_lists, hash_prefix_list);
+    h.list(&rc.static_routes, hash_static_route);
+    h.list(&rc.extra_lines, |h, l| h.str(l));
+}
+
+fn hash_interface(h: &mut Fnv128, i: &Interface) {
+    h.str(&i.name);
+    h.opt(&i.address, |h, (a, l)| {
+        h.addr(*a);
+        h.u8(*l);
+    });
+    h.opt(&i.ospf_cost, |h, c| h.u32(*c));
+    h.opt(&i.description, |h, d| h.str(d));
+    h.bool(i.shutdown);
+    h.list(&i.extra, |h, l| h.str(l));
+    h.bool(i.added);
+}
+
+fn hash_network_statement(h: &mut Fnv128, n: &NetworkStatement) {
+    h.prefix(&n.prefix);
+    h.u32(n.area);
+    h.bool(n.added);
+}
+
+fn hash_binding(h: &mut Fnv128, b: &DistributeListBinding) {
+    match b {
+        DistributeListBinding::Interface {
+            list,
+            interface,
+            added,
+        } => {
+            h.u8(0);
+            h.str(list);
+            h.str(interface);
+            h.bool(*added);
+        }
+        DistributeListBinding::Neighbor {
+            list,
+            neighbor,
+            added,
+        } => {
+            h.u8(1);
+            h.str(list);
+            h.addr(*neighbor);
+            h.bool(*added);
+        }
+    }
+}
+
+fn hash_ospf(h: &mut Fnv128, o: &OspfConfig) {
+    h.u32(o.process_id);
+    h.list(&o.networks, hash_network_statement);
+    h.list(&o.distribute_lists, hash_binding);
+}
+
+fn hash_rip(h: &mut Fnv128, r: &RipConfig) {
+    h.list(&r.networks, hash_network_statement);
+    h.list(&r.distribute_lists, hash_binding);
+}
+
+fn hash_bgp(h: &mut Fnv128, b: &BgpConfig) {
+    h.u32(b.asn.0);
+    h.list(&b.networks, hash_network_statement);
+    h.list(&b.neighbors, |h, n| {
+        h.addr(n.addr);
+        h.u32(n.remote_as.0);
+        h.opt(&n.local_pref, |h, p| h.u32(*p));
+        h.bool(n.added);
+    });
+    h.list(&b.distribute_lists, hash_binding);
+}
+
+fn hash_prefix_list(h: &mut Fnv128, p: &PrefixList) {
+    h.str(&p.name);
+    h.list(&p.entries, |h, e| {
+        h.u32(e.seq);
+        h.u8(match e.action {
+            FilterAction::Permit => 0,
+            FilterAction::Deny => 1,
+        });
+        h.prefix(&e.prefix);
+        h.bool(e.added);
+    });
+}
+
+fn hash_static_route(h: &mut Fnv128, s: &StaticRoute) {
+    h.prefix(&s.prefix);
+    h.addr(s.next_hop);
+    h.bool(s.added);
+}
+
+fn hash_host(h: &mut Fnv128, hc: &HostConfig) {
+    h.str(&hc.hostname);
+    h.str(&hc.iface_name);
+    h.addr(hc.address.0);
+    h.u8(hc.address.1);
+    h.addr(hc.gateway);
+    h.list(&hc.extra, |h, l| h.str(l));
+    h.bool(hc.added);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use confmask_config::parse_router;
+
+    fn sample() -> NetworkConfigs {
+        let r1 = parse_router(
+            "hostname r1\n!\ninterface Ethernet0/0\n ip address 10.0.0.0 255.255.255.254\n ip ospf cost 5\n!\ninterface Ethernet0/1\n ip address 10.1.0.1 255.255.255.0\n!\nrouter ospf 1\n network 10.0.0.0 0.0.0.1 area 0\n network 10.1.0.0 0.0.0.255 area 0\n!\n",
+        )
+        .unwrap();
+        let r2 = parse_router(
+            "hostname r2\n!\ninterface Ethernet0/0\n ip address 10.0.0.1 255.255.255.254\n!\nrouter ospf 1\n network 10.0.0.0 0.0.0.1 area 0\n!\nrouter bgp 65001\n network 10.1.0.0 mask 255.255.255.0\n neighbor 10.0.0.0 remote-as 65002\n!\n",
+        )
+        .unwrap();
+        let h = HostConfig {
+            hostname: "h1".into(),
+            iface_name: "eth0".into(),
+            address: ("10.1.0.100".parse().unwrap(), 24),
+            gateway: "10.1.0.1".parse().unwrap(),
+            extra: vec![],
+            added: false,
+        };
+        NetworkConfigs::new([r1, r2], [h])
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        // Two fully independent constructions hash identically.
+        assert_eq!(structural_hash(&sample()), structural_hash(&sample()));
+    }
+
+    #[test]
+    fn insensitive_to_insertion_order() {
+        let a = sample();
+        // Rebuild with routers and hosts inserted in reverse order.
+        let routers: Vec<_> = a.routers.values().rev().cloned().collect();
+        let hosts: Vec<_> = a.hosts.values().rev().cloned().collect();
+        let b = NetworkConfigs::new(routers, hosts);
+        assert_eq!(a, b, "BTreeMap canonicalizes device order");
+        assert_eq!(structural_hash(&a), structural_hash(&b));
+    }
+
+    #[test]
+    fn sensitive_to_every_kind_of_change() {
+        let base = structural_hash(&sample());
+        type Mutation = Box<dyn Fn(&mut NetworkConfigs)>;
+        let mutations: Vec<Mutation> = vec![
+            Box::new(|c| c.routers.get_mut("r1").unwrap().interfaces[0].shutdown = true),
+            Box::new(|c| c.routers.get_mut("r1").unwrap().interfaces[0].ospf_cost = Some(7)),
+            Box::new(|c| c.routers.get_mut("r1").unwrap().interfaces[1].address = None),
+            Box::new(|c| {
+                c.routers
+                    .get_mut("r1")
+                    .unwrap()
+                    .extra_lines
+                    .push("no ip cef".into());
+            }),
+            Box::new(|c| {
+                c.routers
+                    .get_mut("r1")
+                    .unwrap()
+                    .ospf
+                    .as_mut()
+                    .unwrap()
+                    .networks
+                    .pop();
+            }),
+            Box::new(|c| {
+                c.routers
+                    .get_mut("r2")
+                    .unwrap()
+                    .bgp
+                    .as_mut()
+                    .unwrap()
+                    .neighbors[0]
+                    .local_pref = Some(200);
+            }),
+            Box::new(|c| {
+                c.hosts.get_mut("h1").unwrap().gateway = "10.1.0.2".parse().unwrap();
+            }),
+            Box::new(|c| {
+                let r = c.routers.get_mut("r1").unwrap();
+                r.static_routes.push(StaticRoute {
+                    prefix: "10.9.0.0/24".parse().unwrap(),
+                    next_hop: "10.0.0.1".parse().unwrap(),
+                    added: true,
+                });
+            }),
+            Box::new(|c| {
+                let h = c.hosts.remove("h1").unwrap();
+                c.hosts.insert("h1-renamed".into(), h);
+            }),
+        ];
+        for (i, m) in mutations.iter().enumerate() {
+            let mut c = sample();
+            m(&mut c);
+            assert_ne!(
+                structural_hash(&c),
+                base,
+                "mutation {i} must change the hash"
+            );
+        }
+    }
+
+    #[test]
+    fn option_and_concat_ambiguities_are_distinguished() {
+        // `description: Some("")` vs `None`.
+        let mut a = sample();
+        a.routers.get_mut("r1").unwrap().interfaces[0].description = Some(String::new());
+        assert_ne!(structural_hash(&a), structural_hash(&sample()));
+        // Two extra lines "ab"+"c" vs "a"+"bc".
+        let mut x = sample();
+        let mut y = sample();
+        x.routers.get_mut("r1").unwrap().extra_lines = vec!["ab".into(), "c".into()];
+        y.routers.get_mut("r1").unwrap().extra_lines = vec!["a".into(), "bc".into()];
+        assert_ne!(structural_hash(&x), structural_hash(&y));
+    }
+}

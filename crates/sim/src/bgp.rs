@@ -206,15 +206,18 @@ fn step(net: &SimNetwork, prev: &BestMap, igp: &RouterPaths) -> BestMap {
         for (si, s) in r.sessions.iter().enumerate() {
             let Some((peer, _)) = s.peer else { continue };
             let peer_node = net.router(peer);
-            let Some(peer_asn) = peer_node.asn else { continue };
+            let Some(peer_asn) = peer_node.asn else {
+                continue;
+            };
             if peer_asn == asn {
                 continue; // iBGP is modelled implicitly
             }
             // The peer's configured view of us must match for the session to
             // come up (both directions configured).
-            let reciprocal = peer_node.sessions.iter().any(|ps| {
-                ps.peer.map(|(q, _)| q) == Some(rid) && ps.remote_as == asn
-            });
+            let reciprocal = peer_node
+                .sessions
+                .iter()
+                .any(|ps| ps.peer.map(|(q, _)| q) == Some(rid) && ps.remote_as == asn);
             if !reciprocal {
                 continue;
             }
@@ -431,7 +434,10 @@ mod tests {
     #[test]
     fn non_bgp_network_is_empty() {
         let cfgs = NetworkConfigs::new(
-            [parse_router("hostname r1\n!\ninterface Ethernet0/0\n ip address 10.0.0.0 255.255.255.254\n!\n").unwrap()],
+            [parse_router(
+                "hostname r1\n!\ninterface Ethernet0/0\n ip address 10.0.0.0 255.255.255.254\n!\n",
+            )
+            .unwrap()],
             [],
         );
         let (_, routes) = routes_for(&cfgs);

@@ -12,6 +12,7 @@ use crate::fib::{Fibs, NextHop};
 use crate::network::SimNetwork;
 use confmask_net_types::{HostId, RouterId};
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 /// Cap on enumerated paths per host pair (ECMP explosion guard; far above
 /// anything the evaluation networks produce).
@@ -37,19 +38,39 @@ impl PathSet {
 }
 
 /// All host-to-host forwarding paths (the paper's `DP`).
+///
+/// Path sets are stored behind [`Arc`] so that cloning a data plane — or
+/// splicing unaffected pairs from a cached one into an incremental result —
+/// shares the (potentially large) path vectors instead of deep-copying
+/// them. Equality stays structural: two data planes compare equal iff their
+/// pairs and path sets do, shared or not.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct DataPlane {
-    pairs: BTreeMap<(String, String), PathSet>,
+    pairs: BTreeMap<(String, String), Arc<PathSet>>,
 }
 
 impl DataPlane {
     /// The path set between two hosts (by name).
     pub fn between(&self, src: &str, dst: &str) -> Option<&PathSet> {
+        self.shared_between(src, dst).map(|ps| ps.as_ref())
+    }
+
+    /// The shared handle for a pair — lets callers reuse a path set in
+    /// another data plane for the cost of a reference-count bump.
+    pub fn shared_between(&self, src: &str, dst: &str) -> Option<&Arc<PathSet>> {
         self.pairs.get(&(src.to_string(), dst.to_string()))
     }
 
     /// Iterates over every `((src, dst), paths)` pair.
     pub fn pairs(&self) -> impl Iterator<Item = (&(String, String), &PathSet)> {
+        self.pairs.iter().map(|(k, v)| (k, v.as_ref()))
+    }
+
+    /// Like [`DataPlane::pairs`], exposing the shared handles: two data
+    /// planes that reuse a path set (the incremental engine's Arc sharing)
+    /// yield pointer-equal handles, so a comparer can skip the deep path
+    /// comparison for them.
+    pub fn shared_pairs(&self) -> impl Iterator<Item = (&(String, String), &Arc<PathSet>)> {
         self.pairs.iter()
     }
 
@@ -86,6 +107,11 @@ impl DataPlane {
 
     /// Inserts a pair (used by the extractor and tests).
     pub fn insert(&mut self, src: String, dst: String, paths: PathSet) {
+        self.insert_shared(src, dst, Arc::new(paths));
+    }
+
+    /// Inserts an already-shared path set without copying it.
+    pub fn insert_shared(&mut self, src: String, dst: String, paths: Arc<PathSet>) {
         self.pairs.insert((src, dst), paths);
     }
 }
@@ -189,10 +215,9 @@ pub fn trace(net: &SimNetwork, fibs: &Fibs, src: HostId, dst: HostId) -> PathSet
     };
 
     // Same-LAN special case: src and dst share a segment — direct delivery.
-    if src_node.prefix == dst_node.prefix
-        && src_node.attachment == dst_node.attachment
-    {
-        out.paths.push(vec![src_node.name.clone(), dst_node.name.clone()]);
+    if src_node.prefix == dst_node.prefix && src_node.attachment == dst_node.attachment {
+        out.paths
+            .push(vec![src_node.name.clone(), dst_node.name.clone()]);
         return out;
     }
 
@@ -288,7 +313,13 @@ mod tests {
             "hostname r2\n!\ninterface Ethernet0/0\n ip address 10.0.0.1 255.255.255.254\n!\ninterface Ethernet0/1\n ip address 10.1.2.1 255.255.255.0\n!\nrouter ospf 1\n network 0.0.0.0 255.255.255.255 area 0\n!\n",
         )
         .unwrap();
-        let mut cfgs = NetworkConfigs::new([r1, r2], [host("h1", "10.1.1.100", "10.1.1.1"), host("h2", "10.1.2.100", "10.1.2.1")]);
+        let mut cfgs = NetworkConfigs::new(
+            [r1, r2],
+            [
+                host("h1", "10.1.1.100", "10.1.1.1"),
+                host("h2", "10.1.2.100", "10.1.2.1"),
+            ],
+        );
         // Fix the `network 0.0.0.0/0` statements (wildcard form parses as /0 with address 0.0.0.0 — make it explicit).
         for rc in cfgs.routers.values_mut() {
             rc.ospf.as_mut().unwrap().networks[0].prefix = "0.0.0.0/0".parse().unwrap();
@@ -301,19 +332,33 @@ mod tests {
         let sim = simulate(&two_net()).unwrap();
         let ps = sim.dataplane.between("h1", "h2").unwrap();
         assert!(ps.clean());
-        assert_eq!(ps.paths, vec![vec!["h1".to_string(), "r1".into(), "r2".into(), "h2".into()]]);
+        assert_eq!(
+            ps.paths,
+            vec![vec![
+                "h1".to_string(),
+                "r1".into(),
+                "r2".into(),
+                "h2".into()
+            ]]
+        );
         // And the reverse direction.
         let ps = sim.dataplane.between("h2", "h1").unwrap();
-        assert_eq!(ps.paths, vec![vec!["h2".to_string(), "r2".into(), "r1".into(), "h1".into()]]);
+        assert_eq!(
+            ps.paths,
+            vec![vec![
+                "h2".to_string(),
+                "r2".into(),
+                "r1".into(),
+                "h1".into()
+            ]]
+        );
     }
 
     #[test]
     fn same_lan_hosts_are_direct() {
         let mut cfgs = two_net();
-        cfgs.hosts.insert(
-            "h1b".into(),
-            host("h1b", "10.1.1.101", "10.1.1.1"),
-        );
+        cfgs.hosts
+            .insert("h1b".into(), host("h1b", "10.1.1.101", "10.1.1.1"));
         let sim = simulate(&cfgs).unwrap();
         let ps = sim.dataplane.between("h1", "h1b").unwrap();
         assert_eq!(ps.paths, vec![vec!["h1".to_string(), "h1b".into()]]);

@@ -92,7 +92,9 @@ impl std::fmt::Display for FailureScenario {
 impl FailureScenario {
     /// A scenario with a single fault.
     pub fn single(fault: Fault) -> Self {
-        FailureScenario { faults: vec![fault] }
+        FailureScenario {
+            faults: vec![fault],
+        }
     }
 
     /// Applies the scenario: returns a copy of `configs` with every
@@ -104,41 +106,91 @@ impl FailureScenario {
     /// does not have yields [`SimError::UnknownElement`].
     pub fn apply(&self, configs: &NetworkConfigs) -> Result<NetworkConfigs, SimError> {
         let mut out = configs.clone();
-        for fault in &self.faults {
-            match fault {
-                Fault::LinkDown { a, b, added } => {
-                    let pairs = link_iface_pairs(configs, a, b, *added);
-                    if pairs.is_empty() {
-                        return Err(SimError::UnknownElement(format!(
-                            "no {} between routers {a} and {b}",
-                            if *added { "fake link" } else { "link" }
-                        )));
+        self.apply_in_place(&mut out)?;
+        Ok(out)
+    }
+
+    /// [`FailureScenario::apply`] without the copy: shuts the affected
+    /// interfaces of `configs` directly and returns the `(router, iface)`
+    /// names whose shutdown flag this call actually flipped (interfaces
+    /// that were already shut are not recorded). Passing the flips to
+    /// [`revert_shutdowns`] restores `configs` exactly, which lets a sweep
+    /// reuse one scratch copy instead of cloning the configurations per
+    /// scenario. On error the configs are left unmodified.
+    pub fn apply_in_place(
+        &self,
+        configs: &mut NetworkConfigs,
+    ) -> Result<Vec<(String, String)>, SimError> {
+        let mut flips = Vec::new();
+        let mut go = || -> Result<(), SimError> {
+            for fault in &self.faults {
+                match fault {
+                    Fault::LinkDown { a, b, added } => {
+                        // Faults only flip shutdown flags, which
+                        // `link_iface_pairs` never reads, so resolving the
+                        // link against the partially-applied configs is
+                        // identical to resolving it against the original.
+                        let pairs = link_iface_pairs(configs, a, b, *added);
+                        if pairs.is_empty() {
+                            return Err(SimError::UnknownElement(format!(
+                                "no {} between routers {a} and {b}",
+                                if *added { "fake link" } else { "link" }
+                            )));
+                        }
+                        for (router, iface) in pairs {
+                            if shut_iface(configs, &router, &iface)? {
+                                flips.push((router, iface));
+                            }
+                        }
                     }
-                    for (router, iface) in pairs {
-                        shut_iface(&mut out, &router, &iface)?;
+                    Fault::RouterDown { router } => {
+                        let rc = configs
+                            .routers
+                            .get_mut(router)
+                            .ok_or_else(|| SimError::UnknownElement(format!("router {router}")))?;
+                        for iface in &mut rc.interfaces {
+                            if !iface.shutdown {
+                                iface.shutdown = true;
+                                flips.push((router.clone(), iface.name.clone()));
+                            }
+                        }
                     }
-                }
-                Fault::RouterDown { router } => {
-                    let rc = out.routers.get_mut(router).ok_or_else(|| {
-                        SimError::UnknownElement(format!("router {router}"))
-                    })?;
-                    for iface in &mut rc.interfaces {
-                        iface.shutdown = true;
+                    Fault::InterfaceShutdown { router, iface } => {
+                        if !configs.routers.contains_key(router) {
+                            return Err(SimError::UnknownElement(format!("router {router}")));
+                        }
+                        if shut_iface(configs, router, iface)? {
+                            flips.push((router.clone(), iface.clone()));
+                        }
                     }
-                }
-                Fault::InterfaceShutdown { router, iface } => {
-                    if !configs.routers.contains_key(router) {
-                        return Err(SimError::UnknownElement(format!("router {router}")));
-                    }
-                    shut_iface(&mut out, router, iface)?;
                 }
             }
+            Ok(())
+        };
+        match go() {
+            Ok(()) => Ok(flips),
+            Err(e) => {
+                revert_shutdowns(configs, &flips);
+                Err(e)
+            }
         }
-        Ok(out)
     }
 }
 
-fn shut_iface(configs: &mut NetworkConfigs, router: &str, iface: &str) -> Result<(), SimError> {
+/// Un-shuts exactly the interfaces [`FailureScenario::apply_in_place`]
+/// reported flipping, restoring the configs to their pre-apply state.
+pub fn revert_shutdowns(configs: &mut NetworkConfigs, flipped: &[(String, String)]) {
+    for (router, iface) in flipped {
+        if let Some(rc) = configs.routers.get_mut(router) {
+            if let Some(i) = rc.interfaces.iter_mut().find(|i| &i.name == iface) {
+                i.shutdown = false;
+            }
+        }
+    }
+}
+
+/// Shuts one interface; `Ok(true)` when this call flipped the flag.
+fn shut_iface(configs: &mut NetworkConfigs, router: &str, iface: &str) -> Result<bool, SimError> {
     let rc = configs
         .routers
         .get_mut(router)
@@ -148,8 +200,9 @@ fn shut_iface(configs: &mut NetworkConfigs, router: &str, iface: &str) -> Result
         .iter_mut()
         .find(|i| i.name == iface)
         .ok_or_else(|| SimError::UnknownElement(format!("interface {router}:{iface}")))?;
+    let flipped = !i.shutdown;
     i.shutdown = true;
-    Ok(())
+    Ok(flipped)
 }
 
 /// The interface pairs realizing the (a, b) link with the given provenance:
@@ -333,6 +386,20 @@ pub fn classify_pair(
     after: &PathSet,
     physically_connected: bool,
 ) -> DegradationClass {
+    classify_pair_with(before, after, || physically_connected)
+}
+
+/// [`classify_pair`] with the connectivity answer supplied lazily.
+///
+/// Physical connectivity only arbitrates dropped traffic (blackhole vs
+/// partition), so most pairs never consult it; callers that compute
+/// component maps on demand (the incremental engine) pass a closure and
+/// skip the flood fill whenever no pair drops traffic.
+pub fn classify_pair_with(
+    before: &PathSet,
+    after: &PathSet,
+    physically_connected: impl FnOnce() -> bool,
+) -> DegradationClass {
     if after == before {
         return DegradationClass::Unchanged;
     }
@@ -340,7 +407,7 @@ pub fn classify_pair(
         return DegradationClass::Looping;
     }
     if after.paths.is_empty() || after.blackhole {
-        return if physically_connected {
+        return if physically_connected() {
             DegradationClass::BlackHoled
         } else {
             DegradationClass::Partitioned
@@ -481,7 +548,10 @@ pub fn run_scenario(
             (Some(a), Some(b)) => a == b,
             _ => false,
         };
-        classes.insert((src.clone(), dst.clone()), classify_pair(before, after, connected));
+        classes.insert(
+            (src.clone(), dst.clone()),
+            classify_pair(before, after, connected),
+        );
     }
     Ok(ScenarioOutcome {
         scenario: scenario.clone(),
@@ -522,7 +592,10 @@ mod tests {
         .unwrap();
         NetworkConfigs::new(
             [r1, r2, r3],
-            [host("h1", "10.1.1.100", "10.1.1.1"), host("h2", "10.1.2.100", "10.1.2.1")],
+            [
+                host("h1", "10.1.1.100", "10.1.1.1"),
+                host("h2", "10.1.2.100", "10.1.2.1"),
+            ],
         )
     }
 
@@ -554,16 +627,33 @@ mod tests {
         // The original is untouched.
         assert!(cfgs.routers["r1"].interfaces.iter().all(|i| !i.shutdown));
         // Exactly the two endpoint interfaces are shut.
-        assert!(once.routers["r1"].interface("Ethernet0/0").unwrap().shutdown);
-        assert!(once.routers["r2"].interface("Ethernet0/0").unwrap().shutdown);
-        assert!(!once.routers["r1"].interface("Ethernet0/1").unwrap().shutdown);
+        assert!(
+            once.routers["r1"]
+                .interface("Ethernet0/0")
+                .unwrap()
+                .shutdown
+        );
+        assert!(
+            once.routers["r2"]
+                .interface("Ethernet0/0")
+                .unwrap()
+                .shutdown
+        );
+        assert!(
+            !once.routers["r1"]
+                .interface("Ethernet0/1")
+                .unwrap()
+                .shutdown
+        );
     }
 
     #[test]
     fn unknown_elements_are_reported() {
         let cfgs = triangle();
         for sc in [
-            FailureScenario::single(Fault::RouterDown { router: "nope".into() }),
+            FailureScenario::single(Fault::RouterDown {
+                router: "nope".into(),
+            }),
             FailureScenario::single(Fault::InterfaceShutdown {
                 router: "r1".into(),
                 iface: "Serial9/9".into(),
@@ -574,7 +664,10 @@ mod tests {
                 added: true, // no fake link exists between r1 and r2
             }),
         ] {
-            assert!(matches!(sc.apply(&cfgs), Err(SimError::UnknownElement(_))), "{sc}");
+            assert!(
+                matches!(sc.apply(&cfgs), Err(SimError::UnknownElement(_))),
+                "{sc}"
+            );
         }
     }
 
@@ -600,7 +693,9 @@ mod tests {
     fn router_failure_partitions_its_host() {
         let cfgs = triangle();
         let baseline = simulate(&cfgs).unwrap().dataplane;
-        let sc = FailureScenario::single(Fault::RouterDown { router: "r2".into() });
+        let sc = FailureScenario::single(Fault::RouterDown {
+            router: "r2".into(),
+        });
         let out = run_scenario(&cfgs, &baseline, &sc).unwrap();
         // h2 hangs off r2: both directions are physically partitioned.
         assert_eq!(

@@ -10,7 +10,9 @@ use confmask_net_types::{Ipv4Addr, Ipv4Prefix, RouterId};
 use std::collections::BTreeMap;
 
 /// Which protocol supplied a route (Cisco administrative distances).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub enum RouteSource {
     /// Directly connected network.
     Connected,
@@ -143,141 +145,181 @@ impl Fibs {
 pub fn compute_fibs(net: &SimNetwork) -> Result<Fibs, SimError> {
     let ospf_routes = ospf::compute(net);
     let rip_routes = rip::compute(net);
-    let igp = ospf::router_paths(net);
-    let bgp_routes = bgp::compute(net, &igp)?;
+    let bgp_routes = compute_bgp_routes(net)?;
+    Ok(merge_fibs(net, &ospf_routes, &rip_routes, &bgp_routes))
+}
 
-    let mut fibs = Fibs {
-        per_router: vec![Fib::default(); net.router_count()],
-    };
+/// Runs BGP (resolving iBGP through the IGP) when any router speaks it.
+/// The router-to-router IGP matrix is only needed as BGP input, so pure
+/// IGP networks skip its `n` Dijkstras entirely.
+pub(crate) fn compute_bgp_routes(
+    net: &SimNetwork,
+) -> Result<Vec<BTreeMap<Ipv4Prefix, bgp::BgpFibRoute>>, SimError> {
+    if net.routers.iter().any(|r| r.asn.is_some()) {
+        let igp = ospf::router_paths(net);
+        bgp::compute(net, &igp)
+    } else {
+        Ok(vec![BTreeMap::new(); net.router_count()])
+    }
+}
 
-    for (rid, router) in net.routers_iter() {
-        let r = rid.0 as usize;
-        // Static routes install at their own prefixes (longest-prefix match
-        // then decides against dynamic routes; at equal prefixes, AD 1 wins
-        // over everything but Connected). Unresolvable next hops are
-        // ignored, like a real RIB.
-        for sr in &router.static_routes {
-            let resolved = router.ifaces.iter().enumerate().find_map(|(ii, iface)| {
-                if !iface.prefix.contains_addr(sr.next_hop) {
-                    return None;
-                }
-                iface.peers.iter().find_map(|p| match p {
-                    crate::network::Peer::Router { router: peer, iface: pi } => {
-                        (net.router(*peer).ifaces[*pi].addr == sr.next_hop)
-                            .then_some((ii, *peer))
-                    }
-                    crate::network::Peer::Host(_) => None,
-                })
-            });
-            if let Some((via_iface, peer)) = resolved {
-                let connected_same = router.ifaces.iter().any(|i| i.prefix == sr.prefix);
-                if !connected_same {
-                    fibs.per_router[r].insert(FibEntry {
-                        prefix: sr.prefix,
-                        source: RouteSource::Static,
-                        next_hops: vec![NextHop::Forward {
-                            via_iface,
-                            router: peer,
-                            session_peer: None,
-                        }],
-                    });
-                }
+/// Merges per-protocol RIB contributions into FIBs by administrative
+/// distance. This is the *only* merge implementation — the incremental
+/// engine feeds it spliced (partly reused, partly recomputed) protocol
+/// tables, so cold and delta simulations go through byte-identical merge
+/// logic.
+pub fn merge_fibs(
+    net: &SimNetwork,
+    ospf_routes: &ospf::IgpRoutes,
+    rip_routes: &rip::RipRoutes,
+    bgp_routes: &[BTreeMap<Ipv4Prefix, bgp::BgpFibRoute>],
+) -> Fibs {
+    Fibs {
+        per_router: net
+            .routers_iter()
+            .map(|(rid, _)| merge_router_fib(net, rid, ospf_routes, rip_routes, bgp_routes))
+            .collect(),
+    }
+}
+
+/// Merges one router's RIB contributions into its FIB — the per-router
+/// body of [`merge_fibs`], exposed so the incremental engine can merge
+/// only the routers a perturbation touched (and clone the rest).
+pub fn merge_router_fib(
+    net: &SimNetwork,
+    rid: RouterId,
+    ospf_routes: &ospf::IgpRoutes,
+    rip_routes: &rip::RipRoutes,
+    bgp_routes: &[BTreeMap<Ipv4Prefix, bgp::BgpFibRoute>],
+) -> Fib {
+    let mut fib = Fib::default();
+    let router = net.router(rid);
+    let r = rid.0 as usize;
+    // Static routes install at their own prefixes (longest-prefix match
+    // then decides against dynamic routes; at equal prefixes, AD 1 wins
+    // over everything but Connected). Unresolvable next hops are
+    // ignored, like a real RIB.
+    for sr in &router.static_routes {
+        let resolved = router.ifaces.iter().enumerate().find_map(|(ii, iface)| {
+            if !iface.prefix.contains_addr(sr.next_hop) {
+                return None;
+            }
+            iface.peers.iter().find_map(|p| match p {
+                crate::network::Peer::Router {
+                    router: peer,
+                    iface: pi,
+                } => (net.router(*peer).ifaces[*pi].addr == sr.next_hop).then_some((ii, *peer)),
+                crate::network::Peer::Host(_) => None,
+            })
+        });
+        if let Some((via_iface, peer)) = resolved {
+            let connected_same = router.ifaces.iter().any(|i| i.prefix == sr.prefix);
+            if !connected_same {
+                fib.insert(FibEntry {
+                    prefix: sr.prefix,
+                    source: RouteSource::Static,
+                    next_hops: vec![NextHop::Forward {
+                        via_iface,
+                        router: peer,
+                        session_peer: None,
+                    }],
+                });
             }
         }
-        for (prefix, _hosts) in &net.destinations {
-            // 1. Connected.
-            if let Some(iface) = router.ifaces.iter().position(|i| i.prefix == *prefix) {
-                fibs.per_router[r].insert(FibEntry {
+    }
+    for (prefix, _hosts) in &net.destinations {
+        // 1. Connected.
+        if let Some(iface) = router.ifaces.iter().position(|i| i.prefix == *prefix) {
+            fib.insert(FibEntry {
+                prefix: *prefix,
+                source: RouteSource::Connected,
+                next_hops: vec![NextHop::Deliver { iface }],
+            });
+            continue;
+        }
+        // 1b. Static at the exact destination prefix (AD 1).
+        if fib
+            .entry(prefix)
+            .is_some_and(|e| e.source == RouteSource::Static)
+        {
+            continue;
+        }
+        // 2. eBGP (AD 20).
+        if let Some(b) = bgp_routes[r].get(prefix) {
+            if b.source == RouteSource::Ebgp && !b.next_hops.is_empty() {
+                fib.insert(FibEntry {
                     prefix: *prefix,
-                    source: RouteSource::Connected,
-                    next_hops: vec![NextHop::Deliver { iface }],
+                    source: RouteSource::Ebgp,
+                    next_hops: b
+                        .next_hops
+                        .iter()
+                        .map(|&(via_iface, router)| NextHop::Forward {
+                            via_iface,
+                            router,
+                            session_peer: b.session_peer,
+                        })
+                        .collect(),
                 });
                 continue;
             }
-            // 1b. Static at the exact destination prefix (AD 1).
-            if fibs.per_router[r]
-                .entry(prefix)
-                .is_some_and(|e| e.source == RouteSource::Static)
-            {
+        }
+        // 3. OSPF (AD 110).
+        if let Some(hops) = ospf_routes[r].get(prefix) {
+            if !hops.is_empty() {
+                fib.insert(FibEntry {
+                    prefix: *prefix,
+                    source: RouteSource::Ospf,
+                    next_hops: hops
+                        .iter()
+                        .map(|&(via_iface, router)| NextHop::Forward {
+                            via_iface,
+                            router,
+                            session_peer: None,
+                        })
+                        .collect(),
+                });
                 continue;
             }
-            // 2. eBGP (AD 20).
-            if let Some(b) = bgp_routes[r].get(prefix) {
-                if b.source == RouteSource::Ebgp && !b.next_hops.is_empty() {
-                    fibs.per_router[r].insert(FibEntry {
-                        prefix: *prefix,
-                        source: RouteSource::Ebgp,
-                        next_hops: b
-                            .next_hops
-                            .iter()
-                            .map(|&(via_iface, router)| NextHop::Forward {
-                                via_iface,
-                                router,
-                                session_peer: b.session_peer,
-                            })
-                            .collect(),
-                    });
-                    continue;
-                }
+        }
+        // 4. RIP (AD 120).
+        if let Some(hops) = rip_routes[r].get(prefix) {
+            if !hops.is_empty() {
+                fib.insert(FibEntry {
+                    prefix: *prefix,
+                    source: RouteSource::Rip,
+                    next_hops: hops
+                        .iter()
+                        .map(|&(via_iface, router)| NextHop::Forward {
+                            via_iface,
+                            router,
+                            session_peer: None,
+                        })
+                        .collect(),
+                });
+                continue;
             }
-            // 3. OSPF (AD 110).
-            if let Some(hops) = ospf_routes[r].get(prefix) {
-                if !hops.is_empty() {
-                    fibs.per_router[r].insert(FibEntry {
-                        prefix: *prefix,
-                        source: RouteSource::Ospf,
-                        next_hops: hops
-                            .iter()
-                            .map(|&(via_iface, router)| NextHop::Forward {
-                                via_iface,
-                                router,
-                                session_peer: None,
-                            })
-                            .collect(),
-                    });
-                    continue;
-                }
-            }
-            // 4. RIP (AD 120).
-            if let Some(hops) = rip_routes[r].get(prefix) {
-                if !hops.is_empty() {
-                    fibs.per_router[r].insert(FibEntry {
-                        prefix: *prefix,
-                        source: RouteSource::Rip,
-                        next_hops: hops
-                            .iter()
-                            .map(|&(via_iface, router)| NextHop::Forward {
-                                via_iface,
-                                router,
-                                session_peer: None,
-                            })
-                            .collect(),
-                    });
-                    continue;
-                }
-            }
-            // 5. iBGP (AD 200).
-            if let Some(b) = bgp_routes[r].get(prefix) {
-                if b.source == RouteSource::Ibgp && !b.next_hops.is_empty() {
-                    fibs.per_router[r].insert(FibEntry {
-                        prefix: *prefix,
-                        source: RouteSource::Ibgp,
-                        next_hops: b
-                            .next_hops
-                            .iter()
-                            .map(|&(via_iface, router)| NextHop::Forward {
-                                via_iface,
-                                router,
-                                session_peer: None,
-                            })
-                            .collect(),
-                    });
-                }
+        }
+        // 5. iBGP (AD 200).
+        if let Some(b) = bgp_routes[r].get(prefix) {
+            if b.source == RouteSource::Ibgp && !b.next_hops.is_empty() {
+                fib.insert(FibEntry {
+                    prefix: *prefix,
+                    source: RouteSource::Ibgp,
+                    next_hops: b
+                        .next_hops
+                        .iter()
+                        .map(|&(via_iface, router)| NextHop::Forward {
+                            via_iface,
+                            router,
+                            session_peer: None,
+                        })
+                        .collect(),
+                });
             }
         }
     }
 
-    Ok(fibs)
+    fib
 }
 
 #[cfg(test)]

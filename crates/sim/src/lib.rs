@@ -38,13 +38,23 @@ mod network;
 pub mod ospf;
 pub mod rip;
 
+pub use bgp::BgpFibRoute;
 pub use dataplane::{DataPlane, PathSet};
-pub use fault::{DegradationClass, FailureScenario, Fault, ScenarioOutcome};
 pub use error::SimError;
-pub use fib::{AdminDistance, Fib, FibEntry, Fibs, NextHop, RouteSource};
+pub use fault::{DegradationClass, FailureScenario, Fault, ScenarioOutcome};
+pub use fib::{
+    merge_fibs, merge_router_fib, AdminDistance, Fib, FibEntry, Fibs, NextHop, RouteSource,
+};
 pub use network::{BgpSession, HostNode, IfaceNode, Peer, RouterNode, SimNetwork};
+pub use ospf::{IgpRoutes, OspfDist, RouterPaths};
+pub use rip::{RipDist, RipRoutes};
 
 use confmask_config::NetworkConfigs;
+use confmask_net_types::Ipv4Prefix;
+use std::collections::BTreeMap;
+
+/// Per-router BGP RIB contributions (one map per [`confmask_net_types::RouterId`]).
+pub type BgpRoutes = Vec<BTreeMap<Ipv4Prefix, BgpFibRoute>>;
 
 /// A complete simulation result: the extracted model, every router's FIB,
 /// and the host-to-host data plane.
@@ -66,13 +76,93 @@ pub fn simulate(configs: &NetworkConfigs) -> Result<Simulation, SimError> {
     let sp = confmask_obs::span("sim.dataplane");
     let dataplane = dataplane::extract_dataplane(&net, &fibs)?;
     sp.finish();
+    emit_dataplane_metrics(&dataplane);
+    Ok(Simulation {
+        net,
+        fibs,
+        dataplane,
+    })
+}
+
+/// Records the data-plane size metrics every full simulation reports,
+/// regardless of which entry point produced it.
+fn emit_dataplane_metrics(dataplane: &DataPlane) {
     if confmask_obs::enabled() {
         confmask_obs::counter_add("sim.dataplane.pairs", dataplane.len() as u64);
         for (_, ps) in dataplane.pairs() {
             confmask_obs::observe("sim.dataplane.paths_per_pair", ps.paths.len() as u64);
         }
     }
-    Ok(Simulation { net, fibs, dataplane })
+}
+
+/// The converged per-protocol control-plane state behind a [`Simulation`].
+///
+/// [`simulate_with_state`] returns it alongside the result so the
+/// incremental engine (`confmask-sim-delta`) can cache what each protocol
+/// converged *to* — per-prefix OSPF/RIP distance vectors, the IGP
+/// router-to-router matrix, and the BGP RIB contributions — and later
+/// recompute only what a perturbation actually touched.
+#[derive(Debug, Clone)]
+pub struct ControlState {
+    /// OSPF candidate next-hops per (router, prefix).
+    pub ospf_routes: IgpRoutes,
+    /// Converged OSPF distance vectors per prefix.
+    pub ospf_dist: OspfDist,
+    /// RIP candidate next-hops per (router, prefix).
+    pub rip_routes: RipRoutes,
+    /// Converged RIP distance vectors per prefix.
+    pub rip_dist: RipDist,
+    /// Router-to-router IGP shortest paths (computed only when some router
+    /// speaks BGP — it exists solely to resolve iBGP egresses).
+    pub router_paths: Option<RouterPaths>,
+    /// BGP RIB contributions per router.
+    pub bgp_routes: BgpRoutes,
+}
+
+/// Like [`simulate`], but also returns the converged [`ControlState`].
+///
+/// The `Simulation` half is byte-identical to what [`simulate`] produces:
+/// both run the same protocol implementations and the same
+/// [`merge_fibs`] / dataplane extraction.
+pub fn simulate_with_state(
+    configs: &NetworkConfigs,
+) -> Result<(Simulation, ControlState), SimError> {
+    let sp = confmask_obs::span("sim.control_plane");
+    confmask_obs::counter_add("sim.simulations", 1);
+    for name in ["sim.ospf.spf_runs", "sim.rip.rounds", "sim.bgp.rounds"] {
+        confmask_obs::counter_add(name, 0);
+    }
+    let net = SimNetwork::build(configs)?;
+    let (ospf_routes, ospf_dist) = ospf::compute_with_state(&net);
+    let (rip_routes, rip_dist) = rip::compute_with_state(&net, None);
+    let any_bgp = net.routers.iter().any(|r| r.asn.is_some());
+    let (router_paths, bgp_routes) = if any_bgp {
+        let rp = ospf::router_paths(&net);
+        let routes = bgp::compute(&net, &rp)?;
+        (Some(rp), routes)
+    } else {
+        (None, vec![BTreeMap::new(); net.router_count()])
+    };
+    let fibs = merge_fibs(&net, &ospf_routes, &rip_routes, &bgp_routes);
+    sp.finish();
+    let sp = confmask_obs::span("sim.dataplane");
+    let dataplane = dataplane::extract_dataplane(&net, &fibs)?;
+    sp.finish();
+    emit_dataplane_metrics(&dataplane);
+    let sim = Simulation {
+        net,
+        fibs,
+        dataplane,
+    };
+    let state = ControlState {
+        ospf_routes,
+        ospf_dist,
+        rip_routes,
+        rip_dist,
+        router_paths,
+        bgp_routes,
+    };
+    Ok((sim, state))
 }
 
 /// Control-plane-only simulation: model extraction and FIB computation

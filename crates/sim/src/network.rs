@@ -330,9 +330,9 @@ fn build_router(rc: &RouterConfig) -> Result<RouterNode, SimError> {
         .flat_map(|o| o.distribute_lists.iter())
         .chain(rc.rip.iter().flat_map(|r| r.distribute_lists.iter()))
         .filter_map(|d| match d {
-            DistributeListBinding::Interface { list, interface, .. } => {
-                Some((list.as_str(), interface.as_str()))
-            }
+            DistributeListBinding::Interface {
+                list, interface, ..
+            } => Some((list.as_str(), interface.as_str())),
             _ => None,
         })
         .collect();

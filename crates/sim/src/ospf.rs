@@ -23,6 +23,12 @@ use std::collections::{BTreeMap, BinaryHeap};
 /// already filtered).
 pub type IgpRoutes = Vec<BTreeMap<Ipv4Prefix, Vec<(usize, RouterId)>>>;
 
+/// Converged per-prefix distance vectors: `dist[prefix][router]` is the
+/// cost from the router to the prefix (`u64::MAX` = unreachable). Prefixes
+/// with no advertiser are absent. The incremental engine keeps these to
+/// decide whether a failed edge lies on any shortest-path DAG.
+pub type OspfDist = BTreeMap<Ipv4Prefix, Vec<u64>>;
+
 /// Directed OSPF adjacency: for each router, `(iface_idx, neighbor,
 /// neighbor_iface, cost_of_our_iface)`.
 fn adjacency(net: &SimNetwork) -> Vec<Vec<(usize, RouterId, usize, u32)>> {
@@ -49,9 +55,28 @@ fn adjacency(net: &SimNetwork) -> Vec<Vec<(usize, RouterId, usize, u32)>> {
 /// Destination prefixes are independent, so the per-prefix multi-source
 /// Dijkstras fan out over scoped threads on larger networks.
 pub fn compute(net: &SimNetwork) -> IgpRoutes {
+    compute_subset(net, &net.destinations).0
+}
+
+/// Computes OSPF candidate next-hops plus the converged per-prefix distance
+/// vectors for every destination (the state the incremental engine caches).
+pub fn compute_with_state(net: &SimNetwork) -> (IgpRoutes, OspfDist) {
+    compute_subset(net, &net.destinations)
+}
+
+/// Computes OSPF candidate next-hops and distances for a *subset* of
+/// destination prefixes. The incremental engine calls this with only the
+/// prefixes whose shortest-path DAGs a failure touched; per-prefix results
+/// are independent, so the output for a subset is byte-identical to the
+/// corresponding slice of a full [`compute_with_state`] run.
+#[allow(clippy::type_complexity)]
+pub fn compute_subset(
+    net: &SimNetwork,
+    destinations: &[(Ipv4Prefix, Vec<confmask_net_types::HostId>)],
+) -> (IgpRoutes, OspfDist) {
     // One multi-source Dijkstra per destination prefix (counted here, not in
     // `compute_for`, so the tally is independent of the thread fan-out).
-    confmask_obs::counter_add("sim.ospf.spf_runs", net.destinations.len() as u64);
+    confmask_obs::counter_add("sim.ospf.spf_runs", destinations.len() as u64);
     let adj = adjacency(net);
     let n = net.router_count();
 
@@ -68,12 +93,11 @@ pub fn compute(net: &SimNetwork) -> IgpRoutes {
         .map(|t| t.get())
         .unwrap_or(1)
         .min(8);
-    if threads > 1 && net.destinations.len() >= 32 {
-        let chunks: Vec<&[(Ipv4Prefix, Vec<confmask_net_types::HostId>)]> = net
-            .destinations
-            .chunks(net.destinations.len().div_ceil(threads))
+    if threads > 1 && destinations.len() >= 32 {
+        let chunks: Vec<&[(Ipv4Prefix, Vec<confmask_net_types::HostId>)]> = destinations
+            .chunks(destinations.len().div_ceil(threads))
             .collect();
-        let partials: Vec<IgpRoutes> = std::thread::scope(|scope| {
+        let partials: Vec<(IgpRoutes, OspfDist)> = std::thread::scope(|scope| {
             let handles: Vec<_> = chunks
                 .into_iter()
                 .map(|chunk| {
@@ -88,14 +112,16 @@ pub fn compute(net: &SimNetwork) -> IgpRoutes {
                 .collect()
         });
         let mut routes: IgpRoutes = vec![BTreeMap::new(); n];
-        for partial in partials {
-            for (r, map) in partial.into_iter().enumerate() {
+        let mut dist = OspfDist::new();
+        for (partial_routes, partial_dist) in partials {
+            for (r, map) in partial_routes.into_iter().enumerate() {
                 routes[r].extend(map);
             }
+            dist.extend(partial_dist);
         }
-        return routes;
+        return (routes, dist);
     }
-    compute_for(net, &adj, &rev, &net.destinations)
+    compute_for(net, &adj, &rev, destinations)
 }
 
 /// The per-prefix SPF body, over a subset of destinations.
@@ -105,9 +131,10 @@ fn compute_for(
     adj: &[Vec<(usize, RouterId, usize, u32)>],
     rev: &[Vec<(usize, u32)>],
     destinations: &[(Ipv4Prefix, Vec<confmask_net_types::HostId>)],
-) -> IgpRoutes {
+) -> (IgpRoutes, OspfDist) {
     let n = net.router_count();
     let mut routes: IgpRoutes = vec![BTreeMap::new(); n];
+    let mut dists = OspfDist::new();
     for (prefix, _hosts) in destinations {
         // Advertisers: routers with an OSPF-active interface exactly on the
         // prefix; seed cost is that interface's cost.
@@ -167,12 +194,13 @@ fn compute_for(
                 routes[u].insert(*prefix, hops);
             }
         }
+        dists.insert(*prefix, dist);
     }
-    routes
+    (routes, dists)
 }
 
 /// Router-to-router IGP shortest paths (used for iBGP egress resolution).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RouterPaths {
     /// `dist[a][b]` = IGP cost from router `a` to router `b`
     /// (`u64::MAX` = unreachable).

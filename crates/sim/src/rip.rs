@@ -21,8 +21,37 @@ pub const RIP_INFINITY: u32 = 16;
 /// [`crate::ospf::IgpRoutes`]).
 pub type RipRoutes = Vec<BTreeMap<Ipv4Prefix, Vec<(usize, RouterId)>>>;
 
+/// Converged per-prefix distance vectors: `dist[prefix][router]` is the hop
+/// count from the router to the prefix ([`RIP_INFINITY`] = unreachable).
+/// Prefixes with no advertiser are absent. The incremental engine caches
+/// these to warm-start the Bellman–Ford fixpoint after a failure.
+pub type RipDist = BTreeMap<Ipv4Prefix, Vec<u32>>;
+
 /// Computes RIP routes for every (router, host-LAN prefix).
 pub fn compute(net: &SimNetwork) -> RipRoutes {
+    compute_with_state(net, None).0
+}
+
+/// Computes RIP routes plus the converged distance vectors, optionally
+/// warm-starting the Bellman–Ford iteration from a previously converged
+/// state.
+///
+/// **Warm-start soundness** (why the result is byte-identical to a cold
+/// run): the synchronous update `T(x)[u] = min over allowed neighbors v of
+/// (x[v] + 1)`, with advertisers pinned at 1 and values capped at
+/// [`RIP_INFINITY`], is monotone. Warm-starting is only sound when the
+/// network changed by *removing* adjacencies or advertisers (administrative
+/// shutdowns), because then `T_new(x) ≥ T_old(x)` pointwise, so the old
+/// fixpoint `x₀ = T_old(x₀) ≤ T_new(x₀)` and the iterates climb
+/// monotonically. They converge to a fixpoint of `T_new`, and `T_new` has a
+/// *unique* fixpoint: in any fixpoint, a router with value `m < 16` heads a
+/// strictly descending chain of allowed adjacencies ending at an advertiser
+/// (non-advertisers always have value ≥ 2), which exhibits a real filtered
+/// path of length `m`; induction over the true distance then pins every
+/// value. Hence the warm iteration lands exactly where the cold one does.
+/// The caller (the delta engine) is responsible for the removal-only
+/// precondition; a cold run (`warm = None`) needs no precondition.
+pub fn compute_with_state(net: &SimNetwork, warm: Option<&RipDist>) -> (RipRoutes, RipDist) {
     let n = net.router_count();
 
     // RIP adjacency: both interfaces rip-active.
@@ -43,22 +72,44 @@ pub fn compute(net: &SimNetwork) -> RipRoutes {
     }
 
     let mut routes: RipRoutes = vec![BTreeMap::new(); n];
+    let mut dists = RipDist::new();
     let mut total_rounds = 0u64;
     for (prefix, _hosts) in &net.destinations {
         let mut dist = vec![RIP_INFINITY; n];
+        let mut advertiser = vec![false; n];
         // Advertisers: connected + rip-active on the prefix; metric 1.
         for (rid, r) in net.routers_iter() {
             if r.ifaces.iter().any(|i| i.rip_active && i.prefix == *prefix) {
                 dist[rid.0 as usize] = 1;
+                advertiser[rid.0 as usize] = true;
             }
         }
         if dist.iter().all(|&d| d == RIP_INFINITY) {
             continue;
         }
+        // Warm start: seed non-advertisers from the previous fixpoint (a
+        // lower bound on the new one under removal-only perturbations).
+        // A prefix absent from the warm state had no advertisers before,
+        // so its previous values were all infinity — the cold seed.
+        if let Some(w) = warm.and_then(|w| w.get(prefix)).filter(|w| w.len() == n) {
+            for u in 0..n {
+                if !advertiser[u] {
+                    dist[u] = w[u];
+                }
+            }
+        }
+        // Cold runs converge from above within `n` rounds (classic
+        // Bellman–Ford); warm runs climb from below, gaining at least one
+        // unit somewhere per non-converged round, so `16n` bounds them.
+        let max_rounds = if warm.is_some() {
+            n * RIP_INFINITY as usize + 1
+        } else {
+            n
+        };
 
         // Synchronous Bellman–Ford. An inbound filter on the iface toward a
         // neighbor drops that neighbor's advertisements for this prefix.
-        for _round in 0..n {
+        for _round in 0..max_rounds {
             total_rounds += 1;
             let mut changed = false;
             let prev = dist.clone();
@@ -109,9 +160,10 @@ pub fn compute(net: &SimNetwork) -> RipRoutes {
                 routes[u].insert(*prefix, hops);
             }
         }
+        dists.insert(*prefix, dist);
     }
     confmask_obs::counter_add("sim.rip.rounds", total_rounds);
-    routes
+    (routes, dists)
 }
 
 #[cfg(test)]
@@ -178,10 +230,18 @@ mod tests {
     #[test]
     fn filter_falls_back_to_longer_path() {
         // Square: r1-r2-r4 and r1-r3-r4 (equal hops) + filter one way at r1.
-        let r1 = rip_router("r1", &[("10.0.12.0", 31), ("10.0.13.0", 31)], Some("10.1.1.1"));
+        let r1 = rip_router(
+            "r1",
+            &[("10.0.12.0", 31), ("10.0.13.0", 31)],
+            Some("10.1.1.1"),
+        );
         let r2 = rip_router("r2", &[("10.0.12.1", 31), ("10.0.24.0", 31)], None);
         let r3 = rip_router("r3", &[("10.0.13.1", 31), ("10.0.34.0", 31)], None);
-        let r4 = rip_router("r4", &[("10.0.24.1", 31), ("10.0.34.1", 31)], Some("10.1.4.1"));
+        let r4 = rip_router(
+            "r4",
+            &[("10.0.24.1", 31), ("10.0.34.1", 31)],
+            Some("10.1.4.1"),
+        );
         let h4 = HostConfig {
             hostname: "h4".into(),
             iface_name: "eth0".into(),
@@ -232,8 +292,7 @@ mod tests {
             if i < 17 {
                 links.push((format!("10.0.{i}.0"), 31));
             }
-            let links_ref: Vec<(&str, u8)> =
-                links.iter().map(|(a, l)| (a.as_str(), *l)).collect();
+            let links_ref: Vec<(&str, u8)> = links.iter().map(|(a, l)| (a.as_str(), *l)).collect();
             let lan = if i == 17 { Some("10.9.9.1") } else { None };
             routers.push(rip_router(&format!("r{i:02}"), &links_ref, lan));
         }
@@ -251,7 +310,10 @@ mod tests {
         let far: Ipv4Prefix = "10.9.9.0/24".parse().unwrap();
         let r00 = net.router_id("r00").unwrap();
         let r10 = net.router_id("r10").unwrap();
-        assert!(!routes[r00.0 as usize].contains_key(&far), "17 hops > infinity");
+        assert!(
+            !routes[r00.0 as usize].contains_key(&far),
+            "17 hops > infinity"
+        );
         assert!(routes[r10.0 as usize].contains_key(&far), "7 hops is fine");
     }
 }

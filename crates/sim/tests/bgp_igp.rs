@@ -40,7 +40,10 @@ fn two_as_with_interior() -> NetworkConfigs {
     .unwrap();
     NetworkConfigs::new(
         [i1, i2, b1, b2],
-        [host("h1", "10.1.1.100", "10.1.1.1"), host("h2", "10.2.1.100", "10.2.1.1")],
+        [
+            host("h1", "10.1.1.100", "10.1.1.1"),
+            host("h2", "10.2.1.100", "10.2.1.1"),
+        ],
     )
 }
 
@@ -50,10 +53,18 @@ fn interior_router_resolves_ibgp_through_ospf() {
     let sim = simulate(&net).unwrap();
     let i1 = sim.net.router_id("i1").unwrap();
     let i2 = sim.net.router_id("i2").unwrap();
-    let entry = sim.fibs.of(i1).lookup("10.2.1.100".parse().unwrap()).unwrap();
+    let entry = sim
+        .fibs
+        .of(i1)
+        .lookup("10.2.1.100".parse().unwrap())
+        .unwrap();
     assert_eq!(entry.source, RouteSource::Ibgp, "interior router uses iBGP");
     assert_eq!(entry.next_hops.len(), 1);
-    assert_eq!(entry.next_hops[0].router(), Some(i2), "resolved via OSPF toward egress b1");
+    assert_eq!(
+        entry.next_hops[0].router(),
+        Some(i2),
+        "resolved via OSPF toward egress b1"
+    );
 
     let ps = sim.dataplane.between("h1", "h2").unwrap();
     assert!(ps.clean());
@@ -75,7 +86,11 @@ fn border_router_uses_ebgp() {
     let net = two_as_with_interior();
     let sim = simulate(&net).unwrap();
     let b1 = sim.net.router_id("b1").unwrap();
-    let entry = sim.fibs.of(b1).lookup("10.2.1.100".parse().unwrap()).unwrap();
+    let entry = sim
+        .fibs
+        .of(b1)
+        .lookup("10.2.1.100".parse().unwrap())
+        .unwrap();
     assert_eq!(entry.source, RouteSource::Ebgp);
 }
 
@@ -87,7 +102,11 @@ fn intra_as_prefix_stays_on_ospf() {
     let sim = simulate(&net).unwrap();
     for name in ["i2", "b1"] {
         let rid = sim.net.router_id(name).unwrap();
-        let entry = sim.fibs.of(rid).lookup("10.1.1.100".parse().unwrap()).unwrap();
+        let entry = sim
+            .fibs
+            .of(rid)
+            .lookup("10.1.1.100".parse().unwrap())
+            .unwrap();
         assert_eq!(entry.source, RouteSource::Ospf, "{name}");
     }
 }
@@ -165,24 +184,32 @@ fn parallel_ebgp_sessions_prefer_lower_session_index() {
             "10.0.10.0".parse().unwrap(),
             31,
         ));
-        b1.bgp.as_mut().unwrap().neighbors.push(confmask_config::BgpNeighbor {
-            addr: "10.0.10.1".parse().unwrap(),
-            remote_as: confmask_net_types::Asn(200),
-            local_pref: None,
-            added: false,
-        });
+        b1.bgp
+            .as_mut()
+            .unwrap()
+            .neighbors
+            .push(confmask_config::BgpNeighbor {
+                addr: "10.0.10.1".parse().unwrap(),
+                remote_as: confmask_net_types::Asn(200),
+                local_pref: None,
+                added: false,
+            });
         let b2 = net.routers.get_mut("b2").unwrap();
         b2.interfaces.push(confmask_config::Interface::new(
             "Ethernet0/9",
             "10.0.10.1".parse().unwrap(),
             31,
         ));
-        b2.bgp.as_mut().unwrap().neighbors.push(confmask_config::BgpNeighbor {
-            addr: "10.0.10.0".parse().unwrap(),
-            remote_as: confmask_net_types::Asn(100),
-            local_pref: None,
-            added: false,
-        });
+        b2.bgp
+            .as_mut()
+            .unwrap()
+            .neighbors
+            .push(confmask_config::BgpNeighbor {
+                addr: "10.0.10.0".parse().unwrap(),
+                remote_as: confmask_net_types::Asn(100),
+                local_pref: None,
+                added: false,
+            });
     }
     let a = simulate(&net).unwrap();
     let b = simulate(&net).unwrap();
@@ -225,12 +252,16 @@ fn local_preference_overrides_as_path_length() {
             "10.0.12.1".parse().unwrap(),
             31,
         ));
-        b2.bgp.as_mut().unwrap().neighbors.push(confmask_config::BgpNeighbor {
-            addr: "10.0.12.0".parse().unwrap(),
-            remote_as: confmask_net_types::Asn(300),
-            local_pref: None,
-            added: false,
-        });
+        b2.bgp
+            .as_mut()
+            .unwrap()
+            .neighbors
+            .push(confmask_config::BgpNeighbor {
+                addr: "10.0.12.0".parse().unwrap(),
+                remote_as: confmask_net_types::Asn(300),
+                local_pref: None,
+                added: false,
+            });
     }
     let sim = simulate(&net).unwrap();
     let ps = sim.dataplane.between("h1", "h2").unwrap();

@@ -48,7 +48,10 @@ fn ladder(k: usize) -> NetworkConfigs {
     routers.push(parse_router(&dst).unwrap());
     NetworkConfigs::new(
         routers,
-        [host("hs", "10.1.1.100", "10.1.1.1"), host("hd", "10.1.2.100", "10.1.2.1")],
+        [
+            host("hs", "10.1.1.100", "10.1.1.1"),
+            host("hd", "10.1.2.100", "10.1.2.1"),
+        ],
     )
 }
 
@@ -100,7 +103,8 @@ fn path_cap_bounds_enumeration() {
     }
     let rf = parse_router(&rfinal).unwrap();
     net.routers.insert(rf.hostname.clone(), rf);
-    net.hosts.insert("hd2".into(), host("hd2", "10.1.3.100", "10.1.3.1"));
+    net.hosts
+        .insert("hd2".into(), host("hd2", "10.1.3.100", "10.1.3.1"));
 
     let sim = simulate(&net).unwrap();
     let ps = sim.dataplane.between("hs", "hd2").unwrap();
@@ -110,7 +114,11 @@ fn path_cap_bounds_enumeration() {
         "cap respected: {}",
         ps.paths.len()
     );
-    assert!(ps.paths.len() >= 200, "still enumerates a lot: {}", ps.paths.len());
+    assert!(
+        ps.paths.len() >= 200,
+        "still enumerates a lot: {}",
+        ps.paths.len()
+    );
 }
 
 #[test]
