@@ -1,22 +1,25 @@
-//! Cold vs incremental k = 1 fault sweep.
+//! Cold vs incremental vs parallel-incremental k = 1 fault sweep.
 //!
 //! Sweeps every single-link failure of the chosen evaluation networks
-//! twice — once with a full `simulate()` per scenario (the pre-delta
-//! behaviour) and once through the incremental engine, which converges the
-//! healthy baseline once and delta-recomputes each scenario. The two
-//! sweeps' per-pair degradation classes are asserted identical before any
-//! timing is reported, so the speedup is only ever measured on matching
-//! results.
+//! three times — once with a full `simulate()` per scenario (the pre-delta
+//! behaviour), once through the incremental engine sequentially (the
+//! healthy baseline converges once and each scenario delta-recomputes),
+//! and once with the incremental scenarios fanned out across the shared
+//! executor. Every sweep's per-pair degradation classes are asserted
+//! identical to the cold sweep's before any timing is reported, so
+//! speedups are only ever measured on matching results.
 //!
 //! ```text
 //! fault_sweep [--networks D,F,H] [--limit N] [--output BENCH_fault_sweep.json]
-//!             [--assert-speedup X]
+//!             [--assert-speedup X] [--assert-parallel-speedup X]
 //! ```
 //!
 //! `--limit` caps the scenarios per network (the cold sweep on network F is
 //! expensive — that being the point); `--assert-speedup X` exits non-zero
 //! unless every swept network's incremental sweep was at least X times
-//! faster than its cold sweep (CI uses this as the regression gate).
+//! faster than its cold sweep, and `--assert-parallel-speedup X` does the
+//! same for the parallel sweep relative to the sequential incremental one
+//! (CI uses both as regression gates on multi-core runners).
 
 use confmask_sim::fault::{enumerate_single_link_failures, run_scenario};
 use confmask_sim::simulate;
@@ -30,15 +33,25 @@ struct Row {
     scenarios: usize,
     cold_secs: f64,
     incremental_secs: f64,
+    parallel_secs: f64,
 }
 
 impl Row {
     fn speedup(&self) -> f64 {
-        if self.incremental_secs > 0.0 {
-            self.cold_secs / self.incremental_secs
-        } else {
-            f64::INFINITY
-        }
+        ratio(self.cold_secs, self.incremental_secs)
+    }
+
+    /// Parallel-incremental speedup over the sequential incremental sweep.
+    fn parallel_speedup(&self) -> f64 {
+        ratio(self.incremental_secs, self.parallel_secs)
+    }
+}
+
+fn ratio(num: f64, den: f64) -> f64 {
+    if den > 0.0 {
+        num / den
+    } else {
+        f64::INFINITY
     }
 }
 
@@ -47,6 +60,7 @@ fn main() {
     let mut limit: Option<usize> = None;
     let mut output = String::from("BENCH_fault_sweep.json");
     let mut assert_speedup: Option<f64> = None;
+    let mut assert_parallel_speedup: Option<f64> = None;
 
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut it = args.iter();
@@ -80,10 +94,17 @@ fn main() {
                     std::process::exit(2);
                 }));
             }
+            "--assert-parallel-speedup" => {
+                assert_parallel_speedup = Some(value(flag).parse().unwrap_or_else(|_| {
+                    eprintln!("--assert-parallel-speedup expects a number");
+                    std::process::exit(2);
+                }));
+            }
             other => {
                 eprintln!(
                     "unknown flag '{other}'\nusage: fault_sweep [--networks D,F,H] \
-                     [--limit N] [--output FILE] [--assert-speedup X]"
+                     [--limit N] [--output FILE] [--assert-speedup X] \
+                     [--assert-parallel-speedup X]"
                 );
                 std::process::exit(2);
             }
@@ -148,6 +169,26 @@ fn main() {
         }
         let incremental_secs = incremental_time.as_secs_f64();
 
+        // Parallel-incremental sweep: same fresh-engine setup, but the
+        // scenarios fan out across the shared executor with one scratch
+        // per worker. The whole batch is timed as one region (that is the
+        // wall-clock a caller observes) and every outcome is again
+        // differentially checked against the cold sweep.
+        let t2 = Instant::now();
+        let par_engine = DeltaEngine::new(4);
+        let par_base = par_engine
+            .converged(configs)
+            .expect("healthy network must converge");
+        let outcomes = par_engine.run_scenarios(&par_base, &par_base.sim.dataplane, &scenarios);
+        let parallel_secs = t2.elapsed().as_secs_f64();
+        for (outcome, c) in outcomes.iter().zip(cold.iter()) {
+            let outcome = outcome.as_ref().expect("parallel scenario");
+            if outcome != c {
+                eprintln!("net {id}: PARALLEL MISMATCH on {}", c.scenario);
+                mismatches += 1;
+            }
+        }
+
         // Differential gate: identical outcomes or no timing at all.
         if mismatches > 0 {
             eprintln!("net {id}: {mismatches} differential mismatch(es) — aborting");
@@ -160,12 +201,17 @@ fn main() {
             scenarios: scenarios.len(),
             cold_secs,
             incremental_secs,
+            parallel_secs,
         };
         println!(
-            "net {id}: cold {:.2}s, incremental {:.2}s — {:.1}x speedup, 0 mismatches",
+            "net {id}: cold {:.2}s, incremental {:.2}s ({:.1}x), parallel {:.2}s \
+             ({:.1}x over incremental, {} thread(s)), 0 mismatches",
             row.cold_secs,
             row.incremental_secs,
-            row.speedup()
+            row.speedup(),
+            row.parallel_secs,
+            row.parallel_speedup(),
+            confmask_exec::thread_count()
         );
         rows.push(row);
     }
@@ -176,19 +222,23 @@ fn main() {
         "  \"limit\": {},",
         limit.map_or("null".into(), |l| l.to_string())
     );
+    let _ = writeln!(json, "  \"threads\": {},", confmask_exec::thread_count());
     json.push_str("  \"networks\": [\n");
     for (i, r) in rows.iter().enumerate() {
         let _ = write!(
             json,
             "    {{\"id\": \"{}\", \"name\": \"{}\", \"scenarios\": {}, \
              \"cold_secs\": {:.3}, \"incremental_secs\": {:.3}, \"speedup\": {:.2}, \
+             \"parallel_secs\": {:.3}, \"parallel_speedup\": {:.2}, \
              \"mismatches\": 0}}",
             r.id,
             r.name,
             r.scenarios,
             r.cold_secs,
             r.incremental_secs,
-            r.speedup()
+            r.speedup(),
+            r.parallel_secs,
+            r.parallel_speedup()
         );
         json.push_str(if i + 1 < rows.len() { ",\n" } else { "\n" });
     }
@@ -211,5 +261,18 @@ fn main() {
             }
         }
         println!("speedup gate: every network >= {min}x");
+    }
+    if let Some(min) = assert_parallel_speedup {
+        for r in &rows {
+            if r.parallel_speedup() < min {
+                eprintln!(
+                    "net {}: parallel speedup {:.2}x below required {min}x",
+                    r.id,
+                    r.parallel_speedup()
+                );
+                std::process::exit(1);
+            }
+        }
+        println!("parallel speedup gate: every network >= {min}x");
     }
 }

@@ -101,6 +101,10 @@ pub struct ObsOptions {
     /// Write a JSON metrics report (span tree + counters + histograms)
     /// here after the command finishes, even on failure.
     pub metrics_out: Option<PathBuf>,
+    /// Worker threads for the shared executor (0 = `CONFMASK_THREADS` env
+    /// var if set, else available parallelism). Independent of `serve
+    /// --workers`, which sizes the daemon's job workers.
+    pub threads: usize,
 }
 
 /// Argument parsing error with a user-facing message.
@@ -164,6 +168,11 @@ Observability (any subcommand):
   --metrics-out <path> write a JSON metrics report (span tree, counters,
                        histograms) after the command, even on failure;
                        render it with `confmask obs-report`
+  --threads <N>        worker threads for parallel simulation, sweeps,
+                       and mining (default: CONFMASK_THREADS env var if
+                       set, else available parallelism; results are
+                       identical at any thread count). Independent of
+                       `serve --workers`, which sizes job concurrency
 
 Exit codes: 0 success, 1 fatal error, 2 usage error, 3 anonymization
 retries exhausted, 4 equivalence-under-failure violation.";
@@ -229,6 +238,9 @@ pub fn parse(argv: &[String]) -> Result<(Command, ObsOptions), ArgError> {
             "-vv" => obs.verbosity = obs.verbosity.saturating_add(2),
             "--metrics-out" => {
                 obs.metrics_out = Some(PathBuf::from(take_value(&mut it0, arg)?));
+            }
+            "--threads" => {
+                obs.threads = parse_value(&mut it0, arg, "an integer")?;
             }
             other => rest.push(other),
         }
@@ -567,6 +579,18 @@ mod tests {
         assert_eq!(obs, ObsOptions::default());
 
         assert!(parse(&argv("inspect --input in --metrics-out")).is_err());
+    }
+
+    #[test]
+    fn threads_flag_is_accepted_anywhere() {
+        let (_, obs) = parse(&argv("--threads 4 inspect --input in")).unwrap();
+        assert_eq!(obs.threads, 4);
+        let (_, obs) = parse(&argv("failures --threads 2")).unwrap();
+        assert_eq!(obs.threads, 2);
+        let (_, obs) = parse(&argv("inspect --input in")).unwrap();
+        assert_eq!(obs.threads, 0, "default is auto");
+        assert!(parse(&argv("inspect --input in --threads nope")).is_err());
+        assert!(parse(&argv("inspect --input in --threads")).is_err());
     }
 
     #[test]

@@ -250,17 +250,28 @@ pub fn run(cmd: Command) -> Result<String, CmdError> {
                         scenarios.len()
                     );
                     let total = scenarios.len();
-                    for (i, scenario) in scenarios.into_iter().enumerate() {
-                        confmask_obs::info!(
-                            "cli.failures",
-                            "scenario {}/{total}: {scenario}",
-                            i + 1
-                        );
-                        let run = match &base {
-                            Some(conv) => confmask_sim_delta::DeltaEngine::global()
-                                .run_scenario(conv, &baseline, &scenario),
-                            None => run_scenario(&net, &baseline, &scenario),
-                        };
+                    // Scenarios fan out across the shared executor; each
+                    // worker reuses its own scratch configs on the warm
+                    // path. Outcomes come back in scenario order, so the
+                    // report reads identically at any thread count.
+                    let engine = confmask_sim_delta::DeltaEngine::global();
+                    let runs = confmask_exec::par_map_init(
+                        &scenarios,
+                        confmask_sim_delta::ScenarioScratch::default,
+                        |scratch, i, scenario| {
+                            confmask_obs::info!(
+                                "cli.failures",
+                                "scenario {}/{total}: {scenario}",
+                                i + 1
+                            );
+                            match &base {
+                                Some(conv) => engine
+                                    .run_scenario_scratch(conv, &baseline, scenario, scratch),
+                                None => run_scenario(&net, &baseline, scenario),
+                            }
+                        },
+                    );
+                    for (scenario, run) in scenarios.iter().zip(runs) {
                         match run {
                             Ok(out) => {
                                 let hist: Vec<String> = out

@@ -17,13 +17,17 @@ fn main() {
         1 => confmask_obs::Level::Info,
         _ => confmask_obs::Level::Debug,
     });
+    // The executor is sized before any parallel region runs: --threads
+    // beats CONFMASK_THREADS beats available parallelism.
+    confmask_exec::configure_threads(obs.threads);
     // Collection costs memory and a mutex per span, so it is only switched
-    // on when a report was actually requested. Registering the simulation
-    // cache's metric set at zero up front keeps the report's keys stable
-    // whether or not the command ever touched the cache.
+    // on when a report was actually requested. Registering the simulator,
+    // cache, and executor metric sets at zero up front keeps the report's
+    // keys stable whether or not the command ever touched them.
     confmask_obs::set_enabled(obs.metrics_out.is_some());
     if obs.metrics_out.is_some() {
         confmask_sim_delta::register_metrics();
+        confmask_exec::register_metrics();
     }
 
     let outcome = confmask_cli::commands::run(cmd);

@@ -36,7 +36,7 @@ use confmask_sim::fault::{
     enumerate_scenarios, run_scenario, DegradationClass, FailureScenario, Fault,
 };
 use confmask_sim::DataPlane;
-use confmask_sim_delta::DeltaEngine;
+use confmask_sim_delta::{DeltaEngine, ScenarioScratch};
 
 /// One real host pair whose degradation class differs between the original
 /// and the masked anonymized network under the same failure.
@@ -246,40 +246,50 @@ pub fn verify_failure_equivalence(
     }
 
     // 1. Real-element scenarios, enumerated from the original network (so
-    //    fake links can never leak into the "real" sweep).
+    //    fake links can never leak into the "real" sweep). The sweep fans
+    //    out across the shared executor; each worker keeps its own scratch
+    //    configs per baseline so scenarios never contend on the engine's
+    //    shared buffer. Entries come back in scenario order, so the report
+    //    is byte-identical to the sequential sweep.
     let orig_conv = engine.converged(original).ok();
-    for scenario in enumerate_scenarios(original, k, result.params.seed, k2_sample) {
-        let orig_run = match &orig_conv {
-            Some(conv) => engine.run_scenario(conv, &orig_base, &scenario),
-            None => run_scenario(original, &orig_base, &scenario),
-        };
-        let anon_run = engine.run_scenario(&masked_conv, &masked_base, &scenario);
-        let mut entry = ScenarioEquivalence {
-            scenario,
-            original_error: orig_run.as_ref().err().map(|e| e.to_string()),
-            anonymized_error: anon_run.as_ref().err().map(|e| e.to_string()),
-            worst: orig_run.as_ref().ok().map(|o| o.worst()),
-            mismatches: Vec::new(),
-        };
-        if let (Ok(orig), Ok(anon)) = (&orig_run, &anon_run) {
-            for ((src, dst), oc) in &orig.classes {
-                let ac = anon
-                    .classes
-                    .get(&(src.clone(), dst.clone()))
-                    .copied()
-                    .unwrap_or(DegradationClass::Partitioned);
-                if *oc != ac {
-                    entry.mismatches.push(PairMismatch {
-                        src: src.clone(),
-                        dst: dst.clone(),
-                        original: *oc,
-                        anonymized: ac,
-                    });
+    let scenarios = enumerate_scenarios(original, k, result.params.seed, k2_sample);
+    report.real = confmask_exec::par_map_init(
+        &scenarios,
+        <(ScenarioScratch, ScenarioScratch)>::default,
+        |(orig_scratch, masked_scratch), _idx, scenario| {
+            let orig_run = match &orig_conv {
+                Some(conv) => engine.run_scenario_scratch(conv, &orig_base, scenario, orig_scratch),
+                None => run_scenario(original, &orig_base, scenario),
+            };
+            let anon_run =
+                engine.run_scenario_scratch(&masked_conv, &masked_base, scenario, masked_scratch);
+            let mut entry = ScenarioEquivalence {
+                scenario: scenario.clone(),
+                original_error: orig_run.as_ref().err().map(|e| e.to_string()),
+                anonymized_error: anon_run.as_ref().err().map(|e| e.to_string()),
+                worst: orig_run.as_ref().ok().map(|o| o.worst()),
+                mismatches: Vec::new(),
+            };
+            if let (Ok(orig), Ok(anon)) = (&orig_run, &anon_run) {
+                for ((src, dst), oc) in &orig.classes {
+                    let ac = anon
+                        .classes
+                        .get(&(src.clone(), dst.clone()))
+                        .copied()
+                        .unwrap_or(DegradationClass::Partitioned);
+                    if *oc != ac {
+                        entry.mismatches.push(PairMismatch {
+                            src: src.clone(),
+                            dst: dst.clone(),
+                            original: *oc,
+                            anonymized: ac,
+                        });
+                    }
                 }
             }
-        }
-        report.real.push(entry);
-    }
+            entry
+        },
+    );
 
     // 2. Fake-element scenarios: every fake link and every fake router.
     let mut fake_scenarios: Vec<FailureScenario> = result
@@ -298,29 +308,33 @@ pub fn verify_failure_equivalence(
     }));
 
     let anon_conv = engine.converged(&result.configs).ok();
-    for scenario in fake_scenarios {
-        let run = match &anon_conv {
-            Some(conv) => engine.run_scenario(conv, &anon_base, &scenario),
-            None => run_scenario(&result.configs, &anon_base, &scenario),
-        };
-        match run {
-            Ok(outcome) => report.fake.push(FakeElementCheck {
-                scenario,
-                error: None,
-                changed_pairs: outcome
-                    .classes
-                    .iter()
-                    .filter(|(_, c)| **c != DegradationClass::Unchanged)
-                    .map(|(k, _)| k.clone())
-                    .collect(),
-            }),
-            Err(e) => report.fake.push(FakeElementCheck {
-                scenario,
-                error: Some(e.to_string()),
-                changed_pairs: Vec::new(),
-            }),
-        }
-    }
+    report.fake = confmask_exec::par_map_init(
+        &fake_scenarios,
+        ScenarioScratch::default,
+        |scratch, _idx, scenario| {
+            let run = match &anon_conv {
+                Some(conv) => engine.run_scenario_scratch(conv, &anon_base, scenario, scratch),
+                None => run_scenario(&result.configs, &anon_base, scenario),
+            };
+            match run {
+                Ok(outcome) => FakeElementCheck {
+                    scenario: scenario.clone(),
+                    error: None,
+                    changed_pairs: outcome
+                        .classes
+                        .iter()
+                        .filter(|(_, c)| **c != DegradationClass::Unchanged)
+                        .map(|(k, _)| k.clone())
+                        .collect(),
+                },
+                Err(e) => FakeElementCheck {
+                    scenario: scenario.clone(),
+                    error: Some(e.to_string()),
+                    changed_pairs: Vec::new(),
+                },
+            }
+        },
+    );
 
     report
 }

@@ -104,9 +104,13 @@ fn register_metrics() {
     confmask_obs::counter_add("serve.jobs_failed", 0);
     confmask_obs::gauge_set("serve.queue_depth", 0.0);
     confmask_obs::histogram_register("serve.job_wall_secs");
-    // The workers share the process-wide simulation cache; its metric set
-    // must likewise be complete before the first job arrives.
+    // The workers share the process-wide simulation cache and executor;
+    // their metric sets must likewise be complete before the first job
+    // arrives. The executor pool is sized by CONFMASK_THREADS (or
+    // available parallelism), independent of `--workers`: workers bound
+    // job concurrency, the executor bounds per-job simulation fan-out.
     confmask_sim_delta::register_metrics();
+    confmask_exec::register_metrics();
 }
 
 impl Server {

@@ -7,21 +7,33 @@
 //! fixed capacity (converged simulations of large networks are big; the
 //! pipeline only ever needs the handful of baselines it is currently
 //! sweeping faults over).
+//!
+//! Larger caches are **sharded** (lock-striped) so that concurrent fault
+//! sweep workers and serve jobs do not serialize on one LRU mutex: the
+//! structural hash picks the shard, each shard runs its own LRU over its
+//! slice of the capacity. Small caches (capacity < 8) keep a single shard
+//! — exact global LRU semantics — because striping a 2-entry cache would
+//! change which entry an eviction removes. The (potentially deep) configs
+//! equality check of a hit runs *outside* the shard lock; only the map
+//! probe and the recency bump are under it.
 
 use crate::ConvergedSim;
 use confmask_config::NetworkConfigs;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex};
 
+/// Shard count for caches large enough to stripe.
+const SHARDS: usize = 8;
+
 /// A bounded LRU cache from structural hash to converged simulation.
 pub struct SimCache {
-    inner: Mutex<Inner>,
-    capacity: usize,
+    shards: Vec<Mutex<Shard>>,
 }
 
-struct Inner {
+struct Shard {
     map: HashMap<u128, Entry>,
     tick: u64,
+    capacity: usize,
 }
 
 struct Entry {
@@ -33,26 +45,47 @@ impl SimCache {
     /// Creates a cache holding at most `capacity` simulations
     /// (a zero capacity is clamped to one).
     pub fn new(capacity: usize) -> Self {
-        SimCache {
-            inner: Mutex::new(Inner {
-                map: HashMap::new(),
-                tick: 0,
-            }),
-            capacity: capacity.max(1),
-        }
+        let capacity = capacity.max(1);
+        let n = if capacity < SHARDS { 1 } else { SHARDS };
+        let shards = (0..n)
+            .map(|i| {
+                // Distribute the capacity across shards, remainder to the
+                // first ones, so the total bound is exactly `capacity`.
+                let cap = capacity / n + usize::from(i < capacity % n);
+                Mutex::new(Shard {
+                    map: HashMap::new(),
+                    tick: 0,
+                    capacity: cap,
+                })
+            })
+            .collect();
+        SimCache { shards }
+    }
+
+    fn shard(&self, key: u128) -> &Mutex<Shard> {
+        let mix = (key as u64) ^ ((key >> 64) as u64);
+        &self.shards[(mix as usize) % self.shards.len()]
     }
 
     /// Looks up a converged simulation, verifying the stored configs are
-    /// actually equal to `configs` (collision safety).
+    /// actually equal to `configs` (collision safety). The equality check
+    /// runs outside the shard lock; the candidate's recency is bumped on
+    /// the probe (a colliding candidate gets a spurious bump — harmless,
+    /// collisions only ever degrade to misses).
     pub fn get(&self, key: u128, configs: &NetworkConfigs) -> Option<Arc<ConvergedSim>> {
-        let mut inner = self.inner.lock().expect("sim cache poisoned");
-        inner.tick += 1;
-        let tick = inner.tick;
-        match inner.map.get_mut(&key) {
-            Some(entry) if entry.value.configs == *configs => {
+        let candidate = {
+            let mut shard = self.shard(key).lock().expect("sim cache poisoned");
+            shard.tick += 1;
+            let tick = shard.tick;
+            shard.map.get_mut(&key).map(|entry| {
                 entry.last_used = tick;
+                Arc::clone(&entry.value)
+            })
+        };
+        match candidate {
+            Some(hit) if hit.configs == *configs => {
                 confmask_obs::counter_add("sim.cache.hits", 1);
-                Some(Arc::clone(&entry.value))
+                Some(hit)
             }
             _ => {
                 confmask_obs::counter_add("sim.cache.misses", 1);
@@ -62,36 +95,41 @@ impl SimCache {
     }
 
     /// Inserts a converged simulation, evicting the least-recently-used
-    /// entry when at capacity.
+    /// entry of its shard when that shard is at capacity.
     pub fn insert(&self, value: Arc<ConvergedSim>) {
-        let mut inner = self.inner.lock().expect("sim cache poisoned");
-        inner.tick += 1;
-        let tick = inner.tick;
         let key = value.key;
-        if !inner.map.contains_key(&key) && inner.map.len() >= self.capacity {
-            if let Some(oldest) = inner
-                .map
-                .iter()
-                .min_by_key(|(_, e)| e.last_used)
-                .map(|(k, _)| *k)
-            {
-                inner.map.remove(&oldest);
-                confmask_obs::counter_add("sim.cache.evictions", 1);
+        {
+            let mut shard = self.shard(key).lock().expect("sim cache poisoned");
+            shard.tick += 1;
+            let tick = shard.tick;
+            if !shard.map.contains_key(&key) && shard.map.len() >= shard.capacity {
+                if let Some(oldest) = shard
+                    .map
+                    .iter()
+                    .min_by_key(|(_, e)| e.last_used)
+                    .map(|(k, _)| *k)
+                {
+                    shard.map.remove(&oldest);
+                    confmask_obs::counter_add("sim.cache.evictions", 1);
+                }
             }
+            shard.map.insert(
+                key,
+                Entry {
+                    value,
+                    last_used: tick,
+                },
+            );
         }
-        inner.map.insert(
-            key,
-            Entry {
-                value,
-                last_used: tick,
-            },
-        );
-        confmask_obs::gauge_set("sim.cache.entries", inner.map.len() as f64);
+        confmask_obs::gauge_set("sim.cache.entries", self.len() as f64);
     }
 
     /// Number of cached simulations.
     pub fn len(&self) -> usize {
-        self.inner.lock().expect("sim cache poisoned").map.len()
+        self.shards
+            .iter()
+            .map(|s| s.lock().expect("sim cache poisoned").map.len())
+            .sum()
     }
 
     /// True when nothing is cached.

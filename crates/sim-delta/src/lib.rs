@@ -147,15 +147,23 @@ impl DeltaStats {
     }
 }
 
+/// Reusable per-worker scratch for fault sweeps: one baseline's configs,
+/// kept around so consecutive scenarios against the same baseline apply
+/// and revert shutdown flags in place instead of cloning the full
+/// [`NetworkConfigs`] each time. Keyed by [`ConvergedSim`]'s
+/// process-unique id. Purely a cache: it never influences results, so
+/// parallel sweeps handing each worker its own scratch stay
+/// byte-identical to a sequential run.
+#[derive(Default)]
+pub struct ScenarioScratch(Option<(u64, NetworkConfigs)>);
+
 /// The incremental simulation engine: a simulation cache plus the delta
 /// recomputation entry points.
 pub struct DeltaEngine {
     cache: SimCache,
-    /// Scenario scratch: one baseline's configs, kept around so a fault
-    /// sweep applies/reverts shutdown flags in place instead of cloning
-    /// the full `NetworkConfigs` per scenario. Keyed by [`ConvergedSim`]'s
-    /// process-unique id; contended access falls back to cloning.
-    scratch: Mutex<Option<(u64, NetworkConfigs)>>,
+    /// Shared scenario scratch for [`DeltaEngine::run_scenario`] callers
+    /// without their own; contended access falls back to cloning.
+    scratch: Mutex<ScenarioScratch>,
 }
 
 static GLOBAL: OnceLock<DeltaEngine> = OnceLock::new();
@@ -165,7 +173,7 @@ impl DeltaEngine {
     pub fn new(capacity: usize) -> Self {
         DeltaEngine {
             cache: SimCache::new(capacity),
-            scratch: Mutex::new(None),
+            scratch: Mutex::new(ScenarioScratch::default()),
         }
     }
 
@@ -325,25 +333,60 @@ impl DeltaEngine {
         baseline: &DataPlane,
         scenario: &FailureScenario,
     ) -> Result<ScenarioOutcome, SimError> {
-        let _sp = confmask_obs::span("sim.fault.scenario");
-        confmask_obs::counter_add("sim.fault.scenarios", 1);
-        confmask_obs::debug!("sim.delta", "injecting scenario {scenario}");
         // Fast path: flip shutdown flags on the engine's scratch copy of
         // the baseline configs and revert them afterwards, instead of
         // cloning the whole NetworkConfigs per scenario. Contention (or a
         // poisoned lock) falls back to the plain clone.
         if let Ok(mut slot) = self.scratch.try_lock() {
-            if slot.as_ref().is_none_or(|(uid, _)| *uid != base.uid) {
-                *slot = Some((base.uid, base.configs.clone()));
-            }
-            let scratch = &mut slot.as_mut().expect("scratch was just filled").1;
-            let flipped = scenario.apply_in_place(scratch)?;
-            let out = self.scenario_outcome(base, baseline, scenario, scratch);
-            revert_shutdowns(scratch, &flipped);
-            return out;
+            return self.run_scenario_scratch(base, baseline, scenario, &mut slot);
         }
+        let _sp = confmask_obs::span("sim.fault.scenario");
+        confmask_obs::counter_add("sim.fault.scenarios", 1);
+        confmask_obs::debug!("sim.delta", "injecting scenario {scenario}");
         let failed_configs = scenario.apply(&base.configs)?;
         self.scenario_outcome(base, baseline, scenario, &failed_configs)
+    }
+
+    /// [`DeltaEngine::run_scenario`] with a caller-owned scratch buffer, so
+    /// each worker of a parallel sweep reuses its own configs copy instead
+    /// of contending on the engine's shared one. The outcome is identical
+    /// to [`DeltaEngine::run_scenario`] for any scratch state.
+    pub fn run_scenario_scratch(
+        &self,
+        base: &ConvergedSim,
+        baseline: &DataPlane,
+        scenario: &FailureScenario,
+        scratch: &mut ScenarioScratch,
+    ) -> Result<ScenarioOutcome, SimError> {
+        let _sp = confmask_obs::span("sim.fault.scenario");
+        confmask_obs::counter_add("sim.fault.scenarios", 1);
+        confmask_obs::debug!("sim.delta", "injecting scenario {scenario}");
+        if scratch.0.as_ref().is_none_or(|(uid, _)| *uid != base.uid) {
+            scratch.0 = Some((base.uid, base.configs.clone()));
+        }
+        let configs = &mut scratch.0.as_mut().expect("scratch was just filled").1;
+        let flipped = scenario.apply_in_place(configs)?;
+        let out = self.scenario_outcome(base, baseline, scenario, configs);
+        revert_shutdowns(configs, &flipped);
+        out
+    }
+
+    /// Runs a whole fault sweep, scenarios fanned out across the shared
+    /// executor ([`confmask_exec`]) with one [`ScenarioScratch`] per
+    /// worker. Outcomes are returned in `scenarios` order — byte-identical
+    /// to calling [`DeltaEngine::run_scenario`] in a loop, at any thread
+    /// count (including `CONFMASK_THREADS=1`).
+    pub fn run_scenarios(
+        &self,
+        base: &ConvergedSim,
+        baseline: &DataPlane,
+        scenarios: &[FailureScenario],
+    ) -> Vec<Result<ScenarioOutcome, SimError>> {
+        confmask_exec::par_map_init(
+            scenarios,
+            ScenarioScratch::default,
+            |scratch, _idx, scenario| self.run_scenario_scratch(base, baseline, scenario, scratch),
+        )
     }
 
     /// Simulates the already-failed configs through the delta engine and
@@ -406,12 +449,14 @@ impl DeltaEngine {
     }
 }
 
-/// Registers every `sim.cache.*` / `sim.delta.*` metric at zero so the
-/// metric set is stable from process start (same register-at-zero rule the
-/// rest of the pipeline follows): scrapes and reports see the keys before
-/// the first simulation, and a cache that is never hit still exports
-/// `sim.cache.hits 0` rather than omitting the series.
+/// Registers every `sim.*`, `sim.cache.*`, and `sim.delta.*` metric at
+/// zero so the metric set is stable from process start (same
+/// register-at-zero rule the rest of the pipeline follows): scrapes and
+/// reports see the keys before the first simulation, and a cache that is
+/// never hit still exports `sim.cache.hits 0` rather than omitting the
+/// series.
 pub fn register_metrics() {
+    confmask_sim::register_metrics();
     for name in [
         "sim.cache.hits",
         "sim.cache.misses",

@@ -118,88 +118,47 @@ impl DataPlane {
 
 /// Extracts the complete data plane: every ordered host pair.
 ///
-/// Host pairs are independent, so extraction fans out over scoped threads
-/// for larger networks (the dominant cost of repeated simulation in the
-/// anonymization pipeline, §5.4). A panic inside one trace worker is
-/// contained: every sibling chunk is still joined and the panic surfaces
-/// as [`SimError::TracePanic`] instead of aborting the process.
+/// Host pairs are independent, so tracing fans out pair-by-pair over the
+/// shared executor (dynamic chunk claiming — the dominant cost of repeated
+/// simulation in the anonymization pipeline, §5.4). Host names are
+/// resolved once into an indexed table instead of `net.host(id).name`
+/// lookups inside the hot pair loop, and the table is name-sorted so the
+/// traced rows come out already in key order and the map bulk-builds from
+/// a sorted sequence instead of rebalancing per insert. Results merge by
+/// pair index, so the data plane is byte-identical at any worker count.
+///
+/// A panic inside one trace is contained: every sibling worker is still
+/// joined and the first payload surfaces as [`SimError::TracePanic`]
+/// instead of aborting the process.
 pub fn extract_dataplane(net: &SimNetwork, fibs: &Fibs) -> Result<DataPlane, SimError> {
-    let hosts: Vec<HostId> = net.hosts_iter().map(|(id, _)| id).collect();
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
-        .min(8);
-    let mut dp = DataPlane::default();
-    if threads <= 1 || hosts.len() < 16 {
-        for &src_id in &hosts {
-            for &dst_id in &hosts {
-                if src_id == dst_id {
-                    continue;
-                }
-                let ps = trace(net, fibs, src_id, dst_id);
-                dp.insert(
-                    net.host(src_id).name.clone(),
-                    net.host(dst_id).name.clone(),
-                    ps,
-                );
+    let mut hosts: Vec<HostId> = net.hosts_iter().map(|(id, _)| id).collect();
+    hosts.sort_by(|a, b| net.host(*a).name.cmp(&net.host(*b).name));
+    let names: Vec<Arc<str>> = hosts
+        .iter()
+        .map(|&id| Arc::from(net.host(id).name.as_str()))
+        .collect();
+    // Ordered pairs in (src, dst) index order == (src, dst) name order.
+    let mut pair_ids: Vec<(usize, usize)> = Vec::with_capacity(hosts.len() * hosts.len());
+    for s in 0..hosts.len() {
+        for d in 0..hosts.len() {
+            if s != d {
+                pair_ids.push((s, d));
             }
         }
-        return Ok(dp);
     }
 
-    let chunks: Vec<&[HostId]> = hosts.chunks(hosts.len().div_ceil(threads)).collect();
-    let partials: Vec<std::thread::Result<Vec<(String, String, PathSet)>>> =
-        std::thread::scope(|scope| {
-            let handles: Vec<_> = chunks
-                .into_iter()
-                .map(|chunk| {
-                    let hosts = &hosts;
-                    scope.spawn(move || {
-                        let mut out = Vec::new();
-                        for &src_id in chunk {
-                            for &dst_id in hosts {
-                                if src_id == dst_id {
-                                    continue;
-                                }
-                                let ps = trace(net, fibs, src_id, dst_id);
-                                out.push((
-                                    net.host(src_id).name.clone(),
-                                    net.host(dst_id).name.clone(),
-                                    ps,
-                                ));
-                            }
-                        }
-                        out
-                    })
-                })
-                .collect();
-            // Join every handle before inspecting any result: a handle left
-            // unjoined after an early return would re-raise its panic when
-            // the scope closes.
-            handles.into_iter().map(|h| h.join()).collect()
-        });
-    for partial in partials {
-        match partial {
-            Ok(rows) => {
-                for (s, d, ps) in rows {
-                    dp.insert(s, d, ps);
-                }
-            }
-            Err(payload) => return Err(SimError::TracePanic(panic_message(payload.as_ref()))),
-        }
-    }
-    Ok(dp)
-}
+    let traced = confmask_exec::try_par_map(&pair_ids, |&(s, d)| {
+        trace(net, fibs, hosts[s], hosts[d])
+    })
+    .map_err(|p| SimError::TracePanic(p.message()))?;
 
-/// Best-effort rendering of a panic payload (matches what `std` prints).
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "non-string panic payload".to_string()
-    }
+    let rows = pair_ids
+        .iter()
+        .zip(traced)
+        .map(|(&(s, d), ps)| ((names[s].to_string(), names[d].to_string()), Arc::new(ps)));
+    Ok(DataPlane {
+        pairs: BTreeMap::from_iter(rows),
+    })
 }
 
 /// Traces all forwarding paths from `src` to `dst` (the paper's

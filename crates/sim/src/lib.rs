@@ -95,6 +95,24 @@ fn emit_dataplane_metrics(dataplane: &DataPlane) {
     }
 }
 
+/// Registers every `sim.*` metric the simulator emits at zero, so scrapes
+/// and reports taken before the first simulation already carry the full
+/// key set (the register-at-zero rule the rest of the pipeline follows).
+pub fn register_metrics() {
+    for name in [
+        "sim.simulations",
+        "sim.ospf.spf_runs",
+        "sim.rip.rounds",
+        "sim.bgp.rounds",
+        "sim.dataplane.pairs",
+        "sim.fault.scenarios",
+    ] {
+        confmask_obs::counter_add(name, 0);
+    }
+    confmask_obs::histogram_register("sim.dataplane.paths_per_pair");
+    confmask_obs::histogram_register("sim.fib.size");
+}
+
 /// The converged per-protocol control-plane state behind a [`Simulation`].
 ///
 /// [`simulate_with_state`] returns it alongside the result so the

@@ -89,114 +89,106 @@ pub fn compute_subset(
         }
     }
 
-    let threads = std::thread::available_parallelism()
-        .map(|t| t.get())
-        .unwrap_or(1)
-        .min(8);
-    if threads > 1 && destinations.len() >= 32 {
-        let chunks: Vec<&[(Ipv4Prefix, Vec<confmask_net_types::HostId>)]> = destinations
-            .chunks(destinations.len().div_ceil(threads))
-            .collect();
-        let partials: Vec<(IgpRoutes, OspfDist)> = std::thread::scope(|scope| {
-            let handles: Vec<_> = chunks
-                .into_iter()
-                .map(|chunk| {
-                    let adj = &adj;
-                    let rev = &rev;
-                    scope.spawn(move || compute_for(net, adj, rev, chunk))
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("no panics in SPF"))
-                .collect()
-        });
-        let mut routes: IgpRoutes = vec![BTreeMap::new(); n];
-        let mut dist = OspfDist::new();
-        for (partial_routes, partial_dist) in partials {
-            for (r, map) in partial_routes.into_iter().enumerate() {
-                routes[r].extend(map);
-            }
-            dist.extend(partial_dist);
-        }
-        return (routes, dist);
-    }
-    compute_for(net, &adj, &rev, destinations)
-}
+    // Per-prefix SPFs are independent: fan out over the shared executor
+    // (dynamic chunk claiming, no static split, no hard-coded worker cap)
+    // and merge by destination index, so the result is byte-identical to a
+    // sequential run at any worker count. Small subsets stay inline — the
+    // delta engine calls this with a handful of touched prefixes per
+    // scenario and the spawn cost would dominate.
+    let per_prefix: Vec<PrefixSpf> = if destinations.len() >= 32 {
+        confmask_exec::par_map(destinations, |(prefix, _)| compute_one(net, &adj, &rev, prefix))
+    } else {
+        destinations
+            .iter()
+            .map(|(prefix, _)| compute_one(net, &adj, &rev, prefix))
+            .collect()
+    };
 
-/// The per-prefix SPF body, over a subset of destinations.
-#[allow(clippy::type_complexity)]
-fn compute_for(
-    net: &SimNetwork,
-    adj: &[Vec<(usize, RouterId, usize, u32)>],
-    rev: &[Vec<(usize, u32)>],
-    destinations: &[(Ipv4Prefix, Vec<confmask_net_types::HostId>)],
-) -> (IgpRoutes, OspfDist) {
-    let n = net.router_count();
     let mut routes: IgpRoutes = vec![BTreeMap::new(); n];
     let mut dists = OspfDist::new();
-    for (prefix, _hosts) in destinations {
-        // Advertisers: routers with an OSPF-active interface exactly on the
-        // prefix; seed cost is that interface's cost.
-        let mut dist = vec![u64::MAX; n];
-        let mut heap = BinaryHeap::new();
-        for (rid, r) in net.routers_iter() {
-            for iface in &r.ifaces {
-                if iface.ospf_active && iface.prefix == *prefix {
-                    let seed = u64::from(iface.cost);
-                    if seed < dist[rid.0 as usize] {
-                        dist[rid.0 as usize] = seed;
-                        heap.push(Reverse((seed, rid.0 as usize)));
-                    }
-                }
-            }
-        }
-        if heap.is_empty() {
+    for ((prefix, _hosts), spf) in destinations.iter().zip(per_prefix) {
+        let Some((hops_by_router, dist)) = spf else {
             continue;
-        }
-        while let Some(Reverse((d, v))) = heap.pop() {
-            if d > dist[v] {
-                continue;
-            }
-            for &(u, cost) in &rev[v] {
-                let nd = d.saturating_add(u64::from(cost));
-                if nd < dist[u] {
-                    dist[u] = nd;
-                    heap.push(Reverse((nd, u)));
-                }
-            }
-        }
-
-        // Candidate next-hops: equal-cost first edges, minus filtered ones.
-        for (rid, r) in net.routers_iter() {
-            let u = rid.0 as usize;
-            if dist[u] == u64::MAX {
-                continue;
-            }
-            // Advertisers use their connected route; skip.
-            if r.ifaces.iter().any(|i| i.prefix == *prefix) {
-                continue;
-            }
-            let mut hops = Vec::new();
-            for &(ii, v, _pi, cost) in &adj[u] {
-                let dv = dist[v.0 as usize];
-                if dv == u64::MAX {
-                    continue;
-                }
-                if u64::from(cost).saturating_add(dv) == dist[u] && !r.ifaces[ii].igp_denies(prefix)
-                {
-                    hops.push((ii, v));
-                }
-            }
-            if !hops.is_empty() {
-                hops.sort();
-                hops.dedup();
-                routes[u].insert(*prefix, hops);
-            }
+        };
+        for (u, hops) in hops_by_router {
+            routes[u].insert(*prefix, hops);
         }
         dists.insert(*prefix, dist);
     }
     (routes, dists)
+}
+
+/// One prefix's SPF result: per-router candidate hops plus the distance
+/// vector, or `None` when the prefix has no advertiser.
+type PrefixSpf = Option<(Vec<(usize, Vec<(usize, RouterId)>)>, Vec<u64>)>;
+
+/// The multi-source Dijkstra for a single destination prefix.
+fn compute_one(
+    net: &SimNetwork,
+    adj: &[Vec<(usize, RouterId, usize, u32)>],
+    rev: &[Vec<(usize, u32)>],
+    prefix: &Ipv4Prefix,
+) -> PrefixSpf {
+    let n = net.router_count();
+    // Advertisers: routers with an OSPF-active interface exactly on the
+    // prefix; seed cost is that interface's cost.
+    let mut dist = vec![u64::MAX; n];
+    let mut heap = BinaryHeap::new();
+    for (rid, r) in net.routers_iter() {
+        for iface in &r.ifaces {
+            if iface.ospf_active && iface.prefix == *prefix {
+                let seed = u64::from(iface.cost);
+                if seed < dist[rid.0 as usize] {
+                    dist[rid.0 as usize] = seed;
+                    heap.push(Reverse((seed, rid.0 as usize)));
+                }
+            }
+        }
+    }
+    if heap.is_empty() {
+        return None;
+    }
+    while let Some(Reverse((d, v))) = heap.pop() {
+        if d > dist[v] {
+            continue;
+        }
+        for &(u, cost) in &rev[v] {
+            let nd = d.saturating_add(u64::from(cost));
+            if nd < dist[u] {
+                dist[u] = nd;
+                heap.push(Reverse((nd, u)));
+            }
+        }
+    }
+
+    // Candidate next-hops: equal-cost first edges, minus filtered ones.
+    let mut hops_by_router = Vec::new();
+    for (rid, r) in net.routers_iter() {
+        let u = rid.0 as usize;
+        if dist[u] == u64::MAX {
+            continue;
+        }
+        // Advertisers use their connected route; skip.
+        if r.ifaces.iter().any(|i| i.prefix == *prefix) {
+            continue;
+        }
+        let mut hops = Vec::new();
+        for &(ii, v, _pi, cost) in &adj[u] {
+            let dv = dist[v.0 as usize];
+            if dv == u64::MAX {
+                continue;
+            }
+            if u64::from(cost).saturating_add(dv) == dist[u] && !r.ifaces[ii].igp_denies(prefix) {
+                hops.push((ii, v));
+            }
+        }
+        if !hops.is_empty() {
+            hops.sort();
+            hops.dedup();
+            hops_by_router.push((u, hops));
+        }
+    }
+    Some((hops_by_router, dist))
 }
 
 /// Router-to-router IGP shortest paths (used for iBGP egress resolution).

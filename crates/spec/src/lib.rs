@@ -14,7 +14,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use confmask_sim::DataPlane;
+use confmask_sim::{DataPlane, PathSet};
 use std::collections::BTreeSet;
 
 /// One mined policy.
@@ -80,55 +80,76 @@ impl Policy {
 /// A network specification: the set of all mined policies.
 pub type Specification = BTreeSet<Policy>;
 
+/// Pair count below which mining stays sequential: the per-pair work is a
+/// handful of set operations, so tiny data planes are not worth a fan-out.
+const PARALLEL_MINE_THRESHOLD: usize = 32;
+
 /// Mines the specification of a data plane.
+///
+/// Each host pair mines independently; large data planes fan the pairs out
+/// across the shared executor ([`confmask_exec`]). The result is a set, and
+/// per-pair policies are merged in pair order, so the mined specification
+/// is identical at any thread count.
 pub fn mine(dp: &DataPlane) -> Specification {
-    let mut spec = Specification::new();
-    for ((src, dst), ps) in dp.pairs() {
-        if !ps.clean() {
-            spec.insert(Policy::Isolation {
-                src: src.clone(),
-                dst: dst.clone(),
-            });
-            continue;
-        }
-        spec.insert(Policy::Reachability {
-            src: src.clone(),
-            dst: dst.clone(),
+    let pairs: Vec<(&(String, String), &PathSet)> = dp.pairs().collect();
+    let per_pair: Vec<Vec<Policy>> = if pairs.len() >= PARALLEL_MINE_THRESHOLD {
+        confmask_exec::par_map(&pairs, |((src, dst), ps)| mine_pair(src, dst, ps))
+    } else {
+        pairs
+            .iter()
+            .map(|((src, dst), ps)| mine_pair(src, dst, ps))
+            .collect()
+    };
+    per_pair.into_iter().flatten().collect()
+}
+
+/// Mines every policy one host pair contributes.
+fn mine_pair(src: &str, dst: &str, ps: &PathSet) -> Vec<Policy> {
+    let mut out = Vec::new();
+    if !ps.clean() {
+        out.push(Policy::Isolation {
+            src: src.to_owned(),
+            dst: dst.to_owned(),
         });
-        // Uniform path length (Theorem B.2's preserved property).
-        let lengths: BTreeSet<usize> = ps.paths.iter().map(|p| p.len() - 2).collect();
-        if lengths.len() == 1 {
-            spec.insert(Policy::PathLength {
-                src: src.clone(),
-                dst: dst.clone(),
-                hops: *lengths.iter().next().expect("non-empty"),
-            });
-        }
-        if ps.paths.len() >= 2 {
-            spec.insert(Policy::LoadBalance {
-                src: src.clone(),
-                dst: dst.clone(),
-                paths: ps.paths.len(),
-            });
-        }
-        // Waypoints: routers on *every* path (excluding endpoints).
-        let mut common: Option<BTreeSet<&String>> = None;
-        for path in &ps.paths {
-            let routers: BTreeSet<&String> = path[1..path.len() - 1].iter().collect();
-            common = Some(match common {
-                None => routers,
-                Some(prev) => prev.intersection(&routers).copied().collect(),
-            });
-        }
-        for via in common.unwrap_or_default() {
-            spec.insert(Policy::Waypoint {
-                src: src.clone(),
-                dst: dst.clone(),
-                via: via.clone(),
-            });
-        }
+        return out;
     }
-    spec
+    out.push(Policy::Reachability {
+        src: src.to_owned(),
+        dst: dst.to_owned(),
+    });
+    // Uniform path length (Theorem B.2's preserved property).
+    let lengths: BTreeSet<usize> = ps.paths.iter().map(|p| p.len() - 2).collect();
+    if lengths.len() == 1 {
+        out.push(Policy::PathLength {
+            src: src.to_owned(),
+            dst: dst.to_owned(),
+            hops: *lengths.iter().next().expect("non-empty"),
+        });
+    }
+    if ps.paths.len() >= 2 {
+        out.push(Policy::LoadBalance {
+            src: src.to_owned(),
+            dst: dst.to_owned(),
+            paths: ps.paths.len(),
+        });
+    }
+    // Waypoints: routers on *every* path (excluding endpoints).
+    let mut common: Option<BTreeSet<&String>> = None;
+    for path in &ps.paths {
+        let routers: BTreeSet<&String> = path[1..path.len() - 1].iter().collect();
+        common = Some(match common {
+            None => routers,
+            Some(prev) => prev.intersection(&routers).copied().collect(),
+        });
+    }
+    for via in common.unwrap_or_default() {
+        out.push(Policy::Waypoint {
+            src: src.to_owned(),
+            dst: dst.to_owned(),
+            via: via.clone(),
+        });
+    }
+    out
 }
 
 /// The Figure 9 comparison between an original and an anonymized

@@ -20,8 +20,9 @@
 
 use crate::graph::{LinkInfo, Topology};
 use crate::metrics::min_same_degree;
+use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
-use rand::Rng;
+use rand::{Rng, SeedableRng};
 
 /// Failure to anonymize a degree sequence.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -148,44 +149,86 @@ pub fn plan_k_degree<R: Rng>(topo: &Topology, k: usize, rng: &mut R) -> Result<K
 
     let _sp = confmask_obs::span("topology.kdegree");
     const MAX_ATTEMPTS: usize = 200;
-    for attempt in 0..MAX_ATTEMPTS {
-        confmask_obs::counter_add("topology.kdegree.attempts", 1);
-        // Perturb targets on retries (Liu–Terzi probing): raise a random
-        // cluster by +1, respecting the simple-graph cap of n-1.
-        let mut targets = base_targets.clone();
-        for _ in 0..attempt {
-            perturb(&mut targets, n - 1, rng);
-        }
 
-        if targets.iter().sum::<usize>() % 2 != degrees.iter().sum::<usize>() % 2 {
-            // Residual sum is odd — certainly unrealizable; perturb more.
-            continue;
-        }
+    // Attempt 0 (the unperturbed target sequence) runs inline with the
+    // caller's rng: well-behaved graphs succeed immediately and spend
+    // nothing on fan-out.
+    if let Some(plan) = evaluate(topo, &order, &degrees, &base_targets, k, 0, rng) {
+        return Ok(plan);
+    }
 
-        if let Some(edges) = realize(topo, &order, &degrees, &targets, rng) {
-            // Verify on a copy.
-            let mut check = topo.clone();
-            for &(a, b) in &edges {
-                check.add_edge(a, b, LinkInfo::default());
-            }
-            let achieved = min_same_degree(&check);
-            if achieved >= k {
-                confmask_obs::counter_add("topology.kdegree.edges_added", edges.len() as u64);
-                confmask_obs::debug!(
-                    "topology.kdegree",
-                    "realized k={k} after {} attempt(s): {} new edge(s), achieved k={achieved}",
-                    attempt + 1,
-                    edges.len()
-                );
-                return Ok(KDegreePlan {
-                    new_edges: edges,
-                    achieved_k: achieved,
-                });
-            }
+    // Probing attempts fan out in waves across the shared executor. Each
+    // attempt derives its own rng from (base_seed, attempt index), so the
+    // plan depends only on the caller's rng state — never on thread count
+    // or completion order: within a wave the lowest successful attempt
+    // index wins, and waves are scanned in order.
+    let base_seed: u64 = rng.next_u64();
+    let wave = confmask_exec::thread_count() * 2;
+    let mut next = 1;
+    while next < MAX_ATTEMPTS {
+        let batch: Vec<usize> = (next..(next + wave).min(MAX_ATTEMPTS)).collect();
+        next = batch.last().expect("batch is non-empty") + 1;
+        let plans = confmask_exec::par_map(&batch, |&attempt| {
+            let mut arng = StdRng::seed_from_u64(
+                base_seed ^ (attempt as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            );
+            evaluate(topo, &order, &degrees, &base_targets, k, attempt, &mut arng)
+        });
+        if let Some(plan) = plans.into_iter().flatten().next() {
+            return Ok(plan);
         }
     }
     Err(KDegreeError::Unrealizable {
         attempts: MAX_ATTEMPTS,
+    })
+}
+
+/// One probing attempt: perturb the target sequence `attempt` times, check
+/// parity, realize, and verify the achieved anonymity. Returns the plan
+/// only when it genuinely reaches `k`.
+fn evaluate<R: Rng>(
+    topo: &Topology,
+    order: &[usize],
+    degrees: &[usize],
+    base_targets: &[usize],
+    k: usize,
+    attempt: usize,
+    rng: &mut R,
+) -> Option<KDegreePlan> {
+    confmask_obs::counter_add("topology.kdegree.attempts", 1);
+    let n = topo.node_count();
+    // Perturb targets on retries (Liu–Terzi probing): raise a random
+    // cluster by +1, respecting the simple-graph cap of n-1.
+    let mut targets = base_targets.to_vec();
+    for _ in 0..attempt {
+        perturb(&mut targets, n - 1, rng);
+    }
+
+    if targets.iter().sum::<usize>() % 2 != degrees.iter().sum::<usize>() % 2 {
+        // Residual sum is odd — certainly unrealizable; perturb more.
+        return None;
+    }
+
+    let edges = realize(topo, order, degrees, &targets, rng)?;
+    // Verify on a copy.
+    let mut check = topo.clone();
+    for &(a, b) in &edges {
+        check.add_edge(a, b, LinkInfo::default());
+    }
+    let achieved = min_same_degree(&check);
+    if achieved < k {
+        return None;
+    }
+    confmask_obs::counter_add("topology.kdegree.edges_added", edges.len() as u64);
+    confmask_obs::debug!(
+        "topology.kdegree",
+        "realized k={k} after {} attempt(s): {} new edge(s), achieved k={achieved}",
+        attempt + 1,
+        edges.len()
+    );
+    Some(KDegreePlan {
+        new_edges: edges,
+        achieved_k: achieved,
     })
 }
 
