@@ -69,6 +69,11 @@ pub enum Command {
         queue_cap: usize,
         /// Per-stage deadline applied to jobs without their own.
         job_timeout_secs: Option<u64>,
+        /// Durable state directory (WAL + snapshots); jobs survive
+        /// crashes and restarts when set.
+        state_dir: Option<PathBuf>,
+        /// Times a crash-interrupted job is re-admitted before failing.
+        requeue_budget: u32,
     },
     /// Submit a job to (or drain) a running daemon.
     Submit {
@@ -138,7 +143,8 @@ USAGE:
   confmask generate  --network <A..H> --output <dir>
   confmask obs-report <metrics.json | ->
   confmask serve     [--addr H:P] [--workers N] [--queue-cap N]
-                     [--job-timeout-secs S]
+                     [--job-timeout-secs S] [--state-dir <dir>]
+                     [--requeue-budget N]
   confmask submit    [--addr H:P] --input <dir> [--wait]
                      [--output <dir>] [--poll-ms N]
                      [--seed N] [--k-r N] [--k-h N] [--noise P]
@@ -158,8 +164,14 @@ every scenario instead.
 `serve` runs the anonymization-as-a-service daemon (default address
 127.0.0.1:7077): POST /v1/jobs, GET /v1/jobs/{id}[/artifacts],
 GET /healthz, GET /metrics (Prometheus), GET /metrics-json, and
-POST /v1/shutdown for a graceful drain. `submit` is the matching client;
-`--output` fetches the anonymized configs once the job finishes.
+POST /v1/shutdown for a graceful drain. With --state-dir every job
+transition is journaled to a write-ahead log before it is acknowledged:
+after a crash or kill the daemon replays the log, keeps finished jobs
+(artifacts included), and re-runs interrupted ones with backoff — at
+most --requeue-budget times (default 3) before they are failed.
+`submit` is the matching client; `--output` fetches the anonymized
+configs once the job finishes, and polling retries transparently
+through a daemon restart.
 `obs-report -` reads the JSON report from stdin, so
 `curl .../metrics-json | confmask obs-report -` works.
 
@@ -387,6 +399,8 @@ fn parse_command(argv: &[&str]) -> Result<Command, ArgError> {
             let mut workers = 0usize;
             let mut queue_cap = 64usize;
             let mut job_timeout_secs = None;
+            let mut state_dir = None;
+            let mut requeue_budget = 3u32;
             while let Some(flag) = it.next() {
                 match flag {
                     "--addr" => addr = take_value(&mut it, flag)?.to_string(),
@@ -401,6 +415,12 @@ fn parse_command(argv: &[&str]) -> Result<Command, ArgError> {
                         job_timeout_secs =
                             Some(parse_value(&mut it, flag, "a number of seconds")?)
                     }
+                    "--state-dir" => {
+                        state_dir = Some(PathBuf::from(take_value(&mut it, flag)?))
+                    }
+                    "--requeue-budget" => {
+                        requeue_budget = parse_value(&mut it, flag, "an integer")?
+                    }
                     other => return Err(ArgError(format!("unknown flag '{other}'"))),
                 }
             }
@@ -409,6 +429,8 @@ fn parse_command(argv: &[&str]) -> Result<Command, ArgError> {
                 workers,
                 queue_cap,
                 job_timeout_secs,
+                state_dir,
+                requeue_budget,
             })
         }
         "submit" => {
@@ -626,14 +648,19 @@ mod tests {
                 workers,
                 queue_cap,
                 job_timeout_secs,
+                state_dir,
+                requeue_budget,
             } => {
                 assert_eq!(addr, "127.0.0.1:7077");
                 assert_eq!((workers, queue_cap, job_timeout_secs), (0, 64, None));
+                assert_eq!(state_dir, None, "ephemeral store by default");
+                assert_eq!(requeue_budget, 3);
             }
             other => panic!("{other:?}"),
         }
         match parse_cmd(&argv(
-            "serve --addr 0.0.0.0:8080 --workers 4 --queue-cap 8 --job-timeout-secs 30",
+            "serve --addr 0.0.0.0:8080 --workers 4 --queue-cap 8 --job-timeout-secs 30 \
+             --state-dir /var/lib/confmask --requeue-budget 5",
         ))
         .unwrap()
         {
@@ -642,14 +669,20 @@ mod tests {
                 workers,
                 queue_cap,
                 job_timeout_secs,
+                state_dir,
+                requeue_budget,
             } => {
                 assert_eq!(addr, "0.0.0.0:8080");
                 assert_eq!((workers, queue_cap, job_timeout_secs), (4, 8, Some(30)));
+                assert_eq!(state_dir, Some(PathBuf::from("/var/lib/confmask")));
+                assert_eq!(requeue_budget, 5);
             }
             other => panic!("{other:?}"),
         }
         assert!(parse_cmd(&argv("serve --queue-cap 0")).is_err());
         assert!(parse_cmd(&argv("serve --workers nope")).is_err());
+        assert!(parse_cmd(&argv("serve --state-dir")).is_err());
+        assert!(parse_cmd(&argv("serve --requeue-budget nope")).is_err());
     }
 
     #[test]

@@ -403,12 +403,16 @@ pub fn run(cmd: Command) -> Result<String, CmdError> {
             workers,
             queue_cap,
             job_timeout_secs,
+            state_dir,
+            requeue_budget,
         } => {
             let server = confmask_serve::Server::bind(&confmask_serve::ServeOptions {
                 addr: addr.clone(),
                 workers,
                 queue_cap,
                 job_timeout: job_timeout_secs.map(std::time::Duration::from_secs),
+                state_dir,
+                requeue_budget,
             })
             .map_err(|e| format!("cannot bind {addr}: {e}"))?;
             // Announce readiness immediately (scripts wait for this line);
@@ -711,7 +715,7 @@ mod tests {
             addr: "127.0.0.1:0".to_string(),
             workers: 1,
             queue_cap: 4,
-            job_timeout: None,
+            ..confmask_serve::ServeOptions::default()
         })
         .unwrap();
         let addr = server.local_addr().to_string();

@@ -110,6 +110,61 @@ pub fn run_job(configs: &NetworkConfigs, params: &Params) -> Result<JobOutcome, 
     Ok(JobOutcome::from_anonymized(&result))
 }
 
+/// FNV-1a 64-bit, the workspace's standard zero-dependency hash.
+fn fnv1a(bytes: &[u8], mut state: u64) -> u64 {
+    for &b in bytes {
+        state ^= u64::from(b);
+        state = state.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    state
+}
+
+/// Content key of a job: a stable fingerprint of the exact inputs —
+/// every emitted config byte plus every pipeline parameter. Two jobs with
+/// the same key run the identical deterministic pipeline and therefore
+/// produce byte-identical artifacts, which is what makes re-running an
+/// interrupted job after a crash **idempotent**: a durable job store can
+/// tag the persisted submission with this key and re-execute it as often
+/// as recovery requires without ever producing a divergent outcome.
+pub fn content_key(configs: &NetworkConfigs, params: &Params) -> u64 {
+    let mut state = 0xCBF2_9CE4_8422_2325; // FNV offset basis
+    state = fnv1a(format!("{params:?}").as_bytes(), state);
+    for (name, rc) in &configs.routers {
+        state = fnv1a(name.as_bytes(), state);
+        state = fnv1a(rc.emit().as_bytes(), state);
+    }
+    for (name, hc) in &configs.hosts {
+        state = fnv1a(name.as_bytes(), state);
+        state = fnv1a(hc.emit().as_bytes(), state);
+    }
+    state
+}
+
+/// A fully-specified job: the inputs plus nothing else. This is the unit
+/// a durable job store persists and re-runs after a crash — the
+/// [`JobSpec::content_key`] identifies it, and [`JobSpec::run`] is
+/// idempotent (same spec, same artifacts, bit for bit).
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// The network to anonymize.
+    pub configs: NetworkConfigs,
+    /// Pipeline parameters (the seed makes the run deterministic).
+    pub params: Params,
+}
+
+impl JobSpec {
+    /// Stable fingerprint of the inputs (see [`content_key`]).
+    pub fn content_key(&self) -> u64 {
+        content_key(&self.configs, &self.params)
+    }
+
+    /// Executes the job. Re-running the same spec yields byte-identical
+    /// artifacts, so recovery may call this any number of times.
+    pub fn run(&self) -> Result<JobOutcome, Error> {
+        run_job(&self.configs, &self.params)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -144,5 +199,44 @@ mod tests {
         let a = run_job(&net, &params).unwrap();
         let b = JobOutcome::from_anonymized(&anonymize(&net, &params).unwrap());
         assert_eq!(a.artifacts, b.artifacts);
+    }
+
+    #[test]
+    fn content_key_is_stable_and_input_sensitive() {
+        let net = example_network();
+        let params = Params::new(3, 2).with_seed(7);
+        let spec = JobSpec {
+            configs: net.clone(),
+            params: params.clone(),
+        };
+        // Stable across calls and across clones.
+        assert_eq!(spec.content_key(), content_key(&net, &params));
+        assert_eq!(spec.content_key(), spec.clone().content_key());
+        // Sensitive to every input dimension a re-run depends on.
+        let reseeded = content_key(&net, &Params::new(3, 2).with_seed(8));
+        assert_ne!(spec.content_key(), reseeded, "seed must change the key");
+        let rescaled = content_key(&net, &Params::new(4, 2).with_seed(7));
+        assert_ne!(spec.content_key(), rescaled, "k_R must change the key");
+        let mut smaller = net.clone();
+        smaller.hosts.pop_last();
+        assert_ne!(
+            spec.content_key(),
+            content_key(&smaller, &params),
+            "configs must change the key"
+        );
+    }
+
+    #[test]
+    fn rerunning_a_spec_is_idempotent() {
+        let spec = JobSpec {
+            configs: example_network(),
+            params: Params::new(3, 2).with_seed(42),
+        };
+        let first = spec.run().unwrap();
+        let again = spec.run().unwrap();
+        // Crash recovery re-executes interrupted jobs; the artifacts it
+        // hands out must not depend on how many times that happened.
+        assert_eq!(first.artifacts, again.artifacts);
+        assert_eq!(first.summary, again.summary);
     }
 }

@@ -71,7 +71,7 @@ pub mod strawman;
 pub mod topo_anon;
 
 pub use error::Error;
-pub use job::{run_job, ArtifactFile, JobOutcome, JobSummary};
+pub use job::{content_key, run_job, ArtifactFile, JobOutcome, JobSpec, JobSummary};
 pub use params::{CostStrategy, EquivalenceMode, Params};
 pub use pipeline::{
     anonymize, Anonymized, AttemptRecord, DegradationReport, StageSample, STAGE_SPAN_PREFIX,

@@ -1,5 +1,13 @@
 //! A minimal HTTP/1.1 client for `confmask submit`, the CI smoke test,
 //! and the end-to-end tests — one request per connection, JSON bodies.
+//!
+//! Transient connection failures are retried with jittered exponential
+//! backoff, so a polling client survives a daemon restart (crash +
+//! recovery) instead of dying on the first `ECONNREFUSED`. Retry safety
+//! is method-aware: a refused *connection* never reached the daemon, so
+//! even a `POST` can retry it, but once bytes may have been delivered
+//! (reset/timeout mid-exchange) only idempotent `GET`s retry — a
+//! re-submitted job would be a duplicate, not a recovery.
 
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
@@ -7,6 +15,40 @@ use std::time::Duration;
 
 /// Default per-request socket timeout.
 const TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Transient failures get this many retries (so up to `RETRIES + 1`
+/// attempts total) before the error surfaces.
+pub const RETRIES: u32 = 4;
+
+/// Whether an error may vanish if the request is simply tried again.
+/// `ConnectionRefused` means the TCP connect itself failed — no byte
+/// reached the daemon, so any method is safe to retry. The other kinds
+/// can strike mid-exchange, so only idempotent `GET`s retry them.
+fn transient(kind: io::ErrorKind, method: &str) -> bool {
+    use io::ErrorKind::*;
+    match kind {
+        ConnectionRefused => true,
+        ConnectionReset | ConnectionAborted | BrokenPipe | TimedOut | WouldBlock => {
+            method == "GET"
+        }
+        _ => false,
+    }
+}
+
+/// Backoff before retry `attempt` (0-based): 50 ms doubling to a 1 s cap,
+/// with a deterministic jitter keyed on the target address so a fleet of
+/// polling clients does not reconnect in lockstep.
+fn retry_delay(attempt: u32, addr: &str) -> Duration {
+    let base_ms = (50u64 << attempt.min(5)).min(1_000);
+    let mut x = addr
+        .bytes()
+        .fold(0xCBF2_9CE4_8422_2325u64, |h, b| {
+            (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3)
+        })
+        ^ (u64::from(attempt) << 48);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    Duration::from_millis(base_ms / 2 + x % (base_ms / 2).max(1))
+}
 
 /// A parsed response: status code and body.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -28,8 +70,37 @@ fn bad(message: String) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, message)
 }
 
-/// Sends one request to `addr` (`host:port`) and reads the response.
+/// Sends one request to `addr` (`host:port`) and reads the response,
+/// retrying transient connection failures up to [`RETRIES`] times.
 pub fn request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+) -> io::Result<ClientResponse> {
+    let mut attempt = 0;
+    loop {
+        match request_once(addr, method, path, body) {
+            Ok(response) => return Ok(response),
+            Err(e) if attempt < RETRIES && transient(e.kind(), method) => {
+                let delay = retry_delay(attempt, addr);
+                confmask_obs::counter_add("serve.client.retries", 1);
+                confmask_obs::warn!(
+                    "serve.client",
+                    "{method} {path}: {e}; retrying in {}ms ({} left)",
+                    delay.as_millis(),
+                    RETRIES - attempt
+                );
+                std::thread::sleep(delay);
+                attempt += 1;
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// One attempt: connect, write the request, read the response.
+fn request_once(
     addr: &str,
     method: &str,
     path: &str,
@@ -95,4 +166,56 @@ pub fn get(addr: &str, path: &str) -> io::Result<ClientResponse> {
 /// `POST path` with a JSON body.
 pub fn post(addr: &str, path: &str, body: &str) -> io::Result<ClientResponse> {
     request(addr, "POST", path, Some(body))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retry_safety_is_method_aware() {
+        use io::ErrorKind::*;
+        // A refused connect never delivered a byte: safe for any method.
+        assert!(transient(ConnectionRefused, "GET"));
+        assert!(transient(ConnectionRefused, "POST"));
+        // Mid-exchange failures retry only on idempotent reads — a POST
+        // might have been accepted before the connection died, and a
+        // retry would double-submit the job.
+        for kind in [ConnectionReset, ConnectionAborted, BrokenPipe, TimedOut] {
+            assert!(transient(kind, "GET"), "{kind:?}");
+            assert!(!transient(kind, "POST"), "{kind:?}");
+        }
+        // Hard failures never retry.
+        assert!(!transient(InvalidData, "GET"));
+        assert!(!transient(PermissionDenied, "GET"));
+    }
+
+    #[test]
+    fn retry_delays_back_off_and_stay_bounded() {
+        let mut previous = Duration::ZERO;
+        for attempt in 0..8 {
+            let d = retry_delay(attempt, "127.0.0.1:7077");
+            assert!(d >= previous.min(Duration::from_millis(500)), "attempt {attempt}");
+            assert!(d <= Duration::from_secs(1));
+            // Deterministic: same inputs, same jitter.
+            assert_eq!(d, retry_delay(attempt, "127.0.0.1:7077"));
+            previous = d;
+        }
+        // Different addresses jitter differently (de-synchronized fleet).
+        assert_ne!(retry_delay(3, "a:1"), retry_delay(3, "b:2"));
+    }
+
+    #[test]
+    fn refused_connection_is_retried_then_surfaced() {
+        // Port 1 on localhost: nothing listens, connect is refused fast.
+        let started = std::time::Instant::now();
+        let err = get("127.0.0.1:1", "/healthz").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::ConnectionRefused);
+        // All four backoffs were slept through (sum of minima ≈ 370 ms).
+        assert!(
+            started.elapsed() >= Duration::from_millis(300),
+            "retries should have backed off, took {:?}",
+            started.elapsed()
+        );
+    }
 }

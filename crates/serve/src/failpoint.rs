@@ -1,0 +1,226 @@
+//! Deterministic fault injection for the durability layer.
+//!
+//! A *fail point* is a named site in the I/O path (`wal.append`,
+//! `snapshot.rename`, `worker.run`, …) that consults this registry on
+//! every hit. Tests — and, with the `failpoints` feature, a built daemon
+//! driven by the `CONFMASK_FAILPOINTS` environment variable — arm a site
+//! with an [`Action`] scheduled for its *n*-th hit. The production build
+//! without the feature compiles [`check`] down to a constant `None`.
+//!
+//! Schedule syntax (`CONFMASK_FAILPOINTS`):
+//!
+//! ```text
+//! wal.append=torn@3;worker.run=vanish@1
+//! ```
+//!
+//! meaning "tear the 3rd WAL append mid-record" and "make the first
+//! worker vanish mid-job". Actions:
+//!
+//! | action    | effect at the armed hit |
+//! |-----------|-------------------------|
+//! | `crash`   | halt durability *before* any bytes of the operation |
+//! | `torn`    | write roughly half the record's bytes, then halt |
+//! | `sync`    | complete the operation (including fsync), then halt |
+//! | `err`     | return `ErrorKind::Other` ("injected I/O error") |
+//! | `full`    | return an injected disk-full error |
+//! | `vanish`  | the worker thread dies without recording an outcome |
+//!
+//! "Halt" means the [`crate::wal::WalWriter`] freezes its file exactly as
+//! a killed process would leave it and ignores every later operation; the
+//! in-process test then reopens the state directory and must recover.
+//! Hit counters are per-site and process-global, so tests that arm fail
+//! points serialize on [`exclusive`].
+
+/// What an armed fail point does when its scheduled hit arrives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Action {
+    /// Halt durability before the operation writes anything.
+    CrashBefore,
+    /// Write a partial record (a torn write), then halt.
+    Torn,
+    /// Complete the operation durably, then halt.
+    CrashAfter,
+    /// Fail the operation with an injected `ErrorKind::Other`.
+    IoError,
+    /// Fail the operation with an injected disk-full error.
+    DiskFull,
+    /// The worker thread dies mid-job without recording an outcome.
+    Vanish,
+}
+
+impl Action {
+    /// Parses the schedule-syntax name.
+    pub fn from_name(name: &str) -> Option<Action> {
+        Some(match name {
+            "crash" => Action::CrashBefore,
+            "torn" => Action::Torn,
+            "sync" => Action::CrashAfter,
+            "err" => Action::IoError,
+            "full" => Action::DiskFull,
+            "vanish" => Action::Vanish,
+            _ => return None,
+        })
+    }
+}
+
+/// The injected error for [`Action::IoError`] / [`Action::DiskFull`].
+pub fn injected_error(action: Action) -> std::io::Error {
+    let message = match action {
+        Action::DiskFull => "injected disk full",
+        _ => "injected I/O error",
+    };
+    std::io::Error::other(message)
+}
+
+#[cfg(any(test, feature = "failpoints"))]
+mod registry {
+    use super::Action;
+    use std::collections::HashMap;
+    use std::sync::{Mutex, MutexGuard, OnceLock};
+
+    struct Site {
+        action: Action,
+        /// Fire on this 1-based hit.
+        at_hit: u64,
+        hits: u64,
+    }
+
+    fn sites() -> &'static Mutex<HashMap<String, Site>> {
+        static SITES: OnceLock<Mutex<HashMap<String, Site>>> = OnceLock::new();
+        SITES.get_or_init(|| Mutex::new(HashMap::new()))
+    }
+
+    fn lock() -> MutexGuard<'static, HashMap<String, Site>> {
+        sites().lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Arms `site` to perform `action` on its `at_hit`-th hit (1-based).
+    pub fn arm(site: &str, action: Action, at_hit: u64) {
+        lock().insert(
+            site.to_string(),
+            Site {
+                action,
+                at_hit: at_hit.max(1),
+                hits: 0,
+            },
+        );
+    }
+
+    /// Disarms every site and resets all hit counters.
+    pub fn clear() {
+        lock().clear();
+    }
+
+    /// Counts a hit of `site`, returning the scheduled action if this is
+    /// the armed one.
+    pub fn check(site: &str) -> Option<Action> {
+        let mut sites = lock();
+        let entry = sites.get_mut(site)?;
+        entry.hits += 1;
+        (entry.hits == entry.at_hit).then_some(entry.action)
+    }
+
+    /// Arms sites from a `CONFMASK_FAILPOINTS` schedule string. Unknown
+    /// or malformed entries are reported, not panicked on — a daemon must
+    /// not die because of a typo in a test knob.
+    pub fn load_schedule(schedule: &str) {
+        for entry in schedule.split(';').filter(|e| !e.trim().is_empty()) {
+            let parsed = (|| {
+                let (site, spec) = entry.split_once('=')?;
+                let (action, at_hit) = match spec.split_once('@') {
+                    Some((action, n)) => (action, n.parse().ok()?),
+                    None => (spec, 1),
+                };
+                Some((site.trim().to_string(), Action::from_name(action.trim())?, at_hit))
+            })();
+            match parsed {
+                Some((site, action, at_hit)) => arm(&site, action, at_hit),
+                None => confmask_obs::warn!(
+                    "serve.failpoint",
+                    "ignoring malformed failpoint entry '{entry}'"
+                ),
+            }
+        }
+    }
+
+    /// Serializes tests that arm fail points (the registry and its hit
+    /// counters are process-global).
+    pub fn exclusive() -> MutexGuard<'static, ()> {
+        static GUARD: OnceLock<Mutex<()>> = OnceLock::new();
+        GUARD
+            .get_or_init(|| Mutex::new(()))
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+#[cfg(any(test, feature = "failpoints"))]
+pub use registry::{arm, check, clear, exclusive, load_schedule};
+
+/// Counts a hit of `site` (no-op: fail points are compiled out).
+#[cfg(not(any(test, feature = "failpoints")))]
+#[inline(always)]
+pub fn check(_site: &str) -> Option<Action> {
+    None
+}
+
+/// Loads a schedule (no-op: fail points are compiled out).
+#[cfg(not(any(test, feature = "failpoints")))]
+#[inline(always)]
+pub fn load_schedule(_schedule: &str) {}
+
+/// Arms fail points from the `CONFMASK_FAILPOINTS` environment variable,
+/// if set. Called once at daemon startup; inert without the `failpoints`
+/// feature (or outside `cfg(test)`).
+pub fn load_env() {
+    if let Ok(schedule) = std::env::var("CONFMASK_FAILPOINTS") {
+        load_schedule(&schedule);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fires_exactly_on_the_scheduled_hit() {
+        let _guard = exclusive();
+        clear();
+        arm("t.site", Action::Torn, 3);
+        assert_eq!(check("t.site"), None);
+        assert_eq!(check("t.site"), None);
+        assert_eq!(check("t.site"), Some(Action::Torn));
+        assert_eq!(check("t.site"), None, "fires once, not repeatedly");
+        assert_eq!(check("t.other"), None, "unarmed sites never fire");
+        clear();
+        assert_eq!(check("t.site"), None, "clear disarms");
+    }
+
+    #[test]
+    fn schedule_string_round_trips_and_tolerates_garbage() {
+        let _guard = exclusive();
+        clear();
+        load_schedule("t.a=crash@2; t.b=vanish ;;bogus;t.c=what@1;t.d=err@x");
+        assert_eq!(check("t.a"), None);
+        assert_eq!(check("t.a"), Some(Action::CrashBefore));
+        assert_eq!(check("t.b"), Some(Action::Vanish), "@1 is the default");
+        assert_eq!(check("t.c"), None, "unknown action ignored");
+        assert_eq!(check("t.d"), None, "bad hit count ignored");
+        clear();
+    }
+
+    #[test]
+    fn action_names_parse() {
+        for (name, action) in [
+            ("crash", Action::CrashBefore),
+            ("torn", Action::Torn),
+            ("sync", Action::CrashAfter),
+            ("err", Action::IoError),
+            ("full", Action::DiskFull),
+            ("vanish", Action::Vanish),
+        ] {
+            assert_eq!(Action::from_name(name), Some(action));
+        }
+        assert_eq!(Action::from_name("explode"), None);
+    }
+}

@@ -28,21 +28,29 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod failpoint;
 pub mod http;
+pub mod persist;
 pub mod queue;
 mod router;
 pub mod store;
+#[cfg(test)]
+mod sweep_tests;
+pub mod wal;
 pub mod wire;
 mod worker;
 
+use crate::persist::{Persistence, Recovery};
 use crate::queue::Bounded;
 use crate::store::{JobCounts, JobStore};
 use crate::worker::QueuedJob;
 use std::io::{self, BufReader, BufWriter};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// Daemon configuration (the `confmask serve` flags).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -56,6 +64,12 @@ pub struct ServeOptions {
     /// Per-stage deadline applied to jobs that did not request their own
     /// (`--job-timeout-secs`).
     pub job_timeout: Option<Duration>,
+    /// Durable state directory (`--state-dir`): WAL + snapshots live
+    /// here and jobs survive crashes. `None` keeps the store in memory.
+    pub state_dir: Option<PathBuf>,
+    /// How many times a crash-interrupted job is re-admitted before it is
+    /// failed (`--requeue-budget`).
+    pub requeue_budget: u32,
 }
 
 impl Default for ServeOptions {
@@ -65,6 +79,8 @@ impl Default for ServeOptions {
             workers: 0,
             queue_cap: 64,
             job_timeout: None,
+            state_dir: None,
+            requeue_budget: persist::DEFAULT_REQUEUE_BUDGET,
         }
     }
 }
@@ -92,6 +108,7 @@ pub struct Server {
     listener: TcpListener,
     state: Arc<ServerState>,
     pool: worker::WorkerPool,
+    requeue: Option<JoinHandle<()>>,
 }
 
 /// Registers every `serve.*` metric at zero so the metric set is stable
@@ -104,6 +121,22 @@ fn register_metrics() {
     confmask_obs::counter_add("serve.jobs_failed", 0);
     confmask_obs::gauge_set("serve.queue_depth", 0.0);
     confmask_obs::histogram_register("serve.job_wall_secs");
+    // Durability layer: registered at zero so the metric set is identical
+    // whether or not `--state-dir` is in use.
+    confmask_obs::counter_add("serve.wal.appends", 0);
+    confmask_obs::counter_add("serve.wal.bytes", 0);
+    confmask_obs::counter_add("serve.wal.append_errors", 0);
+    confmask_obs::counter_add("serve.wal.snapshots", 0);
+    confmask_obs::counter_add("serve.wal.torn_records", 0);
+    confmask_obs::counter_add("serve.wal.skipped_records", 0);
+    confmask_obs::counter_add("serve.recovery.replayed_records", 0);
+    confmask_obs::counter_add("serve.recovery.requeued_jobs", 0);
+    confmask_obs::counter_add("serve.recovery.interrupted_jobs", 0);
+    confmask_obs::counter_add("serve.recovery.budget_exhausted", 0);
+    confmask_obs::counter_add("serve.recovery.corrupt_artifacts", 0);
+    confmask_obs::counter_add("serve.recovery.missing_artifacts", 0);
+    confmask_obs::counter_add("serve.recovered_jobs", 0);
+    confmask_obs::counter_add("serve.store.invalid_transition", 0);
     // The workers share the process-wide simulation cache and executor;
     // their metric sets must likewise be complete before the first job
     // arrives. The executor pool is sized by CONFMASK_THREADS (or
@@ -120,6 +153,7 @@ impl Server {
     pub fn bind(opts: &ServeOptions) -> io::Result<Server> {
         confmask_obs::set_enabled(true);
         register_metrics();
+        failpoint::load_env();
         let listener = TcpListener::bind(&opts.addr)?;
         let workers = if opts.workers == 0 {
             std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2)
@@ -127,13 +161,24 @@ impl Server {
             opts.workers
         };
         let queue = Arc::new(Bounded::new(opts.queue_cap));
-        let store = Arc::new(JobStore::new());
+        let (store, recovery) = match &opts.state_dir {
+            Some(dir) => {
+                let (persistence, recovery) =
+                    Persistence::open(dir, persist::DEFAULT_SNAPSHOT_EVERY, opts.requeue_budget)?;
+                let store = JobStore::durable(Arc::new(persistence), &recovery);
+                (Arc::new(store), Some(recovery))
+            }
+            None => (Arc::new(JobStore::new()), None),
+        };
         let pool = worker::spawn(
             workers,
             Arc::clone(&queue),
             Arc::clone(&store),
             opts.job_timeout,
         );
+        let requeue = recovery
+            .filter(|r| !r.requeue.is_empty())
+            .map(|r| spawn_requeue(r, Arc::clone(&queue), Arc::clone(&store)));
         let state = Arc::new(ServerState {
             queue,
             store,
@@ -145,6 +190,7 @@ impl Server {
             listener,
             state,
             pool,
+            requeue,
         })
     }
 
@@ -182,6 +228,9 @@ impl Server {
         // Drain: the queue is already closed by the shutdown handler
         // (closing again is idempotent); workers finish what was accepted.
         self.state.queue.close();
+        if let Some(h) = self.requeue {
+            let _ = h.join();
+        }
         self.pool.join();
         let counts = self.state.store.counts();
         confmask_obs::info!(
@@ -193,6 +242,68 @@ impl Server {
         );
         Ok(counts)
     }
+}
+
+/// Re-admits recovered jobs on a dedicated thread, honoring each job's
+/// jittered backoff delay. Pushes retry through transient queue-full
+/// backpressure; a closed queue (shutdown) leaves the remaining jobs
+/// non-terminal in the durable store, where the next boot's recovery
+/// picks them up again.
+fn spawn_requeue(
+    recovery: Recovery,
+    queue: Arc<Bounded<QueuedJob>>,
+    store: Arc<JobStore>,
+) -> JoinHandle<()> {
+    std::thread::Builder::new()
+        .name("confmask-requeue".to_string())
+        .spawn(move || {
+            let boot = Instant::now();
+            let mut entries: Vec<(Duration, u64)> = recovery
+                .requeue
+                .iter()
+                .map(|e| (e.delay, e.id))
+                .collect();
+            entries.sort();
+            let submissions: std::collections::BTreeMap<u64, &str> = recovery
+                .jobs
+                .iter()
+                .filter_map(|j| Some((j.id, j.submission.as_deref()?)))
+                .collect();
+            'entries: for (delay, id) in entries {
+                if let Some(remaining) = delay.checked_sub(boot.elapsed()) {
+                    std::thread::sleep(remaining);
+                }
+                let Some(sub) = submissions
+                    .get(&id)
+                    .and_then(|s| wire::decode_submit(s.as_bytes()).ok())
+                else {
+                    store.finish(
+                        id,
+                        Err("recovered submission no longer decodes".to_string()),
+                    );
+                    continue;
+                };
+                let mut job = QueuedJob {
+                    id,
+                    configs: sub.configs,
+                    params: sub.params,
+                };
+                loop {
+                    match queue.push(job) {
+                        Ok(_) => {
+                            confmask_obs::info!("serve.recovery", "requeued job j{id}");
+                            break;
+                        }
+                        Err(queue::PushError::Full(back)) => {
+                            job = back;
+                            std::thread::sleep(Duration::from_millis(50));
+                        }
+                        Err(queue::PushError::Closed(_)) => break 'entries,
+                    }
+                }
+            }
+        })
+        .expect("spawn requeue thread")
 }
 
 /// Handles one connection: read a request, route it, write the response.

@@ -54,7 +54,19 @@ fn submit(req: &Request, state: &ServerState) -> Response {
         Ok(sub) => sub,
         Err(message) => return Response::error(400, &message),
     };
-    let id = state.store.create();
+    // Journal the canonical (re-encoded) submission before acknowledging:
+    // an accepted job must survive a crash, so if the WAL refuses the
+    // record the submission is refused too.
+    let key = confmask::content_key(&sub.configs, &sub.params);
+    let canonical = wire::encode_submit(&sub.configs, &sub.params);
+    let id = match state.store.create_job(key, canonical) {
+        Ok(id) => id,
+        Err(e) => {
+            confmask_obs::counter_add("serve.jobs_rejected", 1);
+            confmask_obs::error!("serve", "job not accepted: journal write failed: {e}");
+            return Response::error(500, "job not accepted: state journal unavailable");
+        }
+    };
     let job = QueuedJob {
         id,
         configs: sub.configs,
@@ -131,8 +143,14 @@ fn health(state: &ServerState) -> Response {
     );
     let _ = writeln!(
         body,
-        "\"jobs\": {{\"queued\": {}, \"running\": {}, \"done\": {}, \"degraded\": {}, \"failed\": {}}}}}",
-        counts.queued, counts.running, counts.done, counts.degraded, counts.failed
+        "\"jobs\": {{\"queued\": {}, \"running\": {}, \"interrupted\": {}, \"done\": {}, \
+         \"degraded\": {}, \"failed\": {}}}}}",
+        counts.queued,
+        counts.running,
+        counts.interrupted,
+        counts.done,
+        counts.degraded,
+        counts.failed
     );
     Response::json(200, body)
 }

@@ -1,15 +1,27 @@
-//! The in-memory job store: every submitted job's state machine and, for
-//! finished jobs, its outcome.
+//! The job store: every submitted job's state machine and, for finished
+//! jobs, its outcome. With a [`Persistence`] attached (`--state-dir`),
+//! every transition is journaled to the WAL *before* it is acknowledged,
+//! and the store can be rebuilt from a [`Recovery`] after a crash.
 //!
-//! State machine: `queued → running → done | degraded | failed`.
-//! `degraded` is a successful outcome whose pipeline needed self-healing
-//! (at least one retried attempt) — callers get artifacts either way, but
-//! the distinction is surfaced so clients can audit healed runs.
+//! State machine: `queued → running → done | degraded | failed`, plus
+//! `interrupted` — a job whose worker died (daemon crash or kill) that
+//! recovery has re-admitted with backoff. `degraded` is a successful
+//! outcome whose pipeline needed self-healing (at least one retried
+//! attempt) — callers get artifacts either way, but the distinction is
+//! surfaced so clients can audit healed runs.
+//!
+//! Invalid transitions (finishing a removed job, starting a terminal one)
+//! are refused loudly: a `warn!` plus the `serve.store.invalid_transition`
+//! counter, never a silent no-op and never a state regression — this is
+//! what makes job completion **exactly-once** even when recovery requeues
+//! a job whose first run actually finished.
 
+use crate::persist::{Persistence, RecoveredJob, Recovery};
 use confmask::JobOutcome;
 use std::collections::BTreeMap;
+use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Where a job is in its lifecycle.
@@ -19,11 +31,14 @@ pub enum JobState {
     Queued,
     /// A worker is executing the pipeline.
     Running,
+    /// The daemon died while this job ran; recovery requeued it.
+    Interrupted,
     /// Finished successfully on the first attempt.
     Done,
     /// Finished successfully, but self-healing retried at least once.
     Degraded,
-    /// The pipeline failed (fatal error or retries exhausted).
+    /// The pipeline failed (fatal error, retries exhausted, or the
+    /// requeue budget ran out).
     Failed,
 }
 
@@ -33,6 +48,7 @@ impl JobState {
         match self {
             JobState::Queued => "queued",
             JobState::Running => "running",
+            JobState::Interrupted => "interrupted",
             JobState::Done => "done",
             JobState::Degraded => "degraded",
             JobState::Failed => "failed",
@@ -51,7 +67,7 @@ impl JobState {
 }
 
 /// One job's record. Snapshots of this are what the status endpoint
-/// serializes.
+/// serializes and what store snapshots persist.
 #[derive(Debug, Clone)]
 pub struct JobRecord {
     /// Numeric id (wire format `j<n>`).
@@ -68,6 +84,15 @@ pub struct JobRecord {
     /// The outcome (artifacts + summary + degradation), for successful
     /// jobs.
     pub outcome: Option<JobOutcome>,
+    /// Times recovery re-admitted this job after an interruption.
+    pub requeues: u32,
+    /// [`confmask::content_key`] of the submission — re-running the same
+    /// key yields byte-identical artifacts, which is why requeueing an
+    /// interrupted job is safe.
+    pub content_key: u64,
+    /// The canonical submission body, kept until the job is terminal so
+    /// snapshots can persist it for re-execution after a crash.
+    pub submission: Option<String>,
     /// When the job was submitted (used to compute `queue_wait`).
     submitted: Instant,
     /// When a worker started it (used to compute `wall`).
@@ -87,6 +112,22 @@ impl JobRecord {
             .map(|o| o.degradation.attempts.len())
             .unwrap_or(0)
     }
+
+    fn from_recovered(job: &RecoveredJob) -> JobRecord {
+        JobRecord {
+            id: job.id,
+            state: job.state,
+            queue_wait: None,
+            wall: job.wall_ms.map(Duration::from_millis),
+            error: job.error.clone(),
+            outcome: job.outcome.clone(),
+            requeues: job.requeues,
+            content_key: job.content_key,
+            submission: job.submission.clone(),
+            submitted: Instant::now(),
+            started: None,
+        }
+    }
 }
 
 /// Counts of jobs per state, for `/healthz`.
@@ -96,6 +137,8 @@ pub struct JobCounts {
     pub queued: usize,
     /// Jobs being executed.
     pub running: usize,
+    /// Jobs awaiting re-execution after a crash interrupted them.
+    pub interrupted: usize,
     /// Jobs finished clean.
     pub done: usize,
     /// Jobs finished after self-healing.
@@ -104,20 +147,51 @@ pub struct JobCounts {
     pub failed: usize,
 }
 
-/// The store: a monotonic id allocator plus a map of records.
+/// The store: a monotonic id allocator plus a map of records, optionally
+/// journaling through a [`Persistence`].
 #[derive(Default)]
 pub struct JobStore {
     next_id: AtomicU64,
     jobs: Mutex<BTreeMap<u64, JobRecord>>,
+    persist: Option<Arc<Persistence>>,
+}
+
+fn invalid_transition(op: &str, id: u64) {
+    confmask_obs::counter_add("serve.store.invalid_transition", 1);
+    confmask_obs::warn!(
+        "serve.store",
+        "{op} on job j{id} refused: record is missing or already terminal"
+    );
 }
 
 impl JobStore {
-    /// An empty store (ids start at 1).
+    /// An empty, ephemeral store (ids start at 1, nothing journaled).
     pub fn new() -> JobStore {
         JobStore {
             next_id: AtomicU64::new(1),
             jobs: Mutex::new(BTreeMap::new()),
+            persist: None,
         }
+    }
+
+    /// A durable store: journals through `persist` and starts from what
+    /// [`Persistence::open`] recovered.
+    pub fn durable(persist: Arc<Persistence>, recovery: &Recovery) -> JobStore {
+        let jobs = recovery
+            .jobs
+            .iter()
+            .map(|j| (j.id, JobRecord::from_recovered(j)))
+            .collect();
+        JobStore {
+            next_id: AtomicU64::new(recovery.next_id.max(1)),
+            jobs: Mutex::new(jobs),
+            persist: Some(persist),
+        }
+    }
+
+    /// The attached persistence, if this store is durable.
+    pub fn persistence(&self) -> Option<&Arc<Persistence>> {
+        self.persist.as_ref()
     }
 
     /// Parses a wire id (`j<n>`) back to the numeric id.
@@ -125,9 +199,21 @@ impl JobStore {
         id.strip_prefix('j')?.parse().ok()
     }
 
-    /// Creates a `queued` record and returns its id.
+    /// Creates a `queued` record for tests and ephemeral stores.
     pub fn create(&self) -> u64 {
+        self.create_job(0, String::new())
+            .expect("creating a job in an ephemeral store cannot fail")
+    }
+
+    /// Creates a `queued` record and returns its id. With persistence
+    /// attached the `Created` record is journaled (and fsynced) *before*
+    /// this returns — an error means the job was never accepted, and the
+    /// caller must fail the submission.
+    pub fn create_job(&self, content_key: u64, submission: String) -> io::Result<u64> {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        if let Some(p) = &self.persist {
+            p.log_created(id, content_key, &submission)?;
+        }
         let record = JobRecord {
             id,
             state: JobState::Queued,
@@ -135,50 +221,77 @@ impl JobStore {
             wall: None,
             error: None,
             outcome: None,
+            requeues: 0,
+            content_key,
+            submission: Some(submission),
             submitted: Instant::now(),
             started: None,
         };
         self.jobs.lock().expect("job store poisoned").insert(id, record);
-        id
+        Ok(id)
     }
 
     /// Removes a record (used when the queue refused the job after the
     /// record was created).
     pub fn remove(&self, id: u64) {
-        self.jobs.lock().expect("job store poisoned").remove(&id);
-    }
-
-    /// Marks a job `running` (a worker picked it up).
-    pub fn mark_running(&self, id: u64) {
-        let mut jobs = self.jobs.lock().expect("job store poisoned");
-        if let Some(r) = jobs.get_mut(&id) {
-            let now = Instant::now();
-            r.state = JobState::Running;
-            r.queue_wait = Some(now.duration_since(r.submitted));
-            r.started = Some(now);
+        let removed = self.jobs.lock().expect("job store poisoned").remove(&id);
+        if removed.is_some() {
+            if let Some(p) = &self.persist {
+                p.log_removed(id);
+            }
         }
     }
 
+    /// Marks a job `running` and returns the attempt number (1 for a
+    /// first run, `requeues + 1` after interruptions). Refuses missing or
+    /// terminal jobs with a warning and the invalid-transition counter —
+    /// a worker must then drop the queue entry, not execute it.
+    pub fn mark_running(&self, id: u64) -> Option<u32> {
+        let mut jobs = self.jobs.lock().expect("job store poisoned");
+        let Some(r) = jobs.get_mut(&id).filter(|r| !r.state.is_terminal()) else {
+            invalid_transition("mark_running", id);
+            return None;
+        };
+        let now = Instant::now();
+        r.state = JobState::Running;
+        r.queue_wait = Some(now.duration_since(r.submitted));
+        r.started = Some(now);
+        let attempt = r.requeues + 1;
+        if let Some(p) = &self.persist {
+            p.log_running(id, attempt);
+        }
+        Some(attempt)
+    }
+
     /// Records a finished job: `done`/`degraded` on success (depending on
-    /// whether self-healing kicked in), `failed` with the message on error.
+    /// whether self-healing kicked in), `failed` with the message on
+    /// error. Refuses missing or already-terminal jobs (warning +
+    /// counter): the first completion wins, a duplicate is discarded.
     pub fn finish(&self, id: u64, result: Result<JobOutcome, String>) {
         let mut jobs = self.jobs.lock().expect("job store poisoned");
-        if let Some(r) = jobs.get_mut(&id) {
-            r.wall = r.started.map(|s| s.elapsed());
-            match result {
-                Ok(outcome) => {
-                    r.state = if outcome.degradation.healed() {
-                        JobState::Degraded
-                    } else {
-                        JobState::Done
-                    };
-                    r.outcome = Some(outcome);
-                }
-                Err(message) => {
-                    r.state = JobState::Failed;
-                    r.error = Some(message);
-                }
+        let Some(r) = jobs.get_mut(&id).filter(|r| !r.state.is_terminal()) else {
+            invalid_transition("finish", id);
+            return;
+        };
+        r.wall = r.started.map(|s| s.elapsed());
+        match result {
+            Ok(outcome) => {
+                r.state = if outcome.degradation.healed() {
+                    JobState::Degraded
+                } else {
+                    JobState::Done
+                };
+                r.outcome = Some(outcome);
             }
+            Err(message) => {
+                r.state = JobState::Failed;
+                r.error = Some(message);
+            }
+        }
+        r.submission = None; // terminal jobs are never re-executed
+        if let Some(p) = &self.persist {
+            p.log_finished(&r.clone());
+            p.maybe_snapshot(&jobs, self.next_id.load(Ordering::Relaxed));
         }
     }
 
@@ -195,6 +308,7 @@ impl JobStore {
             match r.state {
                 JobState::Queued => c.queued += 1,
                 JobState::Running => c.running += 1,
+                JobState::Interrupted => c.interrupted += 1,
                 JobState::Done => c.done += 1,
                 JobState::Degraded => c.degraded += 1,
                 JobState::Failed => c.failed += 1,
@@ -203,11 +317,12 @@ impl JobStore {
         c
     }
 
-    /// Whether every job in the store is terminal (nothing queued or
-    /// running) — the drain condition for graceful shutdown.
+    /// Whether every job in the store is terminal (nothing queued,
+    /// running, or awaiting re-execution) — the drain condition for
+    /// graceful shutdown.
     pub fn all_terminal(&self) -> bool {
         let c = self.counts();
-        c.queued == 0 && c.running == 0
+        c.queued == 0 && c.running == 0 && c.interrupted == 0
     }
 }
 
@@ -220,7 +335,7 @@ mod tests {
         let store = JobStore::new();
         let id = store.create();
         assert_eq!(store.get(id).unwrap().state, JobState::Queued);
-        store.mark_running(id);
+        assert_eq!(store.mark_running(id), Some(1));
         let r = store.get(id).unwrap();
         assert_eq!(r.state, JobState::Running);
         assert!(r.queue_wait.is_some());
@@ -260,5 +375,24 @@ mod tests {
         store.remove(a);
         store.finish(b, Err("x".into()));
         assert!(store.all_terminal());
+    }
+
+    #[test]
+    fn invalid_transitions_are_refused_not_silent() {
+        let store = JobStore::new();
+        // Finishing a job that was removed: refused.
+        let id = store.create();
+        store.remove(id);
+        store.finish(id, Err("late".into()));
+        assert!(store.get(id).is_none(), "finish must not resurrect a job");
+        // Starting a terminal job: refused, state unchanged.
+        let id = store.create();
+        store.mark_running(id);
+        store.finish(id, Err("first".into()));
+        assert_eq!(store.mark_running(id), None);
+        assert_eq!(store.get(id).unwrap().state, JobState::Failed);
+        // Double-finish: the first completion wins.
+        store.finish(id, Err("second".into()));
+        assert_eq!(store.get(id).unwrap().error.as_deref(), Some("first"));
     }
 }

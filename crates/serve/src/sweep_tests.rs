@@ -1,0 +1,299 @@
+//! The crash-point sweep: a scripted store workload is run once cleanly
+//! to count its WAL appends, then re-run with a fault injected at *every*
+//! append (and every snapshot step, and a vanishing worker), each time
+//! recovering from the surviving state directory and asserting the
+//! exactly-once invariants:
+//!
+//! * **no job lost** — every acknowledged submission is recovered;
+//! * **none invented** — recovery never surfaces an unacknowledged job;
+//! * **none double-completed** — a recovered terminal state always equals
+//!   the completion the live daemon recorded, never a different one;
+//! * **artifacts absent or fully intact** — a recovered `done` job serves
+//!   either its byte-identical bundle or nothing, never a partial one;
+//! * recovery itself is **idempotent** — a second boot reaches the same
+//!   states.
+//!
+//! The in-process crash model: an injected fault *halts* the
+//! [`wal::WalWriter`], freezing the file exactly as a killed process
+//! would, and the script stops at the first halt (a dead process executes
+//! nothing further). Recovery then reopens the directory cold.
+
+use crate::failpoint::{self, Action};
+use crate::persist::{Persistence, RecoveredJob};
+use crate::queue::Bounded;
+use crate::store::{JobState, JobStore};
+use crate::worker::{self, QueuedJob};
+use confmask::{ArtifactFile, DegradationReport, JobOutcome, JobSummary, Params};
+use std::collections::{BTreeMap, BTreeSet};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn tmp(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "confmask-sweep-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn outcome() -> JobOutcome {
+    JobOutcome {
+        artifacts: vec![
+            ArtifactFile {
+                path: "routers/r1.cfg".into(),
+                text: "hostname r1\ninterface eth0\n  ip address 10.0.0.1/24\n".into(),
+            },
+            ArtifactFile {
+                path: "hosts/h1.cfg".into(),
+                text: "hostname h1\n".into(),
+            },
+        ],
+        summary: JobSummary {
+            routers: 1,
+            hosts: 1,
+            fake_links: 2,
+            fake_hosts: 0,
+            fake_routers: 0,
+            config_utility: 0.5,
+            route_anonymity_avg: 2.0,
+            functionally_equivalent: true,
+        },
+        degradation: DegradationReport { attempts: vec![] },
+    }
+}
+
+fn sorted_artifacts() -> Vec<ArtifactFile> {
+    let mut files = outcome().artifacts;
+    files.sort_by(|a, b| a.path.cmp(&b.path));
+    files
+}
+
+/// The scripted workload: one job that completes with artifacts, one that
+/// fails, one left queued, one left running. Stops at the first injected
+/// halt (a dead process executes nothing further). Returns the jobs the
+/// "client" saw acknowledged, with their final in-memory states, plus the
+/// number of WAL appends that reached the disk.
+fn scripted(dir: &Path, snapshot_every: u64) -> (Vec<(u64, JobState)>, u64) {
+    let (p, r) = Persistence::open(dir, snapshot_every, 3).expect("open state dir");
+    let persist = Arc::new(p);
+    let store = JobStore::durable(Arc::clone(&persist), &r);
+    let mut acked: Vec<u64> = Vec::new();
+    'script: {
+        // A: runs to completion with artifacts.
+        if let Ok(a) = store.create_job(0xA, "job-a".into()) {
+            acked.push(a);
+            if !persist.halted() {
+                store.mark_running(a);
+            }
+            if !persist.halted() {
+                store.finish(a, Ok(outcome()));
+            }
+        }
+        if persist.halted() {
+            break 'script;
+        }
+        // B: runs and fails.
+        if let Ok(b) = store.create_job(0xB, "job-b".into()) {
+            acked.push(b);
+            if !persist.halted() {
+                store.mark_running(b);
+            }
+            if !persist.halted() {
+                store.finish(b, Err("boom".into()));
+            }
+        }
+        if persist.halted() {
+            break 'script;
+        }
+        // C: accepted, still waiting in the queue at the crash.
+        if let Ok(c) = store.create_job(0xC, "job-c".into()) {
+            acked.push(c);
+        }
+        if persist.halted() {
+            break 'script;
+        }
+        // D: a worker picked it up; the crash interrupts it.
+        if let Ok(d) = store.create_job(0xD, "job-d".into()) {
+            acked.push(d);
+            if !persist.halted() {
+                store.mark_running(d);
+            }
+        }
+    }
+    let appends = persist.appends();
+    let acked = acked
+        .into_iter()
+        .map(|id| (id, store.get(id).expect("acked job is in memory").state))
+        .collect();
+    (acked, appends)
+}
+
+/// Reopens `dir` and checks every exactly-once invariant against what the
+/// live run acknowledged, then boots a second time to check idempotence.
+fn verify_recovery(dir: &Path, acked: &[(u64, JobState)], context: &str) {
+    let (p, rec) = Persistence::open(dir, 1_000, 3).expect("recovery must succeed");
+    let recovered: BTreeMap<u64, &RecoveredJob> = rec.jobs.iter().map(|j| (j.id, j)).collect();
+
+    // No job lost, none invented: the recovered set is exactly the
+    // acknowledged set.
+    let acked_ids: Vec<u64> = acked.iter().map(|(id, _)| *id).collect();
+    assert_eq!(
+        recovered.keys().copied().collect::<Vec<u64>>(),
+        acked_ids,
+        "{context}: recovered ids != acknowledged ids"
+    );
+
+    let requeued: BTreeSet<u64> = rec.requeue.iter().map(|e| e.id).collect();
+    for entry in &rec.requeue {
+        assert!(
+            entry.delay <= Duration::from_secs(5),
+            "{context}: backoff over the cap: {:?}",
+            entry.delay
+        );
+    }
+
+    for (id, mem_state) in acked {
+        let job = recovered[id];
+        if job.state.is_terminal() {
+            // A terminal recovery must be the completion the daemon
+            // recorded — never a different outcome (exactly-once).
+            assert_eq!(
+                job.state, *mem_state,
+                "{context}: job {id} recovered to a different terminal state"
+            );
+            // Artifacts are absent (`outcome: None`, e.g. the bundle
+            // append was injected to fail) or fully intact — a partial
+            // bundle can never surface.
+            if let Some(out) = &job.outcome {
+                assert_eq!(
+                    out.artifacts,
+                    sorted_artifacts(),
+                    "{context}: job {id} artifacts not byte-identical"
+                );
+            }
+        } else {
+            // Not yet durably terminal: the job must be scheduled for
+            // re-execution, with its submission intact.
+            assert!(
+                requeued.contains(id),
+                "{context}: job {id} neither terminal nor requeued (mem: {mem_state:?})"
+            );
+            assert!(
+                job.submission.is_some(),
+                "{context}: job {id} requeued without a submission"
+            );
+        }
+    }
+
+    // Second boot: recovery is idempotent. The Requeued/Finished records
+    // the first boot journaled must not change any terminal state or
+    // multiply completions.
+    drop(p);
+    let (_p2, rec2) = Persistence::open(dir, 1_000, 3).expect("second recovery");
+    let terminal = |r: &[RecoveredJob]| -> Vec<(u64, JobState)> {
+        r.iter()
+            .filter(|j| j.state.is_terminal())
+            .map(|j| (j.id, j.state))
+            .collect()
+    };
+    assert_eq!(
+        terminal(&rec.jobs),
+        terminal(&rec2.jobs),
+        "{context}: a second boot changed terminal states"
+    );
+    assert_eq!(
+        rec2.requeue.iter().map(|e| e.id).collect::<BTreeSet<u64>>(),
+        requeued,
+        "{context}: a second boot changed the requeue set"
+    );
+}
+
+#[test]
+fn clean_run_settles_every_job_and_sizes_the_sweep() {
+    let _guard = failpoint::exclusive();
+    failpoint::clear();
+    let (acked, appends) = scripted(&tmp("clean"), 1_000);
+    let states: Vec<JobState> = acked.iter().map(|(_, s)| *s).collect();
+    assert_eq!(
+        states,
+        vec![JobState::Done, JobState::Failed, JobState::Queued, JobState::Running]
+    );
+    // 4×Created + 3×Running + A's Artifacts+Finished + B's Finished.
+    assert_eq!(appends, 10, "the scripted workload drifted; re-derive the sweep size");
+}
+
+#[test]
+fn crash_sweep_over_every_wal_append() {
+    let _guard = failpoint::exclusive();
+    failpoint::clear();
+    let (_, total) = scripted(&tmp("size"), 1_000);
+    for hit in 1..=total {
+        for action in [
+            Action::CrashBefore,
+            Action::Torn,
+            Action::CrashAfter,
+            Action::IoError,
+            Action::DiskFull,
+        ] {
+            let dir = tmp(&format!("wal-{hit}-{action:?}"));
+            failpoint::arm("wal.append", action, hit);
+            let (acked, _) = scripted(&dir, 1_000);
+            failpoint::clear();
+            verify_recovery(&dir, &acked, &format!("wal.append {action:?}@{hit}"));
+        }
+    }
+}
+
+#[test]
+fn crash_sweep_over_every_snapshot_step() {
+    let _guard = failpoint::exclusive();
+    failpoint::clear();
+    // snapshot_every=1: both finishes in the script trigger a snapshot.
+    for site in ["snapshot.write", "snapshot.rename", "snapshot.truncate"] {
+        for hit in 1..=2u64 {
+            for action in [Action::CrashBefore, Action::IoError] {
+                let dir = tmp(&format!("{site}-{hit}-{action:?}"));
+                failpoint::arm(site, action, hit);
+                let (acked, _) = scripted(&dir, 1);
+                failpoint::clear();
+                verify_recovery(&dir, &acked, &format!("{site} {action:?}@{hit}"));
+            }
+        }
+    }
+}
+
+#[test]
+fn a_vanished_worker_leaves_an_interrupted_job_that_recovery_requeues() {
+    let _guard = failpoint::exclusive();
+    failpoint::clear();
+    let dir = tmp("vanish");
+    let (p, r) = Persistence::open(&dir, 1_000, 3).unwrap();
+    let store = Arc::new(JobStore::durable(Arc::new(p), &r));
+    let id = store.create_job(7, "net".into()).unwrap();
+    failpoint::arm("worker.run", Action::Vanish, 1);
+    let queue = Arc::new(Bounded::new(4));
+    queue
+        .push(QueuedJob {
+            id,
+            configs: confmask_netgen::smallnets::example_network(),
+            params: Params::new(3, 2),
+        })
+        .unwrap();
+    let pool = worker::spawn(1, Arc::clone(&queue), Arc::clone(&store), None);
+    queue.close();
+    pool.join();
+    failpoint::clear();
+    // The worker died mid-job: running in memory, no outcome recorded.
+    assert_eq!(store.get(id).unwrap().state, JobState::Running);
+    drop(store);
+
+    let (_p, rec) = Persistence::open(&dir, 1_000, 3).unwrap();
+    let j = rec.jobs.iter().find(|j| j.id == id).unwrap();
+    assert_eq!(j.state, JobState::Interrupted);
+    assert_eq!(j.requeues, 1);
+    assert_eq!(rec.requeue.len(), 1);
+    assert!(rec.requeue[0].delay > Duration::ZERO, "interruption earns backoff");
+}

@@ -7,7 +7,7 @@
 //! same functions as the server.
 
 use crate::store::JobRecord;
-use confmask::{ArtifactFile, EquivalenceMode, Params};
+use confmask::{ArtifactFile, EquivalenceMode, JobSummary, Params};
 use confmask_config::{parse_host, parse_router, NetworkConfigs};
 use confmask_obs::json::{escape, parse, Json};
 use std::fmt::Write as _;
@@ -175,6 +175,40 @@ fn millis(d: Option<Duration>) -> String {
     d.map(|d| (d.as_millis() as u64).to_string()).unwrap_or_else(|| "null".into())
 }
 
+/// Encodes a [`JobSummary`] as a JSON object. Shared between the status
+/// endpoint and the WAL's `Finished` records, so a summary recovered from
+/// disk is indistinguishable from a freshly computed one.
+pub(crate) fn encode_summary(s: &JobSummary) -> String {
+    format!(
+        "{{\"routers\": {}, \"hosts\": {}, \"fake_links\": {}, \
+         \"fake_hosts\": {}, \"fake_routers\": {}, \"config_utility\": {:.6}, \
+         \"route_anonymity_avg\": {:.6}, \"functionally_equivalent\": {}}}",
+        s.routers,
+        s.hosts,
+        s.fake_links,
+        s.fake_hosts,
+        s.fake_routers,
+        s.config_utility,
+        s.route_anonymity_avg,
+        s.functionally_equivalent
+    )
+}
+
+/// Decodes a summary object (WAL replay). `None` for non-objects.
+pub(crate) fn decode_summary(doc: &Json) -> Option<JobSummary> {
+    doc.as_obj()?;
+    Some(JobSummary {
+        routers: doc.get("routers")?.as_u64()? as usize,
+        hosts: doc.get("hosts")?.as_u64()? as usize,
+        fake_links: doc.get("fake_links")?.as_u64()? as usize,
+        fake_hosts: doc.get("fake_hosts")?.as_u64()? as usize,
+        fake_routers: doc.get("fake_routers")?.as_u64()? as usize,
+        config_utility: doc.get("config_utility")?.as_f64()?,
+        route_anonymity_avg: doc.get("route_anonymity_avg")?.as_f64()?,
+        functionally_equivalent: doc.get("functionally_equivalent") == Some(&Json::Bool(true)),
+    })
+}
+
 /// Serializes a job record for `GET /v1/jobs/{id}` — state machine fields,
 /// the summary when finished, and the full self-healing
 /// `DegradationReport` inlined (seeds as hex strings: they exceed 2^53 and
@@ -185,6 +219,7 @@ pub fn encode_status(record: &JobRecord) -> String {
     let _ = writeln!(out, "  \"state\": {},", escape(record.state.name()));
     let _ = writeln!(out, "  \"queue_wait_ms\": {},", millis(record.queue_wait));
     let _ = writeln!(out, "  \"wall_ms\": {},", millis(record.wall));
+    let _ = writeln!(out, "  \"requeues\": {},", record.requeues);
     let _ = writeln!(
         out,
         "  \"error\": {},",
@@ -199,21 +234,7 @@ pub fn encode_status(record: &JobRecord) -> String {
             out.push_str("  \"summary\": null,\n  \"degradation\": null\n}\n");
         }
         Some(o) => {
-            let s = &o.summary;
-            let _ = writeln!(
-                out,
-                "  \"summary\": {{\"routers\": {}, \"hosts\": {}, \"fake_links\": {}, \
-                 \"fake_hosts\": {}, \"fake_routers\": {}, \"config_utility\": {:.6}, \
-                 \"route_anonymity_avg\": {:.6}, \"functionally_equivalent\": {}}},",
-                s.routers,
-                s.hosts,
-                s.fake_links,
-                s.fake_hosts,
-                s.fake_routers,
-                s.config_utility,
-                s.route_anonymity_avg,
-                s.functionally_equivalent
-            );
+            let _ = writeln!(out, "  \"summary\": {},", encode_summary(&o.summary));
             let _ = writeln!(
                 out,
                 "  \"degradation\": {{\"healed\": {}, \"failures\": {}, \"attempts\": [",
@@ -259,7 +280,8 @@ pub fn encode_status(record: &JobRecord) -> String {
 pub struct JobStatus {
     /// Wire id (`j<n>`).
     pub id: String,
-    /// State name (`queued`, `running`, `done`, `degraded`, `failed`).
+    /// State name (`queued`, `running`, `interrupted`, `done`,
+    /// `degraded`, `failed`).
     pub state: String,
     /// Failure message for `failed` jobs.
     pub error: Option<String>,
@@ -267,6 +289,8 @@ pub struct JobStatus {
     pub healed: bool,
     /// Pipeline attempts made.
     pub attempts: usize,
+    /// Times crash recovery re-admitted the job.
+    pub requeues: u64,
     /// Pipeline wall-clock milliseconds, when finished.
     pub wall_ms: Option<u64>,
 }
@@ -307,6 +331,7 @@ pub fn decode_status(body: &[u8]) -> Result<JobStatus, String> {
             .and_then(Json::as_arr)
             .map(<[Json]>::len)
             .unwrap_or(0),
+        requeues: doc.get("requeues").and_then(Json::as_u64).unwrap_or(0),
         wall_ms: doc.get("wall_ms").and_then(Json::as_u64),
     })
 }

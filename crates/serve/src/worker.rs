@@ -7,6 +7,7 @@
 //! stage samples (guarded by a regression test in `tests/`). A panicking
 //! job is caught, recorded as `failed`, and the worker keeps serving.
 
+use crate::failpoint;
 use crate::queue::Bounded;
 use crate::store::JobStore;
 use confmask::{run_job, NetworkConfigs, Params};
@@ -66,7 +67,18 @@ pub fn spawn(
 fn worker_loop(queue: &Bounded<QueuedJob>, store: &JobStore, job_timeout: Option<Duration>) {
     while let Some(job) = queue.pop() {
         confmask_obs::gauge_set("serve.queue_depth", queue.len() as f64);
-        store.mark_running(job.id);
+        // A refused transition (job removed, or already finished by an
+        // earlier run that recovery requeued anyway) drops the entry —
+        // exactly-once completion over at-least-once delivery.
+        if store.mark_running(job.id).is_none() {
+            continue;
+        }
+        if failpoint::check("worker.run") == Some(failpoint::Action::Vanish) {
+            // Injected worker death: the thread exits mid-job, leaving
+            // the job `running` with no outcome — what a crashed daemon
+            // leaves in its WAL for recovery to classify as interrupted.
+            return;
+        }
         let mut params = job.params;
         if params.stage_deadline.is_none() {
             params.stage_deadline = job_timeout;
@@ -111,6 +123,10 @@ mod tests {
 
     #[test]
     fn workers_drain_the_queue_and_record_outcomes() {
+        // Workers traverse the `worker.run` fail point; serialize with
+        // tests that arm it.
+        let _guard = failpoint::exclusive();
+        failpoint::clear();
         let queue = Arc::new(Bounded::new(8));
         let store = Arc::new(JobStore::new());
         let net = example_network();
@@ -141,6 +157,8 @@ mod tests {
 
     #[test]
     fn a_failing_job_is_recorded_not_propagated() {
+        let _guard = failpoint::exclusive();
+        failpoint::clear();
         let queue = Arc::new(Bounded::new(2));
         let store = Arc::new(JobStore::new());
         // The bad gadget has no BGP equilibrium: the pipeline fails fatally.

@@ -16,7 +16,7 @@ fn start(workers: usize, queue_cap: usize) -> (String, std::thread::JoinHandle<c
         addr: "127.0.0.1:0".to_string(),
         workers,
         queue_cap,
-        job_timeout: None,
+        ..ServeOptions::default()
     })
     .expect("bind");
     let addr = server.local_addr().to_string();

@@ -1,0 +1,150 @@
+//! End-to-end crash recovery over real sockets: a daemon with a
+//! `--state-dir` restarts and keeps serving finished jobs, re-executes a
+//! job a crash interrupted, and reports the recovery in its metrics.
+
+use confmask::Params;
+use confmask_serve::client;
+use confmask_serve::persist::Persistence;
+use confmask_serve::wire;
+use confmask_serve::{Server, ServeOptions};
+use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
+
+fn tmp(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "confmask-recovery-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn start(state_dir: &Path) -> (String, std::thread::JoinHandle<confmask_serve::store::JobCounts>) {
+    let server = Server::bind(&ServeOptions {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        queue_cap: 16,
+        state_dir: Some(state_dir.to_path_buf()),
+        ..ServeOptions::default()
+    })
+    .expect("bind");
+    let addr = server.local_addr().to_string();
+    let handle = std::thread::spawn(move || server.run().expect("run"));
+    (addr, handle)
+}
+
+fn wait_terminal(addr: &str, id: &str) -> wire::JobStatus {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let resp = client::get(addr, &format!("/v1/jobs/{id}")).expect("poll");
+        assert_eq!(resp.status, 200, "{}", resp.text());
+        let status = wire::decode_status(&resp.body).expect("status json");
+        if status.is_terminal() {
+            return status;
+        }
+        assert!(Instant::now() < deadline, "job {id} never finished");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+fn recovered_jobs_metric(addr: &str) -> u64 {
+    let resp = client::get(addr, "/metrics").unwrap();
+    assert_eq!(resp.status, 200);
+    resp.text()
+        .lines()
+        .find(|l| l.starts_with("confmask_serve_recovered_jobs "))
+        .and_then(|l| l.split_whitespace().nth(1))
+        .and_then(|v| v.parse().ok())
+        .expect("confmask_serve_recovered_jobs exposed")
+}
+
+#[test]
+fn finished_jobs_survive_a_graceful_restart() {
+    let dir = tmp("graceful");
+    let net = confmask_netgen::smallnets::example_network();
+    let body = wire::encode_submit(&net, &Params::new(3, 2));
+
+    // Daemon 1: run one job to completion, remember its artifacts.
+    let (addr, handle) = start(&dir);
+    let resp = client::post(&addr, "/v1/jobs", &body).unwrap();
+    assert_eq!(resp.status, 202, "{}", resp.text());
+    let id = wire::decode_job_created(&resp.body).unwrap();
+    let status = wait_terminal(&addr, &id);
+    assert!(status.state == "done" || status.state == "degraded", "{status:?}");
+    let artifacts_1 = client::get(&addr, &format!("/v1/jobs/{id}/artifacts")).unwrap();
+    assert_eq!(artifacts_1.status, 200);
+    client::post(&addr, "/v1/shutdown", "").unwrap();
+    handle.join().unwrap();
+
+    // Daemon 2, same state dir: the job is still there, byte-identical.
+    let (addr, handle) = start(&dir);
+    assert!(recovered_jobs_metric(&addr) >= 1, "recovery must be visible in metrics");
+    let resp = client::get(&addr, &format!("/v1/jobs/{id}")).unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.text());
+    let status = wire::decode_status(&resp.body).expect("status json");
+    assert!(status.state == "done" || status.state == "degraded", "{status:?}");
+    let artifacts_2 = client::get(&addr, &format!("/v1/jobs/{id}/artifacts")).unwrap();
+    assert_eq!(artifacts_2.status, 200);
+    let files_1 = wire::decode_artifacts(&artifacts_1.body).unwrap();
+    let files_2 = wire::decode_artifacts(&artifacts_2.body).unwrap();
+    assert_eq!(files_1, files_2, "artifacts must survive the restart byte-identical");
+
+    // The id allocator resumed past the recovered job: a new submission
+    // never reuses an id.
+    let resp = client::post(&addr, "/v1/jobs", &body).unwrap();
+    assert_eq!(resp.status, 202);
+    let new_id = wire::decode_job_created(&resp.body).unwrap();
+    assert_ne!(new_id, id);
+    wait_terminal(&addr, &new_id);
+
+    client::post(&addr, "/v1/shutdown", "").unwrap();
+    let counts = handle.join().unwrap();
+    assert_eq!(counts.done + counts.degraded, 2, "{counts:?}");
+}
+
+#[test]
+fn a_job_interrupted_by_a_crash_is_requeued_and_completes() {
+    let dir = tmp("interrupted");
+    let net = confmask_netgen::smallnets::example_network();
+    let params = Params::new(3, 2);
+    let body = wire::encode_submit(&net, &params);
+    let key = confmask::content_key(&net, &params);
+
+    // Hand-author the state directory a crashed daemon would leave: a job
+    // accepted and picked up by a worker, but never finished.
+    {
+        let (p, recovery) = Persistence::open(&dir, 256, 3).expect("seed state dir");
+        assert!(recovery.jobs.is_empty());
+        p.log_created(1, key, &body).expect("journal Created");
+        p.log_running(1, 1);
+    }
+
+    // The daemon boots on that directory: recovery classifies the job as
+    // interrupted, requeues it with backoff, and a worker re-runs it.
+    let (addr, handle) = start(&dir);
+    assert!(recovered_jobs_metric(&addr) >= 1);
+    let status = wait_terminal(&addr, "j1");
+    assert!(
+        status.state == "done" || status.state == "degraded",
+        "an interrupted job must be re-run to completion: {status:?}"
+    );
+    assert_eq!(status.requeues, 1, "{status:?}");
+
+    // The re-run's artifacts parse as valid configs.
+    let resp = client::get(&addr, "/v1/jobs/j1/artifacts").unwrap();
+    assert_eq!(resp.status, 200);
+    let files = wire::decode_artifacts(&resp.body).unwrap();
+    assert!(!files.is_empty());
+    for f in &files {
+        if f.path.starts_with("routers/") {
+            confmask_config::parse_router(&f.text).expect("artifact parses");
+        } else {
+            confmask_config::parse_host(&f.text).expect("artifact parses");
+        }
+    }
+
+    client::post(&addr, "/v1/shutdown", "").unwrap();
+    let counts = handle.join().unwrap();
+    assert_eq!(counts.done + counts.degraded, 1, "{counts:?}");
+}

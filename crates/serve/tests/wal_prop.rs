@@ -1,0 +1,109 @@
+//! Property tests for the WAL byte format: whatever happens to the tail
+//! of a log — truncation at any offset, a flipped bit anywhere — scanning
+//! never panics and always recovers the longest valid prefix, and a clean
+//! log round-trips byte-exactly.
+
+use confmask_serve::wal::{encode_record, scan_body, Kind, RECORD_OVERHEAD};
+use proptest::prelude::*;
+
+fn arb_kind() -> impl Strategy<Value = Kind> {
+    prop_oneof![
+        Just(Kind::Created),
+        Just(Kind::Running),
+        Just(Kind::Finished),
+        Just(Kind::Artifacts),
+        Just(Kind::Removed),
+        Just(Kind::Requeued),
+        Just(Kind::Snapshot),
+    ]
+}
+
+fn arb_records() -> impl Strategy<Value = Vec<(Kind, Vec<u8>)>> {
+    prop::collection::vec(
+        (arb_kind(), prop::collection::vec(any::<u8>(), 0..64)),
+        0..8,
+    )
+}
+
+fn encode(records: &[(Kind, Vec<u8>)]) -> Vec<u8> {
+    records
+        .iter()
+        .flat_map(|(kind, payload)| encode_record(*kind, payload))
+        .collect()
+}
+
+/// How many whole records fit in the first `limit` bytes, and where the
+/// last one ends.
+fn whole_records_within(records: &[(Kind, Vec<u8>)], limit: usize) -> (usize, usize) {
+    let (mut count, mut pos) = (0usize, 0usize);
+    for (_, payload) in records {
+        let next = pos + RECORD_OVERHEAD + payload.len();
+        if next > limit {
+            break;
+        }
+        count += 1;
+        pos = next;
+    }
+    (count, pos)
+}
+
+proptest! {
+    #[test]
+    fn clean_logs_round_trip_byte_exactly(records in arb_records()) {
+        let bytes = encode(&records);
+        let scan = scan_body(&bytes);
+        prop_assert_eq!(scan.records.len(), records.len());
+        prop_assert_eq!(scan.valid_len, bytes.len());
+        prop_assert_eq!(scan.discarded, 0);
+        for (record, (kind, payload)) in scan.records.iter().zip(&records) {
+            prop_assert_eq!(record.kind, *kind);
+            prop_assert_eq!(&record.payload, payload);
+        }
+        let reencoded: Vec<u8> = scan
+            .records
+            .iter()
+            .flat_map(|r| encode_record(r.kind, &r.payload))
+            .collect();
+        prop_assert_eq!(reencoded, bytes);
+    }
+
+    #[test]
+    fn truncation_anywhere_recovers_the_longest_valid_prefix(
+        records in arb_records(),
+        cut_seed in any::<u64>(),
+    ) {
+        let bytes = encode(&records);
+        let cut = (cut_seed as usize) % (bytes.len() + 1);
+        let scan = scan_body(&bytes[..cut]); // must not panic
+        let (count, pos) = whole_records_within(&records, cut);
+        prop_assert_eq!(scan.records.len(), count);
+        prop_assert_eq!(scan.valid_len, pos);
+        prop_assert_eq!(scan.discarded, cut - pos);
+        for (record, (kind, payload)) in scan.records.iter().zip(&records) {
+            prop_assert_eq!(record.kind, *kind);
+            prop_assert_eq!(&record.payload, payload);
+        }
+    }
+
+    #[test]
+    fn a_flipped_bit_never_panics_and_never_corrupts_earlier_records(
+        records in arb_records(),
+        bit in any::<u64>(),
+    ) {
+        let bytes = encode(&records);
+        prop_assume!(!bytes.is_empty());
+        let byte_at = (bit as usize / 8) % bytes.len();
+        let mut corrupt = bytes.clone();
+        corrupt[byte_at] ^= 1u8 << (bit % 8);
+        let scan = scan_body(&corrupt); // must not panic
+        prop_assert_eq!(scan.valid_len + scan.discarded, corrupt.len());
+        // Every record that ends strictly before the flipped byte is
+        // untouched and must survive verbatim.
+        let (intact, _) = whole_records_within(&records, byte_at);
+        prop_assert!(scan.records.len() >= intact);
+        for (record, (kind, payload)) in scan.records.iter().zip(&records).take(intact) {
+            prop_assert_eq!(record.kind, *kind);
+            prop_assert_eq!(&record.payload, payload);
+        }
+    }
+}
