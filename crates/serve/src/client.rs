@@ -78,18 +78,28 @@ pub fn request(
     path: &str,
     body: Option<&str>,
 ) -> io::Result<ClientResponse> {
+    request_with_retries(addr, method, path, body, RETRIES)
+}
+
+fn request_with_retries(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    retries: u32,
+) -> io::Result<ClientResponse> {
     let mut attempt = 0;
     loop {
         match request_once(addr, method, path, body) {
             Ok(response) => return Ok(response),
-            Err(e) if attempt < RETRIES && transient(e.kind(), method) => {
+            Err(e) if attempt < retries && transient(e.kind(), method) => {
                 let delay = retry_delay(attempt, addr);
                 confmask_obs::counter_add("serve.client.retries", 1);
                 confmask_obs::warn!(
                     "serve.client",
                     "{method} {path}: {e}; retrying in {}ms ({} left)",
                     delay.as_millis(),
-                    RETRIES - attempt
+                    retries - attempt
                 );
                 std::thread::sleep(delay);
                 attempt += 1;
@@ -207,14 +217,23 @@ mod tests {
 
     #[test]
     fn refused_connection_is_retried_then_surfaced() {
-        // Port 1 on localhost: nothing listens, connect is refused fast.
+        // Bind an ephemeral port, then drop the listener: connecting to
+        // the freed loopback port is refused immediately. (A well-known
+        // low port would be PermissionDenied — not refused — in
+        // sandboxed environments, making the test flaky there.)
+        let addr = {
+            let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            listener.local_addr().unwrap().to_string()
+        };
         let started = std::time::Instant::now();
-        let err = get("127.0.0.1:1", "/healthz").unwrap_err();
+        let err = request_with_retries(&addr, "GET", "/healthz", None, 1).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::ConnectionRefused);
-        // All four backoffs were slept through (sum of minima ≈ 370 ms).
+        // The single allowed retry slept through its (deterministic)
+        // backoff before the error surfaced.
         assert!(
-            started.elapsed() >= Duration::from_millis(300),
-            "retries should have backed off, took {:?}",
+            started.elapsed() >= retry_delay(0, &addr),
+            "retry should have backed off by {:?}, took {:?}",
+            retry_delay(0, &addr),
             started.elapsed()
         );
     }

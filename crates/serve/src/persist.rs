@@ -661,36 +661,50 @@ impl Persistence {
         self.append_swallow(Kind::Removed, &payload_id_only(id));
     }
 
-    /// Writes a snapshot and truncates the WAL when the cadence is due.
-    /// Called by the store with its lock held, so the snapshot is a
-    /// consistent point-in-time image.
-    pub fn maybe_snapshot(&self, jobs: &BTreeMap<u64, JobRecord>, next_id: u64) {
-        let due = {
-            let wal = self.wal.lock().unwrap_or_else(|e| e.into_inner());
-            wal.since_snapshot >= self.snapshot_every && !wal.writer.halted()
-        };
-        if !due {
-            return;
+    /// Atomically claims a due snapshot, resetting the cadence counter so
+    /// exactly one caller proceeds per window. The claimer must then
+    /// capture an image (with [`Self::appends`]) under the store's jobs
+    /// lock and hand both to [`Self::snapshot`].
+    pub fn claim_snapshot_due(&self) -> bool {
+        let mut wal = self.wal.lock().unwrap_or_else(|e| e.into_inner());
+        if wal.since_snapshot >= self.snapshot_every && !wal.writer.halted() {
+            wal.since_snapshot = 0;
+            true
+        } else {
+            false
         }
-        if let Err(e) = self.write_snapshot(jobs, next_id) {
+    }
+
+    /// Writes `payload` as the new snapshot and compacts the WAL. The
+    /// file I/O runs without any store lock held; the WAL is truncated
+    /// only if no record was appended since the image was captured
+    /// (`appends_at_capture`) — a raced append stays in the log, where a
+    /// replay over the new snapshot tolerates it (records the snapshot
+    /// already reflects are idempotent, advance-only).
+    pub fn snapshot(&self, payload: &str, appends_at_capture: u64) {
+        if let Err(e) = self.write_snapshot(payload, appends_at_capture) {
             confmask_obs::counter_add("serve.wal.append_errors", 1);
             confmask_obs::warn!("serve.wal", "snapshot failed: {e}");
         }
     }
 
-    fn write_snapshot(&self, jobs: &BTreeMap<u64, JobRecord>, next_id: u64) -> io::Result<()> {
-        let mut wal = self.wal.lock().unwrap_or_else(|e| e.into_inner());
+    /// Freezes the journal exactly where it is (injected crash): every
+    /// later operation is ignored, as on a dead process.
+    fn halt_for_test(&self) {
+        self.wal.lock().unwrap_or_else(|e| e.into_inner()).writer.halt();
+    }
+
+    fn write_snapshot(&self, payload: &str, appends_at_capture: u64) -> io::Result<()> {
         match failpoint::check("snapshot.write") {
             Some(Action::IoError) | Some(Action::DiskFull) => {
                 return Err(failpoint::injected_error(Action::IoError));
             }
             Some(_) => {
-                wal.halt_for_test();
+                self.halt_for_test();
                 return Ok(());
             }
             None => {}
         }
-        let payload = encode_snapshot(jobs, next_id);
         let tmp = self.dir.join("snapshot.tmp");
         let bin = self.dir.join("snapshot.bin");
         {
@@ -698,7 +712,7 @@ impl Persistence {
             w.append(Kind::Snapshot, payload.as_bytes())?;
         }
         if failpoint::check("snapshot.rename").is_some() {
-            wal.halt_for_test();
+            self.halt_for_test();
             return Ok(());
         }
         fs::rename(&tmp, &bin)?;
@@ -706,26 +720,24 @@ impl Persistence {
             let _ = d.sync_all();
         }
         if failpoint::check("snapshot.truncate").is_some() {
-            wal.halt_for_test();
+            self.halt_for_test();
             return Ok(());
         }
-        wal.writer.reset()?;
-        wal.since_snapshot = 0;
+        let mut wal = self.wal.lock().unwrap_or_else(|e| e.into_inner());
+        if wal.writer.appends() == appends_at_capture {
+            wal.writer.reset()?;
+        } else {
+            // Something landed in the WAL after the image was captured;
+            // truncating would destroy it. Keep the log — the next
+            // snapshot compacts it.
+            confmask_obs::counter_add("serve.wal.truncate_skipped", 1);
+        }
         confmask_obs::counter_add("serve.wal.snapshots", 1);
         Ok(())
     }
 }
 
-impl WalState {
-    /// Freezes the journal exactly where it is (injected crash).
-    fn halt_for_test(&mut self) {
-        // Arm a guaranteed-immediate crash on the writer so every later
-        // operation is ignored, as on a dead process.
-        self.writer.halt();
-    }
-}
-
-fn encode_snapshot(jobs: &BTreeMap<u64, JobRecord>, next_id: u64) -> String {
+pub(crate) fn encode_snapshot(jobs: &BTreeMap<u64, JobRecord>, next_id: u64) -> String {
     let mut out = format!("{{\"version\": 1, \"next_id\": {next_id}, \"jobs\": [");
     for (i, record) in jobs.values().enumerate() {
         if i > 0 {
@@ -991,6 +1003,41 @@ mod tests {
         let rb = rec.jobs.iter().find(|j| j.id == b).unwrap();
         assert_eq!(rb.state, JobState::Queued);
         assert_eq!(rec.requeue.len(), 1);
+    }
+
+    #[test]
+    fn snapshot_never_truncates_records_appended_after_its_capture() {
+        let _guard = failpoint::exclusive();
+        failpoint::clear();
+        let dir = tmp("truncate-guard");
+        let (p, _r) = open(&dir, 1_000, 3);
+        p.log_created(1, 0xA, "one").unwrap();
+        // Capture an image that knows nothing about job 2...
+        let cut = p.appends();
+        let stale = encode_snapshot(&BTreeMap::new(), 2);
+        // ...then a submission races in before the snapshot lands.
+        p.log_created(2, 0xB, "two").unwrap();
+        p.snapshot(&stale, cut);
+        // The WAL was NOT truncated: job 2's Created record is the only
+        // proof it was acknowledged, and it must survive.
+        drop(p);
+        let (_p, rec) = open(&dir, 1_000, 3);
+        assert!(
+            rec.jobs.iter().any(|j| j.id == 2),
+            "acknowledged job lost to a raced snapshot truncation"
+        );
+
+        // With no raced append, the same snapshot does compact the WAL.
+        let dir = tmp("truncate-clean");
+        let (p, _r) = open(&dir, 1_000, 3);
+        p.log_created(1, 0xA, "one").unwrap();
+        let cut = p.appends();
+        p.snapshot(&encode_snapshot(&BTreeMap::new(), 2), cut);
+        assert_eq!(
+            fs::metadata(dir.join("wal.log")).unwrap().len(),
+            wal::MAGIC.len() as u64,
+            "quiescent snapshot compacts the WAL"
+        );
     }
 
     #[test]

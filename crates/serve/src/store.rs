@@ -16,7 +16,7 @@
 //! what makes job completion **exactly-once** even when recovery requeues
 //! a job whose first run actually finished.
 
-use crate::persist::{Persistence, RecoveredJob, Recovery};
+use crate::persist::{encode_snapshot, Persistence, RecoveredJob, Recovery};
 use confmask::JobOutcome;
 use std::collections::BTreeMap;
 use std::io;
@@ -211,6 +211,12 @@ impl JobStore {
     /// caller must fail the submission.
     pub fn create_job(&self, content_key: u64, submission: String) -> io::Result<u64> {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        // The append and the map insert happen under the jobs lock (the
+        // jobs → wal order every journaling path uses): were the append
+        // outside it, a concurrent snapshot could capture a map that does
+        // not yet contain this job and then truncate the WAL, destroying
+        // the fsynced `Created` record the 202 acknowledgement rests on.
+        let mut jobs = self.jobs.lock().expect("job store poisoned");
         if let Some(p) = &self.persist {
             p.log_created(id, content_key, &submission)?;
         }
@@ -227,7 +233,7 @@ impl JobStore {
             submitted: Instant::now(),
             started: None,
         };
-        self.jobs.lock().expect("job store poisoned").insert(id, record);
+        jobs.insert(id, record);
         Ok(id)
     }
 
@@ -267,31 +273,51 @@ impl JobStore {
     /// whether self-healing kicked in), `failed` with the message on
     /// error. Refuses missing or already-terminal jobs (warning +
     /// counter): the first completion wins, a duplicate is discarded.
+    ///
+    /// The jobs lock is held only for the state transition; the WAL
+    /// appends and any due snapshot run outside it, so submissions and
+    /// status reads never stall behind completion fsyncs. That is safe
+    /// because the transition itself is what enforces first-completion-
+    /// wins, and the snapshot's WAL truncation is guarded by the append
+    /// count captured with its image (see [`Persistence::snapshot`]).
     pub fn finish(&self, id: u64, result: Result<JobOutcome, String>) {
-        let mut jobs = self.jobs.lock().expect("job store poisoned");
-        let Some(r) = jobs.get_mut(&id).filter(|r| !r.state.is_terminal()) else {
-            invalid_transition("finish", id);
-            return;
+        let record = {
+            let mut jobs = self.jobs.lock().expect("job store poisoned");
+            let Some(r) = jobs.get_mut(&id).filter(|r| !r.state.is_terminal()) else {
+                invalid_transition("finish", id);
+                return;
+            };
+            r.wall = r.started.map(|s| s.elapsed());
+            match result {
+                Ok(outcome) => {
+                    r.state = if outcome.degradation.healed() {
+                        JobState::Degraded
+                    } else {
+                        JobState::Done
+                    };
+                    r.outcome = Some(outcome);
+                }
+                Err(message) => {
+                    r.state = JobState::Failed;
+                    r.error = Some(message);
+                }
+            }
+            r.submission = None; // terminal jobs are never re-executed
+            r.clone()
         };
-        r.wall = r.started.map(|s| s.elapsed());
-        match result {
-            Ok(outcome) => {
-                r.state = if outcome.degradation.healed() {
-                    JobState::Degraded
-                } else {
-                    JobState::Done
-                };
-                r.outcome = Some(outcome);
-            }
-            Err(message) => {
-                r.state = JobState::Failed;
-                r.error = Some(message);
-            }
-        }
-        r.submission = None; // terminal jobs are never re-executed
-        if let Some(p) = &self.persist {
-            p.log_finished(&r.clone());
-            p.maybe_snapshot(&jobs, self.next_id.load(Ordering::Relaxed));
+        let Some(p) = &self.persist else { return };
+        p.log_finished(&record);
+        if p.claim_snapshot_due() {
+            // The image and its WAL cut point are captured together under
+            // the jobs lock, so every record counted in `cut` describes a
+            // transition the image already contains; truncation applies
+            // only if no later append raced in.
+            let (payload, cut) = {
+                let jobs = self.jobs.lock().expect("job store poisoned");
+                let payload = encode_snapshot(&jobs, self.next_id.load(Ordering::Relaxed));
+                (payload, p.appends())
+            };
+            p.snapshot(&payload, cut);
         }
     }
 
@@ -375,6 +401,52 @@ mod tests {
         store.remove(a);
         store.finish(b, Err("x".into()));
         assert!(store.all_terminal());
+    }
+
+    #[test]
+    fn concurrent_creates_never_lose_an_acknowledged_job_to_a_snapshot() {
+        // Regression: create_job once appended `Created` outside the jobs
+        // lock, so a concurrent finish's snapshot could capture a map
+        // without the new job and truncate its WAL record away. With
+        // snapshot_every=1 every finish snapshots, maximizing collisions.
+        let _guard = crate::failpoint::exclusive();
+        crate::failpoint::clear();
+        let dir = std::env::temp_dir().join(format!(
+            "confmask-store-race-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (p, r) = Persistence::open(&dir, 1, 3).expect("open state dir");
+        let store = Arc::new(JobStore::durable(Arc::new(p), &r));
+        let acked = Arc::new(Mutex::new(Vec::new()));
+        let handles: Vec<_> = (0..4u64)
+            .map(|t| {
+                let store = Arc::clone(&store);
+                let acked = Arc::clone(&acked);
+                std::thread::spawn(move || {
+                    for i in 0..15u64 {
+                        let id = store
+                            .create_job(t << 32 | i, format!("job-{t}-{i}"))
+                            .expect("create");
+                        acked.lock().unwrap().push(id);
+                        store.mark_running(id);
+                        store.finish(id, Err("settled".into()));
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        drop(store);
+        let (_p, rec) = Persistence::open(&dir, 1_000, 3).expect("recover");
+        let recovered: std::collections::BTreeSet<u64> =
+            rec.jobs.iter().map(|j| j.id).collect();
+        for id in acked.lock().unwrap().iter() {
+            assert!(recovered.contains(id), "acknowledged job j{id} was lost");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -21,7 +21,7 @@
 
 use crate::failpoint::{self, Action};
 use std::fs::{File, OpenOptions};
-use std::io::{self, Read, Write};
+use std::io::{self, Read, Seek, Write};
 use std::path::{Path, PathBuf};
 
 /// File magic: identifies a ConfMask WAL, version 01.
@@ -195,8 +195,9 @@ pub struct WalWriter {
 }
 
 impl WalWriter {
-    /// Opens `path` for appending, writing the magic if the file is new
-    /// or truncating a file whose valid prefix ends before its tail
+    /// Opens `path` for appending, writing the magic if the file is new,
+    /// rewriting it if a crash tore or corrupted the header, or
+    /// truncating a file whose valid prefix ends before its tail
     /// (dropping a torn record once, at open, keeps every later append
     /// contiguous with the valid prefix).
     pub fn open(path: &Path, valid_len: usize) -> io::Result<WalWriter> {
@@ -209,19 +210,37 @@ impl WalWriter {
             .append(true)
             .open(path)?;
         let end = file.metadata()?.len();
-        let valid_end = if end == 0 {
-            0
-        } else {
-            (MAGIC.len() + valid_len) as u64
-        };
         if end == 0 {
             let mut f = &file;
             f.write_all(MAGIC)?;
             f.sync_all()?;
-        } else if valid_end < end {
-            file.set_len(valid_end)?;
-            file.sync_all()?;
-            confmask_obs::counter_add("serve.wal.torn_records", 1);
+        } else {
+            let mut f = &file;
+            let mut header = [0u8; 8];
+            f.seek(io::SeekFrom::Start(0))?;
+            let header_ok = f.read_exact(&mut header).is_ok() && &header == MAGIC;
+            if !header_ok {
+                // A torn or corrupted magic makes the whole file
+                // unreadable (readers discard a magic-less log), so
+                // appending behind it would silently lose every record of
+                // the new epoch. Start the file over.
+                file.set_len(0)?;
+                f.write_all(MAGIC)?;
+                f.sync_all()?;
+                confmask_obs::counter_add("serve.wal.header_repairs", 1);
+                confmask_obs::warn!(
+                    "serve.wal",
+                    "repaired torn/corrupt header at {}; prior epoch discarded",
+                    path.display()
+                );
+            } else {
+                let valid_end = (MAGIC.len() + valid_len) as u64;
+                if valid_end < end {
+                    file.set_len(valid_end)?;
+                    file.sync_all()?;
+                    confmask_obs::counter_add("serve.wal.torn_records", 1);
+                }
+            }
         }
         Ok(WalWriter {
             file,
@@ -436,6 +455,46 @@ mod tests {
         drop(w);
         let scan = read_wal(&path).unwrap();
         assert_eq!(scan.records.len(), 2, "tail dropped, appends contiguous");
+        assert_eq!(scan.discarded, 0);
+    }
+
+    #[test]
+    fn torn_magic_is_repaired_so_later_appends_survive() {
+        let _guard = crate::failpoint::exclusive();
+        crate::failpoint::clear();
+        // A crash tore the initial magic write: fewer than 8 bytes exist.
+        let path = tmp("torn-magic");
+        std::fs::write(&path, &MAGIC[..3]).unwrap();
+        let scan = read_wal(&path).unwrap();
+        assert_eq!(scan.records.len(), 0);
+        assert_eq!(scan.valid_len, 0);
+        let mut w = WalWriter::open(&path, scan.valid_len).unwrap();
+        w.append(Kind::Created, b"fresh").unwrap();
+        drop(w);
+        let scan = read_wal(&path).unwrap();
+        assert_eq!(scan.records.len(), 1, "append after repair is readable");
+        assert_eq!(scan.records[0].payload, b"fresh");
+        assert_eq!(scan.discarded, 0);
+    }
+
+    #[test]
+    fn corrupt_magic_is_repaired_so_later_appends_survive() {
+        let _guard = crate::failpoint::exclusive();
+        crate::failpoint::clear();
+        // The header bytes exist but are garbage (e.g. a misdirected
+        // write): the old epoch is unreadable and must not poison the new.
+        let path = tmp("bad-magic");
+        let mut bytes = b"NOTMAGIC".to_vec();
+        bytes.extend_from_slice(&encode_record(Kind::Created, b"old"));
+        std::fs::write(&path, &bytes).unwrap();
+        let scan = read_wal(&path).unwrap();
+        assert_eq!(scan.records.len(), 0, "magic-less file is fully discarded");
+        let mut w = WalWriter::open(&path, scan.valid_len).unwrap();
+        w.append(Kind::Created, b"new-epoch").unwrap();
+        drop(w);
+        let scan = read_wal(&path).unwrap();
+        assert_eq!(scan.records.len(), 1);
+        assert_eq!(scan.records[0].payload, b"new-epoch");
         assert_eq!(scan.discarded, 0);
     }
 

@@ -143,12 +143,24 @@ fn eight_concurrent_submissions_all_finish() {
 
 #[test]
 fn full_queue_rejects_with_429_and_retry_after() {
-    // One worker, tiny queue: flood it faster than the worker drains.
+    // One worker, tiny queue, and 12 *simultaneous* submissions: even if
+    // the worker drains a job or two mid-flood, the burst lands within
+    // milliseconds and must overflow the cap-2 queue. (A sequential
+    // submit loop here is flaky — a fast worker can drain between
+    // round-trips and never leave the queue full.)
     let (addr, handle) = start(1, 2);
+    let responses: Vec<client::ClientResponse> = (0..12)
+        .map(|i| {
+            let addr = addr.clone();
+            std::thread::spawn(move || submit_bundle(&addr, &example_body(200 + i)))
+        })
+        .collect::<Vec<_>>()
+        .into_iter()
+        .map(|t| t.join().unwrap())
+        .collect();
     let mut accepted = Vec::new();
     let mut rejected = 0;
-    for i in 0..12 {
-        let resp = submit_bundle(&addr, &example_body(200 + i));
+    for resp in responses {
         match resp.status {
             202 => accepted.push(wire::decode_job_created(&resp.body).unwrap()),
             429 => {
@@ -158,7 +170,7 @@ fn full_queue_rejects_with_429_and_retry_after() {
             other => panic!("unexpected status {other}: {}", resp.text()),
         }
     }
-    assert!(rejected > 0, "12 rapid submissions into cap 2 must overflow");
+    assert!(rejected > 0, "12 simultaneous submissions into cap 2 must overflow");
     // Every accepted job still completes (drain-on-shutdown, none lost).
     let resp = client::post(&addr, "/v1/shutdown", "").unwrap();
     assert_eq!(resp.status, 202);
