@@ -58,6 +58,9 @@ pub enum Command {
     ObsReport {
         /// The JSON report file (`-` reads stdin).
         input: PathBuf,
+        /// Emit Chrome trace-event JSON (loadable in Perfetto /
+        /// `chrome://tracing`) instead of the human-readable rendering.
+        chrome_trace: bool,
     },
     /// Run the anonymization daemon.
     Serve {
@@ -74,6 +77,23 @@ pub enum Command {
         state_dir: Option<PathBuf>,
         /// Times a crash-interrupted job is re-admitted before failing.
         requeue_budget: u32,
+    },
+    /// Benchmark a running daemon with closed-loop load.
+    Loadgen {
+        /// Daemon address (`host:port`).
+        addr: String,
+        /// Closed-loop client workers submitting concurrently.
+        concurrency: usize,
+        /// How long to keep submitting before draining in-flight jobs.
+        duration_secs: u64,
+        /// Table 2 network id (`A`–`H`) used as the job payload.
+        network: char,
+        /// Base seed; request `i` is submitted with seed `base + i`.
+        seed: u64,
+        /// Where to write the benchmark JSON.
+        output: PathBuf,
+        /// Poll interval for job status in milliseconds.
+        poll_ms: u64,
     },
     /// Submit a job to (or drain) a running daemon.
     Submit {
@@ -141,10 +161,13 @@ USAGE:
   confmask simulate  --input <dir> [--trace <src> <dst>]
   confmask inspect   --input <dir>
   confmask generate  --network <A..H> --output <dir>
-  confmask obs-report <metrics.json | ->
+  confmask obs-report <metrics.json | -> [--chrome-trace]
   confmask serve     [--addr H:P] [--workers N] [--queue-cap N]
                      [--job-timeout-secs S] [--state-dir <dir>]
                      [--requeue-budget N]
+  confmask loadgen   [--addr H:P] [--concurrency N]
+                     [--duration-secs S] [--network <A..H>]
+                     [--seed N] [--output <bench.json>] [--poll-ms N]
   confmask submit    [--addr H:P] --input <dir> [--wait]
                      [--output <dir>] [--poll-ms N]
                      [--seed N] [--k-r N] [--k-h N] [--noise P]
@@ -173,7 +196,15 @@ most --requeue-budget times (default 3) before they are failed.
 configs once the job finishes, and polling retries transparently
 through a daemon restart.
 `obs-report -` reads the JSON report from stdin, so
-`curl .../metrics-json | confmask obs-report -` works.
+`curl .../metrics-json | confmask obs-report -` works; `--chrome-trace`
+converts the report's span tree to Chrome trace-event JSON for Perfetto
+or chrome://tracing instead of rendering it.
+`loadgen` drives a running daemon with closed-loop workers (each
+submits a job, polls it to a terminal state, then submits the next) for
+--duration-secs, then drains in-flight jobs and writes throughput,
+latency percentiles (p50/p90/p99), and the 429 rate to --output
+(default BENCH_serve.json). Accounting is lossless by construction:
+submitted == done + degraded + failed + rejected_429.
 
 Observability (any subcommand):
   -v / -vv             info / debug diagnostics on stderr
@@ -380,9 +411,11 @@ fn parse_command(argv: &[&str]) -> Result<Command, ArgError> {
         }
         "obs-report" => {
             let mut input = None;
+            let mut chrome_trace = false;
             while let Some(flag) = it.next() {
                 match flag {
                     "--input" => input = Some(PathBuf::from(take_value(&mut it, flag)?)),
+                    "--chrome-trace" => chrome_trace = true,
                     // A bare path (or `-` for stdin) is accepted positionally
                     // so `curl … | confmask obs-report -` works.
                     path if !path.starts_with("--") => input = Some(PathBuf::from(path)),
@@ -392,6 +425,7 @@ fn parse_command(argv: &[&str]) -> Result<Command, ArgError> {
             Ok(Command::ObsReport {
                 input: input
                     .ok_or_else(|| ArgError("obs-report needs a file path or '-'".into()))?,
+                chrome_trace,
             })
         }
         "serve" => {
@@ -431,6 +465,50 @@ fn parse_command(argv: &[&str]) -> Result<Command, ArgError> {
                 job_timeout_secs,
                 state_dir,
                 requeue_budget,
+            })
+        }
+        "loadgen" => {
+            let mut addr = "127.0.0.1:7077".to_string();
+            let mut concurrency = 4usize;
+            let mut duration_secs = 10u64;
+            let mut network = 'A';
+            let mut seed = 0u64;
+            let mut output = PathBuf::from("BENCH_serve.json");
+            let mut poll_ms = 20u64;
+            while let Some(flag) = it.next() {
+                match flag {
+                    "--addr" => addr = take_value(&mut it, flag)?.to_string(),
+                    "--concurrency" => {
+                        concurrency = parse_value(&mut it, flag, "an integer")?;
+                        if concurrency == 0 {
+                            return Err(ArgError("--concurrency must be at least 1".into()));
+                        }
+                    }
+                    "--duration-secs" => {
+                        duration_secs = parse_value(&mut it, flag, "a number of seconds")?
+                    }
+                    "--network" => {
+                        let v = take_value(&mut it, flag)?;
+                        let c = v.chars().next().unwrap_or(' ').to_ascii_uppercase();
+                        if !('A'..='H').contains(&c) || v.len() != 1 {
+                            return Err(ArgError(format!("--network expects A..H, got '{v}'")));
+                        }
+                        network = c;
+                    }
+                    "--seed" => seed = parse_value(&mut it, flag, "an integer")?,
+                    "--output" => output = PathBuf::from(take_value(&mut it, flag)?),
+                    "--poll-ms" => poll_ms = parse_value(&mut it, flag, "an integer")?,
+                    other => return Err(ArgError(format!("unknown flag '{other}'"))),
+                }
+            }
+            Ok(Command::Loadgen {
+                addr,
+                concurrency,
+                duration_secs,
+                network,
+                seed,
+                output,
+                poll_ms,
             })
         }
         "submit" => {
@@ -620,24 +698,75 @@ mod tests {
         assert_eq!(
             parse_cmd(&argv("obs-report --input metrics.json")).unwrap(),
             Command::ObsReport {
-                input: PathBuf::from("metrics.json")
+                input: PathBuf::from("metrics.json"),
+                chrome_trace: false,
             }
         );
         // Positional form, including `-` for stdin.
         assert_eq!(
             parse_cmd(&argv("obs-report metrics.json")).unwrap(),
             Command::ObsReport {
-                input: PathBuf::from("metrics.json")
+                input: PathBuf::from("metrics.json"),
+                chrome_trace: false,
             }
         );
         assert_eq!(
-            parse_cmd(&argv("obs-report -")).unwrap(),
+            parse_cmd(&argv("obs-report - --chrome-trace")).unwrap(),
             Command::ObsReport {
-                input: PathBuf::from("-")
+                input: PathBuf::from("-"),
+                chrome_trace: true,
             }
         );
         assert!(parse_cmd(&argv("obs-report")).is_err());
         assert!(parse_cmd(&argv("obs-report --frobnicate")).is_err());
+    }
+
+    #[test]
+    fn parses_loadgen_with_defaults_and_flags() {
+        match parse_cmd(&argv("loadgen")).unwrap() {
+            Command::Loadgen {
+                addr,
+                concurrency,
+                duration_secs,
+                network,
+                seed,
+                output,
+                poll_ms,
+            } => {
+                assert_eq!(addr, "127.0.0.1:7077");
+                assert_eq!((concurrency, duration_secs), (4, 10));
+                assert_eq!((network, seed), ('A', 0));
+                assert_eq!(output, PathBuf::from("BENCH_serve.json"));
+                assert_eq!(poll_ms, 20);
+            }
+            other => panic!("{other:?}"),
+        }
+        match parse_cmd(&argv(
+            "loadgen --addr 127.0.0.1:9000 --concurrency 8 --duration-secs 3 \
+             --network c --seed 42 --output out.json --poll-ms 5",
+        ))
+        .unwrap()
+        {
+            Command::Loadgen {
+                addr,
+                concurrency,
+                duration_secs,
+                network,
+                seed,
+                output,
+                poll_ms,
+            } => {
+                assert_eq!(addr, "127.0.0.1:9000");
+                assert_eq!((concurrency, duration_secs), (8, 3));
+                assert_eq!((network, seed), ('C', 42), "network id is upcased");
+                assert_eq!(output, PathBuf::from("out.json"));
+                assert_eq!(poll_ms, 5);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(parse_cmd(&argv("loadgen --concurrency 0")).is_err());
+        assert!(parse_cmd(&argv("loadgen --network X")).is_err());
+        assert!(parse_cmd(&argv("loadgen --duration-secs nope")).is_err());
     }
 
     #[test]

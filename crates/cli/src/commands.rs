@@ -378,7 +378,10 @@ pub fn run(cmd: Command) -> Result<String, CmdError> {
             }
             Ok(report)
         }
-        Command::ObsReport { input } => {
+        Command::ObsReport {
+            input,
+            chrome_trace,
+        } => {
             // `-` reads the report from stdin, so the daemon's JSON metrics
             // endpoint can be piped straight in:
             // `curl …/metrics-json | confmask obs-report -`.
@@ -396,7 +399,12 @@ pub fn run(cmd: Command) -> Result<String, CmdError> {
             };
             let report = confmask_obs::Report::from_json(&text)
                 .map_err(|e| format!("{label} is not a metrics report: {e}"))?;
-            Ok(report.render())
+            if chrome_trace {
+                // Chrome trace-event JSON for Perfetto / chrome://tracing.
+                Ok(report.to_chrome_trace())
+            } else {
+                Ok(report.render())
+            }
         }
         Command::Serve {
             addr,
@@ -429,6 +437,48 @@ pub fn run(cmd: Command) -> Result<String, CmdError> {
                 "drained: {} done, {} degraded, {} failed\n",
                 counts.done, counts.degraded, counts.failed
             ))
+        }
+        Command::Loadgen {
+            addr,
+            concurrency,
+            duration_secs,
+            network,
+            seed,
+            output,
+            poll_ms,
+        } => {
+            let suite = confmask_netgen::full_suite();
+            let net = suite
+                .iter()
+                .find(|n| n.id == network)
+                .ok_or_else(|| format!("no evaluation network '{network}'"))?;
+            let cfg = crate::loadgen::LoadgenConfig {
+                addr: addr.clone(),
+                concurrency,
+                duration: std::time::Duration::from_secs(duration_secs),
+                net: net.configs.clone(),
+                net_label: network.to_string(),
+                params: confmask::Params::default(),
+                seed,
+                poll_ms,
+            };
+            confmask_obs::info!(
+                "cli.loadgen",
+                "driving {addr} with {concurrency} closed-loop worker(s) for {duration_secs}s (network {network}, seed {seed})"
+            );
+            let summary = crate::loadgen::run(&cfg)?;
+            let json = crate::loadgen::bench_json(&cfg, &summary);
+            std::fs::write(&output, &json)
+                .map_err(|e| format!("cannot write {}: {e}", output.display()))?;
+            let mut report = crate::loadgen::render(&summary);
+            let _ = writeln!(report, "wrote {}", output.display());
+            if !summary.lossless() {
+                return Err(CmdError {
+                    code: EXIT_FATAL,
+                    message: format!("{report}loadgen accounting lost jobs: {summary:?}"),
+                });
+            }
+            Ok(report)
         }
         Command::Submit {
             addr,
@@ -687,15 +737,39 @@ mod tests {
           "events": []
         }"#;
         std::fs::write(&path, json).unwrap();
-        let out = run(Command::ObsReport { input: path }).unwrap();
+        let out = run(Command::ObsReport {
+            input: path.clone(),
+            chrome_trace: false,
+        })
+        .unwrap();
         assert!(out.contains("pipeline.anonymize"), "{out}");
         assert!(out.contains("pipeline.stage.verify"), "{out}");
         assert!(out.contains("sim.simulations"), "{out}");
         assert!(out.contains("sim.fib.size"), "{out}");
+
+        // The same report converts to Chrome trace-event JSON.
+        let out = run(Command::ObsReport {
+            input: path,
+            chrome_trace: true,
+        })
+        .unwrap();
+        let doc = confmask_obs::json::parse(&out).expect("chrome trace parses");
+        let events = doc
+            .get("traceEvents")
+            .and_then(confmask_obs::json::Json::as_arr)
+            .expect("traceEvents");
+        assert!(
+            events.iter().any(|e| {
+                e.get("name").and_then(confmask_obs::json::Json::as_str)
+                    == Some("pipeline.stage.verify")
+            }),
+            "{out}"
+        );
         std::fs::remove_dir_all(&dir).unwrap();
 
         let err = run(Command::ObsReport {
             input: PathBuf::from("/definitely/not/here.json"),
+            chrome_trace: false,
         })
         .unwrap_err();
         assert_eq!(err.code, EXIT_FATAL);

@@ -23,3 +23,4 @@
 pub mod args;
 pub mod commands;
 pub mod io;
+pub mod loadgen;

@@ -1,0 +1,368 @@
+//! Closed-loop load generator for the serve daemon.
+//!
+//! Each worker repeatedly submits a job and polls it to a terminal state
+//! before submitting the next — classic closed-loop load, so offered
+//! concurrency is exactly `--concurrency` and the daemon is never buried
+//! under an unbounded open-loop backlog. After `--duration-secs` the
+//! workers stop submitting and drain their in-flight jobs, so every
+//! accepted job is followed to its terminal state and the accounting is
+//! lossless by construction:
+//!
+//! ```text
+//! submitted == done + degraded + failed + rejected_429
+//! ```
+//!
+//! Latency is measured end-to-end per job (just before the submit POST
+//! until the poll that observed the terminal state) and reported as exact
+//! percentiles over the full sorted sample — no histogram buckets, no
+//! interpolation error.
+
+use confmask::Params;
+use confmask_config::NetworkConfigs;
+use confmask_serve::{client, wire};
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// What to run: where, how hard, for how long, and with which payload.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Daemon address (`host:port`).
+    pub addr: String,
+    /// Closed-loop workers submitting concurrently.
+    pub concurrency: usize,
+    /// Submission window; in-flight jobs are drained past it.
+    pub duration: Duration,
+    /// The network sent as every job's payload.
+    pub net: NetworkConfigs,
+    /// Label for the payload in the bench report (e.g. `"A"`).
+    pub net_label: String,
+    /// Pipeline parameters; request `i` runs with seed `seed + i`.
+    pub params: Params,
+    /// Base seed.
+    pub seed: u64,
+    /// Job status poll interval.
+    pub poll_ms: u64,
+}
+
+/// Aggregated outcome of a load-generation run.
+#[derive(Debug, Clone, Default)]
+pub struct LoadgenSummary {
+    /// Submit POSTs issued (every one is accounted for below).
+    pub submitted: u64,
+    /// Jobs that finished `done`.
+    pub done: u64,
+    /// Jobs that finished `degraded` (healed after retries).
+    pub degraded: u64,
+    /// Jobs that finished `failed`.
+    pub failed: u64,
+    /// Submissions rejected with 429 (queue full).
+    pub rejected_429: u64,
+    /// Wall time of the whole run including the drain.
+    pub elapsed: Duration,
+    /// Sorted end-to-end latency (µs) of every accepted job.
+    pub latencies_us: Vec<u64>,
+}
+
+impl LoadgenSummary {
+    /// Accepted jobs (everything submitted that was not turned away).
+    pub fn accepted(&self) -> u64 {
+        self.done + self.degraded + self.failed
+    }
+
+    /// True when every submission is accounted for — the invariant the CI
+    /// smoke gate checks.
+    pub fn lossless(&self) -> bool {
+        self.submitted == self.accepted() + self.rejected_429
+    }
+
+    /// Completed jobs per second over the whole run.
+    pub fn throughput(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs <= 0.0 {
+            return 0.0;
+        }
+        self.accepted() as f64 / secs
+    }
+
+    /// Exact nearest-rank percentile (`q` in 0..=1) of the latency
+    /// sample, in milliseconds. `None` when no job was accepted.
+    pub fn latency_ms(&self, q: f64) -> Option<f64> {
+        let n = self.latencies_us.len();
+        if n == 0 {
+            return None;
+        }
+        let rank = ((q * n as f64).ceil() as usize).clamp(1, n);
+        Some(self.latencies_us[rank - 1] as f64 / 1_000.0)
+    }
+}
+
+/// One worker's slice of the run, merged into the summary at the end.
+#[derive(Debug, Default)]
+struct WorkerTally {
+    submitted: u64,
+    done: u64,
+    degraded: u64,
+    failed: u64,
+    rejected_429: u64,
+    latencies_us: Vec<u64>,
+}
+
+/// How long a worker backs off after a 429 before retrying. Long enough
+/// not to hammer a full queue, short enough to refill it promptly.
+const REJECT_BACKOFF: Duration = Duration::from_millis(25);
+
+/// Runs the closed loop until the deadline, then drains. Any transport or
+/// protocol error aborts the run with a message (a half-dead daemon would
+/// otherwise produce a silently misleading benchmark).
+pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenSummary, String> {
+    let body_for = |seq: u64| {
+        wire::encode_submit(&cfg.net, &cfg.params.clone().with_seed(cfg.seed + seq))
+    };
+    let started = Instant::now();
+    let deadline = started + cfg.duration;
+    let seq = Arc::new(AtomicU64::new(0));
+    let tallies: Vec<Result<WorkerTally, String>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..cfg.concurrency)
+            .map(|_| {
+                let seq = Arc::clone(&seq);
+                let body_for = &body_for;
+                scope.spawn(move || worker_loop(cfg, deadline, &seq, body_for))
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("loadgen worker panicked")).collect()
+    });
+    let mut summary = LoadgenSummary::default();
+    for tally in tallies {
+        let t = tally?;
+        summary.submitted += t.submitted;
+        summary.done += t.done;
+        summary.degraded += t.degraded;
+        summary.failed += t.failed;
+        summary.rejected_429 += t.rejected_429;
+        summary.latencies_us.extend(t.latencies_us);
+    }
+    summary.elapsed = started.elapsed();
+    summary.latencies_us.sort_unstable();
+    debug_assert!(summary.lossless(), "{summary:?}");
+    Ok(summary)
+}
+
+fn worker_loop(
+    cfg: &LoadgenConfig,
+    deadline: Instant,
+    seq: &AtomicU64,
+    body_for: &impl Fn(u64) -> String,
+) -> Result<WorkerTally, String> {
+    let mut tally = WorkerTally::default();
+    while Instant::now() < deadline {
+        let body = body_for(seq.fetch_add(1, Ordering::Relaxed));
+        let job_start = Instant::now();
+        let resp = client::post(&cfg.addr, "/v1/jobs", &body)
+            .map_err(|e| format!("cannot reach {}: {e}", cfg.addr))?;
+        tally.submitted += 1;
+        match resp.status {
+            202 => {
+                let id = wire::decode_job_created(&resp.body)
+                    .map_err(|e| format!("malformed submit response: {e}"))?;
+                // Closed loop: follow this job to the end (even past the
+                // deadline — that is the drain) before submitting again.
+                let state = poll_terminal(cfg, &id)?;
+                tally.latencies_us.push(job_start.elapsed().as_micros() as u64);
+                match state.as_str() {
+                    "done" => tally.done += 1,
+                    "degraded" => tally.degraded += 1,
+                    "failed" => tally.failed += 1,
+                    other => return Err(format!("job {id}: unexpected terminal state '{other}'")),
+                }
+            }
+            429 => {
+                tally.rejected_429 += 1;
+                std::thread::sleep(REJECT_BACKOFF);
+            }
+            other => {
+                return Err(format!(
+                    "submit failed ({other}): {}",
+                    resp.text().trim()
+                ));
+            }
+        }
+    }
+    Ok(tally)
+}
+
+fn poll_terminal(cfg: &LoadgenConfig, id: &str) -> Result<String, String> {
+    loop {
+        let resp = client::get(&cfg.addr, &format!("/v1/jobs/{id}"))
+            .map_err(|e| format!("cannot poll {}: {e}", cfg.addr))?;
+        if resp.status != 200 {
+            return Err(format!("poll of {id} failed ({})", resp.status));
+        }
+        let status = wire::decode_status(&resp.body)
+            .map_err(|e| format!("malformed status for {id}: {e}"))?;
+        if status.is_terminal() {
+            return Ok(status.state);
+        }
+        std::thread::sleep(Duration::from_millis(cfg.poll_ms));
+    }
+}
+
+/// Renders the benchmark JSON written to `--output` (the file CI uploads
+/// as `BENCH_serve.json` and gates on).
+pub fn bench_json(cfg: &LoadgenConfig, summary: &LoadgenSummary) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"bench\": \"serve_loadgen\",");
+    let _ = writeln!(out, "  \"network\": \"{}\",", cfg.net_label);
+    let _ = writeln!(out, "  \"concurrency\": {},", cfg.concurrency);
+    let _ = writeln!(out, "  \"duration_secs\": {},", cfg.duration.as_secs());
+    let _ = writeln!(out, "  \"seed\": {},", cfg.seed);
+    let _ = writeln!(out, "  \"elapsed_secs\": {:.3},", summary.elapsed.as_secs_f64());
+    let _ = writeln!(out, "  \"submitted\": {},", summary.submitted);
+    let _ = writeln!(out, "  \"done\": {},", summary.done);
+    let _ = writeln!(out, "  \"degraded\": {},", summary.degraded);
+    let _ = writeln!(out, "  \"failed\": {},", summary.failed);
+    let _ = writeln!(out, "  \"rejected_429\": {},", summary.rejected_429);
+    let _ = writeln!(out, "  \"lossless\": {},", summary.lossless());
+    let _ = writeln!(
+        out,
+        "  \"throughput_jobs_per_sec\": {:.3},",
+        summary.throughput()
+    );
+    let quantile = |q: f64| summary.latency_ms(q).unwrap_or(0.0);
+    let _ = writeln!(out, "  \"latency_ms\": {{");
+    let _ = writeln!(out, "    \"p50\": {:.3},", quantile(0.50));
+    let _ = writeln!(out, "    \"p90\": {:.3},", quantile(0.90));
+    let _ = writeln!(out, "    \"p99\": {:.3},", quantile(0.99));
+    let _ = writeln!(out, "    \"min\": {:.3},", quantile(0.0));
+    let _ = writeln!(out, "    \"max\": {:.3}", quantile(1.0));
+    let _ = writeln!(out, "  }}");
+    let _ = write!(out, "}}");
+    out
+}
+
+/// One-line human summary printed to stdout alongside the JSON file.
+pub fn render(summary: &LoadgenSummary) -> String {
+    format!(
+        "loadgen: {} submitted in {:.1}s — {} done, {} degraded, {} failed, {} rejected (429)\n\
+         throughput {:.2} jobs/s; latency p50 {:.1} ms, p90 {:.1} ms, p99 {:.1} ms\n",
+        summary.submitted,
+        summary.elapsed.as_secs_f64(),
+        summary.done,
+        summary.degraded,
+        summary.failed,
+        summary.rejected_429,
+        summary.throughput(),
+        summary.latency_ms(0.50).unwrap_or(0.0),
+        summary.latency_ms(0.90).unwrap_or(0.0),
+        summary.latency_ms(0.99).unwrap_or(0.0),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use confmask_obs::json::{parse, Json};
+
+    fn sample_summary() -> LoadgenSummary {
+        LoadgenSummary {
+            submitted: 12,
+            done: 8,
+            degraded: 1,
+            failed: 1,
+            rejected_429: 2,
+            elapsed: Duration::from_secs(5),
+            latencies_us: (1..=10).map(|i| i * 1_000).collect(),
+        }
+    }
+
+    fn sample_config() -> LoadgenConfig {
+        LoadgenConfig {
+            addr: "127.0.0.1:0".into(),
+            concurrency: 4,
+            duration: Duration::from_secs(5),
+            net: confmask_netgen::smallnets::example_network(),
+            net_label: "example".into(),
+            params: Params::new(3, 2),
+            seed: 7,
+            poll_ms: 10,
+        }
+    }
+
+    #[test]
+    fn percentiles_are_exact_nearest_rank() {
+        let s = sample_summary();
+        // 10 samples of 1..=10 ms: nearest-rank p50 is the 5th (5 ms).
+        assert_eq!(s.latency_ms(0.50), Some(5.0));
+        assert_eq!(s.latency_ms(0.90), Some(9.0));
+        assert_eq!(s.latency_ms(0.99), Some(10.0));
+        assert_eq!(s.latency_ms(0.0), Some(1.0), "min clamps to rank 1");
+        assert_eq!(s.latency_ms(1.0), Some(10.0));
+        assert_eq!(LoadgenSummary::default().latency_ms(0.5), None);
+    }
+
+    #[test]
+    fn accounting_invariant_detects_loss() {
+        let mut s = sample_summary();
+        assert!(s.lossless());
+        assert_eq!(s.accepted(), 10);
+        assert!((s.throughput() - 2.0).abs() < 1e-9);
+        s.failed = 0; // a job vanished
+        assert!(!s.lossless());
+    }
+
+    #[test]
+    fn bench_json_is_valid_and_carries_the_accounting() {
+        let json = bench_json(&sample_config(), &sample_summary());
+        let doc = parse(&json).expect("bench json parses");
+        assert_eq!(doc.get("bench").and_then(Json::as_str), Some("serve_loadgen"));
+        assert_eq!(doc.get("submitted").and_then(Json::as_u64), Some(12));
+        assert_eq!(doc.get("rejected_429").and_then(Json::as_u64), Some(2));
+        assert_eq!(doc.get("lossless"), Some(&Json::Bool(true)));
+        let lat = doc.get("latency_ms").expect("latency object");
+        assert!(lat.get("p50").and_then(Json::as_f64).unwrap() > 0.0);
+        assert!(lat.get("p99").and_then(Json::as_f64).unwrap() >= lat.get("p50").and_then(Json::as_f64).unwrap());
+    }
+
+    #[test]
+    fn a_short_run_against_a_live_daemon_is_lossless() {
+        let server = confmask_serve::Server::bind(&confmask_serve::ServeOptions {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 2,
+            queue_cap: 4,
+            ..confmask_serve::ServeOptions::default()
+        })
+        .unwrap();
+        let addr = server.local_addr().to_string();
+        let daemon = std::thread::spawn(move || server.run().unwrap());
+
+        let cfg = LoadgenConfig {
+            addr: addr.clone(),
+            concurrency: 2,
+            duration: Duration::from_millis(600),
+            ..sample_config()
+        };
+        let summary = run(&cfg).expect("loadgen run");
+        assert!(summary.submitted >= 1, "{summary:?}");
+        assert!(summary.lossless(), "{summary:?}");
+        assert_eq!(summary.failed, 0, "example network jobs succeed: {summary:?}");
+        assert_eq!(
+            summary.latencies_us.len() as u64,
+            summary.accepted(),
+            "one latency sample per accepted job"
+        );
+        assert!(summary.latency_ms(0.99).unwrap() > 0.0);
+
+        client::post(&addr, "/v1/shutdown", "").unwrap();
+        daemon.join().unwrap();
+    }
+
+    #[test]
+    fn render_mentions_throughput_and_tail_latency() {
+        let out = render(&sample_summary());
+        assert!(out.contains("12 submitted"), "{out}");
+        assert!(out.contains("p99"), "{out}");
+        assert!(out.contains("2 rejected (429)"), "{out}");
+    }
+}

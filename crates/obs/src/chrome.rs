@@ -1,0 +1,81 @@
+//! Chrome trace-event JSON exporter: renders a [`Report`] as a
+//! `traceEvents` document loadable in Perfetto / `chrome://tracing`
+//! (`confmask obs-report --chrome-trace`).
+//!
+//! Spans become complete (`"ph": "X"`) events on their recording thread's
+//! track, retained events become global instant (`"ph": "i"`) marks, and
+//! per-thread metadata names the tracks. Timestamps are the report's
+//! epoch-relative µs, which is exactly the unit the format wants.
+
+use crate::json::escape;
+use crate::report::Report;
+use std::fmt::Write as _;
+
+/// Single process id for the whole report (one confmask process).
+const PID: u64 = 1;
+
+impl Report {
+    /// Serializes the report in Chrome trace-event JSON format.
+    pub fn to_chrome_trace(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n  \"displayTimeUnit\": \"ms\",\n  \"traceEvents\": [");
+        let mut first = true;
+        let mut push = |out: &mut String, line: String| {
+            if !std::mem::take(&mut first) {
+                out.push(',');
+            }
+            out.push_str("\n    ");
+            out.push_str(&line);
+        };
+        push(
+            &mut out,
+            format!(
+                "{{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": {PID}, \"tid\": 0, \"args\": {{\"name\": \"confmask\"}}}}"
+            ),
+        );
+        let mut threads: Vec<u64> = self.spans.iter().map(|s| s.thread).collect();
+        threads.sort_unstable();
+        threads.dedup();
+        for t in threads {
+            push(
+                &mut out,
+                format!(
+                    "{{\"name\": \"thread_name\", \"ph\": \"M\", \"pid\": {PID}, \"tid\": {t}, \"args\": {{\"name\": \"thread-{t}\"}}}}"
+                ),
+            );
+        }
+        for s in &self.spans {
+            let mut args = format!("\"id\": {}", s.id);
+            if let Some(p) = s.parent {
+                let _ = write!(args, ", \"parent\": {p}");
+            }
+            if s.trace != 0 {
+                let _ = write!(args, ", \"trace\": \"{:016x}\"", s.trace);
+            }
+            push(
+                &mut out,
+                format!(
+                    "{{\"name\": {}, \"cat\": \"span\", \"ph\": \"X\", \"ts\": {}, \"dur\": {}, \"pid\": {PID}, \"tid\": {}, \"args\": {{{args}}}}}",
+                    escape(&s.name),
+                    s.start_us,
+                    s.duration_us,
+                    s.thread
+                ),
+            );
+        }
+        for e in &self.events {
+            push(
+                &mut out,
+                format!(
+                    "{{\"name\": {}, \"cat\": \"event\", \"ph\": \"i\", \"ts\": {}, \"pid\": {PID}, \"tid\": 0, \"s\": \"g\", \"args\": {{\"level\": {}, \"message\": {}}}}}",
+                    escape(&e.target),
+                    e.at_us,
+                    escape(e.level.name()),
+                    escape(&e.message)
+                ),
+            );
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+}

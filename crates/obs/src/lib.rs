@@ -43,17 +43,20 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod chrome;
 mod event;
 pub mod json;
 mod metrics;
 mod prom;
 pub mod report;
 mod span;
+mod trace;
 
 pub use event::{event_records, set_verbosity, verbosity, EventRecord, Level};
 pub use metrics::{counter_add, gauge_set, histogram_register, observe, HistogramSummary};
 pub use report::Report;
-pub use span::{capture, span, FinishedSpan, Span};
+pub use span::{capture, record_span, span, FinishedSpan, Span};
+pub use trace::{trace_spans, SpanContext, TraceId};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::OnceLock;
@@ -79,6 +82,13 @@ pub(crate) fn epoch_micros() -> u64 {
     epoch.elapsed().as_micros() as u64
 }
 
+/// Microseconds since the process-wide observation epoch — the timescale
+/// of [`FinishedSpan::start_us`]. Public so callers can timestamp
+/// synthetic spans ([`record_span`]) consistently with RAII ones.
+pub fn now_us() -> u64 {
+    epoch_micros()
+}
+
 /// Snapshots everything collected so far into a [`Report`].
 pub fn report() -> Report {
     Report {
@@ -95,6 +105,7 @@ pub fn report() -> Report {
 /// enabled switch are untouched). Intended for tests.
 pub fn reset() {
     span::clear();
+    trace::clear();
     metrics::clear();
     event::clear();
 }

@@ -37,6 +37,10 @@ impl Report {
     /// JSON report (`/metrics-json`).
     pub fn to_prometheus(&self) -> String {
         let mut out = String::new();
+        // Span-buffer overflow is alertable, not JSON-report-only: silent
+        // trace loss would otherwise be invisible to scrapers.
+        let _ = writeln!(out, "# TYPE confmask_obs_dropped_spans counter");
+        let _ = writeln!(out, "confmask_obs_dropped_spans {}", self.dropped_spans);
         for (name, v) in &self.counters {
             let n = prom_name(name);
             let _ = writeln!(out, "# TYPE {n} counter");
@@ -81,7 +85,7 @@ mod tests {
             counters: vec![("serve.jobs_done".into(), 3)],
             gauges: vec![("serve.queue_depth".into(), 2.0)],
             histograms: vec![(
-                "serve.job_wall_secs".into(),
+                "serve.job_wall_ms".into(),
                 HistogramSummary {
                     count: 2,
                     sum: 5,
@@ -98,14 +102,24 @@ mod tests {
         assert!(text.contains("# TYPE confmask_serve_jobs_done counter"));
         assert!(text.contains("confmask_serve_jobs_done 3"));
         assert!(text.contains("confmask_serve_queue_depth 2"));
-        assert!(text.contains("confmask_serve_job_wall_secs{quantile=\"0.5\"} 1"));
-        assert!(text.contains("confmask_serve_job_wall_secs_count 2"));
-        assert!(text.contains("confmask_serve_job_wall_secs_max 4"));
+        assert!(text.contains("confmask_serve_job_wall_ms{quantile=\"0.5\"} 1"));
+        assert!(text.contains("confmask_serve_job_wall_ms_count 2"));
+        assert!(text.contains("confmask_serve_job_wall_ms_max 4"));
     }
 
     #[test]
-    fn empty_report_renders_empty() {
-        assert_eq!(Report::default().to_prometheus(), "");
+    fn empty_report_renders_only_dropped_spans() {
+        let text = Report::default().to_prometheus();
+        assert_eq!(
+            text,
+            "# TYPE confmask_obs_dropped_spans counter\nconfmask_obs_dropped_spans 0\n"
+        );
+    }
+
+    #[test]
+    fn dropped_spans_are_exposed() {
+        let report = Report { dropped_spans: 7, ..Report::default() };
+        assert!(report.to_prometheus().contains("confmask_obs_dropped_spans 7"));
     }
 
     #[test]

@@ -25,6 +25,8 @@ pub struct SpanRecord {
     pub start_us: u64,
     /// Wall-clock duration in µs.
     pub duration_us: u64,
+    /// Trace id this span belongs to (0 = untraced).
+    pub trace: u64,
 }
 
 impl From<FinishedSpan> for SpanRecord {
@@ -36,6 +38,7 @@ impl From<FinishedSpan> for SpanRecord {
             thread: s.thread,
             start_us: s.start_us,
             duration_us: s.duration_us,
+            trace: s.trace,
         }
     }
 }
@@ -191,6 +194,27 @@ impl Report {
         out
     }
 
+    /// Serializes only the reconstructed span tree as a JSON array —
+    /// the same nested `{name, id, …, children}` shape [`Report::to_json`]
+    /// embeds. The serve daemon composes this into its per-job trace
+    /// endpoint response.
+    pub fn span_tree_json(&self) -> String {
+        let mut out = String::from("[");
+        let tree = self.tree();
+        for (i, node) in tree.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('\n');
+            write_span(&mut out, node, 1);
+        }
+        if !tree.is_empty() {
+            out.push('\n');
+        }
+        out.push(']');
+        out
+    }
+
     /// Parses a report previously written by [`Report::to_json`].
     pub fn from_json(text: &str) -> Result<Report, JsonError> {
         let doc = parse(text)?;
@@ -223,6 +247,7 @@ impl Report {
                 thread: v.get("thread").and_then(Json::as_u64).unwrap_or(0),
                 start_us: v.get("start_us").and_then(Json::as_u64).unwrap_or(0),
                 duration_us: v.get("duration_us").and_then(Json::as_u64).unwrap_or(0),
+                trace: v.get("trace").and_then(Json::as_u64).unwrap_or(0),
             });
             for child in v.get("children").and_then(Json::as_arr).unwrap_or(&[]) {
                 read_span(child, Some(id), out)?;
@@ -369,13 +394,18 @@ fn write_span(out: &mut String, node: &SpanNode, depth: usize) {
     let pad = "  ".repeat(depth);
     let _ = write!(
         out,
-        "{pad}{{\"name\": {}, \"id\": {}, \"thread\": {}, \"start_us\": {}, \"duration_us\": {}, \"children\": [",
+        "{pad}{{\"name\": {}, \"id\": {}, \"thread\": {}, \"start_us\": {}, \"duration_us\": {}, ",
         escape(&node.span.name),
         node.span.id,
         node.span.thread,
         node.span.start_us,
         node.span.duration_us
     );
+    // Untraced spans omit the field, keeping pre-trace reports byte-stable.
+    if node.span.trace != 0 {
+        let _ = write!(out, "\"trace\": {}, ", node.span.trace);
+    }
+    out.push_str("\"children\": [");
     for (i, child) in node.children.iter().enumerate() {
         if i > 0 {
             out.push(',');

@@ -8,8 +8,16 @@
 //! is per-thread: a span opened on a worker thread with an empty stack is
 //! a root span there, which keeps the collector lock-free on the hot path
 //! (one `Mutex` push per *finished* recorded span).
+//!
+//! Cross-thread requests stitch through an explicit [`SpanContext`]
+//! handoff: [`Span::child_of`] parents a span under a context minted on
+//! another thread and makes its trace id the thread's *current trace*, so
+//! ordinary [`span`] calls opened underneath inherit it. Spans with a
+//! nonzero trace id are additionally indexed per trace (see
+//! [`trace_spans`](crate::trace_spans)) for request-scoped assembly.
 
-use std::cell::RefCell;
+use crate::trace::SpanContext;
+use std::cell::{Cell, RefCell};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
@@ -31,6 +39,9 @@ thread_local! {
     static CAPTURE: RefCell<Option<Vec<FinishedSpan>>> = const { RefCell::new(None) };
     /// Small dense per-thread index (stable within the process).
     static THREAD_IDX: u64 = NEXT_THREAD.fetch_add(1, Ordering::Relaxed);
+    /// Trace id inherited by plain [`span`] calls on this thread
+    /// (0 = untraced). Set by [`Span::child_of`], restored on close.
+    static CURRENT_TRACE: Cell<u64> = const { Cell::new(0) };
 }
 
 /// A completed span as stored in the collector.
@@ -48,6 +59,8 @@ pub struct FinishedSpan {
     pub start_us: u64,
     /// Wall-clock duration in µs.
     pub duration_us: u64,
+    /// Trace id this span belongs to (0 = untraced).
+    pub trace: u64,
 }
 
 impl FinishedSpan {
@@ -66,6 +79,11 @@ pub struct Span {
     parent: Option<u64>,
     start: Instant,
     start_us: u64,
+    /// Trace id stamped on the finished span (0 = untraced).
+    trace: u64,
+    /// The thread's current trace before this span installed its own
+    /// (`Some` only for [`Span::child_of`] spans, restored on close).
+    prev_trace: Option<u64>,
     /// Whether this span was pushed on the thread stack and will be
     /// recorded on close (decided once at open, so a mid-flight toggle of
     /// the global switch cannot unbalance the stack).
@@ -76,10 +94,11 @@ pub struct Span {
 /// Opens a span named `name`, child of the innermost live span on this
 /// thread. Time is measured unconditionally; the span is recorded only if
 /// global collection is enabled or a thread-local [`capture`] is active.
+/// The span inherits the thread's current trace id, if any.
 pub fn span(name: &'static str) -> Span {
     let recording =
         crate::enabled() || CAPTURE.with(|c| c.borrow().is_some());
-    let (id, parent, start_us) = if recording {
+    let (id, parent, start_us, trace) = if recording {
         let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
         let parent = STACK.with(|s| {
             let mut s = s.borrow_mut();
@@ -87,9 +106,9 @@ pub fn span(name: &'static str) -> Span {
             s.push(id);
             parent
         });
-        (id, parent, crate::epoch_micros())
+        (id, parent, crate::epoch_micros(), CURRENT_TRACE.with(Cell::get))
     } else {
-        (0, None, 0)
+        (0, None, 0, 0)
     };
     Span {
         name,
@@ -97,12 +116,58 @@ pub fn span(name: &'static str) -> Span {
         parent,
         start: Instant::now(),
         start_us,
+        trace,
+        prev_trace: None,
         recording,
         closed: false,
     }
 }
 
 impl Span {
+    /// Opens a span explicitly parented under `ctx` — typically minted on
+    /// *another* thread (the accept thread) and handed across a queue.
+    /// While the span is live, `ctx`'s trace id becomes this thread's
+    /// current trace, so plain [`span`] calls underneath inherit it; the
+    /// previous trace is restored on close. With an untraced context this
+    /// behaves like [`span`].
+    pub fn child_of(name: &'static str, ctx: SpanContext) -> Span {
+        if ctx.trace == 0 {
+            return span(name);
+        }
+        let recording =
+            crate::enabled() || CAPTURE.with(|c| c.borrow().is_some());
+        if !recording {
+            return span(name);
+        }
+        let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
+        // The explicit parent wins over the thread stack: the span joins
+        // the remote request tree, not whatever happens to be live here.
+        STACK.with(|s| s.borrow_mut().push(id));
+        let prev = CURRENT_TRACE.with(|t| t.replace(ctx.trace));
+        Span {
+            name,
+            id,
+            parent: (ctx.span != 0).then_some(ctx.span),
+            start: Instant::now(),
+            start_us: crate::epoch_micros(),
+            trace: ctx.trace,
+            prev_trace: Some(prev),
+            recording,
+            closed: false,
+        }
+    }
+
+    /// A handoff context for parenting spans under this one, possibly on
+    /// another thread. Untraced or non-recording spans return
+    /// [`SpanContext::NONE`].
+    pub fn context(&self) -> SpanContext {
+        if self.recording && self.trace != 0 {
+            SpanContext { trace: self.trace, span: self.id }
+        } else {
+            SpanContext::NONE
+        }
+    }
+
     /// The measured time so far (works with collection off).
     pub fn elapsed(&self) -> Duration {
         self.start.elapsed()
@@ -133,6 +198,9 @@ impl Span {
                 }
             }
         });
+        if let Some(prev) = self.prev_trace.take() {
+            CURRENT_TRACE.with(|t| t.set(prev));
+        }
         let fin = FinishedSpan {
             id: self.id,
             parent: self.parent,
@@ -140,21 +208,52 @@ impl Span {
             thread: THREAD_IDX.with(|t| *t),
             start_us: self.start_us,
             duration_us: duration.as_micros() as u64,
+            trace: self.trace,
         };
-        CAPTURE.with(|c| {
-            if let Some(buf) = c.borrow_mut().as_mut() {
-                buf.push(fin.clone());
-            }
-        });
-        if crate::enabled() {
-            let mut g = FINISHED.lock().expect("span collector poisoned");
-            if g.len() < MAX_SPANS {
-                g.push(fin);
-            } else {
-                DROPPED.fetch_add(1, Ordering::Relaxed);
-            }
+        record_finished(fin);
+    }
+}
+
+/// Routes a finished span to the active capture, the per-trace index, and
+/// the global collector.
+fn record_finished(fin: FinishedSpan) {
+    CAPTURE.with(|c| {
+        if let Some(buf) = c.borrow_mut().as_mut() {
+            buf.push(fin.clone());
+        }
+    });
+    if crate::enabled() {
+        if fin.trace != 0 {
+            crate::trace::record(fin.clone());
+        }
+        let mut g = FINISHED.lock().expect("span collector poisoned");
+        if g.len() < MAX_SPANS {
+            g.push(fin);
+        } else {
+            DROPPED.fetch_add(1, Ordering::Relaxed);
         }
     }
+}
+
+/// Records a synthetic span with explicit timing — for intervals no single
+/// thread lives through, like the queue wait between the accept thread's
+/// enqueue and a worker's pickup. `start_us` is µs since the observation
+/// epoch ([`now_us`](crate::now_us)); the span is parented under `ctx` and
+/// never touches the thread stack.
+pub fn record_span(name: &'static str, ctx: SpanContext, start_us: u64, duration: Duration) {
+    if !crate::enabled() && CAPTURE.with(|c| c.borrow().is_none()) {
+        return;
+    }
+    let fin = FinishedSpan {
+        id: NEXT_ID.fetch_add(1, Ordering::Relaxed),
+        parent: (ctx.span != 0).then_some(ctx.span),
+        name,
+        thread: THREAD_IDX.with(|t| *t),
+        start_us,
+        duration_us: duration.as_micros() as u64,
+        trace: ctx.trace,
+    };
+    record_finished(fin);
 }
 
 impl Drop for Span {

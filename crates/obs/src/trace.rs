@@ -1,0 +1,119 @@
+//! Request-scoped trace contexts and the per-trace span index.
+//!
+//! A [`TraceId`] is minted once per inbound request; a [`SpanContext`]
+//! carries `(trace, span)` across thread boundaries — the serve daemon
+//! hands one through its job queue so worker-side spans stitch under the
+//! HTTP request span that accepted the job. Finished spans with a nonzero
+//! trace id are indexed here by trace, bounded in both directions (traces
+//! retained and spans per trace), so a long-running daemon can serve
+//! `GET /v1/jobs/{id}/trace` without the global collector's cap losing
+//! recent requests. Trace ids are monotonic, so evicting the smallest key
+//! evicts the oldest trace.
+
+use crate::span::FinishedSpan;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Traces retained in the index; the oldest is evicted beyond this.
+const MAX_TRACES: usize = 512;
+
+/// Spans retained per trace — a runaway backstop far above a real job's
+/// span count. Excess spans are counted in `obs.trace_spans_dropped`.
+const MAX_TRACE_SPANS: usize = 4096;
+
+static NEXT_TRACE: AtomicU64 = AtomicU64::new(1);
+static TRACES: Mutex<BTreeMap<u64, Vec<FinishedSpan>>> = Mutex::new(BTreeMap::new());
+
+/// A process-unique trace id, minted per inbound request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TraceId(u64);
+
+impl TraceId {
+    /// Mints a fresh, process-unique trace id (never 0).
+    pub fn mint() -> TraceId {
+        TraceId(NEXT_TRACE.fetch_add(1, Ordering::Relaxed))
+    }
+
+    /// The raw id.
+    pub fn get(self) -> u64 {
+        self.0
+    }
+
+    /// The id as a fixed-width hex request id (`X-Request-Id` format).
+    pub fn as_hex(self) -> String {
+        format!("{:016x}", self.0)
+    }
+}
+
+/// A handoff point in a trace: pass one across a thread boundary and open
+/// the far side with [`Span::child_of`](crate::Span::child_of). `span` is
+/// the parent span id (0 = the trace root has no parent yet).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanContext {
+    /// Trace id (0 = untraced).
+    pub trace: u64,
+    /// Parent span id within the trace (0 = none).
+    pub span: u64,
+}
+
+impl SpanContext {
+    /// The untraced context: `child_of` with this behaves like plain
+    /// [`span`](crate::span).
+    pub const NONE: SpanContext = SpanContext { trace: 0, span: 0 };
+
+    /// A root context for a fresh trace: the first `child_of` under it
+    /// becomes the trace's root span.
+    pub fn root(trace: TraceId) -> SpanContext {
+        SpanContext { trace: trace.get(), span: 0 }
+    }
+
+    /// Whether this context carries a live trace.
+    pub fn is_traced(&self) -> bool {
+        self.trace != 0
+    }
+}
+
+/// Indexes a finished span under its trace (called from span close when
+/// collection is enabled and the span carries a nonzero trace id).
+pub(crate) fn record(fin: FinishedSpan) {
+    debug_assert_ne!(fin.trace, 0);
+    let mut dropped = false;
+    let mut evicted = false;
+    {
+        let mut traces = TRACES.lock().expect("trace index poisoned");
+        if !traces.contains_key(&fin.trace) && traces.len() >= MAX_TRACES {
+            traces.pop_first();
+            evicted = true;
+        }
+        let spans = traces.entry(fin.trace).or_default();
+        if spans.len() < MAX_TRACE_SPANS {
+            spans.push(fin);
+        } else {
+            dropped = true;
+        }
+    }
+    // Metrics are recorded outside the index lock (the registry has its
+    // own) so the hot path never holds two locks at once.
+    if evicted {
+        crate::counter_add("obs.traces_evicted", 1);
+    }
+    if dropped {
+        crate::counter_add("obs.trace_spans_dropped", 1);
+    }
+}
+
+/// All spans indexed under `trace`, in completion order. Empty when the
+/// trace is unknown or already evicted.
+pub fn trace_spans(trace: u64) -> Vec<FinishedSpan> {
+    TRACES
+        .lock()
+        .expect("trace index poisoned")
+        .get(&trace)
+        .cloned()
+        .unwrap_or_default()
+}
+
+pub(crate) fn clear() {
+    TRACES.lock().expect("trace index poisoned").clear();
+}

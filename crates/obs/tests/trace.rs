@@ -1,0 +1,220 @@
+//! Cross-thread trace stitching and Chrome trace-export behavior. The
+//! collector and trace index are process-global, so tests touching them
+//! serialize on [`lock`] (this binary is its own process, independent of
+//! the other test binaries' locks).
+
+use confmask_obs::{
+    capture, json, record_span, span, trace_spans, Report, Span, SpanContext, TraceId,
+};
+use std::sync::Mutex;
+use std::time::Duration;
+
+static LOCK: Mutex<()> = Mutex::new(());
+
+fn lock() -> impl Drop {
+    struct Guard(#[allow(dead_code)] std::sync::MutexGuard<'static, ()>);
+    impl Drop for Guard {
+        fn drop(&mut self) {
+            confmask_obs::set_enabled(false);
+            confmask_obs::reset();
+        }
+    }
+    let g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    confmask_obs::reset();
+    confmask_obs::set_enabled(true);
+    Guard(g)
+}
+
+#[test]
+fn spans_stitch_across_a_thread_hop_under_one_trace() {
+    let _g = lock();
+    // Accept side: mint a trace, open its root span.
+    let trace = TraceId::mint();
+    let root = Span::child_of("request", SpanContext::root(trace));
+    let ctx = root.context();
+    assert_eq!(ctx.trace, trace.get());
+    assert!(ctx.is_traced());
+
+    // Queue hop: synthetic span with explicit timing, parented on the root.
+    record_span("queue_wait", ctx, confmask_obs::now_us(), Duration::from_micros(5));
+
+    // Worker side: a different thread picks the context up; plain spans
+    // opened underneath inherit the trace through the thread-local.
+    let handle = std::thread::spawn(move || {
+        let worker = Span::child_of("worker", ctx);
+        let inner = span("pipeline");
+        inner.finish();
+        worker.finish();
+        // The handoff restores the worker thread to untraced.
+        let after = span("after");
+        after.finish();
+    });
+    handle.join().unwrap();
+    root.finish();
+
+    let spans = trace_spans(trace.get());
+    let mut names: Vec<&str> = spans.iter().map(|s| s.name).collect();
+    names.sort_unstable();
+    assert_eq!(names, ["pipeline", "queue_wait", "request", "worker"]);
+    assert!(spans.iter().all(|s| s.trace == trace.get()));
+
+    // Parentage: worker and queue_wait hang off the request span even
+    // though they finished on (or were timed across) another thread.
+    let request = spans.iter().find(|s| s.name == "request").unwrap();
+    let worker = spans.iter().find(|s| s.name == "worker").unwrap();
+    let pipeline = spans.iter().find(|s| s.name == "pipeline").unwrap();
+    let queue_wait = spans.iter().find(|s| s.name == "queue_wait").unwrap();
+    assert_eq!(request.parent, None);
+    assert_eq!(worker.parent, Some(request.id));
+    assert_eq!(queue_wait.parent, Some(request.id));
+    assert_eq!(pipeline.parent, Some(worker.id));
+    assert_ne!(request.thread, worker.thread);
+
+    // The tree reconstructs single-rooted.
+    let report = Report {
+        spans: spans.into_iter().map(Into::into).collect(),
+        ..Report::default()
+    };
+    let tree = report.tree();
+    assert_eq!(tree.len(), 1);
+    assert_eq!(tree[0].span.name, "request");
+}
+
+#[test]
+fn concurrent_traces_never_interleave() {
+    let _g = lock();
+    let contexts: Vec<(u64, SpanContext)> = (0..8)
+        .map(|_| {
+            let t = TraceId::mint();
+            (t.get(), SpanContext::root(t))
+        })
+        .collect();
+    let handles: Vec<_> = contexts
+        .iter()
+        .map(|&(_, ctx)| {
+            std::thread::spawn(move || {
+                let root = Span::child_of("job", ctx);
+                for _ in 0..3 {
+                    span("step").finish();
+                }
+                root.finish();
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    for (trace, _) in contexts {
+        let spans = trace_spans(trace);
+        assert_eq!(spans.len(), 4, "trace {trace}");
+        assert!(spans.iter().all(|s| s.trace == trace));
+        // Exactly one root, and every step is under this trace's own job.
+        let job = spans.iter().find(|s| s.name == "job").unwrap();
+        assert_eq!(job.parent, None);
+        for s in spans.iter().filter(|s| s.name == "step") {
+            assert_eq!(s.parent, Some(job.id), "trace {trace}");
+        }
+    }
+}
+
+#[test]
+fn untraced_context_degrades_to_a_plain_span() {
+    let _g = lock();
+    let outer = span("outer");
+    let child = Span::child_of("child", SpanContext::NONE);
+    assert_eq!(child.context(), SpanContext::NONE);
+    child.finish();
+    outer.finish();
+    let report = confmask_obs::report();
+    let child = report.spans.iter().find(|s| s.name == "child").unwrap();
+    let outer = report.spans.iter().find(|s| s.name == "outer").unwrap();
+    // Falls back to stack parentage and stays untraced.
+    assert_eq!(child.parent, Some(outer.id));
+    assert_eq!(child.trace, 0);
+}
+
+#[test]
+fn traced_spans_still_land_in_thread_local_captures() {
+    let _g = lock();
+    let trace = TraceId::mint();
+    let ((), captured) = capture(|| {
+        let root = Span::child_of("request", SpanContext::root(trace));
+        span("inner").finish();
+        root.finish();
+    });
+    let names: Vec<&str> = captured.iter().map(|s| s.name).collect();
+    assert_eq!(names, ["inner", "request"]);
+    assert!(captured.iter().all(|s| s.trace == trace.get()));
+    // And the trace index saw them too.
+    assert_eq!(trace_spans(trace.get()).len(), 2);
+}
+
+#[test]
+fn the_trace_index_evicts_oldest_and_bounds_per_trace_spans() {
+    let _g = lock();
+    let first = TraceId::mint();
+    record_span("s", SpanContext::root(first), 0, Duration::from_micros(1));
+    // 512 further traces push the first one out (the index holds 512).
+    let mut last = first;
+    for _ in 0..512 {
+        last = TraceId::mint();
+        record_span("s", SpanContext::root(last), 0, Duration::from_micros(1));
+    }
+    assert!(trace_spans(first.get()).is_empty(), "oldest trace evicted");
+    assert_eq!(trace_spans(last.get()).len(), 1, "newest trace retained");
+    let report = confmask_obs::report();
+    assert_eq!(report.counter("obs.traces_evicted"), Some(1));
+}
+
+#[test]
+fn chrome_trace_export_is_valid_json_with_one_event_per_span() {
+    let _g = lock();
+    let trace = TraceId::mint();
+    let root = Span::child_of("serve.request", SpanContext::root(trace));
+    span("pipeline.stage.\"quoted\"").finish(); // name needing escaping
+    root.finish();
+    span("untraced").finish();
+    confmask_obs::info!("serve.http", "GET /healthz 200");
+
+    let report = confmask_obs::report();
+    let chrome = report.to_chrome_trace();
+    let doc = json::parse(&chrome).expect("chrome trace parses");
+    assert_eq!(
+        doc.get("displayTimeUnit").and_then(json::Json::as_str),
+        Some("ms")
+    );
+    let events = doc
+        .get("traceEvents")
+        .and_then(json::Json::as_arr)
+        .expect("traceEvents array");
+    let complete: Vec<_> = events
+        .iter()
+        .filter(|e| e.get("ph").and_then(json::Json::as_str) == Some("X"))
+        .collect();
+    assert_eq!(complete.len(), report.spans.len());
+    for e in &complete {
+        assert!(e.get("name").and_then(json::Json::as_str).is_some());
+        assert!(e.get("ts").and_then(json::Json::as_u64).is_some());
+        assert!(e.get("dur").and_then(json::Json::as_u64).is_some());
+        assert!(e.get("tid").and_then(json::Json::as_u64).is_some());
+    }
+    // Traced spans carry the hex trace id in args; untraced ones do not.
+    let request = complete
+        .iter()
+        .find(|e| e.get("name").and_then(json::Json::as_str) == Some("serve.request"))
+        .unwrap();
+    assert_eq!(
+        request.get("args").and_then(|a| a.get("trace")).and_then(json::Json::as_str),
+        Some(trace.as_hex().as_str())
+    );
+    let untraced = complete
+        .iter()
+        .find(|e| e.get("name").and_then(json::Json::as_str) == Some("untraced"))
+        .unwrap();
+    assert!(untraced.get("args").and_then(|a| a.get("trace")).is_none());
+    // The instant event for the access-log line survived too.
+    assert!(events.iter().any(|e| {
+        e.get("ph").and_then(json::Json::as_str) == Some("i")
+            && e.get("name").and_then(json::Json::as_str) == Some("serve.http")
+    }));
+}

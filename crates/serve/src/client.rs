@@ -50,11 +50,13 @@ fn retry_delay(attempt: u32, addr: &str) -> Duration {
     Duration::from_millis(base_ms / 2 + x % (base_ms / 2).max(1))
 }
 
-/// A parsed response: status code and body.
+/// A parsed response: status code, headers, and body.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ClientResponse {
     /// HTTP status code.
     pub status: u16,
+    /// Response headers in arrival order (names lowercased).
+    pub headers: Vec<(String, String)>,
     /// Response body.
     pub body: Vec<u8>,
 }
@@ -63,6 +65,14 @@ impl ClientResponse {
     /// The body as UTF-8 (lossy — error bodies are for humans).
     pub fn text(&self) -> String {
         String::from_utf8_lossy(&self.body).into_owned()
+    }
+
+    /// The first header with this name (case-insensitive).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
     }
 }
 
@@ -139,6 +149,7 @@ fn request_once(
         .ok_or_else(|| bad(format!("malformed status line: {status_line:?}")))?;
 
     let mut content_length: Option<usize> = None;
+    let mut headers = Vec::new();
     loop {
         let mut line = String::new();
         if reader.read_line(&mut line)? == 0 {
@@ -152,6 +163,7 @@ fn request_once(
             if name.trim().eq_ignore_ascii_case("content-length") {
                 content_length = value.trim().parse().ok();
             }
+            headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
         }
     }
 
@@ -165,7 +177,7 @@ fn request_once(
             reader.read_to_end(&mut body)?;
         }
     }
-    Ok(ClientResponse { status, body })
+    Ok(ClientResponse { status, headers, body })
 }
 
 /// `GET path`.

@@ -14,6 +14,7 @@
 //! | `POST /v1/jobs` | submit a config bundle + params → `202 {"id": "j1"}` |
 //! | `GET /v1/jobs/{id}` | job state machine: `queued → running → done \| degraded \| failed`, with the `DegradationReport` inlined |
 //! | `GET /v1/jobs/{id}/artifacts` | the anonymized configs as a multi-file JSON bundle |
+//! | `GET /v1/jobs/{id}/trace` | the job's assembled span tree (request → queue wait → worker → pipeline → persistence) |
 //! | `GET /metrics` | Prometheus text exposition of the metrics registry |
 //! | `GET /metrics-json` | the full JSON observability report |
 //! | `GET /healthz` | liveness + queue/worker/job snapshot |
@@ -120,7 +121,28 @@ fn register_metrics() {
     confmask_obs::counter_add("serve.jobs_done", 0);
     confmask_obs::counter_add("serve.jobs_failed", 0);
     confmask_obs::gauge_set("serve.queue_depth", 0.0);
-    confmask_obs::histogram_register("serve.job_wall_secs");
+    confmask_obs::gauge_set("serve.http.in_flight", 0.0);
+    confmask_obs::histogram_register("serve.job_wall_ms");
+    // Per-phase job latencies (milliseconds): the queue hop, the pipeline
+    // run, and the completion persistence — the numbers `confmask
+    // loadgen` and every serve-scaling PR move.
+    confmask_obs::histogram_register("serve.queue_wait_ms");
+    confmask_obs::histogram_register("serve.run_ms");
+    confmask_obs::histogram_register("serve.persist_ms");
+    confmask_obs::histogram_register("serve.queue_depth_sampled");
+    // Per-endpoint end-to-end request latencies (the router's closed
+    // name set, see `router::endpoint_metric`).
+    confmask_obs::histogram_register("serve.http.submit_ms");
+    confmask_obs::histogram_register("serve.http.status_ms");
+    confmask_obs::histogram_register("serve.http.artifacts_ms");
+    confmask_obs::histogram_register("serve.http.trace_ms");
+    confmask_obs::histogram_register("serve.http.health_ms");
+    confmask_obs::histogram_register("serve.http.metrics_ms");
+    confmask_obs::histogram_register("serve.http.shutdown_ms");
+    confmask_obs::histogram_register("serve.http.other_ms");
+    // Trace-index pressure (bounded per-trace span buffer in obs).
+    confmask_obs::counter_add("obs.traces_evicted", 0);
+    confmask_obs::counter_add("obs.trace_spans_dropped", 0);
     // Durability layer: registered at zero so the metric set is identical
     // whether or not `--state-dir` is in use.
     confmask_obs::counter_add("serve.wal.appends", 0);
@@ -209,6 +231,24 @@ impl Server {
     /// short-lived threads; the job queue, not the connection count, is
     /// the admission control.
     pub fn run(self) -> io::Result<JobCounts> {
+        // Queue-depth sampler: the gauge is otherwise only updated on
+        // push/pop edges, so a stuck queue would freeze it at a stale
+        // value. A 50 ms cadence also feeds the sampled-depth histogram
+        // (p99 backlog at saturation — a loadgen headline number).
+        let sampler = {
+            let state = Arc::clone(&self.state);
+            std::thread::Builder::new()
+                .name("confmask-sampler".to_string())
+                .spawn(move || {
+                    while !state.shutdown.load(Ordering::Acquire) {
+                        let depth = state.queue.len();
+                        confmask_obs::gauge_set("serve.queue_depth", depth as f64);
+                        confmask_obs::observe("serve.queue_depth_sampled", depth as u64);
+                        std::thread::sleep(Duration::from_millis(50));
+                    }
+                })
+                .expect("spawn sampler thread")
+        };
         for stream in self.listener.incoming() {
             if self.state.shutdown.load(Ordering::Acquire) {
                 break;
@@ -232,6 +272,7 @@ impl Server {
             let _ = h.join();
         }
         self.pool.join();
+        let _ = sampler.join();
         let counts = self.state.store.counts();
         confmask_obs::info!(
             "serve",
@@ -283,10 +324,17 @@ fn spawn_requeue(
                     );
                     continue;
                 };
+                // A requeued job gets a fresh trace (the original request's
+                // trace belongs to the process that crashed); the store's
+                // record points at whichever trace actually ran the job.
+                let trace = confmask_obs::TraceId::mint();
+                store.set_trace(id, trace.get());
                 let mut job = QueuedJob {
                     id,
                     configs: sub.configs,
                     params: sub.params,
+                    ctx: confmask_obs::SpanContext::root(trace),
+                    enqueued_us: confmask_obs::now_us(),
                 };
                 loop {
                     match queue.push(job) {
@@ -306,10 +354,40 @@ fn spawn_requeue(
         .expect("spawn requeue thread")
 }
 
+/// Requests currently being handled (drives the `serve.http.in_flight`
+/// gauge; process-global, like the metrics registry it feeds).
+static IN_FLIGHT: std::sync::atomic::AtomicI64 = std::sync::atomic::AtomicI64::new(0);
+
+/// RAII in-flight accounting: increments on open, decrements on every
+/// exit path (including handler panics caught by the thread boundary).
+struct InFlight;
+
+impl InFlight {
+    fn enter() -> InFlight {
+        let now = IN_FLIGHT.fetch_add(1, Ordering::Relaxed) + 1;
+        confmask_obs::gauge_set("serve.http.in_flight", now as f64);
+        InFlight
+    }
+}
+
+impl Drop for InFlight {
+    fn drop(&mut self) {
+        let now = IN_FLIGHT.fetch_sub(1, Ordering::Relaxed) - 1;
+        confmask_obs::gauge_set("serve.http.in_flight", now as f64);
+    }
+}
+
 /// Handles one connection: read a request, route it, write the response.
 /// `Connection: close` keeps the protocol state machine trivial; clients
 /// poll with fresh connections.
+///
+/// Every parsed request is stamped with a fresh [`confmask_obs::TraceId`]
+/// — echoed back as `X-Request-Id` — and handled under a `serve.request`
+/// root span whose context rides into the job queue on submissions, so a
+/// job's worker/pipeline/persistence spans stitch under the HTTP request
+/// that accepted it.
 fn handle_connection(stream: TcpStream, state: &Arc<ServerState>) {
+    let _in_flight = InFlight::enter();
     let _ = stream.set_read_timeout(Some(Duration::from_secs(30)));
     let _ = stream.set_write_timeout(Some(Duration::from_secs(30)));
     let Ok(read_half) = stream.try_clone() else {
@@ -323,8 +401,31 @@ fn handle_connection(stream: TcpStream, state: &Arc<ServerState>) {
             let _ = http::Response::error(e.status, &e.message).write_to(&mut writer);
         }
         Ok(Some(Ok(req))) => {
-            let response = router::route(&req, state);
+            let trace = confmask_obs::TraceId::mint();
+            let request_id = trace.as_hex();
+            let span = confmask_obs::Span::child_of(
+                "serve.request",
+                confmask_obs::SpanContext::root(trace),
+            );
+            let response = router::route(&req, state, span.context())
+                .with_header("X-Request-Id", request_id.clone());
+            let status = response.status;
+            let bytes = response.body.len();
             let _ = response.write_to(&mut writer);
+            let elapsed = span.finish();
+            confmask_obs::observe(
+                router::endpoint_metric(&req.method, &req.path),
+                elapsed.as_millis() as u64,
+            );
+            // The structured access log: one info line per request on
+            // stderr (stdout stays machine-readable).
+            confmask_obs::info!(
+                "serve.http",
+                "{} {} {status} {bytes}B {:.1}ms {request_id}",
+                req.method,
+                req.path,
+                elapsed.as_secs_f64() * 1_000.0
+            );
             if req.method == "POST" && req.path == "/v1/shutdown" {
                 state.wake();
             }

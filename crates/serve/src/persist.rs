@@ -640,6 +640,9 @@ impl Persistence {
     /// Journals a terminal transition (artifacts first for successes, so
     /// a durable `Finished` implies a durable bundle).
     pub fn log_finished(&self, record: &JobRecord) {
+        // Nested under the worker's `serve.persist` span (same thread), so
+        // job traces show how much of persistence is WAL fsync time.
+        let _span = confmask_obs::span("serve.wal.finish");
         if let Some(outcome) = &record.outcome {
             self.append_swallow(Kind::Artifacts, &payload_artifacts(record.id, &outcome.artifacts));
         }

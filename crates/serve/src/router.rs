@@ -6,23 +6,48 @@ use crate::store::JobStore;
 use crate::wire;
 use crate::worker::QueuedJob;
 use crate::ServerState;
+use confmask_obs::SpanContext;
 use std::fmt::Write as _;
 use std::sync::atomic::Ordering;
 
+/// What a request resource is, for the per-endpoint latency histograms.
+/// Metric names must be `'static`, so the route set is a closed enum of
+/// names (an `other` bucket catches 404s and probes).
+pub fn endpoint_metric(method: &str, path: &str) -> &'static str {
+    match (method, path) {
+        ("POST", "/v1/jobs") => "serve.http.submit_ms",
+        ("GET", "/healthz") => "serve.http.health_ms",
+        ("GET", "/metrics" | "/metrics-json") => "serve.http.metrics_ms",
+        ("POST", "/v1/shutdown") => "serve.http.shutdown_ms",
+        ("GET", p) if p.starts_with("/v1/jobs/") && p.ends_with("/trace") => {
+            "serve.http.trace_ms"
+        }
+        ("GET", p) if p.starts_with("/v1/jobs/") && p.ends_with("/artifacts") => {
+            "serve.http.artifacts_ms"
+        }
+        ("GET", p) if p.starts_with("/v1/jobs/") => "serve.http.status_ms",
+        _ => "serve.http.other_ms",
+    }
+}
+
 /// Dispatches one request. Every path returns a response; unknown paths
-/// are 404, known paths with the wrong method are 405.
-pub fn route(req: &Request, state: &ServerState) -> Response {
+/// are 404, known paths with the wrong method are 405. `ctx` is the
+/// request span's trace context, handed into the job queue on submission.
+pub fn route(req: &Request, state: &ServerState, ctx: SpanContext) -> Response {
     match (req.method.as_str(), req.path.as_str()) {
-        ("POST", "/v1/jobs") => submit(req, state),
+        ("POST", "/v1/jobs") => submit(req, state, ctx),
         ("GET", "/healthz") => health(state),
         ("GET", "/metrics") => Response::text(200, confmask_obs::report().to_prometheus()),
         ("GET", "/metrics-json") => Response::json(200, confmask_obs::report().to_json()),
         ("POST", "/v1/shutdown") => shutdown(state),
         (method, path) if path.starts_with("/v1/jobs/") => {
             let rest = &path["/v1/jobs/".len()..];
-            let (id_part, artifacts) = match rest.strip_suffix("/artifacts") {
-                Some(id) => (id, true),
-                None => (rest, false),
+            let (id_part, kind) = if let Some(id) = rest.strip_suffix("/artifacts") {
+                (id, JobResource::Artifacts)
+            } else if let Some(id) = rest.strip_suffix("/trace") {
+                (id, JobResource::Trace)
+            } else {
+                (rest, JobResource::Status)
             };
             let Some(id) = JobStore::parse_wire_id(id_part) else {
                 return Response::error(404, &format!("no such job '{id_part}'"));
@@ -30,10 +55,10 @@ pub fn route(req: &Request, state: &ServerState) -> Response {
             if method != "GET" {
                 return Response::error(405, "job resources are read-only");
             }
-            if artifacts {
-                job_artifacts(id, state)
-            } else {
-                job_status(id, state)
+            match kind {
+                JobResource::Status => job_status(id, state),
+                JobResource::Artifacts => job_artifacts(id, state),
+                JobResource::Trace => job_trace(id, state),
             }
         }
         (_, "/v1/jobs" | "/healthz" | "/metrics" | "/metrics-json" | "/v1/shutdown") => {
@@ -43,10 +68,17 @@ pub fn route(req: &Request, state: &ServerState) -> Response {
     }
 }
 
+/// The three read-only job sub-resources.
+enum JobResource {
+    Status,
+    Artifacts,
+    Trace,
+}
+
 /// `POST /v1/jobs`: parse the bundle, create the record, enqueue. A full
 /// queue is backpressure (429 + `Retry-After`), a closed queue means
 /// shutdown is in progress (503).
-fn submit(req: &Request, state: &ServerState) -> Response {
+fn submit(req: &Request, state: &ServerState, ctx: SpanContext) -> Response {
     if state.shutdown.load(Ordering::Acquire) {
         return Response::error(503, "shutting down");
     }
@@ -67,10 +99,13 @@ fn submit(req: &Request, state: &ServerState) -> Response {
             return Response::error(500, "job not accepted: state journal unavailable");
         }
     };
+    state.store.set_trace(id, ctx.trace);
     let job = QueuedJob {
         id,
         configs: sub.configs,
         params: sub.params,
+        ctx,
+        enqueued_us: confmask_obs::now_us(),
     };
     match state.queue.push(job) {
         Ok(depth) => {
@@ -123,6 +158,30 @@ fn job_artifacts(id: u64, state: &ServerState) -> Response {
             ),
         ),
     }
+}
+
+/// `GET /v1/jobs/{id}/trace`: the assembled span tree of the request that
+/// admitted (or requeued) the job. 404 for unknown jobs, 409 when no
+/// trace exists — the job predates this process (recovered but not yet
+/// re-run) or its trace aged out of the bounded index.
+fn job_trace(id: u64, state: &ServerState) -> Response {
+    let Some(record) = state.store.get(id) else {
+        return Response::error(404, &format!("no such job 'j{id}'"));
+    };
+    if record.trace == 0 {
+        return Response::error(
+            409,
+            &format!("job 'j{id}' has no trace in this process"),
+        );
+    }
+    let spans = confmask_obs::trace_spans(record.trace);
+    if spans.is_empty() {
+        return Response::error(
+            409,
+            &format!("trace for job 'j{id}' was evicted from the trace index"),
+        );
+    }
+    Response::json(200, wire::encode_trace(&record, &spans))
 }
 
 /// `GET /healthz`: liveness plus a queue/worker/job snapshot.

@@ -93,6 +93,10 @@ pub struct JobRecord {
     /// The canonical submission body, kept until the job is terminal so
     /// snapshots can persist it for re-execution after a crash.
     pub submission: Option<String>,
+    /// Trace id of the request (or requeue) that admitted this job, for
+    /// `GET /v1/jobs/{id}/trace`. In-memory only (0 = untraced): traces
+    /// are diagnostics of *this* process, not durable state.
+    pub trace: u64,
     /// When the job was submitted (used to compute `queue_wait`).
     submitted: Instant,
     /// When a worker started it (used to compute `wall`).
@@ -124,6 +128,7 @@ impl JobRecord {
             requeues: job.requeues,
             content_key: job.content_key,
             submission: job.submission.clone(),
+            trace: 0,
             submitted: Instant::now(),
             started: None,
         }
@@ -230,11 +235,21 @@ impl JobStore {
             requeues: 0,
             content_key,
             submission: Some(submission),
+            trace: 0,
             submitted: Instant::now(),
             started: None,
         };
         jobs.insert(id, record);
         Ok(id)
+    }
+
+    /// Attaches the admitting request's trace id to a job (in-memory
+    /// only — never journaled). A requeue overwrites it: the trace the
+    /// endpoint serves is the one that actually ran the job.
+    pub fn set_trace(&self, id: u64, trace: u64) {
+        if let Some(r) = self.jobs.lock().expect("job store poisoned").get_mut(&id) {
+            r.trace = trace;
+        }
     }
 
     /// Removes a record (used when the queue refused the job after the

@@ -276,11 +276,11 @@ fn a_vanished_worker_leaves_an_interrupted_job_that_recovery_requeues() {
     failpoint::arm("worker.run", Action::Vanish, 1);
     let queue = Arc::new(Bounded::new(4));
     queue
-        .push(QueuedJob {
+        .push(QueuedJob::untraced(
             id,
-            configs: confmask_netgen::smallnets::example_network(),
-            params: Params::new(3, 2),
-        })
+            confmask_netgen::smallnets::example_network(),
+            Params::new(3, 2),
+        ))
         .unwrap();
     let pool = worker::spawn(1, Arc::clone(&queue), Arc::clone(&store), None);
     queue.close();

@@ -354,6 +354,25 @@ pub fn encode_artifacts(wire_id: &str, files: &[ArtifactFile]) -> String {
     out
 }
 
+/// Serializes the per-job span tree for `GET /v1/jobs/{id}/trace`:
+/// the job's identity, its hex request id, and the spans assembled into
+/// the same nested `{name, id, …, children}` shape the obs report uses —
+/// so obs tooling parses both.
+pub fn encode_trace(record: &JobRecord, spans: &[confmask_obs::FinishedSpan]) -> String {
+    let report = confmask_obs::Report {
+        spans: spans.iter().cloned().map(Into::into).collect(),
+        ..confmask_obs::Report::default()
+    };
+    let mut out = String::from("{\n");
+    let _ = writeln!(out, "  \"id\": {},", escape(&record.wire_id()));
+    let _ = writeln!(out, "  \"request_id\": \"{:016x}\",", record.trace);
+    let _ = writeln!(out, "  \"state\": {},", escape(record.state.name()));
+    let _ = writeln!(out, "  \"span_count\": {},", spans.len());
+    let _ = writeln!(out, "  \"spans\": {}", report.span_tree_json());
+    out.push_str("}\n");
+    out
+}
+
 /// Parses an artifacts bundle (client side), sorted by path.
 pub fn decode_artifacts(body: &[u8]) -> Result<Vec<ArtifactFile>, String> {
     let text = std::str::from_utf8(body).map_err(|_| "response is not UTF-8".to_string())?;

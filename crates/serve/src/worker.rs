@@ -11,6 +11,7 @@ use crate::failpoint;
 use crate::queue::Bounded;
 use crate::store::JobStore;
 use confmask::{run_job, NetworkConfigs, Params};
+use confmask_obs::{Span, SpanContext};
 use std::panic::AssertUnwindSafe;
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -25,6 +26,26 @@ pub struct QueuedJob {
     pub configs: NetworkConfigs,
     /// Pipeline parameters (already defaulted by the wire decoder).
     pub params: Params,
+    /// Trace context of the admitting request — the worker's spans are
+    /// parented under the HTTP request span across the queue hop.
+    pub ctx: SpanContext,
+    /// When the job was enqueued (obs epoch µs), for the synthetic
+    /// `serve.queue_wait` span no single thread lives through.
+    pub enqueued_us: u64,
+}
+
+impl QueuedJob {
+    /// An untraced job (the tests' shorthand).
+    #[cfg(test)]
+    pub fn untraced(id: u64, configs: NetworkConfigs, params: Params) -> QueuedJob {
+        QueuedJob {
+            id,
+            configs,
+            params,
+            ctx: SpanContext::NONE,
+            enqueued_us: confmask_obs::now_us(),
+        }
+    }
 }
 
 /// Handles of the spawned workers; join to wait for drain.
@@ -83,17 +104,29 @@ fn worker_loop(queue: &Bounded<QueuedJob>, store: &JobStore, job_timeout: Option
         if params.stage_deadline.is_none() {
             params.stage_deadline = job_timeout;
         }
+        // The queue hop: a synthetic span with explicit timing (enqueue →
+        // pickup), since neither the accept thread nor this one lives
+        // through the whole wait.
+        let picked_us = confmask_obs::now_us();
+        let queue_wait =
+            Duration::from_micros(picked_us.saturating_sub(job.enqueued_us));
+        confmask_obs::record_span("serve.queue_wait", job.ctx, job.enqueued_us, queue_wait);
+        confmask_obs::observe("serve.queue_wait_ms", queue_wait.as_millis() as u64);
+        // The worker span joins the admitting request's trace; everything
+        // the pipeline opens underneath (pipeline.anonymize, stage spans)
+        // inherits the trace id through the thread-local.
+        let worker_span = Span::child_of("serve.worker", job.ctx);
         let started = Instant::now();
-        let span = confmask_obs::span("serve.job");
+        let run_span = confmask_obs::span("serve.run");
         let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
             run_job(&job.configs, &params)
         }));
-        span.finish();
+        confmask_obs::observe("serve.run_ms", run_span.finish().as_millis() as u64);
         let wall = started.elapsed();
         let outcome = match result {
             Ok(Ok(outcome)) => {
                 confmask_obs::counter_add("serve.jobs_done", 1);
-                confmask_obs::observe("serve.job_wall_secs", wall.as_secs());
+                confmask_obs::observe("serve.job_wall_ms", wall.as_millis() as u64);
                 Ok(outcome)
             }
             Ok(Err(e)) => {
@@ -112,7 +145,10 @@ fn worker_loop(queue: &Bounded<QueuedJob>, store: &JobStore, job_timeout: Option
                 Err(format!("worker panicked: {message}"))
             }
         };
+        let persist_span = confmask_obs::span("serve.persist");
         store.finish(job.id, outcome);
+        confmask_obs::observe("serve.persist_ms", persist_span.finish().as_millis() as u64);
+        worker_span.finish();
     }
 }
 
@@ -134,11 +170,11 @@ mod tests {
             .map(|i| {
                 let id = store.create();
                 queue
-                    .push(QueuedJob {
+                    .push(QueuedJob::untraced(
                         id,
-                        configs: net.clone(),
-                        params: Params::new(3, 2).with_seed(i),
-                    })
+                        net.clone(),
+                        Params::new(3, 2).with_seed(i),
+                    ))
                     .unwrap();
                 id
             })
@@ -164,11 +200,11 @@ mod tests {
         // The bad gadget has no BGP equilibrium: the pipeline fails fatally.
         let id = store.create();
         queue
-            .push(QueuedJob {
+            .push(QueuedJob::untraced(
                 id,
-                configs: confmask_netgen::smallnets::bad_gadget(),
-                params: Params::new(3, 2),
-            })
+                confmask_netgen::smallnets::bad_gadget(),
+                Params::new(3, 2),
+            ))
             .unwrap();
         let pool = spawn(1, Arc::clone(&queue), Arc::clone(&store), None);
         queue.close();

@@ -87,7 +87,11 @@ fn submit_poll_artifacts_metrics_shutdown() {
     assert!(text.contains("confmask_serve_jobs_accepted"), "{text}");
     assert!(text.contains("confmask_serve_jobs_done"), "{text}");
     assert!(text.contains("confmask_serve_jobs_rejected"), "{text}");
-    assert!(text.contains("confmask_serve_job_wall_secs_count"), "{text}");
+    assert!(text.contains("confmask_serve_job_wall_ms_count"), "{text}");
+    assert!(text.contains("confmask_serve_queue_wait_ms_count"), "{text}");
+    assert!(text.contains("confmask_serve_http_submit_ms_count"), "{text}");
+    assert!(text.contains("confmask_serve_http_in_flight"), "{text}");
+    assert!(text.contains("confmask_obs_dropped_spans"), "{text}");
     let json = client::get(&addr, "/metrics-json").unwrap();
     assert_eq!(json.status, 200);
     let report = confmask_obs::Report::from_json(&json.text()).expect("metrics-json parses");

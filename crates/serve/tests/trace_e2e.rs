@@ -1,0 +1,213 @@
+//! End-to-end tests of request-scoped tracing: every response carries an
+//! `X-Request-Id`, and `GET /v1/jobs/{id}/trace` serves a single-rooted
+//! span tree stitching the HTTP accept, the queue hop, the worker, the
+//! pipeline stages, and persistence under one trace id.
+
+use confmask::Params;
+use confmask_obs::json::{parse, Json};
+use confmask_serve::client;
+use confmask_serve::wire;
+use confmask_serve::{Server, ServeOptions};
+use std::time::{Duration, Instant};
+
+fn start(
+    opts: ServeOptions,
+) -> (String, std::thread::JoinHandle<confmask_serve::store::JobCounts>) {
+    let server = Server::bind(&opts).expect("bind");
+    let addr = server.local_addr().to_string();
+    let handle = std::thread::spawn(move || server.run().expect("run"));
+    (addr, handle)
+}
+
+fn example_body(seed: u64) -> String {
+    let net = confmask_netgen::smallnets::example_network();
+    wire::encode_submit(&net, &Params::new(3, 2).with_seed(seed))
+}
+
+fn wait_terminal(addr: &str, id: &str) {
+    let deadline = Instant::now() + Duration::from_secs(120);
+    loop {
+        let resp = client::get(addr, &format!("/v1/jobs/{id}")).expect("poll");
+        assert_eq!(resp.status, 200, "{}", resp.text());
+        if wire::decode_status(&resp.body).expect("status").is_terminal() {
+            return;
+        }
+        assert!(Instant::now() < deadline, "job {id} never finished");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+/// Collects `(name, trace)` of every span in a trace-endpoint response
+/// tree, depth-first.
+fn collect_spans(node: &Json, out: &mut Vec<(String, u64)>) {
+    let name = node.get("name").and_then(Json::as_str).expect("span name");
+    let trace = node.get("trace").and_then(Json::as_u64).unwrap_or(0);
+    out.push((name.to_string(), trace));
+    for child in node.get("children").and_then(Json::as_arr).unwrap_or(&[]) {
+        collect_spans(child, out);
+    }
+}
+
+/// Fetches the job's trace, polling until the expected late spans appear:
+/// a worker finishes its `serve.worker` span shortly *after* the job
+/// turns terminal, so the first fetch after completion may be partial.
+fn fetch_settled_trace(addr: &str, id: &str) -> Json {
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let resp = client::get(addr, &format!("/v1/jobs/{id}/trace")).expect("trace");
+        assert_eq!(resp.status, 200, "{}", resp.text());
+        let doc = parse(&resp.text()).expect("trace json");
+        let mut spans = Vec::new();
+        for root in doc.get("spans").and_then(Json::as_arr).unwrap_or(&[]) {
+            collect_spans(root, &mut spans);
+        }
+        if spans.iter().any(|(n, _)| n == "serve.worker") {
+            return doc;
+        }
+        assert!(Instant::now() < deadline, "trace for {id} never settled");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn a_completed_job_serves_a_single_rooted_trace_tree() {
+    // A durable daemon, so the trace also shows the WAL persistence hop.
+    let dir = std::env::temp_dir().join(format!(
+        "confmask-trace-e2e-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let (addr, handle) = start(ServeOptions {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        queue_cap: 16,
+        state_dir: Some(dir.clone()),
+        ..ServeOptions::default()
+    });
+
+    // Every response echoes the minted trace id as X-Request-Id.
+    let health = client::get(&addr, "/healthz").unwrap();
+    let health_rid = health.header("x-request-id").expect("request id").to_string();
+    assert_eq!(health_rid.len(), 16, "{health_rid}");
+
+    let resp = client::post(&addr, "/v1/jobs", &example_body(1)).unwrap();
+    assert_eq!(resp.status, 202, "{}", resp.text());
+    let submit_rid = resp.header("x-request-id").expect("request id").to_string();
+    assert_ne!(submit_rid, health_rid, "each request gets its own trace");
+    let id = wire::decode_job_created(&resp.body).unwrap();
+    wait_terminal(&addr, &id);
+
+    let doc = fetch_settled_trace(&addr, &id);
+    assert_eq!(doc.get("id").and_then(Json::as_str), Some(id.as_str()));
+    // The trace served for the job is the submit request's trace.
+    assert_eq!(
+        doc.get("request_id").and_then(Json::as_str),
+        Some(submit_rid.as_str())
+    );
+
+    // Single-rooted at the HTTP accept span.
+    let roots = doc.get("spans").and_then(Json::as_arr).expect("spans");
+    assert_eq!(roots.len(), 1, "trace must be single-rooted");
+    assert_eq!(
+        roots[0].get("name").and_then(Json::as_str),
+        Some("serve.request")
+    );
+
+    let mut spans = Vec::new();
+    collect_spans(&roots[0], &mut spans);
+    // One trace id across every span in the tree.
+    let traces: std::collections::BTreeSet<u64> =
+        spans.iter().map(|(_, t)| *t).collect();
+    assert_eq!(traces.len(), 1, "{spans:?}");
+    assert_eq!(
+        format!("{:016x}", traces.first().unwrap()),
+        submit_rid,
+        "span trace ids match the request id"
+    );
+    // The whole lifecycle is present: accept, queue hop, worker, pipeline
+    // (down to its stages), and persistence (including the WAL append).
+    for expected in [
+        "serve.queue_wait",
+        "serve.worker",
+        "serve.run",
+        "pipeline.anonymize",
+        "pipeline.attempt",
+        "serve.persist",
+        "serve.wal.finish",
+    ] {
+        assert!(
+            spans.iter().any(|(n, _)| n == expected),
+            "missing span {expected} in {spans:?}"
+        );
+    }
+    assert!(
+        spans.iter().any(|(n, _)| n.starts_with("pipeline.stage.")),
+        "missing pipeline stage spans in {spans:?}"
+    );
+
+    // Traces of nonexistent jobs are 404.
+    assert_eq!(client::get(&addr, "/v1/jobs/j999999/trace").unwrap().status, 404);
+
+    client::post(&addr, "/v1/shutdown", "").unwrap();
+    handle.join().unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn concurrent_jobs_never_interleave_their_trace_trees() {
+    let (addr, handle) = start(ServeOptions {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 8,
+        queue_cap: 16,
+        ..ServeOptions::default()
+    });
+    // 8 simultaneous submissions running on 8 workers: their pipelines
+    // overlap in time, but every job's trace must contain exactly its own
+    // lifecycle, uncontaminated by its neighbors'.
+    let ids: Vec<String> = (0..8u64)
+        .map(|i| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let resp =
+                    client::post(&addr, "/v1/jobs", &example_body(300 + i)).unwrap();
+                assert_eq!(resp.status, 202, "{}", resp.text());
+                wire::decode_job_created(&resp.body).unwrap()
+            })
+        })
+        .collect::<Vec<_>>()
+        .into_iter()
+        .map(|t| t.join().unwrap())
+        .collect();
+    for id in &ids {
+        wait_terminal(&addr, id);
+    }
+    let mut seen_request_ids = std::collections::BTreeSet::new();
+    for id in &ids {
+        let doc = fetch_settled_trace(&addr, id);
+        let rid = doc
+            .get("request_id")
+            .and_then(Json::as_str)
+            .expect("request id")
+            .to_string();
+        assert!(seen_request_ids.insert(rid), "jobs must not share a trace");
+        let roots = doc.get("spans").and_then(Json::as_arr).expect("spans");
+        assert_eq!(roots.len(), 1, "job {id}: trace must be single-rooted");
+        let mut spans = Vec::new();
+        collect_spans(&roots[0], &mut spans);
+        // Exactly one of each lifecycle span — a second worker or pipeline
+        // span would mean another job's spans leaked into this trace.
+        for unique in ["serve.request", "serve.queue_wait", "serve.worker", "serve.run", "pipeline.anonymize"] {
+            assert_eq!(
+                spans.iter().filter(|(n, _)| n == unique).count(),
+                1,
+                "job {id}: expected exactly one {unique} in {spans:?}"
+            );
+        }
+        let traces: std::collections::BTreeSet<u64> =
+            spans.iter().map(|(_, t)| *t).collect();
+        assert_eq!(traces.len(), 1, "job {id}: one trace id per tree");
+    }
+    client::post(&addr, "/v1/shutdown", "").unwrap();
+    handle.join().unwrap();
+}
