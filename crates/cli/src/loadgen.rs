@@ -59,6 +59,11 @@ pub struct LoadgenSummary {
     pub failed: u64,
     /// Submissions rejected with 429 (queue full).
     pub rejected_429: u64,
+    /// Highest numeric job id the daemon accepted (the wire id parsed
+    /// from each 202), so consumers can query the newest job — e.g. its
+    /// `/trace` — without reconstructing ids from counts (rejected
+    /// submissions consume store ids too, so counts under-estimate).
+    pub last_accepted: Option<u64>,
     /// Wall time of the whole run including the drain.
     pub elapsed: Duration,
     /// Sorted end-to-end latency (µs) of every accepted job.
@@ -86,6 +91,12 @@ impl LoadgenSummary {
         self.accepted() as f64 / secs
     }
 
+    /// Wire id (`"jN"`) of the highest-numbered accepted job, `None` when
+    /// every submission was rejected.
+    pub fn last_job_id(&self) -> Option<String> {
+        self.last_accepted.map(|id| format!("j{id}"))
+    }
+
     /// Exact nearest-rank percentile (`q` in 0..=1) of the latency
     /// sample, in milliseconds. `None` when no job was accepted.
     pub fn latency_ms(&self, q: f64) -> Option<f64> {
@@ -106,6 +117,7 @@ struct WorkerTally {
     degraded: u64,
     failed: u64,
     rejected_429: u64,
+    max_accepted: Option<u64>,
     latencies_us: Vec<u64>,
 }
 
@@ -141,6 +153,7 @@ pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenSummary, String> {
         summary.degraded += t.degraded;
         summary.failed += t.failed;
         summary.rejected_429 += t.rejected_429;
+        summary.last_accepted = summary.last_accepted.max(t.max_accepted);
         summary.latencies_us.extend(t.latencies_us);
     }
     summary.elapsed = started.elapsed();
@@ -166,6 +179,9 @@ fn worker_loop(
             202 => {
                 let id = wire::decode_job_created(&resp.body)
                     .map_err(|e| format!("malformed submit response: {e}"))?;
+                let numeric = confmask_serve::store::JobStore::parse_wire_id(&id)
+                    .ok_or_else(|| format!("unparseable job id '{id}'"))?;
+                tally.max_accepted = tally.max_accepted.max(Some(numeric));
                 // Closed loop: follow this job to the end (even past the
                 // deadline — that is the drain) before submitting again.
                 let state = poll_terminal(cfg, &id)?;
@@ -224,6 +240,14 @@ pub fn bench_json(cfg: &LoadgenConfig, summary: &LoadgenSummary) -> String {
     let _ = writeln!(out, "  \"degraded\": {},", summary.degraded);
     let _ = writeln!(out, "  \"failed\": {},", summary.failed);
     let _ = writeln!(out, "  \"rejected_429\": {},", summary.rejected_429);
+    match summary.last_job_id() {
+        Some(id) => {
+            let _ = writeln!(out, "  \"last_job_id\": \"{id}\",");
+        }
+        None => {
+            let _ = writeln!(out, "  \"last_job_id\": null,");
+        }
+    }
     let _ = writeln!(out, "  \"lossless\": {},", summary.lossless());
     let _ = writeln!(
         out,
@@ -272,6 +296,9 @@ mod tests {
             degraded: 1,
             failed: 1,
             rejected_429: 2,
+            // Rejected submissions consume store ids too, so the last
+            // accepted id can exceed the accepted count.
+            last_accepted: Some(12),
             elapsed: Duration::from_secs(5),
             latencies_us: (1..=10).map(|i| i * 1_000).collect(),
         }
@@ -319,7 +346,11 @@ mod tests {
         assert_eq!(doc.get("bench").and_then(Json::as_str), Some("serve_loadgen"));
         assert_eq!(doc.get("submitted").and_then(Json::as_u64), Some(12));
         assert_eq!(doc.get("rejected_429").and_then(Json::as_u64), Some(2));
+        assert_eq!(doc.get("last_job_id").and_then(Json::as_str), Some("j12"));
         assert_eq!(doc.get("lossless"), Some(&Json::Bool(true)));
+        let empty = parse(&bench_json(&sample_config(), &LoadgenSummary::default()))
+            .expect("empty bench json parses");
+        assert_eq!(empty.get("last_job_id"), Some(&Json::Null));
         let lat = doc.get("latency_ms").expect("latency object");
         assert!(lat.get("p50").and_then(Json::as_f64).unwrap() > 0.0);
         assert!(lat.get("p99").and_then(Json::as_f64).unwrap() >= lat.get("p50").and_then(Json::as_f64).unwrap());
@@ -353,6 +384,38 @@ mod tests {
             "one latency sample per accepted job"
         );
         assert!(summary.latency_ms(0.99).unwrap() > 0.0);
+
+        // The CI smoke gate's path: the bench report names the last
+        // accepted job, and that job serves a single-rooted trace stitched
+        // across the queue hop. The worker span closes shortly *after* the
+        // job turns terminal, so poll briefly for a settled tree.
+        let last = summary.last_job_id().expect("at least one accepted job");
+        let deadline = std::time::Instant::now() + Duration::from_secs(30);
+        loop {
+            let resp = client::get(&addr, &format!("/v1/jobs/{last}/trace")).unwrap();
+            assert_eq!(resp.status, 200, "{}", resp.text());
+            let doc = parse(&resp.text()).expect("trace json");
+            let roots = doc.get("spans").and_then(Json::as_arr).expect("spans");
+            assert_eq!(roots.len(), 1, "trace must be single-rooted");
+            assert_eq!(
+                roots[0].get("name").and_then(Json::as_str),
+                Some("serve.request")
+            );
+            let has_worker = roots[0]
+                .get("children")
+                .and_then(Json::as_arr)
+                .unwrap_or(&[])
+                .iter()
+                .any(|c| c.get("name").and_then(Json::as_str) == Some("serve.worker"));
+            if has_worker {
+                break;
+            }
+            assert!(
+                std::time::Instant::now() < deadline,
+                "trace for {last} never settled"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
 
         client::post(&addr, "/v1/shutdown", "").unwrap();
         daemon.join().unwrap();

@@ -56,7 +56,7 @@ pub use event::{event_records, set_verbosity, verbosity, EventRecord, Level};
 pub use metrics::{counter_add, gauge_set, histogram_register, observe, HistogramSummary};
 pub use report::Report;
 pub use span::{capture, record_span, span, FinishedSpan, Span};
-pub use trace::{trace_spans, SpanContext, TraceId};
+pub use trace::{release_trace, retain_trace, trace_known, trace_spans, SpanContext, TraceId};
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::OnceLock;

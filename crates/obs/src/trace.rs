@@ -3,12 +3,17 @@
 //! A [`TraceId`] is minted once per inbound request; a [`SpanContext`]
 //! carries `(trace, span)` across thread boundaries — the serve daemon
 //! hands one through its job queue so worker-side spans stitch under the
-//! HTTP request span that accepted the job. Finished spans with a nonzero
-//! trace id are indexed here by trace, bounded in both directions (traces
-//! retained and spans per trace), so a long-running daemon can serve
+//! HTTP request span that accepted the job. The index is **opt-in**: only
+//! traces registered with [`retain_trace`] collect their finished spans
+//! here (the daemon retains exactly the traces that carry an accepted job
+//! submission, so high-rate status polls and health checks never claim a
+//! slot). The index is bounded in both directions (traces retained and
+//! spans per trace), so a long-running daemon can serve
 //! `GET /v1/jobs/{id}/trace` without the global collector's cap losing
 //! recent requests. Trace ids are monotonic, so evicting the smallest key
-//! evicts the oldest trace.
+//! evicts the oldest trace; an eviction high-water mark ensures a span
+//! finishing *after* its trace was evicted is dropped rather than
+//! resurrecting the key as a rootless partial tree.
 
 use crate::span::FinishedSpan;
 use std::collections::BTreeMap;
@@ -24,6 +29,11 @@ const MAX_TRACE_SPANS: usize = 4096;
 
 static NEXT_TRACE: AtomicU64 = AtomicU64::new(1);
 static TRACES: Mutex<BTreeMap<u64, Vec<FinishedSpan>>> = Mutex::new(BTreeMap::new());
+
+/// Highest trace id ever evicted from the index. A finished span whose
+/// trace is at or below this mark arrived after eviction and is dropped;
+/// above it, an absent key simply means the trace was never retained.
+static EVICTED_HWM: AtomicU64 = AtomicU64::new(0);
 
 /// A process-unique trace id, minted per inbound request.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -74,29 +84,62 @@ impl SpanContext {
     }
 }
 
-/// Indexes a finished span under its trace (called from span close when
-/// collection is enabled and the span carries a nonzero trace id).
-pub(crate) fn record(fin: FinishedSpan) {
-    debug_assert_ne!(fin.trace, 0);
-    let mut dropped = false;
+/// Registers `trace` for span indexing, claiming a slot (and evicting the
+/// oldest retained trace if the index is full). Call this once at the
+/// point a trace becomes queryable — the daemon does it when a submission
+/// is accepted — and *before* any of its spans can finish on another
+/// thread, so no early span races past an absent key. Idempotent.
+pub fn retain_trace(trace: u64) {
+    if trace == 0 {
+        return;
+    }
     let mut evicted = false;
     {
         let mut traces = TRACES.lock().expect("trace index poisoned");
-        if !traces.contains_key(&fin.trace) && traces.len() >= MAX_TRACES {
-            traces.pop_first();
-            evicted = true;
+        if !traces.contains_key(&trace) && traces.len() >= MAX_TRACES {
+            if let Some((old, _)) = traces.pop_first() {
+                EVICTED_HWM.fetch_max(old, Ordering::Relaxed);
+                evicted = true;
+            }
         }
-        let spans = traces.entry(fin.trace).or_default();
-        if spans.len() < MAX_TRACE_SPANS {
-            spans.push(fin);
-        } else {
-            dropped = true;
-        }
+        traces.entry(trace).or_default();
     }
     // Metrics are recorded outside the index lock (the registry has its
     // own) so the hot path never holds two locks at once.
     if evicted {
         crate::counter_add("obs.traces_evicted", 1);
+    }
+}
+
+/// Releases a trace retained by [`retain_trace`] before any of its spans
+/// were needed — the daemon's 429/503 path, where the submission was
+/// turned away and the trace will never be queried. Spans of a released
+/// trace that finish later are silently skipped (not counted as drops).
+pub fn release_trace(trace: u64) {
+    TRACES.lock().expect("trace index poisoned").remove(&trace);
+}
+
+/// Whether `trace` currently holds a slot in the index (retained and not
+/// yet evicted) — it may still have no spans if none finished yet.
+pub fn trace_known(trace: u64) -> bool {
+    TRACES.lock().expect("trace index poisoned").contains_key(&trace)
+}
+
+/// Indexes a finished span under its trace (called from span close when
+/// collection is enabled and the span carries a nonzero trace id). Spans
+/// of unretained traces are skipped; spans of *evicted* traces are counted
+/// as drops but never re-create the key — a resurrected trace would serve
+/// a rootless partial tree.
+pub(crate) fn record(fin: FinishedSpan) {
+    debug_assert_ne!(fin.trace, 0);
+    let mut dropped = false;
+    {
+        let mut traces = TRACES.lock().expect("trace index poisoned");
+        match traces.get_mut(&fin.trace) {
+            Some(spans) if spans.len() < MAX_TRACE_SPANS => spans.push(fin),
+            Some(_) => dropped = true,
+            None => dropped = fin.trace <= EVICTED_HWM.load(Ordering::Relaxed),
+        }
     }
     if dropped {
         crate::counter_add("obs.trace_spans_dropped", 1);
@@ -116,4 +159,5 @@ pub fn trace_spans(trace: u64) -> Vec<FinishedSpan> {
 
 pub(crate) fn clear() {
     TRACES.lock().expect("trace index poisoned").clear();
+    EVICTED_HWM.store(0, Ordering::Relaxed);
 }

@@ -4,7 +4,8 @@
 //! the other test binaries' locks).
 
 use confmask_obs::{
-    capture, json, record_span, span, trace_spans, Report, Span, SpanContext, TraceId,
+    capture, json, record_span, release_trace, retain_trace, span, trace_known, trace_spans,
+    Report, Span, SpanContext, TraceId,
 };
 use std::sync::Mutex;
 use std::time::Duration;
@@ -28,8 +29,10 @@ fn lock() -> impl Drop {
 #[test]
 fn spans_stitch_across_a_thread_hop_under_one_trace() {
     let _g = lock();
-    // Accept side: mint a trace, open its root span.
+    // Accept side: mint a trace, retain it for indexing, open its root
+    // span (the index is opt-in: only retained traces collect spans).
     let trace = TraceId::mint();
+    retain_trace(trace.get());
     let root = Span::child_of("request", SpanContext::root(trace));
     let ctx = root.context();
     assert_eq!(ctx.trace, trace.get());
@@ -86,6 +89,7 @@ fn concurrent_traces_never_interleave() {
     let contexts: Vec<(u64, SpanContext)> = (0..8)
         .map(|_| {
             let t = TraceId::mint();
+            retain_trace(t.get());
             (t.get(), SpanContext::root(t))
         })
         .collect();
@@ -137,6 +141,7 @@ fn untraced_context_degrades_to_a_plain_span() {
 fn traced_spans_still_land_in_thread_local_captures() {
     let _g = lock();
     let trace = TraceId::mint();
+    retain_trace(trace.get());
     let ((), captured) = capture(|| {
         let root = Span::child_of("request", SpanContext::root(trace));
         span("inner").finish();
@@ -150,20 +155,63 @@ fn traced_spans_still_land_in_thread_local_captures() {
 }
 
 #[test]
-fn the_trace_index_evicts_oldest_and_bounds_per_trace_spans() {
+fn the_trace_index_evicts_oldest_and_never_resurrects_evicted_traces() {
     let _g = lock();
     let first = TraceId::mint();
+    retain_trace(first.get());
     record_span("s", SpanContext::root(first), 0, Duration::from_micros(1));
-    // 512 further traces push the first one out (the index holds 512).
+    // 512 further retained traces push the first one out (the index
+    // holds 512).
     let mut last = first;
     for _ in 0..512 {
         last = TraceId::mint();
+        retain_trace(last.get());
         record_span("s", SpanContext::root(last), 0, Duration::from_micros(1));
     }
     assert!(trace_spans(first.get()).is_empty(), "oldest trace evicted");
+    assert!(!trace_known(first.get()));
     assert_eq!(trace_spans(last.get()).len(), 1, "newest trace retained");
     let report = confmask_obs::report();
     assert_eq!(report.counter("obs.traces_evicted"), Some(1));
+
+    // A span finishing *after* its trace was evicted (a worker outliving
+    // the index slot) is dropped — it must not resurrect the key as a
+    // rootless partial tree.
+    record_span("late", SpanContext::root(first), 0, Duration::from_micros(1));
+    assert!(trace_spans(first.get()).is_empty(), "evicted trace stays gone");
+    let report = confmask_obs::report();
+    assert_eq!(report.counter("obs.trace_spans_dropped"), Some(1));
+}
+
+#[test]
+fn only_retained_traces_claim_index_slots() {
+    let _g = lock();
+    // An unretained trace (a status poll, a health check) records into
+    // the global collector but never claims one of the index slots.
+    let poll = TraceId::mint();
+    let root = Span::child_of("poll", SpanContext::root(poll));
+    root.finish();
+    assert!(!trace_known(poll.get()));
+    assert!(trace_spans(poll.get()).is_empty());
+    assert!(
+        confmask_obs::report().spans.iter().any(|s| s.name == "poll"),
+        "unretained spans still reach the global collector"
+    );
+
+    // Retaining is idempotent and makes the trace queryable even before
+    // any span finishes; releasing (a rejected submission) frees the slot
+    // and later spans are skipped without counting as drops.
+    let job = TraceId::mint();
+    retain_trace(job.get());
+    retain_trace(job.get());
+    assert!(trace_known(job.get()));
+    assert!(trace_spans(job.get()).is_empty(), "retained but no spans yet");
+    release_trace(job.get());
+    assert!(!trace_known(job.get()));
+    record_span("after-release", SpanContext::root(job), 0, Duration::from_micros(1));
+    assert!(trace_spans(job.get()).is_empty());
+    let report = confmask_obs::report();
+    assert_eq!(report.counter("obs.trace_spans_dropped"), None);
 }
 
 #[test]

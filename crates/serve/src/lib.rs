@@ -329,6 +329,7 @@ fn spawn_requeue(
                 // record points at whichever trace actually ran the job.
                 let trace = confmask_obs::TraceId::mint();
                 store.set_trace(id, trace.get());
+                confmask_obs::retain_trace(trace.get());
                 let mut job = QueuedJob {
                     id,
                     configs: sub.configs,
@@ -364,16 +365,27 @@ struct InFlight;
 
 impl InFlight {
     fn enter() -> InFlight {
-        let now = IN_FLIGHT.fetch_add(1, Ordering::Relaxed) + 1;
-        confmask_obs::gauge_set("serve.http.in_flight", now as f64);
+        IN_FLIGHT.fetch_add(1, Ordering::Relaxed);
+        // Publish a fresh read rather than the RMW's local result: two
+        // racing threads can still order their gauge_set calls either way,
+        // but each published value reflects the counter at publish time,
+        // so the gauge re-converges on the very next update instead of
+        // holding a value the counter never had.
+        confmask_obs::gauge_set(
+            "serve.http.in_flight",
+            IN_FLIGHT.load(Ordering::Relaxed) as f64,
+        );
         InFlight
     }
 }
 
 impl Drop for InFlight {
     fn drop(&mut self) {
-        let now = IN_FLIGHT.fetch_sub(1, Ordering::Relaxed) - 1;
-        confmask_obs::gauge_set("serve.http.in_flight", now as f64);
+        IN_FLIGHT.fetch_sub(1, Ordering::Relaxed);
+        confmask_obs::gauge_set(
+            "serve.http.in_flight",
+            IN_FLIGHT.load(Ordering::Relaxed) as f64,
+        );
     }
 }
 

@@ -100,6 +100,12 @@ fn submit(req: &Request, state: &ServerState, ctx: SpanContext) -> Response {
         }
     };
     state.store.set_trace(id, ctx.trace);
+    // Claim the trace-index slot *before* the queue push: a worker can pop
+    // the job and finish spans instantly, and an unretained trace would
+    // drop them. Only accepted submissions keep their slot (released again
+    // below on 429/503), so polls, probes, and rejected floods never evict
+    // a live job's trace.
+    confmask_obs::retain_trace(ctx.trace);
     let job = QueuedJob {
         id,
         configs: sub.configs,
@@ -117,6 +123,7 @@ fn submit(req: &Request, state: &ServerState, ctx: SpanContext) -> Response {
         }
         Err(PushError::Full(_)) => {
             state.store.remove(id);
+            confmask_obs::release_trace(ctx.trace);
             confmask_obs::counter_add("serve.jobs_rejected", 1);
             Response::error(
                 429,
@@ -126,6 +133,7 @@ fn submit(req: &Request, state: &ServerState, ctx: SpanContext) -> Response {
         }
         Err(PushError::Closed(_)) => {
             state.store.remove(id);
+            confmask_obs::release_trace(ctx.trace);
             confmask_obs::counter_add("serve.jobs_rejected", 1);
             Response::error(503, "shutting down")
         }
@@ -162,8 +170,9 @@ fn job_artifacts(id: u64, state: &ServerState) -> Response {
 
 /// `GET /v1/jobs/{id}/trace`: the assembled span tree of the request that
 /// admitted (or requeued) the job. 404 for unknown jobs, 409 when no
-/// trace exists — the job predates this process (recovered but not yet
-/// re-run) or its trace aged out of the bounded index.
+/// spans are available — the job predates this process (recovered but not
+/// yet re-run), its first span has not finished yet, or its trace aged
+/// out of the bounded index.
 fn job_trace(id: u64, state: &ServerState) -> Response {
     let Some(record) = state.store.get(id) else {
         return Response::error(404, &format!("no such job 'j{id}'"));
@@ -176,10 +185,15 @@ fn job_trace(id: u64, state: &ServerState) -> Response {
     }
     let spans = confmask_obs::trace_spans(record.trace);
     if spans.is_empty() {
-        return Response::error(
-            409,
-            &format!("trace for job 'j{id}' was evicted from the trace index"),
-        );
+        // The submitting request's own span is only indexed after its
+        // response is written, so a trace GET racing a fresh 202 can see a
+        // retained-but-empty trace — transient, unlike an eviction.
+        let message = if confmask_obs::trace_known(record.trace) {
+            format!("trace for job 'j{id}' has no spans recorded yet; retry shortly")
+        } else {
+            format!("trace for job 'j{id}' was evicted from the trace index")
+        };
+        return Response::error(409, &message);
     }
     Response::json(200, wire::encode_trace(&record, &spans))
 }
