@@ -1,6 +1,6 @@
 //! Hand-rolled argument parsing (no external dependencies).
 
-use confmask::{EquivalenceMode, Params};
+use confmask::{EquivalenceMode, Params, Vendor};
 use std::path::PathBuf;
 
 /// A parsed CLI invocation.
@@ -18,6 +18,8 @@ pub enum Command {
         pii: bool,
         /// Verify equivalence under failure up to this k after anonymizing.
         verify_failures: Option<usize>,
+        /// Configuration dialect (`None` = auto-detect).
+        vendor: Option<Vendor>,
     },
     /// Sweep failure scenarios; optionally verify equivalence under failure.
     Failures {
@@ -34,6 +36,8 @@ pub enum Command {
         /// Bypass the incremental simulation engine: every scenario runs a
         /// full cold simulation (the pre-delta behaviour).
         cold_sim: bool,
+        /// Configuration dialect (`None` = auto-detect).
+        vendor: Option<Vendor>,
     },
     /// Simulate a configuration directory and report the data plane.
     Simulate {
@@ -53,6 +57,9 @@ pub enum Command {
         network: char,
         /// Output directory.
         output: PathBuf,
+        /// Dialect to emit the fixture in (`None` = IOS, the canonical
+        /// default — there is nothing to auto-detect when generating).
+        vendor: Option<Vendor>,
     },
     /// Pretty-print a metrics report written by `--metrics-out`.
     ObsReport {
@@ -111,6 +118,8 @@ pub enum Command {
         poll_ms: u64,
         /// Ask the daemon to drain and exit instead of submitting.
         shutdown: bool,
+        /// Configuration dialect (`None` = auto-detect).
+        vendor: Option<Vendor>,
     },
     /// Print usage.
     Help,
@@ -154,13 +163,16 @@ USAGE:
                      [--fake-routers N] [--max-retries N]
                      [--stage-deadline-secs S] [--verify-failures K]
                      [--mode confmask|strawman1|strawman2] [--pii]
+                     [--vendor auto|ios|junos-set|eos]
   confmask failures  [--input <dir>] [--k N] [--verify-failures K]
                      [--k2-sample N] [--seed N] [--k-r N] [--k-h N]
                      [--fake-routers N] [--max-retries N]
                      [--stage-deadline-secs S] [--cold-sim]
+                     [--vendor auto|ios|junos-set|eos]
   confmask simulate  --input <dir> [--trace <src> <dst>]
   confmask inspect   --input <dir>
   confmask generate  --network <A..H> --output <dir>
+                     [--vendor ios|junos-set|eos]   (alias: netgen)
   confmask obs-report <metrics.json | -> [--chrome-trace]
   confmask serve     [--addr H:P] [--workers N] [--queue-cap N]
                      [--job-timeout-secs S] [--state-dir <dir>]
@@ -173,10 +185,16 @@ USAGE:
                      [--seed N] [--k-r N] [--k-h N] [--noise P]
                      [--fake-routers N] [--max-retries N]
                      [--stage-deadline-secs S] [--mode ...]
+                     [--vendor auto|ios|junos-set|eos]
   confmask submit    [--addr H:P] --shutdown
   confmask help
 
-Directories contain routers/*.cfg and hosts/*.cfg. `failures` sweeps the
+Directories contain routers/*.cfg and hosts/*.cfg, in any supported
+configuration dialect: Cisco IOS (`ios`, the canonical default),
+Juniper flat set-statements (`junos-set`), or Arista EOS (`eos`).
+`--vendor auto` (the default) sniffs the dialect per bundle; outputs
+are written in the same dialect the input arrived in, and `generate
+--vendor` emits any evaluation network in any dialect. `failures` sweeps the
 input network itself, or — with --verify-failures — anonymizes it first
 and checks that original and anonymized degrade identically; it uses the
 bundled university network when --input is omitted. Sweeps reuse the
@@ -236,6 +254,14 @@ fn parse_value<'a, T: std::str::FromStr>(
     take_value(args, flag)?
         .parse()
         .map_err(|_| ArgError(format!("{flag} expects {expects}")))
+}
+
+/// Parses a `--vendor` value: `auto` means sniff the input.
+fn vendor_value<'a>(it: &mut impl Iterator<Item = &'a str>) -> Result<Option<Vendor>, ArgError> {
+    match take_value(it, "--vendor")? {
+        "auto" => Ok(None),
+        other => other.parse().map(Some).map_err(ArgError),
+    }
 }
 
 /// Handles the [`Params`]-tweaking flags shared by `anonymize` and
@@ -303,6 +329,7 @@ fn parse_command(argv: &[&str]) -> Result<Command, ArgError> {
             let mut params = Params::default();
             let mut pii = false;
             let mut verify_failures = None;
+            let mut vendor = None;
             while let Some(flag) = it.next() {
                 if params_flag(flag, &mut it, &mut params)? {
                     continue;
@@ -314,6 +341,7 @@ fn parse_command(argv: &[&str]) -> Result<Command, ArgError> {
                     "--verify-failures" => {
                         verify_failures = Some(parse_value(&mut it, flag, "an integer")?)
                     }
+                    "--vendor" => vendor = vendor_value(&mut it)?,
                     other => return Err(ArgError(format!("unknown flag '{other}'"))),
                 }
             }
@@ -323,6 +351,7 @@ fn parse_command(argv: &[&str]) -> Result<Command, ArgError> {
                 params,
                 pii,
                 verify_failures,
+                vendor,
             })
         }
         "failures" => {
@@ -332,6 +361,7 @@ fn parse_command(argv: &[&str]) -> Result<Command, ArgError> {
             let mut verify = None;
             let mut k2_sample = 5;
             let mut cold_sim = false;
+            let mut vendor = None;
             while let Some(flag) = it.next() {
                 if params_flag(flag, &mut it, &mut params)? {
                     continue;
@@ -344,6 +374,7 @@ fn parse_command(argv: &[&str]) -> Result<Command, ArgError> {
                     }
                     "--k2-sample" => k2_sample = parse_value(&mut it, flag, "an integer")?,
                     "--cold-sim" => cold_sim = true,
+                    "--vendor" => vendor = vendor_value(&mut it)?,
                     other => return Err(ArgError(format!("unknown flag '{other}'"))),
                 }
             }
@@ -354,6 +385,7 @@ fn parse_command(argv: &[&str]) -> Result<Command, ArgError> {
                 verify,
                 k2_sample,
                 cold_sim,
+                vendor,
             })
         }
         "simulate" => {
@@ -387,9 +419,10 @@ fn parse_command(argv: &[&str]) -> Result<Command, ArgError> {
                 input: input.ok_or_else(|| ArgError("--input is required".into()))?,
             })
         }
-        "generate" => {
+        "generate" | "netgen" => {
             let mut network = None;
             let mut output = None;
+            let mut vendor = None;
             while let Some(flag) = it.next() {
                 match flag {
                     "--network" => {
@@ -401,12 +434,14 @@ fn parse_command(argv: &[&str]) -> Result<Command, ArgError> {
                         network = Some(c);
                     }
                     "--output" => output = Some(PathBuf::from(take_value(&mut it, flag)?)),
+                    "--vendor" => vendor = vendor_value(&mut it)?,
                     other => return Err(ArgError(format!("unknown flag '{other}'"))),
                 }
             }
             Ok(Command::Generate {
                 network: network.ok_or_else(|| ArgError("--network is required".into()))?,
                 output: output.ok_or_else(|| ArgError("--output is required".into()))?,
+                vendor,
             })
         }
         "obs-report" => {
@@ -519,6 +554,7 @@ fn parse_command(argv: &[&str]) -> Result<Command, ArgError> {
             let mut output = None;
             let mut poll_ms = 200;
             let mut shutdown = false;
+            let mut vendor = None;
             while let Some(flag) = it.next() {
                 if params_flag(flag, &mut it, &mut params)? {
                     continue;
@@ -530,6 +566,7 @@ fn parse_command(argv: &[&str]) -> Result<Command, ArgError> {
                     "--output" => output = Some(PathBuf::from(take_value(&mut it, flag)?)),
                     "--poll-ms" => poll_ms = parse_value(&mut it, flag, "an integer")?,
                     "--shutdown" => shutdown = true,
+                    "--vendor" => vendor = vendor_value(&mut it)?,
                     other => return Err(ArgError(format!("unknown flag '{other}'"))),
                 }
             }
@@ -545,6 +582,7 @@ fn parse_command(argv: &[&str]) -> Result<Command, ArgError> {
                 output,
                 poll_ms,
                 shutdown,
+                vendor,
             })
         }
         other => Err(ArgError(format!("unknown subcommand '{other}'\n\n{USAGE}"))),
@@ -577,6 +615,7 @@ mod tests {
                 params,
                 pii,
                 verify_failures,
+                ..
             } => {
                 assert_eq!(input, PathBuf::from("in"));
                 assert_eq!(output, PathBuf::from("out"));
@@ -662,6 +701,56 @@ mod tests {
         ));
         assert!(parse_cmd(&argv("generate --network X --output o")).is_err());
         assert!(parse_cmd(&argv("generate --network AB --output o")).is_err());
+    }
+
+    #[test]
+    fn netgen_is_an_alias_for_generate() {
+        assert!(matches!(
+            parse_cmd(&argv("netgen --network D --output o --vendor junos-set")).unwrap(),
+            Command::Generate {
+                network: 'D',
+                vendor: Some(Vendor::JunosSet),
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn vendor_flag_parses_on_every_command_that_takes_it() {
+        assert!(matches!(
+            parse_cmd(&argv("anonymize --input i --output o --vendor eos")).unwrap(),
+            Command::Anonymize {
+                vendor: Some(Vendor::Eos),
+                ..
+            }
+        ));
+        // `auto` is the default and means "sniff the input".
+        assert!(matches!(
+            parse_cmd(&argv("anonymize --input i --output o --vendor auto")).unwrap(),
+            Command::Anonymize { vendor: None, .. }
+        ));
+        assert!(matches!(
+            parse_cmd(&argv("anonymize --input i --output o")).unwrap(),
+            Command::Anonymize { vendor: None, .. }
+        ));
+        assert!(matches!(
+            parse_cmd(&argv("failures --vendor ios")).unwrap(),
+            Command::Failures {
+                vendor: Some(Vendor::Ios),
+                ..
+            }
+        ));
+        assert!(matches!(
+            parse_cmd(&argv("submit --input i --vendor junos-set")).unwrap(),
+            Command::Submit {
+                vendor: Some(Vendor::JunosSet),
+                ..
+            }
+        ));
+        // Unknown dialects are usage errors that name the expected set.
+        let e = parse_cmd(&argv("submit --input i --vendor nxos")).unwrap_err();
+        assert!(e.0.contains("unknown vendor 'nxos'"), "{}", e.0);
+        assert!(parse_cmd(&argv("submit --input i --vendor")).is_err());
     }
 
     #[test]
@@ -825,6 +914,7 @@ mod tests {
                 output,
                 poll_ms,
                 shutdown,
+                ..
             } => {
                 assert_eq!(addr, "127.0.0.1:7077");
                 assert_eq!(input, Some(PathBuf::from("net")));

@@ -2,7 +2,7 @@
 //! logic is testable without capturing stdout.
 
 use crate::args::Command;
-use crate::io::{load_dir, store_dir};
+use crate::io::{load_dir, load_dir_as, store_dir_as};
 use confmask::pii::{apply_pii, PiiOptions};
 use confmask::resilience::FailureEquivalenceReport;
 use confmask_sim::fault::{enumerate_scenarios, run_scenario};
@@ -41,6 +41,23 @@ impl From<String> for CmdError {
             code: EXIT_FATAL,
             message,
         }
+    }
+}
+
+/// Maps a configuration-directory I/O failure to its exit code: a file
+/// that exists but does not parse is a usage error (exit 2, like a bad
+/// flag — the user handed us input we cannot accept, and the message
+/// names the offending file), while missing paths and OS failures stay
+/// fatal (exit 1).
+fn load_err(e: std::io::Error) -> CmdError {
+    let code = if e.kind() == std::io::ErrorKind::InvalidData {
+        EXIT_USAGE
+    } else {
+        EXIT_FATAL
+    };
+    CmdError {
+        code,
+        message: e.to_string(),
     }
 }
 
@@ -147,11 +164,12 @@ pub fn run(cmd: Command) -> Result<String, CmdError> {
             params,
             pii,
             verify_failures,
+            vendor,
         } => {
-            let net = load_dir(&input).map_err(|e| e.to_string())?;
+            let (net, vendor) = load_dir_as(&input, vendor).map_err(load_err)?;
             confmask_obs::info!(
                 "cli.anonymize",
-                "anonymizing {} ({} routers, {} hosts) with k_R={}, k_H={}",
+                "anonymizing {} ({} routers, {} hosts, dialect {vendor}) with k_R={}, k_H={}",
                 input.display(),
                 net.routers.len(),
                 net.hosts.len(),
@@ -162,7 +180,7 @@ pub fn run(cmd: Command) -> Result<String, CmdError> {
             let mut report = String::new();
             let _ = writeln!(
                 report,
-                "anonymized {} routers / {} hosts (k_R={}, k_H={}, seed={})",
+                "anonymized {} routers / {} hosts (k_R={}, k_H={}, seed={}, dialect {vendor})",
                 net.routers.len(),
                 net.hosts.len(),
                 params.k_r,
@@ -198,8 +216,8 @@ pub fn run(cmd: Command) -> Result<String, CmdError> {
             } else {
                 result.configs.clone()
             };
-            store_dir(&final_configs, &output).map_err(|e| e.to_string())?;
-            let _ = writeln!(report, "wrote {}", output.display());
+            store_dir_as(&final_configs, &output, vendor).map_err(|e| e.to_string())?;
+            let _ = writeln!(report, "wrote {} ({} dialect)", output.display(), vendor);
             match verify_failures {
                 None => Ok(report),
                 Some(k) => {
@@ -216,10 +234,11 @@ pub fn run(cmd: Command) -> Result<String, CmdError> {
             verify,
             k2_sample,
             cold_sim,
+            vendor,
         } => {
             let (net, label) = match &input {
                 Some(dir) => (
-                    load_dir(dir).map_err(|e| e.to_string())?,
+                    load_dir_as(dir, vendor).map_err(load_err)?.0,
                     dir.display().to_string(),
                 ),
                 None => (
@@ -488,6 +507,7 @@ pub fn run(cmd: Command) -> Result<String, CmdError> {
             output,
             poll_ms,
             shutdown,
+            vendor,
         } => {
             use confmask_serve::{client, wire};
             if shutdown {
@@ -504,8 +524,8 @@ pub fn run(cmd: Command) -> Result<String, CmdError> {
                 return Ok(format!("daemon at {addr} is draining\n"));
             }
             let input = input.expect("parser requires --input without --shutdown");
-            let net = load_dir(&input).map_err(|e| e.to_string())?;
-            let body = wire::encode_submit(&net, &params);
+            let (net, vendor) = load_dir_as(&input, vendor).map_err(load_err)?;
+            let body = wire::encode_submit(&net, &params, vendor);
             let resp = client::post(&addr, "/v1/jobs", &body)
                 .map_err(|e| format!("cannot reach {addr}: {e}"))?;
             if resp.status != 202 {
@@ -519,7 +539,7 @@ pub fn run(cmd: Command) -> Result<String, CmdError> {
             let id = wire::decode_job_created(&resp.body)
                 .map_err(|e| format!("malformed daemon response: {e}"))?;
             let mut report = String::new();
-            let _ = writeln!(report, "submitted job {id} to {addr}");
+            let _ = writeln!(report, "submitted job {id} to {addr} ({vendor} dialect)");
             if !wait {
                 return Ok(report);
             }
@@ -583,18 +603,26 @@ pub fn run(cmd: Command) -> Result<String, CmdError> {
             }
             Ok(report)
         }
-        Command::Generate { network, output } => {
+        Command::Generate {
+            network,
+            output,
+            vendor,
+        } => {
             let suite = confmask_netgen::full_suite();
             let net = suite
                 .iter()
                 .find(|n| n.id == network)
                 .ok_or_else(|| format!("no evaluation network '{network}'"))?;
-            store_dir(&net.configs, &output).map_err(|e| e.to_string())?;
+            // Nothing to sniff when generating: default to the canonical
+            // IOS dialect.
+            let vendor = vendor.unwrap_or(confmask::Vendor::Ios);
+            store_dir_as(&net.configs, &output, vendor).map_err(|e| e.to_string())?;
             Ok(format!(
-                "wrote net {} ({}) to {}\n",
+                "wrote net {} ({}) to {} ({} dialect)\n",
                 net.id,
                 net.name,
-                output.display()
+                output.display(),
+                vendor
             ))
         }
     }
@@ -603,6 +631,7 @@ pub fn run(cmd: Command) -> Result<String, CmdError> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::io::store_dir;
     use confmask::Params;
     use std::path::PathBuf;
 
@@ -620,6 +649,7 @@ mod tests {
         let out = run(Command::Generate {
             network: 'A',
             output: src.clone(),
+            vendor: None,
         })
         .unwrap();
         assert!(out.contains("Enterprise"));
@@ -634,6 +664,7 @@ mod tests {
             params: Params::new(4, 2),
             pii: true,
             verify_failures: None,
+            vendor: None,
         })
         .unwrap();
         assert!(out.contains("functional equivalence: true"));
@@ -657,6 +688,7 @@ mod tests {
         run(Command::Generate {
             network: 'A',
             output: dir.clone(),
+            vendor: None,
         })
         .unwrap();
         let out = run(Command::Simulate {
@@ -680,6 +712,7 @@ mod tests {
             verify: None,
             k2_sample: 0,
             cold_sim: false,
+            vendor: None,
         })
         .unwrap();
         assert!(out.contains("failure sweep"), "{out}");
@@ -692,6 +725,7 @@ mod tests {
             verify: None,
             k2_sample: 0,
             cold_sim: true,
+            vendor: None,
         })
         .unwrap();
         assert_eq!(out, cold, "incremental and cold sweeps must agree");
@@ -709,6 +743,7 @@ mod tests {
             verify: Some(1),
             k2_sample: 0,
             cold_sim: false,
+            vendor: None,
         })
         .unwrap();
         assert!(out.contains("classes match"), "{out}");
@@ -782,6 +817,7 @@ mod tests {
         run(Command::Generate {
             network: 'A',
             output: src.clone(),
+            vendor: None,
         })
         .unwrap();
 
@@ -803,6 +839,7 @@ mod tests {
             output: Some(dst.clone()),
             poll_ms: 10,
             shutdown: false,
+            vendor: None,
         })
         .unwrap();
         assert!(out.contains("submitted job j1"), "{out}");
@@ -820,6 +857,7 @@ mod tests {
             output: None,
             poll_ms: 10,
             shutdown: true,
+            vendor: None,
         })
         .unwrap();
         assert!(out.contains("draining"), "{out}");
@@ -835,6 +873,7 @@ mod tests {
             output: None,
             poll_ms: 10,
             shutdown: false,
+            vendor: None,
         })
         .unwrap_err();
         assert_eq!(err.code, EXIT_FATAL);
@@ -853,6 +892,45 @@ mod tests {
     }
 
     #[test]
+    fn unparseable_config_is_a_usage_error_naming_the_file() {
+        let dir = tmp("parse-exit");
+        std::fs::create_dir_all(dir.join("routers")).unwrap();
+        std::fs::write(dir.join("routers/ok.cfg"), "hostname ok\n!\n").unwrap();
+        std::fs::write(
+            dir.join("routers/broken.cfg"),
+            "hostname x\n!\nrouter ospf 1\n garbage here\n",
+        )
+        .unwrap();
+        let err = run(Command::Anonymize {
+            input: dir.clone(),
+            output: dir.join("out"),
+            params: Params::default(),
+            pii: false,
+            verify_failures: None,
+            vendor: None,
+        })
+        .unwrap_err();
+        // A file that exists but cannot be parsed is exit 2 (bad input),
+        // and the message pinpoints file and line — not exit 1 with a
+        // bare line number.
+        assert_eq!(err.code, EXIT_USAGE, "{}", err.message);
+        assert!(err.message.contains("broken.cfg"), "{}", err.message);
+        assert!(err.message.contains("line 4"), "{}", err.message);
+        // A missing directory stays fatal (exit 1).
+        let err = run(Command::Anonymize {
+            input: PathBuf::from("/definitely/not/here"),
+            output: dir.join("out"),
+            params: Params::default(),
+            pii: false,
+            verify_failures: None,
+            vendor: None,
+        })
+        .unwrap_err();
+        assert_eq!(err.code, EXIT_FATAL);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
     fn errors_are_reported_not_panicked() {
         assert!(run(Command::Inspect {
             input: PathBuf::from("/definitely/not/here"),
@@ -862,6 +940,7 @@ mod tests {
         run(Command::Generate {
             network: 'A',
             output: dir.clone(),
+            vendor: None,
         })
         .unwrap();
         assert!(run(Command::Simulate {

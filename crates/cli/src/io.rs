@@ -3,16 +3,28 @@
 //! Layout: `<dir>/routers/*.cfg` and `<dir>/hosts/*.cfg` (hosts optional
 //! but a network without hosts has an empty data plane).
 
-use confmask_config::{parse_host, parse_router, NetworkConfigs};
+use confmask_config::{parse_host_as, parse_router_as, NetworkConfigs, Vendor};
 use std::fs;
 use std::io;
 use std::path::Path;
 
-/// Loads a configuration directory.
+/// Loads a configuration directory, auto-detecting the dialect (shorthand
+/// for [`load_dir_as`] with `None`).
 pub fn load_dir(dir: &Path) -> io::Result<NetworkConfigs> {
-    let mut routers = Vec::new();
-    let mut hosts = Vec::new();
+    load_dir_as(dir, None).map(|(net, _)| net)
+}
 
+/// Loads a configuration directory in the given dialect (`None` sniffs the
+/// bundle via [`Vendor::sniff_all`]) and reports which dialect was used.
+///
+/// Parse failures carry the offending file's path (via
+/// [`confmask_config::ParseError::with_file`]) and surface as
+/// [`io::ErrorKind::InvalidData`], which the CLI maps to exit code 2 — a
+/// broken file inside a 100-router directory names itself.
+pub fn load_dir_as(
+    dir: &Path,
+    vendor: Option<Vendor>,
+) -> io::Result<(NetworkConfigs, Vendor)> {
     let routers_dir = dir.join("routers");
     if !routers_dir.is_dir() {
         return Err(io::Error::new(
@@ -20,37 +32,56 @@ pub fn load_dir(dir: &Path) -> io::Result<NetworkConfigs> {
             format!("{} has no routers/ subdirectory", dir.display()),
         ));
     }
+
+    // Two passes: read every file first so auto-detection can vote over
+    // the whole bundle before any parser runs.
+    let mut router_texts = Vec::new();
     for entry in sorted_cfg_files(&routers_dir)? {
         let text = fs::read_to_string(&entry)?;
-        let rc = parse_router(&text).map_err(|e| {
-            io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("{}: {e}", entry.display()),
-            )
-        })?;
-        routers.push(rc);
+        router_texts.push((entry, text));
     }
-
+    let mut host_texts = Vec::new();
     let hosts_dir = dir.join("hosts");
     if hosts_dir.is_dir() {
         for entry in sorted_cfg_files(&hosts_dir)? {
             let text = fs::read_to_string(&entry)?;
-            let hc = parse_host(&text).map_err(|e| {
-                io::Error::new(
-                    io::ErrorKind::InvalidData,
-                    format!("{}: {e}", entry.display()),
-                )
-            })?;
-            hosts.push(hc);
+            host_texts.push((entry, text));
         }
     }
 
-    Ok(NetworkConfigs::new(routers, hosts))
+    let vendor = vendor
+        .unwrap_or_else(|| Vendor::sniff_all(router_texts.iter().map(|(_, t)| t.as_str())));
+
+    let mut routers = Vec::new();
+    for (entry, text) in &router_texts {
+        let rc = parse_router_as(vendor, text).map_err(|e| {
+            let e = e.with_file(entry.display().to_string());
+            io::Error::new(io::ErrorKind::InvalidData, e.to_string())
+        })?;
+        routers.push(rc);
+    }
+    let mut hosts = Vec::new();
+    for (entry, text) in &host_texts {
+        let hc = parse_host_as(vendor, text).map_err(|e| {
+            let e = e.with_file(entry.display().to_string());
+            io::Error::new(io::ErrorKind::InvalidData, e.to_string())
+        })?;
+        hosts.push(hc);
+    }
+
+    Ok((NetworkConfigs::new(routers, hosts), vendor))
 }
 
-/// Writes a network to a configuration directory (created if missing;
-/// refuses to write into a directory that already contains `routers/`).
+/// Writes a network in the canonical IOS dialect (shorthand for
+/// [`store_dir_as`] with [`Vendor::Ios`]).
 pub fn store_dir(net: &NetworkConfigs, dir: &Path) -> io::Result<()> {
+    store_dir_as(net, dir, Vendor::Ios)
+}
+
+/// Writes a network to a configuration directory in the given dialect
+/// (created if missing; refuses to write into a directory that already
+/// contains `routers/`).
+pub fn store_dir_as(net: &NetworkConfigs, dir: &Path, vendor: Vendor) -> io::Result<()> {
     let routers_dir = dir.join("routers");
     if routers_dir.exists() {
         return Err(io::Error::new(
@@ -62,10 +93,16 @@ pub fn store_dir(net: &NetworkConfigs, dir: &Path) -> io::Result<()> {
     let hosts_dir = dir.join("hosts");
     fs::create_dir_all(&hosts_dir)?;
     for (name, rc) in &net.routers {
-        fs::write(routers_dir.join(format!("{}.cfg", sanitize(name))), rc.emit())?;
+        fs::write(
+            routers_dir.join(format!("{}.cfg", sanitize(name))),
+            rc.emit_as(vendor),
+        )?;
     }
     for (name, hc) in &net.hosts {
-        fs::write(hosts_dir.join(format!("{}.cfg", sanitize(name))), hc.emit())?;
+        fs::write(
+            hosts_dir.join(format!("{}.cfg", sanitize(name))),
+            hc.emit_as(vendor),
+        )?;
     }
     Ok(())
 }
@@ -137,8 +174,42 @@ mod tests {
         )
         .unwrap();
         let err = load_dir(&dir).unwrap_err();
-        assert!(err.to_string().contains("broken.cfg"), "{err}");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        // The message names the broken file, its line, and the problem —
+        // not just a bare line number in an unnamed file.
+        let msg = err.to_string();
+        assert!(msg.contains("broken.cfg"), "{msg}");
+        assert!(msg.contains("line 4"), "{msg}");
         fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn bad_host_config_reports_file_name() {
+        let dir = tmpdir("badhost");
+        let net = confmask_netgen::smallnets::example_network();
+        store_dir(&net, &dir).unwrap();
+        fs::write(dir.join("hosts/evil.cfg"), "hostname h\n!\ninterface eth0\n ip address nope 255.255.255.0\n!\n").unwrap();
+        let err = load_dir(&dir).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("evil.cfg"), "{err}");
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn round_trips_in_every_dialect() {
+        let net = confmask_netgen::smallnets::example_network();
+        for vendor in Vendor::ALL {
+            let dir = tmpdir(&format!("dialect-{vendor}"));
+            store_dir_as(&net, &dir, vendor).unwrap();
+            // Explicit dialect and auto-detection load the same model.
+            let (explicit, v) = load_dir_as(&dir, Some(vendor)).unwrap();
+            assert_eq!(v, vendor);
+            assert_eq!(explicit, net, "explicit {vendor} round-trip");
+            let (sniffed, v) = load_dir_as(&dir, None).unwrap();
+            assert_eq!(v, vendor, "auto-detection picks {vendor}");
+            assert_eq!(sniffed, net, "sniffed {vendor} round-trip");
+            fs::remove_dir_all(&dir).unwrap();
+        }
     }
 
     #[test]

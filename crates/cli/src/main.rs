@@ -26,6 +26,7 @@ fn main() {
     // keys stable whether or not the command ever touched them.
     confmask_obs::set_enabled(obs.metrics_out.is_some());
     if obs.metrics_out.is_some() {
+        confmask_config::register_metrics();
         confmask_sim_delta::register_metrics();
         confmask_exec::register_metrics();
     }

@@ -1,0 +1,101 @@
+//! Dialect auto-detection (`--vendor auto`).
+//!
+//! Heuristic per-line voting, deterministic by construction:
+//!
+//! * any `set ...` statement votes for `junos-set` (no other dialect has
+//!   them) — a single vote decides, since IOS/EOS files never start a
+//!   line with `set`;
+//! * a literal `ip routing` line is a strong EOS vote, and CIDR-shaped
+//!   `ip address A/L`, `ip route P NH`, `network P [area N]` lines are
+//!   weak EOS votes (IOS writes dotted masks and wildcards there);
+//! * anything else is IOS, the canonical default.
+//!
+//! Interface names containing `/` (e.g. `GigabitEthernet1/0/13`) appear
+//! only in `interface X` lines, which no rule below inspects, so they
+//! cannot skew the vote. Prefix-list entries use `net/len` in every
+//! dialect and are likewise ignored.
+
+use crate::codec::Vendor;
+
+/// One line's vote: `(junos, eos)` score deltas.
+fn vote(trimmed: &str) -> (u32, u32) {
+    if trimmed.starts_with("set ") {
+        return (1, 0);
+    }
+    if trimmed == "ip routing" {
+        return (0, 2);
+    }
+    let words: Vec<&str> = trimmed.split_whitespace().collect();
+    let cidr = |w: &str| w.contains('/');
+    let eos = match words.as_slice() {
+        ["ip", "address", a] => cidr(a),
+        ["ip", "route", p, _] => cidr(p),
+        ["network", p] => cidr(p),
+        ["network", p, "area", _] => cidr(p),
+        _ => false,
+    };
+    (0, eos as u32)
+}
+
+/// Guesses the dialect of one configuration file.
+pub fn sniff(text: &str) -> Vendor {
+    let mut junos = 0u32;
+    let mut eos = 0u32;
+    for line in text.lines() {
+        let (j, e) = vote(line.trim());
+        junos += j;
+        eos += e;
+    }
+    if junos > 0 {
+        Vendor::JunosSet
+    } else if eos > 0 {
+        Vendor::Eos
+    } else {
+        Vendor::Ios
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::{codec, Vendor};
+    use crate::model::{Interface, RouterConfig};
+
+    #[test]
+    fn detects_each_dialect() {
+        assert_eq!(sniff("hostname r1\n!\n"), Vendor::Ios);
+        assert_eq!(sniff("set system host-name r1\n"), Vendor::JunosSet);
+        assert_eq!(sniff("hostname r1\n!\nip routing\n!\n"), Vendor::Eos);
+        assert_eq!(
+            sniff("hostname r1\n!\ninterface Ethernet1\n ip address 10.0.0.1/31\n!\n"),
+            Vendor::Eos
+        );
+    }
+
+    #[test]
+    fn ios_interface_names_with_slashes_do_not_look_like_eos() {
+        let text = "\
+hostname c2
+!
+interface GigabitEthernet1/0/13
+ ip address 10.25.17.25 255.255.255.254
+!
+ip prefix-list RejPfxs seq 5 deny 10.9.0.0/24
+!
+ip route 10.5.0.0 255.255.255.0 10.0.0.1
+!
+";
+        assert_eq!(sniff(text), Vendor::Ios);
+    }
+
+    #[test]
+    fn sniffing_canonical_emission_recovers_every_vendor() {
+        let mut cfg = RouterConfig::new("r1");
+        cfg.interfaces
+            .push(Interface::new("Ethernet0/0", "10.0.0.1".parse().unwrap(), 31));
+        for vendor in Vendor::ALL {
+            let text = codec(vendor).emit_router(&cfg);
+            assert_eq!(sniff(&text), vendor, "sniff(emit_{vendor})");
+        }
+    }
+}

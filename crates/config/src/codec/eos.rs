@@ -1,0 +1,333 @@
+//! The Arista-EOS-style codec: IOS-shaped stanzas with dialect quirks.
+//!
+//! EOS shares the IOS stanza structure (and therefore the IOS FSM driver
+//! and most of its transition table), differing in line shapes only:
+//!
+//! * a top-level `ip routing` statement is always emitted right after the
+//!   hostname block and recognized-but-dropped on parse (it carries no
+//!   model state — the simulator always routes);
+//! * interface addresses are CIDR (`ip address 10.0.0.1/31`) instead of
+//!   address + mask;
+//! * OSPF/RIP/BGP network statements and static routes name prefixes as
+//!   `net/len` (no wildcard or subnet masks, no `mask` keyword);
+//! * RIP has no `version 2` line.
+//!
+//! The fallback policy is identical to IOS: unknown top-level/interface
+//! lines are preserved verbatim, unknown protocol-block lines rejected.
+
+use crate::codec::fsm::{Caps, Rule, Tok};
+use crate::codec::ios::{
+    self, parse_addr, parse_cidr_addr, parse_prefix, parse_router_with, parse_host_with,
+    Builder, HostBuilder, HostState, S,
+};
+use crate::codec::{ParseError, ParseStats, Vendor, VendorCodec};
+use crate::model::*;
+use std::fmt::Write as _;
+
+type Result<T> = std::result::Result<T, ParseError>;
+
+// --- EOS-specific actions (CIDR line shapes) --------------------------------
+
+fn ip_routing(_b: &mut Builder, _c: &Caps<'_>) -> Result<()> {
+    Ok(())
+}
+
+fn iface_address(b: &mut Builder, c: &Caps<'_>) -> Result<()> {
+    let address = parse_cidr_addr(c.lineno, c.arg(0))?;
+    b.iface(c.lineno)?.address = Some(address);
+    Ok(())
+}
+
+fn ospf_network(b: &mut Builder, c: &Caps<'_>) -> Result<()> {
+    let area = c.arg(1);
+    let statement = NetworkStatement {
+        prefix: parse_prefix(c.lineno, c.arg(0))?,
+        area: area
+            .parse()
+            .map_err(|_| crate::codec::err(c.lineno, format!("bad area '{area}'")))?,
+        added: false,
+    };
+    b.ospf(c.lineno)?.networks.push(statement);
+    Ok(())
+}
+
+fn rip_network(b: &mut Builder, c: &Caps<'_>) -> Result<()> {
+    let statement = NetworkStatement {
+        prefix: parse_prefix(c.lineno, c.arg(0))?,
+        area: 0,
+        added: false,
+    };
+    b.rip(c.lineno)?.networks.push(statement);
+    Ok(())
+}
+
+fn bgp_network(b: &mut Builder, c: &Caps<'_>) -> Result<()> {
+    let statement = NetworkStatement {
+        prefix: parse_prefix(c.lineno, c.arg(0))?,
+        area: 0,
+        added: false,
+    };
+    b.bgp(c.lineno)?.networks.push(statement);
+    Ok(())
+}
+
+fn static_route(b: &mut Builder, c: &Caps<'_>) -> Result<()> {
+    b.cfg.static_routes.push(StaticRoute {
+        prefix: parse_prefix(c.lineno, c.arg(0))?,
+        next_hop: parse_addr(c.lineno, c.arg(1))?,
+        added: false,
+    });
+    Ok(())
+}
+
+use Tok::{Arg, Kw, Rest};
+
+/// The EOS transition table: the IOS table with CIDR-shaped rules
+/// substituted, `ip routing` accepted, and RIP's `version` rule dropped.
+const ROUTER_TABLE: &[Rule<S, Builder>] = &[
+    Rule { from: S::Top, pattern: &[Kw("hostname"), Arg], to: S::Top, action: ios::set_hostname },
+    Rule { from: S::Top, pattern: &[Kw("ip"), Kw("routing")], to: S::Top, action: ip_routing },
+    Rule { from: S::Top, pattern: &[Kw("interface"), Arg], to: S::Iface, action: ios::open_interface },
+    Rule { from: S::Top, pattern: &[Kw("router"), Kw("ospf"), Arg], to: S::Ospf, action: ios::open_ospf },
+    Rule { from: S::Top, pattern: &[Kw("router"), Kw("rip")], to: S::Rip, action: ios::open_rip },
+    Rule { from: S::Top, pattern: &[Kw("router"), Kw("bgp"), Arg], to: S::Bgp, action: ios::open_bgp },
+    Rule { from: S::Top, pattern: &[Kw("ip"), Kw("route"), Arg, Arg], to: S::Top, action: static_route },
+    Rule { from: S::Top, pattern: &[Kw("ip"), Kw("prefix-list"), Arg, Kw("seq"), Arg, Arg, Arg], to: S::Top, action: ios::add_prefix_list_entry },
+    Rule { from: S::Iface, pattern: &[Kw("ip"), Kw("address"), Arg], to: S::Iface, action: iface_address },
+    Rule { from: S::Iface, pattern: &[Kw("ip"), Kw("ospf"), Kw("cost"), Arg], to: S::Iface, action: ios::iface_ospf_cost },
+    Rule { from: S::Iface, pattern: &[Kw("shutdown")], to: S::Iface, action: ios::iface_shutdown },
+    Rule { from: S::Iface, pattern: &[Kw("description"), Rest], to: S::Iface, action: ios::iface_description },
+    Rule { from: S::Ospf, pattern: &[Kw("network"), Arg, Kw("area"), Arg], to: S::Ospf, action: ospf_network },
+    Rule { from: S::Ospf, pattern: &[Kw("distribute-list"), Kw("prefix"), Arg, Kw("in"), Arg], to: S::Ospf, action: ios::ospf_distribute_list },
+    Rule { from: S::Rip, pattern: &[Kw("network"), Arg], to: S::Rip, action: rip_network },
+    Rule { from: S::Rip, pattern: &[Kw("distribute-list"), Kw("prefix"), Arg, Kw("in"), Arg], to: S::Rip, action: ios::rip_distribute_list },
+    Rule { from: S::Bgp, pattern: &[Kw("network"), Arg], to: S::Bgp, action: bgp_network },
+    Rule { from: S::Bgp, pattern: &[Kw("neighbor"), Arg, Kw("remote-as"), Arg], to: S::Bgp, action: ios::bgp_neighbor },
+    Rule { from: S::Bgp, pattern: &[Kw("neighbor"), Arg, Kw("local-preference"), Arg], to: S::Bgp, action: ios::bgp_local_pref },
+    Rule { from: S::Bgp, pattern: &[Kw("neighbor"), Arg, Kw("distribute-list"), Arg, Kw("in")], to: S::Bgp, action: ios::bgp_distribute_list },
+];
+
+// --- emission ---------------------------------------------------------------
+
+fn emit_router(cfg: &RouterConfig) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "hostname {}", cfg.hostname);
+    s.push_str("!\nip routing\n!\n");
+    for i in &cfg.interfaces {
+        let _ = writeln!(s, "interface {}", i.name);
+        if let Some((addr, len)) = i.address {
+            let _ = writeln!(s, " ip address {addr}/{len}");
+        }
+        if let Some(c) = i.ospf_cost {
+            let _ = writeln!(s, " ip ospf cost {c}");
+        }
+        if let Some(d) = &i.description {
+            let _ = writeln!(s, " description {d}");
+        }
+        if i.shutdown {
+            s.push_str(" shutdown\n");
+        }
+        for l in &i.extra {
+            let _ = writeln!(s, " {l}");
+        }
+        s.push_str("!\n");
+    }
+    if let Some(o) = &cfg.ospf {
+        let _ = writeln!(s, "router ospf {}", o.process_id);
+        for n in &o.networks {
+            let _ = writeln!(s, " network {} area {}", n.prefix, n.area);
+        }
+        for d in &o.distribute_lists {
+            if let DistributeListBinding::Interface { list, interface, .. } = d {
+                let _ = writeln!(s, " distribute-list prefix {list} in {interface}");
+            }
+        }
+        s.push_str("!\n");
+    }
+    if let Some(r) = &cfg.rip {
+        s.push_str("router rip\n");
+        for n in &r.networks {
+            let _ = writeln!(s, " network {}", n.prefix);
+        }
+        for d in &r.distribute_lists {
+            if let DistributeListBinding::Interface { list, interface, .. } = d {
+                let _ = writeln!(s, " distribute-list prefix {list} in {interface}");
+            }
+        }
+        s.push_str("!\n");
+    }
+    if let Some(b) = &cfg.bgp {
+        let _ = writeln!(s, "router bgp {}", b.asn.0);
+        for n in &b.networks {
+            let _ = writeln!(s, " network {}", n.prefix);
+        }
+        for nb in &b.neighbors {
+            let _ = writeln!(s, " neighbor {} remote-as {}", nb.addr, nb.remote_as.0);
+            if let Some(pref) = nb.local_pref {
+                let _ = writeln!(s, " neighbor {} local-preference {pref}", nb.addr);
+            }
+        }
+        for d in &b.distribute_lists {
+            if let DistributeListBinding::Neighbor { list, neighbor, .. } = d {
+                let _ = writeln!(s, " neighbor {neighbor} distribute-list {list} in");
+            }
+        }
+        s.push_str("!\n");
+    }
+    for pl in &cfg.prefix_lists {
+        for e in &pl.entries {
+            let action = match e.action {
+                FilterAction::Permit => "permit",
+                FilterAction::Deny => "deny",
+            };
+            let _ = writeln!(s, "ip prefix-list {} seq {} {} {}", pl.name, e.seq, action, e.prefix);
+        }
+        if !pl.entries.is_empty() {
+            s.push_str("!\n");
+        }
+    }
+    for r in &cfg.static_routes {
+        let _ = writeln!(s, "ip route {} {}", r.prefix, r.next_hop);
+    }
+    if !cfg.static_routes.is_empty() {
+        s.push_str("!\n");
+    }
+    for l in &cfg.extra_lines {
+        s.push_str(l);
+        s.push('\n');
+    }
+    s
+}
+
+// --- hosts ------------------------------------------------------------------
+
+fn host_address(b: &mut HostBuilder, c: &Caps<'_>) -> Result<()> {
+    b.address = Some(parse_cidr_addr(c.lineno, c.arg(0))?);
+    Ok(())
+}
+
+const HOST_TABLE: &[Rule<HostState, HostBuilder>] = &[
+    Rule { from: HostState, pattern: &[Kw("hostname"), Arg], to: HostState, action: ios::host_hostname },
+    Rule { from: HostState, pattern: &[Kw("interface"), Arg], to: HostState, action: ios::host_interface },
+    Rule { from: HostState, pattern: &[Kw("ip"), Kw("address"), Arg], to: HostState, action: host_address },
+    Rule { from: HostState, pattern: &[Kw("gateway"), Arg], to: HostState, action: ios::host_gateway },
+];
+
+fn emit_host(cfg: &HostConfig) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "hostname {}", cfg.hostname);
+    s.push_str("!\n");
+    let _ = writeln!(s, "interface {}", cfg.iface_name);
+    let (addr, len) = cfg.address;
+    let _ = writeln!(s, " ip address {addr}/{len}");
+    let _ = writeln!(s, " gateway {}", cfg.gateway);
+    for l in &cfg.extra {
+        let _ = writeln!(s, " {l}");
+    }
+    s.push_str("!\n");
+    s
+}
+
+/// The Arista EOS codec.
+pub struct EosCodec;
+
+impl VendorCodec for EosCodec {
+    fn vendor(&self) -> Vendor {
+        Vendor::Eos
+    }
+
+    fn parse_router(&self, text: &str, stats: &mut ParseStats) -> Result<RouterConfig> {
+        parse_router_with(ROUTER_TABLE, text, stats)
+    }
+
+    fn parse_host(&self, text: &str, stats: &mut ParseStats) -> Result<HostConfig> {
+        parse_host_with(HOST_TABLE, text, stats)
+    }
+
+    fn emit_router(&self, cfg: &RouterConfig) -> String {
+        emit_router(cfg)
+    }
+
+    fn emit_host(&self, cfg: &HostConfig) -> String {
+        emit_host(cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::codec::{parse_host_as, parse_router_as, Vendor};
+    use crate::parse_router;
+
+    const ROUTER: &str = "\
+hostname c2
+!
+ip routing
+!
+interface Ethernet1
+ ip address 10.25.17.25/31
+ ip ospf cost 3
+ description to-AGG3-1
+ traffic-policy mark inbound
+!
+router ospf 1
+ network 10.25.17.24/31 area 0
+ distribute-list prefix RejPfxs in Ethernet1
+!
+router bgp 20
+ network 10.25.0.0/16
+ neighbor 10.25.17.24 remote-as 30
+ neighbor 10.25.17.24 distribute-list RejPfxs in
+!
+ip prefix-list RejPfxs seq 5 deny 10.9.0.0/24
+!
+ip route 10.5.0.0/24 10.0.0.1
+!
+";
+
+    #[test]
+    fn parses_and_round_trips_byte_exact() {
+        let cfg = parse_router_as(Vendor::Eos, ROUTER).unwrap();
+        assert_eq!(cfg.hostname, "c2");
+        let i = &cfg.interfaces[0];
+        assert_eq!(i.address, Some(("10.25.17.25".parse().unwrap(), 31)));
+        assert_eq!(i.extra, vec!["traffic-policy mark inbound"]);
+        assert_eq!(
+            cfg.ospf.as_ref().unwrap().networks[0].prefix,
+            "10.25.17.24/31".parse().unwrap()
+        );
+        assert_eq!(cfg.static_routes.len(), 1);
+        assert_eq!(cfg.emit_as(Vendor::Eos), ROUTER, "byte-exact round trip");
+    }
+
+    #[test]
+    fn translates_to_and_from_ios_with_an_identical_model() {
+        let model = parse_router_as(Vendor::Eos, ROUTER).unwrap();
+        let ios_text = model.emit_as(Vendor::Ios);
+        let back = parse_router(&ios_text).unwrap();
+        assert_eq!(model, back);
+    }
+
+    #[test]
+    fn rip_block_has_no_version_line() {
+        let text = "hostname r1\n!\nip routing\n!\nrouter rip\n network 10.0.0.0/31\n!\n";
+        let cfg = parse_router_as(Vendor::Eos, text).unwrap();
+        assert_eq!(cfg.rip.as_ref().unwrap().networks.len(), 1);
+        assert_eq!(cfg.emit_as(Vendor::Eos), text);
+        // The IOS-style `version 2` line is not part of this dialect.
+        assert!(parse_router_as(Vendor::Eos, "hostname r1\n!\nrouter rip\n version 2\n!\n").is_err());
+    }
+
+    #[test]
+    fn rejects_masked_address_form_in_protocol_blocks() {
+        let text = "hostname r1\n!\nrouter ospf 1\n network 10.0.0.0 0.0.0.1 area 0\n!\n";
+        assert!(parse_router_as(Vendor::Eos, text).is_err());
+    }
+
+    #[test]
+    fn host_round_trips() {
+        let text = "hostname hA\n!\ninterface eth0\n ip address 10.1.0.100/24\n gateway 10.1.0.1\n!\n";
+        let h = parse_host_as(Vendor::Eos, text).unwrap();
+        assert_eq!(h.address, ("10.1.0.100".parse().unwrap(), 24));
+        assert_eq!(h.emit_as(Vendor::Eos), text);
+    }
+}

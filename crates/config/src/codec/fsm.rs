@@ -1,0 +1,187 @@
+//! Table-driven FSM machinery shared by the vendor codecs.
+//!
+//! Each codec defines an explicit state enum and a transition table of
+//! [`Rule`]s over line-shape tokens ([`Tok`]). Driving a line through
+//! [`step`] finds the first rule whose `from` state and token pattern
+//! match, runs its action against the codec's builder, and returns the
+//! rule's target state. A line no rule matches is handed back to the
+//! codec's driver (`Ok(None)`), which applies the per-state fallback
+//! policy — preserve verbatim or reject. That policy, not the table, is
+//! what distinguishes "unknown feature, keep it byte-exact" from
+//! "malformed statement inside a strict block".
+
+use crate::codec::ParseError;
+
+/// One line-shape token of a rule pattern.
+pub enum Tok {
+    /// A literal keyword the next word must equal exactly.
+    Kw(&'static str),
+    /// Exactly one word, captured as an argument.
+    Arg,
+    /// One or more words, captured as the raw line tail (inner whitespace
+    /// preserved). Must be the last token of a pattern.
+    Rest,
+}
+
+/// The captures of a matched rule, handed to its action.
+pub struct Caps<'a> {
+    /// 1-based line number, for error messages.
+    pub lineno: usize,
+    args: Vec<&'a str>,
+}
+
+impl<'a> Caps<'a> {
+    /// The n-th capture (`Arg` and `Rest` tokens, in pattern order).
+    pub fn arg(&self, n: usize) -> &'a str {
+        self.args.get(n).copied().unwrap_or("")
+    }
+}
+
+/// One transition of a codec's FSM: in state `from`, a line matching
+/// `pattern` runs `action` against the builder and moves to `to`.
+pub struct Rule<S, B> {
+    /// State this rule applies in.
+    pub from: S,
+    /// Line shape that triggers it.
+    pub pattern: &'static [Tok],
+    /// State after the action runs.
+    pub to: S,
+    /// Per-edge action: record the captures into the builder.
+    pub action: fn(&mut B, &Caps<'_>) -> Result<(), ParseError>,
+}
+
+/// Whitespace-separated words of a line, with their byte offsets (so a
+/// `Rest` capture can slice the raw tail and keep inner spacing).
+fn words(line: &str) -> Vec<(usize, &str)> {
+    let mut out = Vec::new();
+    let mut start = None;
+    for (i, c) in line.char_indices() {
+        if c.is_whitespace() {
+            if let Some(s) = start.take() {
+                out.push((s, &line[s..i]));
+            }
+        } else if start.is_none() {
+            start = Some(i);
+        }
+    }
+    if let Some(s) = start {
+        out.push((s, &line[s..]));
+    }
+    out
+}
+
+/// Matches `pattern` against a (trimmed) line. The whole line must be
+/// consumed — trailing words fail the match. Returns the captures.
+fn match_pattern<'a>(pattern: &[Tok], line: &'a str) -> Option<Vec<&'a str>> {
+    let words = words(line);
+    let mut caps = Vec::new();
+    let mut i = 0;
+    for tok in pattern {
+        match tok {
+            Tok::Kw(kw) => {
+                let (_, w) = words.get(i)?;
+                if w != kw {
+                    return None;
+                }
+                i += 1;
+            }
+            Tok::Arg => {
+                let (_, w) = words.get(i)?;
+                caps.push(*w);
+                i += 1;
+            }
+            Tok::Rest => {
+                let (off, _) = words.get(i)?;
+                caps.push(line[*off..].trim_end());
+                i = words.len();
+            }
+        }
+    }
+    if i == words.len() {
+        Some(caps)
+    } else {
+        None
+    }
+}
+
+/// Drives one line through `table` from `state`. `Ok(Some(next))` when a
+/// rule matched (its action ran); `Ok(None)` when no rule in this state
+/// matches the line shape; `Err` when a matching rule's action rejected
+/// the captured values.
+pub fn step<S: Copy + PartialEq, B>(
+    table: &[Rule<S, B>],
+    state: S,
+    line: &str,
+    lineno: usize,
+    builder: &mut B,
+) -> Result<Option<S>, ParseError> {
+    for rule in table {
+        if rule.from == state {
+            if let Some(args) = match_pattern(rule.pattern, line) {
+                (rule.action)(builder, &Caps { lineno, args })?;
+                return Ok(Some(rule.to));
+            }
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone, Copy, PartialEq, Debug)]
+    enum S {
+        A,
+        B,
+    }
+
+    #[derive(Default)]
+    struct Sink(Vec<String>);
+
+    fn record(b: &mut Sink, c: &Caps<'_>) -> Result<(), ParseError> {
+        b.0.push(format!("{}@{}", c.arg(0), c.lineno));
+        Ok(())
+    }
+
+    const TABLE: &[Rule<S, Sink>] = &[
+        Rule {
+            from: S::A,
+            pattern: &[Tok::Kw("go"), Tok::Arg],
+            to: S::B,
+            action: record,
+        },
+        Rule {
+            from: S::B,
+            pattern: &[Tok::Kw("say"), Tok::Rest],
+            to: S::B,
+            action: record,
+        },
+    ];
+
+    #[test]
+    fn kw_and_arg_match_exact_word_counts() {
+        let mut b = Sink::default();
+        assert_eq!(step(TABLE, S::A, "go there", 1, &mut b).unwrap(), Some(S::B));
+        assert_eq!(step(TABLE, S::A, "go there now", 2, &mut b).unwrap(), None);
+        assert_eq!(step(TABLE, S::A, "stop", 3, &mut b).unwrap(), None);
+        assert_eq!(b.0, vec!["there@1"]);
+    }
+
+    #[test]
+    fn rest_preserves_inner_whitespace() {
+        let mut b = Sink::default();
+        assert_eq!(
+            step(TABLE, S::B, "say two  spaced   words", 9, &mut b).unwrap(),
+            Some(S::B)
+        );
+        assert_eq!(b.0, vec!["two  spaced   words@9"]);
+    }
+
+    #[test]
+    fn rules_are_state_scoped() {
+        let mut b = Sink::default();
+        assert_eq!(step(TABLE, S::B, "go there", 1, &mut b).unwrap(), None);
+        assert_eq!(step(TABLE, S::A, "say hi", 1, &mut b).unwrap(), None);
+    }
+}

@@ -1,0 +1,722 @@
+//! The Cisco-IOS-style codec — the workspace's canonical dialect,
+//! re-expressed as a table-driven FSM.
+//!
+//! Stanzas are separated by `!` lines (a non-indented line also closes
+//! the open stanza), mirroring how real-world configuration anonymizers
+//! (NetConan, the original ConfMask prototype) process files.
+//! Unrecognized lines are preserved verbatim — in `Interface::extra`
+//! inside interface stanzas, or in `RouterConfig::extra_lines` at the top
+//! level — so emit∘parse is lossless even on files containing features
+//! the simulator does not model (e.g. the QoS policy in the paper's §2.3
+//! case study). Inside protocol blocks unrecognized lines are rejected:
+//! a statement the routing simulation would silently ignore is a
+//! correctness hazard, not an opaque extra.
+
+use crate::codec::fsm::{step, Caps, Rule, Tok};
+use crate::codec::{err, ParseError, ParseStats, Vendor, VendorCodec};
+use crate::model::*;
+use confmask_net_types::{Asn, Ipv4Addr, Ipv4Prefix};
+
+type Result<T> = std::result::Result<T, ParseError>;
+
+pub(crate) fn parse_addr(line: usize, s: &str) -> Result<Ipv4Addr> {
+    s.parse()
+        .map_err(|_| err(line, format!("bad IPv4 address '{s}'")))
+}
+
+/// Parses an `ADDR MASK` pair into `(addr, prefix_len)`.
+pub(crate) fn parse_addr_mask(line: usize, addr: &str, mask: &str) -> Result<(Ipv4Addr, u8)> {
+    let addr = parse_addr(line, addr)?;
+    let mask = parse_addr(line, mask)?;
+    let len = Ipv4Prefix::len_from_mask(mask).map_err(|e| err(line, format!("bad mask: {e}")))?;
+    Ok((addr, len))
+}
+
+pub(crate) fn parse_prefix_mask(line: usize, addr: &str, mask: &str) -> Result<Ipv4Prefix> {
+    let (addr, len) = parse_addr_mask(line, addr, mask)?;
+    Ipv4Prefix::new(addr, len).map_err(|e| err(line, format!("bad network: {e}")))
+}
+
+/// Parses an `ADDR/LEN` CIDR pair into `(addr, prefix_len)` — host bits
+/// are allowed, so it suits interface addresses (junos/eos dialects).
+pub(crate) fn parse_cidr_addr(line: usize, s: &str) -> Result<(Ipv4Addr, u8)> {
+    let (addr, len) = s
+        .split_once('/')
+        .ok_or_else(|| err(line, format!("bad CIDR address '{s}'")))?;
+    let addr = parse_addr(line, addr)?;
+    let len = len
+        .parse()
+        .ok()
+        .filter(|l| *l <= 32)
+        .ok_or_else(|| err(line, format!("bad prefix length '{len}'")))?;
+    Ok((addr, len))
+}
+
+/// Parses a `NET/LEN` prefix (host bits rejected).
+pub(crate) fn parse_prefix(line: usize, s: &str) -> Result<Ipv4Prefix> {
+    s.parse()
+        .map_err(|e| err(line, format!("bad prefix: {e}")))
+}
+
+pub(crate) fn parse_filter_action(line: usize, action: &str) -> Result<FilterAction> {
+    match action {
+        "permit" => Ok(FilterAction::Permit),
+        "deny" => Ok(FilterAction::Deny),
+        other => Err(err(line, format!("bad prefix-list action '{other}'"))),
+    }
+}
+
+/// The open stanza a router builder is filling.
+pub(crate) enum Section {
+    TopLevel,
+    Interface(Interface),
+    Ospf(OspfConfig),
+    Rip(RipConfig),
+    Bgp(BgpConfig),
+}
+
+/// FSM states of the IOS-style router parsers (one per stanza kind).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum S {
+    Top,
+    Iface,
+    Ospf,
+    Rip,
+    Bgp,
+}
+
+/// Router-parse builder: the config under construction plus the open
+/// stanza. The FSM state and the `Section` variant move in lockstep —
+/// every rule entering `S::Iface` opens `Section::Interface`, and so on.
+pub(crate) struct Builder {
+    pub cfg: RouterConfig,
+    pub section: Section,
+}
+
+impl Builder {
+    pub fn new() -> Builder {
+        Builder {
+            cfg: RouterConfig::default(),
+            section: Section::TopLevel,
+        }
+    }
+
+    /// Closes the open stanza into the config, counting it.
+    pub fn flush(&mut self, stats: &mut ParseStats) {
+        match std::mem::replace(&mut self.section, Section::TopLevel) {
+            Section::TopLevel => return,
+            Section::Interface(i) => self.cfg.interfaces.push(i),
+            Section::Ospf(o) => self.cfg.ospf = Some(o),
+            Section::Rip(r) => self.cfg.rip = Some(r),
+            Section::Bgp(b) => self.cfg.bgp = Some(b),
+        }
+        stats.stanzas += 1;
+    }
+
+    pub(crate) fn iface(&mut self, lineno: usize) -> Result<&mut Interface> {
+        match &mut self.section {
+            Section::Interface(i) => Ok(i),
+            _ => Err(err(lineno, "interface line outside an interface stanza")),
+        }
+    }
+
+    pub(crate) fn ospf(&mut self, lineno: usize) -> Result<&mut OspfConfig> {
+        match &mut self.section {
+            Section::Ospf(o) => Ok(o),
+            _ => Err(err(lineno, "OSPF line outside an OSPF stanza")),
+        }
+    }
+
+    pub(crate) fn rip(&mut self, lineno: usize) -> Result<&mut RipConfig> {
+        match &mut self.section {
+            Section::Rip(r) => Ok(r),
+            _ => Err(err(lineno, "RIP line outside a RIP stanza")),
+        }
+    }
+
+    pub(crate) fn bgp(&mut self, lineno: usize) -> Result<&mut BgpConfig> {
+        match &mut self.section {
+            Section::Bgp(b) => Ok(b),
+            _ => Err(err(lineno, "BGP line outside a BGP stanza")),
+        }
+    }
+}
+
+// --- per-edge actions -------------------------------------------------------
+
+pub(crate) fn set_hostname(b: &mut Builder, c: &Caps<'_>) -> Result<()> {
+    b.cfg.hostname = c.arg(0).to_string();
+    Ok(())
+}
+
+pub(crate) fn open_interface(b: &mut Builder, c: &Caps<'_>) -> Result<()> {
+    b.section = Section::Interface(Interface {
+        name: c.arg(0).to_string(),
+        address: None,
+        ospf_cost: None,
+        description: None,
+        shutdown: false,
+        extra: Vec::new(),
+        added: false,
+    });
+    Ok(())
+}
+
+pub(crate) fn open_ospf(b: &mut Builder, c: &Caps<'_>) -> Result<()> {
+    let pid = c.arg(0);
+    b.section = Section::Ospf(OspfConfig {
+        process_id: pid
+            .parse()
+            .map_err(|_| err(c.lineno, format!("bad OSPF process id '{pid}'")))?,
+        networks: Vec::new(),
+        distribute_lists: Vec::new(),
+    });
+    Ok(())
+}
+
+pub(crate) fn open_rip(b: &mut Builder, _c: &Caps<'_>) -> Result<()> {
+    b.section = Section::Rip(RipConfig {
+        networks: Vec::new(),
+        distribute_lists: Vec::new(),
+    });
+    Ok(())
+}
+
+pub(crate) fn open_bgp(b: &mut Builder, c: &Caps<'_>) -> Result<()> {
+    let asn = c.arg(0);
+    b.section = Section::Bgp(BgpConfig {
+        asn: Asn(asn
+            .parse()
+            .map_err(|_| err(c.lineno, format!("bad ASN '{asn}'")))?),
+        networks: Vec::new(),
+        neighbors: Vec::new(),
+        distribute_lists: Vec::new(),
+    });
+    Ok(())
+}
+
+fn add_static_route(b: &mut Builder, c: &Caps<'_>) -> Result<()> {
+    b.cfg.static_routes.push(StaticRoute {
+        prefix: parse_prefix_mask(c.lineno, c.arg(0), c.arg(1))?,
+        next_hop: parse_addr(c.lineno, c.arg(2))?,
+        added: false,
+    });
+    Ok(())
+}
+
+pub(crate) fn add_prefix_list_entry(b: &mut Builder, c: &Caps<'_>) -> Result<()> {
+    let (name, seq, action, prefix) = (c.arg(0), c.arg(1), c.arg(2), c.arg(3));
+    let entry = PrefixListEntry {
+        seq: seq
+            .parse()
+            .map_err(|_| err(c.lineno, format!("bad seq '{seq}'")))?,
+        action: parse_filter_action(c.lineno, action)?,
+        prefix: prefix
+            .parse()
+            .map_err(|e| err(c.lineno, format!("bad prefix: {e}")))?,
+        added: false,
+    };
+    push_prefix_list_entry(&mut b.cfg, name, entry);
+    Ok(())
+}
+
+pub(crate) fn push_prefix_list_entry(cfg: &mut RouterConfig, name: &str, entry: PrefixListEntry) {
+    match cfg.prefix_lists.iter_mut().find(|p| p.name == name) {
+        Some(pl) => pl.entries.push(entry),
+        None => cfg.prefix_lists.push(PrefixList {
+            name: name.to_string(),
+            entries: vec![entry],
+        }),
+    }
+}
+
+fn iface_address(b: &mut Builder, c: &Caps<'_>) -> Result<()> {
+    let address = parse_addr_mask(c.lineno, c.arg(0), c.arg(1))?;
+    b.iface(c.lineno)?.address = Some(address);
+    Ok(())
+}
+
+pub(crate) fn iface_ospf_cost(b: &mut Builder, c: &Caps<'_>) -> Result<()> {
+    let cost = c.arg(0);
+    b.iface(c.lineno)?.ospf_cost = Some(
+        cost.parse()
+            .map_err(|_| err(c.lineno, format!("bad cost '{cost}'")))?,
+    );
+    Ok(())
+}
+
+pub(crate) fn iface_shutdown(b: &mut Builder, c: &Caps<'_>) -> Result<()> {
+    b.iface(c.lineno)?.shutdown = true;
+    Ok(())
+}
+
+pub(crate) fn iface_description(b: &mut Builder, c: &Caps<'_>) -> Result<()> {
+    let description = c.arg(0).to_string();
+    b.iface(c.lineno)?.description = Some(description);
+    Ok(())
+}
+
+fn ospf_network(b: &mut Builder, c: &Caps<'_>) -> Result<()> {
+    let (addr, wildcard, area) = (c.arg(0), c.arg(1), c.arg(2));
+    let addr = parse_addr(c.lineno, addr)?;
+    let wildcard = parse_addr(c.lineno, wildcard)?;
+    let mask = Ipv4Addr::from(!u32::from(wildcard));
+    let len =
+        Ipv4Prefix::len_from_mask(mask).map_err(|e| err(c.lineno, format!("bad wildcard: {e}")))?;
+    let statement = NetworkStatement {
+        prefix: Ipv4Prefix::new(addr, len)
+            .map_err(|e| err(c.lineno, format!("bad network: {e}")))?,
+        area: area
+            .parse()
+            .map_err(|_| err(c.lineno, format!("bad area '{area}'")))?,
+        added: false,
+    };
+    b.ospf(c.lineno)?.networks.push(statement);
+    Ok(())
+}
+
+pub(crate) fn ospf_distribute_list(b: &mut Builder, c: &Caps<'_>) -> Result<()> {
+    let binding = DistributeListBinding::Interface {
+        list: c.arg(0).to_string(),
+        interface: c.arg(1).to_string(),
+        added: false,
+    };
+    b.ospf(c.lineno)?.distribute_lists.push(binding);
+    Ok(())
+}
+
+fn rip_version(_b: &mut Builder, _c: &Caps<'_>) -> Result<()> {
+    Ok(())
+}
+
+fn rip_network(b: &mut Builder, c: &Caps<'_>) -> Result<()> {
+    let statement = NetworkStatement {
+        prefix: parse_prefix_mask(c.lineno, c.arg(0), c.arg(1))?,
+        area: 0,
+        added: false,
+    };
+    b.rip(c.lineno)?.networks.push(statement);
+    Ok(())
+}
+
+pub(crate) fn rip_distribute_list(b: &mut Builder, c: &Caps<'_>) -> Result<()> {
+    let binding = DistributeListBinding::Interface {
+        list: c.arg(0).to_string(),
+        interface: c.arg(1).to_string(),
+        added: false,
+    };
+    b.rip(c.lineno)?.distribute_lists.push(binding);
+    Ok(())
+}
+
+fn bgp_network(b: &mut Builder, c: &Caps<'_>) -> Result<()> {
+    let statement = NetworkStatement {
+        prefix: parse_prefix_mask(c.lineno, c.arg(0), c.arg(1))?,
+        area: 0,
+        added: false,
+    };
+    b.bgp(c.lineno)?.networks.push(statement);
+    Ok(())
+}
+
+pub(crate) fn bgp_neighbor(b: &mut Builder, c: &Caps<'_>) -> Result<()> {
+    let (addr, asn) = (c.arg(0), c.arg(1));
+    let neighbor = BgpNeighbor {
+        addr: parse_addr(c.lineno, addr)?,
+        remote_as: Asn(asn
+            .parse()
+            .map_err(|_| err(c.lineno, format!("bad ASN '{asn}'")))?),
+        local_pref: None,
+        added: false,
+    };
+    b.bgp(c.lineno)?.neighbors.push(neighbor);
+    Ok(())
+}
+
+pub(crate) fn bgp_local_pref(b: &mut Builder, c: &Caps<'_>) -> Result<()> {
+    let addr = parse_addr(c.lineno, c.arg(0))?;
+    let pref = c.arg(1);
+    let pref: u32 = pref
+        .parse()
+        .map_err(|_| err(c.lineno, format!("bad local-preference '{pref}'")))?;
+    set_neighbor_local_pref(b.bgp(c.lineno)?, c.lineno, addr, pref)
+}
+
+pub(crate) fn set_neighbor_local_pref(
+    bgp: &mut BgpConfig,
+    lineno: usize,
+    addr: Ipv4Addr,
+    pref: u32,
+) -> Result<()> {
+    match bgp.neighbors.iter_mut().find(|n| n.addr == addr) {
+        Some(n) => {
+            n.local_pref = Some(pref);
+            Ok(())
+        }
+        None => Err(err(
+            lineno,
+            format!("local-preference for unknown neighbor {addr}"),
+        )),
+    }
+}
+
+pub(crate) fn bgp_distribute_list(b: &mut Builder, c: &Caps<'_>) -> Result<()> {
+    let binding = DistributeListBinding::Neighbor {
+        list: c.arg(1).to_string(),
+        neighbor: parse_addr(c.lineno, c.arg(0))?,
+        added: false,
+    };
+    b.bgp(c.lineno)?.distribute_lists.push(binding);
+    Ok(())
+}
+
+use Tok::{Arg, Kw, Rest};
+
+/// The IOS router transition table. Rules from `S::Top` open stanzas (or
+/// record one-line top-level statements); the other states stay within
+/// their stanza until the driver flushes it.
+const ROUTER_TABLE: &[Rule<S, Builder>] = &[
+    Rule { from: S::Top, pattern: &[Kw("hostname"), Arg], to: S::Top, action: set_hostname },
+    Rule { from: S::Top, pattern: &[Kw("interface"), Arg], to: S::Iface, action: open_interface },
+    Rule { from: S::Top, pattern: &[Kw("router"), Kw("ospf"), Arg], to: S::Ospf, action: open_ospf },
+    Rule { from: S::Top, pattern: &[Kw("router"), Kw("rip")], to: S::Rip, action: open_rip },
+    Rule { from: S::Top, pattern: &[Kw("router"), Kw("bgp"), Arg], to: S::Bgp, action: open_bgp },
+    Rule { from: S::Top, pattern: &[Kw("ip"), Kw("route"), Arg, Arg, Arg], to: S::Top, action: add_static_route },
+    Rule { from: S::Top, pattern: &[Kw("ip"), Kw("prefix-list"), Arg, Kw("seq"), Arg, Arg, Arg], to: S::Top, action: add_prefix_list_entry },
+    Rule { from: S::Iface, pattern: &[Kw("ip"), Kw("address"), Arg, Arg], to: S::Iface, action: iface_address },
+    Rule { from: S::Iface, pattern: &[Kw("ip"), Kw("ospf"), Kw("cost"), Arg], to: S::Iface, action: iface_ospf_cost },
+    Rule { from: S::Iface, pattern: &[Kw("shutdown")], to: S::Iface, action: iface_shutdown },
+    Rule { from: S::Iface, pattern: &[Kw("description"), Rest], to: S::Iface, action: iface_description },
+    Rule { from: S::Ospf, pattern: &[Kw("network"), Arg, Arg, Kw("area"), Arg], to: S::Ospf, action: ospf_network },
+    Rule { from: S::Ospf, pattern: &[Kw("distribute-list"), Kw("prefix"), Arg, Kw("in"), Arg], to: S::Ospf, action: ospf_distribute_list },
+    Rule { from: S::Rip, pattern: &[Kw("version"), Arg], to: S::Rip, action: rip_version },
+    Rule { from: S::Rip, pattern: &[Kw("network"), Arg, Arg], to: S::Rip, action: rip_network },
+    Rule { from: S::Rip, pattern: &[Kw("distribute-list"), Kw("prefix"), Arg, Kw("in"), Arg], to: S::Rip, action: rip_distribute_list },
+    Rule { from: S::Bgp, pattern: &[Kw("network"), Arg, Kw("mask"), Arg], to: S::Bgp, action: bgp_network },
+    Rule { from: S::Bgp, pattern: &[Kw("neighbor"), Arg, Kw("remote-as"), Arg], to: S::Bgp, action: bgp_neighbor },
+    Rule { from: S::Bgp, pattern: &[Kw("neighbor"), Arg, Kw("local-preference"), Arg], to: S::Bgp, action: bgp_local_pref },
+    Rule { from: S::Bgp, pattern: &[Kw("neighbor"), Arg, Kw("distribute-list"), Arg, Kw("in")], to: S::Bgp, action: bgp_distribute_list },
+];
+
+/// Fallback policy for a line no rule matched: preserve verbatim at the
+/// top level and inside interfaces, reject inside protocol blocks.
+fn fallback(
+    state: S,
+    b: &mut Builder,
+    trimmed: &str,
+    line: &str,
+    lineno: usize,
+    stats: &mut ParseStats,
+) -> Result<()> {
+    match state {
+        S::Top => {
+            // Indented line outside any stanza: keep it verbatim
+            // (preserving its original indentation).
+            b.cfg.extra_lines.push(line.to_string());
+        }
+        S::Iface => b.iface(lineno)?.extra.push(trimmed.to_string()),
+        S::Ospf => return Err(err(lineno, format!("unrecognized OSPF line '{trimmed}'"))),
+        S::Rip => return Err(err(lineno, format!("unrecognized RIP line '{trimmed}'"))),
+        S::Bgp => return Err(err(lineno, format!("unrecognized BGP line '{trimmed}'"))),
+    }
+    stats.unrecognized += 1;
+    Ok(())
+}
+
+/// Shared stanza-style driver: `!` or a new non-indented statement
+/// closes the open stanza; per-state fallback applies to unmatched lines.
+pub(crate) fn parse_router_with(
+    table: &[Rule<S, Builder>],
+    text: &str,
+    stats: &mut ParseStats,
+) -> Result<RouterConfig> {
+    let mut b = Builder::new();
+    let mut state = S::Top;
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.trim_end();
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        stats.lines += 1;
+        if trimmed == "!" {
+            b.flush(stats);
+            state = S::Top;
+            continue;
+        }
+        if !line.starts_with(' ') {
+            // A new top-level statement implicitly closes the open stanza.
+            b.flush(stats);
+            state = S::Top;
+            match step(table, S::Top, trimmed, lineno, &mut b)? {
+                Some(next) => state = next,
+                None => {
+                    b.cfg.extra_lines.push(trimmed.to_string());
+                    stats.unrecognized += 1;
+                }
+            }
+        } else {
+            match step(table, state, trimmed, lineno, &mut b)? {
+                Some(next) => state = next,
+                None => fallback(state, &mut b, trimmed, line, lineno, stats)?,
+            }
+        }
+    }
+    b.flush(stats);
+    Ok(b.cfg)
+}
+
+// --- host parsing -----------------------------------------------------------
+
+/// Host-parse builder shared by the IOS-like codecs.
+#[derive(Default)]
+pub(crate) struct HostBuilder {
+    pub hostname: Option<String>,
+    pub iface_name: Option<String>,
+    pub address: Option<(Ipv4Addr, u8)>,
+    pub gateway: Option<Ipv4Addr>,
+    pub extra: Vec<String>,
+}
+
+impl HostBuilder {
+    /// Finishes the build, rejecting configs missing a required field.
+    pub fn finish(self) -> Result<HostConfig> {
+        Ok(HostConfig {
+            hostname: self
+                .hostname
+                .ok_or_else(|| err(0, "host config missing hostname"))?,
+            iface_name: self.iface_name.unwrap_or_else(|| "eth0".to_string()),
+            address: self
+                .address
+                .ok_or_else(|| err(0, "host config missing ip address"))?,
+            gateway: self
+                .gateway
+                .ok_or_else(|| err(0, "host config missing gateway"))?,
+            extra: self.extra,
+            added: false,
+        })
+    }
+}
+
+/// Single state of the host FSMs (host files have no stanzas to track).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct HostState;
+
+pub(crate) fn host_hostname(b: &mut HostBuilder, c: &Caps<'_>) -> Result<()> {
+    b.hostname = Some(c.arg(0).to_string());
+    Ok(())
+}
+
+pub(crate) fn host_interface(b: &mut HostBuilder, c: &Caps<'_>) -> Result<()> {
+    b.iface_name = Some(c.arg(0).to_string());
+    Ok(())
+}
+
+fn host_address(b: &mut HostBuilder, c: &Caps<'_>) -> Result<()> {
+    b.address = Some(parse_addr_mask(c.lineno, c.arg(0), c.arg(1))?);
+    Ok(())
+}
+
+pub(crate) fn host_gateway(b: &mut HostBuilder, c: &Caps<'_>) -> Result<()> {
+    b.gateway = Some(parse_addr(c.lineno, c.arg(0))?);
+    Ok(())
+}
+
+const HOST_TABLE: &[Rule<HostState, HostBuilder>] = &[
+    Rule { from: HostState, pattern: &[Kw("hostname"), Arg], to: HostState, action: host_hostname },
+    Rule { from: HostState, pattern: &[Kw("interface"), Arg], to: HostState, action: host_interface },
+    Rule { from: HostState, pattern: &[Kw("ip"), Kw("address"), Arg, Arg], to: HostState, action: host_address },
+    Rule { from: HostState, pattern: &[Kw("gateway"), Arg], to: HostState, action: host_gateway },
+];
+
+/// Shared host-parse driver: a flat single-state FSM where any
+/// unrecognized line becomes a preserved extra.
+pub(crate) fn parse_host_with(
+    table: &[Rule<HostState, HostBuilder>],
+    text: &str,
+    stats: &mut ParseStats,
+) -> Result<HostConfig> {
+    let mut b = HostBuilder::default();
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let t = raw.trim();
+        if t.is_empty() || t == "!" {
+            continue;
+        }
+        stats.lines += 1;
+        if step(table, HostState, t, lineno, &mut b)?.is_none() {
+            b.extra.push(t.to_string());
+            stats.unrecognized += 1;
+        }
+    }
+    b.finish()
+}
+
+/// The IOS codec.
+pub struct IosCodec;
+
+impl VendorCodec for IosCodec {
+    fn vendor(&self) -> Vendor {
+        Vendor::Ios
+    }
+
+    fn parse_router(&self, text: &str, stats: &mut ParseStats) -> Result<RouterConfig> {
+        parse_router_with(ROUTER_TABLE, text, stats)
+    }
+
+    fn parse_host(&self, text: &str, stats: &mut ParseStats) -> Result<HostConfig> {
+        parse_host_with(HOST_TABLE, text, stats)
+    }
+
+    fn emit_router(&self, cfg: &RouterConfig) -> String {
+        cfg.emit()
+    }
+
+    fn emit_host(&self, cfg: &HostConfig) -> String {
+        cfg.emit()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{parse_host, parse_router};
+    use confmask_net_types::{Asn, Ipv4Addr};
+
+    #[test]
+    fn parses_full_router() {
+        let text = "\
+hostname c2
+!
+interface GigabitEthernet1/0/13
+ ip address 10.25.17.25 255.255.255.254
+ ip ospf cost 3
+ description to-AGG3-1
+ traffic-policy mark_agg31_high_priority inbound
+!
+router ospf 1
+ network 10.25.17.24 0.0.0.1 area 0
+ distribute-list prefix RejPfxs in GigabitEthernet1/0/13
+!
+router bgp 20
+ network 10.25.0.0 mask 255.255.0.0
+ neighbor 10.25.17.24 remote-as 30
+ neighbor 10.25.17.24 distribute-list RejPfxs in
+!
+ip prefix-list RejPfxs seq 5 deny 10.9.0.0/24
+ip prefix-list RejPfxs seq 10 deny 10.9.1.0/24
+!
+traffic classifier is_mgmt_traffic
+";
+        let cfg = parse_router(text).unwrap();
+        assert_eq!(cfg.hostname, "c2");
+        assert_eq!(cfg.interfaces.len(), 1);
+        let i = &cfg.interfaces[0];
+        assert_eq!(i.name, "GigabitEthernet1/0/13");
+        assert_eq!(i.address, Some(("10.25.17.25".parse().unwrap(), 31)));
+        assert_eq!(i.ospf_cost, Some(3));
+        assert_eq!(i.description.as_deref(), Some("to-AGG3-1"));
+        assert_eq!(i.extra, vec!["traffic-policy mark_agg31_high_priority inbound"]);
+        let o = cfg.ospf.as_ref().unwrap();
+        assert_eq!(o.networks.len(), 1);
+        assert_eq!(o.networks[0].prefix, "10.25.17.24/31".parse().unwrap());
+        assert_eq!(o.distribute_lists.len(), 1);
+        let b = cfg.bgp.as_ref().unwrap();
+        assert_eq!(b.asn, Asn(20));
+        assert_eq!(b.neighbors.len(), 1);
+        assert_eq!(b.distribute_lists.len(), 1);
+        assert_eq!(cfg.prefix_lists.len(), 1);
+        assert_eq!(cfg.prefix_lists[0].entries.len(), 2);
+        assert_eq!(cfg.extra_lines, vec!["traffic classifier is_mgmt_traffic"]);
+    }
+
+    #[test]
+    fn emit_parse_roundtrip() {
+        let text = "\
+hostname r7
+!
+interface Ethernet0/0
+ ip address 10.0.0.2 255.255.255.254
+ ip ospf cost 1
+!
+interface Ethernet0/1
+ ip address 10.1.7.1 255.255.255.0
+!
+router ospf 1
+ network 10.0.0.2 0.0.0.1 area 0
+ network 10.1.7.0 0.0.0.255 area 0
+!
+";
+        let cfg = parse_router(text).unwrap();
+        let cfg2 = parse_router(&cfg.emit()).unwrap();
+        assert_eq!(cfg, cfg2);
+    }
+
+    #[test]
+    fn parses_rip() {
+        let text = "\
+hostname r1
+!
+router rip
+ version 2
+ network 10.0.0.0 255.255.255.254
+ distribute-list prefix F in Ethernet0/0
+!
+";
+        let cfg = parse_router(text).unwrap();
+        let r = cfg.rip.as_ref().unwrap();
+        assert_eq!(r.networks.len(), 1);
+        assert_eq!(r.distribute_lists.len(), 1);
+        let cfg2 = parse_router(&cfg.emit()).unwrap();
+        assert_eq!(cfg, cfg2);
+    }
+
+    #[test]
+    fn rejects_garbage_in_protocol_block() {
+        let text = "hostname r1\n!\nrouter ospf 1\n frobnicate\n!\n";
+        assert!(parse_router(text).is_err());
+    }
+
+    #[test]
+    fn reports_line_numbers() {
+        let text = "hostname r1\n!\ninterface Ethernet0/0\n ip address 999.0.0.1 255.255.255.0\n";
+        let e = parse_router(text).unwrap_err();
+        assert_eq!(e.line, 4);
+    }
+
+    #[test]
+    fn parses_host_roundtrip() {
+        let text = "hostname hA\n!\ninterface eth0\n ip address 10.1.0.100 255.255.255.0\n gateway 10.1.0.1\n!\n";
+        let h = parse_host(text).unwrap();
+        assert_eq!(h.hostname, "hA");
+        assert_eq!(h.address, ("10.1.0.100".parse().unwrap(), 24));
+        assert_eq!(h.gateway, "10.1.0.1".parse::<Ipv4Addr>().unwrap());
+        let h2 = parse_host(&h.emit()).unwrap();
+        assert_eq!(h, h2);
+    }
+
+    #[test]
+    fn host_missing_fields_is_error() {
+        assert!(parse_host("hostname h\n").is_err());
+        assert!(parse_host("interface eth0\n ip address 10.0.0.1 255.255.255.0\n gateway 10.0.0.2\n").is_err());
+    }
+
+    #[test]
+    fn parses_static_routes() {
+        let text = "hostname r1\n!\nip route 10.5.0.0 255.255.255.0 10.0.0.1\nip route 0.0.0.0 0.0.0.0 10.0.0.2\n!\n";
+        let cfg = parse_router(text).unwrap();
+        assert_eq!(cfg.static_routes.len(), 2);
+        assert_eq!(cfg.static_routes[0].prefix, "10.5.0.0/24".parse().unwrap());
+        assert_eq!(cfg.static_routes[0].next_hop, "10.0.0.1".parse::<Ipv4Addr>().unwrap());
+        assert_eq!(cfg.static_routes[1].prefix, "0.0.0.0/0".parse().unwrap());
+        let back = parse_router(&cfg.emit()).unwrap();
+        assert_eq!(cfg, back);
+    }
+
+    #[test]
+    fn unterminated_stanza_is_flushed() {
+        let text = "hostname r1\n!\ninterface Ethernet0/0\n ip address 10.0.0.1 255.255.255.0";
+        let cfg = parse_router(text).unwrap();
+        assert_eq!(cfg.interfaces.len(), 1);
+    }
+}

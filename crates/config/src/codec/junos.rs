@@ -1,0 +1,569 @@
+//! The Juniper flat `set ...` statement codec (`junos-set`).
+//!
+//! Every statement is one `set <path> <value>` line — there are no
+//! stanzas, so the FSM has a single state and containers (interfaces,
+//! BGP neighbors, protocol blocks) are created on first mention, in
+//! encounter order. Emission is canonical (hostname, interfaces,
+//! protocols, policy-options, routing-options, then preserved extras),
+//! and the parser rebuilds exactly that order from a canonical file, so
+//! `parse → model → emit` is byte-exact. Lines that match no rule —
+//! including non-`set` lines — are preserved verbatim in
+//! `RouterConfig::extra_lines` and re-emitted last.
+//!
+//! Dialect notes: an interface that would otherwise emit nothing is
+//! pinned with a bare `set interfaces <name>` line, and an empty RIP
+//! block with a bare `set protocols rip` line, so vendor translation
+//! never drops model structure. Interface extras travel as
+//! `set interfaces <name> extra <line>`, keeping them attached to their
+//! interface.
+
+use crate::codec::fsm::{step, Caps, Rule, Tok};
+use crate::codec::ios::{
+    parse_addr, parse_cidr_addr, parse_filter_action, parse_prefix, push_prefix_list_entry,
+    set_neighbor_local_pref, HostBuilder, HostState,
+};
+use crate::codec::{err, ParseError, ParseStats, Vendor, VendorCodec};
+use crate::model::*;
+use confmask_net_types::Asn;
+use std::fmt::Write as _;
+
+type Result<T> = std::result::Result<T, ParseError>;
+
+/// Single FSM state: the `set` grammar is flat.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Flat;
+
+/// Router-parse builder: containers are created on first mention.
+struct Builder {
+    cfg: RouterConfig,
+}
+
+impl Builder {
+    fn iface(&mut self, name: &str) -> &mut Interface {
+        let idx = match self.cfg.interfaces.iter().position(|i| i.name == name) {
+            Some(idx) => idx,
+            None => {
+                self.cfg.interfaces.push(Interface {
+                    name: name.to_string(),
+                    address: None,
+                    ospf_cost: None,
+                    description: None,
+                    shutdown: false,
+                    extra: Vec::new(),
+                    added: false,
+                });
+                self.cfg.interfaces.len() - 1
+            }
+        };
+        &mut self.cfg.interfaces[idx]
+    }
+
+    fn ospf(&mut self) -> &mut OspfConfig {
+        self.cfg.ospf.get_or_insert_with(|| OspfConfig {
+            process_id: 1,
+            networks: Vec::new(),
+            distribute_lists: Vec::new(),
+        })
+    }
+
+    fn rip(&mut self) -> &mut RipConfig {
+        self.cfg.rip.get_or_insert_with(|| RipConfig {
+            networks: Vec::new(),
+            distribute_lists: Vec::new(),
+        })
+    }
+
+    fn bgp(&mut self) -> &mut BgpConfig {
+        self.cfg.bgp.get_or_insert_with(|| BgpConfig {
+            asn: Asn(0),
+            networks: Vec::new(),
+            neighbors: Vec::new(),
+            distribute_lists: Vec::new(),
+        })
+    }
+}
+
+// --- per-edge actions -------------------------------------------------------
+
+fn set_hostname(b: &mut Builder, c: &Caps<'_>) -> Result<()> {
+    b.cfg.hostname = c.arg(0).to_string();
+    Ok(())
+}
+
+fn iface_pin(b: &mut Builder, c: &Caps<'_>) -> Result<()> {
+    b.iface(c.arg(0));
+    Ok(())
+}
+
+fn iface_address(b: &mut Builder, c: &Caps<'_>) -> Result<()> {
+    let address = parse_cidr_addr(c.lineno, c.arg(1))?;
+    b.iface(c.arg(0)).address = Some(address);
+    Ok(())
+}
+
+fn iface_ospf_cost(b: &mut Builder, c: &Caps<'_>) -> Result<()> {
+    let cost = c.arg(1);
+    let cost = cost
+        .parse()
+        .map_err(|_| err(c.lineno, format!("bad cost '{cost}'")))?;
+    b.iface(c.arg(0)).ospf_cost = Some(cost);
+    Ok(())
+}
+
+fn iface_description(b: &mut Builder, c: &Caps<'_>) -> Result<()> {
+    let description = c.arg(1).to_string();
+    b.iface(c.arg(0)).description = Some(description);
+    Ok(())
+}
+
+fn iface_disable(b: &mut Builder, c: &Caps<'_>) -> Result<()> {
+    b.iface(c.arg(0)).shutdown = true;
+    Ok(())
+}
+
+fn iface_extra(b: &mut Builder, c: &Caps<'_>) -> Result<()> {
+    let line = c.arg(1).to_string();
+    b.iface(c.arg(0)).extra.push(line);
+    Ok(())
+}
+
+fn ospf_process(b: &mut Builder, c: &Caps<'_>) -> Result<()> {
+    let pid = c.arg(0);
+    b.ospf().process_id = pid
+        .parse()
+        .map_err(|_| err(c.lineno, format!("bad OSPF process id '{pid}'")))?;
+    Ok(())
+}
+
+fn ospf_network(b: &mut Builder, c: &Caps<'_>) -> Result<()> {
+    let (prefix, area) = (c.arg(0), c.arg(1));
+    let statement = NetworkStatement {
+        prefix: parse_prefix(c.lineno, prefix)?,
+        area: area
+            .parse()
+            .map_err(|_| err(c.lineno, format!("bad area '{area}'")))?,
+        added: false,
+    };
+    b.ospf().networks.push(statement);
+    Ok(())
+}
+
+fn ospf_distribute_list(b: &mut Builder, c: &Caps<'_>) -> Result<()> {
+    let binding = DistributeListBinding::Interface {
+        list: c.arg(0).to_string(),
+        interface: c.arg(1).to_string(),
+        added: false,
+    };
+    b.ospf().distribute_lists.push(binding);
+    Ok(())
+}
+
+fn rip_pin(b: &mut Builder, _c: &Caps<'_>) -> Result<()> {
+    b.rip();
+    Ok(())
+}
+
+fn rip_network(b: &mut Builder, c: &Caps<'_>) -> Result<()> {
+    let statement = NetworkStatement {
+        prefix: parse_prefix(c.lineno, c.arg(0))?,
+        area: 0,
+        added: false,
+    };
+    b.rip().networks.push(statement);
+    Ok(())
+}
+
+fn rip_distribute_list(b: &mut Builder, c: &Caps<'_>) -> Result<()> {
+    let binding = DistributeListBinding::Interface {
+        list: c.arg(0).to_string(),
+        interface: c.arg(1).to_string(),
+        added: false,
+    };
+    b.rip().distribute_lists.push(binding);
+    Ok(())
+}
+
+fn bgp_local_as(b: &mut Builder, c: &Caps<'_>) -> Result<()> {
+    let asn = c.arg(0);
+    b.bgp().asn = Asn(asn
+        .parse()
+        .map_err(|_| err(c.lineno, format!("bad ASN '{asn}'")))?);
+    Ok(())
+}
+
+fn bgp_network(b: &mut Builder, c: &Caps<'_>) -> Result<()> {
+    let statement = NetworkStatement {
+        prefix: parse_prefix(c.lineno, c.arg(0))?,
+        area: 0,
+        added: false,
+    };
+    b.bgp().networks.push(statement);
+    Ok(())
+}
+
+fn bgp_neighbor(b: &mut Builder, c: &Caps<'_>) -> Result<()> {
+    let (addr, asn) = (c.arg(0), c.arg(1));
+    let neighbor = BgpNeighbor {
+        addr: parse_addr(c.lineno, addr)?,
+        remote_as: Asn(asn
+            .parse()
+            .map_err(|_| err(c.lineno, format!("bad ASN '{asn}'")))?),
+        local_pref: None,
+        added: false,
+    };
+    b.bgp().neighbors.push(neighbor);
+    Ok(())
+}
+
+fn bgp_local_pref(b: &mut Builder, c: &Caps<'_>) -> Result<()> {
+    let addr = parse_addr(c.lineno, c.arg(0))?;
+    let pref = c.arg(1);
+    let pref: u32 = pref
+        .parse()
+        .map_err(|_| err(c.lineno, format!("bad local-preference '{pref}'")))?;
+    set_neighbor_local_pref(b.bgp(), c.lineno, addr, pref)
+}
+
+fn bgp_distribute_list(b: &mut Builder, c: &Caps<'_>) -> Result<()> {
+    let binding = DistributeListBinding::Neighbor {
+        list: c.arg(1).to_string(),
+        neighbor: parse_addr(c.lineno, c.arg(0))?,
+        added: false,
+    };
+    b.bgp().distribute_lists.push(binding);
+    Ok(())
+}
+
+fn prefix_list_entry(b: &mut Builder, c: &Caps<'_>) -> Result<()> {
+    let (name, seq, action, prefix) = (c.arg(0), c.arg(1), c.arg(2), c.arg(3));
+    let entry = PrefixListEntry {
+        seq: seq
+            .parse()
+            .map_err(|_| err(c.lineno, format!("bad seq '{seq}'")))?,
+        action: parse_filter_action(c.lineno, action)?,
+        prefix: parse_prefix(c.lineno, prefix)?,
+        added: false,
+    };
+    push_prefix_list_entry(&mut b.cfg, name, entry);
+    Ok(())
+}
+
+fn static_route(b: &mut Builder, c: &Caps<'_>) -> Result<()> {
+    b.cfg.static_routes.push(StaticRoute {
+        prefix: parse_prefix(c.lineno, c.arg(0))?,
+        next_hop: parse_addr(c.lineno, c.arg(1))?,
+        added: false,
+    });
+    Ok(())
+}
+
+use Tok::{Arg, Kw, Rest};
+
+const ROUTER_TABLE: &[Rule<Flat, Builder>] = &[
+    Rule { from: Flat, pattern: &[Kw("set"), Kw("system"), Kw("host-name"), Arg], to: Flat, action: set_hostname },
+    Rule { from: Flat, pattern: &[Kw("set"), Kw("interfaces"), Arg], to: Flat, action: iface_pin },
+    Rule { from: Flat, pattern: &[Kw("set"), Kw("interfaces"), Arg, Kw("address"), Arg], to: Flat, action: iface_address },
+    Rule { from: Flat, pattern: &[Kw("set"), Kw("interfaces"), Arg, Kw("ospf-cost"), Arg], to: Flat, action: iface_ospf_cost },
+    Rule { from: Flat, pattern: &[Kw("set"), Kw("interfaces"), Arg, Kw("description"), Rest], to: Flat, action: iface_description },
+    Rule { from: Flat, pattern: &[Kw("set"), Kw("interfaces"), Arg, Kw("disable")], to: Flat, action: iface_disable },
+    Rule { from: Flat, pattern: &[Kw("set"), Kw("interfaces"), Arg, Kw("extra"), Rest], to: Flat, action: iface_extra },
+    Rule { from: Flat, pattern: &[Kw("set"), Kw("protocols"), Kw("ospf"), Kw("process"), Arg], to: Flat, action: ospf_process },
+    Rule { from: Flat, pattern: &[Kw("set"), Kw("protocols"), Kw("ospf"), Kw("network"), Arg, Kw("area"), Arg], to: Flat, action: ospf_network },
+    Rule { from: Flat, pattern: &[Kw("set"), Kw("protocols"), Kw("ospf"), Kw("distribute-list"), Arg, Kw("interface"), Arg], to: Flat, action: ospf_distribute_list },
+    Rule { from: Flat, pattern: &[Kw("set"), Kw("protocols"), Kw("rip")], to: Flat, action: rip_pin },
+    Rule { from: Flat, pattern: &[Kw("set"), Kw("protocols"), Kw("rip"), Kw("network"), Arg], to: Flat, action: rip_network },
+    Rule { from: Flat, pattern: &[Kw("set"), Kw("protocols"), Kw("rip"), Kw("distribute-list"), Arg, Kw("interface"), Arg], to: Flat, action: rip_distribute_list },
+    Rule { from: Flat, pattern: &[Kw("set"), Kw("protocols"), Kw("bgp"), Kw("local-as"), Arg], to: Flat, action: bgp_local_as },
+    Rule { from: Flat, pattern: &[Kw("set"), Kw("protocols"), Kw("bgp"), Kw("network"), Arg], to: Flat, action: bgp_network },
+    Rule { from: Flat, pattern: &[Kw("set"), Kw("protocols"), Kw("bgp"), Kw("neighbor"), Arg, Kw("remote-as"), Arg], to: Flat, action: bgp_neighbor },
+    Rule { from: Flat, pattern: &[Kw("set"), Kw("protocols"), Kw("bgp"), Kw("neighbor"), Arg, Kw("local-preference"), Arg], to: Flat, action: bgp_local_pref },
+    Rule { from: Flat, pattern: &[Kw("set"), Kw("protocols"), Kw("bgp"), Kw("neighbor"), Arg, Kw("distribute-list"), Arg], to: Flat, action: bgp_distribute_list },
+    Rule { from: Flat, pattern: &[Kw("set"), Kw("policy-options"), Kw("prefix-list"), Arg, Kw("seq"), Arg, Arg, Arg], to: Flat, action: prefix_list_entry },
+    Rule { from: Flat, pattern: &[Kw("set"), Kw("routing-options"), Kw("static"), Kw("route"), Arg, Kw("next-hop"), Arg], to: Flat, action: static_route },
+];
+
+fn parse_router(text: &str, stats: &mut ParseStats) -> Result<RouterConfig> {
+    let mut b = Builder {
+        cfg: RouterConfig::default(),
+    };
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let t = raw.trim();
+        if t.is_empty() {
+            continue;
+        }
+        stats.lines += 1;
+        if step(ROUTER_TABLE, Flat, t, lineno, &mut b)?.is_none() {
+            // Preserve the raw line (indentation included), mirroring the
+            // IOS top-level fallback, so foreign boilerplate survives a
+            // junos round-trip byte-for-byte.
+            b.cfg.extra_lines.push(raw.to_string());
+            stats.unrecognized += 1;
+        }
+    }
+    Ok(b.cfg)
+}
+
+// --- emission ---------------------------------------------------------------
+
+fn emit_router(cfg: &RouterConfig) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "set system host-name {}", cfg.hostname);
+    for i in &cfg.interfaces {
+        let mut emitted = false;
+        if let Some((addr, len)) = i.address {
+            let _ = writeln!(s, "set interfaces {} address {addr}/{len}", i.name);
+            emitted = true;
+        }
+        if let Some(c) = i.ospf_cost {
+            let _ = writeln!(s, "set interfaces {} ospf-cost {c}", i.name);
+            emitted = true;
+        }
+        if let Some(d) = &i.description {
+            let _ = writeln!(s, "set interfaces {} description {d}", i.name);
+            emitted = true;
+        }
+        if i.shutdown {
+            let _ = writeln!(s, "set interfaces {} disable", i.name);
+            emitted = true;
+        }
+        for l in &i.extra {
+            let _ = writeln!(s, "set interfaces {} extra {l}", i.name);
+            emitted = true;
+        }
+        if !emitted {
+            // Pin the interface so translation never drops it.
+            let _ = writeln!(s, "set interfaces {}", i.name);
+        }
+    }
+    if let Some(o) = &cfg.ospf {
+        let _ = writeln!(s, "set protocols ospf process {}", o.process_id);
+        for n in &o.networks {
+            let _ = writeln!(s, "set protocols ospf network {} area {}", n.prefix, n.area);
+        }
+        for d in &o.distribute_lists {
+            if let DistributeListBinding::Interface { list, interface, .. } = d {
+                let _ = writeln!(s, "set protocols ospf distribute-list {list} interface {interface}");
+            }
+        }
+    }
+    if let Some(r) = &cfg.rip {
+        if r.networks.is_empty() && r.distribute_lists.is_empty() {
+            s.push_str("set protocols rip\n");
+        }
+        for n in &r.networks {
+            let _ = writeln!(s, "set protocols rip network {}", n.prefix);
+        }
+        for d in &r.distribute_lists {
+            if let DistributeListBinding::Interface { list, interface, .. } = d {
+                let _ = writeln!(s, "set protocols rip distribute-list {list} interface {interface}");
+            }
+        }
+    }
+    if let Some(b) = &cfg.bgp {
+        let _ = writeln!(s, "set protocols bgp local-as {}", b.asn.0);
+        for n in &b.networks {
+            let _ = writeln!(s, "set protocols bgp network {}", n.prefix);
+        }
+        for nb in &b.neighbors {
+            let _ = writeln!(s, "set protocols bgp neighbor {} remote-as {}", nb.addr, nb.remote_as.0);
+            if let Some(pref) = nb.local_pref {
+                let _ = writeln!(s, "set protocols bgp neighbor {} local-preference {pref}", nb.addr);
+            }
+        }
+        for d in &b.distribute_lists {
+            if let DistributeListBinding::Neighbor { list, neighbor, .. } = d {
+                let _ = writeln!(s, "set protocols bgp neighbor {neighbor} distribute-list {list}");
+            }
+        }
+    }
+    for pl in &cfg.prefix_lists {
+        for e in &pl.entries {
+            let action = match e.action {
+                FilterAction::Permit => "permit",
+                FilterAction::Deny => "deny",
+            };
+            let _ = writeln!(
+                s,
+                "set policy-options prefix-list {} seq {} {} {}",
+                pl.name, e.seq, action, e.prefix
+            );
+        }
+    }
+    for r in &cfg.static_routes {
+        let _ = writeln!(
+            s,
+            "set routing-options static route {} next-hop {}",
+            r.prefix, r.next_hop
+        );
+    }
+    for l in &cfg.extra_lines {
+        s.push_str(l);
+        s.push('\n');
+    }
+    s
+}
+
+// --- hosts ------------------------------------------------------------------
+
+fn host_hostname(b: &mut HostBuilder, c: &Caps<'_>) -> Result<()> {
+    b.hostname = Some(c.arg(0).to_string());
+    Ok(())
+}
+
+fn host_address(b: &mut HostBuilder, c: &Caps<'_>) -> Result<()> {
+    b.iface_name = Some(c.arg(0).to_string());
+    b.address = Some(parse_cidr_addr(c.lineno, c.arg(1))?);
+    Ok(())
+}
+
+fn host_gateway(b: &mut HostBuilder, c: &Caps<'_>) -> Result<()> {
+    b.gateway = Some(parse_addr(c.lineno, c.arg(0))?);
+    Ok(())
+}
+
+const HOST_TABLE: &[Rule<HostState, HostBuilder>] = &[
+    Rule { from: HostState, pattern: &[Kw("set"), Kw("system"), Kw("host-name"), Arg], to: HostState, action: host_hostname },
+    Rule { from: HostState, pattern: &[Kw("set"), Kw("interfaces"), Arg, Kw("address"), Arg], to: HostState, action: host_address },
+    Rule { from: HostState, pattern: &[Kw("set"), Kw("routing-options"), Kw("gateway"), Arg], to: HostState, action: host_gateway },
+];
+
+fn parse_host(text: &str, stats: &mut ParseStats) -> Result<HostConfig> {
+    let mut b = HostBuilder::default();
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let t = raw.trim();
+        if t.is_empty() {
+            continue;
+        }
+        stats.lines += 1;
+        if step(HOST_TABLE, HostState, t, lineno, &mut b)?.is_none() {
+            b.extra.push(t.to_string());
+            stats.unrecognized += 1;
+        }
+    }
+    b.finish()
+}
+
+fn emit_host(cfg: &HostConfig) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "set system host-name {}", cfg.hostname);
+    let (addr, len) = cfg.address;
+    let _ = writeln!(s, "set interfaces {} address {addr}/{len}", cfg.iface_name);
+    let _ = writeln!(s, "set routing-options gateway {}", cfg.gateway);
+    for l in &cfg.extra {
+        s.push_str(l);
+        s.push('\n');
+    }
+    s
+}
+
+/// The `junos-set` codec.
+pub struct JunosSetCodec;
+
+impl VendorCodec for JunosSetCodec {
+    fn vendor(&self) -> Vendor {
+        Vendor::JunosSet
+    }
+
+    fn parse_router(&self, text: &str, stats: &mut ParseStats) -> Result<RouterConfig> {
+        parse_router(text, stats)
+    }
+
+    fn parse_host(&self, text: &str, stats: &mut ParseStats) -> Result<HostConfig> {
+        parse_host(text, stats)
+    }
+
+    fn emit_router(&self, cfg: &RouterConfig) -> String {
+        emit_router(cfg)
+    }
+
+    fn emit_host(&self, cfg: &HostConfig) -> String {
+        emit_host(cfg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::codec::{parse_host_as, parse_router_as, Vendor};
+    use crate::parse_router;
+
+    const ROUTER: &str = "\
+set system host-name c2
+set interfaces ge-0/0/0 address 10.25.17.25/31
+set interfaces ge-0/0/0 ospf-cost 3
+set interfaces ge-0/0/0 description to-AGG3-1
+set interfaces ge-0/0/0 extra traffic-policy mark inbound
+set protocols ospf process 1
+set protocols ospf network 10.25.17.24/31 area 0
+set protocols ospf distribute-list RejPfxs interface ge-0/0/0
+set protocols bgp local-as 20
+set protocols bgp network 10.25.0.0/16
+set protocols bgp neighbor 10.25.17.24 remote-as 30
+set protocols bgp neighbor 10.25.17.24 local-preference 200
+set protocols bgp neighbor 10.25.17.24 distribute-list RejPfxs
+set policy-options prefix-list RejPfxs seq 5 deny 10.9.0.0/24
+set routing-options static route 10.5.0.0/24 next-hop 10.0.0.1
+annotate this-is-kept-verbatim
+";
+
+    #[test]
+    fn parses_and_round_trips_byte_exact() {
+        let cfg = parse_router_as(Vendor::JunosSet, ROUTER).unwrap();
+        assert_eq!(cfg.hostname, "c2");
+        let i = &cfg.interfaces[0];
+        assert_eq!(i.name, "ge-0/0/0");
+        assert_eq!(i.address, Some(("10.25.17.25".parse().unwrap(), 31)));
+        assert_eq!(i.ospf_cost, Some(3));
+        assert_eq!(i.description.as_deref(), Some("to-AGG3-1"));
+        assert_eq!(i.extra, vec!["traffic-policy mark inbound"]);
+        let b = cfg.bgp.as_ref().unwrap();
+        assert_eq!(b.neighbors[0].local_pref, Some(200));
+        assert_eq!(cfg.static_routes.len(), 1);
+        assert_eq!(cfg.extra_lines, vec!["annotate this-is-kept-verbatim"]);
+        assert_eq!(cfg.emit_as(Vendor::JunosSet), ROUTER, "byte-exact round trip");
+    }
+
+    #[test]
+    fn translates_to_and_from_ios_with_an_identical_model() {
+        let model = parse_router_as(Vendor::JunosSet, ROUTER).unwrap();
+        let ios_text = model.emit_as(Vendor::Ios);
+        let back = parse_router(&ios_text).unwrap();
+        assert_eq!(model, back);
+    }
+
+    #[test]
+    fn bad_values_in_recognized_statements_are_rejected() {
+        for line in [
+            "set interfaces ge-0/0/0 address 10.0.0.1",
+            "set interfaces ge-0/0/0 address 999.0.0.1/24",
+            "set protocols ospf network 10.0.0.0/33 area 0",
+            "set protocols bgp neighbor 10.0.0.1 local-preference 200",
+        ] {
+            assert!(
+                parse_router_as(Vendor::JunosSet, line).is_err(),
+                "{line} should be rejected"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_interfaces_and_rip_are_pinned_not_dropped() {
+        let text = "set system host-name r1\nset interfaces lo0\nset protocols rip\n";
+        let cfg = parse_router_as(Vendor::JunosSet, text).unwrap();
+        assert_eq!(cfg.interfaces.len(), 1);
+        assert!(cfg.rip.is_some());
+        assert_eq!(cfg.emit_as(Vendor::JunosSet), text);
+    }
+
+    #[test]
+    fn host_round_trips() {
+        let text = "set system host-name hA\nset interfaces eth0 address 10.1.0.100/24\nset routing-options gateway 10.1.0.1\n";
+        let h = parse_host_as(Vendor::JunosSet, text).unwrap();
+        assert_eq!(h.hostname, "hA");
+        assert_eq!(h.iface_name, "eth0");
+        assert_eq!(h.address, ("10.1.0.100".parse().unwrap(), 24));
+        assert_eq!(h.emit_as(Vendor::JunosSet), text);
+        assert!(parse_host_as(Vendor::JunosSet, "set system host-name h\n").is_err());
+    }
+}

@@ -1,0 +1,296 @@
+//! Vendor codec layer: per-vendor configuration frontends over the
+//! vendor-neutral model in [`crate::model`].
+//!
+//! Every dialect implements [`VendorCodec`] — parse a router/host file
+//! into the neutral [`RouterConfig`]/[`HostConfig`] model and emit the
+//! model back as dialect text. Each parser is a table-driven FSM (see
+//! [`fsm`]): an explicit state enum, a transition table over line-shape
+//! tokens, and per-edge actions. Unrecognized lines are preserved
+//! verbatim, so `parse → model → emit` stays byte-exact per vendor for
+//! canonical (emitter-produced) files, and the append-only patch
+//! invariant of [`crate::patch`] survives no matter which dialect a
+//! network arrived in.
+//!
+//! Cross-vendor translation is composition: parse with dialect A, emit
+//! with dialect B — the neutral model is the interchange hub. Use
+//! [`Vendor::sniff`] to pick a dialect automatically.
+
+pub mod detect;
+mod eos;
+pub mod fsm;
+mod ios;
+mod junos;
+
+use crate::model::{HostConfig, RouterConfig};
+use std::fmt;
+use std::str::FromStr;
+
+/// Error produced when a configuration file cannot be parsed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable message.
+    pub message: String,
+    /// The file (or router/host name) being parsed, when known. Filled by
+    /// callers that walk directories or bundles, so a failure inside a
+    /// 100-file network names its file instead of just a line number.
+    pub file: Option<String>,
+}
+
+impl ParseError {
+    /// Attaches the file (or config name) this error came from.
+    pub fn with_file(mut self, file: impl Into<String>) -> ParseError {
+        self.file = Some(file.into());
+        self
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(file) = &self.file {
+            write!(f, "{file}: line {}: {}", self.line, self.message)
+        } else {
+            write!(f, "line {}: {}", self.line, self.message)
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+pub(crate) fn err(line: usize, message: impl Into<String>) -> ParseError {
+    ParseError {
+        line,
+        message: message.into(),
+        file: None,
+    }
+}
+
+/// Counters a codec fills while parsing one file.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ParseStats {
+    /// Non-blank lines processed.
+    pub lines: u64,
+    /// Multi-line stanza blocks closed (interface/protocol blocks; flat
+    /// dialects like `junos-set` have none).
+    pub stanzas: u64,
+    /// Lines preserved verbatim because no rule recognized them.
+    pub unrecognized: u64,
+}
+
+/// A configuration dialect the codec layer speaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Vendor {
+    /// Cisco-IOS-style stanzas (the workspace's canonical dialect).
+    Ios,
+    /// Juniper flat `set ...` statement style.
+    JunosSet,
+    /// Arista EOS: IOS-like stanzas with CIDR addresses and `ip routing`.
+    Eos,
+}
+
+impl Vendor {
+    /// Every supported dialect, in detection-priority order.
+    pub const ALL: [Vendor; 3] = [Vendor::Ios, Vendor::JunosSet, Vendor::Eos];
+
+    /// Stable wire/CLI name of the dialect.
+    pub fn name(self) -> &'static str {
+        match self {
+            Vendor::Ios => "ios",
+            Vendor::JunosSet => "junos-set",
+            Vendor::Eos => "eos",
+        }
+    }
+
+    /// Guesses the dialect of one config file (see [`detect`]).
+    pub fn sniff(text: &str) -> Vendor {
+        detect::sniff(text)
+    }
+
+    /// Guesses the dialect of a whole bundle by majority vote over its
+    /// files, ties broken in [`Vendor::ALL`] order. Deterministic, so a
+    /// persisted `auto` submission resolves identically on every replay.
+    pub fn sniff_all<'a>(texts: impl IntoIterator<Item = &'a str>) -> Vendor {
+        let mut votes = [0usize; 3];
+        for text in texts {
+            match detect::sniff(text) {
+                Vendor::Ios => votes[0] += 1,
+                Vendor::JunosSet => votes[1] += 1,
+                Vendor::Eos => votes[2] += 1,
+            }
+        }
+        let best = votes.iter().copied().max().unwrap_or(0);
+        Vendor::ALL
+            .into_iter()
+            .zip(votes)
+            .find(|(_, v)| *v == best)
+            .map(|(vendor, _)| vendor)
+            .unwrap_or(Vendor::Ios)
+    }
+}
+
+impl fmt::Display for Vendor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl FromStr for Vendor {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Vendor, String> {
+        match s {
+            "ios" => Ok(Vendor::Ios),
+            "junos-set" => Ok(Vendor::JunosSet),
+            "eos" => Ok(Vendor::Eos),
+            other => Err(format!(
+                "unknown vendor '{other}' (expected auto, ios, junos-set, or eos)"
+            )),
+        }
+    }
+}
+
+/// A per-vendor configuration frontend: parse dialect text into the
+/// neutral model, emit the neutral model as dialect text.
+pub trait VendorCodec: Sync {
+    /// The dialect this codec speaks.
+    fn vendor(&self) -> Vendor;
+
+    /// Parses a router configuration file, accumulating `stats`.
+    fn parse_router(&self, text: &str, stats: &mut ParseStats)
+        -> Result<RouterConfig, ParseError>;
+
+    /// Parses a host configuration file, accumulating `stats`.
+    fn parse_host(&self, text: &str, stats: &mut ParseStats) -> Result<HostConfig, ParseError>;
+
+    /// Renders a router configuration in this dialect.
+    fn emit_router(&self, cfg: &RouterConfig) -> String;
+
+    /// Renders a host configuration in this dialect.
+    fn emit_host(&self, cfg: &HostConfig) -> String;
+}
+
+/// The codec for a dialect.
+pub fn codec(vendor: Vendor) -> &'static dyn VendorCodec {
+    match vendor {
+        Vendor::Ios => &ios::IosCodec,
+        Vendor::JunosSet => &junos::JunosSetCodec,
+        Vendor::Eos => &eos::EosCodec,
+    }
+}
+
+fn vendor_counter(vendor: Vendor) -> &'static str {
+    match vendor {
+        Vendor::Ios => "config.parse.vendor.ios",
+        Vendor::JunosSet => "config.parse.vendor.junos-set",
+        Vendor::Eos => "config.parse.vendor.eos",
+    }
+}
+
+fn record_stats(vendor: Vendor, stats: ParseStats) {
+    confmask_obs::counter_add("config.parse.lines", stats.lines);
+    confmask_obs::counter_add("config.parse.stanzas", stats.stanzas);
+    confmask_obs::counter_add("config.parse.unrecognized", stats.unrecognized);
+    confmask_obs::counter_add(vendor_counter(vendor), 1);
+}
+
+/// Registers every `config.parse.*` counter at zero, so dashboards and
+/// metric diffs see the full series before the first file is parsed.
+pub fn register_metrics() {
+    confmask_obs::counter_add("config.parse.lines", 0);
+    confmask_obs::counter_add("config.parse.stanzas", 0);
+    confmask_obs::counter_add("config.parse.unrecognized", 0);
+    for vendor in Vendor::ALL {
+        confmask_obs::counter_add(vendor_counter(vendor), 0);
+    }
+}
+
+/// Parses a router configuration in the given dialect, under a
+/// `config.parse` span and with the `config.parse.*` counters updated.
+pub fn parse_router_as(vendor: Vendor, text: &str) -> Result<RouterConfig, ParseError> {
+    let span = confmask_obs::span("config.parse");
+    let mut stats = ParseStats::default();
+    let result = codec(vendor).parse_router(text, &mut stats);
+    record_stats(vendor, stats);
+    span.finish();
+    result
+}
+
+/// Parses a host configuration in the given dialect (counterpart of
+/// [`parse_router_as`]).
+pub fn parse_host_as(vendor: Vendor, text: &str) -> Result<HostConfig, ParseError> {
+    let span = confmask_obs::span("config.parse");
+    let mut stats = ParseStats::default();
+    let result = codec(vendor).parse_host(text, &mut stats);
+    record_stats(vendor, stats);
+    span.finish();
+    result
+}
+
+/// Parses a router configuration file in the IOS dialect (shorthand for
+/// [`parse_router_as`] with [`Vendor::Ios`]).
+pub fn parse_router(text: &str) -> Result<RouterConfig, ParseError> {
+    parse_router_as(Vendor::Ios, text)
+}
+
+/// Parses a host configuration file in the IOS dialect (shorthand for
+/// [`parse_host_as`] with [`Vendor::Ios`]).
+pub fn parse_host(text: &str) -> Result<HostConfig, ParseError> {
+    parse_host_as(Vendor::Ios, text)
+}
+
+impl RouterConfig {
+    /// Renders the configuration in the given dialect. `emit_as(Ios)` is
+    /// exactly [`RouterConfig::emit`].
+    pub fn emit_as(&self, vendor: Vendor) -> String {
+        codec(vendor).emit_router(self)
+    }
+}
+
+impl HostConfig {
+    /// Renders the host configuration in the given dialect.
+    pub fn emit_as(&self, vendor: Vendor) -> String {
+        codec(vendor).emit_host(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vendor_names_round_trip() {
+        for vendor in Vendor::ALL {
+            assert_eq!(vendor.name().parse::<Vendor>().unwrap(), vendor);
+            assert_eq!(vendor.to_string(), vendor.name());
+        }
+        let e = "frame-relay".parse::<Vendor>().unwrap_err();
+        assert!(e.contains("unknown vendor 'frame-relay'"), "{e}");
+    }
+
+    #[test]
+    fn parse_error_display_includes_file_when_attached() {
+        let e = err(4, "bad address");
+        assert_eq!(e.to_string(), "line 4: bad address");
+        let e = e.with_file("routers/r1.cfg");
+        assert_eq!(e.to_string(), "routers/r1.cfg: line 4: bad address");
+    }
+
+    #[test]
+    fn sniff_all_majority_vote_is_deterministic() {
+        let ios = "hostname r1\n!\n";
+        let junos = "set system host-name r1\n";
+        assert_eq!(Vendor::sniff_all([ios, ios, junos]), Vendor::Ios);
+        assert_eq!(Vendor::sniff_all([junos, junos, ios]), Vendor::JunosSet);
+        // A tie resolves in ALL order (IOS first), and an empty bundle
+        // defaults to IOS.
+        assert_eq!(Vendor::sniff_all([ios, junos]), Vendor::Ios);
+        assert_eq!(Vendor::sniff_all(std::iter::empty()), Vendor::Ios);
+    }
+
+    #[test]
+    fn emit_as_ios_matches_the_canonical_emitter() {
+        let cfg = crate::parse_router("hostname r1\n!\ninterface Ethernet0/0\n ip address 10.0.0.1 255.255.255.0\n!\n").unwrap();
+        assert_eq!(cfg.emit_as(Vendor::Ios), cfg.emit());
+    }
+}

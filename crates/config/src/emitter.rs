@@ -1,10 +1,11 @@
 //! Emission of configuration ASTs back to IOS-style text.
 //!
-//! The emitter and [`crate::parser`] round-trip: `parse(emit(cfg)) == cfg`
+//! The emitter and the IOS codec ([`crate::codec`]) round-trip:
+//! `parse(emit(cfg)) == cfg`
 //! (up to provenance flags, which are serialization-invisible — provenance is
 //! an in-memory audit trail, not part of the configuration language).
 
-use crate::ast::*;
+use crate::model::*;
 use confmask_net_types::Ipv4Prefix;
 use std::fmt::Write as _;
 

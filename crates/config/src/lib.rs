@@ -1,12 +1,18 @@
-//! Cisco-IOS-style network configuration model for ConfMask.
+//! Multi-vendor network configuration model for ConfMask.
 //!
 //! This crate is the "configuration file" substrate of the reproduction. It
 //! provides:
 //!
-//! * an AST for router and host configurations ([`RouterConfig`],
-//!   [`HostConfig`], grouped into a [`NetworkConfigs`]),
-//! * a line-oriented parser ([`parse_router`], [`parse_host`]) and an emitter
-//!   that round-trips ([`RouterConfig::emit`]),
+//! * a **vendor-neutral model** of router and host configurations
+//!   ([`RouterConfig`], [`HostConfig`], grouped into a [`NetworkConfigs`]),
+//! * a **codec layer** ([`codec`](mod@codec)) of per-vendor frontends behind
+//!   the [`VendorCodec`] trait — Cisco-IOS-style stanzas (the canonical
+//!   dialect), Juniper flat `set ...` statements (`junos-set`), and Arista
+//!   EOS. Each parser is a table-driven FSM; unrecognized lines are
+//!   preserved verbatim so `parse → model → emit` stays byte-exact per
+//!   vendor on canonical files. Cross-vendor translation is parse-with-A,
+//!   emit-with-B ([`parse_router_as`], [`RouterConfig::emit_as`]), and
+//!   [`Vendor::sniff`] auto-detects a dialect,
 //! * an **append-only patch layer** ([`patch`]) — the only way the rest of
 //!   the workspace is allowed to mutate configurations. ConfMask's strong
 //!   functional-equivalence conditions require that *no existing
@@ -14,26 +20,31 @@
 //!   patch layer enforces that by construction and keeps an exact
 //!   [`patch::LineLedger`] of added lines per category (routing-protocol /
 //!   filter / interface / host lines), which is what Appendix C Table 3
-//!   reports.
+//!   reports. Because every dialect round-trips through the same neutral
+//!   model, the invariant survives no matter which vendor a network
+//!   arrived in.
 //!
-//! The dialect is deliberately a *subset* of classic IOS, with two documented
-//! simplifications: RIP `network` statements take an explicit mask (instead
-//! of classful addressing), and host gateway configuration uses a `gateway`
-//! line inside the interface block.
+//! Each dialect is deliberately a *subset* of its real-world counterpart,
+//! with documented simplifications: IOS RIP `network` statements take an
+//! explicit mask (instead of classful addressing), and host gateway
+//! configuration uses a `gateway` line inside the interface block.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-mod ast;
+pub mod codec;
 mod emitter;
-mod parser;
+mod model;
 pub mod patch;
 mod validate;
 
-pub use ast::{
+pub use codec::{
+    codec, parse_host, parse_host_as, parse_router, parse_router_as, register_metrics,
+    ParseError, ParseStats, Vendor, VendorCodec,
+};
+pub use model::{
     BgpConfig, BgpNeighbor, DistributeListBinding, FilterAction, HostConfig, Interface,
     NetworkConfigs, NetworkStatement, OspfConfig, PrefixList, PrefixListEntry, Protocol,
     RipConfig, RouterConfig, StaticRoute, DEFAULT_LOCAL_PREF, DEFAULT_OSPF_COST,
 };
-pub use parser::{parse_host, parse_router, ParseError};
 pub use validate::{validate, ValidationError};

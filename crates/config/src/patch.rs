@@ -13,7 +13,7 @@
 //! paper's configuration-utility metric `U_C = 1 − N_l / P_l` (§7.1) and the
 //! Appendix C Table 3 breakdown.
 
-use crate::ast::*;
+use crate::model::*;
 use confmask_net_types::{Asn, Ipv4Addr, Ipv4Prefix};
 
 /// Running count of configuration lines added per category.

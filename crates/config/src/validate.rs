@@ -7,7 +7,7 @@
 //! regression guard that the patch layer only produces well-formed
 //! configurations.
 
-use crate::ast::*;
+use crate::model::*;
 use std::collections::HashMap;
 
 /// A single validation finding.

@@ -9,7 +9,7 @@
 
 use crate::pipeline::{anonymize, Anonymized, DegradationReport};
 use crate::{Error, Params};
-use confmask_config::NetworkConfigs;
+use confmask_config::{NetworkConfigs, Vendor};
 
 /// One emitted configuration file of an anonymized network, addressed by
 /// its relative path inside a configuration directory.
@@ -64,29 +64,38 @@ fn sanitize(name: &str) -> String {
         .collect()
 }
 
-/// Emits every router and host config of `net` as artifact files.
-fn emit_artifacts(net: &NetworkConfigs) -> Vec<ArtifactFile> {
+/// Emits every router and host config of `net` as artifact files, in the
+/// given vendor dialect.
+fn emit_artifacts(net: &NetworkConfigs, vendor: Vendor) -> Vec<ArtifactFile> {
     let mut files = Vec::with_capacity(net.routers.len() + net.hosts.len());
     for (name, rc) in &net.routers {
         files.push(ArtifactFile {
             path: format!("routers/{}.cfg", sanitize(name)),
-            text: rc.emit(),
+            text: rc.emit_as(vendor),
         });
     }
     for (name, hc) in &net.hosts {
         files.push(ArtifactFile {
             path: format!("hosts/{}.cfg", sanitize(name)),
-            text: hc.emit(),
+            text: hc.emit_as(vendor),
         });
     }
     files
 }
 
 impl JobOutcome {
-    /// Builds the outcome from a finished pipeline run.
+    /// Builds the outcome from a finished pipeline run, emitting artifacts
+    /// in the IOS dialect.
     pub fn from_anonymized(result: &Anonymized) -> JobOutcome {
+        JobOutcome::from_anonymized_as(result, Vendor::Ios)
+    }
+
+    /// Builds the outcome from a finished pipeline run, emitting artifacts
+    /// in the given vendor dialect — a network submitted as `junos-set`
+    /// gets its anonymized configs back as `junos-set`.
+    pub fn from_anonymized_as(result: &Anonymized, vendor: Vendor) -> JobOutcome {
         JobOutcome {
-            artifacts: emit_artifacts(&result.configs),
+            artifacts: emit_artifacts(&result.configs, vendor),
             summary: JobSummary {
                 routers: result.configs.routers.len(),
                 hosts: result.configs.hosts.len(),
@@ -103,11 +112,22 @@ impl JobOutcome {
 }
 
 /// Runs the full self-healing pipeline on `configs` and returns the
-/// in-memory outcome. Exactly [`anonymize`] plus artifact emission — same
-/// determinism, same error classification.
+/// in-memory outcome with IOS-dialect artifacts. Exactly [`anonymize`]
+/// plus artifact emission — same determinism, same error classification.
 pub fn run_job(configs: &NetworkConfigs, params: &Params) -> Result<JobOutcome, Error> {
+    run_job_as(configs, params, Vendor::Ios)
+}
+
+/// [`run_job`] with the artifacts emitted in the given vendor dialect.
+/// The pipeline itself is dialect-agnostic (it runs on the neutral
+/// model), so the vendor changes artifact bytes but nothing else.
+pub fn run_job_as(
+    configs: &NetworkConfigs,
+    params: &Params,
+    vendor: Vendor,
+) -> Result<JobOutcome, Error> {
     let result = anonymize(configs, params)?;
-    Ok(JobOutcome::from_anonymized(&result))
+    Ok(JobOutcome::from_anonymized_as(&result, vendor))
 }
 
 /// FNV-1a 64-bit, the workspace's standard zero-dependency hash.
@@ -127,7 +147,15 @@ fn fnv1a(bytes: &[u8], mut state: u64) -> u64 {
 /// tag the persisted submission with this key and re-execute it as often
 /// as recovery requires without ever producing a divergent outcome.
 pub fn content_key(configs: &NetworkConfigs, params: &Params) -> u64 {
+    content_key_as(configs, params, Vendor::Ios)
+}
+
+/// [`content_key`] with the output dialect mixed in: the same network
+/// anonymized for different vendors produces different artifact bytes,
+/// so the keys must differ for idempotent re-execution to stay sound.
+pub fn content_key_as(configs: &NetworkConfigs, params: &Params, vendor: Vendor) -> u64 {
     let mut state = 0xCBF2_9CE4_8422_2325; // FNV offset basis
+    state = fnv1a(vendor.name().as_bytes(), state);
     state = fnv1a(format!("{params:?}").as_bytes(), state);
     for (name, rc) in &configs.routers {
         state = fnv1a(name.as_bytes(), state);
@@ -150,18 +178,20 @@ pub struct JobSpec {
     pub configs: NetworkConfigs,
     /// Pipeline parameters (the seed makes the run deterministic).
     pub params: Params,
+    /// Dialect the artifacts are emitted in.
+    pub vendor: Vendor,
 }
 
 impl JobSpec {
-    /// Stable fingerprint of the inputs (see [`content_key`]).
+    /// Stable fingerprint of the inputs (see [`content_key_as`]).
     pub fn content_key(&self) -> u64 {
-        content_key(&self.configs, &self.params)
+        content_key_as(&self.configs, &self.params, self.vendor)
     }
 
     /// Executes the job. Re-running the same spec yields byte-identical
     /// artifacts, so recovery may call this any number of times.
     pub fn run(&self) -> Result<JobOutcome, Error> {
-        run_job(&self.configs, &self.params)
+        run_job_as(&self.configs, &self.params, self.vendor)
     }
 }
 
@@ -208,6 +238,7 @@ mod tests {
         let spec = JobSpec {
             configs: net.clone(),
             params: params.clone(),
+            vendor: Vendor::Ios,
         };
         // Stable across calls and across clones.
         assert_eq!(spec.content_key(), content_key(&net, &params));
@@ -217,6 +248,8 @@ mod tests {
         assert_ne!(spec.content_key(), reseeded, "seed must change the key");
         let rescaled = content_key(&net, &Params::new(4, 2).with_seed(7));
         assert_ne!(spec.content_key(), rescaled, "k_R must change the key");
+        let revendored = content_key_as(&net, &params, Vendor::JunosSet);
+        assert_ne!(spec.content_key(), revendored, "vendor must change the key");
         let mut smaller = net.clone();
         smaller.hosts.pop_last();
         assert_ne!(
@@ -231,6 +264,7 @@ mod tests {
         let spec = JobSpec {
             configs: example_network(),
             params: Params::new(3, 2).with_seed(42),
+            vendor: Vendor::Ios,
         };
         let first = spec.run().unwrap();
         let again = spec.run().unwrap();

@@ -71,7 +71,11 @@ pub mod strawman;
 pub mod topo_anon;
 
 pub use error::Error;
-pub use job::{content_key, run_job, ArtifactFile, JobOutcome, JobSpec, JobSummary};
+pub use confmask_config::Vendor;
+pub use job::{
+    content_key, content_key_as, run_job, run_job_as, ArtifactFile, JobOutcome, JobSpec,
+    JobSummary,
+};
 pub use params::{CostStrategy, EquivalenceMode, Params};
 pub use pipeline::{
     anonymize, Anonymized, AttemptRecord, DegradationReport, StageSample, STAGE_SPAN_PREFIX,

@@ -4,7 +4,7 @@ use crate::fattree::fattree_spec;
 use crate::smallnets::{backbone, enterprise, university};
 use crate::synth::synthesize;
 use crate::wan::{bics, columbus, uscarrier};
-use confmask_config::NetworkConfigs;
+use confmask_config::{NetworkConfigs, Vendor};
 
 /// One evaluation network (a row of Table 2).
 #[derive(Debug, Clone)]
@@ -20,6 +20,23 @@ pub struct EvalNetwork {
 }
 
 impl EvalNetwork {
+    /// Table 2 row: (|R|, |H|, |E| incl. host links, #config lines).
+    /// Renders the network as a `(relative path, file text)` bundle in the
+    /// given dialect — `routers/<name>.cfg` and `hosts/<name>.cfg`, in
+    /// deterministic (sorted-name) order. This is the fixture format the
+    /// CLI's `generate`/`netgen` writes to disk and the multi-vendor
+    /// differential tests diff against.
+    pub fn bundle(&self, vendor: Vendor) -> Vec<(String, String)> {
+        let mut files = Vec::new();
+        for (name, rc) in &self.configs.routers {
+            files.push((format!("routers/{name}.cfg"), rc.emit_as(vendor)));
+        }
+        for (name, hc) in &self.configs.hosts {
+            files.push((format!("hosts/{name}.cfg"), hc.emit_as(vendor)));
+        }
+        files
+    }
+
     /// Table 2 row: (|R|, |H|, |E| incl. host links, #config lines).
     pub fn stats(&self) -> (usize, usize, usize, usize) {
         let topo = topo_counts(&self.configs);

@@ -116,6 +116,9 @@ pub struct Server {
 /// regardless of traffic (the same convention the simulator uses for
 /// `sim.*`).
 fn register_metrics() {
+    // The config codec's parse counters (per-vendor included) — the
+    // daemon parses bundles on every submission.
+    confmask_config::register_metrics();
     confmask_obs::counter_add("serve.jobs_accepted", 0);
     confmask_obs::counter_add("serve.jobs_rejected", 0);
     confmask_obs::counter_add("serve.jobs_done", 0);
@@ -334,6 +337,7 @@ fn spawn_requeue(
                     id,
                     configs: sub.configs,
                     params: sub.params,
+                    vendor: sub.vendor,
                     ctx: confmask_obs::SpanContext::root(trace),
                     enqueued_us: confmask_obs::now_us(),
                 };

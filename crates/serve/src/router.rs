@@ -89,9 +89,9 @@ fn submit(req: &Request, state: &ServerState, ctx: SpanContext) -> Response {
     // Journal the canonical (re-encoded) submission before acknowledging:
     // an accepted job must survive a crash, so if the WAL refuses the
     // record the submission is refused too.
-    let key = confmask::content_key(&sub.configs, &sub.params);
-    let canonical = wire::encode_submit(&sub.configs, &sub.params);
-    let id = match state.store.create_job(key, canonical) {
+    let key = confmask::content_key_as(&sub.configs, &sub.params, sub.vendor);
+    let canonical = wire::encode_submit(&sub.configs, &sub.params, sub.vendor);
+    let id = match state.store.create_job(key, canonical, Some(sub.vendor)) {
         Ok(id) => id,
         Err(e) => {
             confmask_obs::counter_add("serve.jobs_rejected", 1);
@@ -110,6 +110,7 @@ fn submit(req: &Request, state: &ServerState, ctx: SpanContext) -> Response {
         id,
         configs: sub.configs,
         params: sub.params,
+        vendor: sub.vendor,
         ctx,
         enqueued_us: confmask_obs::now_us(),
     };
@@ -156,7 +157,7 @@ fn job_artifacts(id: u64, state: &ServerState) -> Response {
     match &record.outcome {
         Some(outcome) if record.state.has_artifacts() => Response::json(
             200,
-            wire::encode_artifacts(&record.wire_id(), &outcome.artifacts),
+            wire::encode_artifacts(&record.wire_id(), &outcome.artifacts, record.vendor),
         ),
         _ => Response::error(
             409,

@@ -17,7 +17,7 @@
 //! a job whose first run actually finished.
 
 use crate::persist::{encode_snapshot, Persistence, RecoveredJob, Recovery};
-use confmask::JobOutcome;
+use confmask::{JobOutcome, Vendor};
 use std::collections::BTreeMap;
 use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -93,6 +93,11 @@ pub struct JobRecord {
     /// The canonical submission body, kept until the job is terminal so
     /// snapshots can persist it for re-execution after a crash.
     pub submission: Option<String>,
+    /// Dialect the job's artifacts are emitted in. `None` for jobs whose
+    /// submission predates vendor support, for test records, and for
+    /// terminal jobs recovered from a WAL (the canonical submission is
+    /// dropped once a job finishes, taking the vendor name with it).
+    pub vendor: Option<Vendor>,
     /// Trace id of the request (or requeue) that admitted this job, for
     /// `GET /v1/jobs/{id}/trace`. In-memory only (0 = untraced): traces
     /// are diagnostics of *this* process, not durable state.
@@ -128,6 +133,10 @@ impl JobRecord {
             requeues: job.requeues,
             content_key: job.content_key,
             submission: job.submission.clone(),
+            vendor: job
+                .submission
+                .as_deref()
+                .and_then(crate::wire::submission_vendor),
             trace: 0,
             submitted: Instant::now(),
             started: None,
@@ -206,7 +215,7 @@ impl JobStore {
 
     /// Creates a `queued` record for tests and ephemeral stores.
     pub fn create(&self) -> u64 {
-        self.create_job(0, String::new())
+        self.create_job(0, String::new(), None)
             .expect("creating a job in an ephemeral store cannot fail")
     }
 
@@ -214,7 +223,12 @@ impl JobStore {
     /// attached the `Created` record is journaled (and fsynced) *before*
     /// this returns — an error means the job was never accepted, and the
     /// caller must fail the submission.
-    pub fn create_job(&self, content_key: u64, submission: String) -> io::Result<u64> {
+    pub fn create_job(
+        &self,
+        content_key: u64,
+        submission: String,
+        vendor: Option<Vendor>,
+    ) -> io::Result<u64> {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         // The append and the map insert happen under the jobs lock (the
         // jobs → wal order every journaling path uses): were the append
@@ -235,6 +249,7 @@ impl JobStore {
             requeues: 0,
             content_key,
             submission: Some(submission),
+            vendor,
             trace: 0,
             submitted: Instant::now(),
             started: None,
@@ -442,7 +457,7 @@ mod tests {
                 std::thread::spawn(move || {
                     for i in 0..15u64 {
                         let id = store
-                            .create_job(t << 32 | i, format!("job-{t}-{i}"))
+                            .create_job(t << 32 | i, format!("job-{t}-{i}"), None)
                             .expect("create");
                         acked.lock().unwrap().push(id);
                         store.mark_running(id);

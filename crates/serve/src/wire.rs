@@ -8,7 +8,7 @@
 
 use crate::store::JobRecord;
 use confmask::{ArtifactFile, EquivalenceMode, JobSummary, Params};
-use confmask_config::{parse_host, parse_router, NetworkConfigs};
+use confmask_config::{parse_host_as, parse_router_as, NetworkConfigs, Vendor};
 use confmask_obs::json::{escape, parse, Json};
 use std::fmt::Write as _;
 use std::time::Duration;
@@ -20,6 +20,11 @@ pub struct Submission {
     pub configs: NetworkConfigs,
     /// Pipeline parameters (defaults for everything the client omitted).
     pub params: Params,
+    /// Resolved configuration dialect. `"auto"` (or an absent field) is
+    /// resolved by [`Vendor::sniff_all`] at decode time, so the value is
+    /// always concrete — the canonical journaled submission never says
+    /// `auto`, which keeps crash-recovery replay deterministic.
+    pub vendor: Vendor,
 }
 
 fn mode_name(mode: EquivalenceMode) -> &'static str {
@@ -39,8 +44,10 @@ fn mode_from_name(name: &str) -> Option<EquivalenceMode> {
     }
 }
 
-/// Encodes a submission request body (client side).
-pub fn encode_submit(configs: &NetworkConfigs, params: &Params) -> String {
+/// Encodes a submission request body (client side). The bundle's config
+/// files are emitted in `vendor`'s dialect and the vendor is named in the
+/// body, so the server round-trips the job in the dialect it arrived in.
+pub fn encode_submit(configs: &NetworkConfigs, params: &Params, vendor: Vendor) -> String {
     let mut out = String::from("{\n  \"params\": {");
     let _ = write!(
         out,
@@ -58,19 +65,21 @@ pub fn encode_submit(configs: &NetworkConfigs, params: &Params) -> String {
             .map(|d| d.as_secs().to_string())
             .unwrap_or_else(|| "null".into()),
     );
-    out.push_str("},\n  \"routers\": {");
+    out.push_str("},\n");
+    let _ = writeln!(out, "  \"vendor\": {},", escape(vendor.name()));
+    out.push_str("  \"routers\": {");
     for (i, (name, rc)) in configs.routers.iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
-        let _ = write!(out, "\n    {}: {}", escape(name), escape(&rc.emit()));
+        let _ = write!(out, "\n    {}: {}", escape(name), escape(&rc.emit_as(vendor)));
     }
     out.push_str("\n  },\n  \"hosts\": {");
     for (i, (name, hc)) in configs.hosts.iter().enumerate() {
         if i > 0 {
             out.push(',');
         }
-        let _ = write!(out, "\n    {}: {}", escape(name), escape(&hc.emit()));
+        let _ = write!(out, "\n    {}: {}", escape(name), escape(&hc.emit_as(vendor)));
     }
     out.push_str("\n  }\n}\n");
     out
@@ -125,7 +134,7 @@ pub fn decode_submit(body: &[u8]) -> Result<Submission, String> {
     let doc = parse(text).map_err(|e| e.to_string())?;
     let params = decode_params(&doc)?;
 
-    let mut routers = Vec::new();
+    let mut router_texts = Vec::new();
     let router_obj = doc
         .get("routers")
         .and_then(Json::as_obj)
@@ -134,26 +143,57 @@ pub fn decode_submit(body: &[u8]) -> Result<Submission, String> {
         let text = text
             .as_str()
             .ok_or_else(|| format!("router '{name}' must map to config text"))?;
-        routers.push(parse_router(text).map_err(|e| format!("router '{name}': {e}"))?);
+        router_texts.push((name.as_str(), text));
     }
-    if routers.is_empty() {
+    if router_texts.is_empty() {
         return Err("bundle has no routers".to_string());
     }
-
-    let mut hosts = Vec::new();
+    let mut host_texts = Vec::new();
     if let Some(host_obj) = doc.get("hosts").and_then(Json::as_obj) {
         for (name, text) in host_obj {
             let text = text
                 .as_str()
                 .ok_or_else(|| format!("host '{name}' must map to config text"))?;
-            hosts.push(parse_host(text).map_err(|e| format!("host '{name}': {e}"))?);
+            host_texts.push((name.as_str(), text));
         }
+    }
+
+    let vendor = match doc.get("vendor") {
+        None | Some(Json::Null) => None,
+        Some(v) => {
+            let name = v.as_str().ok_or("vendor expects a string")?;
+            match name {
+                "auto" => None,
+                other => Some(other.parse::<Vendor>()?),
+            }
+        }
+    };
+    // `auto`: sniff the bundle (router files carry the strongest signals).
+    let vendor =
+        vendor.unwrap_or_else(|| Vendor::sniff_all(router_texts.iter().map(|(_, t)| *t)));
+
+    let mut routers = Vec::new();
+    for (name, text) in router_texts {
+        routers.push(parse_router_as(vendor, text).map_err(|e| format!("router '{name}': {e}"))?);
+    }
+    let mut hosts = Vec::new();
+    for (name, text) in host_texts {
+        hosts.push(parse_host_as(vendor, text).map_err(|e| format!("host '{name}': {e}"))?);
     }
 
     Ok(Submission {
         configs: NetworkConfigs::new(routers, hosts),
         params,
+        vendor,
     })
+}
+
+/// Extracts the vendor named in a canonical (journaled) submission body
+/// without parsing the whole bundle — crash recovery uses it to restore a
+/// job's dialect from the WAL.
+pub fn submission_vendor(body: &str) -> Option<Vendor> {
+    let doc = parse(body).ok()?;
+    doc.get("vendor")?.as_str()?.parse().ok()
 }
 
 /// The submit response: `{"id": "j1", "state": "queued"}`.
@@ -217,6 +257,14 @@ pub fn encode_status(record: &JobRecord) -> String {
     let mut out = String::from("{\n");
     let _ = writeln!(out, "  \"id\": {},", escape(&record.wire_id()));
     let _ = writeln!(out, "  \"state\": {},", escape(record.state.name()));
+    let _ = writeln!(
+        out,
+        "  \"vendor\": {},",
+        record
+            .vendor
+            .map(|v| escape(v.name()))
+            .unwrap_or_else(|| "null".into())
+    );
     let _ = writeln!(out, "  \"queue_wait_ms\": {},", millis(record.queue_wait));
     let _ = writeln!(out, "  \"wall_ms\": {},", millis(record.wall));
     let _ = writeln!(out, "  \"requeues\": {},", record.requeues);
@@ -293,6 +341,8 @@ pub struct JobStatus {
     pub requeues: u64,
     /// Pipeline wall-clock milliseconds, when finished.
     pub wall_ms: Option<u64>,
+    /// Artifact dialect, when the server knows it.
+    pub vendor: Option<Vendor>,
 }
 
 impl JobStatus {
@@ -333,13 +383,24 @@ pub fn decode_status(body: &[u8]) -> Result<JobStatus, String> {
             .unwrap_or(0),
         requeues: doc.get("requeues").and_then(Json::as_u64).unwrap_or(0),
         wall_ms: doc.get("wall_ms").and_then(Json::as_u64),
+        vendor: doc
+            .get("vendor")
+            .and_then(Json::as_str)
+            .and_then(|v| v.parse().ok()),
     })
 }
 
-/// Serializes the artifacts bundle for `GET /v1/jobs/{id}/artifacts`.
-pub fn encode_artifacts(wire_id: &str, files: &[ArtifactFile]) -> String {
+/// Serializes the artifacts bundle for `GET /v1/jobs/{id}/artifacts`,
+/// naming the dialect the files are written in (null when unknown, e.g.
+/// terminal jobs recovered from a pre-vendor WAL).
+pub fn encode_artifacts(wire_id: &str, files: &[ArtifactFile], vendor: Option<Vendor>) -> String {
     let mut out = String::from("{\n");
     let _ = writeln!(out, "  \"id\": {},", escape(wire_id));
+    let _ = writeln!(
+        out,
+        "  \"vendor\": {},",
+        vendor.map(|v| escape(v.name())).unwrap_or_else(|| "null".into())
+    );
     out.push_str("  \"files\": {");
     for (i, f) in files.iter().enumerate() {
         if i > 0 {
@@ -408,7 +469,7 @@ mod tests {
             .with_seed(99)
             .with_mode(EquivalenceMode::Strawman1)
             .with_stage_deadline(Duration::from_secs(30));
-        let body = encode_submit(&net, &params);
+        let body = encode_submit(&net, &params, Vendor::Ios);
         let sub = decode_submit(body.as_bytes()).unwrap();
         assert_eq!(sub.configs, net);
         assert_eq!(sub.params, params);
@@ -496,7 +557,7 @@ mod tests {
                 text: "hostname h1\n".into(),
             },
         ];
-        let body = encode_artifacts("j3", &files);
+        let body = encode_artifacts("j3", &files, Some(Vendor::Ios));
         let back = decode_artifacts(body.as_bytes()).unwrap();
         // JSON objects decode in sorted key order.
         let mut expected = files;

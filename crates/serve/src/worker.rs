@@ -10,7 +10,7 @@
 use crate::failpoint;
 use crate::queue::Bounded;
 use crate::store::JobStore;
-use confmask::{run_job, NetworkConfigs, Params};
+use confmask::{run_job_as, NetworkConfigs, Params, Vendor};
 use confmask_obs::{Span, SpanContext};
 use std::panic::AssertUnwindSafe;
 use std::sync::Arc;
@@ -26,6 +26,8 @@ pub struct QueuedJob {
     pub configs: NetworkConfigs,
     /// Pipeline parameters (already defaulted by the wire decoder).
     pub params: Params,
+    /// Dialect the artifacts are emitted in (resolved at submit time).
+    pub vendor: Vendor,
     /// Trace context of the admitting request — the worker's spans are
     /// parented under the HTTP request span across the queue hop.
     pub ctx: SpanContext,
@@ -42,6 +44,7 @@ impl QueuedJob {
             id,
             configs,
             params,
+            vendor: Vendor::Ios,
             ctx: SpanContext::NONE,
             enqueued_us: confmask_obs::now_us(),
         }
@@ -119,7 +122,7 @@ fn worker_loop(queue: &Bounded<QueuedJob>, store: &JobStore, job_timeout: Option
         let started = Instant::now();
         let run_span = confmask_obs::span("serve.run");
         let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
-            run_job(&job.configs, &params)
+            run_job_as(&job.configs, &params, job.vendor)
         }));
         confmask_obs::observe("serve.run_ms", run_span.finish().as_millis() as u64);
         let wall = started.elapsed();

@@ -45,7 +45,7 @@ fn wait_terminal(addr: &str, id: &str) -> wire::JobStatus {
 
 fn example_body(seed: u64) -> String {
     let net = confmask_netgen::smallnets::example_network();
-    wire::encode_submit(&net, &Params::new(3, 2).with_seed(seed))
+    wire::encode_submit(&net, &Params::new(3, 2).with_seed(seed), confmask::Vendor::Ios)
 }
 
 #[test]
@@ -114,6 +114,60 @@ fn submit_poll_artifacts_metrics_shutdown() {
     if let Ok(resp) = client::post(&addr, "/v1/jobs", &example_body(2)) {
         assert_eq!(resp.status, 503);
     }
+}
+
+#[test]
+fn junos_set_submission_completes_end_to_end() {
+    let (addr, handle) = start(1, 8);
+    let net = confmask_netgen::smallnets::example_network();
+    let params = Params::new(3, 2).with_seed(7);
+
+    // Explicit junos-set submission: the wire body names the dialect.
+    let body = wire::encode_submit(&net, &params, confmask::Vendor::JunosSet);
+    assert!(body.contains("\"vendor\": \"junos-set\""), "{body}");
+    let resp = submit_bundle(&addr, &body);
+    assert_eq!(resp.status, 202, "{}", resp.text());
+    let id = wire::decode_job_created(&resp.body).unwrap();
+    let status = wait_terminal(&addr, &id);
+    assert_eq!(status.state, "done", "{status:?}");
+    // The dialect is echoed in status and artifacts…
+    assert_eq!(status.vendor, Some(confmask::Vendor::JunosSet), "{status:?}");
+    let resp = client::get(&addr, &format!("/v1/jobs/{id}/artifacts")).unwrap();
+    assert_eq!(resp.status, 200);
+    assert!(resp.text().contains("\"vendor\": \"junos-set\""), "{}", resp.text());
+    // …and the artifact files themselves are junos-set text.
+    let files = wire::decode_artifacts(&resp.body).unwrap();
+    assert!(!files.is_empty());
+    for f in &files {
+        if f.path.starts_with("routers/") {
+            let rc = confmask_config::parse_router_as(confmask::Vendor::JunosSet, &f.text)
+                .expect("artifact parses as junos-set");
+            assert_eq!(rc.emit_as(confmask::Vendor::JunosSet), f.text, "{}", f.path);
+        }
+    }
+
+    // A body with no vendor field sniffs the dialect from the config
+    // texts themselves: the job runs, and status echoes the detected
+    // dialect as if it had been named explicitly.
+    let auto_body: String = body
+        .lines()
+        .filter(|l| !l.contains("\"vendor\""))
+        .collect::<Vec<_>>()
+        .join("\n");
+    let resp = submit_bundle(&addr, &auto_body);
+    assert_eq!(resp.status, 202, "{}", resp.text());
+    let auto_id = wire::decode_job_created(&resp.body).unwrap();
+    let status = wait_terminal(&addr, &auto_id);
+    assert_eq!(status.state, "done", "{status:?}");
+    assert_eq!(
+        status.vendor,
+        Some(confmask::Vendor::JunosSet),
+        "auto submission must sniff junos-set: {status:?}"
+    );
+
+    client::post(&addr, "/v1/shutdown", "").unwrap();
+    let counts = handle.join().unwrap();
+    assert_eq!(counts.done, 2, "{counts:?}");
 }
 
 #[test]
@@ -193,7 +247,7 @@ fn failed_jobs_surface_the_pipeline_error() {
     // Griffin's bad gadget has no BGP equilibrium: the job must fail, and
     // the status must carry the error.
     let net = confmask_netgen::smallnets::bad_gadget();
-    let body = wire::encode_submit(&net, &Params::new(3, 2));
+    let body = wire::encode_submit(&net, &Params::new(3, 2), confmask::Vendor::Ios);
     let resp = submit_bundle(&addr, &body);
     assert_eq!(resp.status, 202);
     let id = wire::decode_job_created(&resp.body).unwrap();

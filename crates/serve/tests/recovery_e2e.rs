@@ -63,7 +63,7 @@ fn recovered_jobs_metric(addr: &str) -> u64 {
 fn finished_jobs_survive_a_graceful_restart() {
     let dir = tmp("graceful");
     let net = confmask_netgen::smallnets::example_network();
-    let body = wire::encode_submit(&net, &Params::new(3, 2));
+    let body = wire::encode_submit(&net, &Params::new(3, 2), confmask::Vendor::Ios);
 
     // Daemon 1: run one job to completion, remember its artifacts.
     let (addr, handle) = start(&dir);
@@ -108,7 +108,7 @@ fn a_job_interrupted_by_a_crash_is_requeued_and_completes() {
     let dir = tmp("interrupted");
     let net = confmask_netgen::smallnets::example_network();
     let params = Params::new(3, 2);
-    let body = wire::encode_submit(&net, &params);
+    let body = wire::encode_submit(&net, &params, confmask::Vendor::Ios);
     let key = confmask::content_key(&net, &params);
 
     // Hand-author the state directory a crashed daemon would leave: a job

@@ -1,0 +1,155 @@
+//! Multi-vendor differential test over committed golden fixtures.
+//!
+//! Networks A and D are rendered in every dialect under
+//! `tests/fixtures/vendors/`. The test asserts, for each network:
+//!
+//! 1. **Golden bytes**: the current emitters reproduce the committed
+//!    fixture byte-for-byte (regenerate with
+//!    `CONFMASK_REGEN_FIXTURES=1 cargo test --test vendor_differential`).
+//! 2. **Round-trip**: parsing a fixture with its own dialect and
+//!    re-emitting is byte-exact.
+//! 3. **Differential**: every dialect parses to the *identical* neutral
+//!    model — the same `NetworkConfigs` regardless of which vendor the
+//!    network arrived in — and auto-detection picks the right dialect.
+//!
+//! Fixture format: one file per (network, dialect), concatenating the
+//! bundle's files with `>>> <relative path>` section markers.
+
+use confmask::{NetworkConfigs, Vendor};
+use confmask_config::{parse_host_as, parse_router_as};
+use std::path::PathBuf;
+
+fn fixture_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/fixtures/vendors")
+}
+
+fn fixture_path(id: char, vendor: Vendor) -> PathBuf {
+    fixture_dir().join(format!("net-{id}.{}.txt", vendor.name()))
+}
+
+/// Renders a bundle as one fixture file with section markers.
+fn render_fixture(files: &[(String, String)]) -> String {
+    let mut out = String::new();
+    for (path, text) in files {
+        out.push_str(">>> ");
+        out.push_str(path);
+        out.push('\n');
+        out.push_str(text);
+    }
+    out
+}
+
+/// Splits a fixture file back into `(relative path, file text)` pairs.
+fn split_fixture(text: &str) -> Vec<(String, String)> {
+    let mut files: Vec<(String, String)> = Vec::new();
+    for line in text.lines() {
+        if let Some(path) = line.strip_prefix(">>> ") {
+            files.push((path.to_string(), String::new()));
+        } else if let Some((_, body)) = files.last_mut() {
+            body.push_str(line);
+            body.push('\n');
+        } else {
+            panic!("fixture text before the first '>>> ' marker: {line:?}");
+        }
+    }
+    files
+}
+
+/// Parses a fixture bundle into a `NetworkConfigs` with the given dialect.
+fn parse_bundle(files: &[(String, String)], vendor: Vendor) -> NetworkConfigs {
+    let mut routers = Vec::new();
+    let mut hosts = Vec::new();
+    for (path, text) in files {
+        if path.starts_with("routers/") {
+            routers.push(
+                parse_router_as(vendor, text)
+                    .unwrap_or_else(|e| panic!("{}", e.with_file(path.clone()))),
+            );
+        } else if path.starts_with("hosts/") {
+            hosts.push(
+                parse_host_as(vendor, text)
+                    .unwrap_or_else(|e| panic!("{}", e.with_file(path.clone()))),
+            );
+        } else {
+            panic!("unexpected fixture entry {path:?}");
+        }
+    }
+    NetworkConfigs::new(routers, hosts)
+}
+
+fn eval_network(id: char) -> confmask_netgen::suite::EvalNetwork {
+    confmask_netgen::full_suite()
+        .into_iter()
+        .find(|n| n.id == id)
+        .unwrap_or_else(|| panic!("no evaluation network '{id}'"))
+}
+
+const NETWORKS: [char; 2] = ['A', 'D'];
+
+#[test]
+fn golden_fixtures_match_the_current_emitters() {
+    let regen = std::env::var("CONFMASK_REGEN_FIXTURES").is_ok_and(|v| v == "1");
+    if regen {
+        std::fs::create_dir_all(fixture_dir()).unwrap();
+    }
+    for id in NETWORKS {
+        let net = eval_network(id);
+        for vendor in Vendor::ALL {
+            let rendered = render_fixture(&net.bundle(vendor));
+            let path = fixture_path(id, vendor);
+            if regen {
+                std::fs::write(&path, &rendered).unwrap();
+                continue;
+            }
+            let committed = std::fs::read_to_string(&path)
+                .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+            assert_eq!(
+                committed,
+                rendered,
+                "net {id} {vendor} fixture is stale — regenerate with CONFMASK_REGEN_FIXTURES=1"
+            );
+        }
+    }
+}
+
+#[test]
+fn every_dialect_round_trips_its_fixture_byte_exactly() {
+    for id in NETWORKS {
+        for vendor in Vendor::ALL {
+            let text = std::fs::read_to_string(fixture_path(id, vendor)).unwrap();
+            let files = split_fixture(&text);
+            for (path, body) in &files {
+                let reemitted = if path.starts_with("routers/") {
+                    parse_router_as(vendor, body).unwrap().emit_as(vendor)
+                } else {
+                    parse_host_as(vendor, body).unwrap().emit_as(vendor)
+                };
+                assert_eq!(&reemitted, body, "net {id} {vendor} {path} round-trip");
+            }
+        }
+    }
+}
+
+#[test]
+fn every_dialect_yields_the_identical_neutral_model() {
+    for id in NETWORKS {
+        let ground_truth = eval_network(id).configs;
+        for vendor in Vendor::ALL {
+            let text = std::fs::read_to_string(fixture_path(id, vendor)).unwrap();
+            let files = split_fixture(&text);
+            // Auto-detection picks the emitting dialect from the bundle.
+            let sniffed = Vendor::sniff_all(
+                files
+                    .iter()
+                    .filter(|(p, _)| p.starts_with("routers/"))
+                    .map(|(_, t)| t.as_str()),
+            );
+            assert_eq!(sniffed, vendor, "net {id} bundle detection");
+            let parsed = parse_bundle(&files, vendor);
+            assert_eq!(
+                parsed, ground_truth,
+                "net {id} parsed from {vendor} differs from the generator's model"
+            );
+        }
+    }
+}
