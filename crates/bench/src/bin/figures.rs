@@ -8,7 +8,12 @@
 //! ```
 //!
 //! Experiments: `table2 fig5 fig6 fig7 fig8 fig9 fig10 fig11 fig12 fig13
-//! fig14 fig15 fig16 table3 ablation attacks all`.
+//! fig14 fig15 fig16 table3 ablation attacks frontier all`.
+//!
+//! `frontier` compares all three anonymization strategies (ConfMask,
+//! NetHide, NetCloak) over the extended suite, including FatTree(16) and
+//! the scaling WANs; because the full run anonymizes those large nets it
+//! is *not* part of `all` — ask for it explicitly.
 
 use confmask::EquivalenceMode;
 use confmask_bench::stats::{mean, pearson};
@@ -25,7 +30,9 @@ fn main() {
         .map(|s| s.as_str())
         .collect();
     if wanted.is_empty() {
-        eprintln!("usage: figures [--quick] <table2|fig5|...|fig16|table3|all>...");
+        eprintln!(
+            "usage: figures [--quick] <table2|fig5|...|fig16|table3|ablation|attacks|frontier|all>..."
+        );
         std::process::exit(2);
     }
 
@@ -84,6 +91,11 @@ fn main() {
     }
     if want("attacks") {
         attacks(&runner);
+    }
+    // Deliberately excluded from `all`: the full frontier anonymizes the
+    // scaling nets (I, J, K) three times each.
+    if wanted.contains(&"frontier") {
+        frontier(quick);
     }
 }
 
@@ -168,18 +180,21 @@ fn fig7(runner: &Runner) {
     println!("average |delta|: {:.3}", mean(&deltas));
 }
 
-/// Figure 8: proportion of exactly kept host-to-host paths.
+/// Figure 8: proportion of exactly kept host-to-host paths. The NetHide
+/// baseline is selected through the `Anonymizer` trait, so the comparison
+/// column is exactly what `--strategy nethide` produces.
 fn fig8(runner: &Runner) {
+    use confmask::{anonymizer_for, Strategy};
     header("Figure 8: exactly kept paths P_U — ConfMask vs NetHide");
     println!("{:<3} {:>9} {:>9}", "ID", "ConfMask", "NetHide");
     let mut nh_scores = Vec::new();
     for net in runner.suite() {
         let run = runner.default_run(net.id);
         let confmask_pu = run.path_preservation();
-        let topo = extract_topology(&net.configs);
-        let nh = confmask_nethide::obfuscate(&topo, 6, 0).expect("nethide");
-        let nh_pu =
-            confmask_nethide::exact_path_preservation(&run.baseline.sim.dataplane, &nh.dataplane);
+        let nh = anonymizer_for(Strategy::NetHide)
+            .anonymize(&net.configs, &confmask::Params::new(6, 2))
+            .expect("nethide");
+        let nh_pu = nh.kept_path_ratio();
         nh_scores.push(nh_pu);
         println!("{:<3} {:>9.3} {:>9.3}", net.id, confmask_pu, nh_pu);
     }
@@ -210,8 +225,9 @@ fn fig9(runner: &Runner) {
         let cm_spec = confmask_spec::mine(&run.final_sim.dataplane);
         let cm = confmask_spec::diff(&orig_spec, &cm_spec, &run.baseline.real_hosts);
 
-        let topo = extract_topology(&net.configs);
-        let nh = confmask_nethide::obfuscate(&topo, 6, 0).expect("nethide");
+        let nh = confmask::anonymizer_for(confmask::Strategy::NetHide)
+            .anonymize(&net.configs, &confmask::Params::new(6, 4))
+            .expect("nethide");
         let nh_spec = confmask_spec::mine(&nh.dataplane);
         let nhd = confmask_spec::diff(&orig_spec, &nh_spec, &run.baseline.real_hosts);
 
@@ -506,21 +522,36 @@ fn ablation(runner: &Runner) {
     println!("(default cost breaks route equivalence; large cost leaves dead links; min-cost does neither)");
 }
 
-/// De-anonymization attack outcomes (§5.4 privacy analysis).
+/// De-anonymization attack outcomes (§5.4 privacy analysis), evaluated
+/// for every registered strategy: the degree re-identification adversary
+/// runs against each strategy's shared topology, so the table is a
+/// three-way privacy comparison rather than a ConfMask-only report.
 fn attacks(runner: &Runner) {
     use confmask::attacks::{degree_reidentification, detect_unified_filter_pattern};
-    use confmask::{anonymize, EquivalenceMode, Params};
-    header("Attacks: degree re-identification and the Strawman-1 pattern");
+    use confmask::{anonymize, anonymizer_for, EquivalenceMode, Params, Strategy};
+    header("Attacks: degree re-identification (per strategy) and the Strawman-1 pattern");
     println!(
-        "{:<3} {:>12} {:>12} {:>10} {:>10}",
-        "ID", "reid before", "reid after", "S1 pattern", "CM pattern"
+        "{:<3} {:>12} {:>9} {:>9} {:>9} {:>10} {:>10}",
+        "ID", "reid before", "CM", "NH", "NC", "S1 pattern", "CM pattern"
     );
     for net in runner.suite() {
         let run = runner.default_run(net.id);
         let orig = extract_topology(&net.configs);
-        let shared = extract_topology(&run.configs);
         let before = degree_reidentification(&orig, &orig);
-        let after = degree_reidentification(&orig, &shared);
+        let mut after = [0.0f64; 3];
+        for (i, strategy) in Strategy::ALL.into_iter().enumerate() {
+            // The ConfMask run is the (cached) default run; the others go
+            // through the trait with the same parameters.
+            let shared = if strategy == Strategy::ConfMask {
+                extract_topology(&run.configs)
+            } else {
+                let r = anonymizer_for(strategy)
+                    .anonymize(&net.configs, &Params::new(6, 2))
+                    .unwrap_or_else(|e| panic!("{strategy} on {}: {e}", net.id));
+                extract_topology(&r.configs)
+            };
+            after[i] = degree_reidentification(&orig, &shared).expected_success();
+        }
         let s1 = anonymize(
             &net.configs,
             &Params::default().with_mode(EquivalenceMode::Strawman1),
@@ -529,15 +560,89 @@ fn attacks(runner: &Runner) {
         let s1_hits = detect_unified_filter_pattern(&s1.configs).len();
         let cm_hits = detect_unified_filter_pattern(&run.configs).len();
         println!(
-            "{:<3} {:>11.3} {:>11.3} {:>10} {:>10}",
+            "{:<3} {:>11.3} {:>9.3} {:>9.3} {:>9.3} {:>10} {:>10}",
             net.id,
             before.expected_success(),
-            after.expected_success(),
+            after[0],
+            after[1],
+            after[2],
             s1_hits,
             cm_hits
         );
     }
-    println!("(reid = adversary's expected success probability; after must be <= 1/k_R ~ 0.167)");
+    println!(
+        "(reid = adversary's expected success probability per strategy; \
+         ConfMask must stay <= 1/k_R ~ 0.167)"
+    );
+}
+
+/// The three-strategy privacy/utility/runtime frontier over the extended
+/// suite (Table 2 plus FatTree(16) and the scaling WANs). Every strategy
+/// is selected through the `Anonymizer` trait; per (net, strategy) the row
+/// reports kept-path ratio, kept-spec ratio, degree re-identification
+/// success, and wall time.
+fn frontier(quick: bool) {
+    use confmask::attacks::degree_reidentification;
+    use confmask::{anonymizer_for, Params, Strategy};
+    header("Frontier: privacy / utility / runtime across strategies (k_R=6, k_H=2)");
+    let suite = confmask_netgen::extended_suite();
+    // Quick mode keeps CI affordable; the full run covers the scaling nets
+    // the frontier exists for (I = FatTree16, J/K = large WANs).
+    let ids: &[char] = if quick {
+        &['A', 'B', 'G']
+    } else {
+        &['A', 'B', 'C', 'D', 'G', 'H', 'I', 'J', 'K']
+    };
+    println!(
+        "{:<3} {:>4} {:<9} {:>10} {:>10} {:>8} {:>7} {:>7} {:>10}",
+        "ID", "|R|", "strategy", "kept-path", "kept-spec", "reid", "+R", "+E", "wall"
+    );
+    for id in ids {
+        let Some(net) = suite.iter().find(|n| n.id == *id) else {
+            continue;
+        };
+        let orig_topo = extract_topology(&net.configs);
+        let mut orig_spec = None;
+        for strategy in Strategy::ALL {
+            let result = match anonymizer_for(strategy)
+                .anonymize(&net.configs, &Params::new(6, 2))
+            {
+                Ok(r) => r,
+                Err(e) => {
+                    println!(
+                        "{:<3} {:>4} {:<9} failed: {e}",
+                        net.id,
+                        net.configs.routers.len(),
+                        strategy.name()
+                    );
+                    continue;
+                }
+            };
+            let spec_base = orig_spec
+                .get_or_insert_with(|| confmask_spec::mine(&result.baseline_dataplane));
+            let anon_spec = confmask_spec::mine(&result.dataplane);
+            let sd = confmask_spec::diff(spec_base, &anon_spec, &result.real_hosts);
+            let reid =
+                degree_reidentification(&orig_topo, &extract_topology(&result.configs));
+            println!(
+                "{:<3} {:>4} {:<9} {:>10.3} {:>10.3} {:>8.3} {:>7} {:>7} {:>9.1}s",
+                net.id,
+                net.configs.routers.len(),
+                strategy.name(),
+                result.kept_path_ratio(),
+                sd.kept_ratio(),
+                reid.expected_success(),
+                result.fake_routers,
+                result.fake_links,
+                result.wall.as_secs_f64()
+            );
+        }
+    }
+    println!(
+        "(kept-path = Fig 8 metric; kept-spec = Fig 9 metric; reid = degree \
+         re-identification success; +R/+E = added routers/links; wall = one \
+         anonymization run)"
+    );
 }
 
 /// Table 3: added-line breakdown per network and parameter setting.

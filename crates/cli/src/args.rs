@@ -1,6 +1,6 @@
 //! Hand-rolled argument parsing (no external dependencies).
 
-use confmask::{EquivalenceMode, Params, Vendor};
+use confmask::{EquivalenceMode, Params, Strategy, Vendor};
 use std::path::PathBuf;
 
 /// A parsed CLI invocation.
@@ -20,6 +20,8 @@ pub enum Command {
         verify_failures: Option<usize>,
         /// Configuration dialect (`None` = auto-detect).
         vendor: Option<Vendor>,
+        /// Anonymization strategy (default: `confmask`).
+        strategy: Strategy,
     },
     /// Sweep failure scenarios; optionally verify equivalence under failure.
     Failures {
@@ -38,6 +40,9 @@ pub enum Command {
         cold_sim: bool,
         /// Configuration dialect (`None` = auto-detect).
         vendor: Option<Vendor>,
+        /// Anonymization strategy used by `--verify-failures` (default:
+        /// `confmask`).
+        strategy: Strategy,
     },
     /// Simulate a configuration directory and report the data plane.
     Simulate {
@@ -53,7 +58,7 @@ pub enum Command {
     },
     /// Write one of the evaluation networks to disk.
     Generate {
-        /// Table 2 network id (`A`–`H`).
+        /// Evaluation network id (`A`–`H` Table 2, `I`–`K` extended).
         network: char,
         /// Output directory.
         output: PathBuf,
@@ -93,7 +98,7 @@ pub enum Command {
         concurrency: usize,
         /// How long to keep submitting before draining in-flight jobs.
         duration_secs: u64,
-        /// Table 2 network id (`A`–`H`) used as the job payload.
+        /// Evaluation network id (`A`–`K`) used as the job payload.
         network: char,
         /// Base seed; request `i` is submitted with seed `base + i`.
         seed: u64,
@@ -120,6 +125,8 @@ pub enum Command {
         shutdown: bool,
         /// Configuration dialect (`None` = auto-detect).
         vendor: Option<Vendor>,
+        /// Anonymization strategy sent with the job (default: `confmask`).
+        strategy: Strategy,
     },
     /// Print usage.
     Help,
@@ -164,21 +171,23 @@ USAGE:
                      [--stage-deadline-secs S] [--verify-failures K]
                      [--mode confmask|strawman1|strawman2] [--pii]
                      [--vendor auto|ios|junos-set|eos]
+                     [--strategy confmask|nethide|netcloak]
   confmask failures  [--input <dir>] [--k N] [--verify-failures K]
                      [--k2-sample N] [--seed N] [--k-r N] [--k-h N]
                      [--fake-routers N] [--max-retries N]
                      [--stage-deadline-secs S] [--cold-sim]
                      [--vendor auto|ios|junos-set|eos]
+                     [--strategy confmask|nethide|netcloak]
   confmask simulate  --input <dir> [--trace <src> <dst>]
   confmask inspect   --input <dir>
-  confmask generate  --network <A..H> --output <dir>
+  confmask generate  --network <A..K> --output <dir>
                      [--vendor ios|junos-set|eos]   (alias: netgen)
   confmask obs-report <metrics.json | -> [--chrome-trace]
   confmask serve     [--addr H:P] [--workers N] [--queue-cap N]
                      [--job-timeout-secs S] [--state-dir <dir>]
                      [--requeue-budget N]
   confmask loadgen   [--addr H:P] [--concurrency N]
-                     [--duration-secs S] [--network <A..H>]
+                     [--duration-secs S] [--network <A..K>]
                      [--seed N] [--output <bench.json>] [--poll-ms N]
   confmask submit    [--addr H:P] --input <dir> [--wait]
                      [--output <dir>] [--poll-ms N]
@@ -186,6 +195,7 @@ USAGE:
                      [--fake-routers N] [--max-retries N]
                      [--stage-deadline-secs S] [--mode ...]
                      [--vendor auto|ios|junos-set|eos]
+                     [--strategy confmask|nethide|netcloak]
   confmask submit    [--addr H:P] --shutdown
   confmask help
 
@@ -194,7 +204,17 @@ configuration dialect: Cisco IOS (`ios`, the canonical default),
 Juniper flat set-statements (`junos-set`), or Arista EOS (`eos`).
 `--vendor auto` (the default) sniffs the dialect per bundle; outputs
 are written in the same dialect the input arrived in, and `generate
---vendor` emits any evaluation network in any dialect. `failures` sweeps the
+--vendor` emits any evaluation network in any dialect.
+
+`--strategy` selects the anonymization algorithm: `confmask` (the
+default) keeps every real forwarding path bit-identical; `nethide`
+shares only an obfuscated topology (paths may shift to defaults);
+`netcloak` grows the topology with cloak routers whose generated
+configs keep all real host-pair routes intact. `anonymize`,
+`failures --verify-failures`, and `submit` all accept it; the daemon
+echoes the strategy in job status and artifact listings.
+
+`failures` sweeps the
 input network itself, or — with --verify-failures — anonymizes it first
 and checks that original and anonymized degrade identically; it uses the
 bundled university network when --input is omitted. Sweeps reuse the
@@ -264,6 +284,11 @@ fn vendor_value<'a>(it: &mut impl Iterator<Item = &'a str>) -> Result<Option<Ven
     }
 }
 
+/// Parses a `--strategy` value (`confmask`, `nethide`, or `netcloak`).
+fn strategy_value<'a>(it: &mut impl Iterator<Item = &'a str>) -> Result<Strategy, ArgError> {
+    take_value(it, "--strategy")?.parse().map_err(ArgError)
+}
+
 /// Handles the [`Params`]-tweaking flags shared by `anonymize` and
 /// `failures`. Returns `Ok(true)` when `flag` was one of them.
 fn params_flag<'a>(
@@ -330,6 +355,7 @@ fn parse_command(argv: &[&str]) -> Result<Command, ArgError> {
             let mut pii = false;
             let mut verify_failures = None;
             let mut vendor = None;
+            let mut strategy = Strategy::ConfMask;
             while let Some(flag) = it.next() {
                 if params_flag(flag, &mut it, &mut params)? {
                     continue;
@@ -342,6 +368,7 @@ fn parse_command(argv: &[&str]) -> Result<Command, ArgError> {
                         verify_failures = Some(parse_value(&mut it, flag, "an integer")?)
                     }
                     "--vendor" => vendor = vendor_value(&mut it)?,
+                    "--strategy" => strategy = strategy_value(&mut it)?,
                     other => return Err(ArgError(format!("unknown flag '{other}'"))),
                 }
             }
@@ -352,6 +379,7 @@ fn parse_command(argv: &[&str]) -> Result<Command, ArgError> {
                 pii,
                 verify_failures,
                 vendor,
+                strategy,
             })
         }
         "failures" => {
@@ -362,6 +390,7 @@ fn parse_command(argv: &[&str]) -> Result<Command, ArgError> {
             let mut k2_sample = 5;
             let mut cold_sim = false;
             let mut vendor = None;
+            let mut strategy = Strategy::ConfMask;
             while let Some(flag) = it.next() {
                 if params_flag(flag, &mut it, &mut params)? {
                     continue;
@@ -375,6 +404,7 @@ fn parse_command(argv: &[&str]) -> Result<Command, ArgError> {
                     "--k2-sample" => k2_sample = parse_value(&mut it, flag, "an integer")?,
                     "--cold-sim" => cold_sim = true,
                     "--vendor" => vendor = vendor_value(&mut it)?,
+                    "--strategy" => strategy = strategy_value(&mut it)?,
                     other => return Err(ArgError(format!("unknown flag '{other}'"))),
                 }
             }
@@ -386,6 +416,7 @@ fn parse_command(argv: &[&str]) -> Result<Command, ArgError> {
                 k2_sample,
                 cold_sim,
                 vendor,
+                strategy,
             })
         }
         "simulate" => {
@@ -428,8 +459,8 @@ fn parse_command(argv: &[&str]) -> Result<Command, ArgError> {
                     "--network" => {
                         let v = take_value(&mut it, flag)?;
                         let c = v.chars().next().unwrap_or(' ').to_ascii_uppercase();
-                        if !('A'..='H').contains(&c) || v.len() != 1 {
-                            return Err(ArgError(format!("--network expects A..H, got '{v}'")));
+                        if !('A'..='K').contains(&c) || v.len() != 1 {
+                            return Err(ArgError(format!("--network expects A..K, got '{v}'")));
                         }
                         network = Some(c);
                     }
@@ -525,8 +556,8 @@ fn parse_command(argv: &[&str]) -> Result<Command, ArgError> {
                     "--network" => {
                         let v = take_value(&mut it, flag)?;
                         let c = v.chars().next().unwrap_or(' ').to_ascii_uppercase();
-                        if !('A'..='H').contains(&c) || v.len() != 1 {
-                            return Err(ArgError(format!("--network expects A..H, got '{v}'")));
+                        if !('A'..='K').contains(&c) || v.len() != 1 {
+                            return Err(ArgError(format!("--network expects A..K, got '{v}'")));
                         }
                         network = c;
                     }
@@ -555,6 +586,7 @@ fn parse_command(argv: &[&str]) -> Result<Command, ArgError> {
             let mut poll_ms = 200;
             let mut shutdown = false;
             let mut vendor = None;
+            let mut strategy = Strategy::ConfMask;
             while let Some(flag) = it.next() {
                 if params_flag(flag, &mut it, &mut params)? {
                     continue;
@@ -567,6 +599,7 @@ fn parse_command(argv: &[&str]) -> Result<Command, ArgError> {
                     "--poll-ms" => poll_ms = parse_value(&mut it, flag, "an integer")?,
                     "--shutdown" => shutdown = true,
                     "--vendor" => vendor = vendor_value(&mut it)?,
+                    "--strategy" => strategy = strategy_value(&mut it)?,
                     other => return Err(ArgError(format!("unknown flag '{other}'"))),
                 }
             }
@@ -583,6 +616,7 @@ fn parse_command(argv: &[&str]) -> Result<Command, ArgError> {
                 poll_ms,
                 shutdown,
                 vendor,
+                strategy,
             })
         }
         other => Err(ArgError(format!("unknown subcommand '{other}'\n\n{USAGE}"))),
@@ -699,6 +733,15 @@ mod tests {
             parse_cmd(&argv("generate --network G --output o")).unwrap(),
             Command::Generate { network: 'G', .. }
         ));
+        // The extended suite (I–K: FatTree16 and the scaling WANs) parses.
+        assert!(matches!(
+            parse_cmd(&argv("generate --network K --output o")).unwrap(),
+            Command::Generate { network: 'K', .. }
+        ));
+        assert!(matches!(
+            parse_cmd(&argv("loadgen --network i")).unwrap(),
+            Command::Loadgen { network: 'I', .. }
+        ));
         assert!(parse_cmd(&argv("generate --network X --output o")).is_err());
         assert!(parse_cmd(&argv("generate --network AB --output o")).is_err());
     }
@@ -751,6 +794,44 @@ mod tests {
         let e = parse_cmd(&argv("submit --input i --vendor nxos")).unwrap_err();
         assert!(e.0.contains("unknown vendor 'nxos'"), "{}", e.0);
         assert!(parse_cmd(&argv("submit --input i --vendor")).is_err());
+    }
+
+    #[test]
+    fn strategy_flag_parses_on_every_command_that_takes_it() {
+        assert!(matches!(
+            parse_cmd(&argv("anonymize --input i --output o --strategy netcloak")).unwrap(),
+            Command::Anonymize {
+                strategy: Strategy::NetCloak,
+                ..
+            }
+        ));
+        // ConfMask is the default.
+        assert!(matches!(
+            parse_cmd(&argv("anonymize --input i --output o")).unwrap(),
+            Command::Anonymize {
+                strategy: Strategy::ConfMask,
+                ..
+            }
+        ));
+        assert!(matches!(
+            parse_cmd(&argv("failures --strategy nethide")).unwrap(),
+            Command::Failures {
+                strategy: Strategy::NetHide,
+                ..
+            }
+        ));
+        assert!(matches!(
+            parse_cmd(&argv("submit --input i --strategy netcloak --vendor eos")).unwrap(),
+            Command::Submit {
+                strategy: Strategy::NetCloak,
+                vendor: Some(Vendor::Eos),
+                ..
+            }
+        ));
+        // Unknown strategies are usage errors naming the expected set.
+        let e = parse_cmd(&argv("submit --input i --strategy netmask")).unwrap_err();
+        assert!(e.0.contains("unknown strategy 'netmask'"), "{}", e.0);
+        assert!(parse_cmd(&argv("anonymize --input i --output o --strategy")).is_err());
     }
 
     #[test]

@@ -154,6 +154,50 @@ fn require_holds(report: String, fr: &FailureEquivalenceReport) -> Result<String
     })
 }
 
+/// Post-anonymization verification for `--verify-failures`. ConfMask
+/// results carry the full per-scenario machinery (exact degradation-class
+/// equivalence, exit 4 on violation). The other strategies never promise
+/// per-scenario equivalence — only reachability on the real host pairs —
+/// so for them the guarantee they *do* claim is what gets checked.
+fn verify_after_anonymize(
+    mut report: String,
+    net: &confmask::NetworkConfigs,
+    result: &confmask::AnonymizedNetwork,
+    k: usize,
+    k2_sample: usize,
+) -> Result<String, CmdError> {
+    match result.confmask.as_deref() {
+        Some(detail) => {
+            let fr = confmask::verify_failure_equivalence(net, detail, k, k2_sample);
+            write_failure_report(&mut report, &fr);
+            require_holds(report, &fr)
+        }
+        None => {
+            let ok = result.reachability_preserved();
+            let _ = writeln!(
+                report,
+                "verification ({} strategy): reachability on {} real host pair(s) {}",
+                result.strategy,
+                result.real_hosts.len() * result.real_hosts.len().saturating_sub(1),
+                if ok { "preserved" } else { "VIOLATED" }
+            );
+            let _ = writeln!(
+                report,
+                "  (per-scenario failure equivalence is a confmask-only guarantee; \
+                 this strategy claims reachability preservation)"
+            );
+            if ok {
+                Ok(report)
+            } else {
+                Err(CmdError {
+                    code: EXIT_FAILURE_EQUIVALENCE,
+                    message: report,
+                })
+            }
+        }
+    }
+}
+
 /// Runs a parsed command, returning the report to print.
 pub fn run(cmd: Command) -> Result<String, CmdError> {
     match cmd {
@@ -165,44 +209,67 @@ pub fn run(cmd: Command) -> Result<String, CmdError> {
             pii,
             verify_failures,
             vendor,
+            strategy,
         } => {
             let (net, vendor) = load_dir_as(&input, vendor).map_err(load_err)?;
             confmask_obs::info!(
                 "cli.anonymize",
-                "anonymizing {} ({} routers, {} hosts, dialect {vendor}) with k_R={}, k_H={}",
+                "anonymizing {} ({} routers, {} hosts, dialect {vendor}) with {strategy}, k_R={}, k_H={}",
                 input.display(),
                 net.routers.len(),
                 net.hosts.len(),
                 params.k_r,
                 params.k_h
             );
-            let result = confmask::anonymize(&net, &params).map_err(anonymize_err)?;
+            let result = confmask::anonymizer_for(strategy)
+                .anonymize(&net, &params)
+                .map_err(anonymize_err)?;
             let mut report = String::new();
             let _ = writeln!(
                 report,
-                "anonymized {} routers / {} hosts (k_R={}, k_H={}, seed={}, dialect {vendor})",
+                "anonymized {} routers / {} hosts ({strategy} strategy, k_R={}, k_H={}, seed={}, dialect {vendor})",
                 net.routers.len(),
                 net.hosts.len(),
                 params.k_r,
                 params.k_h,
                 params.seed
             );
-            let _ = writeln!(
-                report,
-                "  fake links: {}, fake hosts: {}, fake routers: {}, filters: {} lines",
-                result.fake_links.len(),
-                result.route_anon.fake_hosts.len(),
-                result.scale.fake_routers.len(),
-                result.ledger.filter_lines
-            );
-            let _ = writeln!(
-                report,
-                "  functional equivalence: {} | U_C = {:.3} | N_r avg = {:.2}",
-                result.functionally_equivalent(),
-                result.config_utility(),
-                result.route_anonymity().avg()
-            );
-            write_degradation(&mut report, &result.degradation);
+            match result.confmask.as_deref() {
+                Some(detail) => {
+                    let _ = writeln!(
+                        report,
+                        "  fake links: {}, fake hosts: {}, fake routers: {}, filters: {} lines",
+                        detail.fake_links.len(),
+                        detail.route_anon.fake_hosts.len(),
+                        detail.scale.fake_routers.len(),
+                        detail.ledger.filter_lines
+                    );
+                    let _ = writeln!(
+                        report,
+                        "  functional equivalence: {} | U_C = {:.3} | N_r avg = {:.2}",
+                        detail.functionally_equivalent(),
+                        detail.config_utility(),
+                        detail.route_anonymity().avg()
+                    );
+                    write_degradation(&mut report, &detail.degradation);
+                }
+                None => {
+                    let _ = writeln!(
+                        report,
+                        "  fake links: {}, fake hosts: {}, fake routers: {}",
+                        result.fake_links,
+                        result.fake_hosts,
+                        result.fake_routers
+                    );
+                    let _ = writeln!(
+                        report,
+                        "  paths preserved: {} | reachability preserved: {} | kept-path ratio: {:.3}",
+                        result.paths_preserved(),
+                        result.reachability_preserved(),
+                        result.kept_path_ratio()
+                    );
+                }
+            }
             let final_configs = if pii {
                 let (shared, pii_report) = apply_pii(&result.configs, &PiiOptions::default());
                 let _ = writeln!(
@@ -220,11 +287,7 @@ pub fn run(cmd: Command) -> Result<String, CmdError> {
             let _ = writeln!(report, "wrote {} ({} dialect)", output.display(), vendor);
             match verify_failures {
                 None => Ok(report),
-                Some(k) => {
-                    let fr = confmask::verify_failure_equivalence(&net, &result, k, 5);
-                    write_failure_report(&mut report, &fr);
-                    require_holds(report, &fr)
-                }
+                Some(k) => verify_after_anonymize(report, &net, &result, k, 5),
             }
         }
         Command::Failures {
@@ -235,6 +298,7 @@ pub fn run(cmd: Command) -> Result<String, CmdError> {
             k2_sample,
             cold_sim,
             vendor,
+            strategy,
         } => {
             let (net, label) = match &input {
                 Some(dir) => (
@@ -316,20 +380,22 @@ pub fn run(cmd: Command) -> Result<String, CmdError> {
                 }
                 // Anonymize, then verify equivalence under failure.
                 Some(vk) => {
-                    let result = confmask::anonymize(&net, &params).map_err(anonymize_err)?;
+                    let result = confmask::anonymizer_for(strategy)
+                        .anonymize(&net, &params)
+                        .map_err(anonymize_err)?;
                     let _ = writeln!(
                         report,
-                        "anonymized {label} (k_R={}, k_H={}, seed={}): {} fake links, {} fake routers",
+                        "anonymized {label} ({strategy} strategy, k_R={}, k_H={}, seed={}): {} fake links, {} fake routers",
                         params.k_r,
                         params.k_h,
                         params.seed,
-                        result.fake_links.len(),
-                        result.scale.fake_routers.len()
+                        result.fake_links,
+                        result.fake_routers
                     );
-                    write_degradation(&mut report, &result.degradation);
-                    let fr = confmask::verify_failure_equivalence(&net, &result, vk, k2_sample);
-                    write_failure_report(&mut report, &fr);
-                    require_holds(report, &fr)
+                    if let Some(detail) = result.confmask.as_deref() {
+                        write_degradation(&mut report, &detail.degradation);
+                    }
+                    verify_after_anonymize(report, &net, &result, vk, k2_sample)
                 }
             }
         }
@@ -466,7 +532,7 @@ pub fn run(cmd: Command) -> Result<String, CmdError> {
             output,
             poll_ms,
         } => {
-            let suite = confmask_netgen::full_suite();
+            let suite = confmask_netgen::extended_suite();
             let net = suite
                 .iter()
                 .find(|n| n.id == network)
@@ -508,6 +574,7 @@ pub fn run(cmd: Command) -> Result<String, CmdError> {
             poll_ms,
             shutdown,
             vendor,
+            strategy,
         } => {
             use confmask_serve::{client, wire};
             if shutdown {
@@ -525,7 +592,7 @@ pub fn run(cmd: Command) -> Result<String, CmdError> {
             }
             let input = input.expect("parser requires --input without --shutdown");
             let (net, vendor) = load_dir_as(&input, vendor).map_err(load_err)?;
-            let body = wire::encode_submit(&net, &params, vendor);
+            let body = wire::encode_submit(&net, &params, vendor, strategy);
             let resp = client::post(&addr, "/v1/jobs", &body)
                 .map_err(|e| format!("cannot reach {addr}: {e}"))?;
             if resp.status != 202 {
@@ -539,7 +606,10 @@ pub fn run(cmd: Command) -> Result<String, CmdError> {
             let id = wire::decode_job_created(&resp.body)
                 .map_err(|e| format!("malformed daemon response: {e}"))?;
             let mut report = String::new();
-            let _ = writeln!(report, "submitted job {id} to {addr} ({vendor} dialect)");
+            let _ = writeln!(
+                report,
+                "submitted job {id} to {addr} ({vendor} dialect, {strategy} strategy)"
+            );
             if !wait {
                 return Ok(report);
             }
@@ -608,7 +678,7 @@ pub fn run(cmd: Command) -> Result<String, CmdError> {
             output,
             vendor,
         } => {
-            let suite = confmask_netgen::full_suite();
+            let suite = confmask_netgen::extended_suite();
             let net = suite
                 .iter()
                 .find(|n| n.id == network)
@@ -665,6 +735,7 @@ mod tests {
             pii: true,
             verify_failures: None,
             vendor: None,
+            strategy: confmask::Strategy::ConfMask,
         })
         .unwrap();
         assert!(out.contains("functional equivalence: true"));
@@ -678,6 +749,38 @@ mod tests {
         assert!(out.contains("0 with black holes"), "{out}");
         assert!(out.contains("0 with loops"), "{out}");
 
+        std::fs::remove_dir_all(&src).unwrap();
+        std::fs::remove_dir_all(&dst).unwrap();
+    }
+
+    #[test]
+    fn anonymize_dispatches_non_confmask_strategies() {
+        let src = tmp("strat-src");
+        let dst = tmp("strat-dst");
+        run(Command::Generate {
+            network: 'A',
+            output: src.clone(),
+            vendor: None,
+        })
+        .unwrap();
+        let out = run(Command::Anonymize {
+            input: src.clone(),
+            output: dst.clone(),
+            params: Params::new(4, 2),
+            pii: false,
+            verify_failures: Some(1),
+            vendor: None,
+            strategy: confmask::Strategy::NetCloak,
+        })
+        .unwrap();
+        assert!(out.contains("netcloak strategy"), "{out}");
+        assert!(out.contains("paths preserved: true"), "{out}");
+        assert!(out.contains("reachability preserved: preserved") || out.contains("preserved"), "{out}");
+        // The emitted bundle is a loadable configuration directory with
+        // more routers than the input (cloak expansion).
+        let expanded = load_dir(&dst).unwrap();
+        let original = load_dir(&src).unwrap();
+        assert!(expanded.routers.len() > original.routers.len());
         std::fs::remove_dir_all(&src).unwrap();
         std::fs::remove_dir_all(&dst).unwrap();
     }
@@ -713,6 +816,7 @@ mod tests {
             k2_sample: 0,
             cold_sim: false,
             vendor: None,
+            strategy: confmask::Strategy::ConfMask,
         })
         .unwrap();
         assert!(out.contains("failure sweep"), "{out}");
@@ -726,6 +830,7 @@ mod tests {
             k2_sample: 0,
             cold_sim: true,
             vendor: None,
+            strategy: confmask::Strategy::ConfMask,
         })
         .unwrap();
         assert_eq!(out, cold, "incremental and cold sweeps must agree");
@@ -744,6 +849,7 @@ mod tests {
             k2_sample: 0,
             cold_sim: false,
             vendor: None,
+            strategy: confmask::Strategy::ConfMask,
         })
         .unwrap();
         assert!(out.contains("classes match"), "{out}");
@@ -840,6 +946,7 @@ mod tests {
             poll_ms: 10,
             shutdown: false,
             vendor: None,
+            strategy: confmask::Strategy::ConfMask,
         })
         .unwrap();
         assert!(out.contains("submitted job j1"), "{out}");
@@ -858,6 +965,7 @@ mod tests {
             poll_ms: 10,
             shutdown: true,
             vendor: None,
+            strategy: confmask::Strategy::ConfMask,
         })
         .unwrap();
         assert!(out.contains("draining"), "{out}");
@@ -874,6 +982,7 @@ mod tests {
             poll_ms: 10,
             shutdown: false,
             vendor: None,
+            strategy: confmask::Strategy::ConfMask,
         })
         .unwrap_err();
         assert_eq!(err.code, EXIT_FATAL);
@@ -908,6 +1017,7 @@ mod tests {
             pii: false,
             verify_failures: None,
             vendor: None,
+            strategy: confmask::Strategy::ConfMask,
         })
         .unwrap_err();
         // A file that exists but cannot be parsed is exit 2 (bad input),
@@ -924,6 +1034,7 @@ mod tests {
             pii: false,
             verify_failures: None,
             vendor: None,
+            strategy: confmask::Strategy::ConfMask,
         })
         .unwrap_err();
         assert_eq!(err.code, EXIT_FATAL);

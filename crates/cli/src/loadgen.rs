@@ -130,7 +130,7 @@ const REJECT_BACKOFF: Duration = Duration::from_millis(25);
 /// otherwise produce a silently misleading benchmark).
 pub fn run(cfg: &LoadgenConfig) -> Result<LoadgenSummary, String> {
     let body_for = |seq: u64| {
-        wire::encode_submit(&cfg.net, &cfg.params.clone().with_seed(cfg.seed + seq), confmask::Vendor::Ios)
+        wire::encode_submit(&cfg.net, &cfg.params.clone().with_seed(cfg.seed + seq), confmask::Vendor::Ios, confmask::Strategy::ConfMask)
     };
     let started = Instant::now();
     let deadline = started + cfg.duration;

@@ -29,6 +29,7 @@ fn main() {
         confmask_config::register_metrics();
         confmask_sim_delta::register_metrics();
         confmask_exec::register_metrics();
+        confmask::register_strategy_metrics();
     }
 
     let outcome = confmask_cli::commands::run(cmd);

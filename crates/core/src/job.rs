@@ -8,6 +8,7 @@
 //! headline metrics, and the self-healing audit trail.
 
 use crate::pipeline::{anonymize, Anonymized, DegradationReport};
+use crate::strategy::{anonymizer_for, AnonymizedNetwork, Strategy};
 use crate::{Error, Params};
 use confmask_config::{NetworkConfigs, Vendor};
 
@@ -109,6 +110,33 @@ impl JobOutcome {
             degradation: result.degradation.clone(),
         }
     }
+
+    /// Builds the outcome from any strategy's [`AnonymizedNetwork`]. For
+    /// ConfMask results the full pipeline detail is reused (stage
+    /// statistics, degradation report); other strategies have no
+    /// self-healing driver, so their degradation report is empty.
+    pub fn from_network(result: &AnonymizedNetwork, vendor: Vendor) -> JobOutcome {
+        if let Some(full) = &result.confmask {
+            return JobOutcome::from_anonymized_as(full, vendor);
+        }
+        JobOutcome {
+            artifacts: emit_artifacts(&result.configs, vendor),
+            summary: JobSummary {
+                routers: result.configs.routers.len(),
+                hosts: result.configs.hosts.len(),
+                fake_links: result.fake_links,
+                fake_hosts: result.fake_hosts,
+                fake_routers: result.fake_routers,
+                config_utility: crate::metrics::config_utility(
+                    result.configs.total_lines(),
+                    result.ledger.total_added(),
+                ),
+                route_anonymity_avg: crate::metrics::route_anonymity(&result.dataplane).avg(),
+                functionally_equivalent: result.paths_preserved(),
+            },
+            degradation: DegradationReport::default(),
+        }
+    }
 }
 
 /// Runs the full self-healing pipeline on `configs` and returns the
@@ -128,6 +156,20 @@ pub fn run_job_as(
 ) -> Result<JobOutcome, Error> {
     let result = anonymize(configs, params)?;
     Ok(JobOutcome::from_anonymized_as(&result, vendor))
+}
+
+/// [`run_job_as`] generalized over the anonymization strategy: the job is
+/// dispatched through the [`crate::Anonymizer`] registry, so `confmask`,
+/// `nethide`, and `netcloak` submissions all run through the same entry
+/// point (and record the same `anon.strategy.*` metrics).
+pub fn run_job_with(
+    configs: &NetworkConfigs,
+    params: &Params,
+    vendor: Vendor,
+    strategy: Strategy,
+) -> Result<JobOutcome, Error> {
+    let result = anonymizer_for(strategy).anonymize(configs, params)?;
+    Ok(JobOutcome::from_network(&result, vendor))
 }
 
 /// FNV-1a 64-bit, the workspace's standard zero-dependency hash.
@@ -154,7 +196,22 @@ pub fn content_key(configs: &NetworkConfigs, params: &Params) -> u64 {
 /// anonymized for different vendors produces different artifact bytes,
 /// so the keys must differ for idempotent re-execution to stay sound.
 pub fn content_key_as(configs: &NetworkConfigs, params: &Params, vendor: Vendor) -> u64 {
+    content_key_with(configs, params, vendor, Strategy::ConfMask)
+}
+
+/// [`content_key_as`] with the anonymization strategy mixed in
+/// (vendor-style): the same network run under different strategies
+/// produces entirely different artifacts, so the keys must differ for
+/// idempotent re-execution to stay sound. `content_key_as` is the
+/// `Strategy::ConfMask` special case.
+pub fn content_key_with(
+    configs: &NetworkConfigs,
+    params: &Params,
+    vendor: Vendor,
+    strategy: Strategy,
+) -> u64 {
     let mut state = 0xCBF2_9CE4_8422_2325; // FNV offset basis
+    state = fnv1a(strategy.name().as_bytes(), state);
     state = fnv1a(vendor.name().as_bytes(), state);
     state = fnv1a(format!("{params:?}").as_bytes(), state);
     for (name, rc) in &configs.routers {
@@ -180,18 +237,20 @@ pub struct JobSpec {
     pub params: Params,
     /// Dialect the artifacts are emitted in.
     pub vendor: Vendor,
+    /// Anonymization strategy the job runs.
+    pub strategy: Strategy,
 }
 
 impl JobSpec {
-    /// Stable fingerprint of the inputs (see [`content_key_as`]).
+    /// Stable fingerprint of the inputs (see [`content_key_with`]).
     pub fn content_key(&self) -> u64 {
-        content_key_as(&self.configs, &self.params, self.vendor)
+        content_key_with(&self.configs, &self.params, self.vendor, self.strategy)
     }
 
     /// Executes the job. Re-running the same spec yields byte-identical
     /// artifacts, so recovery may call this any number of times.
     pub fn run(&self) -> Result<JobOutcome, Error> {
-        run_job_as(&self.configs, &self.params, self.vendor)
+        run_job_with(&self.configs, &self.params, self.vendor, self.strategy)
     }
 }
 
@@ -239,6 +298,7 @@ mod tests {
             configs: net.clone(),
             params: params.clone(),
             vendor: Vendor::Ios,
+            strategy: Strategy::ConfMask,
         };
         // Stable across calls and across clones.
         assert_eq!(spec.content_key(), content_key(&net, &params));
@@ -250,6 +310,8 @@ mod tests {
         assert_ne!(spec.content_key(), rescaled, "k_R must change the key");
         let revendored = content_key_as(&net, &params, Vendor::JunosSet);
         assert_ne!(spec.content_key(), revendored, "vendor must change the key");
+        let restrategized = content_key_with(&net, &params, Vendor::Ios, Strategy::NetCloak);
+        assert_ne!(spec.content_key(), restrategized, "strategy must change the key");
         let mut smaller = net.clone();
         smaller.hosts.pop_last();
         assert_ne!(
@@ -260,11 +322,23 @@ mod tests {
     }
 
     #[test]
+    fn run_job_with_dispatches_non_confmask_strategies() {
+        let net = example_network();
+        let out = run_job_with(&net, &Params::new(3, 2), Vendor::Ios, Strategy::NetCloak).unwrap();
+        assert!(out.summary.fake_routers >= 2, "netcloak adds cloak routers");
+        assert!(out.summary.functionally_equivalent);
+        // No self-healing driver outside ConfMask: the report is empty.
+        assert!(out.degradation.attempts.is_empty());
+        assert_eq!(out.summary.routers + out.summary.hosts, out.artifacts.len());
+    }
+
+    #[test]
     fn rerunning_a_spec_is_idempotent() {
         let spec = JobSpec {
             configs: example_network(),
             params: Params::new(3, 2).with_seed(42),
             vendor: Vendor::Ios,
+            strategy: Strategy::ConfMask,
         };
         let first = spec.run().unwrap();
         let again = spec.run().unwrap();

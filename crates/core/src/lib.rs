@@ -67,20 +67,24 @@ pub mod resilience;
 pub mod route_anon;
 pub mod route_equiv;
 pub mod scale;
+pub mod strategy;
 pub mod strawman;
 pub mod topo_anon;
 
 pub use error::Error;
 pub use confmask_config::Vendor;
 pub use job::{
-    content_key, content_key_as, run_job, run_job_as, ArtifactFile, JobOutcome, JobSpec,
-    JobSummary,
+    content_key, content_key_as, content_key_with, run_job, run_job_as, run_job_with,
+    ArtifactFile, JobOutcome, JobSpec, JobSummary,
 };
 pub use params::{CostStrategy, EquivalenceMode, Params};
 pub use pipeline::{
     anonymize, Anonymized, AttemptRecord, DegradationReport, StageSample, STAGE_SPAN_PREFIX,
 };
 pub use resilience::{verify_failure_equivalence, FailureEquivalenceReport};
+pub use strategy::{
+    anonymizer_for, register_strategy_metrics, AnonymizedNetwork, Anonymizer, Guarantees, Strategy,
+};
 
 // Re-exports so downstream users need only this crate.
 pub use confmask_config::{patch::LineLedger, NetworkConfigs};

@@ -25,5 +25,5 @@ pub mod suite;
 pub mod synth;
 pub mod wan;
 
-pub use suite::{full_suite, EvalNetwork};
+pub use suite::{extended_suite, full_suite, EvalNetwork};
 pub use synth::{synthesize, IgpProtocol, TopoSpec};

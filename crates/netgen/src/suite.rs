@@ -3,7 +3,7 @@
 use crate::fattree::fattree_spec;
 use crate::smallnets::{backbone, enterprise, university};
 use crate::synth::synthesize;
-use crate::wan::{bics, columbus, uscarrier};
+use crate::wan::{bics, columbus, continent, metro, uscarrier};
 use confmask_config::{NetworkConfigs, Vendor};
 
 /// One evaluation network (a row of Table 2).
@@ -124,6 +124,39 @@ pub fn full_suite() -> Vec<EvalNetwork> {
     ]
 }
 
+/// The extended evaluation suite: Table 2 plus the scaling networks the
+/// three-strategy frontier runs on — net **I** is FatTree(16) (R=272,
+/// H=256), nets **J**/**K** are synthetic WANs larger than any Table 2
+/// TopologyZoo stand-in. `full_suite` stays pinned to the paper's eight
+/// rows; these extras exist to stress runtime growth, not to reproduce a
+/// published figure.
+///
+/// Warning: net I alone has 2048 router-router links; building it is
+/// instant but anonymizing it with ConfMask takes minutes. Benches that
+/// need a bound should slice the returned vector.
+pub fn extended_suite() -> Vec<EvalNetwork> {
+    let mut suite = full_suite();
+    suite.push(EvalNetwork {
+        id: 'I',
+        name: "FatTree16",
+        network_type: "OSPF",
+        configs: synthesize(&fattree_spec(16)),
+    });
+    suite.push(EvalNetwork {
+        id: 'J',
+        name: "MetroWan",
+        network_type: "OSPF",
+        configs: synthesize(&metro()),
+    });
+    suite.push(EvalNetwork {
+        id: 'K',
+        name: "ContinentWan",
+        network_type: "OSPF",
+        configs: synthesize(&continent()),
+    });
+    suite
+}
+
 /// The fast subset (A, B, C, G) used by unit and integration tests.
 pub fn small_suite() -> Vec<EvalNetwork> {
     full_suite()
@@ -163,6 +196,32 @@ mod tests {
         for net in full_suite() {
             let errors = confmask_config::validate(&net.configs);
             assert!(errors.is_empty(), "net {}: {errors:?}", net.id);
+        }
+    }
+
+    #[test]
+    fn extended_suite_adds_the_scaling_networks() {
+        let suite = extended_suite();
+        assert_eq!(suite.len(), 11, "Table 2 rows plus I, J, K");
+        // The first eight rows are exactly full_suite (same ids, same
+        // stats) — the extension never perturbs the pinned paper suite.
+        for (ext, full) in suite.iter().zip(full_suite()) {
+            assert_eq!(ext.id, full.id);
+            assert_eq!(ext.stats(), full.stats());
+        }
+        let expect = [('I', 272, 256, 2304), ('J', 220, 80, 580), ('K', 320, 120, 860)];
+        for ((id, r, h, e), net) in expect.iter().zip(&suite[8..]) {
+            let (gr, gh, ge, _) = net.stats();
+            assert_eq!(net.id, *id);
+            assert_eq!((gr, gh, ge), (*r, *h, *e), "net {}", net.id);
+            let errors = confmask_config::validate(&net.configs);
+            assert!(errors.is_empty(), "net {}: {errors:?}", net.id);
+        }
+        // Every scaling net is strictly larger than the biggest Table 2
+        // net by router count — that is their whole reason to exist.
+        let max_full = full_suite().iter().map(|n| n.stats().0).max().unwrap();
+        for net in &suite[8..] {
+            assert!(net.stats().0 > max_full, "net {} must stress scale", net.id);
         }
     }
 }

@@ -84,6 +84,18 @@ pub fn uscarrier() -> TopoSpec {
     wan_spec("uscarrier", 161, 58, 378, 0x05CA)
 }
 
+/// Net J (extended suite): a metro-scale WAN larger than any Table 2
+/// TopologyZoo stand-in (R=220, H=80, E=580).
+pub fn metro() -> TopoSpec {
+    wan_spec("metro", 220, 80, 580, 0x3E70)
+}
+
+/// Net K (extended suite): a continent-scale WAN, the largest evaluation
+/// network (R=320, H=120, E=860).
+pub fn continent() -> TopoSpec {
+    wan_spec("continent", 320, 120, 860, 0xC047)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -169,6 +169,10 @@ fn register_metrics() {
     // job concurrency, the executor bounds per-job simulation fan-out.
     confmask_sim_delta::register_metrics();
     confmask_exec::register_metrics();
+    // Every strategy a submission can name (`anon.strategy.*` plus the
+    // `netcloak.*` expansion counters): the daemon's metric set must not
+    // depend on which strategies the traffic happened to exercise.
+    confmask::register_strategy_metrics();
 }
 
 impl Server {
@@ -338,6 +342,7 @@ fn spawn_requeue(
                     configs: sub.configs,
                     params: sub.params,
                     vendor: sub.vendor,
+                    strategy: sub.strategy,
                     ctx: confmask_obs::SpanContext::root(trace),
                     enqueued_us: confmask_obs::now_us(),
                 };
@@ -427,6 +432,15 @@ fn handle_connection(stream: TcpStream, state: &Arc<ServerState>) {
                 .with_header("X-Request-Id", request_id.clone());
             let status = response.status;
             let bytes = response.body.len();
+            // Submissions carry the resolved strategy back in a header;
+            // the access log reports it so operators can attribute load
+            // per strategy without parsing bodies.
+            let strategy = response
+                .extra_headers
+                .iter()
+                .find(|(name, _)| *name == "X-Strategy")
+                .map(|(_, value)| format!(" strategy={value}"))
+                .unwrap_or_default();
             let _ = response.write_to(&mut writer);
             let elapsed = span.finish();
             confmask_obs::observe(
@@ -437,7 +451,7 @@ fn handle_connection(stream: TcpStream, state: &Arc<ServerState>) {
             // stderr (stdout stays machine-readable).
             confmask_obs::info!(
                 "serve.http",
-                "{} {} {status} {bytes}B {:.1}ms {request_id}",
+                "{} {} {status} {bytes}B {:.1}ms {request_id}{strategy}",
                 req.method,
                 req.path,
                 elapsed.as_secs_f64() * 1_000.0

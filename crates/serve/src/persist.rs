@@ -886,10 +886,10 @@ mod tests {
         let (p, r) = open(&dir, 1_000, 3);
         assert!(r.jobs.is_empty());
         let store = JobStore::durable(p, &r);
-        let a = store.create_job(0xABCD, "body-a".into(), None).unwrap();
+        let a = store.create_job(0xABCD, "body-a".into(), None, None).unwrap();
         store.mark_running(a);
         store.finish(a, Ok(outcome()));
-        let b = store.create_job(0xB0B, "body-b".into(), None).unwrap();
+        let b = store.create_job(0xB0B, "body-b".into(), None, None).unwrap();
         store.mark_running(b);
         store.finish(b, Err("pipeline exploded".into()));
         drop(store);
@@ -920,7 +920,7 @@ mod tests {
         let id = {
             let (p, r) = open(&dir, 1_000, 1);
             let store = JobStore::durable(p, &r);
-            let id = store.create_job(1, "net".into(), None).unwrap();
+            let id = store.create_job(1, "net".into(), None, None).unwrap();
             assert_eq!(store.mark_running(id), Some(1));
             id
         };
@@ -962,7 +962,7 @@ mod tests {
         let id = {
             let (p, r) = open(&dir, 1_000, 0);
             let store = JobStore::durable(p, &r);
-            store.create_job(2, "net".into(), None).unwrap()
+            store.create_job(2, "net".into(), None, None).unwrap()
         };
         // Even with a budget of zero, a job that never ran requeues
         // immediately across any number of restarts.
@@ -981,7 +981,7 @@ mod tests {
         let dir = tmp("snapshot");
         let (p, r) = open(&dir, 1, 3); // snapshot on every finish
         let store = JobStore::durable(Arc::clone(&p), &r);
-        let a = store.create_job(7, "body".into(), None).unwrap();
+        let a = store.create_job(7, "body".into(), None, None).unwrap();
         store.mark_running(a);
         store.finish(a, Ok(outcome()));
         // The finish snapshotted and truncated the WAL to just its magic.
@@ -990,7 +990,7 @@ mod tests {
         assert!(dir.join("snapshot.bin").exists());
         assert!(!dir.join("snapshot.tmp").exists(), "tmp renamed away");
         // A later job lands in the fresh WAL, after the snapshot.
-        let b = store.create_job(8, "body-b".into(), None).unwrap();
+        let b = store.create_job(8, "body-b".into(), None, None).unwrap();
         drop(store);
         drop(p);
 
@@ -1051,12 +1051,12 @@ mod tests {
         let (p, r) = open(&dir, 1_000, 3);
         let store = JobStore::durable(p, &r);
         failpoint::arm("wal.append", Action::DiskFull, 1);
-        let err = store.create_job(1, "net".into(), None).unwrap_err();
+        let err = store.create_job(1, "net".into(), None, None).unwrap_err();
         assert!(err.to_string().contains("injected"));
         failpoint::clear();
         assert_eq!(store.counts(), crate::store::JobCounts::default());
         // The daemon keeps serving: the next submission succeeds.
-        let id = store.create_job(2, "net2".into(), None).unwrap();
+        let id = store.create_job(2, "net2".into(), None, None).unwrap();
         drop(store);
         let (_p, rec) = open(&dir, 1_000, 3);
         assert_eq!(rec.jobs.len(), 1);
@@ -1104,7 +1104,7 @@ mod tests {
         {
             let (p, r) = open(&dir, 1_000, 3);
             let store = JobStore::durable(p, &r);
-            let a = store.create_job(3, "x".into(), None).unwrap();
+            let a = store.create_job(3, "x".into(), None, None).unwrap();
             store.mark_running(a);
             store.finish(a, Ok(outcome()));
         }

@@ -89,9 +89,12 @@ fn submit(req: &Request, state: &ServerState, ctx: SpanContext) -> Response {
     // Journal the canonical (re-encoded) submission before acknowledging:
     // an accepted job must survive a crash, so if the WAL refuses the
     // record the submission is refused too.
-    let key = confmask::content_key_as(&sub.configs, &sub.params, sub.vendor);
-    let canonical = wire::encode_submit(&sub.configs, &sub.params, sub.vendor);
-    let id = match state.store.create_job(key, canonical, Some(sub.vendor)) {
+    let key = confmask::content_key_with(&sub.configs, &sub.params, sub.vendor, sub.strategy);
+    let canonical = wire::encode_submit(&sub.configs, &sub.params, sub.vendor, sub.strategy);
+    let id = match state
+        .store
+        .create_job(key, canonical, Some(sub.vendor), Some(sub.strategy))
+    {
         Ok(id) => id,
         Err(e) => {
             confmask_obs::counter_add("serve.jobs_rejected", 1);
@@ -106,11 +109,13 @@ fn submit(req: &Request, state: &ServerState, ctx: SpanContext) -> Response {
     // below on 429/503), so polls, probes, and rejected floods never evict
     // a live job's trace.
     confmask_obs::retain_trace(ctx.trace);
+    let strategy = sub.strategy;
     let job = QueuedJob {
         id,
         configs: sub.configs,
         params: sub.params,
         vendor: sub.vendor,
+        strategy,
         ctx,
         enqueued_us: confmask_obs::now_us(),
     };
@@ -119,8 +124,13 @@ fn submit(req: &Request, state: &ServerState, ctx: SpanContext) -> Response {
             confmask_obs::counter_add("serve.jobs_accepted", 1);
             confmask_obs::gauge_set("serve.queue_depth", depth as f64);
             let wire_id = format!("j{id}");
-            confmask_obs::info!("serve", "accepted job {wire_id} (queue depth {depth})");
+            confmask_obs::info!(
+                "serve",
+                "accepted job {wire_id} (strategy {strategy}, queue depth {depth})"
+            );
+            // Named so the access log can report the resolved strategy.
             Response::json(202, wire::encode_job_created(&wire_id))
+                .with_header("X-Strategy", strategy.name())
         }
         Err(PushError::Full(_)) => {
             state.store.remove(id);
@@ -157,7 +167,12 @@ fn job_artifacts(id: u64, state: &ServerState) -> Response {
     match &record.outcome {
         Some(outcome) if record.state.has_artifacts() => Response::json(
             200,
-            wire::encode_artifacts(&record.wire_id(), &outcome.artifacts, record.vendor),
+            wire::encode_artifacts(
+                &record.wire_id(),
+                &outcome.artifacts,
+                record.vendor,
+                record.strategy,
+            ),
         ),
         _ => Response::error(
             409,

@@ -17,7 +17,7 @@
 //! a job whose first run actually finished.
 
 use crate::persist::{encode_snapshot, Persistence, RecoveredJob, Recovery};
-use confmask::{JobOutcome, Vendor};
+use confmask::{JobOutcome, Strategy, Vendor};
 use std::collections::BTreeMap;
 use std::io;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -98,6 +98,11 @@ pub struct JobRecord {
     /// terminal jobs recovered from a WAL (the canonical submission is
     /// dropped once a job finishes, taking the vendor name with it).
     pub vendor: Option<Vendor>,
+    /// Anonymization strategy of the job. `None` for jobs whose
+    /// submission predates strategy support, for test records, and for
+    /// terminal jobs recovered from a WAL — mirroring `vendor`, so old
+    /// state dirs replay without misreporting a strategy they never named.
+    pub strategy: Option<Strategy>,
     /// Trace id of the request (or requeue) that admitted this job, for
     /// `GET /v1/jobs/{id}/trace`. In-memory only (0 = untraced): traces
     /// are diagnostics of *this* process, not durable state.
@@ -137,6 +142,10 @@ impl JobRecord {
                 .submission
                 .as_deref()
                 .and_then(crate::wire::submission_vendor),
+            strategy: job
+                .submission
+                .as_deref()
+                .and_then(crate::wire::submission_strategy),
             trace: 0,
             submitted: Instant::now(),
             started: None,
@@ -215,7 +224,7 @@ impl JobStore {
 
     /// Creates a `queued` record for tests and ephemeral stores.
     pub fn create(&self) -> u64 {
-        self.create_job(0, String::new(), None)
+        self.create_job(0, String::new(), None, None)
             .expect("creating a job in an ephemeral store cannot fail")
     }
 
@@ -228,6 +237,7 @@ impl JobStore {
         content_key: u64,
         submission: String,
         vendor: Option<Vendor>,
+        strategy: Option<Strategy>,
     ) -> io::Result<u64> {
         let id = self.next_id.fetch_add(1, Ordering::Relaxed);
         // The append and the map insert happen under the jobs lock (the
@@ -250,6 +260,7 @@ impl JobStore {
             content_key,
             submission: Some(submission),
             vendor,
+            strategy,
             trace: 0,
             submitted: Instant::now(),
             started: None,
@@ -457,7 +468,7 @@ mod tests {
                 std::thread::spawn(move || {
                     for i in 0..15u64 {
                         let id = store
-                            .create_job(t << 32 | i, format!("job-{t}-{i}"), None)
+                            .create_job(t << 32 | i, format!("job-{t}-{i}"), None, None)
                             .expect("create");
                         acked.lock().unwrap().push(id);
                         store.mark_running(id);

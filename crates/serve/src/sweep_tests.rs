@@ -83,7 +83,7 @@ fn scripted(dir: &Path, snapshot_every: u64) -> (Vec<(u64, JobState)>, u64) {
     let mut acked: Vec<u64> = Vec::new();
     'script: {
         // A: runs to completion with artifacts.
-        if let Ok(a) = store.create_job(0xA, "job-a".into(), None) {
+        if let Ok(a) = store.create_job(0xA, "job-a".into(), None, None) {
             acked.push(a);
             if !persist.halted() {
                 store.mark_running(a);
@@ -96,7 +96,7 @@ fn scripted(dir: &Path, snapshot_every: u64) -> (Vec<(u64, JobState)>, u64) {
             break 'script;
         }
         // B: runs and fails.
-        if let Ok(b) = store.create_job(0xB, "job-b".into(), None) {
+        if let Ok(b) = store.create_job(0xB, "job-b".into(), None, None) {
             acked.push(b);
             if !persist.halted() {
                 store.mark_running(b);
@@ -109,14 +109,14 @@ fn scripted(dir: &Path, snapshot_every: u64) -> (Vec<(u64, JobState)>, u64) {
             break 'script;
         }
         // C: accepted, still waiting in the queue at the crash.
-        if let Ok(c) = store.create_job(0xC, "job-c".into(), None) {
+        if let Ok(c) = store.create_job(0xC, "job-c".into(), None, None) {
             acked.push(c);
         }
         if persist.halted() {
             break 'script;
         }
         // D: a worker picked it up; the crash interrupts it.
-        if let Ok(d) = store.create_job(0xD, "job-d".into(), None) {
+        if let Ok(d) = store.create_job(0xD, "job-d".into(), None, None) {
             acked.push(d);
             if !persist.halted() {
                 store.mark_running(d);
@@ -272,7 +272,7 @@ fn a_vanished_worker_leaves_an_interrupted_job_that_recovery_requeues() {
     let dir = tmp("vanish");
     let (p, r) = Persistence::open(&dir, 1_000, 3).unwrap();
     let store = Arc::new(JobStore::durable(Arc::new(p), &r));
-    let id = store.create_job(7, "net".into(), None).unwrap();
+    let id = store.create_job(7, "net".into(), None, None).unwrap();
     failpoint::arm("worker.run", Action::Vanish, 1);
     let queue = Arc::new(Bounded::new(4));
     queue

@@ -7,7 +7,7 @@
 //! same functions as the server.
 
 use crate::store::JobRecord;
-use confmask::{ArtifactFile, EquivalenceMode, JobSummary, Params};
+use confmask::{ArtifactFile, EquivalenceMode, JobSummary, Params, Strategy};
 use confmask_config::{parse_host_as, parse_router_as, NetworkConfigs, Vendor};
 use confmask_obs::json::{escape, parse, Json};
 use std::fmt::Write as _;
@@ -25,6 +25,9 @@ pub struct Submission {
     /// always concrete — the canonical journaled submission never says
     /// `auto`, which keeps crash-recovery replay deterministic.
     pub vendor: Vendor,
+    /// Anonymization strategy. An absent field defaults to `confmask`,
+    /// and the canonical journaled submission always names it.
+    pub strategy: Strategy,
 }
 
 fn mode_name(mode: EquivalenceMode) -> &'static str {
@@ -47,7 +50,12 @@ fn mode_from_name(name: &str) -> Option<EquivalenceMode> {
 /// Encodes a submission request body (client side). The bundle's config
 /// files are emitted in `vendor`'s dialect and the vendor is named in the
 /// body, so the server round-trips the job in the dialect it arrived in.
-pub fn encode_submit(configs: &NetworkConfigs, params: &Params, vendor: Vendor) -> String {
+pub fn encode_submit(
+    configs: &NetworkConfigs,
+    params: &Params,
+    vendor: Vendor,
+    strategy: Strategy,
+) -> String {
     let mut out = String::from("{\n  \"params\": {");
     let _ = write!(
         out,
@@ -67,6 +75,7 @@ pub fn encode_submit(configs: &NetworkConfigs, params: &Params, vendor: Vendor) 
     );
     out.push_str("},\n");
     let _ = writeln!(out, "  \"vendor\": {},", escape(vendor.name()));
+    let _ = writeln!(out, "  \"strategy\": {},", escape(strategy.name()));
     out.push_str("  \"routers\": {");
     for (i, (name, rc)) in configs.routers.iter().enumerate() {
         if i > 0 {
@@ -172,6 +181,14 @@ pub fn decode_submit(body: &[u8]) -> Result<Submission, String> {
     let vendor =
         vendor.unwrap_or_else(|| Vendor::sniff_all(router_texts.iter().map(|(_, t)| *t)));
 
+    let strategy = match doc.get("strategy") {
+        None | Some(Json::Null) => Strategy::ConfMask,
+        Some(v) => v
+            .as_str()
+            .ok_or("strategy expects a string")?
+            .parse::<Strategy>()?,
+    };
+
     let mut routers = Vec::new();
     for (name, text) in router_texts {
         routers.push(parse_router_as(vendor, text).map_err(|e| format!("router '{name}': {e}"))?);
@@ -185,6 +202,7 @@ pub fn decode_submit(body: &[u8]) -> Result<Submission, String> {
         configs: NetworkConfigs::new(routers, hosts),
         params,
         vendor,
+        strategy,
     })
 }
 
@@ -194,6 +212,15 @@ pub fn decode_submit(body: &[u8]) -> Result<Submission, String> {
 pub fn submission_vendor(body: &str) -> Option<Vendor> {
     let doc = parse(body).ok()?;
     doc.get("vendor")?.as_str()?.parse().ok()
+}
+
+/// Extracts the strategy named in a canonical (journaled) submission body
+/// — the strategy counterpart of [`submission_vendor`]. `None` for bodies
+/// that predate strategy support, so recovered pre-strategy jobs report
+/// `strategy: null` instead of guessing.
+pub fn submission_strategy(body: &str) -> Option<Strategy> {
+    let doc = parse(body).ok()?;
+    doc.get("strategy")?.as_str()?.parse().ok()
 }
 
 /// The submit response: `{"id": "j1", "state": "queued"}`.
@@ -263,6 +290,14 @@ pub fn encode_status(record: &JobRecord) -> String {
         record
             .vendor
             .map(|v| escape(v.name()))
+            .unwrap_or_else(|| "null".into())
+    );
+    let _ = writeln!(
+        out,
+        "  \"strategy\": {},",
+        record
+            .strategy
+            .map(|s| escape(s.name()))
             .unwrap_or_else(|| "null".into())
     );
     let _ = writeln!(out, "  \"queue_wait_ms\": {},", millis(record.queue_wait));
@@ -343,6 +378,9 @@ pub struct JobStatus {
     pub wall_ms: Option<u64>,
     /// Artifact dialect, when the server knows it.
     pub vendor: Option<Vendor>,
+    /// Anonymization strategy, when the server knows it (`None` for jobs
+    /// recovered from a pre-strategy WAL).
+    pub strategy: Option<Strategy>,
 }
 
 impl JobStatus {
@@ -387,19 +425,33 @@ pub fn decode_status(body: &[u8]) -> Result<JobStatus, String> {
             .get("vendor")
             .and_then(Json::as_str)
             .and_then(|v| v.parse().ok()),
+        strategy: doc
+            .get("strategy")
+            .and_then(Json::as_str)
+            .and_then(|s| s.parse().ok()),
     })
 }
 
 /// Serializes the artifacts bundle for `GET /v1/jobs/{id}/artifacts`,
 /// naming the dialect the files are written in (null when unknown, e.g.
 /// terminal jobs recovered from a pre-vendor WAL).
-pub fn encode_artifacts(wire_id: &str, files: &[ArtifactFile], vendor: Option<Vendor>) -> String {
+pub fn encode_artifacts(
+    wire_id: &str,
+    files: &[ArtifactFile],
+    vendor: Option<Vendor>,
+    strategy: Option<Strategy>,
+) -> String {
     let mut out = String::from("{\n");
     let _ = writeln!(out, "  \"id\": {},", escape(wire_id));
     let _ = writeln!(
         out,
         "  \"vendor\": {},",
         vendor.map(|v| escape(v.name())).unwrap_or_else(|| "null".into())
+    );
+    let _ = writeln!(
+        out,
+        "  \"strategy\": {},",
+        strategy.map(|s| escape(s.name())).unwrap_or_else(|| "null".into())
     );
     out.push_str("  \"files\": {");
     for (i, f) in files.iter().enumerate() {
@@ -469,10 +521,26 @@ mod tests {
             .with_seed(99)
             .with_mode(EquivalenceMode::Strawman1)
             .with_stage_deadline(Duration::from_secs(30));
-        let body = encode_submit(&net, &params, Vendor::Ios);
+        let body = encode_submit(&net, &params, Vendor::Ios, Strategy::NetCloak);
         let sub = decode_submit(body.as_bytes()).unwrap();
         assert_eq!(sub.configs, net);
         assert_eq!(sub.params, params);
+        assert_eq!(sub.strategy, Strategy::NetCloak);
+        assert_eq!(submission_strategy(&body), Some(Strategy::NetCloak));
+    }
+
+    #[test]
+    fn submit_defaults_strategy_to_confmask() {
+        let body = r#"{"routers": {"r": "hostname r\n"}}"#;
+        let sub = decode_submit(body.as_bytes()).unwrap();
+        assert_eq!(sub.strategy, Strategy::ConfMask);
+        // A pre-strategy body has no strategy to extract.
+        assert_eq!(submission_strategy(body), None);
+        let err = decode_submit(
+            br#"{"routers": {"r": "hostname r\n"}, "strategy": "netmask"}"#,
+        )
+        .unwrap_err();
+        assert!(err.contains("unknown strategy"), "{err}");
     }
 
     #[test]
@@ -557,7 +625,8 @@ mod tests {
                 text: "hostname h1\n".into(),
             },
         ];
-        let body = encode_artifacts("j3", &files, Some(Vendor::Ios));
+        let body = encode_artifacts("j3", &files, Some(Vendor::Ios), Some(Strategy::ConfMask));
+        assert!(body.contains("\"strategy\": \"confmask\""));
         let back = decode_artifacts(body.as_bytes()).unwrap();
         // JSON objects decode in sorted key order.
         let mut expected = files;

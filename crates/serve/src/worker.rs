@@ -10,7 +10,7 @@
 use crate::failpoint;
 use crate::queue::Bounded;
 use crate::store::JobStore;
-use confmask::{run_job_as, NetworkConfigs, Params, Vendor};
+use confmask::{run_job_with, NetworkConfigs, Params, Strategy, Vendor};
 use confmask_obs::{Span, SpanContext};
 use std::panic::AssertUnwindSafe;
 use std::sync::Arc;
@@ -28,6 +28,9 @@ pub struct QueuedJob {
     pub params: Params,
     /// Dialect the artifacts are emitted in (resolved at submit time).
     pub vendor: Vendor,
+    /// Anonymization strategy (resolved at submit time; defaults to
+    /// `confmask`).
+    pub strategy: Strategy,
     /// Trace context of the admitting request — the worker's spans are
     /// parented under the HTTP request span across the queue hop.
     pub ctx: SpanContext,
@@ -45,6 +48,7 @@ impl QueuedJob {
             configs,
             params,
             vendor: Vendor::Ios,
+            strategy: Strategy::ConfMask,
             ctx: SpanContext::NONE,
             enqueued_us: confmask_obs::now_us(),
         }
@@ -122,7 +126,7 @@ fn worker_loop(queue: &Bounded<QueuedJob>, store: &JobStore, job_timeout: Option
         let started = Instant::now();
         let run_span = confmask_obs::span("serve.run");
         let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
-            run_job_as(&job.configs, &params, job.vendor)
+            run_job_with(&job.configs, &params, job.vendor, job.strategy)
         }));
         confmask_obs::observe("serve.run_ms", run_span.finish().as_millis() as u64);
         let wall = started.elapsed();

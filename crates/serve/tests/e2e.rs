@@ -45,7 +45,7 @@ fn wait_terminal(addr: &str, id: &str) -> wire::JobStatus {
 
 fn example_body(seed: u64) -> String {
     let net = confmask_netgen::smallnets::example_network();
-    wire::encode_submit(&net, &Params::new(3, 2).with_seed(seed), confmask::Vendor::Ios)
+    wire::encode_submit(&net, &Params::new(3, 2).with_seed(seed), confmask::Vendor::Ios, confmask::Strategy::ConfMask)
 }
 
 #[test]
@@ -123,7 +123,7 @@ fn junos_set_submission_completes_end_to_end() {
     let params = Params::new(3, 2).with_seed(7);
 
     // Explicit junos-set submission: the wire body names the dialect.
-    let body = wire::encode_submit(&net, &params, confmask::Vendor::JunosSet);
+    let body = wire::encode_submit(&net, &params, confmask::Vendor::JunosSet, confmask::Strategy::ConfMask);
     assert!(body.contains("\"vendor\": \"junos-set\""), "{body}");
     let resp = submit_bundle(&addr, &body);
     assert_eq!(resp.status, 202, "{}", resp.text());
@@ -247,7 +247,7 @@ fn failed_jobs_surface_the_pipeline_error() {
     // Griffin's bad gadget has no BGP equilibrium: the job must fail, and
     // the status must carry the error.
     let net = confmask_netgen::smallnets::bad_gadget();
-    let body = wire::encode_submit(&net, &Params::new(3, 2), confmask::Vendor::Ios);
+    let body = wire::encode_submit(&net, &Params::new(3, 2), confmask::Vendor::Ios, confmask::Strategy::ConfMask);
     let resp = submit_bundle(&addr, &body);
     assert_eq!(resp.status, 202);
     let id = wire::decode_job_created(&resp.body).unwrap();

@@ -63,7 +63,7 @@ fn recovered_jobs_metric(addr: &str) -> u64 {
 fn finished_jobs_survive_a_graceful_restart() {
     let dir = tmp("graceful");
     let net = confmask_netgen::smallnets::example_network();
-    let body = wire::encode_submit(&net, &Params::new(3, 2), confmask::Vendor::Ios);
+    let body = wire::encode_submit(&net, &Params::new(3, 2), confmask::Vendor::Ios, confmask::Strategy::ConfMask);
 
     // Daemon 1: run one job to completion, remember its artifacts.
     let (addr, handle) = start(&dir);
@@ -104,11 +104,70 @@ fn finished_jobs_survive_a_graceful_restart() {
 }
 
 #[test]
+fn pre_strategy_jobs_recover_with_null_strategy() {
+    let dir = tmp("pre-strategy");
+    let net = confmask_netgen::smallnets::example_network();
+    let params = Params::new(3, 2);
+    // A submission journaled before strategy support existed: the
+    // canonical body with its "strategy" line stripped.
+    let canonical =
+        wire::encode_submit(&net, &params, confmask::Vendor::Ios, confmask::Strategy::ConfMask);
+    let pre_strategy: String = canonical
+        .lines()
+        .filter(|l| !l.contains("\"strategy\""))
+        .map(|l| format!("{l}\n"))
+        .collect();
+    assert!(wire::submission_strategy(&pre_strategy).is_none());
+    let key = confmask::content_key(&net, &params);
+    {
+        let (p, recovery) = Persistence::open(&dir, 256, 3).expect("seed state dir");
+        assert!(recovery.jobs.is_empty());
+        p.log_created(1, key, &pre_strategy).expect("journal Created");
+        p.log_running(1, 1);
+    }
+
+    // Boot 1: the interrupted pre-strategy job re-runs (as confmask, the
+    // wire default), but its *reported* strategy is unknown — the old
+    // submission never named one — and must be echoed as null, never
+    // defaulted to "confmask".
+    let (addr, handle) = start(&dir);
+    let status = wait_terminal(&addr, "j1");
+    assert!(status.state == "done" || status.state == "degraded", "{status:?}");
+    assert_eq!(status.strategy, None, "{status:?}");
+    let resp = client::get(&addr, "/v1/jobs/j1/artifacts").unwrap();
+    assert_eq!(resp.status, 200);
+    assert!(resp.text().contains("\"strategy\": null"), "{}", resp.text());
+    client::post(&addr, "/v1/shutdown", "").unwrap();
+    handle.join().unwrap();
+
+    // Boot 2: now it is a terminal recovered job (submission dropped at
+    // completion, mirroring the vendor-recovery rule): still null.
+    let (addr, handle) = start(&dir);
+    let resp = client::get(&addr, "/v1/jobs/j1").unwrap();
+    assert_eq!(resp.status, 200, "{}", resp.text());
+    let status = wire::decode_status(&resp.body).unwrap();
+    assert!(status.is_terminal(), "{status:?}");
+    assert_eq!(status.strategy, None, "{status:?}");
+
+    // A fresh submission naming a strategy is echoed concretely.
+    let body =
+        wire::encode_submit(&net, &params, confmask::Vendor::Ios, confmask::Strategy::NetCloak);
+    let resp = client::post(&addr, "/v1/jobs", &body).unwrap();
+    assert_eq!(resp.status, 202, "{}", resp.text());
+    let id = wire::decode_job_created(&resp.body).unwrap();
+    let status = wait_terminal(&addr, &id);
+    assert_eq!(status.strategy, Some(confmask::Strategy::NetCloak), "{status:?}");
+
+    client::post(&addr, "/v1/shutdown", "").unwrap();
+    handle.join().unwrap();
+}
+
+#[test]
 fn a_job_interrupted_by_a_crash_is_requeued_and_completes() {
     let dir = tmp("interrupted");
     let net = confmask_netgen::smallnets::example_network();
     let params = Params::new(3, 2);
-    let body = wire::encode_submit(&net, &params, confmask::Vendor::Ios);
+    let body = wire::encode_submit(&net, &params, confmask::Vendor::Ios, confmask::Strategy::ConfMask);
     let key = confmask::content_key(&net, &params);
 
     // Hand-author the state directory a crashed daemon would leave: a job

@@ -21,7 +21,7 @@ fn start(
 
 fn example_body(seed: u64) -> String {
     let net = confmask_netgen::smallnets::example_network();
-    wire::encode_submit(&net, &Params::new(3, 2).with_seed(seed), confmask::Vendor::Ios)
+    wire::encode_submit(&net, &Params::new(3, 2).with_seed(seed), confmask::Vendor::Ios, confmask::Strategy::ConfMask)
 }
 
 fn wait_terminal(addr: &str, id: &str) {

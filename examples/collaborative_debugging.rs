@@ -11,11 +11,12 @@
 //! (b) the waypoint `edge3-1 → agg3-1 → core2 → agg1-1 → edge1-0` to stay
 //! visible in the shared network's data plane.
 //!
-//! The example shows ConfMask preserves both, while a NetHide-style
-//! obfuscation reroutes the path and hides the root cause (Figure 1).
+//! Every registered [`confmask::Anonymizer`] strategy runs the same case
+//! study, so the comparison automatically covers any future strategy:
+//! ConfMask and NetCloak preserve the diagnosis path, while a NetHide-style
+//! obfuscation reroutes it and hides the root cause (Figure 1).
 
-use confmask::{anonymize, Params};
-use confmask_topology::extract::extract_topology;
+use confmask::{anonymizer_for, Params, Strategy};
 
 fn main() {
     let network = confmask_netgen::smallnets::case_study_network();
@@ -31,43 +32,55 @@ fn main() {
     let via_core2 = orig_paths.iter().any(|p| p.iter().any(|n| n == "core2"));
     println!("some path crosses core2 (the misconfigured router): {via_core2}");
 
-    // --- ConfMask ----------------------------------------------------------
-    println!("\n=== ConfMask anonymization ===");
-    let result = anonymize(&network, &Params::new(6, 2)).expect("anonymization succeeds");
-    let anon_paths = &result.final_sim.dataplane.between(src, dst).unwrap().paths;
-    assert_eq!(orig_paths, anon_paths, "functional equivalence");
-    println!("paths preserved exactly: true");
+    let orig_set: std::collections::BTreeSet<_> = orig_paths.iter().collect();
+    let mut verdicts = Vec::new();
+    for strategy in Strategy::ALL {
+        println!("\n=== {strategy} anonymization ===");
+        let result = anonymizer_for(strategy)
+            .anonymize(&network, &Params::new(6, 2))
+            .unwrap_or_else(|e| panic!("{strategy} fails on the case study: {e}"));
 
-    // The QoS misconfiguration is still visible in the shared files.
-    let c2 = &result.configs.routers["core2"];
-    let qos_visible = c2
-        .emit()
-        .contains("traffic-policy mark_agg31_high_priority inbound");
-    println!("core2 QoS root cause visible in shared configs: {qos_visible}");
-    let agg = &result.configs.routers["agg1-1"];
-    println!(
-        "agg1-1 queue weights visible: {}",
-        agg.emit().contains("qos queue 2 wrr weight 10")
-    );
+        // (b) Is the waypoint still visible in the shared data plane?
+        let anon_paths = &result.dataplane.between(src, dst).unwrap().paths;
+        for p in anon_paths {
+            println!("  {}", p.join(" -> "));
+        }
+        let kept = anon_paths.iter().collect::<std::collections::BTreeSet<_>>() == orig_set;
+        println!("paths preserved exactly: {kept}");
+        assert_eq!(
+            kept, result.guarantees.exact_path_preservation,
+            "{strategy}'s guarantee metadata must match its behaviour"
+        );
 
-    // --- NetHide-style baseline ---------------------------------------------
-    println!("\n=== NetHide-style obfuscation (baseline) ===");
-    let topo = extract_topology(&network);
-    let nh = confmask_nethide::obfuscate(&topo, 6, 0).expect("nethide");
-    let nh_paths = &nh.dataplane.between(src, dst).unwrap().paths;
-    for p in nh_paths {
-        println!("  {}", p.join(" -> "));
+        // (a) Do the shared artifacts carry the QoS root cause at all?
+        // NetHide shares a topology, not configurations, so the engineer
+        // never sees core2's traffic-policy no matter where paths go.
+        if result.guarantees.config_level_sharing {
+            let c2 = &result.configs.routers["core2"];
+            let qos_visible = c2
+                .emit()
+                .contains("traffic-policy mark_agg31_high_priority inbound");
+            println!("core2 QoS root cause visible in shared configs: {qos_visible}");
+            let agg = &result.configs.routers["agg1-1"];
+            println!(
+                "agg1-1 queue weights visible: {}",
+                agg.emit().contains("qos queue 2 wrr weight 10")
+            );
+        } else {
+            println!("strategy shares topology only: QoS config lines are never shared");
+        }
+        verdicts.push((strategy, kept));
     }
-    let kept = orig_paths
-        .iter()
-        .collect::<std::collections::BTreeSet<_>>()
-        == nh_paths.iter().collect::<std::collections::BTreeSet<_>>();
-    println!("paths preserved exactly: {kept}");
-    let nh_via_core2 = nh_paths.iter().all(|p| p.iter().any(|n| n == "core2"));
-    println!("NetHide trace always waypoints through core2: {nh_via_core2}");
-    println!(
-        "\nverdict: ConfMask keeps the diagnosis path visible; a NetHide-style \
-         virtual topology {} the engineer toward the wrong links.",
-        if kept { "does not mislead" } else { "misleads" }
-    );
+
+    println!();
+    for (strategy, kept) in verdicts {
+        println!(
+            "verdict: {strategy} {}.",
+            if kept {
+                "keeps the diagnosis path visible, guiding the engineer to the root cause"
+            } else {
+                "reroutes the trace, steering the engineer away from the root cause"
+            }
+        );
+    }
 }
