@@ -576,11 +576,48 @@ fn attacks(runner: &Runner) {
     );
 }
 
+/// The k = 2 resilience profile of one configuration set: the fraction of
+/// `K2_FRONTIER_SAMPLE` seeded double-link failures that degrade no
+/// reported pair beyond a reroute (no black hole, partition, or loop).
+/// Streams through the incremental engine into a [`SweepSummary`] — only
+/// the worst-class histogram is ever retained. `None` when the healthy
+/// network fails to converge.
+fn k2_clean_fraction(
+    configs: &confmask_config::NetworkConfigs,
+    real_hosts: Option<&std::collections::BTreeSet<String>>,
+) -> Option<f64> {
+    use confmask_sim::fault::{sample_double_link_failures, DegradationClass};
+    use confmask_sim::SweepSummary;
+    let engine = confmask_sim_delta::DeltaEngine::global();
+    let conv = engine.converged(configs).ok()?;
+    let baseline = match real_hosts {
+        Some(hosts) => conv.sim.dataplane.restricted_to(hosts),
+        None => conv.sim.dataplane.clone(),
+    };
+    let sweep = engine.sweep(&conv, &baseline);
+    let mut summary = SweepSummary::default();
+    sweep.run(
+        sample_double_link_failures(configs, 0, K2_FRONTIER_SAMPLE),
+        &mut summary,
+    );
+    Some(summary.clean_fraction(DegradationClass::Rerouted))
+}
+
+/// Double-link scenarios sampled per network for the frontier's k = 2
+/// resilience columns.
+const K2_FRONTIER_SAMPLE: usize = 16;
+
+/// Formats an optional clean fraction, `-` when simulation failed.
+fn fmt_frac(v: Option<f64>) -> String {
+    v.map_or_else(|| "-".to_string(), |v| format!("{v:.3}"))
+}
+
 /// The three-strategy privacy/utility/runtime frontier over the extended
 /// suite (Table 2 plus FatTree(16) and the scaling WANs). Every strategy
 /// is selected through the `Anonymizer` trait; per (net, strategy) the row
 /// reports kept-path ratio, kept-spec ratio, degree re-identification
-/// success, and wall time.
+/// success, k = 2 resilience (original vs anonymized, via the streaming
+/// fault sweep), and wall time.
 fn frontier(quick: bool) {
     use confmask::attacks::degree_reidentification;
     use confmask::{anonymizer_for, Params, Strategy};
@@ -594,14 +631,16 @@ fn frontier(quick: bool) {
         &['A', 'B', 'C', 'D', 'G', 'H', 'I', 'J', 'K']
     };
     println!(
-        "{:<3} {:>4} {:<9} {:>10} {:>10} {:>8} {:>7} {:>7} {:>10}",
-        "ID", "|R|", "strategy", "kept-path", "kept-spec", "reid", "+R", "+E", "wall"
+        "{:<3} {:>4} {:<9} {:>10} {:>10} {:>8} {:>8} {:>8} {:>7} {:>7} {:>10}",
+        "ID", "|R|", "strategy", "kept-path", "kept-spec", "reid", "k2-orig", "k2-anon", "+R",
+        "+E", "wall"
     );
     for id in ids {
         let Some(net) = suite.iter().find(|n| n.id == *id) else {
             continue;
         };
         let orig_topo = extract_topology(&net.configs);
+        let orig_k2 = k2_clean_fraction(&net.configs, None);
         let mut orig_spec = None;
         for strategy in Strategy::ALL {
             let result = match anonymizer_for(strategy)
@@ -624,14 +663,17 @@ fn frontier(quick: bool) {
             let sd = confmask_spec::diff(spec_base, &anon_spec, &result.real_hosts);
             let reid =
                 degree_reidentification(&orig_topo, &extract_topology(&result.configs));
+            let anon_k2 = k2_clean_fraction(&result.configs, Some(&result.real_hosts));
             println!(
-                "{:<3} {:>4} {:<9} {:>10.3} {:>10.3} {:>8.3} {:>7} {:>7} {:>9.1}s",
+                "{:<3} {:>4} {:<9} {:>10.3} {:>10.3} {:>8.3} {:>8} {:>8} {:>7} {:>7} {:>9.1}s",
                 net.id,
                 net.configs.routers.len(),
                 strategy.name(),
                 result.kept_path_ratio(),
                 sd.kept_ratio(),
                 reid.expected_success(),
+                fmt_frac(orig_k2),
+                fmt_frac(anon_k2),
                 result.fake_routers,
                 result.fake_links,
                 result.wall.as_secs_f64()
@@ -640,7 +682,9 @@ fn frontier(quick: bool) {
     }
     println!(
         "(kept-path = Fig 8 metric; kept-spec = Fig 9 metric; reid = degree \
-         re-identification success; +R/+E = added routers/links; wall = one \
+         re-identification success; k2-orig/k2-anon = fraction of {K2_FRONTIER_SAMPLE} \
+         sampled double-link failures degrading no pair beyond a reroute, original \
+         vs anonymized real pairs; +R/+E = added routers/links; wall = one \
          anonymization run)"
     );
 }

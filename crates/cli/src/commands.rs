@@ -5,7 +5,7 @@ use crate::args::Command;
 use crate::io::{load_dir, load_dir_as, store_dir_as};
 use confmask::pii::{apply_pii, PiiOptions};
 use confmask::resilience::FailureEquivalenceReport;
-use confmask_sim::fault::{enumerate_scenarios, run_scenario};
+use confmask_sim::fault::enumerate_scenarios;
 use confmask_topology::extract::extract_topology;
 use confmask_topology::metrics::{clustering_coefficient, min_same_degree};
 use std::fmt::Write as _;
@@ -313,9 +313,12 @@ pub fn run(cmd: Command) -> Result<String, CmdError> {
             let mut report = String::new();
             match verify {
                 // Plain sweep: degrade the input network itself. The sweep
-                // converges the healthy network once and recomputes each
-                // scenario incrementally (byte-identical results) unless
-                // `--cold-sim` asked for a full simulation per scenario.
+                // converges the healthy network once and folds each scenario
+                // into a compact digest incrementally (byte-identical
+                // classifications) unless `--cold-sim` asked for a full
+                // simulation per scenario. Either way the scenarios stream
+                // through the shared executor in bounded windows, and only
+                // the report lines are retained — never the simulations.
                 None => {
                     let base = if cold_sim {
                         None
@@ -332,48 +335,68 @@ pub fn run(cmd: Command) -> Result<String, CmdError> {
                         "failure sweep of {label}: {} scenario(s) at k<={k}",
                         scenarios.len()
                     );
-                    let total = scenarios.len();
-                    // Scenarios fan out across the shared executor; each
-                    // worker reuses its own scratch configs on the warm
-                    // path. Outcomes come back in scenario order, so the
-                    // report reads identically at any thread count.
-                    let engine = confmask_sim_delta::DeltaEngine::global();
-                    let runs = confmask_exec::par_map_init(
-                        &scenarios,
-                        confmask_sim_delta::ScenarioScratch::default,
-                        |scratch, i, scenario| {
+                    // Digests arrive at the reducer in scenario order, so
+                    // the report reads identically at any thread count —
+                    // and identically on the warm and cold paths.
+                    struct ReportReducer<'a> {
+                        report: &'a mut String,
+                        scenarios: &'a [confmask_sim::FailureScenario],
+                    }
+                    impl confmask_sim::SweepReducer for ReportReducer<'_> {
+                        fn fold(&mut self, i: usize, digest: confmask_sim::ScenarioDigest) {
                             confmask_obs::info!(
                                 "cli.failures",
-                                "scenario {}/{total}: {scenario}",
-                                i + 1
+                                "scenario {}/{}: {}",
+                                i + 1,
+                                self.scenarios.len(),
+                                self.scenarios[i]
                             );
-                            match &base {
-                                Some(conv) => engine
-                                    .run_scenario_scratch(conv, &baseline, scenario, scratch),
-                                None => run_scenario(&net, &baseline, scenario),
-                            }
-                        },
-                    );
-                    for (scenario, run) in scenarios.iter().zip(runs) {
-                        match run {
-                            Ok(out) => {
-                                let hist: Vec<String> = out
-                                    .histogram()
-                                    .into_iter()
-                                    .map(|(class, n)| format!("{n} {class}"))
-                                    .collect();
-                                let _ = writeln!(
-                                    report,
-                                    "  {}: worst={} [{}]",
-                                    out.scenario,
-                                    out.worst(),
-                                    hist.join(", ")
-                                );
-                            }
-                            Err(e) => {
-                                let _ =
-                                    writeln!(report, "  {scenario}: simulation failed: {e}");
-                            }
+                            let hist: Vec<String> = digest
+                                .histogram_nonzero()
+                                .map(|(class, n)| format!("{n} {class}"))
+                                .collect();
+                            let _ = writeln!(
+                                self.report,
+                                "  {}: worst={} [{}]",
+                                self.scenarios[i],
+                                digest.worst,
+                                hist.join(", ")
+                            );
+                        }
+                        fn fold_err(&mut self, i: usize, error: confmask_sim::SimError) {
+                            confmask_obs::info!(
+                                "cli.failures",
+                                "scenario {}/{}: {}",
+                                i + 1,
+                                self.scenarios.len(),
+                                self.scenarios[i]
+                            );
+                            let _ = writeln!(
+                                self.report,
+                                "  {}: simulation failed: {error}",
+                                self.scenarios[i]
+                            );
+                        }
+                    }
+                    let mut reducer = ReportReducer {
+                        report: &mut report,
+                        scenarios: &scenarios,
+                    };
+                    match &base {
+                        Some(conv) => {
+                            let engine = confmask_sim_delta::DeltaEngine::global();
+                            let sweep = engine.sweep(conv, &baseline);
+                            sweep.run(scenarios.iter(), &mut reducer);
+                        }
+                        None => {
+                            let table = confmask_sim::PairTable::from_baseline(&baseline);
+                            confmask_sim::sweep::stream_scenarios(
+                                &net,
+                                &baseline,
+                                &table,
+                                scenarios.iter(),
+                                &mut reducer,
+                            );
                         }
                     }
                     Ok(report)

@@ -32,11 +32,11 @@
 
 use crate::pipeline::Anonymized;
 use confmask_config::NetworkConfigs;
-use confmask_sim::fault::{
-    enumerate_scenarios, run_scenario, DegradationClass, FailureScenario, Fault,
-};
+use confmask_sim::fault::{enumerate_scenarios, DegradationClass, FailureScenario, Fault};
+use confmask_sim::sweep::{stream_scenarios, DigestList, PairTable, ScenarioDigest};
 use confmask_sim::DataPlane;
-use confmask_sim_delta::{DeltaEngine, ScenarioScratch};
+use confmask_sim_delta::{DeltaEngine, ScenarioSweep};
+use std::sync::Arc;
 
 /// One real host pair whose degradation class differs between the original
 /// and the masked anonymized network under the same failure.
@@ -246,50 +246,112 @@ pub fn verify_failure_equivalence(
     }
 
     // 1. Real-element scenarios, enumerated from the original network (so
-    //    fake links can never leak into the "real" sweep). The sweep fans
-    //    out across the shared executor; each worker keeps its own scratch
-    //    configs per baseline so scenarios never contend on the engine's
-    //    shared buffer. Entries come back in scenario order, so the report
-    //    is byte-identical to the sequential sweep.
+    //    fake links can never leak into the "real" sweep). Each network's
+    //    scenarios stream through the incremental engine into compact
+    //    digests — two digest lists are all that is ever retained, not two
+    //    per-pair maps per scenario. Digests arrive in scenario order, so
+    //    the report is byte-identical to the sequential sweep.
     let orig_conv = engine.converged(original).ok();
     let scenarios = enumerate_scenarios(original, k, result.params.seed, k2_sample);
-    report.real = confmask_exec::par_map_init(
-        &scenarios,
-        <(ScenarioScratch, ScenarioScratch)>::default,
-        |(orig_scratch, masked_scratch), _idx, scenario| {
-            let orig_run = match &orig_conv {
-                Some(conv) => engine.run_scenario_scratch(conv, &orig_base, scenario, orig_scratch),
-                None => run_scenario(original, &orig_base, scenario),
-            };
-            let anon_run =
-                engine.run_scenario_scratch(&masked_conv, &masked_base, scenario, masked_scratch);
+    let orig_table = Arc::new(PairTable::from_baseline(&orig_base));
+    let mut orig_list = DigestList::default();
+    match &orig_conv {
+        Some(conv) => {
+            let sweep = ScenarioSweep::with_table(engine, conv, &orig_base, Arc::clone(&orig_table))
+                .expect("table interned from this baseline always matches it");
+            sweep.run(scenarios.iter(), &mut orig_list);
+        }
+        None => {
+            stream_scenarios(
+                original,
+                &orig_base,
+                &orig_table,
+                scenarios.iter(),
+                &mut orig_list,
+            );
+        }
+    }
+    // The masked sweep reuses the original's pair table when the two
+    // baselines cover the same real pairs (the usual case — both are
+    // restricted to real hosts), so mismatch detection is a positional
+    // digest walk. A masked baseline with a different pair set gets its
+    // own table plus an index translation, with pairs absent from the
+    // anonymized side reading as `Partitioned` (worst case) exactly as
+    // the map-lookup comparison did.
+    let mut anon_list = DigestList::default();
+    let anon_table = match ScenarioSweep::with_table(
+        engine,
+        &masked_conv,
+        &masked_base,
+        Arc::clone(&orig_table),
+    ) {
+        Some(sweep) => {
+            sweep.run(scenarios.iter(), &mut anon_list);
+            None
+        }
+        None => {
+            let sweep = ScenarioSweep::new(engine, &masked_conv, &masked_base);
+            let table = sweep.table();
+            sweep.run(scenarios.iter(), &mut anon_list);
+            Some(table)
+        }
+    };
+    let anon_idx_of: Option<Vec<Option<usize>>> = anon_table.as_ref().map(|t| {
+        (0..orig_table.len())
+            .map(|i| {
+                let (src, dst) = orig_table.pair(i);
+                t.index_of(src, dst)
+            })
+            .collect()
+    });
+
+    /// Expands a digest back into one class per table pair.
+    fn classes_of(digest: &ScenarioDigest, len: usize) -> Vec<DegradationClass> {
+        let mut out = vec![DegradationClass::Unchanged; len];
+        for (i, c) in digest.changed_classes() {
+            out[i] = c;
+        }
+        out
+    }
+
+    report.real = scenarios
+        .iter()
+        .zip(orig_list.results.iter().zip(anon_list.results.iter()))
+        .map(|(scenario, (orig_run, anon_run))| {
             let mut entry = ScenarioEquivalence {
                 scenario: scenario.clone(),
                 original_error: orig_run.as_ref().err().map(|e| e.to_string()),
                 anonymized_error: anon_run.as_ref().err().map(|e| e.to_string()),
-                worst: orig_run.as_ref().ok().map(|o| o.worst()),
+                worst: orig_run.as_ref().ok().map(|d| d.worst),
                 mismatches: Vec::new(),
             };
-            if let (Ok(orig), Ok(anon)) = (&orig_run, &anon_run) {
-                for ((src, dst), oc) in &orig.classes {
-                    let ac = anon
-                        .classes
-                        .get(&(src.clone(), dst.clone()))
-                        .copied()
-                        .unwrap_or(DegradationClass::Partitioned);
-                    if *oc != ac {
+            if let (Ok(orig), Ok(anon)) = (orig_run, anon_run) {
+                let oc = classes_of(orig, orig_table.len());
+                let ac = classes_of(
+                    anon,
+                    anon_table.as_ref().map_or(orig_table.len(), |t| t.len()),
+                );
+                for (i, o) in oc.iter().enumerate() {
+                    let a = match &anon_idx_of {
+                        None => ac[i],
+                        Some(map) => map[i]
+                            .map(|j| ac[j])
+                            .unwrap_or(DegradationClass::Partitioned),
+                    };
+                    if *o != a {
+                        let (src, dst) = orig_table.pair(i);
                         entry.mismatches.push(PairMismatch {
-                            src: src.clone(),
-                            dst: dst.clone(),
-                            original: *oc,
-                            anonymized: ac,
+                            src: src.to_string(),
+                            dst: dst.to_string(),
+                            original: *o,
+                            anonymized: a,
                         });
                     }
                 }
             }
             entry
-        },
-    );
+        })
+        .collect();
 
     // 2. Fake-element scenarios: every fake link and every fake router.
     let mut fake_scenarios: Vec<FailureScenario> = result
@@ -308,33 +370,46 @@ pub fn verify_failure_equivalence(
     }));
 
     let anon_conv = engine.converged(&result.configs).ok();
-    report.fake = confmask_exec::par_map_init(
-        &fake_scenarios,
-        ScenarioScratch::default,
-        |scratch, _idx, scenario| {
-            let run = match &anon_conv {
-                Some(conv) => engine.run_scenario_scratch(conv, &anon_base, scenario, scratch),
-                None => run_scenario(&result.configs, &anon_base, scenario),
-            };
-            match run {
-                Ok(outcome) => FakeElementCheck {
-                    scenario: scenario.clone(),
-                    error: None,
-                    changed_pairs: outcome
-                        .classes
-                        .iter()
-                        .filter(|(_, c)| **c != DegradationClass::Unchanged)
-                        .map(|(k, _)| k.clone())
-                        .collect(),
-                },
-                Err(e) => FakeElementCheck {
-                    scenario: scenario.clone(),
-                    error: Some(e.to_string()),
-                    changed_pairs: Vec::new(),
-                },
-            }
-        },
-    );
+    let fake_table = Arc::new(PairTable::from_baseline(&anon_base));
+    let mut fake_list = DigestList::default();
+    match &anon_conv {
+        Some(conv) => {
+            let sweep = ScenarioSweep::with_table(engine, conv, &anon_base, Arc::clone(&fake_table))
+                .expect("table interned from this baseline always matches it");
+            sweep.run(fake_scenarios.iter(), &mut fake_list);
+        }
+        None => {
+            stream_scenarios(
+                &result.configs,
+                &anon_base,
+                &fake_table,
+                fake_scenarios.iter(),
+                &mut fake_list,
+            );
+        }
+    }
+    report.fake = fake_scenarios
+        .iter()
+        .zip(fake_list.results.iter())
+        .map(|(scenario, run)| match run {
+            Ok(digest) => FakeElementCheck {
+                scenario: scenario.clone(),
+                error: None,
+                changed_pairs: digest
+                    .changed_classes()
+                    .map(|(i, _)| {
+                        let (src, dst) = fake_table.pair(i);
+                        (src.to_string(), dst.to_string())
+                    })
+                    .collect(),
+            },
+            Err(e) => FakeElementCheck {
+                scenario: scenario.clone(),
+                error: Some(e.to_string()),
+                changed_pairs: Vec::new(),
+            },
+        })
+        .collect();
 
     report
 }

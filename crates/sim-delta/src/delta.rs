@@ -151,13 +151,90 @@ fn full_fallback(perturbed: &NetworkConfigs) -> Result<(Simulation, DeltaStats),
     Ok((sim, DeltaStats::full()))
 }
 
+/// Everything the shutdown delta derives *before* touching the data
+/// plane: the perturbed model and FIBs plus the per-endpoint reuse
+/// predicates. [`materialize`] turns a plan into a full [`Simulation`];
+/// the streaming digest path (`crate::sweep`) instead classifies each
+/// baseline pair directly off the plan — both answer pair reusability
+/// with the same [`ShutdownPlan::pair_reusable`], so they cannot drift.
+pub(crate) struct ShutdownPlan {
+    /// The perturbed network model.
+    pub new_net: SimNetwork,
+    /// The perturbed per-router FIBs.
+    pub fibs: Fibs,
+    /// Host ids in data-plane (hostname) order.
+    pub hosts: Vec<HostId>,
+    /// `lookup_changed[d][r]`: router `r` resolves destination host `d`'s
+    /// address differently than the cached base.
+    pub lookup_changed: Vec<Vec<bool>>,
+    /// Destination hosts no router resolves differently.
+    pub dst_untouched: Vec<bool>,
+    /// Hosts whose attachment survived the perturbation.
+    pub att_unchanged: Vec<bool>,
+    /// Hosts that were unattached in the base network.
+    pub unattached: Vec<bool>,
+    ospf_prefixes_total: usize,
+    ospf_prefixes_recomputed: usize,
+    rip_warm_started: bool,
+    bgp_reused: bool,
+}
+
+impl ShutdownPlan {
+    /// Whether ordered pair `(si, di)` (host indices into
+    /// [`ShutdownPlan::hosts`], `idx` its position in the base data
+    /// plane's key order) can reuse its cached path set. See the
+    /// soundness argument on [`materialize`].
+    pub fn pair_reusable(&self, base: &ConvergedSim, si: usize, di: usize, idx: usize) -> bool {
+        if !self.att_unchanged[si] || !self.att_unchanged[di] {
+            false
+        } else if self.unattached[si] || self.dst_untouched[di] {
+            true
+        } else {
+            match &base.pair_meta[idx] {
+                Some(on_path) => {
+                    let changed = &self.lookup_changed[di];
+                    on_path.iter().all(|&r| !changed[r as usize])
+                }
+                None => false,
+            }
+        }
+    }
+
+    /// The delta statistics for this plan given the data-plane tallies.
+    pub fn stats(&self, pairs_total: usize, pairs_recomputed: usize) -> DeltaStats {
+        DeltaStats {
+            full_fallback: false,
+            identical: false,
+            ospf_prefixes_total: self.ospf_prefixes_total,
+            ospf_prefixes_recomputed: self.ospf_prefixes_recomputed,
+            rip_warm_started: self.rip_warm_started,
+            bgp_reused: self.bgp_reused,
+            pairs_total,
+            pairs_recomputed,
+        }
+    }
+}
+
 /// The shutdown-only delta path. Returns `Ok(None)` when a defensive
 /// invariant check fails and the caller should fall back to a cold run.
-#[allow(clippy::type_complexity)]
 fn delta_shutdowns(
     base: &ConvergedSim,
     perturbed: &NetworkConfigs,
 ) -> Result<Option<(Simulation, DeltaStats)>, SimError> {
+    match plan_shutdowns(base, perturbed)? {
+        Some(plan) => Ok(materialize(base, plan)),
+        None => Ok(None),
+    }
+}
+
+/// Builds the [`ShutdownPlan`] for a shutdown-only perturbation: model,
+/// FIBs (both incremental where provable), and the per-endpoint reuse
+/// predicates. Returns `Ok(None)` when a defensive invariant check fails
+/// and the caller should fall back to a cold run.
+pub(crate) fn plan_shutdowns(
+    base: &ConvergedSim,
+    perturbed: &NetworkConfigs,
+) -> Result<Option<ShutdownPlan>, SimError> {
     let new_net = SimNetwork::build(perturbed)?;
     let base_net = &base.sim.net;
     let n = base_net.router_count();
@@ -438,79 +515,78 @@ fn delta_shutdowns(
         .map(|&h| base_net.host(h).attachment.is_none())
         .collect();
 
-    // Start from the cached data plane (an O(pairs) clone of shared path
-    // sets) and overwrite only the pairs that must be re-traced. Host ids
-    // and data-plane keys share the same (hostname-sorted) order, so the
-    // cached stream zips against the ordered-pair enumeration — the name
-    // checks keep this exact (any drift falls back to a cold run).
-    //
-    // Pair reuse soundness, in check order:
-    // * endpoint attachments must have survived (the trace consults them
-    //   before any FIB);
-    // * an unattached source is an immediate blackhole regardless of any
-    //   FIB, so its cached trace replays exactly;
-    // * a fully untouched destination (no router resolves it differently)
-    //   replays the DFS move for move — blackholes, loops, and ECMP
-    //   truncation included;
-    // * otherwise only clean, non-truncated walks are determined by the
-    //   lookups of exactly the routers on their recorded paths
-    //   (`pair_meta`, precomputed at convergence), and reuse requires all
-    //   of those lookups unchanged.
+    Ok(Some(ShutdownPlan {
+        new_net,
+        fibs,
+        hosts,
+        lookup_changed,
+        dst_untouched,
+        att_unchanged,
+        unattached,
+        ospf_prefixes_total,
+        ospf_prefixes_recomputed,
+        rip_warm_started,
+        bgp_reused,
+    }))
+}
+
+/// Materializes a [`ShutdownPlan`] into the full perturbed [`Simulation`].
+/// Returns `None` when the cached data plane's key order disagrees with
+/// the host enumeration (defensive; the caller falls back to a cold run).
+///
+/// Starts from the cached data plane (an O(pairs) clone of shared path
+/// sets) and overwrites only the pairs that must be re-traced. Host ids
+/// and data-plane keys share the same (hostname-sorted) order, so the
+/// cached stream zips against the ordered-pair enumeration — the name
+/// checks keep this exact.
+///
+/// Pair reuse soundness ([`ShutdownPlan::pair_reusable`], in check order):
+/// * endpoint attachments must have survived (the trace consults them
+///   before any FIB);
+/// * an unattached source is an immediate blackhole regardless of any
+///   FIB, so its cached trace replays exactly;
+/// * a fully untouched destination (no router resolves it differently)
+///   replays the DFS move for move — blackholes, loops, and ECMP
+///   truncation included;
+/// * otherwise only clean, non-truncated walks are determined by the
+///   lookups of exactly the routers on their recorded paths
+///   (`pair_meta`, precomputed at convergence), and reuse requires all
+///   of those lookups unchanged.
+pub(crate) fn materialize(
+    base: &ConvergedSim,
+    plan: ShutdownPlan,
+) -> Option<(Simulation, DeltaStats)> {
     let mut dp = base.sim.dataplane.clone();
     let mut pairs_total = 0usize;
     let mut pairs_recomputed = 0usize;
     let mut cached_pairs = base.sim.dataplane.pairs();
-    for (si, &src) in hosts.iter().enumerate() {
-        let src_name = &new_net.host(src).name;
-        for (di, &dst) in hosts.iter().enumerate() {
+    for (si, &src) in plan.hosts.iter().enumerate() {
+        let src_name = &plan.new_net.host(src).name;
+        for (di, &dst) in plan.hosts.iter().enumerate() {
             if si == di {
                 continue;
             }
             let idx = pairs_total;
             pairs_total += 1;
-            let Some(((sname, dname), _ps)) = cached_pairs.next() else {
-                return Ok(None);
-            };
-            if sname != src_name || dname != &new_net.host(dst).name {
-                return Ok(None);
+            let ((sname, dname), _ps) = cached_pairs.next()?;
+            if sname != src_name || dname != &plan.new_net.host(dst).name {
+                return None;
             }
-            let reusable = if !att_unchanged[si] || !att_unchanged[di] {
-                false
-            } else if unattached[si] || dst_untouched[di] {
-                true
-            } else {
-                match &base.pair_meta[idx] {
-                    Some(on_path) => {
-                        let changed = &lookup_changed[di];
-                        on_path.iter().all(|&r| !changed[r as usize])
-                    }
-                    None => false,
-                }
-            };
-            if !reusable {
+            if !plan.pair_reusable(base, si, di, idx) {
                 pairs_recomputed += 1;
-                let traced = trace(&new_net, &fibs, src, dst);
+                let traced = trace(&plan.new_net, &plan.fibs, src, dst);
                 dp.insert(sname.clone(), dname.clone(), traced);
             }
         }
     }
 
+    let stats = plan.stats(pairs_total, pairs_recomputed);
     let sim = Simulation {
-        net: new_net,
-        fibs,
+        net: plan.new_net,
+        fibs: plan.fibs,
         dataplane: dp,
     };
-    let stats = DeltaStats {
-        full_fallback: false,
-        identical: false,
-        ospf_prefixes_total,
-        ospf_prefixes_recomputed,
-        rip_warm_started,
-        bgp_reused,
-        pairs_total,
-        pairs_recomputed,
-    };
-    Ok(Some((sim, stats)))
+    Some((sim, stats))
 }
 
 /// Whether the cached IGP router-path matrix equals the fresh one after

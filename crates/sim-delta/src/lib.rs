@@ -29,8 +29,10 @@
 mod cache;
 mod delta;
 pub mod hash;
+pub mod sweep;
 
 pub use cache::SimCache;
+pub use sweep::ScenarioSweep;
 
 use confmask_config::NetworkConfigs;
 use confmask_net_types::{Ipv4Prefix, RouterId};
@@ -286,40 +288,7 @@ impl DeltaEngine {
             delta::simulate_delta(base, perturbed)?
         };
         sp.finish();
-        if stats.full_fallback {
-            confmask_obs::counter_add("sim.delta.full_fallbacks", 1);
-        }
-        if stats.identical {
-            confmask_obs::counter_add("sim.delta.identical_reuses", 1);
-        }
-        if stats.rip_warm_started {
-            confmask_obs::counter_add("sim.delta.rip_warm_starts", 1);
-        }
-        confmask_obs::counter_add(
-            if stats.bgp_reused {
-                "sim.delta.bgp_reuses"
-            } else {
-                "sim.delta.bgp_recomputes"
-            },
-            u64::from(!stats.identical && !stats.full_fallback),
-        );
-        confmask_obs::counter_add(
-            "sim.delta.ospf_prefixes_recomputed",
-            stats.ospf_prefixes_recomputed as u64,
-        );
-        confmask_obs::counter_add(
-            "sim.delta.ospf_prefixes_reused",
-            (stats.ospf_prefixes_total - stats.ospf_prefixes_recomputed) as u64,
-        );
-        confmask_obs::counter_add("sim.delta.pairs_recomputed", stats.pairs_recomputed as u64);
-        confmask_obs::counter_add(
-            "sim.delta.pairs_reused",
-            (stats.pairs_total - stats.pairs_recomputed) as u64,
-        );
-        confmask_obs::observe(
-            "sim.delta.recompute_fraction_pct",
-            (stats.recompute_fraction() * 100.0).round() as u64,
-        );
+        record_stats(&stats);
         Ok((sim, stats))
     }
 
@@ -371,22 +340,18 @@ impl DeltaEngine {
         out
     }
 
-    /// Runs a whole fault sweep, scenarios fanned out across the shared
-    /// executor ([`confmask_exec`]) with one [`ScenarioScratch`] per
-    /// worker. Outcomes are returned in `scenarios` order — byte-identical
-    /// to calling [`DeltaEngine::run_scenario`] in a loop, at any thread
-    /// count (including `CONFMASK_THREADS=1`).
-    pub fn run_scenarios(
-        &self,
-        base: &ConvergedSim,
+    /// The streaming sweep over a cached baseline: scenarios fan out
+    /// across the shared executor, each folding into a
+    /// [`confmask_sim::ScenarioDigest`] — see [`ScenarioSweep`]. This is
+    /// the replacement for the removed collect-then-reduce
+    /// `run_scenarios`, which retained a full [`ScenarioOutcome`] per
+    /// scenario for the whole batch.
+    pub fn sweep<'a>(
+        &'a self,
+        base: &'a ConvergedSim,
         baseline: &DataPlane,
-        scenarios: &[FailureScenario],
-    ) -> Vec<Result<ScenarioOutcome, SimError>> {
-        confmask_exec::par_map_init(
-            scenarios,
-            ScenarioScratch::default,
-            |scratch, _idx, scenario| self.run_scenario_scratch(base, baseline, scenario, scratch),
-        )
+    ) -> ScenarioSweep<'a> {
+        ScenarioSweep::new(self, base, baseline)
     }
 
     /// Simulates the already-failed configs through the delta engine and
@@ -447,6 +412,46 @@ impl DeltaEngine {
             classes: BTreeMap::from_iter(rows),
         })
     }
+}
+
+/// Records one delta simulation's [`DeltaStats`] into the `sim.delta.*`
+/// metrics — shared by [`DeltaEngine::simulate_perturbed`] and the
+/// streaming digest path, so both report reuse identically.
+pub(crate) fn record_stats(stats: &DeltaStats) {
+    if stats.full_fallback {
+        confmask_obs::counter_add("sim.delta.full_fallbacks", 1);
+    }
+    if stats.identical {
+        confmask_obs::counter_add("sim.delta.identical_reuses", 1);
+    }
+    if stats.rip_warm_started {
+        confmask_obs::counter_add("sim.delta.rip_warm_starts", 1);
+    }
+    confmask_obs::counter_add(
+        if stats.bgp_reused {
+            "sim.delta.bgp_reuses"
+        } else {
+            "sim.delta.bgp_recomputes"
+        },
+        u64::from(!stats.identical && !stats.full_fallback),
+    );
+    confmask_obs::counter_add(
+        "sim.delta.ospf_prefixes_recomputed",
+        stats.ospf_prefixes_recomputed as u64,
+    );
+    confmask_obs::counter_add(
+        "sim.delta.ospf_prefixes_reused",
+        (stats.ospf_prefixes_total - stats.ospf_prefixes_recomputed) as u64,
+    );
+    confmask_obs::counter_add("sim.delta.pairs_recomputed", stats.pairs_recomputed as u64);
+    confmask_obs::counter_add(
+        "sim.delta.pairs_reused",
+        (stats.pairs_total - stats.pairs_recomputed) as u64,
+    );
+    confmask_obs::observe(
+        "sim.delta.recompute_fraction_pct",
+        (stats.recompute_fraction() * 100.0).round() as u64,
+    );
 }
 
 /// Registers every `sim.*`, `sim.cache.*`, and `sim.delta.*` metric at

@@ -18,6 +18,78 @@ use std::sync::Arc;
 /// anything the evaluation networks produce).
 pub const MAX_PATHS_PER_PAIR: usize = 256;
 
+/// A fixed-width bitset over the pair indices of an interned host-pair
+/// table: one bit per ordered host pair, packed 64 per word. The streaming
+/// fault sweep uses it as the violated-pair bitmap of a scenario digest —
+/// a network with 3 000 pairs costs 376 bytes per retained scenario
+/// instead of a `BTreeMap` keyed by `(String, String)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PairBits {
+    bits: Vec<u64>,
+    len: usize,
+}
+
+impl PairBits {
+    /// An all-zero bitset over `len` pair indices.
+    pub fn new(len: usize) -> Self {
+        PairBits {
+            bits: vec![0u64; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Number of pair indices covered (bit capacity, not popcount).
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the bitset covers zero pairs.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Sets bit `i`.
+    pub fn set(&mut self, i: usize) {
+        assert!(i < self.len, "pair index {i} out of range {}", self.len);
+        self.bits[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Reads bit `i` (`false` when out of range).
+    pub fn get(&self, i: usize) -> bool {
+        i < self.len && self.bits[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterates the set bit indices in ascending order.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.bits.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    return None;
+                }
+                let b = w.trailing_zeros() as usize;
+                w &= w - 1;
+                Some(wi * 64 + b)
+            })
+        })
+    }
+
+    /// The packed words, least-significant pair first (canonical encoding).
+    pub fn words(&self) -> &[u64] {
+        &self.bits
+    }
+
+    /// Heap bytes retained by this bitset.
+    pub fn retained_bytes(&self) -> usize {
+        self.bits.capacity() * std::mem::size_of::<u64>()
+    }
+}
+
 /// The forwarding behaviour between one (src, dst) host pair.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct PathSet {
@@ -161,40 +233,145 @@ pub fn extract_dataplane(net: &SimNetwork, fibs: &Fibs) -> Result<DataPlane, Sim
     })
 }
 
+/// An arena-backed path set over router *ids*: every enumerated path is a
+/// span into one flat hop vector, so tracing a pair allocates nothing past
+/// the first reuse and classifying the result never clones a device name.
+///
+/// `RouterId`s are assigned in lexicographic hostname order
+/// ([`SimNetwork::build`]), so sorting id sequences orders spans exactly as
+/// [`trace`] orders its name paths — a materialized arena is byte-identical
+/// to the `PathSet` the name-level tracer would have produced. A span of
+/// length zero is the same-LAN direct path (`[h_s, h_d]`, no routers).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PathArena {
+    /// Flat hop storage: router ids of every span, back to back.
+    hops: Vec<u32>,
+    /// One `(start, len)` span into `hops` per path.
+    spans: Vec<(u32, u32)>,
+    /// Some branch dropped traffic (no FIB entry / undeliverable).
+    pub blackhole: bool,
+    /// Some branch entered a forwarding loop.
+    pub has_loop: bool,
+}
+
+impl PathArena {
+    /// Resets the arena for the next pair, keeping the allocations.
+    pub fn clear(&mut self) {
+        self.hops.clear();
+        self.spans.clear();
+        self.blackhole = false;
+        self.has_loop = false;
+    }
+
+    /// Number of recorded paths.
+    pub fn path_count(&self) -> usize {
+        self.spans.len()
+    }
+
+    /// Fully reachable: at least one path and no anomalous branch
+    /// (mirror of [`PathSet::clean`]).
+    pub fn clean(&self) -> bool {
+        !self.spans.is_empty() && !self.blackhole && !self.has_loop
+    }
+
+    /// Iterates the paths as router-id slices (host endpoints excluded).
+    pub fn paths(&self) -> impl Iterator<Item = &[u32]> {
+        self.spans
+            .iter()
+            .map(|&(start, len)| &self.hops[start as usize..(start + len) as usize])
+    }
+
+    fn push_walk(&mut self, walk: &[RouterId]) {
+        let start = self.hops.len() as u32;
+        self.hops.extend(walk.iter().map(|r| r.0));
+        self.spans.push((start, walk.len() as u32));
+    }
+
+    /// Sorts spans by hop sequence and drops duplicates — the id-level
+    /// equivalent of the `sort` + `dedup` the name tracer applies.
+    fn sort_dedup(&mut self) {
+        let PathArena { hops, spans, .. } = self;
+        let seg = |&(start, len): &(u32, u32)| &hops[start as usize..(start + len) as usize];
+        spans.sort_by(|a, b| seg(a).cmp(seg(b)));
+        spans.dedup_by(|a, b| seg(a) == seg(b));
+    }
+
+    /// Materializes the arena into a name-level [`PathSet`] with the given
+    /// host endpoints.
+    pub fn materialize(&self, net: &SimNetwork, src_name: &str, dst_name: &str) -> PathSet {
+        let mut paths = Vec::with_capacity(self.spans.len());
+        for hops in self.paths() {
+            let mut p = Vec::with_capacity(hops.len() + 2);
+            p.push(src_name.to_string());
+            p.extend(hops.iter().map(|&r| net.router(RouterId(r)).name.clone()));
+            p.push(dst_name.to_string());
+            paths.push(p);
+        }
+        PathSet {
+            paths,
+            blackhole: self.blackhole,
+            has_loop: self.has_loop,
+        }
+    }
+
+    /// Allocation-free equality against a name-level path set: true iff
+    /// [`PathArena::materialize`] would compare equal to `ps`. Host
+    /// endpoints are equal by construction (the caller traced the same
+    /// pair), so only flags and interior router names are compared.
+    pub fn matches(&self, net: &SimNetwork, ps: &PathSet) -> bool {
+        if self.blackhole != ps.blackhole
+            || self.has_loop != ps.has_loop
+            || self.spans.len() != ps.paths.len()
+        {
+            return false;
+        }
+        self.paths().zip(ps.paths.iter()).all(|(hops, path)| {
+            path.len() == hops.len() + 2
+                && hops
+                    .iter()
+                    .zip(path[1..].iter())
+                    .all(|(&r, name)| net.router(RouterId(r)).name == *name)
+        })
+    }
+}
+
 /// Traces all forwarding paths from `src` to `dst` (the paper's
 /// `traceroute(h_a, h_b)`).
 pub fn trace(net: &SimNetwork, fibs: &Fibs, src: HostId, dst: HostId) -> PathSet {
+    let mut arena = PathArena::default();
+    trace_into(net, fibs, src, dst, &mut arena);
     let src_node = net.host(src);
     let dst_node = net.host(dst);
-    let mut out = PathSet::default();
+    arena.materialize(net, &src_node.name, &dst_node.name)
+}
+
+/// Traces `src → dst` into a caller-owned arena — the allocation-free core
+/// of [`trace`]. The arena is cleared first, so it can be reused across an
+/// entire sweep of pairs.
+pub fn trace_into(net: &SimNetwork, fibs: &Fibs, src: HostId, dst: HostId, out: &mut PathArena) {
+    out.clear();
+    let src_node = net.host(src);
+    let dst_node = net.host(dst);
 
     let Some((gw, _)) = src_node.attachment else {
         out.blackhole = true;
-        return out;
+        return;
     };
 
-    // Same-LAN special case: src and dst share a segment — direct delivery.
+    // Same-LAN special case: src and dst share a segment — direct delivery
+    // (a zero-length span: no interior routers).
     if src_node.prefix == dst_node.prefix && src_node.attachment == dst_node.attachment {
-        out.paths
-            .push(vec![src_node.name.clone(), dst_node.name.clone()]);
-        return out;
+        out.spans.push((out.hops.len() as u32, 0));
+        return;
     }
 
     let mut walk: Vec<RouterId> = vec![gw];
-    dfs(net, fibs, dst, &mut walk, &mut out);
-    out.paths.sort();
-    out.paths.dedup();
-
-    // Prepend/append host names.
-    for p in &mut out.paths {
-        p.insert(0, src_node.name.clone());
-        p.push(dst_node.name.clone());
-    }
-    out
+    dfs(net, fibs, dst, &mut walk, out);
+    out.sort_dedup();
 }
 
-fn dfs(net: &SimNetwork, fibs: &Fibs, dst: HostId, walk: &mut Vec<RouterId>, out: &mut PathSet) {
-    if out.paths.len() >= MAX_PATHS_PER_PAIR {
+fn dfs(net: &SimNetwork, fibs: &Fibs, dst: HostId, walk: &mut Vec<RouterId>, out: &mut PathArena) {
+    if out.spans.len() >= MAX_PATHS_PER_PAIR {
         return;
     }
     let cur = *walk.last().expect("walk non-empty");
@@ -210,8 +387,7 @@ fn dfs(net: &SimNetwork, fibs: &Fibs, dst: HostId, walk: &mut Vec<RouterId>, out
                 // Delivery succeeds only if the destination host actually
                 // sits on this router+interface.
                 if dst_node.attachment == Some((cur, *iface)) {
-                    out.paths
-                        .push(walk.iter().map(|r| net.router(*r).name.clone()).collect());
+                    out.push_walk(walk);
                 } else {
                     out.blackhole = true;
                 }
@@ -234,11 +410,12 @@ fn dfs(net: &SimNetwork, fibs: &Fibs, dst: HostId, walk: &mut Vec<RouterId>, out
 /// reachability.
 pub fn reachable_hosts_from_router(net: &SimNetwork, fibs: &Fibs, r: RouterId) -> BTreeSet<HostId> {
     let mut reachable = BTreeSet::new();
+    let mut out = PathArena::default();
     for (hid, _h) in net.hosts_iter() {
-        let mut out = PathSet::default();
+        out.clear();
         let mut walk = vec![r];
         dfs(net, fibs, hid, &mut walk, &mut out);
-        if !out.paths.is_empty() && !out.blackhole && !out.has_loop {
+        if out.clean() {
             reachable.insert(hid);
         }
     }
@@ -350,6 +527,67 @@ mod tests {
             let reach = reachable_hosts_from_router(&sim.net, &sim.fibs, rid);
             assert_eq!(reach.len(), 2, "every router reaches both hosts");
         }
+    }
+
+    #[test]
+    fn pair_bits_set_get_iter() {
+        let mut bits = PairBits::new(130);
+        assert_eq!(bits.len(), 130);
+        assert_eq!(bits.count_ones(), 0);
+        for i in [0usize, 63, 64, 129] {
+            bits.set(i);
+        }
+        assert!(bits.get(0) && bits.get(63) && bits.get(64) && bits.get(129));
+        assert!(!bits.get(1) && !bits.get(500));
+        assert_eq!(bits.count_ones(), 4);
+        assert_eq!(bits.iter_ones().collect::<Vec<_>>(), vec![0, 63, 64, 129]);
+        assert_eq!(bits.words().len(), 3);
+    }
+
+    #[test]
+    fn arena_trace_matches_name_trace() {
+        let sim = simulate(&two_net()).unwrap();
+        let mut arena = PathArena::default();
+        let ids: Vec<HostId> = sim.net.hosts_iter().map(|(id, _)| id).collect();
+        for &s in &ids {
+            for &d in &ids {
+                if s == d {
+                    continue;
+                }
+                trace_into(&sim.net, &sim.fibs, s, d, &mut arena);
+                let named = trace(&sim.net, &sim.fibs, s, d);
+                let (sn, dn) = (&sim.net.host(s).name, &sim.net.host(d).name);
+                assert_eq!(arena.materialize(&sim.net, sn, dn), named);
+                assert!(arena.matches(&sim.net, &named));
+                // And a perturbed path set must NOT match.
+                let mut other = named.clone();
+                other.blackhole = !other.blackhole;
+                assert!(!arena.matches(&sim.net, &other));
+            }
+        }
+    }
+
+    #[test]
+    fn arena_same_lan_is_zero_length_span() {
+        let mut cfgs = two_net();
+        cfgs.hosts
+            .insert("h1b".into(), host("h1b", "10.1.1.101", "10.1.1.1"));
+        let sim = simulate(&cfgs).unwrap();
+        let h1 = sim.net.hosts_iter().find(|(_, h)| h.name == "h1").unwrap().0;
+        let h1b = sim
+            .net
+            .hosts_iter()
+            .find(|(_, h)| h.name == "h1b")
+            .unwrap()
+            .0;
+        let mut arena = PathArena::default();
+        trace_into(&sim.net, &sim.fibs, h1, h1b, &mut arena);
+        assert_eq!(arena.path_count(), 1);
+        assert_eq!(arena.paths().next().unwrap().len(), 0);
+        assert_eq!(
+            arena.materialize(&sim.net, "h1", "h1b").paths,
+            vec![vec!["h1".to_string(), "h1b".into()]]
+        );
     }
 
     #[test]

@@ -313,6 +313,120 @@ pub fn sample_double_link_failures(
         .collect()
 }
 
+/// Lazily enumerates **every** unordered pair of distinct link failures
+/// (exhaustive k = 2), in deterministic `(i < j)` index order over
+/// [`links_of`]. `C(links, 2)` scenarios exist — ~2 000 on net D, ~51 000
+/// on net F — so the iterator materializes one [`FailureScenario`] at a
+/// time instead of a vector of them; driven through the streaming sweep
+/// the whole enumeration retains only digests.
+#[derive(Debug, Clone)]
+pub struct DoubleLinkFailures {
+    links: Vec<(String, String, bool)>,
+    i: usize,
+    j: usize,
+}
+
+/// Every k = 2 link-failure scenario of a network, lazily.
+pub fn enumerate_double_link_failures(configs: &NetworkConfigs) -> DoubleLinkFailures {
+    DoubleLinkFailures {
+        links: links_of(configs),
+        i: 0,
+        j: 1,
+    }
+}
+
+impl DoubleLinkFailures {
+    fn scenario(&self, i: usize, j: usize) -> FailureScenario {
+        let mk = |(a, b, added): &(String, String, bool)| Fault::LinkDown {
+            a: a.clone(),
+            b: b.clone(),
+            added: *added,
+        };
+        FailureScenario {
+            faults: vec![mk(&self.links[i]), mk(&self.links[j])],
+        }
+    }
+}
+
+impl Iterator for DoubleLinkFailures {
+    type Item = FailureScenario;
+
+    fn next(&mut self) -> Option<FailureScenario> {
+        let n = self.links.len();
+        if self.i + 1 >= n || self.j >= n {
+            return None;
+        }
+        let sc = self.scenario(self.i, self.j);
+        self.j += 1;
+        if self.j >= n {
+            self.i += 1;
+            self.j = self.i + 1;
+        }
+        Some(sc)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let n = self.links.len();
+        if self.i + 1 >= n {
+            return (0, Some(0));
+        }
+        // Full rows below the current one, plus the rest of this row.
+        let rows_after = n - 1 - self.i; // rows i+1 .. n-1 have n-1-r pairs each
+        let below = rows_after * rows_after.saturating_sub(1) / 2;
+        let this_row = n - self.j;
+        let rem = below + this_row;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for DoubleLinkFailures {}
+
+/// A seeded sample of triple-link (k = 3) failure scenarios: up to `count`
+/// distinct unordered triples of single-link faults, drawn
+/// deterministically from `seed`. Exhaustive k = 3 is `C(links, 3)` —
+/// already ~5.4M on net F — so compound-failure columns beyond k = 2 are
+/// always budgeted samples.
+pub fn sample_triple_link_failures(
+    configs: &NetworkConfigs,
+    seed: u64,
+    count: usize,
+) -> Vec<FailureScenario> {
+    let singles = links_of(configs);
+    let n = singles.len();
+    if n < 3 || count == 0 {
+        return Vec::new();
+    }
+    let total = n * (n - 1) * (n - 2) / 6;
+    let want = count.min(total);
+    let mut rng = SplitMix64::new(seed);
+    let mut chosen: BTreeSet<(usize, usize, usize)> = BTreeSet::new();
+    // Rejection-sample distinct index triples; bounded because want ≤ total.
+    while chosen.len() < want {
+        let mut idx = [
+            (rng.next() % n as u64) as usize,
+            (rng.next() % n as u64) as usize,
+            (rng.next() % n as u64) as usize,
+        ];
+        idx.sort_unstable();
+        if idx[0] != idx[1] && idx[1] != idx[2] {
+            chosen.insert((idx[0], idx[1], idx[2]));
+        }
+    }
+    chosen
+        .into_iter()
+        .map(|(i, j, k)| {
+            let mk = |(a, b, added): &(String, String, bool)| Fault::LinkDown {
+                a: a.clone(),
+                b: b.clone(),
+                added: *added,
+            };
+            FailureScenario {
+                faults: vec![mk(&singles[i]), mk(&singles[j]), mk(&singles[k])],
+            }
+        })
+        .collect()
+}
+
 /// The standard scenario sweep: every k = 1 link failure plus a seeded
 /// sample of `k2_sample` k = 2 scenarios.
 pub fn enumerate_scenarios(
@@ -362,6 +476,36 @@ pub enum DegradationClass {
     Partitioned,
     /// Some branch of the post-failure forwarding graph loops.
     Looping,
+}
+
+impl DegradationClass {
+    /// Number of degradation classes (histogram width).
+    pub const COUNT: usize = 5;
+
+    /// Every class, least-severe-first (the `Ord` order).
+    pub const ALL: [DegradationClass; Self::COUNT] = [
+        DegradationClass::Unchanged,
+        DegradationClass::Rerouted,
+        DegradationClass::BlackHoled,
+        DegradationClass::Partitioned,
+        DegradationClass::Looping,
+    ];
+
+    /// The class's ordinal in severity order (`Unchanged` = 0).
+    pub fn index(self) -> usize {
+        match self {
+            DegradationClass::Unchanged => 0,
+            DegradationClass::Rerouted => 1,
+            DegradationClass::BlackHoled => 2,
+            DegradationClass::Partitioned => 3,
+            DegradationClass::Looping => 4,
+        }
+    }
+
+    /// Inverse of [`DegradationClass::index`] (`None` when out of range).
+    pub fn from_index(i: usize) -> Option<DegradationClass> {
+        Self::ALL.get(i).copied()
+    }
 }
 
 impl std::fmt::Display for DegradationClass {
@@ -721,6 +865,50 @@ mod tests {
         }
         // Requesting more than C(n, 2) pairs saturates.
         assert_eq!(sample_double_link_failures(&cfgs, 7, 100).len(), 3);
+    }
+
+    #[test]
+    fn exhaustive_k2_enumeration_is_lazy_and_complete() {
+        let cfgs = triangle();
+        let mut it = enumerate_double_link_failures(&cfgs);
+        // 3 links → C(3, 2) = 3 scenarios, in (i < j) order.
+        assert_eq!(it.len(), 3);
+        let all: Vec<FailureScenario> = it.by_ref().collect();
+        assert_eq!(all.len(), 3);
+        assert_eq!(it.len(), 0);
+        for sc in &all {
+            assert_eq!(sc.faults.len(), 2);
+        }
+        // Matches the saturated sampler's scenario *set*.
+        let sampled: BTreeSet<FailureScenario> =
+            sample_double_link_failures(&cfgs, 7, 100).into_iter().collect();
+        assert_eq!(all.iter().cloned().collect::<BTreeSet<_>>(), sampled);
+        // len() stays exact mid-iteration.
+        let mut it2 = enumerate_double_link_failures(&cfgs);
+        it2.next();
+        assert_eq!(it2.len(), 2);
+        assert_eq!(it2.by_ref().count(), 2);
+    }
+
+    #[test]
+    fn triple_failure_sampling_is_seeded_and_distinct() {
+        let cfgs = triangle();
+        let s1 = sample_triple_link_failures(&cfgs, 11, 5);
+        let s2 = sample_triple_link_failures(&cfgs, 11, 5);
+        assert_eq!(s1, s2, "same seed, same sample");
+        // Only C(3, 3) = 1 triple exists: the request saturates.
+        assert_eq!(s1.len(), 1);
+        assert_eq!(s1[0].faults.len(), 3);
+        assert!(sample_triple_link_failures(&cfgs, 11, 0).is_empty());
+    }
+
+    #[test]
+    fn degradation_class_index_roundtrip() {
+        for (i, c) in DegradationClass::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i);
+            assert_eq!(DegradationClass::from_index(i), Some(*c));
+        }
+        assert_eq!(DegradationClass::from_index(DegradationClass::COUNT), None);
     }
 
     #[test]

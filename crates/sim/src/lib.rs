@@ -37,11 +37,15 @@ mod fib;
 mod network;
 pub mod ospf;
 pub mod rip;
+pub mod sweep;
 
 pub use bgp::BgpFibRoute;
-pub use dataplane::{DataPlane, PathSet};
+pub use dataplane::{DataPlane, PairBits, PathArena, PathSet};
 pub use error::SimError;
 pub use fault::{DegradationClass, FailureScenario, Fault, ScenarioOutcome};
+pub use sweep::{
+    DigestList, PairTable, ScenarioDigest, SweepReducer, SweepStats, SweepSummary,
+};
 pub use fib::{
     merge_fibs, merge_router_fib, AdminDistance, Fib, FibEntry, Fibs, NextHop, RouteSource,
 };
@@ -111,6 +115,7 @@ pub fn register_metrics() {
     }
     confmask_obs::histogram_register("sim.dataplane.paths_per_pair");
     confmask_obs::histogram_register("sim.fib.size");
+    sweep::register_metrics();
 }
 
 /// The converged per-protocol control-plane state behind a [`Simulation`].

@@ -1,0 +1,626 @@
+//! Streaming fault sweeps: fold each scenario into a compact digest and
+//! drop the full simulation immediately.
+//!
+//! The collect-then-reduce sweep (`Vec<Result<ScenarioOutcome>>`) retains a
+//! `BTreeMap<(String, String), DegradationClass>` — plus whatever live
+//! FIB/path state produced it — for *every* scenario in a batch, which is
+//! what capped exhaustive k = 2 enumeration and made the parallel sweep
+//! path slower than sequential on one core. This module replaces it with a
+//! map-reduce shape borrowed from streamed model checking (Plankton,
+//! NSDI'20): workers classify a scenario against an interned host-pair
+//! table ([`PairTable`]), emit a [`ScenarioDigest`] of tens of bytes —
+//! class histogram, worst class, violated-pair bitmap, packed non-unchanged
+//! classes — and the caller's [`SweepReducer`] folds digests in scenario
+//! order while the simulations behind them are already freed.
+//!
+//! [`stream_scenarios`] is the cold (full re-simulation) driver; the warm
+//! incremental driver lives in `confmask-sim-delta` and produces
+//! byte-identical digests (gated by `tests/delta_diff.rs`).
+
+use crate::dataplane::{DataPlane, PairBits};
+use crate::error::SimError;
+use crate::fault::{run_scenario, DegradationClass, FailureScenario, ScenarioOutcome};
+use confmask_config::NetworkConfigs;
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// The interned table of ordered host pairs a sweep classifies — one entry
+/// per baseline pair, in baseline (name) order. Digests refer to pairs by
+/// index into this table, so a retained digest carries no strings; names
+/// are shared `Arc<str>`s interned once per sweep.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PairTable {
+    pairs: Vec<(Arc<str>, Arc<str>)>,
+}
+
+impl PairTable {
+    /// Interns every ordered pair of `baseline`, in its key order.
+    pub fn from_baseline(baseline: &DataPlane) -> PairTable {
+        let mut cache: BTreeMap<String, Arc<str>> = BTreeMap::new();
+        let intern = |s: &str, cache: &mut BTreeMap<String, Arc<str>>| -> Arc<str> {
+            if let Some(a) = cache.get(s) {
+                return Arc::clone(a);
+            }
+            let a: Arc<str> = Arc::from(s);
+            cache.insert(s.to_string(), Arc::clone(&a));
+            a
+        };
+        let pairs = baseline
+            .pairs()
+            .map(|((s, d), _)| (intern(s, &mut cache), intern(d, &mut cache)))
+            .collect();
+        PairTable { pairs }
+    }
+
+    /// Number of pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True when the table holds no pairs.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// The `(src, dst)` names at pair index `i`.
+    pub fn pair(&self, i: usize) -> (&str, &str) {
+        let (s, d) = &self.pairs[i];
+        (s, d)
+    }
+
+    /// Iterates the pairs in index (== name) order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.pairs.iter().map(|(s, d)| (s.as_ref(), d.as_ref()))
+    }
+
+    /// The index of a pair, if present (the table is name-sorted).
+    pub fn index_of(&self, src: &str, dst: &str) -> Option<usize> {
+        self.pairs
+            .binary_search_by(|(s, d)| (s.as_ref(), d.as_ref()).cmp(&(src, dst)))
+            .ok()
+    }
+}
+
+/// The compact, retainable result of one failure scenario: what a worker
+/// keeps after the full simulation is dropped.
+///
+/// Layout: a degradation-class histogram over all table pairs, the worst
+/// class reached, a violated-pair bitmap (bit `i` set iff table pair `i`
+/// is not `Unchanged`), and the non-unchanged classes packed two per byte
+/// in ascending pair order. Everything else about the scenario — the full
+/// per-pair map the old `ScenarioOutcome` retained — is reconstructible
+/// from these plus the shared [`PairTable`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioDigest {
+    /// Pair counts per class, indexed by [`DegradationClass::index`].
+    pub histogram: [u32; DegradationClass::COUNT],
+    /// The most severe class any pair reached.
+    pub worst: DegradationClass,
+    /// Bit `i` set iff table pair `i` degraded (class ≠ `Unchanged`).
+    pub changed: PairBits,
+    /// Non-unchanged classes, two nibbles per byte, ascending pair order.
+    classes: Vec<u8>,
+    /// Number of recorded non-unchanged classes (nibble count).
+    changed_n: u32,
+}
+
+impl ScenarioDigest {
+    /// An all-unchanged digest over `pairs` table entries; callers fold
+    /// classes in with [`ScenarioDigest::record`].
+    pub fn new(pairs: usize) -> ScenarioDigest {
+        ScenarioDigest {
+            histogram: [0; DegradationClass::COUNT],
+            worst: DegradationClass::Unchanged,
+            changed: PairBits::new(pairs),
+            classes: Vec::new(),
+            changed_n: 0,
+        }
+    }
+
+    /// Records the class of table pair `i`. Must be called once per pair
+    /// in ascending pair order (the packed class stream is positional).
+    pub fn record(&mut self, i: usize, class: DegradationClass) {
+        self.histogram[class.index()] += 1;
+        if class == DegradationClass::Unchanged {
+            return;
+        }
+        self.changed.set(i);
+        if class > self.worst {
+            self.worst = class;
+        }
+        let nib = class.index() as u8;
+        if self.changed_n.is_multiple_of(2) {
+            self.classes.push(nib);
+        } else {
+            *self.classes.last_mut().expect("odd nibble has a byte") |= nib << 4;
+        }
+        self.changed_n += 1;
+    }
+
+    /// Number of pairs the digest covers (the table width).
+    pub fn pairs(&self) -> usize {
+        self.changed.len()
+    }
+
+    /// Number of degraded (non-`Unchanged`) pairs.
+    pub fn changed_count(&self) -> usize {
+        self.changed_n as usize
+    }
+
+    /// Whether every pair was unaffected.
+    pub fn all_unchanged(&self) -> bool {
+        self.changed_n == 0
+    }
+
+    /// Iterates `(pair_index, class)` for every degraded pair, in
+    /// ascending pair order.
+    pub fn changed_classes(&self) -> impl Iterator<Item = (usize, DegradationClass)> + '_ {
+        self.changed.iter_ones().enumerate().map(|(k, i)| {
+            let byte = self.classes[k / 2];
+            let nib = if k % 2 == 0 { byte & 0x0F } else { byte >> 4 };
+            let class = DegradationClass::from_index(nib as usize).expect("packed class in range");
+            (i, class)
+        })
+    }
+
+    /// Histogram entries with non-zero counts, least-severe-first — the
+    /// precomputed replacement for `ScenarioOutcome::histogram()` in hot
+    /// report loops.
+    pub fn histogram_nonzero(&self) -> impl Iterator<Item = (DegradationClass, usize)> + '_ {
+        DegradationClass::ALL
+            .iter()
+            .zip(self.histogram.iter())
+            .filter(|(_, &n)| n > 0)
+            .map(|(c, &n)| (*c, n as usize))
+    }
+
+    /// Heap + inline bytes this digest retains — what a reducer holding it
+    /// actually costs, and what the `sim.sweep.digest_bytes` gauge sums.
+    pub fn retained_bytes(&self) -> usize {
+        std::mem::size_of::<Self>() + self.changed.retained_bytes() + self.classes.capacity()
+    }
+
+    /// Canonical byte encoding (histogram, worst, pair count, bitmap
+    /// words, packed classes — all little-endian). Two digests are equal
+    /// iff their encodings are byte-equal; the differential gate in
+    /// `tests/delta_diff.rs` asserts on this.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(
+            4 * DegradationClass::COUNT + 1 + 8 + 8 * self.changed.words().len() + self.classes.len(),
+        );
+        for h in self.histogram {
+            out.extend_from_slice(&h.to_le_bytes());
+        }
+        out.push(self.worst.index() as u8);
+        out.extend_from_slice(&(self.changed.len() as u64).to_le_bytes());
+        for w in self.changed.words() {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.changed_n).to_le_bytes());
+        out.extend_from_slice(&self.classes);
+        out
+    }
+
+    /// Folds a cold [`ScenarioOutcome`] into digest form. The outcome's
+    /// pair set is merge-joined against the table (both are name-sorted);
+    /// table pairs the outcome does not mention fold as `Unchanged`.
+    pub fn from_outcome(outcome: &ScenarioOutcome, table: &PairTable) -> ScenarioDigest {
+        let mut digest = ScenarioDigest::new(table.len());
+        let mut it = outcome.classes.iter().peekable();
+        for (i, (src, dst)) in table.iter().enumerate() {
+            let key = (src, dst);
+            // Skip outcome pairs not in the table (shouldn't happen when
+            // the table was built from the same baseline, but stay total).
+            while let Some(((s, d), _)) = it.peek() {
+                if (s.as_str(), d.as_str()) < key {
+                    it.next();
+                } else {
+                    break;
+                }
+            }
+            let class = match it.peek() {
+                Some(((s, d), c)) if (s.as_str(), d.as_str()) == key => {
+                    let c = **c;
+                    it.next();
+                    c
+                }
+                _ => DegradationClass::Unchanged,
+            };
+            digest.record(i, class);
+        }
+        digest
+    }
+}
+
+/// The consumer side of a streaming sweep: workers produce digests, the
+/// driver delivers them here **in scenario order** (index `i` is the
+/// scenario's position in the swept sequence), and the full simulation
+/// state behind each digest is already dropped by the time `fold` runs.
+pub trait SweepReducer {
+    /// Folds the digest of scenario `i`.
+    fn fold(&mut self, i: usize, digest: ScenarioDigest);
+
+    /// Folds a scenario whose simulation failed.
+    fn fold_err(&mut self, i: usize, error: SimError);
+}
+
+/// A reducer that keeps only aggregate statistics — the cheapest possible
+/// consumer (O(1) memory regardless of sweep size), used by exhaustive
+/// k = 2 enumeration and the frontier's compound-failure columns.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SweepSummary {
+    /// Scenarios folded successfully.
+    pub scenarios: usize,
+    /// Scenarios whose simulation failed.
+    pub errors: usize,
+    /// Total pair counts per class across all scenarios.
+    pub pair_histogram: [u64; DegradationClass::COUNT],
+    /// Per-scenario worst-class counts (`worst_histogram[0]` = scenarios
+    /// where nothing degraded).
+    pub worst_histogram: [u64; DegradationClass::COUNT],
+}
+
+impl SweepSummary {
+    /// The most severe class any scenario reached.
+    pub fn worst(&self) -> DegradationClass {
+        (0..DegradationClass::COUNT)
+            .rev()
+            .find(|&i| self.worst_histogram[i] > 0)
+            .and_then(DegradationClass::from_index)
+            .unwrap_or(DegradationClass::Unchanged)
+    }
+
+    /// Fraction of swept scenarios (errors count as dirty) whose worst
+    /// class is at most `max_class` — e.g. `clean_fraction(Rerouted)` is
+    /// the share of failures under which all traffic still arrives.
+    pub fn clean_fraction(&self, max_class: DegradationClass) -> f64 {
+        let total = self.scenarios + self.errors;
+        if total == 0 {
+            return 1.0;
+        }
+        let clean: u64 = self.worst_histogram[..=max_class.index()].iter().sum();
+        clean as f64 / total as f64
+    }
+}
+
+impl SweepReducer for SweepSummary {
+    fn fold(&mut self, _i: usize, digest: ScenarioDigest) {
+        self.scenarios += 1;
+        for (k, &h) in digest.histogram.iter().enumerate() {
+            self.pair_histogram[k] += h as u64;
+        }
+        self.worst_histogram[digest.worst.index()] += 1;
+    }
+
+    fn fold_err(&mut self, _i: usize, _error: SimError) {
+        self.errors += 1;
+    }
+}
+
+/// A reducer that retains every digest, in scenario order — for callers
+/// that post-process per-scenario results (equivalence comparison, the
+/// differential gate). Retention is digests only: tens of bytes per
+/// scenario, not a dataplane.
+#[derive(Debug, Clone, Default)]
+pub struct DigestList {
+    /// One entry per swept scenario, in scenario order.
+    pub results: Vec<Result<ScenarioDigest, SimError>>,
+}
+
+impl SweepReducer for DigestList {
+    fn fold(&mut self, i: usize, digest: ScenarioDigest) {
+        debug_assert_eq!(i, self.results.len(), "digests arrive in order");
+        self.results.push(Ok(digest));
+    }
+
+    fn fold_err(&mut self, i: usize, error: SimError) {
+        debug_assert_eq!(i, self.results.len(), "digests arrive in order");
+        self.results.push(Err(error));
+    }
+}
+
+/// Aggregate statistics of one streaming sweep run.
+#[derive(Debug, Clone, Default)]
+pub struct SweepStats {
+    /// Scenarios folded successfully.
+    pub scenarios: usize,
+    /// Scenarios whose simulation failed.
+    pub errors: usize,
+    /// Peak bytes of digests live inside the streaming window at once —
+    /// the sweep engine's retained-memory high-water mark (what the old
+    /// engine's `Vec<ScenarioOutcome>` equivalent was, orders of magnitude
+    /// larger).
+    pub peak_digest_bytes: usize,
+    /// Peak number of outcomes (digests) retained in the window at once.
+    pub peak_retained: usize,
+    /// Wall time of the sweep.
+    pub wall: Duration,
+}
+
+/// Shared `sim.sweep.*` instrumentation for streaming drivers (cold here,
+/// warm in `confmask-sim-delta`): scenario/error counters plus live- and
+/// peak-memory gauges, updated per streaming window rather than per
+/// scenario so metrics cost nothing on multi-thousand-scenario sweeps.
+#[derive(Debug)]
+pub struct SweepMeter {
+    window: usize,
+    live_bytes: usize,
+    live_n: usize,
+    peak_bytes: usize,
+    peak_n: usize,
+    scenarios: usize,
+    errors: usize,
+    pending_scenarios: u64,
+    pending_errors: u64,
+    started: Instant,
+}
+
+impl SweepMeter {
+    /// A meter for a sweep whose streaming window holds `window` scenarios.
+    pub fn new(window: usize) -> SweepMeter {
+        SweepMeter {
+            window: window.max(1),
+            live_bytes: 0,
+            live_n: 0,
+            peak_bytes: 0,
+            peak_n: 0,
+            scenarios: 0,
+            errors: 0,
+            pending_scenarios: 0,
+            pending_errors: 0,
+            started: Instant::now(),
+        }
+    }
+
+    fn roll_window(&mut self, i: usize) {
+        if i.is_multiple_of(self.window) {
+            self.flush();
+            confmask_obs::gauge_set("sim.sweep.digest_bytes", self.live_bytes as f64);
+            self.live_bytes = 0;
+            self.live_n = 0;
+        }
+    }
+
+    /// Publishes the counter deltas accumulated since the last window roll.
+    fn flush(&mut self) {
+        if self.pending_scenarios > 0 {
+            confmask_obs::counter_add("sim.sweep.scenarios", self.pending_scenarios);
+            self.pending_scenarios = 0;
+        }
+        if self.pending_errors > 0 {
+            confmask_obs::counter_add("sim.sweep.errors", self.pending_errors);
+            self.pending_errors = 0;
+        }
+    }
+
+    /// Accounts a successful digest of `bytes` retained bytes at scenario
+    /// index `i`.
+    pub fn fold_ok(&mut self, i: usize, bytes: usize) {
+        self.roll_window(i);
+        self.scenarios += 1;
+        self.pending_scenarios += 1;
+        self.live_bytes += bytes;
+        self.live_n += 1;
+        self.peak_bytes = self.peak_bytes.max(self.live_bytes);
+        self.peak_n = self.peak_n.max(self.live_n);
+    }
+
+    /// Accounts a failed scenario at index `i`.
+    pub fn fold_err(&mut self, i: usize) {
+        self.roll_window(i);
+        self.errors += 1;
+        self.pending_errors += 1;
+    }
+
+    /// Finishes the sweep: publishes the remaining counter deltas and the
+    /// peak gauges, and returns the stats.
+    pub fn finish(mut self) -> SweepStats {
+        self.flush();
+        confmask_obs::gauge_set("sim.sweep.digest_bytes", 0.0);
+        confmask_obs::gauge_set("sim.sweep.peak_retained_outcomes", self.peak_n as f64);
+        SweepStats {
+            scenarios: self.scenarios,
+            errors: self.errors,
+            peak_digest_bytes: self.peak_bytes,
+            peak_retained: self.peak_n,
+            wall: self.started.elapsed(),
+        }
+    }
+}
+
+/// Registers every `sim.sweep.*` metric at zero (the register-at-zero
+/// convention; called from `confmask-sim-delta`'s registration, which both
+/// the CLI and the daemon invoke at startup).
+pub fn register_metrics() {
+    confmask_obs::counter_add("sim.sweep.scenarios", 0);
+    confmask_obs::counter_add("sim.sweep.errors", 0);
+    confmask_obs::gauge_set("sim.sweep.digest_bytes", 0.0);
+    confmask_obs::gauge_set("sim.sweep.peak_retained_outcomes", 0.0);
+}
+
+/// The cold streaming driver: runs every scenario through the full
+/// re-simulating [`run_scenario`], folds each outcome into a digest
+/// against `table`, and feeds the reducer in scenario order. Workers fan
+/// out over the shared executor in bounded windows, so at most one
+/// window's worth of outcomes is ever live — the swept sequence itself is
+/// consumed lazily and never materialized.
+///
+/// `table` must be built from (or equal to) `baseline`'s pair set; pairs
+/// of `baseline` absent from `table` are ignored and table pairs absent
+/// from `baseline` classify as `Unchanged`.
+pub fn stream_scenarios<B: std::borrow::Borrow<FailureScenario> + Sync>(
+    configs: &NetworkConfigs,
+    baseline: &DataPlane,
+    table: &PairTable,
+    scenarios: impl IntoIterator<Item = B>,
+    reducer: &mut dyn SweepReducer,
+) -> SweepStats {
+    let window = (confmask_exec::thread_count() * 8).clamp(16, 256);
+    let mut meter = SweepMeter::new(window);
+    confmask_exec::par_stream_init(
+        scenarios,
+        window,
+        || (),
+        |_, _, sc: &B| {
+            let sc = sc.borrow();
+            run_scenario(configs, baseline, sc).map(|o| ScenarioDigest::from_outcome(&o, table))
+        },
+        |i, r| match r {
+            Ok(d) => {
+                meter.fold_ok(i, d.retained_bytes());
+                reducer.fold(i, d);
+            }
+            Err(e) => {
+                meter.fold_err(i);
+                reducer.fold_err(i, e);
+            }
+        },
+    );
+    meter.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fault::{
+        enumerate_single_link_failures, run_scenario, Fault, FailureScenario,
+    };
+    use crate::simulate;
+    use confmask_config::{parse_router, HostConfig, NetworkConfigs};
+
+    fn host(name: &str, addr: &str, gw: &str) -> HostConfig {
+        HostConfig {
+            hostname: name.into(),
+            iface_name: "eth0".into(),
+            address: (addr.parse().unwrap(), 24),
+            gateway: gw.parse().unwrap(),
+            extra: vec![],
+            added: false,
+        }
+    }
+
+    /// Triangle r1–r2–r3 (all OSPF), host on r1 and on r2.
+    fn triangle() -> NetworkConfigs {
+        let r1 = parse_router(
+            "hostname r1\n!\ninterface Ethernet0/0\n ip address 10.0.12.0 255.255.255.254\n!\ninterface Ethernet0/1\n ip address 10.0.13.0 255.255.255.254\n!\ninterface Ethernet0/2\n ip address 10.1.1.1 255.255.255.0\n!\nrouter ospf 1\n network 10.0.0.0 0.0.255.255 area 0\n network 10.1.1.0 0.0.0.255 area 0\n!\n",
+        )
+        .unwrap();
+        let r2 = parse_router(
+            "hostname r2\n!\ninterface Ethernet0/0\n ip address 10.0.12.1 255.255.255.254\n!\ninterface Ethernet0/1\n ip address 10.0.23.0 255.255.255.254\n!\ninterface Ethernet0/2\n ip address 10.1.2.1 255.255.255.0\n!\nrouter ospf 1\n network 10.0.0.0 0.0.255.255 area 0\n network 10.1.2.0 0.0.0.255 area 0\n!\n",
+        )
+        .unwrap();
+        let r3 = parse_router(
+            "hostname r3\n!\ninterface Ethernet0/0\n ip address 10.0.13.1 255.255.255.254\n!\ninterface Ethernet0/1\n ip address 10.0.23.1 255.255.255.254\n!\nrouter ospf 1\n network 10.0.0.0 0.0.255.255 area 0\n!\n",
+        )
+        .unwrap();
+        NetworkConfigs::new(
+            [r1, r2, r3],
+            [
+                host("h1", "10.1.1.100", "10.1.1.1"),
+                host("h2", "10.1.2.100", "10.1.2.1"),
+            ],
+        )
+    }
+
+    #[test]
+    fn pair_table_interns_baseline_order() {
+        let baseline = simulate(&triangle()).unwrap().dataplane;
+        let table = PairTable::from_baseline(&baseline);
+        assert_eq!(table.len(), baseline.len());
+        for (i, ((s, d), _)) in baseline.pairs().enumerate() {
+            assert_eq!(table.pair(i), (s.as_str(), d.as_str()));
+            assert_eq!(table.index_of(s, d), Some(i));
+        }
+        assert_eq!(table.index_of("h1", "nope"), None);
+    }
+
+    #[test]
+    fn digest_fold_matches_outcome() {
+        let cfgs = triangle();
+        let baseline = simulate(&cfgs).unwrap().dataplane;
+        let table = PairTable::from_baseline(&baseline);
+        let sc = FailureScenario::single(Fault::RouterDown {
+            router: "r2".into(),
+        });
+        let out = run_scenario(&cfgs, &baseline, &sc).unwrap();
+        let digest = ScenarioDigest::from_outcome(&out, &table);
+        assert_eq!(digest.worst, out.worst());
+        assert_eq!(digest.all_unchanged(), out.all_unchanged());
+        // Histogram agrees with the outcome's map-walking one.
+        let hist = out.histogram();
+        for (c, n) in digest.histogram_nonzero() {
+            assert_eq!(hist.get(&c), Some(&n));
+        }
+        assert_eq!(
+            digest.histogram.iter().map(|&n| n as usize).sum::<usize>(),
+            out.classes.len()
+        );
+        // Every changed pair round-trips through the table by name.
+        for (i, class) in digest.changed_classes() {
+            let (s, d) = table.pair(i);
+            assert_eq!(out.classes[&(s.to_string(), d.to_string())], class);
+            assert_ne!(class, DegradationClass::Unchanged);
+        }
+        assert_eq!(digest.changed_count(), digest.changed.count_ones());
+        // Encodings are stable and discriminate.
+        assert_eq!(digest.encode(), ScenarioDigest::from_outcome(&out, &table).encode());
+        let unchanged = ScenarioDigest::new(table.len());
+        assert_ne!(digest.encode(), unchanged.encode());
+    }
+
+    #[test]
+    fn stream_scenarios_matches_per_scenario_runs() {
+        let cfgs = triangle();
+        let baseline = simulate(&cfgs).unwrap().dataplane;
+        let table = PairTable::from_baseline(&baseline);
+        let scenarios = enumerate_single_link_failures(&cfgs);
+        let mut list = DigestList::default();
+        let stats = stream_scenarios(
+            &cfgs,
+            &baseline,
+            &table,
+            scenarios.iter(),
+            &mut list,
+        );
+        assert_eq!(stats.scenarios, scenarios.len());
+        assert_eq!(stats.errors, 0);
+        assert!(stats.peak_digest_bytes > 0);
+        assert!(stats.peak_retained >= 1);
+        assert_eq!(list.results.len(), scenarios.len());
+        for (sc, got) in scenarios.iter().zip(&list.results) {
+            let want =
+                ScenarioDigest::from_outcome(&run_scenario(&cfgs, &baseline, sc).unwrap(), &table);
+            assert_eq!(got.as_ref().unwrap(), &want, "{sc}");
+        }
+    }
+
+    #[test]
+    fn sweep_summary_aggregates() {
+        let cfgs = triangle();
+        let baseline = simulate(&cfgs).unwrap().dataplane;
+        let table = PairTable::from_baseline(&baseline);
+        let scenarios = enumerate_single_link_failures(&cfgs);
+        let mut sum = SweepSummary::default();
+        stream_scenarios(
+            &cfgs,
+            &baseline,
+            &table,
+            scenarios.iter(),
+            &mut sum,
+        );
+        assert_eq!(sum.scenarios, 3);
+        assert_eq!(sum.errors, 0);
+        // r1–r2 down reroutes both directions; the other two links carry
+        // no h1↔h2 baseline traffic.
+        assert_eq!(sum.worst(), DegradationClass::Rerouted);
+        assert_eq!(sum.worst_histogram[DegradationClass::Unchanged.index()], 2);
+        assert_eq!(sum.worst_histogram[DegradationClass::Rerouted.index()], 1);
+        assert_eq!(sum.clean_fraction(DegradationClass::Rerouted), 1.0);
+        assert!(sum.clean_fraction(DegradationClass::Unchanged) < 1.0);
+        // An errored scenario counts as dirty.
+        let mut sum2 = sum.clone();
+        sum2.fold_err(3, SimError::BadConfig("x".into()));
+        assert!(sum2.clean_fraction(DegradationClass::Looping) < 1.0);
+    }
+}

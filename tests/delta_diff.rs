@@ -10,8 +10,9 @@
 
 use confmask_netgen::{synthesize, IgpProtocol, TopoSpec};
 use confmask_sim::fault::{enumerate_single_link_failures, FailureScenario, Fault};
+use confmask_sim::sweep::{PairTable, ScenarioDigest};
 use confmask_sim::{simulate, Simulation};
-use confmask_sim_delta::DeltaEngine;
+use confmask_sim_delta::{DeltaEngine, ScenarioScratch};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -183,4 +184,59 @@ fn run_scenario_facade_matches_cold_on_random_networks() {
             }
         }
     }
+}
+
+/// The streaming sweep's digests must be byte-identical (down to the wire
+/// encoding) to folding the cold `run_scenario` outcome through
+/// `ScenarioDigest::from_outcome` — for every k = 1 fault plus router-down
+/// faults, on random networks across protocol flavors.
+#[test]
+fn streaming_digests_match_cold_folds_on_random_networks() {
+    let seeds: u64 = std::env::var("DELTA_DIFF_SEEDS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .map(|n: u64| (n / 2).max(2))
+        .unwrap_or(4);
+    let mut scenarios_checked = 0u64;
+    for i in 0..seeds {
+        let mut rng = StdRng::seed_from_u64(0xD16E_0000 ^ i);
+        let spec = random_spec(&mut rng, (i % 3) as u8);
+        let configs = synthesize(&spec);
+        let Ok(sim) = simulate(&configs) else { continue };
+        let engine = DeltaEngine::new(4);
+        let base = engine.converged(&configs).expect("baseline converges");
+        let sweep = engine.sweep(&base, &sim.dataplane);
+        let table = PairTable::from_baseline(&sim.dataplane);
+        let mut scratch = ScenarioScratch::default();
+        let mut scenarios = enumerate_single_link_failures(&configs);
+        for router in configs.routers.keys().take(2) {
+            scenarios.push(FailureScenario::single(Fault::RouterDown {
+                router: router.clone(),
+            }));
+        }
+        for scenario in scenarios {
+            scenarios_checked += 1;
+            let cold = confmask_sim::fault::run_scenario(&configs, &sim.dataplane, &scenario);
+            let warm = sweep.digest(&scenario, &mut scratch);
+            match (cold, warm) {
+                (Ok(c), Ok(w)) => {
+                    let folded = ScenarioDigest::from_outcome(&c, &table);
+                    assert_eq!(folded, w, "seed {i}: {scenario}");
+                    assert_eq!(
+                        folded.encode(),
+                        w.encode(),
+                        "seed {i}: {scenario}: wire encoding differs"
+                    );
+                }
+                (Err(c), Err(w)) => assert_eq!(c.to_string(), w.to_string()),
+                (c, w) => panic!(
+                    "seed {i}: {scenario}: outcome mismatch — cold {:?} vs warm {:?}",
+                    c.map(|_| "ok").map_err(|e| e.to_string()),
+                    w.map(|_| "ok").map_err(|e| e.to_string()),
+                ),
+            }
+        }
+    }
+    assert!(scenarios_checked > 0);
+    eprintln!("digest-diff: {scenarios_checked} scenario(s), zero mismatches");
 }

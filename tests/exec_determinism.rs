@@ -11,8 +11,9 @@
 
 use confmask_netgen::{smallnets::university, synthesize};
 use confmask_sim::fault::enumerate_single_link_failures;
-use confmask_sim::{simulate, ScenarioOutcome};
-use confmask_sim_delta::DeltaEngine;
+use confmask_sim::simulate;
+use confmask_sim::sweep::{DigestList, ScenarioDigest};
+use confmask_sim_delta::{DeltaEngine, ScenarioScratch};
 use confmask_topology::kdegree::plan_k_degree;
 use confmask_topology::{LinkInfo, NodeKind, Topology};
 use rand::rngs::StdRng;
@@ -44,9 +45,11 @@ fn star(leaves: usize) -> Topology {
     t
 }
 
-/// `Result<ScenarioOutcome, SimError>` with the error stringified, so
+/// `Result<ScenarioDigest, SimError>` with the error stringified, so
 /// whole sweeps compare with `assert_eq!`.
-fn comparable(runs: Vec<Result<ScenarioOutcome, confmask_sim::SimError>>) -> Vec<Result<ScenarioOutcome, String>> {
+fn comparable(
+    runs: Vec<Result<ScenarioDigest, confmask_sim::SimError>>,
+) -> Vec<Result<ScenarioDigest, String>> {
     runs.into_iter().map(|r| r.map_err(|e| e.to_string())).collect()
 }
 
@@ -64,22 +67,27 @@ fn every_parallel_stage_is_byte_identical_across_thread_counts() {
         "data plane must not depend on thread count"
     );
 
-    // 2. Incremental fault sweep: the parallel batch API at 1 and 8
-    //    workers, and the sequential per-scenario loop, must agree
+    // 2. Incremental fault sweep: the streaming sweep at 1 and 8 workers,
+    //    and the sequential per-scenario digest loop, must agree
     //    scenario-for-scenario.
     let sequential = at_threads(1, || {
         let engine = DeltaEngine::new(4);
         let base = engine.converged(&configs).expect("converges");
+        let sweep = engine.sweep(&base, &base.sim.dataplane);
+        let mut scratch = ScenarioScratch::default();
         scenarios
             .iter()
-            .map(|s| engine.run_scenario(&base, &base.sim.dataplane, s))
+            .map(|s| sweep.digest(s, &mut scratch))
             .collect::<Vec<_>>()
     });
     let sweep_at = |n: usize| {
         at_threads(n, || {
             let engine = DeltaEngine::new(4);
             let base = engine.converged(&configs).expect("converges");
-            engine.run_scenarios(&base, &base.sim.dataplane, &scenarios)
+            let sweep = engine.sweep(&base, &base.sim.dataplane);
+            let mut list = DigestList::default();
+            sweep.run(scenarios.iter(), &mut list);
+            list.results
         })
     };
     let serial = comparable(sequential);
